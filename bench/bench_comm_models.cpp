@@ -1,0 +1,116 @@
+// §IV.A — communication models: synchronous vs asynchronous exchange and
+// the algorithm-level reduced communication. Real byte/message accounting
+// on the virtual cluster plus the model's wall-clock projections at the
+// paper's scales. Paper anchors: async cut Ranger 60K-core time to 1/3
+// (28% -> 75% efficiency) and gave ~7x at 223K Jaguar cores; reduced
+// communication cuts the xx-component volume by 75% (overall bytes ~50%)
+// and 15% wall clock at full scale.
+
+#include <atomic>
+#include <iostream>
+
+#include "grid/halo.hpp"
+#include "mesh/partitioner.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/model.hpp"
+#include "util/table.hpp"
+#include "vcluster/cluster.hpp"
+
+using namespace awp;
+
+namespace {
+
+struct ExchangeCounts {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t barriers = 0;
+};
+
+ExchangeCounts countExchanges(grid::HaloExchanger::Mode mode,
+                              bool reduced) {
+  ExchangeCounts out;
+  std::atomic<std::uint64_t> messages{0}, bytes{0}, barriers{0};
+  const grid::GridDims global{48, 48, 48};
+  vcluster::CartTopology topo(vcluster::Dims3{2, 2, 2});
+  const mesh::MeshSpec spec{global.nx, global.ny, global.nz, 1.0, 0, 0};
+  vcluster::ThreadCluster::run(8, [&](vcluster::Communicator& comm) {
+    const auto sub = mesh::subdomainFor(topo, spec, comm.rank());
+    grid::StaggeredGrid g({sub.x.count(), sub.y.count(), sub.z.count()},
+                          100.0, 0.005);
+    grid::HaloExchanger ex(comm, topo, mode, reduced);
+    for (int step = 0; step < 10; ++step) {
+      ex.exchangeVelocities(g);
+      ex.exchangeStresses(g);
+    }
+    messages.fetch_add(ex.stats().messages);
+    bytes.fetch_add(ex.stats().bytes);
+    if (comm.rank() == 0) barriers = comm.stats().barriers.load();
+  });
+  out.messages = messages.load();
+  out.bytes = bytes.load();
+  out.barriers = barriers.load();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Communication models (Section IV.A) ===\n\n"
+            << "Measured on the virtual cluster (48^3 global grid, 8 "
+               "ranks, 10 steps):\n";
+
+  TextTable table({"Model", "Messages", "Bytes", "Barriers",
+                   "Bytes vs full-async"});
+  const auto fullAsync =
+      countExchanges(grid::HaloExchanger::Mode::Asynchronous, false);
+  const auto fullSync =
+      countExchanges(grid::HaloExchanger::Mode::Synchronous, false);
+  const auto reduced =
+      countExchanges(grid::HaloExchanger::Mode::Asynchronous, true);
+
+  auto row = [&](const char* label, const ExchangeCounts& c) {
+    table.addRow({label, std::to_string(c.messages),
+                  std::to_string(c.bytes), std::to_string(c.barriers),
+                  TextTable::pct(static_cast<double>(c.bytes) /
+                                     static_cast<double>(fullAsync.bytes),
+                                 1)});
+  };
+  row("synchronous, full", fullSync);
+  row("asynchronous, full", fullAsync);
+  row("asynchronous, reduced (v7.2)", reduced);
+  table.print(std::cout);
+
+  std::cout << "\nThe synchronous model inserts a global barrier per axis "
+               "per exchange (its cascading cost); reduced communication "
+               "halves the exchanged bytes (xx alone drops 75%: 3 of 12 "
+               "planes).\n\n";
+
+  std::cout << "Modeled wall-clock effect at paper scales (per step):\n";
+  TextTable model({"Machine/cores", "sync t/step (s)", "async t/step (s)",
+                   "gain"});
+  struct Case {
+    const char* machine;
+    int cores;
+    perfmodel::ProblemSize problem;
+  };
+  for (const auto& c :
+       {Case{"Ranger", 60000, perfmodel::shakeoutProblem()},
+        Case{"Jaguar", 223074, perfmodel::m8Problem()}}) {
+    perfmodel::ScalingModel m(perfmodel::machineByName(c.machine),
+                              c.problem);
+    const auto dims = vcluster::CartTopology::balancedDims(
+        c.cores, c.problem.nx, c.problem.ny, c.problem.nz);
+    auto async = perfmodel::traitsOf(perfmodel::CodeVersion::V7_2);
+    auto sync = async;
+    sync.asyncComm = false;
+    const double ts = m.perStep(sync, dims).total();
+    const double ta = m.perStep(async, dims).total();
+    model.addRow({std::string(c.machine) + "/" + std::to_string(c.cores),
+                  TextTable::num(ts, 3), TextTable::num(ta, 3),
+                  TextTable::num(ts / ta, 2) + "x"});
+  }
+  model.print(std::cout);
+  std::cout << "\nPaper anchors: 3x total-time reduction on 60K Ranger "
+               "cores; ~7x on 223K Jaguar cores.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig 13 — "Reduction of time-to-solution per time step achieved for each
+// new version of AWP-ODC on NCCS Jaguar": the per-step wall clock of the
+// M8 configuration on 223,074 Jaguar cores, version by version. Shape to
+// reproduce: the async redesign (v5.0) is the single biggest drop (~7x),
+// followed by single-CPU optimization (v6.0, ~33% compute), cache
+// blocking (v7.1, ~7%), and reduced communication (v7.2, ~15% at scale).
+
+#include <iostream>
+
+#include "perfmodel/machine.hpp"
+#include "perfmodel/model.hpp"
+#include "util/table.hpp"
+#include "vcluster/cart.hpp"
+
+using namespace awp;
+using namespace awp::perfmodel;
+
+int main() {
+  std::cout << "=== Fig 13: time-to-solution per step by code version "
+               "(M8 settings, 223,074 Jaguar cores) ===\n\n";
+  ScalingModel model(machineByName("Jaguar"), m8Problem());
+  const auto dims =
+      vcluster::CartTopology::balancedDims(223074, 20250, 10125, 2125);
+
+  TextTable table({"Version", "Optimization added", "t/step (s)",
+                   "Speedup vs previous", "Speedup vs v4.0"});
+  double prev = 0.0, first = 0.0;
+  for (CodeVersion v : {CodeVersion::V4_0, CodeVersion::V5_0,
+                        CodeVersion::V6_0, CodeVersion::V7_0,
+                        CodeVersion::V7_1, CodeVersion::V7_2}) {
+    const auto& traits = traitsOf(v);
+    const double t = model.perStep(traits, dims).total();
+    if (first == 0.0) first = t;
+    table.addRow({traits.label, traits.optimization, TextTable::num(t, 3),
+                  prev > 0.0 ? TextTable::num(prev / t, 2) + "x" : "-",
+                  TextTable::num(first / t, 2) + "x"});
+    prev = t;
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper anchors: async ~7x on 223K cores; single-CPU opt "
+               "40% total (31% arithmetic + 2% unroll + 7% blocking); "
+               "reduced comm ~15% wall clock at full scale.\n";
+  return 0;
+}

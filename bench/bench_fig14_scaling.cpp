@@ -1,0 +1,80 @@
+// Fig 14 — "Strong scaling of AWP-ODC on TeraGrid and DOE INCITE
+// systems": speedup-vs-cores series for the milestone problems, before
+// and after the relevant optimization, with the ideal line. Shapes to
+// reproduce:
+//   * TeraShake (1.8e9 points) on DataStar: near-ideal at small scale;
+//   * ShakeOut (14.4e9) on Ranger/Intrepid: synchronous model collapses
+//     at large NUMA core counts, asynchronous restores scaling;
+//   * ShakeOut on Kraken: v4.0 (sync) vs v5.0 (async);
+//   * M8 (436e9) on Jaguar: v6.0 vs v7.2, v7.2 near/above ideal
+//     (super-linear cache effects are reported by the paper; our model is
+//     capped at ideal).
+
+#include <iostream>
+
+#include "perfmodel/machine.hpp"
+#include "perfmodel/model.hpp"
+#include "util/table.hpp"
+#include "vcluster/cart.hpp"
+
+using namespace awp;
+using namespace awp::perfmodel;
+
+namespace {
+
+void scalingSeries(const std::string& machine, ProblemSize problem,
+                   CodeVersion before, CodeVersion after,
+                   const std::vector<int>& cores) {
+  ScalingModel model(machineByName(machine), problem);
+  const auto base = vcluster::CartTopology::balancedDims(
+      cores.front(), problem.nx, problem.ny, problem.nz);
+  const auto& tb = traitsOf(before);
+  const auto& ta = traitsOf(after);
+
+  std::cout << machine << " / " << problem.total() / 1e9
+            << "e9 grid points (v" << tb.label << " vs v" << ta.label
+            << "):\n";
+  TextTable table({"Cores", "Ideal", "Speedup v" + tb.label,
+                   "Speedup v" + ta.label, "Eff. v" + tb.label,
+                   "Eff. v" + ta.label});
+  for (int p : cores) {
+    const auto dims = vcluster::CartTopology::balancedDims(
+        p, problem.nx, problem.ny, problem.nz);
+    const double ideal = static_cast<double>(p) / cores.front();
+    const double sb = model.relativeSpeedup(tb, base, dims) /
+                      cores.front();
+    const double sa = model.relativeSpeedup(ta, base, dims) /
+                      cores.front();
+    table.addRow({std::to_string(p), TextTable::num(ideal, 1),
+                  TextTable::num(sb, 1), TextTable::num(sa, 1),
+                  TextTable::pct(sb / ideal, 1),
+                  TextTable::pct(sa / ideal, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig 14: strong scaling across systems ===\n"
+            << "(speedup normalized to the smallest core count; 'before' "
+               "uses the synchronous/unoptimized code path)\n\n";
+
+  scalingSeries("DataStar", terashakeProblem(), CodeVersion::V1_0,
+                CodeVersion::V2_0, {240, 480, 1024, 2048});
+  scalingSeries("Ranger", shakeoutProblem(), CodeVersion::V4_0,
+                CodeVersion::V5_0, {4096, 16384, 32768, 60000});
+  scalingSeries("Intrepid", shakeoutProblem(), CodeVersion::V4_0,
+                CodeVersion::V5_0, {8192, 32768, 65536, 131072});
+  scalingSeries("Kraken", shakeoutProblem(), CodeVersion::V4_0,
+                CodeVersion::V5_0, {12288, 24576, 49152, 98304});
+  scalingSeries("Jaguar", m8Problem(), CodeVersion::V6_0,
+                CodeVersion::V7_2, {21870, 65610, 131220, 223074});
+
+  std::cout << "Paper anchors: BG/P efficiency fell to ~40% at 40K cores "
+               "under the synchronous model (vs 96% on BG/L); Ranger "
+               "async raised efficiency 28% -> 75% on 60K cores; M8 v7.2 "
+               "scales near-ideally to 223K cores.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig 18 — the ShakeOut-D source ensemble: "Seven dynamic source
+// descriptions were used to assess the uncertainty in the site-specific
+// peak motions." We run an ensemble of spontaneous ruptures differing
+// only in the random initial-stress seed and report the spread of their
+// source properties (slip distributions and rupture-time contours differ
+// realization to realization while the magnitude stays comparable).
+
+#include <iostream>
+
+#include "scenarios.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace awp;
+using namespace awp::bench;
+
+int main() {
+  std::cout << "=== Fig 18: dynamic source ensemble ===\n\n";
+
+  TextTable table({"Seed", "Mw", "Mean slip (m)", "Max slip (m)",
+                   "Peak slip rate (m/s)", "Last rupture time (s)",
+                   "Ruptured fraction"});
+  std::vector<double> mws, maxSlips;
+  for (std::uint64_t seed : {11u, 23u, 42u, 77u}) {
+    const auto fault = runMiniRupture(/*lengthKm=*/50.0, /*depthKm=*/12.0,
+                                      /*hRupture=*/600.0, seed,
+                                      /*steps=*/360, /*nranks=*/2);
+    double maxSlip = 0.0, maxRate = 0.0, lastTime = 0.0;
+    std::size_t ruptured = 0;
+    for (std::size_t n = 0; n < fault.finalSlip.size(); ++n) {
+      maxSlip = std::max<double>(maxSlip, fault.finalSlip[n]);
+      maxRate = std::max<double>(maxRate, fault.peakSlipRate[n]);
+      if (fault.ruptureTime[n] >= 0.0f) {
+        ++ruptured;
+        lastTime = std::max<double>(lastTime, fault.ruptureTime[n]);
+      }
+    }
+    const double mw = fault.momentMagnitude();
+    mws.push_back(mw);
+    maxSlips.push_back(maxSlip);
+    table.addRow({std::to_string(seed), TextTable::num(mw, 2),
+                  TextTable::num(fault.averageSlip(), 2),
+                  TextTable::num(maxSlip, 2), TextTable::num(maxRate, 2),
+                  TextTable::num(lastTime, 2),
+                  TextTable::pct(static_cast<double>(ruptured) /
+                                     fault.finalSlip.size(),
+                                 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEnsemble spread: Mw " << TextTable::num(minOf(mws), 2)
+            << " - " << TextTable::num(maxOf(mws), 2) << ", max slip "
+            << TextTable::num(minOf(maxSlips), 2) << " - "
+            << TextTable::num(maxOf(maxSlips), 2)
+            << " m.\nPaper anchor: the seven ShakeOut-D realizations share "
+               "the target magnitude but differ in slip distribution and "
+               "rupture-time contours — the basis of the site-motion "
+               "uncertainty assessment.\n";
+  return 0;
+}

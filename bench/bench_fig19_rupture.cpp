@@ -1,0 +1,88 @@
+// Fig 19 — the M8 source model from the spontaneous rupture simulation:
+// (a) final slip, (b) horizontal peak slip rate, (c) rupture velocity
+// normalized by local shear speed (sub-Rayleigh vs super-shear patches).
+// Paper anchors: final slip up to 7.8 m (5.7 m at the surface), average
+// 4.5 m, total moment 1.0e21 Nm (Mw 8.0), peak slip rates > 10 m/s at
+// depth, rupture reaching the far end after 135 s, a large super-shear
+// patch plus smaller ones.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "scenarios.hpp"
+#include "util/table.hpp"
+
+using namespace awp;
+using namespace awp::bench;
+
+int main() {
+  std::cout << "=== Fig 19: mini-M8 spontaneous rupture source model "
+               "===\n\n";
+  // Mini wall-to-wall: 80 km x 14 km fault at 500 m (the paper: 545 km x
+  // 16 km at 100 m).
+  const auto fault = runMiniRupture(/*lengthKm=*/80.0, /*depthKm=*/14.0,
+                                    /*hRupture=*/500.0, /*seed=*/20100545,
+                                    /*steps=*/700, /*nranks=*/4);
+
+  double maxSlip = 0.0, surfaceMaxSlip = 0.0, maxRate = 0.0,
+         lastTime = 0.0;
+  for (std::size_t k = 0; k < fault.nz; ++k)
+    for (std::size_t i = 0; i < fault.nx; ++i) {
+      const std::size_t n = i + fault.nx * k;
+      maxSlip = std::max<double>(maxSlip, fault.finalSlip[n]);
+      if (k == fault.nz - 1)
+        surfaceMaxSlip =
+            std::max<double>(surfaceMaxSlip, fault.finalSlip[n]);
+      maxRate = std::max<double>(maxRate, fault.peakSlipRate[n]);
+      if (fault.ruptureTime[n] >= 0.0f)
+        lastTime = std::max<double>(lastTime, fault.ruptureTime[n]);
+    }
+
+  TextTable table({"Quantity", "Paper (545 km fault)",
+                   "Mini-M8 (80 km fault)"});
+  table.addRow({"Final slip max (m)", "7.8", TextTable::num(maxSlip, 2)});
+  table.addRow({"Final slip at surface max (m)", "5.7",
+                TextTable::num(surfaceMaxSlip, 2)});
+  table.addRow({"Average slip (m)", "4.5",
+                TextTable::num(fault.averageSlip(), 2)});
+  table.addRow({"Moment magnitude Mw", "8.0",
+                TextTable::num(fault.momentMagnitude(), 2)});
+  table.addRow({"Peak slip rate (m/s)", ">10 in patches",
+                TextTable::num(maxRate, 2)});
+  table.addRow({"Rupture duration (s)", "135",
+                TextTable::num(lastTime, 1)});
+  const double vsAvg = 3200.0;
+  table.addRow({"Super-shear node fraction", "patches (~20% of strike)",
+                TextTable::pct(fault.superShearFraction(vsAvg), 1)});
+  table.print(std::cout);
+
+  // Rupture-velocity profile along strike at mid depth (Fig 19c's
+  // sub-Rayleigh vs super-shear classification).
+  const std::size_t kMid = fault.nz / 2;
+  std::size_t superRun = 0, maxSuperRun = 0;
+  for (std::size_t i = 1; i + 1 < fault.nx; ++i) {
+    const float t0 = fault.ruptureTime[i - 1 + fault.nx * kMid];
+    const float t1 = fault.ruptureTime[i + 1 + fault.nx * kMid];
+    if (t0 < 0.0f || t1 < 0.0f || t1 == t0) {
+      superRun = 0;
+      continue;
+    }
+    const double vr = 2.0 * fault.h / std::abs(t1 - t0);
+    if (vr > vsAvg) {
+      ++superRun;
+      maxSuperRun = std::max(maxSuperRun, superRun);
+    } else {
+      superRun = 0;
+    }
+  }
+  std::cout << "\nLargest contiguous super-shear patch at mid depth: "
+            << TextTable::num(maxSuperRun * fault.h / 1000.0, 1)
+            << " km (paper: a ~100 km patch plus smaller ones on the "
+               "545 km fault).\n"
+            << "Scale note: slip scales with fault length (L/W scaling), "
+               "so the mini fault's absolute slip sits below the paper's "
+               "— the magnitude/area ratio and the shape of the slip and "
+               "rupture-speed distributions are the comparables.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figs 20–21 — the M8 wave-propagation run: PGVH map over the region with
+// seismograms at selected sites. Paper anchors to reproduce in shape:
+//   * largest near-fault PGVHs immediately on the fault trace;
+//   * San Bernardino (basin right on the fault) is the hardest-hit site
+//     (paper: PGVH ~ 6 m/s, dominated by 2-4 s basin response);
+//   * downtown LA sees moderate motions (~0.4 m/s) because the NW-SE
+//     rupture is largely transverse to the waveguides;
+//   * basin sites exceed comparable-distance rock sites.
+
+#include <iostream>
+
+#include "analysis/aval.hpp"
+#include "analysis/pgv.hpp"
+#include "scenarios.hpp"
+#include "util/fft.hpp"
+#include "util/table.hpp"
+
+using namespace awp;
+using namespace awp::bench;
+
+int main() {
+  std::cout << "=== Figs 20/21: mini-M8 wave propagation, PGVH and site "
+               "seismograms ===\n\n";
+
+  MiniDomain domain;
+  domain.dims = {144, 72, 24};
+  domain.h = 1500.0;
+  const double dt = estimateDt(domain);
+  const std::size_t steps = 340;
+  const auto trace = domain.trace(0.12, 4000.0);  // gently bent SAF analog
+
+  // Two-step method: dynamic rupture, then insertion onto the bent trace.
+  std::cout << "step 1: spontaneous rupture (dSrcG source)...\n";
+  const auto fault = runMiniRupture(/*lengthKm=*/90.0, /*depthKm=*/14.0,
+                                    /*hRupture=*/600.0, /*seed=*/20100545,
+                                    /*steps=*/520, /*nranks=*/2);
+  std::cout << "  source Mw = " << TextTable::num(fault.momentMagnitude(), 2)
+            << "\n";
+  source::WaveModelTarget target{domain.dims, domain.h, dt};
+  source::FilterConfig filter;
+  filter.cutoffHz = 0.4 / dt / 10.0;
+  const auto sources = source::fromRupture(fault, trace, target, filter);
+
+  std::cout << "step 2: wave propagation (" << sources.size()
+            << " subfault points, " << steps << " steps)...\n\n";
+  const auto result = runWaveScenario(domain, sources, steps, 4);
+
+  // --- Site seismogram summary (Fig 21's annotated traces) ---------------
+  TextTable sites({"Site", "PGVH (cm/s)", "Dominant period (s)",
+                   "Distance to fault (km)"});
+  double sanBernardino = 0.0, downtownLa = 0.0;
+  for (const auto& t : result.traces) {
+    const double pgvh = analysis::tracePgv(t, /*horizontalOnly=*/true);
+    // Dominant period from the horizontal amplitude spectrum.
+    std::vector<double> h(t.u.size());
+    for (std::size_t n = 0; n < h.size(); ++n)
+      h[n] = std::hypot(t.u[n], t.v[n]);
+    const auto spec = amplitudeSpectrum(h, result.dt);
+    // Search above 0.1 Hz: the lowest bins carry the near-field static
+    // offset, not the shaking of interest (the paper's SBB response is at
+    // 2-4 s periods).
+    std::size_t peak = 0;
+    for (std::size_t k = 1; k < spec.amplitude.size(); ++k) {
+      if (spec.frequency[k] < 0.1) continue;
+      if (peak == 0 || spec.amplitude[k] > spec.amplitude[peak]) peak = k;
+    }
+    const double period =
+        spec.frequency[peak] > 0.0 ? 1.0 / spec.frequency[peak] : 0.0;
+    const double dist = analysis::distanceToTrace(
+        t.gi * domain.h, t.gj * domain.h, trace);
+    if (t.name == "San Bernardino") sanBernardino = pgvh;
+    if (t.name == "Downtown LA") downtownLa = pgvh;
+    sites.addRow({t.name, TextTable::num(pgvh * 100.0, 1),
+                  TextTable::num(period, 2),
+                  TextTable::num(dist / 1000.0, 1)});
+  }
+  sites.print(std::cout);
+
+  // --- Map summary ---------------------------------------------------------
+  const auto peak =
+      analysis::mapPeak(result.pgvh, domain.dims.nx, domain.dims.ny);
+  const double peakDist = analysis::distanceToTrace(
+      peak.i * domain.h, peak.j * domain.h, trace);
+  std::cout << "\nMap peak PGVH: " << TextTable::num(peak.value, 2)
+            << " m/s at " << TextTable::num(peakDist / 1000.0, 1)
+            << " km from the fault trace (paper: largest values "
+               "immediately on the trace, locally exceeding 10 m/s).\n";
+  std::cout << "San Bernardino / downtown LA PGVH ratio: "
+            << TextTable::num(sanBernardino / std::max(1e-9, downtownLa), 1)
+            << "x (paper: ~6 m/s vs ~0.4 m/s — San Bernardino hardest "
+               "hit via fault proximity + basin + directivity).\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Fig 22 — super-shear Mach waves: where the rupture runs faster than the
+// local shear speed, Mach cones "carry intense near-fault ground motions
+// to much larger distances from the fault than is the case for sub-shear
+// ruptures", and the fault-PARALLEL component "tends to display similar
+// or larger amplitude, as compared to the fault-perpendicular component".
+//
+// The experiment: two prescribed-rupture-speed kinematic runs (sub-shear
+// vs super-shear), comparing (a) the off-fault decay of PGVH and (b) the
+// fault-parallel / fault-normal amplitude ratio at a line of receivers.
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/pgv.hpp"
+#include "scenarios.hpp"
+#include "util/table.hpp"
+
+using namespace awp;
+using namespace awp::bench;
+
+int main() {
+  std::cout << "=== Fig 22: sub-shear vs super-shear rupture wavefields "
+               "===\n\n";
+
+  MiniDomain domain;
+  domain.dims = {120, 64, 20};
+  domain.h = 1500.0;
+  const double dt = estimateDt(domain);
+  const std::size_t steps = 260;
+  const auto trace = domain.trace();
+
+  auto rowMean = [&](const std::vector<float>& map, double offKm) {
+    const auto j = static_cast<std::size_t>(
+        (domain.faultY() - offKm * 1000.0) / domain.h);
+    double s = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = domain.dims.nx / 4; i < 3 * domain.dims.nx / 4;
+         ++i, ++n)
+      s += map[i + domain.dims.nx * j];
+    return s / static_cast<double>(n);
+  };
+
+  TextTable table({"Rupture speed", "PGVH 5 km (m/s)", "PGVH 25 km (m/s)",
+                   "far/near decay", "fault-parallel / fault-normal"});
+  double decaySub = 0.0, decaySuper = 0.0;
+  double ratioSub = 0.0, ratioSuper = 0.0;
+
+  for (bool superShear : {false, true}) {
+    source::KinematicScenario sc;
+    sc.faultLength = 0.55 * trace.length();
+    sc.faultDepth = 12e3;
+    sc.targetMw = 7.4;
+    sc.riseTime = 2.5;
+    // Sub-Rayleigh (~0.8 vs) vs super-shear (~1.5 vs) for mid-crust
+    // vs ~ 3.2 km/s.
+    sc.ruptureSpeed = superShear ? 4800.0 : 2600.0;
+    source::WaveModelTarget target{domain.dims, domain.h, dt};
+    auto sources = source::kinematicSource(sc, trace, target);
+
+    // A dedicated receiver line 15 km off the fault for the component
+    // ratio (u is fault-parallel, v fault-normal for this straight trace).
+    std::vector<vmodel::Site> line;
+    for (int r = 0; r < 8; ++r)
+      line.push_back({"line" + std::to_string(r),
+                      (0.3 + 0.05 * r) * domain.lx(),
+                      domain.faultY() - 15e3});
+    const auto result =
+        runWaveScenario(domain, sources, steps, 4, {}, false, line);
+
+    const double near = rowMean(result.pgvh, 5.0);
+    const double far = rowMean(result.pgvh, 25.0);
+    const double decay = far / std::max(1e-12, near);
+
+    double sumU = 0.0, sumV = 0.0;
+    for (const auto& t : result.traces) {
+      if (t.name.rfind("line", 0) != 0) continue;
+      double pu = 0.0, pv = 0.0;
+      for (std::size_t n = 0; n < t.u.size(); ++n) {
+        pu = std::max(pu, std::abs(static_cast<double>(t.u[n])));
+        pv = std::max(pv, std::abs(static_cast<double>(t.v[n])));
+      }
+      sumU += pu;
+      sumV += pv;
+    }
+    const double ratio = sumV > 0.0 ? sumU / sumV : 0.0;
+
+    (superShear ? decaySuper : decaySub) = decay;
+    (superShear ? ratioSuper : ratioSub) = ratio;
+    table.addRow({superShear ? "super-shear (1.5 vs)"
+                             : "sub-Rayleigh (0.8 vs)",
+                  TextTable::num(near, 4), TextTable::num(far, 4),
+                  TextTable::num(decay, 3), TextTable::num(ratio, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks: the super-shear run decays more slowly "
+               "off-fault (Mach cone: "
+            << TextTable::num(decaySuper, 3) << " vs "
+            << TextTable::num(decaySub, 3)
+            << ") and raises the fault-parallel/fault-normal ratio ("
+            << TextTable::num(ratioSuper, 2) << " vs "
+            << TextTable::num(ratioSub, 2) << ").\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig 23 — comparison of simulated PGVs to NGA attenuation relations at
+// rock sites: "For most distances from the fault, the median M8 and AR
+// PGVs agree very well, and the M8 median ± 1 standard deviation are very
+// close to the AR 16% and 84% probability of exceedance levels." Basin
+// sites (Oxnard/Downey/San Bernardino analogues) fall at low POE.
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/gmpe.hpp"
+#include "analysis/pgv.hpp"
+#include "scenarios.hpp"
+#include "util/table.hpp"
+
+using namespace awp;
+using namespace awp::bench;
+
+int main() {
+  std::cout << "=== Fig 23: simulated rock-site PGV vs GMPE predictions "
+               "===\n\n";
+
+  MiniDomain domain;
+  domain.dims = {144, 72, 24};
+  domain.h = 1500.0;
+  const double dt = estimateDt(domain);
+  const auto trace = domain.trace();
+  const auto cvm = domain.cvm();
+  const double mw = 7.5;
+  const auto sources = miniKinematicSource(domain, mw, 0.6, false, dt);
+  const auto result = runWaveScenario(domain, sources, 320, 4);
+
+  // Rock-site mask: surface Vs > 1000 m/s (the paper's definition).
+  auto rockSite = [&](std::size_t i, std::size_t j) {
+    return cvm.sample(i * domain.h, j * domain.h, 0.0).vs > 1000.0f;
+  };
+  // Geometric-mean proxy: the paper notes the geometric-mean PGVH runs
+  // 1.5-2x below the root-sum-of-squares measure; apply the midpoint.
+  std::vector<float> geoMean(result.pgvh.size());
+  for (std::size_t n = 0; n < geoMean.size(); ++n)
+    geoMean[n] = result.pgvh[n] / 1.75f;
+
+  const std::vector<double> edges = {2.0, 4.0, 8.0, 15.0, 30.0, 60.0};
+  const auto bins = analysis::pgvVsDistance(geoMean, domain.dims.nx,
+                                            domain.dims.ny, domain.h,
+                                            trace, rockSite, edges);
+
+  const auto ba = analysis::ba08Like();
+  const auto cb = analysis::cb08Like();
+  TextTable table({"R (km)", "Sites", "Sim median (cm/s)",
+                   "Sim 16% (cm/s)", "Sim 84% (cm/s)", "B&A08 median",
+                   "C&B08 median", "B&A08 16%", "B&A08 84%"});
+  for (const auto& b : bins) {
+    const double rMid = 0.5 * (b.rLoKm + b.rHiKm);
+    table.addRow({TextTable::num(b.rLoKm, 0) + "-" +
+                      TextTable::num(b.rHiKm, 0),
+                  std::to_string(b.count), TextTable::num(b.medianCmS, 1),
+                  TextTable::num(b.p16CmS, 1), TextTable::num(b.p84CmS, 1),
+                  TextTable::num(ba.medianPgv(mw, rMid), 1),
+                  TextTable::num(cb.medianPgv(mw, rMid), 1),
+                  TextTable::num(ba.pgvAtEpsilon(mw, rMid, -1.0), 1),
+                  TextTable::num(ba.pgvAtEpsilon(mw, rMid, 1.0), 1)});
+  }
+  table.print(std::cout);
+
+  // Basin-site POE ranking (the paper's Oxnard/Downey/SBB comparison).
+  std::cout << "\nBasin-site probability of exceedance (B&A08):\n";
+  TextTable poeTable({"Site", "PGVH geo-mean (cm/s)", "R (km)", "POE"});
+  for (const auto& t : result.traces) {
+    double peak = 0.0;
+    for (std::size_t n = 0; n < t.u.size(); ++n)
+      peak = std::max(peak, std::hypot(static_cast<double>(t.u[n]),
+                                       static_cast<double>(t.v[n])));
+    const double pgvCmS = peak / 1.75 * 100.0;
+    const double rKm = analysis::distanceToTrace(t.gi * domain.h,
+                                                 t.gj * domain.h, trace) /
+                       1000.0;
+    poeTable.addRow({t.name, TextTable::num(pgvCmS, 1),
+                     TextTable::num(rKm, 1),
+                     TextTable::pct(ba.poe(mw, rKm, pgvCmS), 2)});
+  }
+  poeTable.print(std::cout);
+
+  std::cout << "\nPaper anchors: rock-site medians track the ARs across "
+               "distance; basin sites (path-specific amplification the "
+               "ARs cannot capture) land at low POE — Downey 0.13%, "
+               "Oxnard ~2%, San Bernardino <0.1% in the paper.\n";
+  return 0;
+}

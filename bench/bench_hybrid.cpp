@@ -1,0 +1,59 @@
+// §IV.D — load balancing by hybrid multithreads: "multiple OpenMP
+// threads, spawned from a single MPI process, directly access shared
+// memory within a node", reducing imbalance by up to 35% — but "for the
+// large-scale runs where communication and synchronization overhead
+// dominate the simulation time, the pure MPI code still performs better
+// than the MPI/OpenMP hybrid code". This bench measures the real hybrid
+// kernel path (correct by construction, see test_runtime) and its
+// overhead on this host, then prints the model's view of the tradeoff.
+
+#include <iostream>
+
+#include "core/kernels.hpp"
+#include "grid/staggered_grid.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+using namespace awp;
+
+int main() {
+  std::cout << "=== Hybrid MPI/OpenMP mode (Section IV.D) ===\n\n";
+
+  grid::StaggeredGrid g({96, 96, 64}, 100.0, 0.005);
+  g.setUniformMaterial(vmodel::Material{5000.0f, 2900.0f, 2700.0f});
+
+  TextTable table({"Intra-rank threads", "ms/step", "vs pure"});
+  double pure = 0.0;
+  for (int threads : {1, 2, 4}) {
+    core::KernelOptions opts;
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+      opts.pool = pool.get();
+    }
+    // Warm up, then measure.
+    core::updateVelocity(g, opts);
+    core::updateStress(g, opts);
+    Stopwatch watch;
+    const int reps = 6;
+    for (int r = 0; r < reps; ++r) {
+      core::updateVelocity(g, opts);
+      core::updateStress(g, opts);
+    }
+    const double ms = watch.seconds() / reps * 1e3;
+    if (threads == 1) pure = ms;
+    table.addRow({std::to_string(threads), TextTable::num(ms, 1),
+                  TextTable::num(pure / ms, 2) + "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nOn a single-core host the hybrid threads add scheduling "
+               "overhead without speedup — the miniature of the paper's "
+               "full-scale finding that pure message passing beat the "
+               "hybrid once per-subdomain work shrank. With real spare "
+               "cores the k-slab split gives near-linear kernel speedup "
+               "(the wavefield is bitwise identical either way; see "
+               "test_runtime's HybridMode test).\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// §IV.C — computation/communication overlap: per-component interleaving
+// of velocity/stress updates with their exchanges. Paper anchors: 11%
+// (PGI) / 21% (Cray) elapsed-time gain on 65,610 XT5 cores; the gain is
+// limited by boundary/interior load skew, which cache blocking reduces.
+// On the 1-core virtual cluster the interleaving is semantics-preserving
+// but not truly concurrent, so the wall-clock effect is modeled; the
+// bench verifies result-equivalence for real and reports the model.
+
+#include <iostream>
+
+#include "core/solver.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/model.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "vcluster/cluster.hpp"
+
+using namespace awp;
+
+int main() {
+  std::cout << "=== Computation/communication overlap (Section IV.C) "
+               "===\n\n";
+
+  // --- Real equivalence check ----------------------------------------------
+  auto runMini = [&](bool overlap) {
+    std::vector<float> field;
+    vcluster::ThreadCluster::run(4, [&](vcluster::Communicator& comm) {
+      vcluster::CartTopology topo(vcluster::Dims3{2, 2, 1});
+      core::SolverConfig config;
+      config.globalDims = {48, 48, 24};
+      config.h = 500.0;
+      config.overlap = overlap;
+      core::WaveSolver solver(comm, topo, config,
+                              vmodel::Material{5000.0f, 2900.0f, 2700.0f});
+      solver.addSource(core::explosionPointSource(
+          24, 24, 12,
+          core::rickerWavelet(2.0, 0.5, solver.config().dt, 80, 1e15)));
+      solver.run(80);
+      if (comm.rank() == 0) {
+        const auto& u = solver.grid().u;
+        field.assign(u.data(), u.data() + u.size());
+      }
+    });
+    return field;
+  };
+  const auto plain = runMini(false);
+  const auto overlapped = runMini(true);
+  std::vector<double> a(plain.begin(), plain.end());
+  std::vector<double> b(overlapped.begin(), overlapped.end());
+  std::cout << "Interleaved vs staged results, relative L2 difference: "
+            << TextTable::sci(l2Misfit(b, a), 2)
+            << " (must be ~float epsilon — overlap only reorders the "
+               "schedule)\n\n";
+
+  // --- Modeled gain at the paper's scale -----------------------------------
+  perfmodel::ScalingModel model(perfmodel::machineByName("Jaguar"),
+                                perfmodel::m8Problem());
+  TextTable table({"Cores", "t/step staged (s)", "t/step overlap (s)",
+                   "gain"});
+  for (int cores : {65610, 131220, 223074}) {
+    const auto dims = vcluster::CartTopology::balancedDims(
+        cores, 20250, 10125, 2125);
+    auto base = perfmodel::traitsOf(perfmodel::CodeVersion::V6_0);
+    auto over = base;
+    over.overlap = true;
+    const double ts = model.perStep(base, dims).total();
+    const double to = model.perStep(over, dims).total();
+    table.addRow({std::to_string(cores), TextTable::num(ts, 4),
+                  TextTable::num(to, 4),
+                  TextTable::pct(1.0 - to / ts, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper anchor: 11-21% elapsed-time gain at 65,610 cores; "
+               "the gain shrinks toward full machine scale where "
+               "boundary/interior skew dominates (why v7.2 kept cache "
+               "blocking but dropped overlap).\n";
+  return 0;
+}

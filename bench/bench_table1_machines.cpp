@@ -1,0 +1,50 @@
+// Table 1 — "Computers used by model for production runs": the machine
+// catalog, plus the modeled per-step wall clock and sustained performance
+// of the fully optimized code (v7.2) at each machine's production core
+// count on its milestone problem.
+
+#include <iostream>
+
+#include "perfmodel/machine.hpp"
+#include "perfmodel/model.hpp"
+#include "util/table.hpp"
+#include "vcluster/cart.hpp"
+
+using namespace awp;
+using namespace awp::perfmodel;
+
+int main() {
+  std::cout << "=== Table 1: computers used by model for production runs "
+               "===\n"
+            << "(modeled columns use the Eq. 7/8 performance model with "
+               "v7.2 optimizations)\n\n";
+
+  TextTable table({"Computer", "Location", "Processor", "Interconnect",
+                   "Peak Gflops/core", "Cores used", "t/step (model, s)",
+                   "Sustained (model, Tflop/s)"});
+
+  for (const auto& m : machineCatalog()) {
+    // Milestone problem per machine (Table 3): TeraShake on DataStar,
+    // ShakeOut-class on the mid machines, M8 on Kraken/Jaguar.
+    ProblemSize problem = shakeoutProblem();
+    if (m.name == "DataStar") problem = terashakeProblem();
+    if (m.name == "Jaguar" || m.name == "Kraken") problem = m8Problem();
+
+    ScalingModel model(m, problem);
+    const auto dims = vcluster::CartTopology::balancedDims(
+        m.coresUsed, problem.nx, problem.ny, problem.nz);
+    const auto traits = traitsOf(CodeVersion::V7_2);
+    const auto t = model.perStep(traits, dims);
+
+    table.addRow({m.name, m.site, m.processor, m.interconnect,
+                  TextTable::num(m.peakGflopsPerCore, 1),
+                  std::to_string(m.coresUsed),
+                  TextTable::num(t.total(), 3),
+                  TextTable::num(model.sustainedTflops(traits, dims), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper anchor: M8 on 223,074 Jaguar cores sustained 220 "
+               "Tflop/s.\n";
+  return 0;
+}

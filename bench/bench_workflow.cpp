@@ -1,0 +1,114 @@
+// §III.I — the end-to-end workflow: GridFTP-style transfer with MD5
+// verification and automatic failure recovery (>200 MB/s average), PIPUT
+// parallel archive ingestion (~177 MB/s, >10x a single iPUT stream), and
+// the staged E2EaW pipeline over real files.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <unistd.h>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "workflow/archive.hpp"
+#include "workflow/e2eaw.hpp"
+#include "workflow/transfer.hpp"
+
+using namespace awp;
+using namespace awp::workflow;
+
+int main() {
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("awp_bench_wf_" + std::to_string(::getpid()));
+  const auto src = root / "kraken", dst = root / "archive";
+  std::filesystem::create_directories(src);
+  std::filesystem::create_directories(dst);
+
+  // Synthetic simulation outputs (stand-ins for the 4.5 TB surface data).
+  std::vector<std::string> files;
+  for (int f = 0; f < 4; ++f) {
+    const std::string name = "surface_" + std::to_string(f) + ".bin";
+    std::ofstream out(src / name, std::ios::binary);
+    std::vector<char> data((f + 1) << 20,
+                           static_cast<char>('a' + f));
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    files.push_back(name);
+  }
+
+  std::cout << "=== End-to-end workflow (Section III.I) ===\n\n";
+
+  // --- Transfer leg with failure injection ---------------------------------
+  TextTable xfer({"Failure prob", "Chunks failed", "All recovered",
+                  "Verified", "Simulated MB/s effective"});
+  for (double p : {0.0, 0.05, 0.25}) {
+    TransferConfig config;
+    config.chunkFailureProb = p;
+    config.seed = 7;
+    TransferChannel channel(config);
+    // Fresh destination per failure level.
+    const auto d = root / ("dst" + std::to_string(int(p * 100)));
+    std::filesystem::create_directories(d);
+    const auto report = channel.transfer(src.string(), d.string(), files);
+    bool allRecovered = true;
+    for (const auto& rec : report.records)
+      allRecovered = allRecovered && rec.recovered;
+    xfer.addRow({TextTable::pct(p, 0),
+                 std::to_string(report.chunksFailed),
+                 allRecovered ? "yes" : "NO",
+                 report.allVerified ? "yes" : "NO",
+                 TextTable::num(static_cast<double>(report.bytesMoved) /
+                                    report.simulatedSeconds / 1e6,
+                                1)});
+  }
+  xfer.print(std::cout);
+  std::cout << "Paper anchor: average transfer rate above 200 MB/s with "
+               "transaction records enabling automatic recovery.\n\n";
+
+  // --- Ingestion model -------------------------------------------------------
+  TextTable ingest({"Streams", "Aggregate MB/s", "200 TB collection (days)"});
+  const IngestionModel model;
+  for (int streams : {1, 4, 16, 64}) {
+    ingest.addRow(
+        {std::to_string(streams),
+         TextTable::num(model.aggregateRate(streams) / 1e6, 1),
+         TextTable::num(model.ingestSeconds(200e12, streams) / 86400.0,
+                        1)});
+  }
+  ingest.print(std::cout);
+  std::cout << "Paper anchor: PIPUT reaches ~177 MB/s, >10x a single "
+               "iRODS iPUT stream, for the 200 TB digital collection.\n\n";
+
+  // --- Full pipeline ----------------------------------------------------------
+  ArchiveRegistry registry;
+  Pipeline pipeline;
+  pipeline.addStage("checksum+transfer", [&] {
+    TransferChannel channel(TransferConfig{});
+    const auto report = channel.transfer(src.string(), dst.string(), files);
+    if (!report.allVerified) throw Error("verification failed");
+    return std::to_string(report.filesMoved) + " files, " +
+           std::to_string(report.bytesMoved >> 20) + " MiB verified";
+  });
+  pipeline.addStage("ingest (PIPUT)", [&] {
+    for (const auto& f : files)
+      registry.ingestFile((dst / f).string(), "m8/surface", f, 2);
+    return std::to_string(registry.size()) + " entries registered";
+  });
+  pipeline.addStage("verify replicas", [&] {
+    for (const auto& f : files)
+      if (!registry.verify(f, (dst / f).string()))
+        throw Error("replica mismatch for " + f);
+    return "all replicas verified against registered MD5s";
+  });
+
+  const bool ok = pipeline.run();
+  TextTable stages({"Stage", "Status", "Detail"});
+  for (const auto& r : pipeline.results())
+    stages.addRow({r.name, r.ok ? "ok" : (r.ran ? "FAILED" : "skipped"),
+                   r.detail});
+  stages.print(std::cout);
+  std::cout << (ok ? "\nE2EaW pipeline completed.\n"
+                   : "\nE2EaW pipeline FAILED.\n");
+
+  std::filesystem::remove_all(root);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,203 @@
+// Mini-M8 end to end: the full AWP-ODC production pipeline of Fig 4/10 at
+// laptop scale —
+//   CVM2MESH    mesh extraction from the community velocity model,
+//   PetaMeshP   mesh partitioning (pre-partitioned files + checksums),
+//   DFR         spontaneous rupture on the planar fault (SGSN mode),
+//   dSrcG       moment-rate source generation (filter + segmented trace),
+//   PetaSrcP    spatial/temporal source partitioning,
+//   AWM         anelastic wave propagation with aggregated surface output
+//               and checkpointing,
+//   aVal-style  integrity checks, then
+//   E2EaW       transfer + archive ingestion of the products.
+
+#include <filesystem>
+#include <iostream>
+#include <unistd.h>
+
+#include "analysis/pgv.hpp"
+#include "core/solver.hpp"
+#include "io/checksum.hpp"
+#include "mesh/generator.hpp"
+#include "mesh/partitioner.hpp"
+#include "rupture/solver.hpp"
+#include "source/dsrcg.hpp"
+#include "source/petasrcp.hpp"
+#include "util/table.hpp"
+#include "vcluster/cluster.hpp"
+#include "workflow/archive.hpp"
+#include "workflow/e2eaw.hpp"
+#include "workflow/transfer.hpp"
+
+using namespace awp;
+
+int main() {
+  const auto work = std::filesystem::temp_directory_path() /
+                    ("awp_m8_e2e_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(work / "input");
+  std::filesystem::create_directories(work / "output");
+  std::filesystem::create_directories(work / "archive");
+
+  // Mini-M8 geometry: 120 x 60 x 24 km at 1.25 km (the paper: 810 x 405 x
+  // 85 km at 40 m).
+  const grid::GridDims dims{96, 48, 20};
+  const double h = 1250.0;
+  const double lx = dims.nx * h, ly = dims.ny * h;
+  const double faultY = 0.55 * ly;
+  const auto cvm = vmodel::CommunityVelocityModel::socal(lx, ly, faultY);
+  const auto trace = source::FaultTrace::bent(0.12 * lx, faultY,
+                                              0.88 * lx, faultY, 12, 3e3);
+  const int solverRanks = 8;
+  const vcluster::CartTopology topo(vcluster::CartTopology::balancedDims(
+      solverRanks, dims.nx, dims.ny, dims.nz));
+
+  const std::string meshPath = (work / "input" / "mesh.bin").string();
+  const std::string partsDir = (work / "input" / "parts").string();
+  const std::string srcDir = (work / "input" / "source").string();
+  const std::string surfacePath =
+      (work / "output" / "surface.bin").string();
+
+  rupture::FaultHistory fault;
+  std::vector<float> pgvhMap;
+  std::string meshChecksum;
+  double dt = 0.0;
+
+  workflow::Pipeline pipeline;
+
+  pipeline.addStage("CVM2MESH mesh generation", [&] {
+    vcluster::ThreadCluster::run(4, [&](vcluster::Communicator& comm) {
+      mesh::generateMesh(comm, cvm, {dims.nx, dims.ny, dims.nz, h, 0, 0},
+                         meshPath);
+    });
+    return std::to_string(mesh::meshFileSize(
+               {dims.nx, dims.ny, dims.nz, h, 0, 0}) >>
+           20) + " MiB mesh written";
+  });
+
+  pipeline.addStage("PetaMeshP partitioning + parallel MD5", [&] {
+    vcluster::ThreadCluster::run(
+        solverRanks, [&](vcluster::Communicator& comm) {
+          mesh::prePartitionMesh(comm, meshPath, topo, partsDir);
+          const auto block = mesh::readPrePartitioned(partsDir, comm.rank());
+          const auto sum = io::parallelMd5(
+              comm, std::as_bytes(std::span<const vmodel::Material>(
+                        block.points)));
+          if (comm.rank() == 0) meshChecksum = sum.collectionHex;
+        });
+    return std::to_string(solverRanks) +
+           " pre-partitioned blocks, collection MD5 " + meshChecksum;
+  });
+
+  pipeline.addStage("DFR spontaneous rupture (SGSN mode)", [&] {
+    fault = [&] {
+      rupture::RuptureConfig rc;
+      rc.globalDims = {130, 30, 34};
+      rc.h = 700.0;
+      rc.faultJ = 14;
+      rc.fi0 = 13;
+      rc.fi1 = 117;
+      rc.fk1 = rc.globalDims.nz - 1;
+      rc.fk0 = rc.fk1 - 20;
+      rc.stress.nucX = 0.15 * (rc.fi1 - rc.fi0) * rc.h;
+      rc.stress.nucZ = 8000.0;
+      rc.stress.nucRadius = 2500.0;
+      rc.stress.corrX = 12e3;
+      rc.stress.corrZ = 4e3;
+      rc.timeDecimation = 2;
+      rc.slipRateThreshold = 0.01;
+      rupture::FaultHistory out;
+      vcluster::ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+        vcluster::CartTopology rtopo(vcluster::Dims3{2, 1, 1});
+        rupture::DynamicRuptureSolver dfr(
+            comm, rtopo, rc, vmodel::LayeredModel::socalBackground());
+        dfr.run(480);
+        auto g = dfr.gather();
+        if (comm.rank() == 0) out = std::move(g);
+      });
+      return out;
+    }();
+    return "Mw " + TextTable::num(fault.momentMagnitude(), 2) +
+           ", mean slip " + TextTable::num(fault.averageSlip(), 2) + " m";
+  });
+
+  pipeline.addStage("dSrcG + PetaSrcP source preparation", [&] {
+    dt = 0.45 * h / 6800.0;
+    source::WaveModelTarget target{dims, h, dt};
+    source::FilterConfig filter;
+    filter.cutoffHz = 0.4 / dt / 10.0;
+    const auto sources = source::fromRupture(fault, trace, target, filter);
+    const auto info = source::partitionSources(sources, topo, dims,
+                                               /*stepsPerSegment=*/400,
+                                               srcDir);
+    return std::to_string(sources.size()) + " subfaults, " +
+           std::to_string(info.segments) + " temporal segments, max file " +
+           std::to_string(info.maxFileBytes >> 10) + " KiB";
+  });
+
+  pipeline.addStage("AWM wave propagation", [&] {
+    const std::size_t steps = 240;
+    vcluster::ThreadCluster::run(
+        solverRanks, [&](vcluster::Communicator& comm) {
+          const auto block = mesh::readPrePartitioned(partsDir, comm.rank());
+          core::SolverConfig config;
+          config.globalDims = dims;
+          config.h = h;
+          config.dt = dt;
+          core::WaveSolver solver(comm, topo, config, block);
+
+          // Load this rank's source segments (temporal locality).
+          const auto info = source::readPartitionInfo(srcDir);
+          for (int seg = 0; seg < info.segments; ++seg)
+            for (auto& s : source::loadSegment(srcDir, comm.rank(), seg))
+              solver.addSource(std::move(s));
+
+          io::SharedFile surface(surfacePath, io::SharedFile::Mode::Write);
+          core::SurfaceOutputConfig out;
+          out.file = &surface;
+          out.sampleEverySteps = 20;  // the M8 decimation choice
+          out.spatialDecimation = 2;
+          out.flushEverySamples = 5;
+          solver.attachSurfaceOutput(out);
+
+          solver.run(steps);
+          auto map = solver.surface().gatherPgvh(comm, topo);
+          if (comm.rank() == 0) pgvhMap = std::move(map);
+        });
+    const auto peak = analysis::mapPeak(pgvhMap, dims.nx, dims.ny);
+    return std::to_string(steps) + " steps; peak PGVH " +
+           TextTable::num(peak.value, 2) + " m/s";
+  });
+
+  pipeline.addStage("E2EaW transfer + archive", [&] {
+    workflow::TransferChannel channel(workflow::TransferConfig{});
+    const auto report = channel.transfer(
+        (work / "output").string(), (work / "archive").string(),
+        {"surface.bin"});
+    if (!report.allVerified) throw Error("transfer verification failed");
+    workflow::ArchiveRegistry registry;
+    registry.ingestFile((work / "archive" / "surface.bin").string(),
+                        "mini-m8", "surface.bin", 2);
+    return "surface volume archived (" +
+           std::to_string(report.bytesMoved >> 10) + " KiB, MD5 " +
+           registry.entry("surface.bin").md5Hex.substr(0, 8) + "...)";
+  });
+
+  const bool ok = pipeline.run();
+
+  std::cout << "=== mini-M8 end-to-end workflow ===\n\n";
+  TextTable table({"Stage", "Status", "Seconds", "Detail"});
+  for (const auto& r : pipeline.results())
+    table.addRow({r.name, r.ok ? "ok" : (r.ran ? "FAILED" : "skipped"),
+                  TextTable::num(r.seconds, 2), r.detail});
+  table.print(std::cout);
+
+  if (ok) {
+    const auto peak = analysis::mapPeak(pgvhMap, dims.nx, dims.ny);
+    const double peakDist = analysis::distanceToTrace(
+        peak.i * h, peak.j * h, trace);
+    std::cout << "\nPeak PGVH lies " << TextTable::num(peakDist / 1e3, 1)
+              << " km from the fault trace — the near-fault concentration "
+                 "of Fig 21.\n";
+  }
+  std::filesystem::remove_all(work);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Quickstart: simulate a small earthquake and record seismograms.
+//
+// This is the smallest end-to-end use of the public API:
+//   1. describe a velocity structure (a layered half-space),
+//   2. build a wave solver on a virtual cluster of 4 ranks,
+//   3. add a strike-slip point source and a few surface receivers,
+//   4. run, and print the recorded peak velocities.
+//
+// Build & run:  ./examples/quickstart
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/aval.hpp"
+#include "core/solver.hpp"
+#include "util/table.hpp"
+#include "vcluster/cluster.hpp"
+
+using namespace awp;
+
+int main() {
+  // A 12.8 x 12.8 x 6.4 km box at 200 m resolution.
+  core::SolverConfig config;
+  config.globalDims = {64, 64, 32};
+  config.h = 200.0;
+  config.absorbing = core::AbsorbingType::Pml;  // M-PML sides + bottom
+  config.pml.width = 10;
+
+  // Half-space rock: Vp 5.2 km/s, Vs 3.0 km/s, rho 2.7 g/cc.
+  const vmodel::Material rock{5196.0f, 3000.0f, 2700.0f};
+
+  std::vector<core::SeismogramTrace> traces;
+  double dt = 0.0;
+
+  vcluster::ThreadCluster::run(4, [&](vcluster::Communicator& comm) {
+    vcluster::CartTopology topo(vcluster::Dims3{2, 2, 1});
+    core::WaveSolver solver(comm, topo, config, rock);
+    dt = solver.config().dt;  // chosen automatically from the CFL limit
+
+    // A Mw ~4.9 strike-slip point source, 3 km deep, with a 2 Hz Ricker
+    // moment-rate time history.
+    const double m0 = 2.5e16;  // N·m
+    solver.addSource(core::strikeSlipPointSource(
+        32, 32, 32 - 15,
+        core::rickerWavelet(2.0, 0.8, dt, 400, m0 * 2.0 * 2.0 * M_PI)));
+
+    solver.addReceiver("epicenter", 32, 32);
+    solver.addReceiver("5km-east", 32 + 25, 32);
+    solver.addReceiver("5km-north", 32, 32 + 25);
+    solver.addReceiver("corner", 54, 54);
+
+    solver.run(400);
+
+    auto gathered = solver.receivers().gather(comm);
+    if (comm.rank() == 0) traces = std::move(gathered);
+  });
+
+  std::cout << "quickstart: 64x64x32 grid, dt = " << dt
+            << " s, 400 steps on 4 virtual ranks\n\n";
+  TextTable table({"Receiver", "PGV (m/s)", "PGVH (m/s)"});
+  for (const auto& t : traces)
+    table.addRow({t.name, TextTable::num(analysis::tracePgv(t), 4),
+                  TextTable::num(analysis::tracePgv(t, true), 4)});
+  table.print(std::cout);
+
+  std::cout << "\nNote the strike-slip radiation pattern: the receivers "
+               "east and north of a strike-slip source see different "
+               "horizontal/vertical partitioning.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Scaling explorer: interactive use of the performance model — given a
+// machine, problem size, and optimization set, print the expected time
+// breakdown and scaling curve. Usage:
+//
+//   ./examples/scaling_explorer [machine] [problem]
+//
+//   machine: Jaguar (default) | Kraken | Ranger | Intrepid | BGW | DataStar
+//   problem: m8 (default) | shakeout | terashake | bluewaters
+
+#include <iostream>
+#include <string>
+
+#include "perfmodel/machine.hpp"
+#include "perfmodel/model.hpp"
+#include "util/table.hpp"
+#include "vcluster/cart.hpp"
+
+using namespace awp;
+using namespace awp::perfmodel;
+
+int main(int argc, char** argv) {
+  const std::string machineName = argc > 1 ? argv[1] : "Jaguar";
+  const std::string problemName = argc > 2 ? argv[2] : "m8";
+
+  ProblemSize problem = m8Problem();
+  if (problemName == "shakeout") problem = shakeoutProblem();
+  if (problemName == "terashake") problem = terashakeProblem();
+  if (problemName == "bluewaters") problem = bluewatersBenchmarkProblem();
+
+  const auto& machine = machineByName(machineName);
+  ScalingModel model(machine, problem);
+
+  std::cout << "Machine: " << machine.name << " (" << machine.processor
+            << ", " << machine.interconnect << ")\n"
+            << "Problem: " << problem.nx << " x " << problem.ny << " x "
+            << problem.nz << " = " << problem.total() / 1e9
+            << "e9 grid points\n\n";
+
+  TextTable table({"Cores", "t/step v4.0 (s)", "t/step v7.2 (s)",
+                   "Tflop/s v7.2", "Eq.8 efficiency"});
+  const auto v40 = traitsOf(CodeVersion::V4_0);
+  const auto v72 = traitsOf(CodeVersion::V7_2);
+  for (int p = 256; p <= machine.coresUsed; p *= 4) {
+    const auto dims = vcluster::CartTopology::balancedDims(
+        p, problem.nx, problem.ny, problem.nz);
+    table.addRow({std::to_string(p),
+                  TextTable::num(model.perStep(v40, dims).total(), 4),
+                  TextTable::num(model.perStep(v72, dims).total(), 4),
+                  TextTable::num(model.sustainedTflops(v72, dims), 1),
+                  TextTable::pct(model.efficiencyEq8(dims), 1)});
+  }
+  {
+    const auto dims = vcluster::CartTopology::balancedDims(
+        machine.coresUsed, problem.nx, problem.ny, problem.nz);
+    table.addRow({std::to_string(machine.coresUsed),
+                  TextTable::num(model.perStep(v40, dims).total(), 4),
+                  TextTable::num(model.perStep(v72, dims).total(), 4),
+                  TextTable::num(model.sustainedTflops(v72, dims), 1),
+                  TextTable::pct(model.efficiencyEq8(dims), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nBreakdown at " << machine.coresUsed << " cores (v7.2):\n";
+  const auto dims = vcluster::CartTopology::balancedDims(
+      machine.coresUsed, problem.nx, problem.ny, problem.nz);
+  const auto t = model.perStep(v72, dims);
+  TextTable breakdown({"Phase", "Seconds", "Share"});
+  breakdown.addRow({"compute", TextTable::num(t.comp, 4),
+                    TextTable::pct(t.comp / t.total(), 1)});
+  breakdown.addRow({"communication", TextTable::num(t.comm, 5),
+                    TextTable::pct(t.comm / t.total(), 1)});
+  breakdown.addRow({"synchronization", TextTable::num(t.sync, 5),
+                    TextTable::pct(t.sync / t.total(), 1)});
+  breakdown.addRow({"output", TextTable::num(t.output, 5),
+                    TextTable::pct(t.output / t.total(), 1)});
+  breakdown.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "analysis/aval.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace awp::analysis {
+
+AcceptanceResult acceptanceTest(
+    const std::vector<core::SeismogramTrace>& candidate,
+    const std::vector<core::SeismogramTrace>& reference, double tolerance) {
+  AcceptanceResult result;
+  result.pass = true;
+
+  for (const auto& ref : reference) {
+    const core::SeismogramTrace* cand = nullptr;
+    for (const auto& c : candidate)
+      if (c.name == ref.name) {
+        cand = &c;
+        break;
+      }
+    AWP_CHECK_MSG(cand != nullptr,
+                  "candidate is missing reference trace '" + ref.name + "'");
+
+    auto concat = [](const core::SeismogramTrace& t) {
+      std::vector<double> all;
+      all.reserve(3 * t.u.size());
+      for (float v : t.u) all.push_back(v);
+      for (float v : t.v) all.push_back(v);
+      for (float v : t.w) all.push_back(v);
+      return all;
+    };
+    const auto a = concat(*cand);
+    const auto b = concat(ref);
+    AWP_CHECK_MSG(a.size() == b.size(),
+                  "trace length mismatch for '" + ref.name + "'");
+    const double misfit = l2Misfit(a, b);
+    result.perTraceMisfit.push_back(misfit);
+    if (misfit > result.worstMisfit) {
+      result.worstMisfit = misfit;
+      result.worstTrace = ref.name;
+    }
+    if (misfit > tolerance) result.pass = false;
+  }
+  return result;
+}
+
+double tracePgv(const core::SeismogramTrace& t, bool horizontalOnly) {
+  double peak = 0.0;
+  for (std::size_t n = 0; n < t.u.size(); ++n) {
+    double v2 = static_cast<double>(t.u[n]) * t.u[n] +
+                static_cast<double>(t.v[n]) * t.v[n];
+    if (!horizontalOnly) v2 += static_cast<double>(t.w[n]) * t.w[n];
+    peak = std::max(peak, v2);
+  }
+  return std::sqrt(peak);
+}
+
+}  // namespace awp::analysis

@@ -1,0 +1,34 @@
+#pragma once
+// aVal: the automated verification toolkit (§III.H). "We have developed a
+// multi-step process of configuring a reference problem, running a
+// simulation, and comparing results against a reference solution. This
+// test uses a simple least-squares (L2 norm) fit of the waveforms from
+// the new simulation and the 'correct' result in the reference solution."
+
+#include <string>
+#include <vector>
+
+#include "core/receivers.hpp"
+
+namespace awp::analysis {
+
+struct AcceptanceResult {
+  bool pass = false;
+  double worstMisfit = 0.0;
+  std::string worstTrace;
+  std::vector<double> perTraceMisfit;
+};
+
+// Compare candidate traces against reference traces (matched by name;
+// every reference trace must be present). The misfit per trace is the
+// relative L2 norm over the concatenated three components; the test
+// passes if every misfit is below `tolerance`.
+AcceptanceResult acceptanceTest(
+    const std::vector<core::SeismogramTrace>& candidate,
+    const std::vector<core::SeismogramTrace>& reference, double tolerance);
+
+// Peak ground velocity of one trace [m/s]: max over time of the 3-component
+// magnitude (or horizontal magnitude if `horizontalOnly`).
+double tracePgv(const core::SeismogramTrace& t, bool horizontalOnly = false);
+
+}  // namespace awp::analysis

@@ -1,0 +1,33 @@
+#include "analysis/gmpe.hpp"
+
+#include <cmath>
+
+namespace awp::analysis {
+
+double Gmpe::medianPgv(double mw, double rjbKm) const {
+  const double r = std::sqrt(rjbKm * rjbKm + h * h);
+  const double lnY = a1 + a2 * (mw - 6.75) +
+                     (b1 + b2 * (mw - 4.5)) * std::log(r) + b3 * (r - 1.0);
+  return std::exp(lnY);
+}
+
+double Gmpe::pgvAtEpsilon(double mw, double rjbKm, double epsilon) const {
+  return medianPgv(mw, rjbKm) * std::exp(epsilon * sigmaLn);
+}
+
+double Gmpe::poe(double mw, double rjbKm, double pgvCmS) const {
+  if (pgvCmS <= 0.0) return 1.0;
+  const double z =
+      (std::log(pgvCmS) - std::log(medianPgv(mw, rjbKm))) / sigmaLn;
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+Gmpe ba08Like() {
+  return Gmpe{"B&A08", 4.00, 0.70, -0.8737, 0.1006, -0.00334, 2.54, 0.56};
+}
+
+Gmpe cb08Like() {
+  return Gmpe{"C&B08", 4.15, 0.65, -0.9500, 0.1100, -0.00250, 4.00, 0.53};
+}
+
+}  // namespace awp::analysis

@@ -1,0 +1,110 @@
+#include "analysis/pgv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace awp::analysis {
+
+double distanceToTrace(double x, double y, const source::FaultTrace& trace) {
+  // Sample the polyline densely enough relative to its length; exact
+  // point-segment projection over the sampled vertices.
+  constexpr std::size_t kSamples = 256;
+  double best = std::numeric_limits<double>::max();
+  source::TracePoint prev = trace.at(0.0).position;
+  for (std::size_t s = 1; s <= kSamples; ++s) {
+    const auto cur =
+        trace.at(trace.length() * static_cast<double>(s) / kSamples)
+            .position;
+    const double vx = cur.x - prev.x, vy = cur.y - prev.y;
+    const double len2 = vx * vx + vy * vy;
+    double t = 0.0;
+    if (len2 > 0.0)
+      t = std::clamp(((x - prev.x) * vx + (y - prev.y) * vy) / len2, 0.0,
+                     1.0);
+    const double px = prev.x + t * vx, py = prev.y + t * vy;
+    best = std::min(best, std::hypot(x - px, y - py));
+    prev = cur;
+  }
+  return best;
+}
+
+std::vector<DistanceBin> pgvVsDistance(
+    const std::vector<float>& pgvMap, std::size_t nx, std::size_t ny,
+    double h, const source::FaultTrace& trace,
+    const std::function<bool(std::size_t, std::size_t)>& sitePredicate,
+    const std::vector<double>& binEdgesKm) {
+  AWP_CHECK(pgvMap.size() == nx * ny);
+  AWP_CHECK(binEdgesKm.size() >= 2);
+
+  std::vector<std::vector<double>> lnValues(binEdgesKm.size() - 1);
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i) {
+      const float v = pgvMap[i + nx * j];
+      if (v <= 0.0f) continue;
+      if (sitePredicate && !sitePredicate(i, j)) continue;
+      const double rKm = distanceToTrace(static_cast<double>(i) * h,
+                                         static_cast<double>(j) * h, trace) /
+                         1000.0;
+      for (std::size_t b = 0; b + 1 < binEdgesKm.size(); ++b) {
+        if (rKm >= binEdgesKm[b] && rKm < binEdgesKm[b + 1]) {
+          lnValues[b].push_back(std::log(static_cast<double>(v) * 100.0));
+          break;
+        }
+      }
+    }
+
+  std::vector<DistanceBin> bins;
+  for (std::size_t b = 0; b + 1 < binEdgesKm.size(); ++b) {
+    DistanceBin bin;
+    bin.rLoKm = binEdgesKm[b];
+    bin.rHiKm = binEdgesKm[b + 1];
+    bin.count = lnValues[b].size();
+    if (bin.count > 0) {
+      bin.medianCmS = std::exp(median(lnValues[b]));
+      bin.p16CmS = std::exp(percentile(lnValues[b], 16.0));
+      bin.p84CmS = std::exp(percentile(lnValues[b], 84.0));
+    }
+    bins.push_back(bin);
+  }
+  return bins;
+}
+
+MapPeak mapPeak(const std::vector<float>& map, std::size_t nx,
+                std::size_t ny) {
+  AWP_CHECK(map.size() == nx * ny);
+  MapPeak peak;
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i) {
+      const float v = map[i + nx * j];
+      if (v > peak.value) {
+        peak.value = v;
+        peak.i = i;
+        peak.j = j;
+      }
+    }
+  return peak;
+}
+
+double meanWithinDistance(const std::vector<float>& map, std::size_t nx,
+                          std::size_t ny, double h,
+                          const source::FaultTrace& trace, double rLoKm,
+                          double rHiKm) {
+  AWP_CHECK(map.size() == nx * ny);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double rKm = distanceToTrace(static_cast<double>(i) * h,
+                                         static_cast<double>(j) * h, trace) /
+                         1000.0;
+      if (rKm < rLoKm || rKm >= rHiKm) continue;
+      sum += map[i + nx * j];
+      ++count;
+    }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace awp::analysis

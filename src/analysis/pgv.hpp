@@ -1,0 +1,47 @@
+#pragma once
+// PGV map analysis: distance-to-fault computation, rock-site selection,
+// and the distance-binned median / ±1σ statistics of Fig 23, plus simple
+// map reductions used by the TeraShake/ShakeOut/M8 science benches.
+
+#include <functional>
+#include <vector>
+
+#include "source/trace.hpp"
+
+namespace awp::analysis {
+
+// Minimum distance [m] from (x, y) to the fault trace polyline.
+double distanceToTrace(double x, double y, const source::FaultTrace& trace);
+
+struct DistanceBin {
+  double rLoKm = 0.0, rHiKm = 0.0;
+  double medianCmS = 0.0;   // of ln-PGV (geometric median)
+  double p16CmS = 0.0, p84CmS = 0.0;
+  std::size_t count = 0;
+};
+
+// Bin a surface PGV map [m/s] (nx-by-ny, x fastest, spacing h) by distance
+// to the trace. `sitePredicate(i, j)` selects which cells participate
+// (e.g. the Fig 23 rock-site mask); pgv values of zero are skipped.
+// Returns geometric median and 16/84 percentiles per bin, in cm/s.
+std::vector<DistanceBin> pgvVsDistance(
+    const std::vector<float>& pgvMap, std::size_t nx, std::size_t ny,
+    double h, const source::FaultTrace& trace,
+    const std::function<bool(std::size_t, std::size_t)>& sitePredicate,
+    const std::vector<double>& binEdgesKm);
+
+// Peak value of a map and its location.
+struct MapPeak {
+  float value = 0.0f;
+  std::size_t i = 0, j = 0;
+};
+MapPeak mapPeak(const std::vector<float>& map, std::size_t nx,
+                std::size_t ny);
+
+// Mean of the map over cells within [rLoKm, rHiKm] of the trace.
+double meanWithinDistance(const std::vector<float>& map, std::size_t nx,
+                          std::size_t ny, double h,
+                          const source::FaultTrace& trace, double rLoKm,
+                          double rHiKm);
+
+}  // namespace awp::analysis

@@ -1,0 +1,94 @@
+#include "analysis/products.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "io/shared_file.hpp"
+#include "mesh/partitioner.hpp"
+#include "util/error.hpp"
+
+namespace awp::analysis {
+
+SurfaceLayout surfaceLayoutFor(const vcluster::CartTopology& topo,
+                               const grid::GridDims& global,
+                               int spatialDecimation) {
+  AWP_CHECK(spatialDecimation >= 1);
+  const auto dec = static_cast<std::size_t>(spatialDecimation);
+  auto decFirst = [&](std::size_t begin) { return (begin + dec - 1) / dec; };
+  auto decCount = [&](vcluster::Range r) {
+    return (r.end + dec - 1) / dec - decFirst(r.begin);
+  };
+
+  SurfaceLayout layout;
+  layout.gnx = (global.nx + dec - 1) / dec;
+  layout.gny = (global.ny + dec - 1) / dec;
+  const mesh::MeshSpec spec{global.nx, global.ny, global.nz, 1.0, 0, 0};
+  for (int r = 0; r < topo.size(); ++r) {
+    const auto sub = mesh::subdomainFor(topo, spec, r);
+    if (sub.z.end != global.nz) continue;  // not a surface rank
+    SurfaceLayout::RankBlock block;
+    block.offsetFloats = layout.stepFloats;
+    block.nx = decCount(sub.x);
+    block.ny = decCount(sub.y);
+    block.x0 = decFirst(sub.x.begin);
+    block.y0 = decFirst(sub.y.begin);
+    layout.blocks.push_back(block);
+    layout.stepFloats += 3ULL * block.nx * block.ny;
+  }
+  return layout;
+}
+
+double writePgm(const std::vector<float>& map, std::size_t nx,
+                std::size_t ny, const std::string& path, double gamma) {
+  AWP_CHECK(map.size() == nx * ny);
+  AWP_CHECK(gamma > 0.0);
+  float peak = 0.0f;
+  for (float v : map) peak = std::max(peak, v);
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write '" + path + "'");
+  out << "P5\n" << nx << " " << ny << "\n255\n";
+  std::vector<unsigned char> row(nx);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double f =
+          peak > 0.0f ? map[i + nx * j] / static_cast<double>(peak) : 0.0;
+      row[i] = static_cast<unsigned char>(
+          std::lround(255.0 * std::pow(std::clamp(f, 0.0, 1.0), gamma)));
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  return peak;
+}
+
+std::vector<float> readSurfaceSnapshot(const std::string& path,
+                                       const SurfaceLayout& layout,
+                                       std::size_t sample) {
+  io::SharedFile file(path, io::SharedFile::Mode::Read);
+  AWP_CHECK_MSG(sample < layout.sampleCount(file.size()),
+                "sample index beyond the end of the surface file");
+
+  std::vector<float> snapshot(layout.gnx * layout.gny, 0.0f);
+  for (const auto& block : layout.blocks) {
+    std::vector<float> data(3 * block.nx * block.ny);
+    const std::uint64_t offsetBytes =
+        (static_cast<std::uint64_t>(sample) * layout.stepFloats +
+         block.offsetFloats) *
+        sizeof(float);
+    file.readAt(offsetBytes, std::span<float>(data));
+    std::size_t at = 0;
+    for (std::size_t j = 0; j < block.ny; ++j)
+      for (std::size_t i = 0; i < block.nx; ++i) {
+        const float u = data[at++];
+        const float v = data[at++];
+        const float w = data[at++];
+        snapshot[(block.x0 + i) + layout.gnx * (block.y0 + j)] =
+            std::sqrt(u * u + v * v + w * w);
+      }
+  }
+  return snapshot;
+}
+
+}  // namespace awp::analysis

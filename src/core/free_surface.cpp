@@ -1,0 +1,41 @@
+#include "core/free_surface.hpp"
+
+namespace awp::core {
+
+using grid::kHalo;
+
+void FreeSurface::applyVelocityImages(grid::StaggeredGrid& g) const {
+  if (!active_) return;
+  const std::size_t T = kHalo + g.dims().nz - 1;  // surface plane (w level)
+  for (std::size_t j = kHalo; j < kHalo + g.dims().ny; ++j)
+    for (std::size_t i = kHalo; i < kHalo + g.dims().nx; ++i) {
+      const float l = g.lam(i, j, T);
+      const float m = g.mu(i, j, T);
+      const float hexx = g.u(i + 1, j, T) - g.u(i, j, T);
+      const float heyy = g.v(i, j, T) - g.v(i, j - 1, T);
+      g.w(i, j, T + 1) =
+          g.w(i, j, T) - l / (l + 2.0f * m) * (hexx + heyy);
+      // Second image plane: linear continuation of the constrained strain.
+      g.w(i, j, T + 2) = g.w(i, j, T + 1);
+    }
+}
+
+void FreeSurface::applyStressImages(grid::StaggeredGrid& g) const {
+  if (!active_) return;
+  const std::size_t T = kHalo + g.dims().nz - 1;
+  for (std::size_t j = kHalo; j < kHalo + g.dims().ny; ++j)
+    for (std::size_t i = kHalo; i < kHalo + g.dims().nx; ++i) {
+      // Shear tractions vanish on the surface plane; antisymmetric above.
+      g.xz(i, j, T) = 0.0f;
+      g.yz(i, j, T) = 0.0f;
+      g.xz(i, j, T + 1) = -g.xz(i, j, T - 1);
+      g.yz(i, j, T + 1) = -g.yz(i, j, T - 1);
+      g.xz(i, j, T + 2) = -g.xz(i, j, T - 2);
+      g.yz(i, j, T + 2) = -g.yz(i, j, T - 2);
+      // σzz sits half a cell below the surface: odd images about T + 1/2.
+      g.zz(i, j, T + 1) = -g.zz(i, j, T);
+      g.zz(i, j, T + 2) = -g.zz(i, j, T - 1);
+    }
+}
+
+}  // namespace awp::core

@@ -1,0 +1,32 @@
+#pragma once
+// FS2 free-surface boundary condition (§II.E): a zero-stress condition
+// "defined at the vertical level of the σxz and σyz stresses"
+// (Gottschammer & Olsen 2001). In our staggering w, xz, yz sit at
+// k + 1/2, so the free surface coincides with the topmost xz/yz/w plane:
+//   * σxz = σyz = 0 on the surface plane, antisymmetric images above;
+//   * σzz antisymmetric about the surface (it sits half a cell below);
+//   * the w image above the surface is set from the zero-σzz constraint
+//     ezz = -λ/(λ+2μ)(exx + eyy).
+
+#include "core/geometry.hpp"
+#include "grid/staggered_grid.hpp"
+
+namespace awp::core {
+
+class FreeSurface {
+ public:
+  explicit FreeSurface(const DomainGeometry& geom, bool enabled = true)
+      : active_(enabled && geom.touchesTop()) {}
+
+  // Call after the velocity update + exchange, before the stress update.
+  void applyVelocityImages(grid::StaggeredGrid& g) const;
+  // Call after the stress update, before the next velocity update.
+  void applyStressImages(grid::StaggeredGrid& g) const;
+
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  bool active_;
+};
+
+}  // namespace awp::core

@@ -1,0 +1,63 @@
+#pragma once
+// Where a rank's subdomain sits inside the global volume — needed by the
+// boundary conditions (which only act on ranks touching a physical face)
+// and by source injection / receiver extraction (global -> local index
+// mapping).
+//
+// Axis convention: global k = 0 is the BOTTOM of the model; the free
+// surface is the global top plane k = global.nz - 1 (grids store k
+// increasing upward).
+
+#include "grid/staggered_grid.hpp"
+#include "mesh/partitioner.hpp"
+
+namespace awp::core {
+
+struct DomainGeometry {
+  grid::GridDims global;
+  mesh::SubdomainSpec local;  // global index ranges owned by this rank
+
+  [[nodiscard]] bool touchesXMin() const { return local.x.begin == 0; }
+  [[nodiscard]] bool touchesXMax() const { return local.x.end == global.nx; }
+  [[nodiscard]] bool touchesYMin() const { return local.y.begin == 0; }
+  [[nodiscard]] bool touchesYMax() const { return local.y.end == global.ny; }
+  [[nodiscard]] bool touchesBottom() const { return local.z.begin == 0; }
+  [[nodiscard]] bool touchesTop() const { return local.z.end == global.nz; }
+
+  // Global index of a local raw index along each axis.
+  [[nodiscard]] std::size_t globalX(std::size_t rawI) const {
+    return local.x.begin + rawI - grid::kHalo;
+  }
+  [[nodiscard]] std::size_t globalY(std::size_t rawJ) const {
+    return local.y.begin + rawJ - grid::kHalo;
+  }
+  [[nodiscard]] std::size_t globalZ(std::size_t rawK) const {
+    return local.z.begin + rawK - grid::kHalo;
+  }
+
+  // True if this rank owns global point (gi, gj, gk); if so the local raw
+  // indices are returned through the out parameters.
+  [[nodiscard]] bool owns(std::size_t gi, std::size_t gj, std::size_t gk,
+                          std::size_t& li, std::size_t& lj,
+                          std::size_t& lk) const {
+    if (gi < local.x.begin || gi >= local.x.end) return false;
+    if (gj < local.y.begin || gj >= local.y.end) return false;
+    if (gk < local.z.begin || gk >= local.z.end) return false;
+    li = gi - local.x.begin + grid::kHalo;
+    lj = gj - local.y.begin + grid::kHalo;
+    lk = gk - local.z.begin + grid::kHalo;
+    return true;
+  }
+
+  // Single-rank geometry covering the whole volume.
+  static DomainGeometry single(const grid::GridDims& dims) {
+    DomainGeometry g;
+    g.global = dims;
+    g.local.x = {0, dims.nx};
+    g.local.y = {0, dims.ny};
+    g.local.z = {0, dims.nz};
+    return g;
+  }
+};
+
+}  // namespace awp::core

@@ -1,0 +1,422 @@
+#include "core/kernels.hpp"
+
+#include "util/error.hpp"
+
+namespace awp::core {
+
+namespace {
+
+using grid::StaggeredGrid;
+
+constexpr float kC1 = 9.0f / 8.0f;
+constexpr float kC2 = -1.0f / 24.0f;
+
+// ---------------------------------------------------------------------------
+// Velocity rows. dth = dt / h.
+// ---------------------------------------------------------------------------
+
+inline void rowU(StaggeredGrid& g, std::size_t j, std::size_t k,
+                 std::size_t i0, std::size_t i1, float dth) {
+  auto& u = g.u;
+  const auto& xx = g.xx;
+  const auto& xy = g.xy;
+  const auto& xz = g.xz;
+  const auto& rho = g.rho;
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float d = 0.5f * (rho(i, j, k) + rho(i - 1, j, k));
+    u(i, j, k) +=
+        (dth / d) *
+        (kC1 * (xx(i, j, k) - xx(i - 1, j, k)) +
+         kC2 * (xx(i + 1, j, k) - xx(i - 2, j, k)) +
+         kC1 * (xy(i, j, k) - xy(i, j - 1, k)) +
+         kC2 * (xy(i, j + 1, k) - xy(i, j - 2, k)) +
+         kC1 * (xz(i, j, k) - xz(i, j, k - 1)) +
+         kC2 * (xz(i, j, k + 1) - xz(i, j, k - 2)));
+  }
+}
+
+inline void rowV(StaggeredGrid& g, std::size_t j, std::size_t k,
+                 std::size_t i0, std::size_t i1, float dth) {
+  auto& v = g.v;
+  const auto& xy = g.xy;
+  const auto& yy = g.yy;
+  const auto& yz = g.yz;
+  const auto& rho = g.rho;
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float d = 0.5f * (rho(i, j, k) + rho(i, j + 1, k));
+    v(i, j, k) +=
+        (dth / d) *
+        (kC1 * (xy(i + 1, j, k) - xy(i, j, k)) +
+         kC2 * (xy(i + 2, j, k) - xy(i - 1, j, k)) +
+         kC1 * (yy(i, j + 1, k) - yy(i, j, k)) +
+         kC2 * (yy(i, j + 2, k) - yy(i, j - 1, k)) +
+         kC1 * (yz(i, j, k) - yz(i, j, k - 1)) +
+         kC2 * (yz(i, j, k + 1) - yz(i, j, k - 2)));
+  }
+}
+
+inline void rowW(StaggeredGrid& g, std::size_t j, std::size_t k,
+                 std::size_t i0, std::size_t i1, float dth) {
+  auto& w = g.w;
+  const auto& xz = g.xz;
+  const auto& yz = g.yz;
+  const auto& zz = g.zz;
+  const auto& rho = g.rho;
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float d = 0.5f * (rho(i, j, k) + rho(i, j, k + 1));
+    w(i, j, k) +=
+        (dth / d) *
+        (kC1 * (xz(i + 1, j, k) - xz(i, j, k)) +
+         kC2 * (xz(i + 2, j, k) - xz(i - 1, j, k)) +
+         kC1 * (yz(i, j, k) - yz(i, j - 1, k)) +
+         kC2 * (yz(i, j + 1, k) - yz(i, j - 2, k)) +
+         kC1 * (zz(i, j, k + 1) - zz(i, j, k)) +
+         kC2 * (zz(i, j, k + 2) - zz(i, j, k - 1)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Memory-variable update for one stress component (coarse-grained constant
+// Q, §II.A). `a` is the elastic stress increment for this step; returns the
+// anelastic correction to add to the stress.
+// ---------------------------------------------------------------------------
+
+inline float attenuate(float& r, float tau, float qinv, float a, float dt) {
+  const float htau = 0.5f * dt / tau;
+  const float rNew = (r * (1.0f - htau) - qinv * a / tau) / (1.0f + htau);
+  const float corr = 0.5f * dt * (rNew + r);
+  r = rNew;
+  return corr;
+}
+
+// ---------------------------------------------------------------------------
+// Stress rows. Template parameters select the §IV.B arithmetic variant and
+// whether attenuation is active (compile-time to keep the inner loop tight).
+// ---------------------------------------------------------------------------
+
+template <bool Atten>
+inline void rowNormal(StaggeredGrid& g, std::size_t j, std::size_t k,
+                      std::size_t i0, std::size_t i1, float dth, float dt) {
+  const auto& u = g.u;
+  const auto& v = g.v;
+  const auto& w = g.w;
+  auto& xx = g.xx;
+  auto& yy = g.yy;
+  auto& zz = g.zz;
+  const auto& lam = g.lam;
+  const auto& mu = g.mu;
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float exx = kC1 * (u(i + 1, j, k) - u(i, j, k)) +
+                      kC2 * (u(i + 2, j, k) - u(i - 1, j, k));
+    const float eyy = kC1 * (v(i, j, k) - v(i, j - 1, k)) +
+                      kC2 * (v(i, j + 1, k) - v(i, j - 2, k));
+    const float ezz = kC1 * (w(i, j, k) - w(i, j, k - 1)) +
+                      kC2 * (w(i, j, k + 1) - w(i, j, k - 2));
+    const float tr = exx + eyy + ezz;
+    const float l = lam(i, j, k);
+    const float m2 = 2.0f * mu(i, j, k);
+    float axx = dth * (l * tr + m2 * exx);
+    float ayy = dth * (l * tr + m2 * eyy);
+    float azz = dth * (l * tr + m2 * ezz);
+    if constexpr (Atten) {
+      const float tau = g.tauSigma(i, j, k);
+      const float qinv = g.qpInv(i, j, k);
+      axx += attenuate(g.rxx(i, j, k), tau, qinv, axx, dt);
+      ayy += attenuate(g.ryy(i, j, k), tau, qinv, ayy, dt);
+      azz += attenuate(g.rzz(i, j, k), tau, qinv, azz, dt);
+    }
+    xx(i, j, k) += axx;
+    yy(i, j, k) += ayy;
+    zz(i, j, k) += azz;
+  }
+}
+
+// Harmonic mean of μ over the 4 cells adjacent to a shear-stress node.
+// Recip = true reads the stored reciprocals (1 division); false recomputes
+// 1/μ per use (5 divisions) — the pre-v6.0 arithmetic (§IV.B).
+template <bool Recip>
+inline float muShear(const StaggeredGrid& g, std::size_t ia, std::size_t ja,
+                     std::size_t ka, std::size_t ib, std::size_t jb,
+                     std::size_t kb, std::size_t ic, std::size_t jc,
+                     std::size_t kc, std::size_t id, std::size_t jd,
+                     std::size_t kd) {
+  if constexpr (Recip) {
+    return 4.0f / (g.mui(ia, ja, ka) + g.mui(ib, jb, kb) +
+                   g.mui(ic, jc, kc) + g.mui(id, jd, kd));
+  } else {
+    return 4.0f / (1.0f / g.mu(ia, ja, ka) + 1.0f / g.mu(ib, jb, kb) +
+                   1.0f / g.mu(ic, jc, kc) + 1.0f / g.mu(id, jd, kd));
+  }
+}
+
+template <bool Recip, bool Atten>
+inline void pointXY(StaggeredGrid& g, std::size_t i, std::size_t j,
+                    std::size_t k, float dth, float dt) {
+  const float m = muShear<Recip>(g, i - 1, j, k, i, j, k, i - 1, j + 1, k, i,
+                                 j + 1, k);
+  const float exy = kC1 * (g.u(i, j + 1, k) - g.u(i, j, k)) +
+                    kC2 * (g.u(i, j + 2, k) - g.u(i, j - 1, k)) +
+                    kC1 * (g.v(i, j, k) - g.v(i - 1, j, k)) +
+                    kC2 * (g.v(i + 1, j, k) - g.v(i - 2, j, k));
+  float a = dth * m * exy;
+  if constexpr (Atten) {
+    a += attenuate(g.rxy(i, j, k), g.tauSigma(i, j, k), g.qsInv(i, j, k), a,
+                   dt);
+  }
+  g.xy(i, j, k) += a;
+}
+
+template <bool Recip, bool Atten>
+inline void pointXZ(StaggeredGrid& g, std::size_t i, std::size_t j,
+                    std::size_t k, float dth, float dt) {
+  const float m = muShear<Recip>(g, i - 1, j, k, i, j, k, i - 1, j, k + 1, i,
+                                 j, k + 1);
+  const float exz = kC1 * (g.u(i, j, k + 1) - g.u(i, j, k)) +
+                    kC2 * (g.u(i, j, k + 2) - g.u(i, j, k - 1)) +
+                    kC1 * (g.w(i, j, k) - g.w(i - 1, j, k)) +
+                    kC2 * (g.w(i + 1, j, k) - g.w(i - 2, j, k));
+  float a = dth * m * exz;
+  if constexpr (Atten) {
+    a += attenuate(g.rxz(i, j, k), g.tauSigma(i, j, k), g.qsInv(i, j, k), a,
+                   dt);
+  }
+  g.xz(i, j, k) += a;
+}
+
+template <bool Recip, bool Atten>
+inline void pointYZ(StaggeredGrid& g, std::size_t i, std::size_t j,
+                    std::size_t k, float dth, float dt) {
+  const float m = muShear<Recip>(g, i, j, k, i, j + 1, k, i, j, k + 1, i,
+                                 j + 1, k + 1);
+  const float eyz = kC1 * (g.v(i, j, k + 1) - g.v(i, j, k)) +
+                    kC2 * (g.v(i, j, k + 2) - g.v(i, j, k - 1)) +
+                    kC1 * (g.w(i, j + 1, k) - g.w(i, j, k)) +
+                    kC2 * (g.w(i, j + 2, k) - g.w(i, j - 1, k));
+  float a = dth * m * eyz;
+  if constexpr (Atten) {
+    a += attenuate(g.ryz(i, j, k), g.tauSigma(i, j, k), g.qsInv(i, j, k), a,
+                   dt);
+  }
+  g.yz(i, j, k) += a;
+}
+
+template <bool Recip, bool Atten>
+inline void rowXY(StaggeredGrid& g, std::size_t j, std::size_t k,
+                  std::size_t i0, std::size_t i1, float dth, float dt,
+                  bool unrolled) {
+  if (unrolled) {
+    // Manual 2x unroll — "unrolling by 2 iterations gives the best
+    // performance for the computing-intensive subroutines xyq and xzq".
+    std::size_t i = i0;
+    for (; i + 1 < i1; i += 2) {
+      pointXY<Recip, Atten>(g, i, j, k, dth, dt);
+      pointXY<Recip, Atten>(g, i + 1, j, k, dth, dt);
+    }
+    if (i < i1) pointXY<Recip, Atten>(g, i, j, k, dth, dt);
+  } else {
+    for (std::size_t i = i0; i < i1; ++i)
+      pointXY<Recip, Atten>(g, i, j, k, dth, dt);
+  }
+}
+
+template <bool Recip, bool Atten>
+inline void rowXZ(StaggeredGrid& g, std::size_t j, std::size_t k,
+                  std::size_t i0, std::size_t i1, float dth, float dt,
+                  bool unrolled) {
+  if (unrolled) {
+    std::size_t i = i0;
+    for (; i + 1 < i1; i += 2) {
+      pointXZ<Recip, Atten>(g, i, j, k, dth, dt);
+      pointXZ<Recip, Atten>(g, i + 1, j, k, dth, dt);
+    }
+    if (i < i1) pointXZ<Recip, Atten>(g, i, j, k, dth, dt);
+  } else {
+    for (std::size_t i = i0; i < i1; ++i)
+      pointXZ<Recip, Atten>(g, i, j, k, dth, dt);
+  }
+}
+
+template <bool Recip, bool Atten>
+inline void rowYZ(StaggeredGrid& g, std::size_t j, std::size_t k,
+                  std::size_t i0, std::size_t i1, float dth, float dt) {
+  for (std::size_t i = i0; i < i1; ++i)
+    pointYZ<Recip, Atten>(g, i, j, k, dth, dt);
+}
+
+// ---------------------------------------------------------------------------
+// Loop drivers: plain j/k double loop, or the §IV.B kblock/jblock tiling
+// ("the values of kblock and jblock are chosen to guarantee that the
+// operands on subsequent planes are still in cache").
+// ---------------------------------------------------------------------------
+
+template <typename RowFn>
+void driveRange(std::size_t k0, std::size_t k1, const Region& r,
+                const KernelOptions& o, RowFn&& row) {
+  if (!o.cacheBlocked) {
+    for (std::size_t k = k0; k < k1; ++k)
+      for (std::size_t j = r.j0; j < r.j1; ++j) row(j, k);
+    return;
+  }
+  const auto kb = static_cast<std::size_t>(o.kblock);
+  const auto jb = static_cast<std::size_t>(o.jblock);
+  for (std::size_t kk = k0; kk < k1; kk += kb)
+    for (std::size_t jj = r.j0; jj < r.j1; jj += jb)
+      for (std::size_t k = kk; k < std::min(kk + kb, k1); ++k)
+        for (std::size_t j = jj; j < std::min(jj + jb, r.j1); ++j) row(j, k);
+}
+
+template <typename RowFn>
+void driveLoops(const Region& r, const KernelOptions& o, RowFn&& row) {
+  if (o.pool == nullptr) {
+    driveRange(r.k0, r.k1, r, o, row);
+    return;
+  }
+  // Hybrid mode (§IV.D): k-slabs across the intra-rank threads. Rows only
+  // write their own (j, k) cells, so slabs are data-race free.
+  o.pool->parallelFor(r.k0, r.k1,
+                      [&](std::size_t k0, std::size_t k1) {
+                        driveRange(k0, k1, r, o, row);
+                      });
+}
+
+}  // namespace
+
+void updateVelocity(grid::StaggeredGrid& g, VelocityComponent comp,
+                    const KernelOptions& opts, const Region& r) {
+  const float dth = static_cast<float>(g.dt() / g.h());
+  switch (comp) {
+    case VelocityComponent::U:
+      driveLoops(r, opts,
+                 [&](std::size_t j, std::size_t k) {
+                   rowU(g, j, k, r.i0, r.i1, dth);
+                 });
+      break;
+    case VelocityComponent::V:
+      driveLoops(r, opts,
+                 [&](std::size_t j, std::size_t k) {
+                   rowV(g, j, k, r.i0, r.i1, dth);
+                 });
+      break;
+    case VelocityComponent::W:
+      driveLoops(r, opts,
+                 [&](std::size_t j, std::size_t k) {
+                   rowW(g, j, k, r.i0, r.i1, dth);
+                 });
+      break;
+  }
+}
+
+void updateVelocity(grid::StaggeredGrid& g, const KernelOptions& opts) {
+  const Region r = Region::interior(g);
+  updateVelocity(g, VelocityComponent::U, opts, r);
+  updateVelocity(g, VelocityComponent::V, opts, r);
+  updateVelocity(g, VelocityComponent::W, opts, r);
+}
+
+void updateStress(grid::StaggeredGrid& g, StressGroup group,
+                  const KernelOptions& opts, const Region& r) {
+  const float dth = static_cast<float>(g.dt() / g.h());
+  const float dt = static_cast<float>(g.dt());
+  const bool atten = g.attenuation().enabled;
+  const bool recip = opts.useReciprocals;
+  const bool unrolled = opts.unrolled;
+
+  auto dispatch = [&](auto&& rowFn) {
+    driveLoops(r, opts, rowFn);
+  };
+
+  switch (group) {
+    case StressGroup::Normal:
+      if (atten)
+        dispatch([&](std::size_t j, std::size_t k) {
+          rowNormal<true>(g, j, k, r.i0, r.i1, dth, dt);
+        });
+      else
+        dispatch([&](std::size_t j, std::size_t k) {
+          rowNormal<false>(g, j, k, r.i0, r.i1, dth, dt);
+        });
+      break;
+    case StressGroup::XY:
+      if (recip && atten)
+        dispatch([&](std::size_t j, std::size_t k) {
+          rowXY<true, true>(g, j, k, r.i0, r.i1, dth, dt, unrolled);
+        });
+      else if (recip && !atten)
+        dispatch([&](std::size_t j, std::size_t k) {
+          rowXY<true, false>(g, j, k, r.i0, r.i1, dth, dt, unrolled);
+        });
+      else if (!recip && atten)
+        dispatch([&](std::size_t j, std::size_t k) {
+          rowXY<false, true>(g, j, k, r.i0, r.i1, dth, dt, unrolled);
+        });
+      else
+        dispatch([&](std::size_t j, std::size_t k) {
+          rowXY<false, false>(g, j, k, r.i0, r.i1, dth, dt, unrolled);
+        });
+      break;
+    case StressGroup::XZ:
+      if (recip && atten)
+        dispatch([&](std::size_t j, std::size_t k) {
+          rowXZ<true, true>(g, j, k, r.i0, r.i1, dth, dt, unrolled);
+        });
+      else if (recip && !atten)
+        dispatch([&](std::size_t j, std::size_t k) {
+          rowXZ<true, false>(g, j, k, r.i0, r.i1, dth, dt, unrolled);
+        });
+      else if (!recip && atten)
+        dispatch([&](std::size_t j, std::size_t k) {
+          rowXZ<false, true>(g, j, k, r.i0, r.i1, dth, dt, unrolled);
+        });
+      else
+        dispatch([&](std::size_t j, std::size_t k) {
+          rowXZ<false, false>(g, j, k, r.i0, r.i1, dth, dt, unrolled);
+        });
+      break;
+    case StressGroup::YZ:
+      if (recip && atten)
+        dispatch([&](std::size_t j, std::size_t k) {
+          rowYZ<true, true>(g, j, k, r.i0, r.i1, dth, dt);
+        });
+      else if (recip && !atten)
+        dispatch([&](std::size_t j, std::size_t k) {
+          rowYZ<true, false>(g, j, k, r.i0, r.i1, dth, dt);
+        });
+      else if (!recip && atten)
+        dispatch([&](std::size_t j, std::size_t k) {
+          rowYZ<false, true>(g, j, k, r.i0, r.i1, dth, dt);
+        });
+      else
+        dispatch([&](std::size_t j, std::size_t k) {
+          rowYZ<false, false>(g, j, k, r.i0, r.i1, dth, dt);
+        });
+      break;
+  }
+}
+
+void updateStress(grid::StaggeredGrid& g, const KernelOptions& opts) {
+  const Region r = Region::interior(g);
+  updateStress(g, StressGroup::Normal, opts, r);
+  updateStress(g, StressGroup::XY, opts, r);
+  updateStress(g, StressGroup::XZ, opts, r);
+  updateStress(g, StressGroup::YZ, opts, r);
+}
+
+double velocityFlopsPerPoint() {
+  // Per component: 6 stencil multiplies, 11 adds/subs, density average
+  // (2), divide (1), multiply-accumulate (2) ~ 22; three components.
+  return 3 * 22.0;
+}
+
+double stressFlopsPerPoint(bool attenuation) {
+  // Normals: 3 strains (6 ops each) + trace (2) + 3 updates (~6 each) = 38.
+  // Shears: 3 x (strain 12 + harmonic mean 5 + update 4) = 63.
+  double f = 38.0 + 63.0;
+  if (attenuation) f += 6 * 10.0;  // memory-variable update per component
+  return f;
+}
+
+double flopsPerPointPerStep(bool attenuation) {
+  return velocityFlopsPerPoint() + stressFlopsPerPoint(attenuation);
+}
+
+}  // namespace awp::core

@@ -1,0 +1,312 @@
+#include "core/pml.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace awp::core {
+
+using awp::Array3f;
+using grid::kHalo;
+using grid::StaggeredGrid;
+
+namespace {
+constexpr float kC1 = 9.0f / 8.0f;
+constexpr float kC2 = -1.0f / 24.0f;
+
+// Split-part indices.
+enum { PX = 0, PY = 1, PZ = 2 };
+// Field slots within a zone's split storage.
+enum { FU = 0, FV, FW, FXX, FYY, FZZ, FXY, FXZ, FYZ, kZoneFields };
+}  // namespace
+
+struct PmlBoundary::Zone {
+  // Local raw-index box (half-open).
+  std::size_t i0, i1, j0, j1, k0, k1;
+
+  // Split state: split[field][part](li, lj, lk).
+  Array3f split[kZoneFields][3];
+  // Damping update coefficient a_d = dt/2 * (d_d + p * (d_e + d_f)).
+  Array3f aCoef[3];
+
+  [[nodiscard]] std::size_t nx() const { return i1 - i0; }
+  [[nodiscard]] std::size_t ny() const { return j1 - j0; }
+  [[nodiscard]] std::size_t nz() const { return k1 - k0; }
+};
+
+void PmlBoundary::buildProfiles(const DomainGeometry& geom,
+                                const PmlConfig& config, double vpMax,
+                                double h) {
+  const int w = config.width;
+  const double d0 = 3.0 * vpMax * std::log(1.0 / config.reflection) /
+                    (2.0 * w * h);
+  auto profile = [&](std::vector<float>& d, std::size_t n, bool lowSide,
+                     bool highSide) {
+    d.assign(n, 0.0f);
+    for (std::size_t g = 0; g < n; ++g) {
+      double depth = 0.0;
+      if (lowSide && g < static_cast<std::size_t>(w))
+        depth = static_cast<double>(w - g) / w;
+      if (highSide && g >= n - static_cast<std::size_t>(w))
+        depth = std::max(depth,
+                         static_cast<double>(g - (n - w) + 1) / w);
+      d[g] = static_cast<float>(d0 * depth * depth);
+    }
+  };
+  profile(dx_, geom.global.nx, true, true);
+  profile(dy_, geom.global.ny, true, true);
+  profile(dz_, geom.global.nz, true, false);  // bottom only; free surface top
+}
+
+PmlBoundary::PmlBoundary(const DomainGeometry& geom, const StaggeredGrid& g,
+                         const PmlConfig& config, double vpMax) {
+  AWP_CHECK(config.width >= 2);
+  AWP_CHECK(geom.global.nx > 2 * static_cast<std::size_t>(config.width) &&
+            geom.global.ny > 2 * static_cast<std::size_t>(config.width) &&
+            geom.global.nz > static_cast<std::size_t>(config.width));
+  buildProfiles(geom, config, vpMax, g.h());
+
+  const auto W = static_cast<std::size_t>(config.width);
+  const auto NX = geom.global.nx, NY = geom.global.ny, NZ = geom.global.nz;
+
+  struct GlobalBox {
+    std::size_t i0, i1, j0, j1, k0, k1;
+  };
+  // Disjoint cover of the five PML faces (corners fold into the x zones,
+  // edges into x then y; every cell still gets all three damping profiles,
+  // which is what makes the M-PML corner treatment uniform).
+  const GlobalBox boxes[] = {
+      {0, W, 0, NY, 0, NZ},            // x-min
+      {NX - W, NX, 0, NY, 0, NZ},      // x-max
+      {W, NX - W, 0, W, 0, NZ},        // y-min
+      {W, NX - W, NY - W, NY, 0, NZ},  // y-max
+      {W, NX - W, W, NY - W, 0, W},    // z-min (bottom)
+  };
+
+  const float dt = static_cast<float>(g.dt());
+  const float p = static_cast<float>(config.mpmlRatio);
+
+  for (const auto& b : boxes) {
+    // Clip against this rank's global ranges.
+    const std::size_t gi0 = std::max(b.i0, geom.local.x.begin);
+    const std::size_t gi1 = std::min(b.i1, geom.local.x.end);
+    const std::size_t gj0 = std::max(b.j0, geom.local.y.begin);
+    const std::size_t gj1 = std::min(b.j1, geom.local.y.end);
+    const std::size_t gk0 = std::max(b.k0, geom.local.z.begin);
+    const std::size_t gk1 = std::min(b.k1, geom.local.z.end);
+    if (gi0 >= gi1 || gj0 >= gj1 || gk0 >= gk1) continue;
+
+    auto zone = std::make_unique<Zone>();
+    zone->i0 = gi0 - geom.local.x.begin + kHalo;
+    zone->i1 = gi1 - geom.local.x.begin + kHalo;
+    zone->j0 = gj0 - geom.local.y.begin + kHalo;
+    zone->j1 = gj1 - geom.local.y.begin + kHalo;
+    zone->k0 = gk0 - geom.local.z.begin + kHalo;
+    zone->k1 = gk1 - geom.local.z.begin + kHalo;
+
+    const std::size_t zx = zone->nx(), zy = zone->ny(), zz = zone->nz();
+    for (auto& field : zone->split)
+      for (auto& part : field) part.resize(zx, zy, zz);
+    for (auto& a : zone->aCoef) a.resize(zx, zy, zz);
+
+    for (std::size_t lk = 0; lk < zz; ++lk)
+      for (std::size_t lj = 0; lj < zy; ++lj)
+        for (std::size_t li = 0; li < zx; ++li) {
+          const float ddx = dx_[gi0 + li];
+          const float ddy = dy_[gj0 + lj];
+          const float ddz = dz_[gk0 + lk];
+          zone->aCoef[PX](li, lj, lk) =
+              0.5f * dt * (ddx + p * (ddy + ddz));
+          zone->aCoef[PY](li, lj, lk) =
+              0.5f * dt * (ddy + p * (ddx + ddz));
+          zone->aCoef[PZ](li, lj, lk) =
+              0.5f * dt * (ddz + p * (ddx + ddy));
+        }
+    zones_.push_back(std::move(zone));
+  }
+}
+
+PmlBoundary::~PmlBoundary() = default;
+
+std::size_t PmlBoundary::zoneCellCount() const {
+  std::size_t n = 0;
+  for (const auto& z : zones_) n += z->nx() * z->ny() * z->nz();
+  return n;
+}
+
+namespace {
+
+// Damped split update: s' = ((1 - a) s + f) / (1 + a); returns s'.
+inline float damp(float s, float a, float f) {
+  return ((1.0f - a) * s + f) / (1.0f + a);
+}
+
+inline float muShearRecip(const StaggeredGrid& g, std::size_t ia,
+                          std::size_t ja, std::size_t ka, std::size_t ib,
+                          std::size_t jb, std::size_t kb, std::size_t ic,
+                          std::size_t jc, std::size_t kc, std::size_t id,
+                          std::size_t jd, std::size_t kd) {
+  return 4.0f / (g.mui(ia, ja, ka) + g.mui(ib, jb, kb) + g.mui(ic, jc, kc) +
+                 g.mui(id, jd, kd));
+}
+
+}  // namespace
+
+void PmlBoundary::updateVelocity(StaggeredGrid& g) {
+  const float dth = static_cast<float>(g.dt() / g.h());
+  for (auto& zp : zones_) {
+    Zone& z = *zp;
+    for (std::size_t k = z.k0; k < z.k1; ++k)
+      for (std::size_t j = z.j0; j < z.j1; ++j)
+        for (std::size_t i = z.i0; i < z.i1; ++i) {
+          const std::size_t li = i - z.i0, lj = j - z.j0, lk = k - z.k0;
+          const float ax = z.aCoef[PX](li, lj, lk);
+          const float ay = z.aCoef[PY](li, lj, lk);
+          const float az = z.aCoef[PZ](li, lj, lk);
+
+          // --- u ---------------------------------------------------------
+          {
+            const float d = 0.5f * (g.rho(i, j, k) + g.rho(i - 1, j, k));
+            const float fx = (dth / d) *
+                             (kC1 * (g.xx(i, j, k) - g.xx(i - 1, j, k)) +
+                              kC2 * (g.xx(i + 1, j, k) - g.xx(i - 2, j, k)));
+            const float fy = (dth / d) *
+                             (kC1 * (g.xy(i, j, k) - g.xy(i, j - 1, k)) +
+                              kC2 * (g.xy(i, j + 1, k) - g.xy(i, j - 2, k)));
+            const float fz = (dth / d) *
+                             (kC1 * (g.xz(i, j, k) - g.xz(i, j, k - 1)) +
+                              kC2 * (g.xz(i, j, k + 1) - g.xz(i, j, k - 2)));
+            auto& sx = z.split[FU][PX](li, lj, lk);
+            auto& sy = z.split[FU][PY](li, lj, lk);
+            auto& sz = z.split[FU][PZ](li, lj, lk);
+            sx = damp(sx, ax, fx);
+            sy = damp(sy, ay, fy);
+            sz = damp(sz, az, fz);
+            g.u(i, j, k) = sx + sy + sz;
+          }
+          // --- v ---------------------------------------------------------
+          {
+            const float d = 0.5f * (g.rho(i, j, k) + g.rho(i, j + 1, k));
+            const float fx = (dth / d) *
+                             (kC1 * (g.xy(i + 1, j, k) - g.xy(i, j, k)) +
+                              kC2 * (g.xy(i + 2, j, k) - g.xy(i - 1, j, k)));
+            const float fy = (dth / d) *
+                             (kC1 * (g.yy(i, j + 1, k) - g.yy(i, j, k)) +
+                              kC2 * (g.yy(i, j + 2, k) - g.yy(i, j - 1, k)));
+            const float fz = (dth / d) *
+                             (kC1 * (g.yz(i, j, k) - g.yz(i, j, k - 1)) +
+                              kC2 * (g.yz(i, j, k + 1) - g.yz(i, j, k - 2)));
+            auto& sx = z.split[FV][PX](li, lj, lk);
+            auto& sy = z.split[FV][PY](li, lj, lk);
+            auto& sz = z.split[FV][PZ](li, lj, lk);
+            sx = damp(sx, ax, fx);
+            sy = damp(sy, ay, fy);
+            sz = damp(sz, az, fz);
+            g.v(i, j, k) = sx + sy + sz;
+          }
+          // --- w ---------------------------------------------------------
+          {
+            const float d = 0.5f * (g.rho(i, j, k) + g.rho(i, j, k + 1));
+            const float fx = (dth / d) *
+                             (kC1 * (g.xz(i + 1, j, k) - g.xz(i, j, k)) +
+                              kC2 * (g.xz(i + 2, j, k) - g.xz(i - 1, j, k)));
+            const float fy = (dth / d) *
+                             (kC1 * (g.yz(i, j, k) - g.yz(i, j - 1, k)) +
+                              kC2 * (g.yz(i, j + 1, k) - g.yz(i, j - 2, k)));
+            const float fz = (dth / d) *
+                             (kC1 * (g.zz(i, j, k + 1) - g.zz(i, j, k)) +
+                              kC2 * (g.zz(i, j, k + 2) - g.zz(i, j, k - 1)));
+            auto& sx = z.split[FW][PX](li, lj, lk);
+            auto& sy = z.split[FW][PY](li, lj, lk);
+            auto& sz = z.split[FW][PZ](li, lj, lk);
+            sx = damp(sx, ax, fx);
+            sy = damp(sy, ay, fy);
+            sz = damp(sz, az, fz);
+            g.w(i, j, k) = sx + sy + sz;
+          }
+        }
+  }
+}
+
+void PmlBoundary::updateStress(StaggeredGrid& g) {
+  const float dth = static_cast<float>(g.dt() / g.h());
+  for (auto& zp : zones_) {
+    Zone& z = *zp;
+    for (std::size_t k = z.k0; k < z.k1; ++k)
+      for (std::size_t j = z.j0; j < z.j1; ++j)
+        for (std::size_t i = z.i0; i < z.i1; ++i) {
+          const std::size_t li = i - z.i0, lj = j - z.j0, lk = k - z.k0;
+          const float ax = z.aCoef[PX](li, lj, lk);
+          const float ay = z.aCoef[PY](li, lj, lk);
+          const float az = z.aCoef[PZ](li, lj, lk);
+
+          const float exx = kC1 * (g.u(i + 1, j, k) - g.u(i, j, k)) +
+                            kC2 * (g.u(i + 2, j, k) - g.u(i - 1, j, k));
+          const float eyy = kC1 * (g.v(i, j, k) - g.v(i, j - 1, k)) +
+                            kC2 * (g.v(i, j + 1, k) - g.v(i, j - 2, k));
+          const float ezz = kC1 * (g.w(i, j, k) - g.w(i, j, k - 1)) +
+                            kC2 * (g.w(i, j, k + 1) - g.w(i, j, k - 2));
+          const float l = g.lam(i, j, k);
+          const float lp2m = l + 2.0f * g.mu(i, j, k);
+
+          auto splitNormal = [&](int field, float cx, float cy, float cz,
+                                 Array3f& target) {
+            auto& sx = z.split[field][PX](li, lj, lk);
+            auto& sy = z.split[field][PY](li, lj, lk);
+            auto& sz = z.split[field][PZ](li, lj, lk);
+            sx = damp(sx, ax, dth * cx * exx);
+            sy = damp(sy, ay, dth * cy * eyy);
+            sz = damp(sz, az, dth * cz * ezz);
+            target(i, j, k) = sx + sy + sz;
+          };
+          splitNormal(FXX, lp2m, l, l, g.xx);
+          splitNormal(FYY, l, lp2m, l, g.yy);
+          splitNormal(FZZ, l, l, lp2m, g.zz);
+
+          // --- xy --------------------------------------------------------
+          {
+            const float m = muShearRecip(g, i - 1, j, k, i, j, k, i - 1,
+                                         j + 1, k, i, j + 1, k);
+            const float dyu = kC1 * (g.u(i, j + 1, k) - g.u(i, j, k)) +
+                              kC2 * (g.u(i, j + 2, k) - g.u(i, j - 1, k));
+            const float dxv = kC1 * (g.v(i, j, k) - g.v(i - 1, j, k)) +
+                              kC2 * (g.v(i + 1, j, k) - g.v(i - 2, j, k));
+            auto& sx = z.split[FXY][PX](li, lj, lk);
+            auto& sy = z.split[FXY][PY](li, lj, lk);
+            sx = damp(sx, ax, dth * m * dxv);
+            sy = damp(sy, ay, dth * m * dyu);
+            g.xy(i, j, k) = sx + sy;
+          }
+          // --- xz --------------------------------------------------------
+          {
+            const float m = muShearRecip(g, i - 1, j, k, i, j, k, i - 1, j,
+                                         k + 1, i, j, k + 1);
+            const float dzu = kC1 * (g.u(i, j, k + 1) - g.u(i, j, k)) +
+                              kC2 * (g.u(i, j, k + 2) - g.u(i, j, k - 1));
+            const float dxw = kC1 * (g.w(i, j, k) - g.w(i - 1, j, k)) +
+                              kC2 * (g.w(i + 1, j, k) - g.w(i - 2, j, k));
+            auto& sx = z.split[FXZ][PX](li, lj, lk);
+            auto& sz = z.split[FXZ][PZ](li, lj, lk);
+            sx = damp(sx, ax, dth * m * dxw);
+            sz = damp(sz, az, dth * m * dzu);
+            g.xz(i, j, k) = sx + sz;
+          }
+          // --- yz --------------------------------------------------------
+          {
+            const float m = muShearRecip(g, i, j, k, i, j + 1, k, i, j,
+                                         k + 1, i, j + 1, k + 1);
+            const float dzv = kC1 * (g.v(i, j, k + 1) - g.v(i, j, k)) +
+                              kC2 * (g.v(i, j, k + 2) - g.v(i, j, k - 1));
+            const float dyw = kC1 * (g.w(i, j + 1, k) - g.w(i, j, k)) +
+                              kC2 * (g.w(i, j + 2, k) - g.w(i, j - 1, k));
+            auto& sy = z.split[FYZ][PY](li, lj, lk);
+            auto& sz = z.split[FYZ][PZ](li, lj, lk);
+            sy = damp(sy, ay, dth * m * dyw);
+            sz = damp(sz, az, dth * m * dzv);
+            g.yz(i, j, k) = sy + sz;
+          }
+        }
+  }
+}
+
+}  // namespace awp::core

@@ -1,0 +1,55 @@
+#pragma once
+// Split-field multiaxial PML absorbing boundaries (§II.D). Each wavefield
+// equation is split into per-direction parts F = F_x + F_y + F_z, where
+// F_d collects the terms containing ∂_d; a damping d_d(pos) is applied to
+// the F_d equation. The multiaxial variant (Meza-Fajardo & Papageorgiou
+// 2008) adds a proportional damping p·(d_e + d_f) from the other two axes
+// to stabilize the scheme in heterogeneous media; M8 used M-PMLs of width
+// 10 on the sides and bottom of the grid.
+//
+// Implementation: zones on the five non-top faces own the split storage;
+// the unsplit grid arrays stay authoritative (the zone update recomputes
+// its cells from the split state and writes the sums back), so interior
+// kernels and halo exchange are untouched.
+
+#include <memory>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "grid/staggered_grid.hpp"
+
+namespace awp::core {
+
+struct PmlConfig {
+  int width = 10;          // cells (M8 used 10, §II.D)
+  double reflection = 1e-4;  // target theoretical reflection coefficient
+  double mpmlRatio = 0.15;   // proportional damping ratio p (0 = pure PML)
+};
+
+class PmlBoundary {
+ public:
+  // vpMax: fastest P speed in the model (sets the damping amplitude d0).
+  PmlBoundary(const DomainGeometry& geom, const grid::StaggeredGrid& g,
+              const PmlConfig& config, double vpMax);
+  ~PmlBoundary();
+
+  // Replace the interior-kernel results inside the zones with the damped
+  // split-field updates. Call right after the corresponding kernel.
+  void updateVelocity(grid::StaggeredGrid& g);
+  void updateStress(grid::StaggeredGrid& g);
+
+  [[nodiscard]] bool active() const { return !zones_.empty(); }
+  [[nodiscard]] std::size_t zoneCellCount() const;
+
+ private:
+  struct Zone;
+  std::vector<std::unique_ptr<Zone>> zones_;
+
+  // Damping profiles indexed by *global* cell index along each axis.
+  std::vector<float> dx_, dy_, dz_;
+
+  void buildProfiles(const DomainGeometry& geom, const PmlConfig& config,
+                     double vpMax, double h);
+};
+
+}  // namespace awp::core

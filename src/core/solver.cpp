@@ -1,0 +1,269 @@
+#include "core/solver.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace awp::core {
+
+using grid::kHalo;
+
+WaveSolver::WaveSolver(vcluster::Communicator& comm,
+                       const vcluster::CartTopology& topo,
+                       const SolverConfig& config,
+                       const mesh::MeshBlock& block)
+    : comm_(comm), topo_(topo), config_(config) {
+  geom_.global = config_.globalDims;
+  geom_.local = block.spec;
+  init(block);
+}
+
+WaveSolver::WaveSolver(vcluster::Communicator& comm,
+                       const vcluster::CartTopology& topo,
+                       const SolverConfig& config,
+                       const vmodel::Material& material)
+    : comm_(comm), topo_(topo), config_(config) {
+  geom_.global = config_.globalDims;
+  mesh::MeshSpec spec{config_.globalDims.nx, config_.globalDims.ny,
+                      config_.globalDims.nz, config_.h, 0.0, 0.0};
+  mesh::MeshBlock block;
+  block.spec = mesh::subdomainFor(topo, spec, comm.rank());
+  block.points.assign(block.spec.pointCount(), material);
+  geom_.local = block.spec;
+  init(block);
+}
+
+void WaveSolver::init(const mesh::MeshBlock& block) {
+  AWP_CHECK(comm_.size() == topo_.size());
+
+  const grid::GridDims local{block.spec.x.count(), block.spec.y.count(),
+                             block.spec.z.count()};
+  // Stencil footprint: every local block must hold at least the halo depth.
+  AWP_CHECK_MSG(local.nx >= kHalo && local.ny >= kHalo && local.nz >= kHalo,
+                "subdomain too small for the 4th-order stencil");
+
+  // Two-pass construction: the CFL step needs the material, the grid needs
+  // dt. Build with a provisional dt, then recompute.
+  double dt = config_.dt;
+  if (dt <= 0.0) {
+    grid::StaggeredGrid probe(local, config_.h, 1.0);
+    probe.setMaterial(block);
+    const double localDt = probe.stableDt();
+    dt = comm_.allreduce(localDt, vcluster::ReduceOp::Min);
+    config_.dt = dt;
+  }
+
+  grid_ = std::make_unique<grid::StaggeredGrid>(local, config_.h, dt,
+                                                config_.attenuation);
+  grid_->setMaterial(block);
+
+  if (config_.hybridThreads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.hybridThreads);
+    config_.kernels.pool = pool_.get();
+  }
+
+  halo_ = std::make_unique<grid::HaloExchanger>(
+      comm_, topo_, config_.commMode, config_.reducedComm);
+  halo_->exchangeMaterial(*grid_);
+
+  freeSurface_ = std::make_unique<FreeSurface>(geom_, config_.freeSurface);
+  if (config_.absorbing == AbsorbingType::Sponge)
+    sponge_ = std::make_unique<SpongeLayer>(geom_, *grid_,
+                                            config_.spongeWidth);
+  if (config_.absorbing == AbsorbingType::Pml) {
+    const double vpMax =
+        comm_.allreduce(grid_->maxVp(), vcluster::ReduceOp::Max);
+    pml_ = std::make_unique<PmlBoundary>(geom_, *grid_, config_.pml, vpMax);
+  }
+  surface_ = std::make_unique<SurfaceMonitor>(geom_);
+}
+
+void WaveSolver::addSource(MomentRateSource src) {
+  sources_.add(std::move(src));
+  sources_.bind(geom_);
+}
+
+void WaveSolver::addReceiver(std::string name, std::size_t gi,
+                             std::size_t gj) {
+  receivers_.add(std::move(name), gi, gj);
+  receivers_.bind(geom_);
+}
+
+void WaveSolver::attachSurfaceOutput(const SurfaceOutputConfig& out) {
+  AWP_CHECK(out.file != nullptr);
+  surfaceOutput_ = out;
+  if (!geom_.touchesTop()) return;
+
+  // Decimated, rank-blocked layout: within each sampled step's record, the
+  // surface ranks own contiguous segments ordered by rank id, addressed by
+  // explicit displacement — "we use explicit displacements to perform data
+  // accesses at the specific locations for all the participating
+  // processors" (§III.E). Every rank computes the full displacement table
+  // deterministically from the topology, so no coordination is needed.
+  const auto dec = static_cast<std::size_t>(out.spatialDecimation);
+  auto decCount = [&](vcluster::Range r) {
+    const std::size_t first = (r.begin + dec - 1) / dec;
+    const std::size_t last = (r.end + dec - 1) / dec;
+    return last - first;
+  };
+  const mesh::MeshSpec spec{geom_.global.nx, geom_.global.ny,
+                            geom_.global.nz, config_.h, 0.0, 0.0};
+  std::uint64_t myOffset = 0, stepFloats = 0;
+  for (int r = 0; r < topo_.size(); ++r) {
+    const auto sub = mesh::subdomainFor(topo_, spec, r);
+    if (sub.z.end != geom_.global.nz) continue;  // not a surface rank
+    const std::uint64_t floats =
+        3ULL * decCount(sub.x) * decCount(sub.y);
+    if (r == comm_.rank()) myOffset = stepFloats;
+    stepFloats += floats;
+  }
+  const std::size_t lnx = decCount(geom_.local.x);
+  const std::size_t lny = decCount(geom_.local.y);
+  surfaceWriter_ = std::make_unique<io::AggregatedWriter>(
+      out.file, 3 * lnx * lny, myOffset, stepFloats, out.flushEverySamples);
+}
+
+void WaveSolver::attachCheckpoints(io::CheckpointStore* store,
+                                   int everySteps) {
+  checkpoints_ = store;
+  checkpointEvery_ = everySteps;
+}
+
+void WaveSolver::velocityPhase() {
+  const Region r = Region::interior(*grid_);
+  if (config_.overlap) {
+    // §IV.C: "While the value of v is computed, the exchange of u can be
+    // performed simultaneously" — per-component interleaving.
+    {
+      ScopedPhase t(phases_, Phase::Compute);
+      updateVelocity(*grid_, VelocityComponent::U, config_.kernels, r);
+    }
+    {
+      ScopedPhase t(phases_, Phase::Communicate);
+      halo_->exchangeFields(*grid_, {grid::FieldId::U});
+    }
+    {
+      ScopedPhase t(phases_, Phase::Compute);
+      updateVelocity(*grid_, VelocityComponent::V, config_.kernels, r);
+    }
+    {
+      ScopedPhase t(phases_, Phase::Communicate);
+      halo_->exchangeFields(*grid_, {grid::FieldId::V});
+    }
+    {
+      ScopedPhase t(phases_, Phase::Compute);
+      updateVelocity(*grid_, VelocityComponent::W, config_.kernels, r);
+      if (pml_) pml_->updateVelocity(*grid_);
+    }
+    {
+      ScopedPhase t(phases_, Phase::Communicate);
+      halo_->exchangeFields(*grid_, {grid::FieldId::W});
+      if (pml_) {
+        // PML rewrote u/v/w in the zones after their exchanges; refresh.
+        halo_->exchangeVelocities(*grid_);
+      }
+    }
+  } else {
+    {
+      ScopedPhase t(phases_, Phase::Compute);
+      updateVelocity(*grid_, config_.kernels);
+      if (pml_) pml_->updateVelocity(*grid_);
+    }
+    {
+      ScopedPhase t(phases_, Phase::Communicate);
+      halo_->exchangeVelocities(*grid_);
+    }
+  }
+  freeSurface_->applyVelocityImages(*grid_);
+}
+
+void WaveSolver::stressPhase() {
+  const Region r = Region::interior(*grid_);
+  {
+    ScopedPhase t(phases_, Phase::Compute);
+    updateStress(*grid_, StressGroup::Normal, config_.kernels, r);
+    updateStress(*grid_, StressGroup::XY, config_.kernels, r);
+    updateStress(*grid_, StressGroup::XZ, config_.kernels, r);
+    updateStress(*grid_, StressGroup::YZ, config_.kernels, r);
+    if (pml_) pml_->updateStress(*grid_);
+    sources_.inject(*grid_, step_);
+  }
+  freeSurface_->applyStressImages(*grid_);
+  {
+    ScopedPhase t(phases_, Phase::Communicate);
+    halo_->exchangeStresses(*grid_);
+  }
+  if (sponge_) {
+    ScopedPhase t(phases_, Phase::Compute);
+    sponge_->apply(*grid_);
+  }
+}
+
+void WaveSolver::observationPhase() {
+  receivers_.record(*grid_);
+  surface_->accumulate(*grid_);
+
+  if (surfaceWriter_ && surfaceOutput_ &&
+      step_ % static_cast<std::size_t>(surfaceOutput_->sampleEverySteps) ==
+          0 &&
+      geom_.touchesTop()) {
+    ScopedPhase t(phases_, Phase::Output);
+    const auto dec =
+        static_cast<std::size_t>(surfaceOutput_->spatialDecimation);
+    const std::size_t T = kHalo + grid_->dims().nz - 1;
+    std::vector<float> sample;
+    for (std::size_t gj = (geom_.local.y.begin + dec - 1) / dec * dec;
+         gj < geom_.local.y.end; gj += dec)
+      for (std::size_t gi = (geom_.local.x.begin + dec - 1) / dec * dec;
+           gi < geom_.local.x.end; gi += dec) {
+        const std::size_t i = gi - geom_.local.x.begin + kHalo;
+        const std::size_t j = gj - geom_.local.y.begin + kHalo;
+        sample.push_back(grid_->u(i, j, T));
+        sample.push_back(grid_->v(i, j, T));
+        sample.push_back(grid_->w(i, j, T));
+      }
+    surfaceWriter_->appendSample(sample.data(), sample.size());
+  }
+
+  if (checkpoints_ != nullptr && checkpointEvery_ > 0 && step_ > 0 &&
+      step_ % static_cast<std::size_t>(checkpointEvery_) == 0) {
+    ScopedPhase t(phases_, Phase::Output);
+    checkpoints_->write(comm_.rank(), step_, grid_->saveState());
+  }
+}
+
+void WaveSolver::step() {
+  velocityPhase();
+  stressPhase();
+  observationPhase();
+  if (config_.barrierPerStep) {
+    ScopedPhase t(phases_, Phase::Synchronize);
+    comm_.barrier();
+  }
+  ++step_;
+}
+
+void WaveSolver::run(std::size_t nSteps,
+                     const std::function<void(std::size_t)>& onStep) {
+  for (std::size_t n = 0; n < nSteps; ++n) {
+    step();
+    if (onStep) onStep(step_);
+  }
+  if (surfaceWriter_) surfaceWriter_->flush();
+}
+
+void WaveSolver::restart() {
+  AWP_CHECK_MSG(checkpoints_ != nullptr, "no checkpoint store attached");
+  const auto restored = checkpoints_->read(comm_.rank());
+  grid_->restoreState(restored.state);
+  step_ = restored.step + 1;
+  comm_.barrier();
+}
+
+double WaveSolver::flopsExecuted() const {
+  return static_cast<double>(step_) *
+         static_cast<double>(grid_->dims().count()) *
+         flopsPerPointPerStep(config_.attenuation.enabled);
+}
+
+}  // namespace awp::core

@@ -1,0 +1,141 @@
+#pragma once
+// AWM: the anelastic wave propagation solver — AWP-ODC's "wave mode"
+// (Fig 6). One instance per rank; the time loop performs
+//   velocity update -> velocity exchange -> free-surface velocity images ->
+//   stress update -> source injection -> free-surface stress images ->
+//   stress exchange -> sponge -> observation / output / checkpoint
+// with each phase timed into the Eq. (7) buckets (compute, comm, sync,
+// output).
+//
+// Configuration covers every §IV optimization so that benches can toggle
+// them independently: kernel variants, sync/async exchange, reduced
+// communication, per-component computation/communication interleaving
+// (overlap), sponge vs M-PML absorbing boundaries, aggregated surface
+// output and checkpoint cadence.
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/free_surface.hpp"
+#include "core/geometry.hpp"
+#include "core/kernels.hpp"
+#include "core/pml.hpp"
+#include "core/receivers.hpp"
+#include "core/source.hpp"
+#include "core/sponge.hpp"
+#include "grid/halo.hpp"
+#include "grid/staggered_grid.hpp"
+#include "io/aggregated_writer.hpp"
+#include "io/checkpoint.hpp"
+#include "util/timer.hpp"
+#include "vcluster/cart.hpp"
+#include "vcluster/comm.hpp"
+
+namespace awp::core {
+
+enum class AbsorbingType { None, Sponge, Pml };
+
+struct SolverConfig {
+  grid::GridDims globalDims;
+  double h = 100.0;
+  double dt = 0.0;  // 0 = derive from CFL after material load
+
+  grid::AttenuationConfig attenuation;
+  KernelOptions kernels;
+
+  grid::HaloExchanger::Mode commMode =
+      grid::HaloExchanger::Mode::Asynchronous;
+  bool reducedComm = true;
+  bool overlap = false;  // per-component interleaving (§IV.C)
+  bool barrierPerStep = false;  // the v6.0-era extra global barrier
+  // §IV.D hybrid MPI/OpenMP analogue: intra-rank threads sharing this
+  // rank's subgrid (1 = pure message passing).
+  int hybridThreads = 1;
+
+  AbsorbingType absorbing = AbsorbingType::Sponge;
+  int spongeWidth = 20;
+  PmlConfig pml;
+  bool freeSurface = true;
+};
+
+// Optional aggregated surface-velocity output (§III.E).
+struct SurfaceOutputConfig {
+  io::SharedFile* file = nullptr;
+  int sampleEverySteps = 10;   // temporal decimation (M8: every 20th step)
+  int spatialDecimation = 1;   // write every Nth surface point
+  int flushEverySamples = 10;  // aggregation depth (1 = unbuffered)
+};
+
+class WaveSolver {
+ public:
+  // Collective: build the solver on every rank. The mesh block must match
+  // the rank's subdomain under `topo`.
+  WaveSolver(vcluster::Communicator& comm, const vcluster::CartTopology& topo,
+             const SolverConfig& config, const mesh::MeshBlock& block);
+  // Uniform-material convenience constructor.
+  WaveSolver(vcluster::Communicator& comm, const vcluster::CartTopology& topo,
+             const SolverConfig& config, const vmodel::Material& material);
+
+  // Sources/receivers must be added before the first step.
+  void addSource(MomentRateSource src);
+  void addReceiver(std::string name, std::size_t gi, std::size_t gj);
+  void attachSurfaceOutput(const SurfaceOutputConfig& out);
+  void attachCheckpoints(io::CheckpointStore* store, int everySteps);
+
+  void step();
+  void run(std::size_t nSteps,
+           const std::function<void(std::size_t)>& onStep = nullptr);
+
+  // Restart from the newest checkpoint in the attached store (collective).
+  void restart();
+
+  [[nodiscard]] std::size_t currentStep() const { return step_; }
+  [[nodiscard]] grid::StaggeredGrid& grid() { return *grid_; }
+  [[nodiscard]] const DomainGeometry& geometry() const { return geom_; }
+  [[nodiscard]] const SolverConfig& config() const { return config_; }
+  [[nodiscard]] PhaseTimer& phases() { return phases_; }
+  [[nodiscard]] grid::HaloExchanger& exchanger() { return *halo_; }
+  [[nodiscard]] SurfaceMonitor& surface() { return *surface_; }
+  [[nodiscard]] ReceiverSet& receivers() { return receivers_; }
+  [[nodiscard]] vcluster::Communicator& comm() { return comm_; }
+  [[nodiscard]] const vcluster::CartTopology& topology() const {
+    return topo_;
+  }
+
+  // Useful flops executed so far (for sustained-performance accounting).
+  [[nodiscard]] double flopsExecuted() const;
+
+ private:
+  void init(const mesh::MeshBlock& block);
+  void velocityPhase();
+  void stressPhase();
+  void observationPhase();
+
+  vcluster::Communicator& comm_;
+  const vcluster::CartTopology& topo_;
+  SolverConfig config_;
+  DomainGeometry geom_;
+
+  std::unique_ptr<ThreadPool> pool_;  // §IV.D hybrid mode
+  std::unique_ptr<grid::StaggeredGrid> grid_;
+  std::unique_ptr<grid::HaloExchanger> halo_;
+  std::unique_ptr<FreeSurface> freeSurface_;
+  std::unique_ptr<SpongeLayer> sponge_;
+  std::unique_ptr<PmlBoundary> pml_;
+  std::unique_ptr<SurfaceMonitor> surface_;
+
+  SourceSet sources_;
+  ReceiverSet receivers_;
+
+  std::optional<SurfaceOutputConfig> surfaceOutput_;
+  std::unique_ptr<io::AggregatedWriter> surfaceWriter_;
+
+  io::CheckpointStore* checkpoints_ = nullptr;
+  int checkpointEvery_ = 0;
+
+  PhaseTimer phases_;
+  std::size_t step_ = 0;
+};
+
+}  // namespace awp::core

@@ -1,0 +1,80 @@
+#include "core/source.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace awp::core {
+
+double MomentRateSource::momentOf(int c, double dt) const {
+  double m = 0.0;
+  for (float v : mdot[static_cast<std::size_t>(c)]) m += v;
+  return m * dt;
+}
+
+void SourceSet::bind(const DomainGeometry& geom) {
+  local_.clear();
+  for (std::size_t s = 0; s < all_.size(); ++s) {
+    std::size_t li, lj, lk;
+    if (geom.owns(all_[s].gi, all_[s].gj, all_[s].gk, li, lj, lk))
+      local_.push_back({s, li, lj, lk});
+  }
+}
+
+void SourceSet::inject(grid::StaggeredGrid& g, std::size_t step) const {
+  const float scale =
+      static_cast<float>(g.dt() / (g.h() * g.h() * g.h()));
+  Array3f* target[6] = {&g.xx, &g.yy, &g.zz, &g.xy, &g.xz, &g.yz};
+  for (const auto& b : local_) {
+    const MomentRateSource& src = all_[b.index];
+    for (int c = 0; c < 6; ++c) {
+      const auto& series = src.mdot[static_cast<std::size_t>(c)];
+      if (step >= series.size()) continue;
+      (*target[c])(b.li, b.lj, b.lk) -= scale * series[step];
+    }
+  }
+}
+
+std::vector<float> rickerWavelet(double f0, double t0, double dt,
+                                 std::size_t nSteps, double amplitude) {
+  AWP_CHECK(f0 > 0.0 && dt > 0.0);
+  std::vector<float> w(nSteps);
+  for (std::size_t n = 0; n < nSteps; ++n) {
+    const double t = static_cast<double>(n) * dt - t0;
+    const double a = M_PI * f0 * t;
+    w[n] = static_cast<float>(amplitude * (1.0 - 2.0 * a * a) *
+                              std::exp(-a * a));
+  }
+  return w;
+}
+
+MomentRateSource strikeSlipPointSource(std::size_t gi, std::size_t gj,
+                                       std::size_t gk,
+                                       std::vector<float> momentRate) {
+  MomentRateSource s;
+  s.gi = gi;
+  s.gj = gj;
+  s.gk = gk;
+  s.mdot[MXY] = std::move(momentRate);
+  return s;
+}
+
+MomentRateSource explosionPointSource(std::size_t gi, std::size_t gj,
+                                      std::size_t gk,
+                                      std::vector<float> momentRate) {
+  MomentRateSource s;
+  s.gi = gi;
+  s.gj = gj;
+  s.gk = gk;
+  s.mdot[MXX] = momentRate;
+  s.mdot[MYY] = momentRate;
+  s.mdot[MZZ] = std::move(momentRate);
+  return s;
+}
+
+double momentMagnitude(double m0) {
+  // Hanks & Kanamori: Mw = (log10 M0 [N·m] - 9.05) / 1.5.
+  return (std::log10(std::max(m0, 1.0)) - 9.05) / 1.5;
+}
+
+}  // namespace awp::core

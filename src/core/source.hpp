@@ -1,0 +1,80 @@
+#pragma once
+// Kinematic source injection: moment-rate time histories at grid points
+// (sub-faults), the form the AWM consumes ("The AWM requires a kinematic
+// source description formulated as moment rate time histories at a finite
+// number of points", §III.D). The moment-rate tensor rate is added to the
+// stresses each step: σ_c -= ṁ_c(t) · dt / h³.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "grid/staggered_grid.hpp"
+
+namespace awp::core {
+
+// Moment tensor component order used throughout.
+enum MomentComponent { MXX = 0, MYY, MZZ, MXY, MXZ, MYZ };
+
+struct MomentRateSource {
+  std::size_t gi = 0, gj = 0, gk = 0;  // global grid indices
+  // Moment-rate histories [N·m/s], sampled at the solver dt. Components
+  // may be empty (treated as zero).
+  std::array<std::vector<float>, 6> mdot;
+
+  [[nodiscard]] std::size_t stepCount() const {
+    std::size_t n = 0;
+    for (const auto& c : mdot) n = std::max(n, c.size());
+    return n;
+  }
+  // Total moment released through component c (time-integrated rate).
+  [[nodiscard]] double momentOf(int c, double dt) const;
+};
+
+class SourceSet {
+ public:
+  void add(MomentRateSource src) { all_.push_back(std::move(src)); }
+
+  // Select the sources owned by this rank and precompute local indices.
+  void bind(const DomainGeometry& geom);
+
+  // Add this step's moment rates into the local stresses.
+  void inject(grid::StaggeredGrid& g, std::size_t step) const;
+
+  [[nodiscard]] std::size_t totalCount() const { return all_.size(); }
+  [[nodiscard]] std::size_t localCount() const { return local_.size(); }
+  [[nodiscard]] const std::vector<MomentRateSource>& sources() const {
+    return all_;
+  }
+
+ private:
+  struct Bound {
+    std::size_t index;       // into all_
+    std::size_t li, lj, lk;  // local raw indices
+  };
+  std::vector<MomentRateSource> all_;
+  std::vector<Bound> local_;
+};
+
+// Ricker wavelet with peak frequency f0, delayed by t0, length nSteps,
+// scaled by `amplitude` (a peak moment rate when used as a source).
+std::vector<float> rickerWavelet(double f0, double t0, double dt,
+                                 std::size_t nSteps, double amplitude = 1.0);
+
+// A strike-slip double-couple point source: slip along x on a fault plane
+// with normal y — moment rate enters σxy. `momentRate` is the scalar
+// moment-rate history Ṁ0(t); total moment is its time integral.
+MomentRateSource strikeSlipPointSource(std::size_t gi, std::size_t gj,
+                                       std::size_t gk,
+                                       std::vector<float> momentRate);
+
+// An isotropic (explosion) source — equal rate into σxx, σyy, σzz.
+MomentRateSource explosionPointSource(std::size_t gi, std::size_t gj,
+                                      std::size_t gk,
+                                      std::vector<float> momentRate);
+
+// Moment magnitude Mw from a seismic moment M0 [N·m] (Hanks & Kanamori).
+double momentMagnitude(double m0);
+
+}  // namespace awp::core

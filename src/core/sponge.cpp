@@ -1,0 +1,66 @@
+#include "core/sponge.hpp"
+
+#include <cmath>
+
+namespace awp::core {
+
+using grid::kHalo;
+
+SpongeLayer::SpongeLayer(const DomainGeometry& geom,
+                         const grid::StaggeredGrid& g, int width,
+                         double amplitude) {
+  const double a = amplitude * 20.0 / width;  // keep edge damping ~constant
+  auto taper = [&](double cellsFromBoundary) {
+    if (cellsFromBoundary >= width) return 1.0;
+    const double d = a * (width - cellsFromBoundary);
+    return std::exp(-d * d);
+  };
+
+  auto build = [&](std::vector<float>& f, std::size_t rawExtent,
+                   std::size_t globalBegin, std::size_t globalExtent,
+                   bool damphi) {
+    f.assign(rawExtent, 1.0f);
+    for (std::size_t r = 0; r < rawExtent; ++r) {
+      // Global cell index (halo cells clamp to the nearest interior cell).
+      const double gl = static_cast<double>(globalBegin) +
+                        static_cast<double>(r) - kHalo;
+      double v = taper(std::max(0.0, gl));
+      if (damphi) {
+        const double fromHi = static_cast<double>(globalExtent) - 1.0 - gl;
+        v = std::min(v, taper(std::max(0.0, fromHi)));
+      }
+      f[r] = static_cast<float>(v);
+      if (v < 1.0) active_ = true;
+    }
+  };
+
+  build(fx_, g.sx(), geom.local.x.begin, geom.global.nx, true);
+  build(fy_, g.sy(), geom.local.y.begin, geom.global.ny, true);
+  // No damping at the top (free surface): only the bottom is tapered in z.
+  build(fz_, g.sz(), geom.local.z.begin, geom.global.nz, false);
+}
+
+void SpongeLayer::apply(grid::StaggeredGrid& g) const {
+  if (!active_) return;
+  const std::size_t ax = g.sx(), ay = g.sy(), az = g.sz();
+  Array3f* fields[] = {&g.u,  &g.v,  &g.w,  &g.xx, &g.yy,
+                             &g.zz, &g.xy, &g.xz, &g.yz};
+  for (auto* f : fields) {
+    float* data = f->data();
+    std::size_t n = 0;
+    for (std::size_t k = 0; k < az; ++k) {
+      const float fk = fz_[k];
+      for (std::size_t j = 0; j < ay; ++j) {
+        const float fjk = fy_[j] * fk;
+        if (fjk == 1.0f) {
+          // Fast path: only x damping (or none) on this row.
+          for (std::size_t i = 0; i < ax; ++i, ++n) data[n] *= fx_[i];
+        } else {
+          for (std::size_t i = 0; i < ax; ++i, ++n) data[n] *= fx_[i] * fjk;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace awp::core

@@ -1,0 +1,101 @@
+#pragma once
+// Wavefield identifiers and their halo-exchange requirements.
+//
+// The reduced-communication optimization (§IV.A) rests on the observation
+// that each stress component only feeds derivatives along specific axes:
+// "for the stress tensor component xx ... we only need to update xx in the
+// x direction rather than in all three directions. By sending two plane
+// faces of xx information to the left neighbor and one plane to the right
+// neighbor only in the x direction, we can reduce the xx message
+// communication by 75%."
+//
+// The tables below encode, for every field and axis, how many halo planes
+// a rank needs from its minus / plus neighbor. They are derived from the
+// staggered-grid stencil in src/core/kernels.cpp (see the staggering
+// convention documented there).
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace awp::grid {
+
+enum class FieldId : std::size_t {
+  U = 0,
+  V,
+  W,
+  XX,
+  YY,
+  ZZ,
+  XY,
+  XZ,
+  YZ,
+  kCount
+};
+
+inline constexpr std::size_t kFieldCount =
+    static_cast<std::size_t>(FieldId::kCount);
+
+inline constexpr std::array<std::string_view, kFieldCount> kFieldNames = {
+    "u", "v", "w", "xx", "yy", "zz", "xy", "xz", "yz"};
+
+// Halo planes needed from the minus / plus neighbor along one axis.
+struct AxisNeed {
+  int minus = 0;
+  int plus = 0;
+  [[nodiscard]] int total() const { return minus + plus; }
+};
+
+struct FieldNeed {
+  AxisNeed x, y, z;
+  [[nodiscard]] const AxisNeed& axis(int a) const {
+    return a == 0 ? x : (a == 1 ? y : z);
+  }
+};
+
+// Full (unoptimized) exchange: two planes each way on every axis.
+constexpr FieldNeed fullNeed() {
+  return FieldNeed{{2, 2}, {2, 2}, {2, 2}};
+}
+
+// Reduced (v7.2) exchange, derived from the stencil in
+// src/core/kernels.cpp (staggering: xx,yy,zz at centers; u at i-1/2; v at
+// j+1/2; w at k+1/2; xy at (i-1/2, j+1/2); xz at (i-1/2, k+1/2); yz at
+// (j+1/2, k+1/2)):
+//   u : x(1,2) y(1,2) z(1,2)      xx: x(2,1) only
+//   v : x(2,1) y(2,1) z(1,2)      yy: y(1,2) only
+//   w : x(2,1) y(1,2) z(2,1)      zz: z(1,2) only
+//   xy: x(1,2) y(2,1)             xz: x(1,2) z(2,1)     yz: y(2,1) z(2,1)
+constexpr FieldNeed reducedNeed(FieldId f) {
+  switch (f) {
+    case FieldId::U:
+      return FieldNeed{{1, 2}, {1, 2}, {1, 2}};
+    case FieldId::V:
+      return FieldNeed{{2, 1}, {2, 1}, {1, 2}};
+    case FieldId::W:
+      return FieldNeed{{2, 1}, {1, 2}, {2, 1}};
+    case FieldId::XX:
+      return FieldNeed{{2, 1}, {0, 0}, {0, 0}};
+    case FieldId::YY:
+      return FieldNeed{{0, 0}, {1, 2}, {0, 0}};
+    case FieldId::ZZ:
+      return FieldNeed{{0, 0}, {0, 0}, {1, 2}};
+    case FieldId::XY:
+      return FieldNeed{{1, 2}, {2, 1}, {0, 0}};
+    case FieldId::XZ:
+      return FieldNeed{{1, 2}, {0, 0}, {2, 1}};
+    case FieldId::YZ:
+      return FieldNeed{{0, 0}, {2, 1}, {2, 1}};
+    case FieldId::kCount:
+      break;
+  }
+  return FieldNeed{};
+}
+
+inline constexpr std::array<FieldId, 3> kVelocityFields = {
+    FieldId::U, FieldId::V, FieldId::W};
+inline constexpr std::array<FieldId, 6> kStressFields = {
+    FieldId::XX, FieldId::YY, FieldId::ZZ,
+    FieldId::XY, FieldId::XZ, FieldId::YZ};
+
+}  // namespace awp::grid

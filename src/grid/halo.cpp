@@ -1,0 +1,209 @@
+#include "grid/halo.hpp"
+
+#include "util/error.hpp"
+
+namespace awp::grid {
+
+namespace {
+
+struct Interior {
+  std::size_t nx, ny, nz;
+};
+
+Interior interiorOf(const Array3f& f) {
+  return Interior{f.nx() - 2 * kHalo, f.ny() - 2 * kHalo,
+                  f.nz() - 2 * kHalo};
+}
+
+// Number of floats in `count` exchange planes along `axis`.
+std::size_t planeFloats(const Interior& in, int axis, int count) {
+  switch (axis) {
+    case 0:
+      return static_cast<std::size_t>(count) * in.ny * in.nz;
+    case 1:
+      return static_cast<std::size_t>(count) * in.nx * in.nz;
+    default:
+      return static_cast<std::size_t>(count) * in.nx * in.ny;
+  }
+}
+
+// Pack `count` planes starting at raw index `start` along `axis` into buf.
+// Only the interior cross-section of the other two axes is packed: the
+// stencils never read halo corners or edges (all derivatives are
+// axis-aligned), so faces are sufficient.
+void pack(const Array3f& f, int axis, std::size_t start, int count,
+          std::vector<float>& buf) {
+  const Interior in = interiorOf(f);
+  buf.resize(planeFloats(in, axis, count));
+  std::size_t at = 0;
+  if (axis == 0) {
+    for (std::size_t k = kHalo; k < kHalo + in.nz; ++k)
+      for (std::size_t j = kHalo; j < kHalo + in.ny; ++j)
+        for (int p = 0; p < count; ++p)
+          buf[at++] = f(start + static_cast<std::size_t>(p), j, k);
+  } else if (axis == 1) {
+    for (std::size_t k = kHalo; k < kHalo + in.nz; ++k)
+      for (int p = 0; p < count; ++p)
+        for (std::size_t i = kHalo; i < kHalo + in.nx; ++i)
+          buf[at++] = f(i, start + static_cast<std::size_t>(p), k);
+  } else {
+    for (int p = 0; p < count; ++p)
+      for (std::size_t j = kHalo; j < kHalo + in.ny; ++j)
+        for (std::size_t i = kHalo; i < kHalo + in.nx; ++i)
+          buf[at++] = f(i, j, start + static_cast<std::size_t>(p));
+  }
+}
+
+void unpack(Array3f& f, int axis, std::size_t start, int count,
+            const std::vector<float>& buf) {
+  const Interior in = interiorOf(f);
+  AWP_CHECK(buf.size() == planeFloats(in, axis, count));
+  std::size_t at = 0;
+  if (axis == 0) {
+    for (std::size_t k = kHalo; k < kHalo + in.nz; ++k)
+      for (std::size_t j = kHalo; j < kHalo + in.ny; ++j)
+        for (int p = 0; p < count; ++p)
+          f(start + static_cast<std::size_t>(p), j, k) = buf[at++];
+  } else if (axis == 1) {
+    for (std::size_t k = kHalo; k < kHalo + in.nz; ++k)
+      for (int p = 0; p < count; ++p)
+        for (std::size_t i = kHalo; i < kHalo + in.nx; ++i)
+          f(i, start + static_cast<std::size_t>(p), k) = buf[at++];
+  } else {
+    for (int p = 0; p < count; ++p)
+      for (std::size_t j = kHalo; j < kHalo + in.ny; ++j)
+        for (std::size_t i = kHalo; i < kHalo + in.nx; ++i)
+          f(i, j, start + static_cast<std::size_t>(p)) = buf[at++];
+  }
+}
+
+std::size_t interiorExtent(const Interior& in, int axis) {
+  return axis == 0 ? in.nx : (axis == 1 ? in.ny : in.nz);
+}
+
+}  // namespace
+
+HaloExchanger::HaloExchanger(vcluster::Communicator& comm,
+                             const vcluster::CartTopology& topo, Mode mode,
+                             bool reduced)
+    : comm_(comm), topo_(topo), mode_(mode), reduced_(reduced) {
+  AWP_CHECK(comm.size() == topo.size());
+}
+
+int HaloExchanger::tagFor(int fieldSlot, int axis, int dir) const {
+  // Unique per (exchange call, field, axis, direction): the asynchronous
+  // model's "unique tagging to avoid source/destination ambiguity".
+  return (seq_ & 0xFFFF) * 128 + fieldSlot * 8 + axis * 2 + (dir > 0 ? 1 : 0);
+}
+
+void HaloExchanger::sendOne(Array3f& f, const AxisNeed& need, int axis,
+                            int dir, int tag) {
+  const int neighbor = topo_.neighbor(comm_.rank(), axis, dir);
+  if (neighbor < 0) return;
+  // To the minus neighbor we send the planes it needs on its plus side
+  // (need.plus of our bottom interior); symmetrically for plus.
+  const int count = dir < 0 ? need.plus : need.minus;
+  if (count == 0) return;
+  const Interior in = interiorOf(f);
+  const std::size_t start =
+      dir < 0 ? kHalo
+              : kHalo + interiorExtent(in, axis) -
+                    static_cast<std::size_t>(count);
+  std::vector<float> buf;
+  pack(f, axis, start, count, buf);
+  comm_.sendSpan<float>(neighbor, tag, buf);
+  ++stats_.messages;
+  stats_.bytes += buf.size() * sizeof(float);
+  stats_.planes += static_cast<std::uint64_t>(count);
+}
+
+void HaloExchanger::recvOne(Array3f& f, const AxisNeed& need, int axis,
+                            int dir, int tag) {
+  const int neighbor = topo_.neighbor(comm_.rank(), axis, dir);
+  if (neighbor < 0) return;
+  const int count = dir < 0 ? need.minus : need.plus;
+  if (count == 0) return;
+  const Interior in = interiorOf(f);
+  const std::size_t start =
+      dir < 0 ? kHalo - static_cast<std::size_t>(count)
+              : kHalo + interiorExtent(in, axis);
+  std::vector<float> buf(planeFloats(in, axis, count));
+  comm_.recvSpan<float>(neighbor, tag, std::span<float>(buf));
+  unpack(f, axis, start, count, buf);
+}
+
+void HaloExchanger::runExchangeRaw(std::vector<Array3f*> fields,
+                                   const std::vector<FieldNeed>& needs) {
+  AWP_CHECK(fields.size() == needs.size());
+  ++seq_;
+
+  if (mode_ == Mode::Asynchronous) {
+    // Post everything, then complete everything: out-of-order arrival is
+    // handled by the unique tags.
+    for (std::size_t s = 0; s < fields.size(); ++s)
+      for (int axis = 0; axis < 3; ++axis)
+        for (int dir : {-1, 1})
+          sendOne(*fields[s], needs[s].axis(axis), axis, dir,
+                  tagFor(static_cast<int>(s), axis, dir));
+    for (std::size_t s = 0; s < fields.size(); ++s)
+      for (int axis = 0; axis < 3; ++axis)
+        for (int dir : {-1, 1}) {
+          // Note the mirrored tag: a message sent toward dir arrives at a
+          // rank receiving from -dir.
+          recvOne(*fields[s], needs[s].axis(axis), axis, dir,
+                  tagFor(static_cast<int>(s), axis, -dir));
+        }
+  } else {
+    // Synchronous cascade: one axis at a time, a global barrier between
+    // axes (the "redundant synchronization" the async redesign removed).
+    for (int axis = 0; axis < 3; ++axis) {
+      for (std::size_t s = 0; s < fields.size(); ++s)
+        for (int dir : {-1, 1})
+          sendOne(*fields[s], needs[s].axis(axis), axis, dir,
+                  tagFor(static_cast<int>(s), axis, dir));
+      for (std::size_t s = 0; s < fields.size(); ++s)
+        for (int dir : {-1, 1})
+          recvOne(*fields[s], needs[s].axis(axis), axis, dir,
+                  tagFor(static_cast<int>(s), axis, -dir));
+      comm_.barrier();
+    }
+  }
+}
+
+void HaloExchanger::runExchange(StaggeredGrid& g,
+                                const std::vector<FieldId>& fields,
+                                bool forceFull) {
+  std::vector<Array3f*> arrays;
+  std::vector<FieldNeed> needs;
+  arrays.reserve(fields.size());
+  needs.reserve(fields.size());
+  for (FieldId f : fields) {
+    arrays.push_back(&g.field(f));
+    needs.push_back((reduced_ && !forceFull) ? reducedNeed(f) : fullNeed());
+  }
+  runExchangeRaw(std::move(arrays), needs);
+}
+
+void HaloExchanger::exchangeVelocities(StaggeredGrid& g) {
+  runExchange(
+      g, {FieldId::U, FieldId::V, FieldId::W}, /*forceFull=*/false);
+}
+
+void HaloExchanger::exchangeStresses(StaggeredGrid& g) {
+  runExchange(g,
+              {FieldId::XX, FieldId::YY, FieldId::ZZ, FieldId::XY,
+               FieldId::XZ, FieldId::YZ},
+              /*forceFull=*/false);
+}
+
+void HaloExchanger::exchangeMaterial(StaggeredGrid& g) {
+  std::vector<Array3f*> arrays = {&g.rho, &g.lam, &g.mu, &g.lami, &g.mui};
+  if (g.attenuation().enabled) {
+    arrays.push_back(&g.qsInv);
+    arrays.push_back(&g.qpInv);
+  }
+  std::vector<FieldNeed> needs(arrays.size(), fullNeed());
+  runExchangeRaw(std::move(arrays), needs);
+}
+
+}  // namespace awp::grid

@@ -1,0 +1,58 @@
+#include "io/aggregated_writer.hpp"
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace awp::io {
+
+AggregatedWriter::AggregatedWriter(SharedFile* file, std::size_t recordFloats,
+                                   std::uint64_t rankOffsetFloats,
+                                   std::uint64_t stepFloatsGlobal,
+                                   int flushEverySamples)
+    : file_(file),
+      recordFloats_(recordFloats),
+      rankOffsetFloats_(rankOffsetFloats),
+      stepFloatsGlobal_(stepFloatsGlobal),
+      flushEverySamples_(flushEverySamples) {
+  AWP_CHECK(file_ != nullptr);
+  AWP_CHECK(flushEverySamples_ >= 1);
+  AWP_CHECK(rankOffsetFloats_ + recordFloats_ <= stepFloatsGlobal_);
+  buffer_.reserve(recordFloats_ *
+                  static_cast<std::size_t>(flushEverySamples_));
+}
+
+void AggregatedWriter::appendSample(const float* data, std::size_t count) {
+  AWP_CHECK_MSG(count == recordFloats_, "sample size mismatch");
+  buffer_.insert(buffer_.end(), data, data + count);
+  ++samplesBuffered_;
+  stats_.recordsBuffered += count;
+  if (samplesBuffered_ >= static_cast<std::uint64_t>(flushEverySamples_))
+    flush();
+}
+
+void AggregatedWriter::flush() {
+  if (samplesBuffered_ == 0) return;
+  Stopwatch watch;
+  // The file is laid out step-major: sample s occupies the float range
+  // [s * stepFloatsGlobal, (s+1) * stepFloatsGlobal). Each buffered sample
+  // is written at its own displacement (one pwrite per sample — the
+  // aggregation savings come from batching the *flushes*, not from
+  // coalescing across steps, matching the paper's buffer-then-flush).
+  for (std::uint64_t s = 0; s < samplesBuffered_; ++s) {
+    const std::uint64_t sampleIndex = samplesFlushed_ + s;
+    const std::uint64_t offsetBytes =
+        (sampleIndex * stepFloatsGlobal_ + rankOffsetFloats_) * sizeof(float);
+    const float* src = buffer_.data() + s * recordFloats_;
+    file_->writeAt(offsetBytes,
+                   std::span<const float>(src, recordFloats_));
+  }
+  samplesFlushed_ += samplesBuffered_;
+  stats_.bytesWritten +=
+      samplesBuffered_ * recordFloats_ * sizeof(float);
+  ++stats_.flushes;
+  stats_.writeSeconds += watch.seconds();
+  samplesBuffered_ = 0;
+  buffer_.clear();
+}
+
+}  // namespace awp::io

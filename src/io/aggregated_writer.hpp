@@ -1,0 +1,58 @@
+#pragma once
+// Output aggregation. AWP-ODC buffers velocity output in memory and flushes
+// every flushInterval time steps ("the required velocity results are
+// aggregated in memory buffers as much as possible before being flushed",
+// §III.E; M8 wrote every 20,000 steps). Aggregation is what reduced the
+// I/O overhead from 49% to under 2% of wall-clock time.
+//
+// Each rank owns one AggregatedWriter targeting a shared output file; the
+// writer computes explicit displacements from (step, rank block) exactly as
+// the MPI-IO file views do in the paper.
+
+#include <cstdint>
+#include <vector>
+
+#include "io/shared_file.hpp"
+
+namespace awp::io {
+
+struct WriterStats {
+  std::uint64_t recordsBuffered = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t bytesWritten = 0;
+  double writeSeconds = 0.0;
+};
+
+class AggregatedWriter {
+ public:
+  // `recordFloats`: number of floats this rank contributes per sampled
+  // step; `rankOffsetFloats`: this rank's displacement within one step's
+  // global record; `stepFloatsGlobal`: total floats per sampled step over
+  // all ranks; `flushEverySamples`: how many sampled steps to aggregate
+  // before flushing (1 disables aggregation — the pre-tuning behaviour).
+  AggregatedWriter(SharedFile* file, std::size_t recordFloats,
+                   std::uint64_t rankOffsetFloats,
+                   std::uint64_t stepFloatsGlobal, int flushEverySamples);
+
+  // Append one sampled step worth of data (must be recordFloats long).
+  void appendSample(const float* data, std::size_t count);
+
+  // Flush whatever is buffered.
+  void flush();
+
+  [[nodiscard]] const WriterStats& stats() const { return stats_; }
+
+ private:
+  SharedFile* file_;
+  std::size_t recordFloats_;
+  std::uint64_t rankOffsetFloats_;
+  std::uint64_t stepFloatsGlobal_;
+  int flushEverySamples_;
+
+  std::vector<float> buffer_;
+  std::uint64_t samplesBuffered_ = 0;
+  std::uint64_t samplesFlushed_ = 0;
+  WriterStats stats_;
+};
+
+}  // namespace awp::io

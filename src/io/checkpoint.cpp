@@ -1,0 +1,86 @@
+#include "io/checkpoint.hpp"
+
+#include <sys/stat.h>
+
+#include <cstring>
+
+#include "io/shared_file.hpp"
+#include "util/error.hpp"
+#include "util/md5.hpp"
+
+namespace awp::io {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4157504f44435031ULL;  // "AWPODCP1"
+
+struct Header {
+  std::uint64_t magic;
+  std::uint64_t step;
+  std::uint64_t payloadBytes;
+  std::uint8_t digest[16];
+};
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string directory, OpenThrottle* throttle)
+    : directory_(std::move(directory)), throttle_(throttle) {
+  ::mkdir(directory_.c_str(), 0755);  // ok if it already exists
+}
+
+std::string CheckpointStore::pathFor(int rank) const {
+  return directory_ + "/ckpt_rank" + std::to_string(rank) + ".bin";
+}
+
+bool CheckpointStore::exists(int rank) const {
+  struct stat st{};
+  return ::stat(pathFor(rank).c_str(), &st) == 0;
+}
+
+void CheckpointStore::write(int rank, std::uint64_t step,
+                            std::span<const std::byte> state) {
+  Header h{};
+  h.magic = kMagic;
+  h.step = step;
+  h.payloadBytes = state.size();
+  const auto digest = Md5::hash(state.data(), state.size());
+  std::memcpy(h.digest, digest.data(), sizeof(h.digest));
+
+  auto writeBody = [&] {
+    SharedFile f(pathFor(rank), SharedFile::Mode::Write);
+    f.truncate(0);
+    f.writeAt(0, std::span<const std::byte>(
+                     reinterpret_cast<const std::byte*>(&h), sizeof(h)));
+    f.writeAt(sizeof(h), state);
+  };
+  if (throttle_ != nullptr) {
+    OpenThrottle::Ticket ticket(*throttle_);
+    writeBody();
+  } else {
+    writeBody();
+  }
+}
+
+CheckpointStore::Restored CheckpointStore::read(int rank) const {
+  auto readBody = [&]() -> Restored {
+    SharedFile f(pathFor(rank), SharedFile::Mode::Read);
+    Header h{};
+    f.readAt(0, std::span<std::byte>(reinterpret_cast<std::byte*>(&h),
+                                     sizeof(h)));
+    AWP_CHECK_MSG(h.magic == kMagic, "bad checkpoint magic");
+    Restored r;
+    r.step = h.step;
+    r.state.resize(h.payloadBytes);
+    f.readAt(sizeof(h), std::span<std::byte>(r.state));
+    const auto digest = Md5::hash(r.state.data(), r.state.size());
+    if (std::memcmp(digest.data(), h.digest, sizeof(h.digest)) != 0)
+      throw Error("checkpoint digest mismatch for rank " +
+                  std::to_string(rank) + " (torn or corrupted checkpoint)");
+    return r;
+  };
+  if (throttle_ != nullptr) {
+    OpenThrottle::Ticket ticket(*throttle_);
+    return readBody();
+  }
+  return readBody();
+}
+
+}  // namespace awp::io

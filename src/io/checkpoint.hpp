@@ -1,0 +1,44 @@
+#pragma once
+// Application-level checkpoint/restart (§III.F): "All simulation states
+// consisting of all the internal state variables on each processor are
+// periodically saved into reliable storage where each processor is
+// responsible for writing and updating its own checkpoint data."
+//
+// Layout: one file per rank, <dir>/ckpt_rank<r>.bin, containing a header
+// (magic, step, payload size, MD5 of payload) followed by the raw state
+// blob. Restart verifies the digest before handing the state back.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/throttle.hpp"
+
+namespace awp::io {
+
+class CheckpointStore {
+ public:
+  // `throttle` may be null (no concurrent-open limiting); when set, writes
+  // and reads take a throttle ticket, matching the §IV.E scheme that was
+  // "also applied to the checkpointing scheme".
+  CheckpointStore(std::string directory, OpenThrottle* throttle = nullptr);
+
+  void write(int rank, std::uint64_t step, std::span<const std::byte> state);
+
+  struct Restored {
+    std::uint64_t step = 0;
+    std::vector<std::byte> state;
+  };
+  // Throws awp::Error on missing file or digest mismatch (torn checkpoint).
+  Restored read(int rank) const;
+
+  [[nodiscard]] bool exists(int rank) const;
+  [[nodiscard]] std::string pathFor(int rank) const;
+
+ private:
+  std::string directory_;
+  OpenThrottle* throttle_;
+};
+
+}  // namespace awp::io

@@ -1,0 +1,28 @@
+#include "io/checksum.hpp"
+
+#include "util/md5.hpp"
+
+namespace awp::io {
+
+ChecksumResult parallelMd5(vcluster::Communicator& comm,
+                           std::span<const std::byte> block) {
+  ChecksumResult result;
+  result.rankDigest = Md5::hash(block.data(), block.size());
+
+  const auto digests = comm.gatherBytes(
+      0, std::span<const std::byte>(
+             reinterpret_cast<const std::byte*>(result.rankDigest.data()),
+             result.rankDigest.size()));
+
+  if (comm.rank() == 0) {
+    Md5 combined;
+    for (const auto& d : digests) combined.update(d.data(), d.size());
+    result.collectionDigest = combined.digest();
+  }
+  comm.bcast(0, result.collectionDigest.data(),
+             result.collectionDigest.size());
+  result.collectionHex = Md5::toHex(result.collectionDigest);
+  return result;
+}
+
+}  // namespace awp::io

@@ -1,0 +1,29 @@
+#pragma once
+// Parallel MD5 checksumming: "we generate MD5 checksums in parallel at each
+// processor for each mesh sub-array. The parallelized MD5 approach
+// substantially decreases the time needed to generate the checksums for
+// several terabytes of data" (§III.E). Each rank hashes its own block; the
+// collection digest is the MD5 of the rank digests in rank order, so it is
+// deterministic and independent of arrival order.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "vcluster/comm.hpp"
+
+namespace awp::io {
+
+struct ChecksumResult {
+  std::array<std::uint8_t, 16> rankDigest{};      // this rank's block digest
+  std::array<std::uint8_t, 16> collectionDigest{};  // valid on every rank
+  std::string collectionHex;
+};
+
+// Collective: every rank passes its block; all ranks return the combined
+// collection digest.
+ChecksumResult parallelMd5(vcluster::Communicator& comm,
+                           std::span<const std::byte> block);
+
+}  // namespace awp::io

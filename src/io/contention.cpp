@@ -1,0 +1,58 @@
+#include "io/contention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace awp::io {
+
+FileSystemModel FileSystemModel::jaguarLustre() {
+  return FileSystemModel{"Jaguar Lustre", 670, 33e6, 250e6, 650, 1.2};
+}
+
+FileSystemModel FileSystemModel::gpfsLike() {
+  return FileSystemModel{"GPFS-like", 256, 60e6, 200e6, 4000, 1.1};
+}
+
+double FileSystemModel::aggregateBandwidth(int writers) const {
+  if (writers <= 0) return 0.0;
+  const double clientLimited = static_cast<double>(writers) *
+                               perClientBandwidth;
+  const double ostLimited = static_cast<double>(osts) * perOstBandwidth;
+  const double raw = std::min(clientLimited, ostLimited);
+  if (writers <= mdsComfortLimit) return raw;
+  // Beyond the MDS comfort zone each extra opener costs super-linearly.
+  const double excess = static_cast<double>(writers - mdsComfortLimit) /
+                        static_cast<double>(mdsComfortLimit);
+  return raw / (1.0 + std::pow(excess, mdsPenaltyExponent) * 4.0);
+}
+
+int FileSystemModel::bestWriterCount(int maxWriters) const {
+  int best = 1;
+  double bestBw = aggregateBandwidth(1);
+  for (int w = 2; w <= maxWriters; w = std::max(w + 1, w * 11 / 10)) {
+    const double bw = aggregateBandwidth(w);
+    if (bw > bestBw) {
+      bestBw = bw;
+      best = w;
+    }
+  }
+  return best;
+}
+
+StripeConfig stripePolicy(FileClass cls, const FileSystemModel& fs) {
+  switch (cls) {
+    case FileClass::LargeSharedInput:
+      // Wide striping for the single large mesh/source files read through
+      // MPI-IO by many processors simultaneously.
+      return StripeConfig{std::min(fs.osts, fs.mdsComfortLimit), 4 << 20};
+    case FileClass::PrePartitioned:
+      // "The stripe size is set to unity for serial access of
+      // pre-partitioned input files and checkpoints" (§IV.E).
+      return StripeConfig{1, 1 << 20};
+    case FileClass::SimulationOutput:
+      return StripeConfig{fs.osts, 16 << 20};
+  }
+  return StripeConfig{};
+}
+
+}  // namespace awp::io

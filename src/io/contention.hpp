@@ -1,0 +1,51 @@
+#pragma once
+// File-system contention model for petascale projections. Captures the two
+// effects §III.C/§IV.E describe: (1) aggregate bandwidth grows with the
+// number of concurrent writers until the available OSTs saturate, and
+// (2) metadata-server load degrades throughput once concurrent opens exceed
+// what the MDS tolerates (the BG/P pre-partitioned read "failed at more
+// than 100K cores"; Jaguar ran best with <=650 concurrent opens against
+// 670 OSTs, reaching 20 GB/s).
+
+#include <cstdint>
+#include <string>
+
+namespace awp::io {
+
+struct FileSystemModel {
+  std::string name;
+  int osts = 670;                   // object storage targets
+  double perOstBandwidth = 33e6;    // B/s sustained per OST
+  double perClientBandwidth = 250e6;  // B/s one client can drive
+  int mdsComfortLimit = 650;        // concurrent opens before MDS degrades
+  double mdsPenaltyExponent = 1.2;  // super-linear degradation beyond limit
+
+  // Jaguar's Lustre scratch (spider), calibrated so ~650 writers reach the
+  // paper's ~20 GB/s aggregate.
+  static FileSystemModel jaguarLustre();
+  // A GPFS-like system with stronger MDS tolerance but fewer OSTs.
+  static FileSystemModel gpfsLike();
+
+  // Modeled aggregate throughput [B/s] with `writers` concurrent clients.
+  [[nodiscard]] double aggregateBandwidth(int writers) const;
+
+  // Best writer count (peak of the curve) within [1, maxWriters].
+  [[nodiscard]] int bestWriterCount(int maxWriters) const;
+};
+
+// Striping configuration, mirroring the `lfs setstripe` policy of §IV.E:
+// different file classes get different stripe settings.
+enum class FileClass {
+  LargeSharedInput,   // mesh & source: stripe wide for concurrent MPI-IO
+  PrePartitioned,     // per-rank inputs & checkpoints: stripe count 1
+  SimulationOutput,   // aggregated outputs: large stripe count
+};
+
+struct StripeConfig {
+  int stripeCount = 1;
+  std::int64_t stripeSizeBytes = 1 << 20;
+};
+
+StripeConfig stripePolicy(FileClass cls, const FileSystemModel& fs);
+
+}  // namespace awp::io

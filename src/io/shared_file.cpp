@@ -1,0 +1,125 @@
+#include "io/shared_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace awp::io {
+
+namespace {
+[[noreturn]] void throwErrno(const std::string& what, const std::string& path) {
+  throw Error(what + " '" + path + "': " + std::strerror(errno));
+}
+}  // namespace
+
+SharedFile::SharedFile(const std::string& path, Mode mode) {
+  open(path, mode);
+}
+
+SharedFile::~SharedFile() { close(); }
+
+SharedFile::SharedFile(SharedFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+SharedFile& SharedFile::operator=(SharedFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+void SharedFile::open(const std::string& path, Mode mode) {
+  close();
+  int flags = 0;
+  switch (mode) {
+    case Mode::Read:
+      flags = O_RDONLY;
+      break;
+    case Mode::Write:
+      flags = O_RDWR | O_CREAT;
+      break;
+    case Mode::ReadWrite:
+      flags = O_RDWR | O_CREAT;
+      break;
+  }
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) throwErrno("cannot open", path);
+  path_ = path;
+}
+
+void SharedFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void SharedFile::readAt(std::uint64_t offset, std::span<std::byte> out) const {
+  AWP_CHECK(isOpen());
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throwErrno("pread failed on", path_);
+    }
+    if (n == 0)
+      throw Error("short read (EOF) on '" + path_ + "'");
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void SharedFile::writeAt(std::uint64_t offset,
+                         std::span<const std::byte> data) {
+  AWP_CHECK(isOpen());
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throwErrno("pwrite failed on", path_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+std::uint64_t SharedFile::size() const {
+  AWP_CHECK(isOpen());
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) throwErrno("fstat failed on", path_);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void SharedFile::truncate(std::uint64_t size) {
+  AWP_CHECK(isOpen());
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0)
+    throwErrno("ftruncate failed on", path_);
+}
+
+void writeFile(const std::string& path, std::span<const std::byte> data) {
+  SharedFile f(path, SharedFile::Mode::Write);
+  f.truncate(0);
+  f.writeAt(0, data);
+}
+
+std::string readTextFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace awp::io

@@ -1,0 +1,62 @@
+#pragma once
+// Positional-I/O file wrapper. This is the MPI-IO substitute: all ranks of
+// a virtual cluster may hold a SharedFile on the same path and perform
+// reads/writes at explicit displacements, which is exactly how AWP-ODC
+// drives MPI-IO ("instead of using individual file handles and associated
+// offsets, we use explicit displacements to perform data accesses at the
+// specific locations for all the participating processors", §III.E).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace awp::io {
+
+class SharedFile {
+ public:
+  enum class Mode { Read, Write, ReadWrite };
+
+  SharedFile() = default;
+  SharedFile(const std::string& path, Mode mode);
+  ~SharedFile();
+
+  SharedFile(SharedFile&& other) noexcept;
+  SharedFile& operator=(SharedFile&& other) noexcept;
+  SharedFile(const SharedFile&) = delete;
+  SharedFile& operator=(const SharedFile&) = delete;
+
+  void open(const std::string& path, Mode mode);
+  void close();
+  [[nodiscard]] bool isOpen() const { return fd_ >= 0; }
+
+  // Thread-safe positional access (pread/pwrite); full-length transfers or
+  // awp::Error.
+  void readAt(std::uint64_t offset, std::span<std::byte> out) const;
+  void writeAt(std::uint64_t offset, std::span<const std::byte> data);
+
+  template <typename T>
+  void readAt(std::uint64_t offset, std::span<T> out) const {
+    readAt(offset, std::as_writable_bytes(out));
+  }
+  template <typename T>
+  void writeAt(std::uint64_t offset, std::span<const T> data) {
+    writeAt(offset, std::as_bytes(data));
+  }
+
+  [[nodiscard]] std::uint64_t size() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  // Pre-size the file (used before concurrent strided writes).
+  void truncate(std::uint64_t size);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+// Convenience whole-file helpers.
+void writeFile(const std::string& path, std::span<const std::byte> data);
+std::string readTextFile(const std::string& path);
+
+}  // namespace awp::io

@@ -1,0 +1,33 @@
+#include "io/throttle.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace awp::io {
+
+OpenThrottle::OpenThrottle(int maxConcurrent) : limit_(maxConcurrent) {
+  AWP_CHECK(maxConcurrent > 0);
+}
+
+void OpenThrottle::acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return active_ < limit_; });
+  ++active_;
+  peak_ = std::max(peak_, active_);
+}
+
+void OpenThrottle::release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+  }
+  cv_.notify_one();
+}
+
+int OpenThrottle::peakConcurrent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_;
+}
+
+}  // namespace awp::io

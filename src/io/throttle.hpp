@@ -1,0 +1,47 @@
+#pragma once
+// Concurrent-open throttle. At large core counts per-process file I/O is
+// "hindered by the collection of metadata operations or file system
+// contention"; AWP-ODC constrains "the number of synchronously opened
+// files to control the number of concurrent requests hitting the metadata
+// servers" (§IV.E) — for M8, at most 650 simultaneous opens against
+// Jaguar's 670 OSTs. This class is that limiter for the virtual cluster.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace awp::io {
+
+class OpenThrottle {
+ public:
+  explicit OpenThrottle(int maxConcurrent);
+
+  void acquire();
+  void release();
+
+  // Peak concurrency observed (for tests: must never exceed the limit).
+  [[nodiscard]] int peakConcurrent() const;
+  [[nodiscard]] int limit() const { return limit_; }
+
+  // RAII ticket.
+  class Ticket {
+   public:
+    explicit Ticket(OpenThrottle& t) : throttle_(&t) { throttle_->acquire(); }
+    ~Ticket() {
+      if (throttle_ != nullptr) throttle_->release();
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+   private:
+    OpenThrottle* throttle_;
+  };
+
+ private:
+  const int limit_;
+  int active_ = 0;
+  int peak_ = 0;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace awp::io

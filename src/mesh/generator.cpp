@@ -1,0 +1,62 @@
+#include "mesh/generator.hpp"
+
+#include <vector>
+
+#include "io/shared_file.hpp"
+#include "util/error.hpp"
+#include "vcluster/cart.hpp"
+#include "vcluster/cluster.hpp"
+
+namespace awp::mesh {
+
+void generateMesh(vcluster::Communicator& comm,
+                  const vmodel::VelocityModel& model, const MeshSpec& spec,
+                  const std::string& path) {
+  AWP_CHECK(spec.nx > 0 && spec.ny > 0 && spec.nz > 0 && spec.h > 0.0);
+
+  // Rank 0 creates and sizes the file; everyone opens after that.
+  if (comm.rank() == 0) {
+    io::SharedFile f(path, io::SharedFile::Mode::Write);
+    f.truncate(meshFileSize(spec));
+    MeshHeader h;
+    h.nx = spec.nx;
+    h.ny = spec.ny;
+    h.nz = spec.nz;
+    h.h = spec.h;
+    h.x0 = spec.x0;
+    h.y0 = spec.y0;
+    f.writeAt(0, std::span<const std::byte>(
+                     reinterpret_cast<const std::byte*>(&h), sizeof(h)));
+  }
+  comm.barrier();
+
+  io::SharedFile f(path, io::SharedFile::Mode::ReadWrite);
+
+  // Slice decomposition along z: each rank extracts and writes its slices.
+  const auto zRange = vcluster::CartTopology::blockRange(
+      spec.nz, comm.size(), comm.rank());
+
+  std::vector<vmodel::Material> plane(spec.nx * spec.ny);
+  for (std::uint64_t k = zRange.begin; k < zRange.end; ++k) {
+    const double z = static_cast<double>(k) * spec.h;
+    for (std::uint64_t j = 0; j < spec.ny; ++j) {
+      const double y = spec.y0 + static_cast<double>(j) * spec.h;
+      for (std::uint64_t i = 0; i < spec.nx; ++i) {
+        const double x = spec.x0 + static_cast<double>(i) * spec.h;
+        plane[j * spec.nx + i] = model.sample(x, y, z);
+      }
+    }
+    f.writeAt(pointOffset(spec, 0, 0, k),
+              std::span<const vmodel::Material>(plane));
+  }
+  comm.barrier();
+}
+
+void generateMeshSerial(const vmodel::VelocityModel& model,
+                        const MeshSpec& spec, const std::string& path) {
+  vcluster::ThreadCluster::run(1, [&](vcluster::Communicator& comm) {
+    generateMesh(comm, model, spec, path);
+  });
+}
+
+}  // namespace awp::mesh

@@ -1,0 +1,30 @@
+#pragma once
+// CVM2MESH: parallel mesh extraction from a community velocity model
+// (§III.B). "The program partitions the mesh region into a set of slices
+// along the z-axis. Each slice is assigned to an individual core for
+// extraction from the underlying CVM. ... Each core contributes its slice
+// to the final mesh by computing the offset location of the slice within
+// the mesh file, and uses efficient MPI-IO file operations to seek that
+// location and write the slices."
+
+#include <string>
+
+#include "mesh/mesh_file.hpp"
+#include "vcluster/comm.hpp"
+#include "vmodel/cvm.hpp"
+
+namespace awp::mesh {
+
+// Collective over all ranks of `comm`: samples the model on the uniform
+// grid described by `spec` and writes the single global mesh file at
+// `path`. Depth of point (i,j,k) is k*h measured down from the free
+// surface (k = 0 is the surface plane).
+void generateMesh(vcluster::Communicator& comm,
+                  const vmodel::VelocityModel& model, const MeshSpec& spec,
+                  const std::string& path);
+
+// Serial convenience wrapper (single rank).
+void generateMeshSerial(const vmodel::VelocityModel& model,
+                        const MeshSpec& spec, const std::string& path);
+
+}  // namespace awp::mesh

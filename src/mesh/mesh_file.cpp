@@ -1,0 +1,29 @@
+#include "mesh/mesh_file.hpp"
+
+#include "io/shared_file.hpp"
+#include "util/error.hpp"
+
+namespace awp::mesh {
+
+std::uint64_t pointOffset(const MeshSpec& spec, std::uint64_t i,
+                          std::uint64_t j, std::uint64_t k) {
+  const std::uint64_t linear = (k * spec.ny + j) * spec.nx + i;
+  return sizeof(MeshHeader) + linear * sizeof(vmodel::Material);
+}
+
+std::uint64_t meshFileSize(const MeshSpec& spec) {
+  return sizeof(MeshHeader) + spec.pointCount() * sizeof(vmodel::Material);
+}
+
+MeshHeader readMeshHeader(const std::string& path) {
+  io::SharedFile f(path, io::SharedFile::Mode::Read);
+  MeshHeader h;
+  f.readAt(0, std::span<std::byte>(reinterpret_cast<std::byte*>(&h),
+                                   sizeof(h)));
+  AWP_CHECK_MSG(h.magic == MeshHeader::kMagic, "not a mesh file: " + path);
+  AWP_CHECK_MSG(f.size() == meshFileSize(h.spec()),
+                "mesh file size does not match its header: " + path);
+  return h;
+}
+
+}  // namespace awp::mesh

@@ -1,0 +1,51 @@
+#pragma once
+// Binary mesh file format produced by the CVM2MESH generator and consumed
+// by the PetaMeshP partitioner (§III.B–C). One global file:
+//
+//   MeshHeader (64 bytes)
+//   then nx*ny*nz Material records (vp, vs, rho as float32), x fastest,
+//   then y, then z — so one XY plane is contiguous, which is what the
+//   read-and-redistribute partitioning model exploits ("each XY plane is
+//   read in parallel ... and distributed to the associated receivers").
+
+#include <cstdint>
+#include <string>
+
+#include "vmodel/material.hpp"
+
+namespace awp::mesh {
+
+struct MeshSpec {
+  std::uint64_t nx = 0, ny = 0, nz = 0;
+  double h = 0.0;        // grid spacing [m]
+  double x0 = 0.0, y0 = 0.0;  // origin of the sampled volume [m]
+
+  [[nodiscard]] std::uint64_t pointCount() const { return nx * ny * nz; }
+};
+
+struct MeshHeader {
+  std::uint64_t magic = kMagic;
+  std::uint64_t nx = 0, ny = 0, nz = 0;
+  double h = 0.0;
+  double x0 = 0.0, y0 = 0.0;
+  std::uint64_t reserved = 0;
+
+  static constexpr std::uint64_t kMagic = 0x4157504d45534831ULL;  // AWPMESH1
+
+  [[nodiscard]] MeshSpec spec() const { return {nx, ny, nz, h, x0, y0}; }
+};
+static_assert(sizeof(MeshHeader) == 64);
+static_assert(sizeof(vmodel::Material) == 12,
+              "Material must be 3 packed floats for the on-disk layout");
+
+// Byte offset of point (i, j, k) within the mesh file.
+std::uint64_t pointOffset(const MeshSpec& spec, std::uint64_t i,
+                          std::uint64_t j, std::uint64_t k);
+
+// Total file size for a spec.
+std::uint64_t meshFileSize(const MeshSpec& spec);
+
+// Read and validate the header of an existing mesh file.
+MeshHeader readMeshHeader(const std::string& path);
+
+}  // namespace awp::mesh

@@ -1,0 +1,81 @@
+#pragma once
+// PetaMeshP: petascale mesh partitioning (§III.C). Three access models, all
+// producing the identical per-rank sub-block:
+//
+//  1. Pre-partitioning (serial I/O): a preparation pass writes one small
+//     file per solver rank; the solver then reads only its own file.
+//     "Although many per-core partitioned small files are generated, this
+//     model provides efficient data locality." M8 used this path, reading
+//     223,074 pre-partitioned files in 4 minutes.
+//  2. On-demand read-and-redistribute (the advanced MPI-IO model): a
+//     subset of ranks ("readers") read highly contiguous XY planes and
+//     redistribute sub-rectangles point-to-point to the destination ranks
+//     ("receivers"). A plane may be subdivided along Y by a factor n so n
+//     times more readers participate (Fig 9).
+//  3. Direct strided reads: every rank reads its own x-runs straight from
+//     the global file — the fallback "direct contiguous MPI-IO imbedded
+//     into the solver" of §VII.B.
+
+#include <string>
+#include <vector>
+
+#include "io/throttle.hpp"
+#include "mesh/mesh_file.hpp"
+#include "vcluster/cart.hpp"
+#include "vcluster/comm.hpp"
+
+namespace awp::mesh {
+
+struct SubdomainSpec {
+  vcluster::Range x, y, z;
+  [[nodiscard]] std::uint64_t pointCount() const {
+    return static_cast<std::uint64_t>(x.count()) * y.count() * z.count();
+  }
+};
+
+// The global index block owned by `rank` under a Cartesian decomposition.
+SubdomainSpec subdomainFor(const vcluster::CartTopology& topo,
+                           const MeshSpec& spec, int rank);
+
+// A rank's materialized sub-block (local storage, x fastest).
+struct MeshBlock {
+  SubdomainSpec spec;
+  std::vector<vmodel::Material> points;
+
+  [[nodiscard]] const vmodel::Material& at(std::size_t li, std::size_t lj,
+                                           std::size_t lk) const {
+    return points[li + spec.x.count() * (lj + spec.y.count() * lk)];
+  }
+  [[nodiscard]] vmodel::Material& at(std::size_t li, std::size_t lj,
+                                     std::size_t lk) {
+    return points[li + spec.x.count() * (lj + spec.y.count() * lk)];
+  }
+};
+
+// --- Model 1: pre-partitioning -------------------------------------------
+// Collective: each rank extracts its block from the global mesh file and
+// writes <dir>/mesh_rank<r>.bin. `throttle` bounds concurrent opens.
+void prePartitionMesh(vcluster::Communicator& comm,
+                      const std::string& meshPath,
+                      const vcluster::CartTopology& topo,
+                      const std::string& dir,
+                      io::OpenThrottle* throttle = nullptr);
+
+// Solver-side read of a pre-partitioned block.
+MeshBlock readPrePartitioned(const std::string& dir, int rank,
+                             io::OpenThrottle* throttle = nullptr);
+
+// --- Model 2: on-demand read + redistribute -------------------------------
+// Collective: ranks [0, nReaders) act as readers; every rank (readers
+// included) receives its own block. ySubdivision splits each XY plane into
+// that many Y-bands so more readers can work concurrently.
+MeshBlock readAndRedistribute(vcluster::Communicator& comm,
+                              const std::string& meshPath,
+                              const vcluster::CartTopology& topo,
+                              int nReaders, int ySubdivision = 1);
+
+// --- Model 3: direct strided reads ----------------------------------------
+MeshBlock readDirect(const std::string& meshPath,
+                     const vcluster::CartTopology& topo, int rank);
+
+}  // namespace awp::mesh

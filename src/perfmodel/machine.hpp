@@ -1,0 +1,35 @@
+#pragma once
+// Machine catalog reproducing Table 1 of the paper ("Computers used by
+// model for production runs") plus the interconnect parameters the paper's
+// performance model needs: average latency α, inverse bandwidth β, and
+// machine time per flop τ. For Jaguar the paper gives the calibrated values
+// α = 5.5e-6 s, β = 2.5e-10 s/unit, τ = 9.62e-11 s/flop (§V.A); the other
+// machines carry representative values consistent with their interconnect
+// generation, documented per entry.
+
+#include <string>
+#include <vector>
+
+namespace awp::perfmodel {
+
+struct Machine {
+  std::string name;
+  std::string site;
+  std::string processor;
+  std::string interconnect;
+  double peakGflopsPerCore = 0.0;
+  int coresUsed = 0;      // the "Cores used" column of Table 1
+  double alpha = 0.0;     // average message latency [s]
+  double beta = 0.0;      // average time per data unit [s] (1/bandwidth)
+  double tau = 0.0;       // machine computation time per flop [s]
+  bool numa = false;      // multi-socket NUMA node (drives the §IV.A
+                          // synchronous-communication penalty)
+};
+
+// All Table 1 machines, in the paper's row order.
+const std::vector<Machine>& machineCatalog();
+
+// Lookup by name ("Jaguar", "Kraken", ...). Throws awp::Error if unknown.
+const Machine& machineByName(const std::string& name);
+
+}  // namespace awp::perfmodel

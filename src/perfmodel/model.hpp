@@ -1,0 +1,102 @@
+#pragma once
+// The paper's analytic performance model (§V.A):
+//
+//   Eq. (7)  Ttot = Tcomp + Tcomm + Tsync + γ·Toutput + φ·Treini
+//   Eq. (8)  T(N,1)/T(N,p) = Cτ·N / [ Cτ·N/p + 4·(3α + 8β·Axy + 8β·Axz
+//                                                + 8β·Ayz) ]
+//            with Axy = (NX/PX)(NY/PY), etc.
+//
+// plus the version-dependent factors that turn the model into the
+// regenerators for Table 2 and Figs 12–14:
+//   * synchronous-communication cascade penalty on NUMA machines (§IV.A),
+//   * single-CPU optimization / cache blocking compute factors (§IV.B),
+//   * overlap hiding (§IV.C), reduced-communication byte savings (§IV.A),
+//   * I/O share before/after aggregation tuning (§III.E).
+//
+// Calibration: with the defaults below, the model reproduces the paper's
+// anchors — ≈0.55 s/step and 220 Tflop/s sustained for M8 on 223,074 Jaguar
+// cores, ≥98% parallel efficiency from Eq. (8), a ~7x wall-clock gain from
+// the async redesign at 223K cores, and ~28% -> ~75% efficiency on 60K
+// Ranger cores.
+
+#include "perfmodel/machine.hpp"
+#include "perfmodel/version.hpp"
+#include "vcluster/cart.hpp"
+
+namespace awp::perfmodel {
+
+struct ProblemSize {
+  std::size_t nx = 0, ny = 0, nz = 0;
+  [[nodiscard]] double total() const {
+    return static_cast<double>(nx) * static_cast<double>(ny) *
+           static_cast<double>(nz);
+  }
+};
+
+// Canonical SCEC problem sizes (§VI, Fig 14).
+ProblemSize terashakeProblem();  // 3000 x 1500 x 400   (1.8e9, 200 m)
+ProblemSize shakeoutProblem();   // 6000 x 3000 x 800   (14.4e9, 100 m)
+ProblemSize m8Problem();         // 20250 x 10125 x 2125 (436e9, 40 m)
+ProblemSize bluewatersBenchmarkProblem();  // 30000 x 15000 x 3160 (1.4e12)
+
+struct TimeBreakdown {
+  double comp = 0.0;
+  double comm = 0.0;
+  double sync = 0.0;
+  double output = 0.0;
+  double reinit = 0.0;
+  [[nodiscard]] double total() const {
+    return comp + comm + sync + output + reinit;
+  }
+};
+
+class ScalingModel {
+ public:
+  // flopsPerPoint: useful flops per grid point per time step (velocity +
+  // stress + attenuation updates of the 9 wavefield quantities).
+  // sustainedFraction: fraction of per-core peak a stencil code achieves
+  // ("approximately 10% of peak", §VIII).
+  ScalingModel(Machine machine, ProblemSize problem,
+               double flopsPerPoint = kDefaultFlopsPerPoint,
+               double sustainedFraction = kDefaultSustainedFraction);
+
+  // --- Eq. (8), exactly as printed (no version factors) ------------------
+  double speedupEq8(vcluster::Dims3 p) const;
+  double efficiencyEq8(vcluster::Dims3 p) const;
+
+  // --- Eq. (7) breakdown for one code version at p cores -----------------
+  // gammaOutput / phiReinit are the I/O operation rates of Eq. (7); the M8
+  // values are 1/20000 and 1/3000 (§V.A).
+  TimeBreakdown perStep(const VersionTraits& traits, vcluster::Dims3 p,
+                        double gammaOutput = 1.0 / 20000.0,
+                        double phiReinit = 1.0 / 3000.0) const;
+
+  // Sustained performance in Tflop/s for a version at p cores.
+  double sustainedTflops(const VersionTraits& traits,
+                         vcluster::Dims3 p) const;
+
+  // Strong-scaling speedup of a version: T(pBase) * pBase / T(p) convention
+  // (relative to the smallest measured core count, as in Fig 14).
+  double relativeSpeedup(const VersionTraits& traits, vcluster::Dims3 pBase,
+                         vcluster::Dims3 p) const;
+
+  [[nodiscard]] const Machine& machine() const { return machine_; }
+  [[nodiscard]] const ProblemSize& problem() const { return problem_; }
+
+  static constexpr double kDefaultFlopsPerPoint = 280.0;
+  static constexpr double kDefaultSustainedFraction = 0.095;
+  // Eq. (8) as printed uses the paper's effective C (which folds the
+  // sustained fraction into the flop count); this value reproduces the
+  // quoted 2.20e5 speedup / 98.6% efficiency on 223,074 Jaguar cores.
+  static constexpr double kEq8FlopsPerPoint = 163.0;
+
+ private:
+  double syncCascadePenalty(double p) const;
+
+  Machine machine_;
+  ProblemSize problem_;
+  double flopsPerPoint_;
+  double sustainedFraction_;
+};
+
+}  // namespace awp::perfmodel

@@ -1,0 +1,112 @@
+#include "perfmodel/version.hpp"
+
+#include "util/error.hpp"
+
+namespace awp::perfmodel {
+
+const std::vector<VersionTraits>& versionTable() {
+  static const std::vector<VersionTraits> table = [] {
+    std::vector<VersionTraits> t;
+    VersionTraits v{};
+
+    v.version = CodeVersion::V1_0;
+    v.label = "1.0";
+    v.year = 2004;
+    v.simulation = "TeraShake-K";
+    v.optimization = "MPI tuning";
+    v.scecAllocMSu = 0.5;
+    v.paperSustainedTflops = 0.04;
+    t.push_back(v);
+
+    v.version = CodeVersion::V2_0;
+    v.label = "2.0";
+    v.year = 2005;
+    v.simulation = "TeraShake-D";
+    v.optimization = "I/O tuning";
+    v.scecAllocMSu = 1.4;
+    v.paperSustainedTflops = 0.68;
+    v.ioTuned = true;
+    t.push_back(v);
+
+    v.version = CodeVersion::V3_0;
+    v.label = "3.0";
+    v.year = 2006;
+    v.simulation = "PN MegaQuake";
+    v.optimization = "partitioned mesh";
+    v.scecAllocMSu = 1.0;
+    v.paperSustainedTflops = 1.44;
+    v.partitionedMesh = true;
+    t.push_back(v);
+
+    v.version = CodeVersion::V4_0;
+    v.label = "4.0";
+    v.year = 2007;
+    v.simulation = "ShakeOut-K";
+    v.optimization = "incorporated SGSN";
+    v.scecAllocMSu = 15.0;
+    v.paperSustainedTflops = 7.29;
+    v.sgsn = true;
+    t.push_back(v);
+
+    v.version = CodeVersion::V5_0;
+    v.label = "5.0";
+    v.year = 2008;
+    v.simulation = "ShakeOut-D";
+    v.optimization = "asynchronous";
+    v.scecAllocMSu = 27.0;
+    v.paperSustainedTflops = 49.9;
+    v.asyncComm = true;
+    t.push_back(v);
+
+    v.version = CodeVersion::V6_0;
+    v.label = "6.0";
+    v.year = 2009;
+    v.simulation = "W2W";
+    v.optimization = "single CPU opt";
+    v.scecAllocMSu = 32.0;
+    v.paperSustainedTflops = 86.7;
+    v.singleCpuOpt = true;
+    t.push_back(v);
+
+    v.version = CodeVersion::V7_0;
+    v.label = "7.0";
+    v.year = 2010;
+    v.simulation = "M8 prep";
+    v.optimization = "overlap";
+    v.scecAllocMSu = 61.0;
+    v.paperSustainedTflops = 0.0;  // not separately reported
+    v.overlap = true;
+    t.push_back(v);
+
+    v.version = CodeVersion::V7_1;
+    v.label = "7.1";
+    v.year = 2010;
+    v.simulation = "M8 prep";
+    v.optimization = "cache blocking";
+    v.scecAllocMSu = 61.0;
+    v.paperSustainedTflops = 0.0;
+    v.overlap = false;  // "(not included in v. 7.2)" — dropped after 7.0
+    v.cacheBlocking = true;
+    t.push_back(v);
+
+    v.version = CodeVersion::V7_2;
+    v.label = "7.2";
+    v.year = 2010;
+    v.simulation = "M8";
+    v.optimization = "reduced comm";
+    v.scecAllocMSu = 61.0;
+    v.paperSustainedTflops = 220.0;
+    v.reducedComm = true;
+    t.push_back(v);
+    return t;
+  }();
+  return table;
+}
+
+const VersionTraits& traitsOf(CodeVersion v) {
+  for (const auto& t : versionTable())
+    if (t.version == v) return t;
+  throw Error("unknown code version");
+}
+
+}  // namespace awp::perfmodel

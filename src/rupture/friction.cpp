@@ -1,0 +1,36 @@
+#include "rupture/friction.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace awp::rupture {
+
+double SlipWeakeningFriction::muDAt(double depth) const {
+  if (depth <= p_.strengthenTop) return p_.muDStrengthened;
+  if (depth >= p_.strengthenBottom) return p_.muD;
+  const double f = (depth - p_.strengthenTop) /
+                   (p_.strengthenBottom - p_.strengthenTop);
+  return p_.muDStrengthened + f * (p_.muD - p_.muDStrengthened);
+}
+
+double SlipWeakeningFriction::dcAt(double depth) const {
+  if (depth >= p_.dcTaperDepth) return p_.dc;
+  // Cosine taper from dcSurface at z = 0 to dc at dcTaperDepth.
+  const double f = 0.5 * (1.0 - std::cos(M_PI * depth / p_.dcTaperDepth));
+  return p_.dcSurface + f * (p_.dc - p_.dcSurface);
+}
+
+double SlipWeakeningFriction::coefficient(double slip, double depth) const {
+  const double muD = muDAt(depth);
+  const double dc = dcAt(depth);
+  const double f = std::min(1.0, slip / dc);
+  return p_.muS - (p_.muS - muD) * f;
+}
+
+double SlipWeakeningFriction::strength(double slip, double depth,
+                                       double sigmaN) const {
+  const double normal = std::max(0.0, -sigmaN);  // compression is negative
+  return std::max(0.0, p_.cohesion + coefficient(slip, depth) * normal);
+}
+
+}  // namespace awp::rupture

@@ -1,0 +1,50 @@
+#pragma once
+// Slip-weakening friction with the M8 source-model modifications (§VII.A):
+//   * static/dynamic coefficients μs = 0.75 / μd = 0.5, dc = 0.3 m;
+//   * cohesion of 1 MPa;
+//   * emulated velocity strengthening in the top 2 km ("forcing μd > μs,
+//     with a linear transition between 2 km and 3 km, causing the stress
+//     drop in this region to be negative");
+//   * dc increased to 1 m at the free surface with a cosine taper over the
+//     top 3 km.
+
+namespace awp::rupture {
+
+struct FrictionParams {
+  double muS = 0.75;
+  double muD = 0.50;
+  double dc = 0.3;          // m
+  double cohesion = 1.0e6;  // Pa
+
+  // Velocity-strengthening emulation near the surface.
+  double strengthenTop = 2000.0;     // fully strengthened above this depth
+  double strengthenBottom = 3000.0;  // unmodified below this depth
+  double muDStrengthened = 0.80;     // forced μd (> μs) in the top zone
+
+  // Near-surface dc taper.
+  double dcSurface = 1.0;        // m at the free surface
+  double dcTaperDepth = 3000.0;  // cosine taper depth
+};
+
+class SlipWeakeningFriction {
+ public:
+  explicit SlipWeakeningFriction(const FrictionParams& p) : p_(p) {}
+
+  // Effective μd at depth z [m] (velocity-strengthening emulation).
+  [[nodiscard]] double muDAt(double depth) const;
+  // Effective dc at depth z [m] (cosine taper to dcSurface).
+  [[nodiscard]] double dcAt(double depth) const;
+  // Friction coefficient after slip path length `slip` at depth z.
+  [[nodiscard]] double coefficient(double slip, double depth) const;
+  // Frictional strength for effective normal stress sigmaN (compression
+  // negative, as in the solver): τc = max(0, cohesion + μ·(-σn)).
+  [[nodiscard]] double strength(double slip, double depth,
+                                double sigmaN) const;
+
+  [[nodiscard]] const FrictionParams& params() const { return p_; }
+
+ private:
+  FrictionParams p_;
+};
+
+}  // namespace awp::rupture

@@ -1,0 +1,117 @@
+#include "rupture/stress_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/fft.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace awp::rupture {
+
+std::vector<double> vonKarmanField(std::size_t nx, std::size_t nz, double dx,
+                                   double corrX, double corrZ, double hurst,
+                                   std::uint64_t seed) {
+  const std::size_t fx = nextPow2(std::max<std::size_t>(nx, 8));
+  const std::size_t fz = nextPow2(std::max<std::size_t>(nz, 8));
+  std::vector<Complex> spec(fx * fz, Complex(0.0, 0.0));
+  Rng rng(seed);
+
+  // Fill the spectrum with von Kármán-filtered white noise. Hermitian
+  // symmetry is not enforced; we take the real part after the inverse
+  // transform, which halves the variance but keeps the correlation shape.
+  for (std::size_t kz = 0; kz < fz; ++kz) {
+    for (std::size_t kx = 0; kx < fx; ++kx) {
+      const double wx =
+          (kx <= fx / 2 ? static_cast<double>(kx)
+                        : static_cast<double>(kx) - static_cast<double>(fx)) *
+          2.0 * M_PI / (static_cast<double>(fx) * dx);
+      const double wz =
+          (kz <= fz / 2 ? static_cast<double>(kz)
+                        : static_cast<double>(kz) - static_cast<double>(fz)) *
+          2.0 * M_PI / (static_cast<double>(fz) * dx);
+      const double arg = 1.0 + wx * wx * corrX * corrX +
+                         wz * wz * corrZ * corrZ;
+      const double amp = std::pow(arg, -(hurst + 1.0) / 2.0);
+      spec[kx + fx * kz] =
+          Complex(rng.gaussian() * amp, rng.gaussian() * amp);
+    }
+  }
+  spec[0] = Complex(0.0, 0.0);  // zero mean
+  fft2d(spec, fx, fz, /*inverse=*/true);
+
+  std::vector<double> field(nx * nz);
+  for (std::size_t k = 0; k < nz; ++k)
+    for (std::size_t i = 0; i < nx; ++i)
+      field[i + nx * k] = spec[i + fx * k].real();
+
+  // Normalize to zero mean, unit variance.
+  const double m = mean(field);
+  double var = 0.0;
+  for (double v : field) var += (v - m) * (v - m);
+  var /= static_cast<double>(field.size());
+  const double s = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
+  for (double& v : field) v = (v - m) * s;
+  return field;
+}
+
+FaultInitialStress buildInitialStress(std::size_t nx, std::size_t nz,
+                                      double h,
+                                      const StressModelConfig& config,
+                                      const SlipWeakeningFriction& friction) {
+  AWP_CHECK(nx > 0 && nz > 0 && h > 0.0);
+  FaultInitialStress out;
+  out.nx = nx;
+  out.nz = nz;
+  out.h = h;
+  out.tau0.resize(nx * nz);
+  out.sigmaN.resize(nx * nz);
+
+  const auto noise = vonKarmanField(nx, nz, h, config.corrX, config.corrZ,
+                                    config.hurst, config.seed);
+  // Map the unit field into [0, 1] through a smooth squash.
+  auto squash = [](double v) { return 0.5 * (1.0 + std::tanh(v)); };
+
+  for (std::size_t k = 0; k < nz; ++k) {
+    const double depth = static_cast<double>(nz - 1 - k) * h;
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double sigmaN =
+          std::max(config.normalAtSurface + config.normalGradient * depth,
+                   config.normalSaturation);
+      // Static and (asymptotic) dynamic strength at this depth.
+      const double tauS = friction.strength(0.0, depth, sigmaN);
+      const double tauD =
+          friction.strength(1.0e9 /* fully weakened */, depth, sigmaN);
+      // Accommodate the random field between the reloading level and the
+      // configured maximum fraction of the strength excess. In the
+      // velocity-strengthened zone τd > τs (negative stress drop); there
+      // the initial stress is still capped below the failure stress so
+      // nothing slips spontaneously.
+      const double lo =
+          std::min(tauD + config.reloadFraction * (tauS - tauD),
+                   0.9 * tauS);
+      const double hi =
+          std::min(tauD + config.maxFraction * (tauS - tauD),
+                   0.99 * tauS);
+      const double f = squash(noise[i + nx * k]);
+      double tau = std::min(lo + f * std::max(0.0, hi - lo), 0.99 * tauS);
+      // Linear taper of the shear stress to zero at the surface (§VII.A).
+      if (depth < config.shearTaperDepth)
+        tau *= depth / config.shearTaperDepth;
+      // Nucleation: push the patch slightly above the static strength.
+      if (config.nucRadius > 0.0) {
+        const double x = static_cast<double>(i) * h;
+        const double ddx = x - config.nucX;
+        const double ddz = depth - config.nucZ;
+        if (ddx * ddx + ddz * ddz <= config.nucRadius * config.nucRadius)
+          tau = tauS * (1.0 + config.nucExcess);
+      }
+      out.tau0[i + nx * k] = tau;
+      out.sigmaN[i + nx * k] = sigmaN;
+    }
+  }
+  return out;
+}
+
+}  // namespace awp::rupture

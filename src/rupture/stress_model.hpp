@@ -1,0 +1,77 @@
+#pragma once
+// Initial stress on the fault (§VII.A): depth-dependent compressive normal
+// stress from overburden, plus an initial shear stress built from a random
+// field with a von Kármán autocorrelation (lateral/vertical correlation
+// lengths of 50 km / 10 km for M8), accommodated into the depth-dependent
+// frictional strength profile so the minimum represents post-event
+// reloading and the maximum reaches the failure stress. The shear stress
+// tapers linearly to zero over the top 2 km; rupture is nucleated by a
+// small stress increment in a circular patch.
+
+#include <cstdint>
+#include <vector>
+
+#include "rupture/friction.hpp"
+
+namespace awp::rupture {
+
+// 2D random field with a von Kármán autocorrelation, synthesized
+// spectrally: P(k) ∝ (1 + (kx ax)^2 + (kz az)^2)^-(H+1), normalized to
+// zero mean and unit variance. nx/nz need not be powers of two (the FFT
+// grid is padded internally).
+std::vector<double> vonKarmanField(std::size_t nx, std::size_t nz, double dx,
+                                   double corrX, double corrZ, double hurst,
+                                   std::uint64_t seed);
+
+struct StressModelConfig {
+  double normalGradient = -16000.0;  // dσn/dz [Pa/m] (overburden, effective)
+  double normalAtSurface = -1.0e6;   // σn at z = 0 [Pa]
+  // Effective normal stress saturates at depth (pore-pressure effects);
+  // without the cap the deep stress drops produce unphysical slip.
+  double normalSaturation = -60.0e6;
+  double shearTaperDepth = 2000.0;   // linear taper of τ0 to 0 at surface
+  // von Kármán heterogeneity of the initial shear stress.
+  double corrX = 50000.0;  // m (M8: 50 km)
+  double corrZ = 10000.0;  // m (M8: 10 km)
+  double hurst = 0.75;
+  std::uint64_t seed = 20100545;
+  // Where within [dynamic, static] strength the random field lives: the
+  // initial stress is mapped into [τd + reloadFraction·(τs - τd),
+  // τd + maxFraction·(τs - τd)]. The strength-excess ratio
+  // S = (τs - τ0)/(τ0 - τd) controls the rupture style: S > ~1.2 stays
+  // sub-Rayleigh, smaller S transitions to super-shear (Burridge-Andrews)
+  // — these defaults put most of the fault at S ~ 1-2 with the highest
+  // random-field peaks crossing into super-shear territory, giving the
+  // paper's sub-Rayleigh-with-super-shear-patches character.
+  double reloadFraction = 0.33;
+  double maxFraction = 0.55;
+  // Nucleation patch: a stress increment raising τ0 just above the static
+  // strength inside a circular region.
+  double nucX = 0.0, nucZ = 0.0;  // center [m] (x along strike, z depth)
+  double nucRadius = 0.0;         // m (0 disables)
+  double nucExcess = 0.05;        // fraction above static strength
+};
+
+struct FaultInitialStress {
+  std::size_t nx = 0, nz = 0;  // fault-plane nodes (strike x depth)
+  double h = 0.0;
+  std::vector<double> tau0;    // initial shear (strike direction) [Pa]
+  std::vector<double> sigmaN;  // effective normal stress (negative) [Pa]
+
+  [[nodiscard]] double tauAt(std::size_t i, std::size_t k) const {
+    return tau0[i + nx * k];
+  }
+  [[nodiscard]] double sigmaAt(std::size_t i, std::size_t k) const {
+    return sigmaN[i + nx * k];
+  }
+};
+
+// Build the initial stress for a fault of nx-by-nz nodes with spacing h.
+// Depth of node row k is (nz - 1 - k) * h (k increases upward, matching
+// the solver's axis convention).
+FaultInitialStress buildInitialStress(std::size_t nx, std::size_t nz,
+                                      double h,
+                                      const StressModelConfig& config,
+                                      const SlipWeakeningFriction& friction);
+
+}  // namespace awp::rupture

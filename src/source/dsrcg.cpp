@@ -1,0 +1,232 @@
+#include "source/dsrcg.hpp"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "util/error.hpp"
+#include "util/filter.hpp"
+
+namespace awp::source {
+
+namespace {
+
+using Key = std::tuple<std::size_t, std::size_t, std::size_t>;
+
+// Accumulate a component series into a source map entry.
+void accumulate(std::map<Key, core::MomentRateSource>& map, const Key& key,
+                int component, const std::vector<float>& series) {
+  auto& src = map[key];
+  auto [gi, gj, gk] = key;
+  src.gi = gi;
+  src.gj = gj;
+  src.gk = gk;
+  auto& dst = src.mdot[static_cast<std::size_t>(component)];
+  if (dst.size() < series.size()) dst.resize(series.size(), 0.0f);
+  for (std::size_t t = 0; t < series.size(); ++t) dst[t] += series[t];
+}
+
+std::vector<core::MomentRateSource> drain(
+    std::map<Key, core::MomentRateSource>&& map) {
+  std::vector<core::MomentRateSource> out;
+  out.reserve(map.size());
+  for (auto& [key, src] : map) out.push_back(std::move(src));
+  return out;
+}
+
+}  // namespace
+
+std::vector<core::MomentRateSource> fromRupture(
+    const rupture::FaultHistory& fault, const FaultTrace& trace,
+    const WaveModelTarget& target, const FilterConfig& filter) {
+  AWP_CHECK_MSG(fault.nx > 0 && fault.recordedSteps > 0,
+                "empty fault history (gather() returns data on rank 0 only)");
+  const double dtIn = fault.dt * fault.timeDecimation;
+  const double faultArea = fault.h * fault.h;
+
+  std::map<Key, core::MomentRateSource> map;
+  ButterworthLowpass lp(filter.order, filter.cutoffHz, dtIn);
+
+  for (std::size_t k = 0; k < fault.nz; ++k) {
+    const double depth = static_cast<double>(fault.nz - 1 - k) * fault.h;
+    for (std::size_t i = 0; i < fault.nx; ++i) {
+      const std::size_t node = i + fault.nx * k;
+      const double mu = fault.rigidity[node];
+      if (fault.peakSlipRate[node] <= 0.0f) continue;
+
+      // Position/orientation on the segmented trace (proportional mapping
+      // of along-strike distance).
+      const double s = (static_cast<double>(i) + 0.5) /
+                       static_cast<double>(fault.nx) * trace.length();
+      const auto sample = trace.at(s);
+      const auto gi = static_cast<std::size_t>(
+          std::lround(sample.position.x / target.h));
+      const auto gj = static_cast<std::size_t>(
+          std::lround(sample.position.y / target.h));
+      const auto depthCells =
+          static_cast<std::size_t>(std::lround(depth / target.h));
+      if (gi >= target.dims.nx || gj >= target.dims.ny) continue;
+      if (depthCells >= target.dims.nz) continue;
+      const std::size_t gk = target.dims.nz - 1 - depthCells;
+      const Key key{gi, gj, gk};
+
+      // Filter + resample each slip-rate component, then scale to moment
+      // rate (μ A Δv).
+      auto processed = [&](const std::vector<float>& hist) {
+        std::vector<double> series(hist.begin(), hist.end());
+        // Zero-pad past the end so the causal filter's delayed tail is not
+        // truncated (it carries a significant share of the moment).
+        const auto pad = static_cast<std::size_t>(
+            std::ceil(4.0 / (filter.cutoffHz * dtIn)));
+        series.resize(series.size() + pad, 0.0);
+        series = lp.apply(series);
+        series = resampleLinear(series, dtIn, target.dt);
+        std::vector<float> out(series.size());
+        for (std::size_t t = 0; t < series.size(); ++t)
+          out[t] = static_cast<float>(series[t] * mu * faultArea);
+        return out;
+      };
+      std::vector<float> histX(fault.recordedSteps), histZ(fault.recordedSteps);
+      for (std::size_t t = 0; t < fault.recordedSteps; ++t) {
+        histX[t] = fault.slipRateX[node * fault.recordedSteps + t];
+        histZ[t] = fault.slipRateZ[node * fault.recordedSteps + t];
+      }
+      const auto strikeRate = processed(histX);
+      const auto dipRate = processed(histZ);
+
+      // Moment tensor rates: Ṁ = μ A Δv (s⊗n + n⊗s).
+      const double sx = sample.strikeX, sy = sample.strikeY;
+      const double nx = sample.normalX, ny = sample.normalY;
+      auto scaled = [&](const std::vector<float>& r, double c) {
+        std::vector<float> out(r.size());
+        for (std::size_t t = 0; t < r.size(); ++t)
+          out[t] = static_cast<float>(r[t] * c);
+        return out;
+      };
+      if (std::abs(2.0 * sx * nx) > 1e-12)
+        accumulate(map, key, core::MXX, scaled(strikeRate, 2.0 * sx * nx));
+      if (std::abs(2.0 * sy * ny) > 1e-12)
+        accumulate(map, key, core::MYY, scaled(strikeRate, 2.0 * sy * ny));
+      accumulate(map, key, core::MXY,
+                 scaled(strikeRate, sx * ny + sy * nx));
+      accumulate(map, key, core::MXZ, scaled(dipRate, nx));
+      accumulate(map, key, core::MYZ, scaled(dipRate, ny));
+    }
+  }
+  return drain(std::move(map));
+}
+
+std::vector<core::MomentRateSource> kinematicSource(
+    const KinematicScenario& scenario, const FaultTrace& trace,
+    const WaveModelTarget& target) {
+  const double hs =
+      scenario.subfaultSpacing > 0.0 ? scenario.subfaultSpacing : target.h;
+  const auto ns = static_cast<std::size_t>(
+      std::max(1.0, std::floor(scenario.faultLength / hs)));
+  const auto nd = static_cast<std::size_t>(
+      std::max(1.0, std::floor(scenario.faultDepth / hs)));
+
+  // Elliptically tapered slip; peak amplitude set by the target moment.
+  const double m0Target =
+      std::pow(10.0, 1.5 * scenario.targetMw + 9.1);
+  double shapeSum = 0.0;
+  auto shape = [&](std::size_t i, std::size_t k) {
+    const double fs = (static_cast<double>(i) + 0.5) / ns * 2.0 - 1.0;
+    const double fd = (static_cast<double>(k) + 0.5) / nd;
+    const double v = (1.0 - fs * fs) * (1.0 - fd * fd);
+    return v > 0.0 ? std::sqrt(v) : 0.0;
+  };
+  for (std::size_t k = 0; k < nd; ++k)
+    for (std::size_t i = 0; i < ns; ++i) shapeSum += shape(i, k);
+  const double slipPeak =
+      m0Target / (scenario.rigidity * hs * hs * shapeSum);
+
+  // Triangular source time function of duration riseTime.
+  const double hypo = scenario.reverseDirection
+                          ? scenario.faultLength -
+                                scenario.hypocenterAlongStrike
+                          : scenario.hypocenterAlongStrike;
+
+  double tEnd = 0.0;
+  for (std::size_t k = 0; k < nd; ++k)
+    for (std::size_t i = 0; i < ns; ++i) {
+      const double s = (static_cast<double>(i) + 0.5) * hs;
+      const double d = (static_cast<double>(k) + 0.5) * hs;
+      const double dist = std::hypot(s - hypo, d);
+      tEnd = std::max(tEnd, dist / scenario.ruptureSpeed +
+                                scenario.riseTime);
+    }
+  const auto nSteps =
+      static_cast<std::size_t>(std::ceil(tEnd / target.dt)) + 1;
+
+  std::map<Key, core::MomentRateSource> map;
+  for (std::size_t k = 0; k < nd; ++k) {
+    const double depth = (static_cast<double>(k) + 0.5) * hs;
+    for (std::size_t i = 0; i < ns; ++i) {
+      const double slip = slipPeak * shape(i, k);
+      if (slip <= 0.0) continue;
+      const double s = (static_cast<double>(i) + 0.5) * hs;
+      const double tr =
+          std::hypot(s - hypo, depth) / scenario.ruptureSpeed;
+
+      // The fault occupies the first `faultLength` meters of the trace's
+      // arclength (a shorter fault ruptures only part of the trace).
+      const auto sample = trace.at(s);
+      const auto gi = static_cast<std::size_t>(
+          std::lround(sample.position.x / target.h));
+      const auto gj = static_cast<std::size_t>(
+          std::lround(sample.position.y / target.h));
+      const auto depthCells =
+          static_cast<std::size_t>(std::lround(depth / target.h));
+      if (gi >= target.dims.nx || gj >= target.dims.ny ||
+          depthCells >= target.dims.nz)
+        continue;
+      const std::size_t gk = target.dims.nz - 1 - depthCells;
+
+      // Moment rate: triangle of area μ A slip starting at tr.
+      const double m0sub = scenario.rigidity * hs * hs * slip;
+      const double half = scenario.riseTime / 2.0;
+      std::vector<float> rate(nSteps, 0.0f);
+      for (std::size_t t = 0; t < nSteps; ++t) {
+        const double tt = static_cast<double>(t) * target.dt - tr;
+        if (tt <= 0.0 || tt >= scenario.riseTime) continue;
+        const double tri = (tt < half ? tt / half : (2.0 - tt / half)) /
+                           half;  // peak 1/half, area 1
+        rate[t] = static_cast<float>(m0sub * tri);
+      }
+
+      const double sx = sample.strikeX, sy = sample.strikeY;
+      const double nx = sample.normalX, ny = sample.normalY;
+      const Key key{gi, gj, gk};
+      auto scaled = [&](double c) {
+        std::vector<float> out(rate.size());
+        for (std::size_t t = 0; t < rate.size(); ++t)
+          out[t] = static_cast<float>(rate[t] * c);
+        return out;
+      };
+      if (std::abs(2.0 * sx * nx) > 1e-12)
+        accumulate(map, key, core::MXX, scaled(2.0 * sx * nx));
+      if (std::abs(2.0 * sy * ny) > 1e-12)
+        accumulate(map, key, core::MYY, scaled(2.0 * sy * ny));
+      accumulate(map, key, core::MXY, scaled(sx * ny + sy * nx));
+    }
+  }
+  return drain(std::move(map));
+}
+
+double totalMoment(const std::vector<core::MomentRateSource>& sources,
+                   double dt) {
+  double m0 = 0.0;
+  for (const auto& s : sources) {
+    double frob = 0.0;
+    const double weights[6] = {1.0, 1.0, 1.0, 2.0, 2.0, 2.0};
+    for (int c = 0; c < 6; ++c) {
+      const double m = s.momentOf(c, dt);
+      frob += weights[c] * m * m;
+    }
+    m0 += std::sqrt(0.5 * frob);
+  }
+  return m0;
+}
+
+}  // namespace awp::source

@@ -1,0 +1,64 @@
+#pragma once
+// dSrcG: the source generator (§III.D, §VII.B). Two paths, matching the
+// paper's kinematic vs dynamic source comparison (TeraShake-K vs -D, Fig
+// 16):
+//
+//  * fromRupture — the M8 two-step method: take the dynamic rupture
+//    solver's slip-rate histories, apply temporal interpolation plus a
+//    4th-order low-pass filter, and insert the result as moment-rate
+//    point sources along a segmented approximation of the fault trace in
+//    the wave-propagation model.
+//
+//  * kinematic — a smooth Haskell-type kinematic description (the TS-K
+//    style source: constant rupture speed, prescribed rise time, tapered
+//    slip), which is what "kinematic source descriptions ... usually not
+//    constrained by physical properties of faults" means in §VI.
+
+#include <vector>
+
+#include "core/source.hpp"
+#include "rupture/solver.hpp"
+#include "source/trace.hpp"
+
+namespace awp::source {
+
+struct WaveModelTarget {
+  grid::GridDims dims;  // wave model grid
+  double h = 100.0;     // wave model spacing [m]
+  double dt = 0.01;     // wave solver time step [s]
+};
+
+struct FilterConfig {
+  double cutoffHz = 2.0;  // M8: 4th-order low-pass at 2 Hz (§VII.B)
+  int order = 4;
+};
+
+// --- Dynamic path ----------------------------------------------------------
+// Map a gathered FaultHistory onto `trace`, producing one moment-rate
+// source per fault node (nodes landing on the same wave cell accumulate).
+std::vector<core::MomentRateSource> fromRupture(
+    const rupture::FaultHistory& fault, const FaultTrace& trace,
+    const WaveModelTarget& target, const FilterConfig& filter);
+
+// --- Kinematic path --------------------------------------------------------
+struct KinematicScenario {
+  double faultLength = 200e3;  // m along the trace
+  double faultDepth = 16e3;    // m
+  double subfaultSpacing = 0.0;  // 0 = wave grid spacing
+  double targetMw = 7.7;
+  double ruptureSpeed = 2800.0;  // m/s, constant (the TS-K simplification)
+  double riseTime = 2.0;         // s
+  double rigidity = 3.0e10;      // Pa
+  bool reverseDirection = false;  // rupture from the far end (TS-K NW-SE)
+  double hypocenterAlongStrike = 0.0;  // m from the trace start
+};
+
+std::vector<core::MomentRateSource> kinematicSource(
+    const KinematicScenario& scenario, const FaultTrace& trace,
+    const WaveModelTarget& target);
+
+// Total scalar moment of a source set (from the strike/dip components).
+double totalMoment(const std::vector<core::MomentRateSource>& sources,
+                   double dt);
+
+}  // namespace awp::source

@@ -1,0 +1,151 @@
+#include "source/petasrcp.hpp"
+
+#include <sys/stat.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "io/shared_file.hpp"
+#include "util/error.hpp"
+
+namespace awp::source {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4157505352433131ULL;  // "AWPSRC11"
+
+std::string segPath(const std::string& dir, int rank, int segment) {
+  return dir + "/src_rank" + std::to_string(rank) + "_seg" +
+         std::to_string(segment) + ".bin";
+}
+
+std::string infoPath(const std::string& dir) { return dir + "/src_info.txt"; }
+
+}  // namespace
+
+SourcePartitionInfo partitionSources(
+    const std::vector<core::MomentRateSource>& sources,
+    const vcluster::CartTopology& topo, const grid::GridDims& globalDims,
+    std::size_t stepsPerSegment, const std::string& dir) {
+  AWP_CHECK(stepsPerSegment > 0);
+  ::mkdir(dir.c_str(), 0755);
+
+  std::size_t totalSteps = 0;
+  for (const auto& s : sources) totalSteps = std::max(totalSteps, s.stepCount());
+  const int segments = totalSteps == 0
+                           ? 1
+                           : static_cast<int>((totalSteps + stepsPerSegment -
+                                               1) /
+                                              stepsPerSegment);
+
+  SourcePartitionInfo info;
+  info.ranks = topo.size();
+  info.segments = segments;
+  info.stepsPerSegment = stepsPerSegment;
+  info.totalSteps = totalSteps;
+
+  const mesh::MeshSpec spec{globalDims.nx, globalDims.ny, globalDims.nz,
+                            1.0, 0.0, 0.0};
+
+  for (int rank = 0; rank < topo.size(); ++rank) {
+    const auto sub = mesh::subdomainFor(topo, spec, rank);
+    std::vector<const core::MomentRateSource*> mine;
+    for (const auto& s : sources) {
+      if (s.gi >= sub.x.begin && s.gi < sub.x.end && s.gj >= sub.y.begin &&
+          s.gj < sub.y.end && s.gk >= sub.z.begin && s.gk < sub.z.end)
+        mine.push_back(&s);
+    }
+
+    for (int seg = 0; seg < segments; ++seg) {
+      const std::size_t segStart = static_cast<std::size_t>(seg) *
+                                   stepsPerSegment;
+      std::vector<std::byte> blob;
+      auto put = [&](const void* p, std::size_t n) {
+        const auto* b = static_cast<const std::byte*>(p);
+        blob.insert(blob.end(), b, b + n);
+      };
+      const std::uint64_t header[6] = {
+          kMagic,
+          static_cast<std::uint64_t>(rank),
+          static_cast<std::uint64_t>(seg),
+          segStart,
+          stepsPerSegment,
+          mine.size()};
+      put(header, sizeof(header));
+      for (const auto* s : mine) {
+        const std::uint64_t pos[3] = {s->gi, s->gj, s->gk};
+        put(pos, sizeof(pos));
+        for (const auto& comp : s->mdot) {
+          std::size_t len = 0;
+          if (comp.size() > segStart)
+            len = std::min(stepsPerSegment, comp.size() - segStart);
+          const std::uint64_t len64 = len;
+          put(&len64, sizeof(len64));
+          if (len > 0) put(comp.data() + segStart, len * sizeof(float));
+        }
+      }
+      io::writeFile(segPath(dir, rank, seg), blob);
+      info.maxFileBytes = std::max<std::uint64_t>(info.maxFileBytes,
+                                                  blob.size());
+      info.totalBytes += blob.size();
+    }
+  }
+
+  std::ofstream out(infoPath(dir));
+  out << info.ranks << " " << info.segments << " " << info.stepsPerSegment
+      << " " << info.totalSteps << " " << info.maxFileBytes << " "
+      << info.totalBytes << "\n";
+  return info;
+}
+
+std::vector<core::MomentRateSource> loadSegment(const std::string& dir,
+                                                int rank, int segment) {
+  const std::string text = io::readTextFile(segPath(dir, rank, segment));
+  const auto* data = reinterpret_cast<const std::byte*>(text.data());
+  const std::size_t size = text.size();
+  std::size_t at = 0;
+  auto get = [&](void* p, std::size_t n) {
+    AWP_CHECK_MSG(at + n <= size, "truncated source segment file");
+    std::memcpy(p, data + at, n);
+    at += n;
+  };
+
+  std::uint64_t header[6];
+  get(header, sizeof(header));
+  AWP_CHECK_MSG(header[0] == kMagic, "not a source segment file");
+  const std::size_t segStart = header[3];
+  const std::uint64_t nSources = header[5];
+
+  std::vector<core::MomentRateSource> out;
+  out.reserve(nSources);
+  for (std::uint64_t n = 0; n < nSources; ++n) {
+    core::MomentRateSource s;
+    std::uint64_t pos[3];
+    get(pos, sizeof(pos));
+    s.gi = pos[0];
+    s.gj = pos[1];
+    s.gk = pos[2];
+    for (auto& comp : s.mdot) {
+      std::uint64_t len;
+      get(&len, sizeof(len));
+      if (len > 0) {
+        comp.assign(segStart + len, 0.0f);
+        get(comp.data() + segStart, len * sizeof(float));
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+SourcePartitionInfo readPartitionInfo(const std::string& dir) {
+  std::istringstream in(io::readTextFile(infoPath(dir)));
+  SourcePartitionInfo info;
+  in >> info.ranks >> info.segments >> info.stepsPerSegment >>
+      info.totalSteps >> info.maxFileBytes >> info.totalBytes;
+  AWP_CHECK_MSG(in, "malformed source partition info");
+  return info;
+}
+
+}  // namespace awp::source

@@ -1,0 +1,53 @@
+#pragma once
+// PetaSrcP: the source partitioner (§III.D). Sources are "highly
+// clustered, and tens of thousands of sources can be concentrated in a
+// given grid area, resulting in hundreds of gigabytes of source data
+// assigned to a single core. To fit the large data into the processor
+// memory, we further decompose the spatially partitioned source files by
+// time. The scheme with both temporal and spatial locality significantly
+// reduces the system memory requirements."
+//
+// Layout: one file per (rank, time segment): <dir>/src_rank<r>_seg<s>.bin,
+// holding only the sources inside rank r's subdomain and only the moment-
+// rate samples of segment s. M8 split its 2.1 TB source into 36 temporal
+// segments of 3000 steps each.
+
+#include <string>
+#include <vector>
+
+#include "core/source.hpp"
+#include "mesh/partitioner.hpp"
+#include "vcluster/cart.hpp"
+
+namespace awp::source {
+
+struct SourcePartitionInfo {
+  int ranks = 0;
+  int segments = 0;
+  std::size_t stepsPerSegment = 0;
+  std::size_t totalSteps = 0;
+  // Peak bytes any (rank, segment) file occupies — the memory high-water
+  // mark the temporal split is designed to lower.
+  std::uint64_t maxFileBytes = 0;
+  std::uint64_t totalBytes = 0;
+};
+
+// Partition `sources` spatially by the topology over `globalDims` and
+// temporally into segments of `stepsPerSegment` samples; write the files
+// under `dir`. Returns the partition summary.
+SourcePartitionInfo partitionSources(
+    const std::vector<core::MomentRateSource>& sources,
+    const vcluster::CartTopology& topo, const grid::GridDims& globalDims,
+    std::size_t stepsPerSegment, const std::string& dir);
+
+// Load one rank's sources for one temporal segment. The returned sources
+// carry the segment's samples at their absolute position (leading samples
+// before the segment are zero-filled), so they can be injected with the
+// solver's global step index.
+std::vector<core::MomentRateSource> loadSegment(const std::string& dir,
+                                                int rank, int segment);
+
+// Read the partition info written alongside the files.
+SourcePartitionInfo readPartitionInfo(const std::string& dir);
+
+}  // namespace awp::source

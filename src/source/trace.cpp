@@ -1,0 +1,62 @@
+#include "source/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace awp::source {
+
+FaultTrace::FaultTrace(std::vector<TracePoint> vertices)
+    : vertices_(std::move(vertices)) {
+  AWP_CHECK_MSG(vertices_.size() >= 2, "trace needs at least two vertices");
+  cumLength_.resize(vertices_.size(), 0.0);
+  for (std::size_t i = 1; i < vertices_.size(); ++i) {
+    const double dx = vertices_[i].x - vertices_[i - 1].x;
+    const double dy = vertices_[i].y - vertices_[i - 1].y;
+    cumLength_[i] = cumLength_[i - 1] + std::hypot(dx, dy);
+  }
+  length_ = cumLength_.back();
+  AWP_CHECK(length_ > 0.0);
+}
+
+FaultTrace FaultTrace::straight(double x0, double x1, double y) {
+  return FaultTrace({{x0, y}, {x1, y}});
+}
+
+FaultTrace FaultTrace::bent(double x0, double y0, double x1, double y1,
+                            std::size_t segments, double bendAmplitude) {
+  AWP_CHECK(segments >= 1);
+  std::vector<TracePoint> v;
+  v.reserve(segments + 1);
+  for (std::size_t s = 0; s <= segments; ++s) {
+    const double f = static_cast<double>(s) / segments;
+    // A smooth bow with the largest deviation mid-trace (Big Bend analog).
+    const double bow = bendAmplitude * std::sin(M_PI * f);
+    v.push_back({x0 + f * (x1 - x0), y0 + f * (y1 - y0) + bow});
+  }
+  return FaultTrace(std::move(v));
+}
+
+FaultTrace::Sample FaultTrace::at(double s) const {
+  s = std::clamp(s, 0.0, length_);
+  // Find the segment containing arclength s.
+  std::size_t seg = 1;
+  while (seg + 1 < cumLength_.size() && cumLength_[seg] < s) ++seg;
+  const double segLen = cumLength_[seg] - cumLength_[seg - 1];
+  const double f = segLen > 0.0 ? (s - cumLength_[seg - 1]) / segLen : 0.0;
+
+  Sample out;
+  const TracePoint& a = vertices_[seg - 1];
+  const TracePoint& b = vertices_[seg];
+  out.position = {a.x + f * (b.x - a.x), a.y + f * (b.y - a.y)};
+  const double dx = b.x - a.x, dy = b.y - a.y;
+  const double len = std::hypot(dx, dy);
+  out.strikeX = dx / len;
+  out.strikeY = dy / len;
+  out.normalX = -out.strikeY;
+  out.normalY = out.strikeX;
+  return out;
+}
+
+}  // namespace awp::source

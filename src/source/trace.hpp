@@ -1,0 +1,47 @@
+#pragma once
+// Fault-trace geometry for the wave-propagation model. The M8 two-step
+// method transfers the planar-fault rupture onto "a 47-segment
+// approximation of the southern SAF" (§VII.B); this models such a
+// segmented polyline and maps along-strike distance to surface positions
+// and local strike directions.
+
+#include <cstddef>
+#include <vector>
+
+namespace awp::source {
+
+struct TracePoint {
+  double x = 0.0, y = 0.0;  // meters in the wave model
+};
+
+class FaultTrace {
+ public:
+  explicit FaultTrace(std::vector<TracePoint> vertices);
+
+  // A straight trace along x at constant y.
+  static FaultTrace straight(double x0, double x1, double y);
+  // An n-segment approximation of a gently bent SAF-like trace running
+  // from (x0, y0) to (x1, y1) with a "Big Bend"-style kink amplitude.
+  static FaultTrace bent(double x0, double y0, double x1, double y1,
+                         std::size_t segments, double bendAmplitude);
+
+  [[nodiscard]] double length() const { return length_; }
+  [[nodiscard]] std::size_t segmentCount() const {
+    return vertices_.size() - 1;
+  }
+
+  struct Sample {
+    TracePoint position;
+    double strikeX = 1.0, strikeY = 0.0;  // unit strike direction
+    double normalX = 0.0, normalY = 1.0;  // unit in-plane normal
+  };
+  // Sample at along-trace arclength s (clamped to [0, length]).
+  [[nodiscard]] Sample at(double s) const;
+
+ private:
+  std::vector<TracePoint> vertices_;
+  std::vector<double> cumLength_;
+  double length_ = 0.0;
+};
+
+}  // namespace awp::source

@@ -1,0 +1,65 @@
+#pragma once
+// Flat, strided 3D array. The x index is fastest (matches the Fortran
+// memory order of the original AWP-ODC kernels, so the cache-blocking
+// discussion in the paper carries over unchanged).
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace awp {
+
+template <typename T>
+class Array3 {
+ public:
+  Array3() = default;
+  Array3(std::size_t nx, std::size_t ny, std::size_t nz, T fill = T{})
+      : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz, fill) {}
+
+  void resize(std::size_t nx, std::size_t ny, std::size_t nz, T fill = T{}) {
+    nx_ = nx;
+    ny_ = ny;
+    nz_ = nz;
+    data_.assign(nx * ny * nz, fill);
+  }
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t nz() const { return nz_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] std::size_t index(std::size_t i, std::size_t j,
+                                  std::size_t k) const {
+    assert(i < nx_ && j < ny_ && k < nz_);
+    return i + nx_ * (j + ny_ * k);
+  }
+
+  T& operator()(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[index(i, j, k)];
+  }
+  const T& operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[index(i, j, k)];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<T> data_;
+};
+
+using Array3f = Array3<float>;
+using Array3d = Array3<double>;
+
+}  // namespace awp

@@ -1,0 +1,39 @@
+#pragma once
+// Error handling for the AWP-ODC reproduction. All recoverable failures are
+// reported as awp::Error; AWP_CHECK is for programmer-contract violations
+// that must hold in release builds too (I/O layouts, partition arithmetic).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace awp {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "AWP_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace awp
+
+#define AWP_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::awp::detail::checkFailed(#expr, __FILE__, __LINE__, "");     \
+  } while (false)
+
+#define AWP_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::awp::detail::checkFailed(#expr, __FILE__, __LINE__, (msg));  \
+  } while (false)

@@ -1,0 +1,84 @@
+#include "util/fft.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace awp {
+
+std::size_t nextPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  AWP_CHECK_MSG((n & (n - 1)) == 0, "fft size must be a power of two");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * M_PI / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+    const Complex wl(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& x : a) x *= inv;
+  }
+}
+
+void fft2d(std::vector<Complex>& a, std::size_t nx, std::size_t ny,
+           bool inverse) {
+  AWP_CHECK(a.size() == nx * ny);
+  std::vector<Complex> row(nx);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) row[i] = a[i + nx * j];
+    fft(row, inverse);
+    for (std::size_t i = 0; i < nx; ++i) a[i + nx * j] = row[i];
+  }
+  std::vector<Complex> col(ny);
+  for (std::size_t i = 0; i < nx; ++i) {
+    for (std::size_t j = 0; j < ny; ++j) col[j] = a[i + nx * j];
+    fft(col, inverse);
+    for (std::size_t j = 0; j < ny; ++j) a[i + nx * j] = col[j];
+  }
+}
+
+Spectrum amplitudeSpectrum(const std::vector<double>& series, double dt) {
+  const std::size_t n = nextPow2(series.size());
+  std::vector<Complex> buf(n, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < series.size(); ++i) buf[i] = Complex(series[i]);
+  fft(buf, false);
+
+  Spectrum s;
+  const double df = 1.0 / (static_cast<double>(n) * dt);
+  s.frequency.reserve(n / 2 + 1);
+  s.amplitude.reserve(n / 2 + 1);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    s.frequency.push_back(df * static_cast<double>(k));
+    s.amplitude.push_back(std::abs(buf[k]) * dt);
+  }
+  return s;
+}
+
+}  // namespace awp

@@ -1,0 +1,31 @@
+#pragma once
+// Iterative radix-2 FFT, enough for the spectral needs of the reproduction:
+// von Kármán random field synthesis on the fault plane (§VII.A) and the
+// spectral analysis of seismograms (§VII.C).
+
+#include <complex>
+#include <vector>
+
+namespace awp {
+
+using Complex = std::complex<double>;
+
+// In-place FFT; n must be a power of two. inverse=true applies 1/n scaling.
+void fft(std::vector<Complex>& a, bool inverse);
+
+// 2D FFT over a row-major nx-by-ny grid (a.size() == nx*ny).
+void fft2d(std::vector<Complex>& a, std::size_t nx, std::size_t ny,
+           bool inverse);
+
+// Smallest power of two >= n.
+std::size_t nextPow2(std::size_t n);
+
+// One-sided amplitude spectrum of a real series sampled at dt. Returns
+// (frequency, amplitude) pairs for bins 0..n/2.
+struct Spectrum {
+  std::vector<double> frequency;
+  std::vector<double> amplitude;
+};
+Spectrum amplitudeSpectrum(const std::vector<double>& series, double dt);
+
+}  // namespace awp

@@ -1,0 +1,80 @@
+#include "util/filter.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace awp {
+
+double Biquad::step(double x) {
+  const double y = b0 * x + z1;
+  z1 = b1 * x - a1 * y + z2;
+  z2 = b2 * x - a2 * y;
+  return y;
+}
+
+ButterworthLowpass::ButterworthLowpass(int order, double fc, double dt) {
+  AWP_CHECK_MSG(order > 0 && order % 2 == 0,
+                "Butterworth order must be a positive even number");
+  AWP_CHECK_MSG(fc > 0.0 && fc < 0.5 / dt,
+                "cutoff must be below the Nyquist frequency");
+
+  // Bilinear transform with frequency pre-warping.
+  const double wc = std::tan(M_PI * fc * dt);
+  const int nSections = order / 2;
+  sections_.reserve(nSections);
+  for (int s = 0; s < nSections; ++s) {
+    // Analog pole pair angle for Butterworth: evenly spaced on unit circle.
+    const double theta =
+        M_PI * (2.0 * s + 1.0) / (2.0 * order) + M_PI / 2.0;
+    const double q = -2.0 * std::cos(theta);  // = 1/Q of the section
+    const double norm = 1.0 + q * wc + wc * wc;
+    Biquad bq{};
+    bq.b0 = wc * wc / norm;
+    bq.b1 = 2.0 * bq.b0;
+    bq.b2 = bq.b0;
+    bq.a1 = 2.0 * (wc * wc - 1.0) / norm;
+    bq.a2 = (1.0 - q * wc + wc * wc) / norm;
+    sections_.push_back(bq);
+  }
+}
+
+double ButterworthLowpass::step(double x) {
+  for (auto& s : sections_) x = s.step(x);
+  return x;
+}
+
+void ButterworthLowpass::reset() {
+  for (auto& s : sections_) s.reset();
+}
+
+std::vector<double> ButterworthLowpass::apply(const std::vector<double>& x) {
+  reset();
+  std::vector<double> y;
+  y.reserve(x.size());
+  for (double v : x) y.push_back(step(v));
+  return y;
+}
+
+std::vector<double> resampleLinear(const std::vector<double>& x, double dtIn,
+                                   double dtOut) {
+  AWP_CHECK(dtIn > 0.0 && dtOut > 0.0);
+  if (x.empty()) return {};
+  const double duration = dtIn * static_cast<double>(x.size() - 1);
+  const std::size_t nOut =
+      static_cast<std::size_t>(std::floor(duration / dtOut)) + 1;
+  std::vector<double> y;
+  y.reserve(nOut);
+  for (std::size_t i = 0; i < nOut; ++i) {
+    const double t = static_cast<double>(i) * dtOut;
+    const double u = t / dtIn;
+    const std::size_t k0 = std::min<std::size_t>(
+        static_cast<std::size_t>(std::floor(u)), x.size() - 1);
+    const std::size_t k1 = std::min<std::size_t>(k0 + 1, x.size() - 1);
+    const double frac = u - static_cast<double>(k0);
+    y.push_back(x[k0] * (1.0 - frac) + x[k1] * frac);
+  }
+  return y;
+}
+
+}  // namespace awp

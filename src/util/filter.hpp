@@ -1,0 +1,39 @@
+#pragma once
+// Butterworth low-pass filtering and resampling for moment-rate time
+// histories. The M8 two-step method inserts the dynamic-rupture source into
+// the wave-propagation run "after applying temporal interpolation and a
+// 4th-order low-pass filter with a cut-off frequency of 2 Hz" (§VII.B).
+
+#include <vector>
+
+namespace awp {
+
+// One biquad section (direct form II transposed).
+struct Biquad {
+  double b0, b1, b2, a1, a2;
+  double z1 = 0.0, z2 = 0.0;
+  double step(double x);
+  void reset() { z1 = z2 = 0.0; }
+};
+
+// Butterworth low-pass of even order `order` (2, 4, 6, ...) with cutoff
+// frequency fc [Hz] at sampling interval dt [s], as a cascade of biquads.
+class ButterworthLowpass {
+ public:
+  ButterworthLowpass(int order, double fc, double dt);
+
+  double step(double x);
+  void reset();
+  // Filter a whole series (single pass, causal).
+  std::vector<double> apply(const std::vector<double>& x);
+
+ private:
+  std::vector<Biquad> sections_;
+};
+
+// Linear-interpolation resampling from step dtIn to dtOut, preserving the
+// duration of the input series.
+std::vector<double> resampleLinear(const std::vector<double>& x, double dtIn,
+                                   double dtOut);
+
+}  // namespace awp

@@ -1,0 +1,39 @@
+#pragma once
+// MD5 implemented from scratch (RFC 1321). The paper generates MD5
+// checksums in parallel, one per mesh sub-array, to track the integrity of
+// multi-terabyte simulation collections (§III.E, §III.I). This is that
+// primitive; the parallel driver lives in src/io/checksum.*.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace awp {
+
+class Md5 {
+ public:
+  Md5();
+
+  void update(const void* data, std::size_t len);
+  // Finalize and return the 16-byte digest. The object may not be updated
+  // afterwards (reset() to reuse).
+  std::array<std::uint8_t, 16> digest();
+  void reset();
+
+  // One-shot helpers.
+  static std::array<std::uint8_t, 16> hash(const void* data, std::size_t len);
+  static std::string hexDigest(const void* data, std::size_t len);
+  static std::string toHex(const std::array<std::uint8_t, 16>& d);
+
+ private:
+  void processBlock(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t totalBits_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t bufferLen_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace awp

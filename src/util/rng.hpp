@@ -1,0 +1,36 @@
+#pragma once
+// Deterministic random number generation. Everything stochastic in the
+// reproduction (von Kármán stress fields, failure injection, workload
+// jitter) derives from a seeded Xoshiro256** stream so runs are replayable
+// across rank counts.
+
+#include <cstdint>
+
+namespace awp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t nextU64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Standard normal via Box–Muller (cached second deviate).
+  double gaussian();
+  double gaussian(double mean, double stddev);
+  // Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n);
+
+  // Derive an independent child stream (for per-rank determinism).
+  Rng split(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t s_[4];
+  bool haveCached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace awp

@@ -1,0 +1,73 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace awp {
+
+double mean(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double stddev(const std::vector<double>& x) {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  double s = 0.0;
+  for (double v : x) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(x.size() - 1));
+}
+
+double minOf(const std::vector<double>& x) {
+  AWP_CHECK(!x.empty());
+  return *std::min_element(x.begin(), x.end());
+}
+
+double maxOf(const std::vector<double>& x) {
+  AWP_CHECK(!x.empty());
+  return *std::max_element(x.begin(), x.end());
+}
+
+double percentile(std::vector<double> x, double p) {
+  AWP_CHECK(!x.empty());
+  AWP_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(x.begin(), x.end());
+  const double pos = p / 100.0 * static_cast<double>(x.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = std::min(lo + 1, x.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return x[lo] * (1.0 - frac) + x[hi] * frac;
+}
+
+double median(std::vector<double> x) { return percentile(std::move(x), 50.0); }
+
+double l2Misfit(const std::vector<double>& a, const std::vector<double>& b) {
+  AWP_CHECK(a.size() == b.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    num += d * d;
+    den += b[i] * b[i];
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : 1.0;
+  return std::sqrt(num / den);
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  std::vector<double> v;
+  v.reserve(n);
+  if (n == 1) {
+    v.push_back(lo);
+    return v;
+  }
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    v.push_back(lo + step * static_cast<double>(i));
+  return v;
+}
+
+}  // namespace awp

@@ -1,0 +1,24 @@
+#pragma once
+// Small numeric helpers shared by analysis, tests, and benches.
+
+#include <cstddef>
+#include <vector>
+
+namespace awp {
+
+double mean(const std::vector<double>& x);
+double stddev(const std::vector<double>& x);
+double minOf(const std::vector<double>& x);
+double maxOf(const std::vector<double>& x);
+// p in [0,100]; linear interpolation between order statistics.
+double percentile(std::vector<double> x, double p);
+// Median of the vector (copy-based).
+double median(std::vector<double> x);
+
+// Relative L2 misfit ||a-b|| / ||b||; the aVal acceptance metric (§III.H).
+double l2Misfit(const std::vector<double>& a, const std::vector<double>& b);
+
+// n evenly spaced values from lo to hi inclusive.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+}  // namespace awp

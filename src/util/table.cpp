@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace awp {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  AWP_CHECK_MSG(cells.size() == headers_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto printRow = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << " " << std::setw(static_cast<int>(width[c])) << std::left
+         << row[c] << " |";
+    os << "\n";
+  };
+
+  printRow(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) printRow(row);
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::sci(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace awp

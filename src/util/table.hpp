@@ -1,0 +1,30 @@
+#pragma once
+// Plain-text table printer used by the bench harnesses to emit the rows and
+// series of the paper's tables and figures.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace awp {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Add a row; each cell is already formatted.
+  void addRow(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;
+
+  // Cell formatting helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string sci(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace awp

@@ -1,0 +1,79 @@
+#include "vcluster/cart.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace awp::vcluster {
+
+CartTopology::CartTopology(Dims3 dims) : dims_(dims) {
+  AWP_CHECK(dims.x > 0 && dims.y > 0 && dims.z > 0);
+}
+
+Dims3 CartTopology::balancedDims(int nranks, std::size_t nx, std::size_t ny,
+                                 std::size_t nz) {
+  AWP_CHECK(nranks > 0);
+  Dims3 best{nranks, 1, 1};
+  double bestCost = std::numeric_limits<double>::max();
+  for (int px = 1; px <= nranks; ++px) {
+    if (nranks % px != 0) continue;
+    const int rem = nranks / px;
+    for (int py = 1; py <= rem; ++py) {
+      if (rem % py != 0) continue;
+      const int pz = rem / py;
+      // Require at least 4 points per axis per block (the 4th-order stencil
+      // footprint); skip degenerate splits when the grid allows better.
+      const double lx = static_cast<double>(nx) / px;
+      const double ly = static_cast<double>(ny) / py;
+      const double lz = static_cast<double>(nz) / pz;
+      if (lx < 1.0 || ly < 1.0 || lz < 1.0) continue;
+      // Ghost-exchange surface per rank (three face pairs).
+      const double cost = lx * ly + lx * lz + ly * lz;
+      if (cost < bestCost) {
+        bestCost = cost;
+        best = Dims3{px, py, pz};
+      }
+    }
+  }
+  return best;
+}
+
+int CartTopology::rankOf(int cx, int cy, int cz) const {
+  AWP_CHECK(cx >= 0 && cx < dims_.x && cy >= 0 && cy < dims_.y && cz >= 0 &&
+            cz < dims_.z);
+  return cx + dims_.x * (cy + dims_.y * cz);
+}
+
+Dims3 CartTopology::coordsOf(int rank) const {
+  AWP_CHECK(rank >= 0 && rank < size());
+  Dims3 c;
+  c.x = rank % dims_.x;
+  c.y = (rank / dims_.x) % dims_.y;
+  c.z = rank / (dims_.x * dims_.y);
+  return c;
+}
+
+int CartTopology::neighbor(int rank, int axis, int dir) const {
+  AWP_CHECK(axis >= 0 && axis < 3);
+  AWP_CHECK(dir == -1 || dir == 1);
+  Dims3 c = coordsOf(rank);
+  int* coord = (axis == 0) ? &c.x : (axis == 1) ? &c.y : &c.z;
+  const int limit = (axis == 0) ? dims_.x : (axis == 1) ? dims_.y : dims_.z;
+  *coord += dir;
+  if (*coord < 0 || *coord >= limit) return -1;
+  return rankOf(c.x, c.y, c.z);
+}
+
+Range CartTopology::blockRange(std::size_t n, int parts, int coord) {
+  AWP_CHECK(parts > 0 && coord >= 0 && coord < parts);
+  const std::size_t base = n / static_cast<std::size_t>(parts);
+  const std::size_t rem = n % static_cast<std::size_t>(parts);
+  const auto c = static_cast<std::size_t>(coord);
+  Range r;
+  r.begin = c * base + std::min(c, rem);
+  r.end = r.begin + base + (c < rem ? 1 : 0);
+  return r;
+}
+
+}  // namespace awp::vcluster

@@ -1,0 +1,50 @@
+#pragma once
+// 3D Cartesian process topology and block decomposition, as used by the
+// AWP-ODC solver's 3D domain decomposition (§III.A): the simulation volume
+// is partitioned into PX × PY × PZ subgrids, one per rank, with 2-cell
+// ghost layers exchanged between face neighbors.
+
+#include <cstddef>
+
+namespace awp::vcluster {
+
+struct Dims3 {
+  int x = 1, y = 1, z = 1;
+  [[nodiscard]] int total() const { return x * y * z; }
+};
+
+// Half-open index range [begin, end) along one axis.
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t count() const { return end - begin; }
+};
+
+class CartTopology {
+ public:
+  explicit CartTopology(Dims3 dims);
+
+  // Pick the factorization PX*PY*PZ = nranks that minimizes the total ghost
+  // surface for a global grid of nx × ny × nz points.
+  static Dims3 balancedDims(int nranks, std::size_t nx, std::size_t ny,
+                            std::size_t nz);
+
+  [[nodiscard]] Dims3 dims() const { return dims_; }
+  [[nodiscard]] int size() const { return dims_.total(); }
+
+  [[nodiscard]] int rankOf(int cx, int cy, int cz) const;
+  [[nodiscard]] Dims3 coordsOf(int rank) const;
+
+  // Face neighbor along axis (0=x, 1=y, 2=z) in direction dir (-1 or +1).
+  // Returns -1 at a non-periodic boundary.
+  [[nodiscard]] int neighbor(int rank, int axis, int dir) const;
+
+  // Block range owned by coordinate `coord` when `n` points are split over
+  // `parts` blocks (remainder spread over the lowest coordinates).
+  static Range blockRange(std::size_t n, int parts, int coord);
+
+ private:
+  Dims3 dims_;
+};
+
+}  // namespace awp::vcluster

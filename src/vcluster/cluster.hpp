@@ -1,0 +1,22 @@
+#pragma once
+// ThreadCluster launches N "ranks" as threads and runs a rank function on
+// each, giving every rank a Communicator. This stands in for the MPI job
+// launch on the paper's machines (Table 1): same SPMD structure, same
+// message-passing discipline, laptop-scale execution.
+
+#include <functional>
+
+#include "vcluster/comm.hpp"
+
+namespace awp::vcluster {
+
+class ThreadCluster {
+ public:
+  using RankFn = std::function<void(Communicator&)>;
+
+  // Run `fn` on `nranks` ranks; blocks until all complete. If any rank
+  // throws, the first exception (by rank order) is rethrown after join.
+  static void run(int nranks, const RankFn& fn);
+};
+
+}  // namespace awp::vcluster

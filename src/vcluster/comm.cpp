@@ -1,0 +1,142 @@
+#include "vcluster/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace awp::vcluster {
+
+ClusterState::ClusterState(int nranks)
+    : size(nranks), barrier(nranks) {
+  AWP_CHECK(nranks > 0);
+  mailboxes.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i)
+    mailboxes.push_back(std::make_unique<Mailbox>());
+}
+
+void Communicator::send(int dest, int tag, const void* data,
+                        std::size_t bytes) {
+  AWP_CHECK_MSG(dest >= 0 && dest < size(), "send: destination out of range");
+  Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  state_->mailboxes[static_cast<std::size_t>(dest)]->push(std::move(msg));
+  state_->stats.messagesSent.fetch_add(1, std::memory_order_relaxed);
+  state_->stats.bytesSent.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void Communicator::recv(int src, int tag, void* data, std::size_t bytes) {
+  AWP_CHECK_MSG(src >= 0 && src < size(), "recv: source out of range");
+  Message msg =
+      state_->mailboxes[static_cast<std::size_t>(rank_)]->popMatch(src, tag);
+  AWP_CHECK_MSG(msg.payload.size() == bytes,
+                "recv: payload size mismatch for (src, tag) envelope");
+  if (bytes > 0) std::memcpy(data, msg.payload.data(), bytes);
+}
+
+Request Communicator::isend(int dest, int tag, const void* data,
+                            std::size_t bytes) {
+  // Buffered-send semantics: the payload is copied now, so the request is
+  // already complete. Matches how AWP-ODC uses mpi_isend + waitall.
+  send(dest, tag, data, bytes);
+  Request req;
+  req.kind_ = Request::Kind::Send;
+  req.peer_ = dest;
+  req.tag_ = tag;
+  return req;
+}
+
+Request Communicator::irecv(int src, int tag, void* data, std::size_t bytes) {
+  Request req;
+  req.kind_ = Request::Kind::Recv;
+  req.peer_ = src;
+  req.tag_ = tag;
+  req.buf_ = data;
+  req.bytes_ = bytes;
+  return req;
+}
+
+void Communicator::wait(Request& req) {
+  if (req.kind_ == Request::Kind::Recv) {
+    recv(req.peer_, req.tag_, req.buf_, req.bytes_);
+  }
+  req.kind_ = Request::Kind::None;
+}
+
+void Communicator::waitAll(std::span<Request> reqs) {
+  for (auto& r : reqs) wait(r);
+}
+
+void Communicator::barrier() {
+  state_->stats.barriers.fetch_add(1, std::memory_order_relaxed);
+  state_->barrier.arrive_and_wait();
+}
+
+template <typename T>
+T Communicator::allreduceImpl(T value, ReduceOp op) {
+  // Gather to rank 0 in rank order (deterministic), reduce, broadcast.
+  T result = value;
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      const T v = recvValue<T>(r, kTagReduce);
+      switch (op) {
+        case ReduceOp::Sum:
+          result += v;
+          break;
+        case ReduceOp::Min:
+          result = std::min(result, v);
+          break;
+        case ReduceOp::Max:
+          result = std::max(result, v);
+          break;
+      }
+    }
+    for (int r = 1; r < size(); ++r) sendValue(r, kTagReduce, result);
+  } else {
+    sendValue(0, kTagReduce, value);
+    result = recvValue<T>(0, kTagReduce);
+  }
+  return result;
+}
+
+double Communicator::allreduce(double value, ReduceOp op) {
+  return allreduceImpl(value, op);
+}
+
+std::int64_t Communicator::allreduce(std::int64_t value, ReduceOp op) {
+  return allreduceImpl(value, op);
+}
+
+void Communicator::bcast(int root, void* data, std::size_t bytes) {
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root) send(r, kTagBcast, data, bytes);
+  } else {
+    recv(root, kTagBcast, data, bytes);
+  }
+}
+
+std::vector<std::vector<std::byte>> Communicator::gatherBytes(
+    int root, std::span<const std::byte> payload) {
+  std::vector<std::vector<std::byte>> out;
+  if (rank_ == root) {
+    out.resize(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)] =
+        std::vector<std::byte>(payload.begin(), payload.end());
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      const auto n = recvValue<std::uint64_t>(r, kTagGatherSize);
+      auto& dst = out[static_cast<std::size_t>(r)];
+      dst.resize(n);
+      recv(r, kTagGatherData, dst.data(), n);
+    }
+  } else {
+    sendValue(root, kTagGatherSize,
+              static_cast<std::uint64_t>(payload.size()));
+    send(root, kTagGatherData, payload.data(), payload.size());
+  }
+  return out;
+}
+
+}  // namespace awp::vcluster

@@ -1,0 +1,128 @@
+#pragma once
+// Communicator: the MPI-substitute interface used by every parallel
+// component of the reproduction (solver halo exchange, mesh partitioner,
+// parallel I/O, checksum generation). It provides the subset of MPI that
+// AWP-ODC relies on — tagged point-to-point (blocking and non-blocking),
+// barrier, reductions, broadcast and gather — over in-process mailboxes.
+//
+// Permission model mirrors MPI buffered sends: send() copies the payload
+// and returns immediately; recv() blocks until a matching envelope arrives.
+
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+#include "vcluster/mailbox.hpp"
+
+namespace awp::vcluster {
+
+// Aggregate communication statistics, shared by all ranks of a cluster.
+// The reduced-communication experiment (§IV.A) asserts on bytesSent.
+struct CommStats {
+  std::atomic<std::uint64_t> messagesSent{0};
+  std::atomic<std::uint64_t> bytesSent{0};
+  std::atomic<std::uint64_t> barriers{0};
+
+  void reset() {
+    messagesSent = 0;
+    bytesSent = 0;
+    barriers = 0;
+  }
+};
+
+// Shared state for one virtual cluster; owned by ThreadCluster.
+struct ClusterState {
+  explicit ClusterState(int nranks);
+
+  int size;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::barrier<> barrier;
+  CommStats stats;
+};
+
+enum class ReduceOp { Sum, Min, Max };
+
+class Request {
+ public:
+  Request() = default;
+  [[nodiscard]] bool valid() const { return kind_ != Kind::None; }
+
+ private:
+  friend class Communicator;
+  enum class Kind { None, Send, Recv };
+  Kind kind_ = Kind::None;
+  int peer_ = -1;
+  int tag_ = 0;
+  void* buf_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+class Communicator {
+ public:
+  Communicator(int rank, ClusterState* state) : rank_(rank), state_(state) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return state_->size; }
+  [[nodiscard]] CommStats& stats() const { return state_->stats; }
+
+  // --- Point-to-point -----------------------------------------------------
+  void send(int dest, int tag, const void* data, std::size_t bytes);
+  void recv(int src, int tag, void* data, std::size_t bytes);
+
+  // Non-blocking: isend completes eagerly (buffered); irecv registers the
+  // destination buffer, and wait()/waitAll() perform the matching receive.
+  Request isend(int dest, int tag, const void* data, std::size_t bytes);
+  Request irecv(int src, int tag, void* data, std::size_t bytes);
+  void wait(Request& req);
+  void waitAll(std::span<Request> reqs);
+
+  // Typed convenience wrappers.
+  template <typename T>
+  void sendSpan(int dest, int tag, std::span<const T> data) {
+    send(dest, tag, data.data(), data.size_bytes());
+  }
+  template <typename T>
+  void recvSpan(int src, int tag, std::span<T> data) {
+    recv(src, tag, data.data(), data.size_bytes());
+  }
+  template <typename T>
+  void sendValue(int dest, int tag, const T& v) {
+    send(dest, tag, &v, sizeof(T));
+  }
+  template <typename T>
+  T recvValue(int src, int tag) {
+    T v{};
+    recv(src, tag, &v, sizeof(T));
+    return v;
+  }
+
+  // --- Collectives (deterministic: reduce in rank order at root 0) --------
+  void barrier();
+  double allreduce(double value, ReduceOp op);
+  std::int64_t allreduce(std::int64_t value, ReduceOp op);
+  void bcast(int root, void* data, std::size_t bytes);
+  // Gather variable-length byte payloads to root; non-root ranks get {}.
+  std::vector<std::vector<std::byte>> gatherBytes(
+      int root, std::span<const std::byte> payload);
+
+ private:
+  template <typename T>
+  T allreduceImpl(T value, ReduceOp op);
+
+  int rank_;
+  ClusterState* state_;
+};
+
+// Internal tag space for collectives; user tags must be >= 0.
+inline constexpr int kTagBarrierBase = -1;  // unused, barrier is native
+inline constexpr int kTagReduce = -2;
+inline constexpr int kTagBcast = -3;
+inline constexpr int kTagGatherSize = -4;
+inline constexpr int kTagGatherData = -5;
+
+}  // namespace awp::vcluster

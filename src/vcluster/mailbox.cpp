@@ -1,0 +1,41 @@
+#include "vcluster/mailbox.hpp"
+
+namespace awp::vcluster {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::extractLocked(int src, int tag, Message& out) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->src == src && it->tag == tag) {
+      out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Message Mailbox::popMatch(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Message out;
+  cv_.wait(lock, [&] { return extractLocked(src, tag, out); });
+  return out;
+}
+
+bool Mailbox::tryPopMatch(int src, int tag, Message& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return extractLocked(src, tag, out);
+}
+
+std::size_t Mailbox::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace awp::vcluster

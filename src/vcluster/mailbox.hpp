@@ -1,0 +1,47 @@
+#pragma once
+// Per-rank mailbox for the virtual cluster. Messages are matched on
+// (source, tag) exactly as MPI point-to-point envelopes; out-of-order
+// arrival across different (source, tag) pairs is allowed, which is what
+// the paper's asynchronous communication redesign relies on (§IV.A:
+// "unique tagging to avoid source/destination ambiguity ... allows
+// out-of-order arrival and the unique tags maintain data integrity").
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace awp::vcluster {
+
+struct Message {
+  int src = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  void push(Message msg);
+
+  // Block until a message with matching (src, tag) arrives, then remove and
+  // return it. FIFO among messages with the same envelope.
+  Message popMatch(int src, int tag);
+
+  // Non-blocking variant; returns false if no match is queued.
+  bool tryPopMatch(int src, int tag, Message& out);
+
+  // Number of currently queued messages (for tests / diagnostics).
+  std::size_t depth() const;
+
+ private:
+  // Finds the first queued match; caller must hold the lock.
+  bool extractLocked(int src, int tag, Message& out);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace awp::vcluster

@@ -1,0 +1,136 @@
+#include "vmodel/cvm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace awp::vmodel {
+
+LayeredModel::LayeredModel(std::vector<Layer> layers, double vpOverVs)
+    : layers_(std::move(layers)), vpOverVs_(vpOverVs) {
+  AWP_CHECK(!layers_.empty());
+  for (std::size_t i = 1; i < layers_.size(); ++i)
+    AWP_CHECK_MSG(layers_[i].top > layers_[i - 1].top,
+                  "layers must be sorted by increasing depth");
+}
+
+LayeredModel LayeredModel::socalBackground() {
+  // Hard-rock gradient: Vs(0) > 1000 m/s so background sites qualify as
+  // "rock sites" under the Fig 23 definition (surface Vs > 1000 m/s).
+  return LayeredModel({{0.0, 1100.0},
+                       {500.0, 1800.0},
+                       {2000.0, 2800.0},
+                       {6000.0, 3200.0},
+                       {16000.0, 3500.0},
+                       {32000.0, 3900.0},
+                       {85000.0, 4500.0}});
+}
+
+double LayeredModel::vsAtDepth(double z) const {
+  z = std::max(0.0, z);
+  if (z <= layers_.front().top) return layers_.front().vs;
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    if (z <= layers_[i].top) {
+      const double f = (z - layers_[i - 1].top) /
+                       (layers_[i].top - layers_[i - 1].top);
+      return layers_[i - 1].vs + f * (layers_[i].vs - layers_[i - 1].vs);
+    }
+  }
+  return layers_.back().vs;
+}
+
+Material LayeredModel::sample(double /*x*/, double /*y*/, double z) const {
+  const double vs = vsAtDepth(z);
+  Material m;
+  m.vs = static_cast<float>(vs);
+  m.vp = static_cast<float>(vs * vpOverVs_);
+  m.rho = static_cast<float>(brocherDensity(m.vp));
+  return m;
+}
+
+double Basin::depthAt(double x, double y) const {
+  const double ex = (x - cx) / rx;
+  const double ey = (y - cy) / ry;
+  const double r2 = ex * ex + ey * ey;
+  if (r2 >= 1.0) return 0.0;
+  // Smooth bowl: deepest at the center, tapering to zero at the rim.
+  return maxDepth * std::sqrt(1.0 - r2);
+}
+
+CommunityVelocityModel::CommunityVelocityModel(LayeredModel background,
+                                               std::vector<Basin> basins,
+                                               double vsMin)
+    : background_(std::move(background)),
+      basins_(std::move(basins)),
+      vsMin_(vsMin) {}
+
+CommunityVelocityModel CommunityVelocityModel::socal(double lx, double ly,
+                                                     double faultY,
+                                                     double vsMin) {
+  // Basin geometry expressed as fractions of the model rectangle so the
+  // same structure works for the full 810 km x 405 km M8 domain and for
+  // scaled-down test domains. Positions echo the regional layout: the LA
+  // and Ventura basins sit well off the fault toward -y/west, San
+  // Bernardino and Coachella hug the fault trace.
+  std::vector<Basin> basins = {
+      {"Los Angeles", 0.38 * lx, faultY - 0.28 * ly, 0.14 * lx, 0.16 * ly,
+       6000.0, 450.0},
+      {"San Bernardino", 0.55 * lx, faultY - 0.03 * ly, 0.07 * lx,
+       0.08 * ly, 2000.0, 420.0},
+      {"Ventura", 0.16 * lx, faultY - 0.22 * ly, 0.09 * lx, 0.12 * ly,
+       5000.0, 430.0},
+      {"Coachella", 0.82 * lx, faultY + 0.02 * ly, 0.10 * lx, 0.07 * ly,
+       3000.0, 440.0},
+  };
+  CommunityVelocityModel cvm(LayeredModel::socalBackground(),
+                             std::move(basins), vsMin);
+
+  // Fig 21 seismogram sites, placed relative to their basins / the fault.
+  cvm.addSite({"San Bernardino", 0.55 * lx, faultY - 0.035 * ly});
+  cvm.addSite({"Downtown LA", 0.40 * lx, faultY - 0.27 * ly});
+  cvm.addSite({"Downey", 0.41 * lx, faultY - 0.31 * ly});
+  cvm.addSite({"Oxnard", 0.15 * lx, faultY - 0.24 * ly});
+  cvm.addSite({"Long Beach", 0.37 * lx, faultY - 0.34 * ly});
+  cvm.addSite({"Coachella", 0.82 * lx, faultY + 0.03 * ly});
+  return cvm;
+}
+
+Material CommunityVelocityModel::sample(double x, double y, double z) const {
+  Material m = background_.sample(x, y, z);
+  for (const auto& b : basins_) {
+    const double sedimentDepth = b.depthAt(x, y);
+    if (z < sedimentDepth) {
+      // Inside the sediments: Vs grows with sqrt(depth) from the surface
+      // value toward the background at the basin floor (rule-based
+      // interpolation, as CVM4's geotechnical layer does).
+      const double floorVs = background_.vsAtDepth(sedimentDepth);
+      const double f = std::sqrt(std::max(0.0, z / sedimentDepth));
+      const double vs = b.vsSurface + f * (floorVs - b.vsSurface);
+      if (vs < m.vs) {
+        m.vs = static_cast<float>(vs);
+        m.vp = static_cast<float>(std::max(1500.0, vs * 2.0));
+        m.rho = static_cast<float>(brocherDensity(m.vp));
+      }
+    }
+  }
+  if (m.vs < vsMin_) {
+    m.vs = static_cast<float>(vsMin_);
+    m.vp = std::max(m.vp, static_cast<float>(vsMin_ * 2.0));
+    m.rho = static_cast<float>(brocherDensity(m.vp));
+  }
+  return m;
+}
+
+double CommunityVelocityModel::depthToIsosurface(double x, double y,
+                                                 double vsIso) const {
+  // March down in 50 m steps until Vs exceeds the isosurface value.
+  constexpr double kStep = 50.0;
+  constexpr double kMaxDepth = 20000.0;
+  for (double z = 0.0; z <= kMaxDepth; z += kStep) {
+    if (sample(x, y, z).vs >= vsIso) return z;
+  }
+  return kMaxDepth;
+}
+
+}  // namespace awp::vmodel

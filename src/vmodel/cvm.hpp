@@ -1,0 +1,99 @@
+#pragma once
+// Synthetic community velocity model. Substitute for the SCEC CVM4: the
+// paper extracts (Vp, Vs, rho) from CVM4 through a rule-based interpolation
+// query (§III.B); we provide the same query interface over a synthetic
+// southern-California-like structure — a 1D crustal background with
+// embedded ellipsoidal sedimentary basins (Los Angeles, San Bernardino,
+// Ventura and Coachella analogues) that produce the waveguide and basin
+// amplification phenomenology the science results depend on (§VI, §VII).
+//
+// Coordinates: x, y in meters within the model rectangle, z = depth below
+// the free surface in meters (positive down).
+
+#include <string>
+#include <vector>
+
+#include "vmodel/material.hpp"
+
+namespace awp::vmodel {
+
+class VelocityModel {
+ public:
+  virtual ~VelocityModel() = default;
+  [[nodiscard]] virtual Material sample(double x, double y,
+                                        double z) const = 0;
+};
+
+// Piecewise-linear 1D background: properties depend on depth only.
+class LayeredModel : public VelocityModel {
+ public:
+  struct Layer {
+    double top;  // depth of layer top [m]
+    double vs;   // S speed at layer top [m/s]
+  };
+
+  // Layers must be sorted by increasing top depth; Vs is interpolated
+  // linearly between layer tops and constant below the deepest.
+  explicit LayeredModel(std::vector<Layer> layers,
+                        double vpOverVs = 1.732);
+
+  // Hard-rock southern-California-like background.
+  static LayeredModel socalBackground();
+
+  [[nodiscard]] Material sample(double x, double y, double z) const override;
+  [[nodiscard]] double vsAtDepth(double z) const;
+
+ private:
+  std::vector<Layer> layers_;
+  double vpOverVs_;
+};
+
+// Ellipsoidal sediment-filled basin carved into a background model.
+struct Basin {
+  std::string name;
+  double cx = 0.0, cy = 0.0;  // center [m]
+  double rx = 0.0, ry = 0.0;  // horizontal semi-axes [m]
+  double maxDepth = 0.0;      // sediment depth at basin center [m]
+  double vsSurface = 0.0;     // Vs of sediments at the surface [m/s]
+
+  // Sediment thickness at (x, y); 0 outside the basin footprint.
+  [[nodiscard]] double depthAt(double x, double y) const;
+};
+
+// Named analysis site within the model (for seismogram extraction, Fig 21).
+struct Site {
+  std::string name;
+  double x = 0.0, y = 0.0;  // [m]
+};
+
+class CommunityVelocityModel : public VelocityModel {
+ public:
+  CommunityVelocityModel(LayeredModel background, std::vector<Basin> basins,
+                         double vsMin);
+
+  // A southern-California-like model scaled to a lx-by-ly rectangle with a
+  // fault trace running along y = faultY. Includes LA, San Bernardino,
+  // Ventura and Coachella basin analogues, and the named sites of Fig 21.
+  // vsMin clamps the minimum S speed (400 m/s in M8, §VII.B).
+  static CommunityVelocityModel socal(double lx, double ly, double faultY,
+                                      double vsMin = 400.0);
+
+  [[nodiscard]] Material sample(double x, double y, double z) const override;
+
+  // Depth to the Vs = vsIso isosurface at (x, y) — the quantity shaded in
+  // Figs 1 and 20 (vsIso = 2500 m/s there).
+  [[nodiscard]] double depthToIsosurface(double x, double y,
+                                         double vsIso) const;
+
+  [[nodiscard]] const std::vector<Basin>& basins() const { return basins_; }
+  [[nodiscard]] const std::vector<Site>& sites() const { return sites_; }
+  void addSite(Site s) { sites_.push_back(std::move(s)); }
+
+ private:
+  LayeredModel background_;
+  std::vector<Basin> basins_;
+  std::vector<Site> sites_;
+  double vsMin_;
+};
+
+}  // namespace awp::vmodel

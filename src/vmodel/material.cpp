@@ -1,0 +1,29 @@
+#include "vmodel/material.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace awp::vmodel {
+
+double qsOf(double vs) { return 50.0 * (vs / 1000.0); }
+
+double qpOf(double vs) { return 2.0 * qsOf(vs); }
+
+double brocherDensity(double vpMetersPerSecond) {
+  const double vp = vpMetersPerSecond / 1000.0;  // km/s
+  const double rhoGcc = 1.6612 * vp - 0.4721 * vp * vp +
+                        0.0671 * vp * vp * vp - 0.0043 * vp * vp * vp * vp +
+                        0.000106 * vp * vp * vp * vp * vp;
+  return std::max(1000.0, rhoGcc * 1000.0);
+}
+
+double muOf(const Material& m) {
+  return static_cast<double>(m.rho) * m.vs * m.vs;
+}
+
+double lambdaOf(const Material& m) {
+  return static_cast<double>(m.rho) *
+         (static_cast<double>(m.vp) * m.vp - 2.0 * static_cast<double>(m.vs) * m.vs);
+}
+
+}  // namespace awp::vmodel

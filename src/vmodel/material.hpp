@@ -1,0 +1,26 @@
+#pragma once
+// Material properties stored on the mesh. The M8 run stored Vp, Vs and
+// density per cell and computed quality factors on the fly from the
+// empirical relations Qs = 50·Vs [km/s] and Qp = 2·Qs (§VII.B).
+
+namespace awp::vmodel {
+
+struct Material {
+  float vp = 0.0f;   // P-wave speed [m/s]
+  float vs = 0.0f;   // S-wave speed [m/s]
+  float rho = 0.0f;  // density [kg/m^3]
+};
+
+// Quality factors from the paper's on-the-fly relations.
+double qsOf(double vs);  // Qs = 50 * Vs, Vs in km/s
+double qpOf(double vs);  // Qp = 2 * Qs
+
+// Brocher (2005) density from Vp (km/s), returned in kg/m^3. Used by the
+// synthetic CVM so (vp, vs, rho) stay mutually consistent.
+double brocherDensity(double vpMetersPerSecond);
+
+// Lamé parameters.
+double muOf(const Material& m);      // μ = ρ Vs²
+double lambdaOf(const Material& m);  // λ = ρ (Vp² − 2 Vs²)
+
+}  // namespace awp::vmodel

@@ -1,0 +1,87 @@
+#include "workflow/archive.hpp"
+
+#include <algorithm>
+
+#include "io/shared_file.hpp"
+#include "util/error.hpp"
+#include "util/md5.hpp"
+
+namespace awp::workflow {
+
+namespace {
+std::string fileMd5(const std::string& path, std::uint64_t& bytesOut) {
+  io::SharedFile f(path, io::SharedFile::Mode::Read);
+  const std::uint64_t size = f.size();
+  bytesOut = size;
+  Md5 digest;
+  std::vector<std::byte> chunk(1 << 20);
+  for (std::uint64_t offset = 0; offset < size;
+       offset += chunk.size()) {
+    const std::size_t len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk.size(), size - offset));
+    f.readAt(offset, std::span<std::byte>(chunk.data(), len));
+    digest.update(chunk.data(), len);
+  }
+  return Md5::toHex(digest.digest());
+}
+}  // namespace
+
+void ArchiveRegistry::ingestFile(const std::string& path,
+                                 const std::string& collection,
+                                 const std::string& logicalName,
+                                 int replicas) {
+  ArchiveEntry e;
+  e.logicalName = logicalName;
+  e.collection = collection;
+  e.replicas = replicas;
+  e.md5Hex = fileMd5(path, e.bytes);
+  entries_[logicalName] = std::move(e);
+}
+
+bool ArchiveRegistry::contains(const std::string& logicalName) const {
+  return entries_.count(logicalName) > 0;
+}
+
+const ArchiveEntry& ArchiveRegistry::entry(
+    const std::string& logicalName) const {
+  auto it = entries_.find(logicalName);
+  AWP_CHECK_MSG(it != entries_.end(),
+                "archive entry not found: " + logicalName);
+  return it->second;
+}
+
+bool ArchiveRegistry::verify(const std::string& logicalName,
+                             const std::string& path) const {
+  std::uint64_t bytes = 0;
+  const std::string digest = fileMd5(path, bytes);
+  const auto& e = entry(logicalName);
+  return digest == e.md5Hex && bytes == e.bytes;
+}
+
+std::uint64_t ArchiveRegistry::totalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, e] : entries_) total += e.bytes;
+  return total;
+}
+
+std::vector<std::string> ArchiveRegistry::listCollection(
+    const std::string& collection) const {
+  std::vector<std::string> names;
+  for (const auto& [name, e] : entries_)
+    if (e.collection == collection) names.push_back(name);
+  return names;
+}
+
+double IngestionModel::aggregateRate(int streams) const {
+  if (streams <= 0) return 0.0;
+  return std::min(static_cast<double>(streams) * perStreamBytesPerSec,
+                  backendCapBytesPerSec);
+}
+
+double IngestionModel::ingestSeconds(std::uint64_t bytes,
+                                     int streams) const {
+  const double rate = aggregateRate(streams);
+  return rate > 0.0 ? static_cast<double>(bytes) / rate : 0.0;
+}
+
+}  // namespace awp::workflow

@@ -1,0 +1,39 @@
+#include "workflow/e2eaw.hpp"
+
+#include <exception>
+
+#include "util/timer.hpp"
+
+namespace awp::workflow {
+
+void Pipeline::addStage(std::string name, StageFn fn) {
+  stages_.emplace_back(std::move(name), std::move(fn));
+}
+
+bool Pipeline::run() {
+  results_.clear();
+  bool ok = true;
+  for (const auto& [name, fn] : stages_) {
+    StageResult r;
+    r.name = name;
+    if (!ok) {
+      results_.push_back(std::move(r));
+      continue;
+    }
+    r.ran = true;
+    Stopwatch watch;
+    try {
+      r.detail = fn();
+      r.ok = true;
+    } catch (const std::exception& e) {
+      r.ok = false;
+      r.detail = e.what();
+      ok = false;
+    }
+    r.seconds = watch.seconds();
+    results_.push_back(std::move(r));
+  }
+  return ok;
+}
+
+}  // namespace awp::workflow

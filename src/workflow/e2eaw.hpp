@@ -1,0 +1,43 @@
+#pragma once
+// E2EaW: the end-to-end workflow (§III.I, Fig 10) that consolidates the
+// AWP-ODC modules: data partitioning, solver execution, parallel checksum
+// generation, high-performance site-to-site transfer with automatic
+// recovery, verification, and ingestion into the digital library. Stages
+// are named, timed, and re-runnable; a stage failure stops the pipeline
+// with the failure recorded.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace awp::workflow {
+
+struct StageResult {
+  std::string name;
+  bool ran = false;
+  bool ok = false;
+  double seconds = 0.0;
+  std::string detail;
+};
+
+class Pipeline {
+ public:
+  using StageFn = std::function<std::string()>;  // returns detail; throws on
+                                                 // failure
+
+  void addStage(std::string name, StageFn fn);
+
+  // Run stages in order; stops at the first failure. Returns overall
+  // success.
+  bool run();
+
+  [[nodiscard]] const std::vector<StageResult>& results() const {
+    return results_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, StageFn>> stages_;
+  std::vector<StageResult> results_;
+};
+
+}  // namespace awp::workflow

@@ -1,0 +1,85 @@
+#include "workflow/transfer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "io/shared_file.hpp"
+#include "util/error.hpp"
+#include "util/md5.hpp"
+
+namespace awp::workflow {
+
+TransferChannel::TransferChannel(const TransferConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+TransferReport TransferChannel::transfer(
+    const std::string& srcDir, const std::string& dstDir,
+    const std::vector<std::string>& files) {
+  TransferReport report;
+  report.allVerified = true;
+
+  for (const auto& name : files) {
+    io::SharedFile src(srcDir + "/" + name, io::SharedFile::Mode::Read);
+    io::SharedFile dst(dstDir + "/" + name, io::SharedFile::Mode::Write);
+    const std::uint64_t size = src.size();
+    dst.truncate(size);
+
+    Md5 srcDigest, dstDigest;
+    std::vector<std::byte> chunk;
+    const std::uint64_t nChunks =
+        (size + config_.chunkBytes - 1) / config_.chunkBytes;
+
+    for (std::uint64_t c = 0; c < nChunks; ++c) {
+      const std::uint64_t offset = c * config_.chunkBytes;
+      const std::size_t len = static_cast<std::size_t>(
+          std::min<std::uint64_t>(config_.chunkBytes, size - offset));
+      chunk.resize(len);
+      src.readAt(offset, chunk);
+      srcDigest.update(chunk.data(), chunk.size());
+
+      int attempt = 0;
+      for (;;) {
+        ++attempt;
+        report.simulatedSeconds +=
+            static_cast<double>(len) / config_.bandwidthBytesPerSec;
+        if (rng_.uniform() < config_.chunkFailureProb &&
+            attempt <= config_.maxRetries) {
+          // Failed in flight: log the transaction and retransfer.
+          ++report.chunksFailed;
+          ++report.chunksRetried;
+          report.records.push_back({name, c, attempt, false});
+          continue;
+        }
+        dst.writeAt(offset, std::span<const std::byte>(chunk));
+        if (attempt > 1) {
+          // Mark every failed transaction for this chunk as recovered.
+          for (auto& rec : report.records) {
+            if (rec.file == name && rec.chunkIndex == c)
+              rec.recovered = true;
+          }
+        }
+        break;
+      }
+      report.bytesMoved += len;
+    }
+
+    // Verify: re-read the destination and compare digests (the workflow's
+    // pipelined MD5 verification step).
+    Md5 verify;
+    for (std::uint64_t offset = 0; offset < size;
+         offset += config_.chunkBytes) {
+      const std::size_t len = static_cast<std::size_t>(
+          std::min<std::uint64_t>(config_.chunkBytes, size - offset));
+      chunk.resize(len);
+      dst.readAt(offset, chunk);
+      verify.update(chunk.data(), chunk.size());
+    }
+    const auto a = srcDigest.digest();
+    const auto b = verify.digest();
+    if (a != b) report.allVerified = false;
+    ++report.filesMoved;
+  }
+  return report;
+}
+
+}  // namespace awp::workflow

@@ -1,0 +1,155 @@
+// Tests for the analysis toolkit: GMPEs, PGV-vs-distance statistics, and
+// the aVal acceptance test.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/aval.hpp"
+#include "analysis/gmpe.hpp"
+#include "analysis/pgv.hpp"
+
+namespace awp::analysis {
+namespace {
+
+TEST(Gmpe, MedianDecaysWithDistance) {
+  for (const auto& g : {ba08Like(), cb08Like()}) {
+    double prev = 1e9;
+    for (double r : {1.0, 5.0, 20.0, 50.0, 100.0, 200.0}) {
+      const double pgv = g.medianPgv(8.0, r);
+      EXPECT_LT(pgv, prev) << g.name;
+      prev = pgv;
+    }
+  }
+}
+
+TEST(Gmpe, MedianGrowsWithMagnitude) {
+  const auto g = ba08Like();
+  EXPECT_LT(g.medianPgv(6.0, 20.0), g.medianPgv(7.0, 20.0));
+  EXPECT_LT(g.medianPgv(7.0, 20.0), g.medianPgv(8.0, 20.0));
+}
+
+TEST(Gmpe, Magnitude8RockShape) {
+  // Fig 23 shape anchors: tens of cm/s near the fault, a few cm/s at
+  // 200 km, for a magnitude-8 event at rock sites.
+  const auto g = ba08Like();
+  const double near = g.medianPgv(8.0, 5.0);
+  const double far = g.medianPgv(8.0, 200.0);
+  EXPECT_GT(near, 20.0);
+  EXPECT_LT(near, 200.0);
+  EXPECT_GT(far, 0.5);
+  EXPECT_LT(far, 10.0);
+  EXPECT_GT(near / far, 10.0);
+}
+
+TEST(Gmpe, PoeAtMedianIsHalf) {
+  const auto g = cb08Like();
+  const double median = g.medianPgv(8.0, 30.0);
+  EXPECT_NEAR(g.poe(8.0, 30.0, median), 0.5, 1e-9);
+  // One sigma above the median ~ 16% POE.
+  EXPECT_NEAR(g.poe(8.0, 30.0, g.pgvAtEpsilon(8.0, 30.0, 1.0)), 0.1587,
+              1e-3);
+  EXPECT_GT(g.poe(8.0, 30.0, 0.001), 0.999);
+}
+
+TEST(DistanceToTrace, PointSegmentGeometry) {
+  const auto trace = source::FaultTrace::straight(1000.0, 9000.0, 2000.0);
+  EXPECT_NEAR(distanceToTrace(5000.0, 5000.0, trace), 3000.0, 1.0);
+  EXPECT_NEAR(distanceToTrace(0.0, 2000.0, trace), 1000.0, 40.0);
+  EXPECT_NEAR(distanceToTrace(5000.0, 2000.0, trace), 0.0, 1.0);
+}
+
+TEST(PgvVsDistance, BinsAndStatistics) {
+  // Synthetic PGV map decaying as 1/r from a central trace.
+  const std::size_t nx = 80, ny = 60;
+  const double h = 1000.0;
+  const auto trace = source::FaultTrace::straight(10e3, 70e3, 30e3);
+  std::vector<float> map(nx * ny);
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double r = std::max(
+          1000.0, distanceToTrace(i * h, j * h, trace));
+      map[i + nx * j] = static_cast<float>(1.0 / (r / 1000.0));
+    }
+
+  const auto bins = pgvVsDistance(
+      map, nx, ny, h, trace, [](std::size_t, std::size_t) { return true; },
+      {1.0, 2.0, 5.0, 10.0, 20.0});
+  ASSERT_EQ(bins.size(), 4u);
+  for (std::size_t b = 1; b < bins.size(); ++b) {
+    EXPECT_GT(bins[b].count, 0u);
+    EXPECT_LT(bins[b].medianCmS, bins[b - 1].medianCmS);
+    EXPECT_LE(bins[b].p16CmS, bins[b].medianCmS);
+    EXPECT_GE(bins[b].p84CmS, bins[b].medianCmS);
+  }
+}
+
+TEST(PgvVsDistance, SitePredicateFilters) {
+  const std::size_t nx = 20, ny = 20;
+  const auto trace = source::FaultTrace::straight(0.0, 20e3, 10e3);
+  std::vector<float> map(nx * ny, 1.0f);
+  const auto all = pgvVsDistance(
+      map, nx, ny, 1000.0, trace,
+      [](std::size_t, std::size_t) { return true; }, {0.0, 50.0});
+  const auto none = pgvVsDistance(
+      map, nx, ny, 1000.0, trace,
+      [](std::size_t, std::size_t) { return false; }, {0.0, 50.0});
+  EXPECT_GT(all[0].count, 0u);
+  EXPECT_EQ(none[0].count, 0u);
+}
+
+TEST(MapUtils, PeakAndMean) {
+  std::vector<float> map(12, 1.0f);
+  map[7] = 5.0f;  // (i=3, j=1) for nx=4
+  const auto peak = mapPeak(map, 4, 3);
+  EXPECT_EQ(peak.value, 5.0f);
+  EXPECT_EQ(peak.i, 3u);
+  EXPECT_EQ(peak.j, 1u);
+}
+
+core::SeismogramTrace makeTrace(const std::string& name, float scale) {
+  core::SeismogramTrace t;
+  t.name = name;
+  for (int n = 0; n < 50; ++n) {
+    const float v = scale * std::sin(0.3f * static_cast<float>(n));
+    t.u.push_back(v);
+    t.v.push_back(0.5f * v);
+    t.w.push_back(-v);
+  }
+  return t;
+}
+
+TEST(Aval, PassesIdenticalTraces) {
+  const std::vector<core::SeismogramTrace> ref = {makeTrace("a", 1.0f),
+                                                  makeTrace("b", 2.0f)};
+  const auto result = acceptanceTest(ref, ref, 0.01);
+  EXPECT_TRUE(result.pass);
+  EXPECT_DOUBLE_EQ(result.worstMisfit, 0.0);
+}
+
+TEST(Aval, FailsOnMismatch) {
+  const std::vector<core::SeismogramTrace> ref = {makeTrace("a", 1.0f)};
+  const std::vector<core::SeismogramTrace> cand = {makeTrace("a", 1.5f)};
+  const auto result = acceptanceTest(cand, ref, 0.1);
+  EXPECT_FALSE(result.pass);
+  EXPECT_EQ(result.worstTrace, "a");
+  EXPECT_NEAR(result.worstMisfit, 0.5, 1e-6);
+}
+
+TEST(Aval, MissingTraceThrows) {
+  const std::vector<core::SeismogramTrace> ref = {makeTrace("a", 1.0f)};
+  const std::vector<core::SeismogramTrace> cand = {makeTrace("b", 1.0f)};
+  EXPECT_THROW(acceptanceTest(cand, ref, 0.1), Error);
+}
+
+TEST(Aval, TracePgv) {
+  core::SeismogramTrace t;
+  t.u = {3.0f, 0.0f};
+  t.v = {4.0f, 0.0f};
+  t.w = {0.0f, 12.0f};
+  EXPECT_DOUBLE_EQ(tracePgv(t), 12.0);
+  EXPECT_DOUBLE_EQ(tracePgv(t, /*horizontalOnly=*/true), 5.0);
+}
+
+}  // namespace
+}  // namespace awp::analysis

@@ -1,0 +1,424 @@
+// Physics and parallel-correctness tests for the AWM wave solver: wave
+// speeds, radiation symmetry, free surface, absorbing boundaries,
+// attenuation, kernel-variant equivalence, decomposition invariance, and
+// checkpoint/restart.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "core/solver.hpp"
+#include "vcluster/cluster.hpp"
+
+namespace awp::core {
+namespace {
+
+using grid::kHalo;
+using vcluster::CartTopology;
+using vcluster::Dims3;
+using vcluster::ThreadCluster;
+
+vmodel::Material rock() { return {5196.0f, 3000.0f, 2700.0f}; }
+
+SolverConfig baseConfig(std::size_t n = 32) {
+  SolverConfig c;
+  c.globalDims = {n, n, n};
+  c.h = 100.0;
+  c.absorbing = AbsorbingType::Sponge;
+  c.spongeWidth = 8;
+  return c;
+}
+
+// Run a single-rank solver with an explosion at the center and return the
+// gathered traces at the requested surface receivers.
+std::vector<SeismogramTrace> runExplosion(
+    const SolverConfig& config, Dims3 dims, std::size_t steps,
+    const std::vector<std::pair<std::size_t, std::size_t>>& receivers,
+    double f0 = 4.0) {
+  std::vector<SeismogramTrace> out;
+  ThreadCluster::run(dims.total(), [&](vcluster::Communicator& comm) {
+    CartTopology topo(dims);
+    WaveSolver solver(comm, topo, config, rock());
+    const auto n = config.globalDims.nx;
+    const double dt = solver.config().dt;
+    solver.addSource(explosionPointSource(
+        n / 2, n / 2, config.globalDims.nz / 2,
+        rickerWavelet(f0, 1.5 / f0, dt, steps, 1e16)));
+    int r = 0;
+    for (auto [gi, gj] : receivers)
+      solver.addReceiver("r" + std::to_string(r++), gi, gj);
+    solver.run(steps);
+    auto traces = solver.receivers().gather(comm);
+    if (comm.rank() == 0) out = std::move(traces);
+  });
+  return out;
+}
+
+TEST(SourceHelpers, RickerPeaksAtDelay) {
+  const auto w = rickerWavelet(2.0, 0.5, 0.01, 200);
+  std::size_t peak = 0;
+  for (std::size_t i = 0; i < w.size(); ++i)
+    if (w[i] > w[peak]) peak = i;
+  EXPECT_NEAR(static_cast<double>(peak) * 0.01, 0.5, 0.011);
+}
+
+TEST(SourceHelpers, MomentMagnitude) {
+  // "a total seismic moment of 1.0e21 Nm (Mw = 8.0)" (§VII.A).
+  EXPECT_NEAR(momentMagnitude(1.0e21), 8.0, 0.04);
+  EXPECT_NEAR(momentMagnitude(1.12e20), 7.33, 0.05);
+}
+
+TEST(Solver, AutoDtSatisfiesCfl) {
+  ThreadCluster::run(1, [&](vcluster::Communicator& comm) {
+    CartTopology topo(Dims3{1, 1, 1});
+    WaveSolver solver(comm, topo, baseConfig(16), rock());
+    const double dt = solver.config().dt;
+    EXPECT_NEAR(dt, 0.45 * 100.0 / 5196.0, 1e-6);
+  });
+}
+
+TEST(Solver, PWaveArrivesAtTheRightTime) {
+  // Explosion at the center of a 48^3 box; receiver on the surface right
+  // above. The first P arrival should be near r / vp.
+  auto config = baseConfig(48);
+  const std::size_t steps = 260;
+  const auto traces =
+      runExplosion(config, Dims3{1, 1, 1}, steps, {{24, 24}}, 5.0);
+  ASSERT_EQ(traces.size(), 1u);
+  const auto& w = traces[0].w;
+
+  // First time |w| exceeds 5% of its peak.
+  float peak = 0.0f;
+  for (float v : w) peak = std::max(peak, std::abs(v));
+  ASSERT_GT(peak, 0.0f);
+  std::size_t first = 0;
+  while (first < w.size() && std::abs(w[first]) < 0.05f * peak) ++first;
+
+  const double dt = 0.45 * 100.0 / 5196.0;
+  const double distance = 23.5 * 100.0;  // center to surface plane
+  const double expected = distance / 5196.0 + 0.15;  // + source onset ramp
+  const double measured = static_cast<double>(first) * dt;
+  EXPECT_NEAR(measured, expected, 0.15);
+}
+
+TEST(Solver, ExplosionRadiationIsSymmetric) {
+  // The interior operator is exactly mirror-symmetric (the asymmetry of a
+  // truncated staggered lattice only enters through the boundaries), so an
+  // explosion at the center of an odd grid must radiate bitwise-
+  // symmetrically as long as no wave has touched a boundary. Mirror pairs
+  // respect the staggering: w sits at integer (i, j) and mirrors cell-to-
+  // cell about i = 16; u sits at i - 1/2, so the mirror of node i = 10
+  // (x = 9.5) is node i = 23 (x = 22.5); same for v in y (j = 10 -> 21).
+  ThreadCluster::run(1, [&](vcluster::Communicator& comm) {
+    CartTopology topo(Dims3{1, 1, 1});
+    auto config = baseConfig(33);
+    config.absorbing = AbsorbingType::None;
+    config.freeSurface = false;
+    WaveSolver solver(comm, topo, config, rock());
+    const double dt = solver.config().dt;
+    // Emission finishes by ~step 50; the wavefront needs ~36 steps from
+    // the source to a face, so nothing reaches a boundary within 60 steps.
+    solver.addSource(explosionPointSource(
+        16, 16, 16, rickerWavelet(6.0, 0.25, dt, 60, 1e16)));
+    bool sawSignal = false;
+    for (int n = 0; n < 45; ++n) {
+      solver.step();
+      auto& g = solver.grid();
+      const std::size_t K = kHalo + 16;
+      ASSERT_EQ(g.w(kHalo + 10, kHalo + 16, K),
+                g.w(kHalo + 22, kHalo + 16, K));
+      ASSERT_EQ(g.u(kHalo + 10, kHalo + 16, K),
+                -g.u(kHalo + 23, kHalo + 16, K));
+      ASSERT_EQ(g.w(kHalo + 16, kHalo + 10, K),
+                g.w(kHalo + 16, kHalo + 22, K));
+      ASSERT_EQ(g.v(kHalo + 16, kHalo + 10, K),
+                -g.v(kHalo + 16, kHalo + 21, K));
+      if (std::abs(g.w(kHalo + 10, kHalo + 16, K)) > 0.0f)
+        sawSignal = true;
+    }
+    EXPECT_TRUE(sawSignal);
+  });
+}
+
+TEST(Solver, FreeSurfaceKeepsTractionImagesExact) {
+  ThreadCluster::run(1, [&](vcluster::Communicator& comm) {
+    CartTopology topo(Dims3{1, 1, 1});
+    auto config = baseConfig(24);
+    WaveSolver solver(comm, topo, config, rock());
+    const double dt = solver.config().dt;
+    solver.addSource(explosionPointSource(
+        12, 12, 12, rickerWavelet(4.0, 0.4, dt, 100, 1e15)));
+    solver.run(100);
+    auto& g = solver.grid();
+    const std::size_t T = kHalo + g.dims().nz - 1;
+    for (std::size_t j = kHalo; j < kHalo + g.dims().ny; ++j)
+      for (std::size_t i = kHalo; i < kHalo + g.dims().nx; ++i) {
+        ASSERT_EQ(g.xz(i, j, T), 0.0f);
+        ASSERT_EQ(g.yz(i, j, T), 0.0f);
+        ASSERT_EQ(g.zz(i, j, T + 1), -g.zz(i, j, T));
+      }
+  });
+}
+
+TEST(Solver, SurfaceMotionIsNonZeroWithFreeSurface) {
+  auto config = baseConfig(32);
+  const auto traces = runExplosion(config, Dims3{1, 1, 1}, 160, {{16, 16}});
+  float peak = 0.0f;
+  for (float v : traces[0].w) peak = std::max(peak, std::abs(v));
+  EXPECT_GT(peak, 0.0f);
+}
+
+double residualEnergyAfterExit(AbsorbingType type, int width) {
+  // Deep source so the wavefront hits the sides and bottom; run long
+  // enough for everything to leave a 32^3 box, then measure what's left.
+  double residual = 0.0, peak = 0.0;
+  ThreadCluster::run(1, [&](vcluster::Communicator& comm) {
+    CartTopology topo(Dims3{1, 1, 1});
+    auto config = baseConfig(32);
+    config.absorbing = type;
+    config.spongeWidth = width;
+    config.pml.width = width;
+    WaveSolver solver(comm, topo, config, rock());
+    const double dt = solver.config().dt;
+    solver.addSource(explosionPointSource(
+        16, 16, 16, rickerWavelet(5.0, 0.3, dt, 60, 1e15)));
+    for (int s = 0; s < 400; ++s) {
+      solver.step();
+      peak = std::max(peak, solver.grid().kineticEnergy());
+    }
+    residual = solver.grid().kineticEnergy();
+  });
+  return residual / peak;
+}
+
+TEST(Absorbing, SpongeDrainsEnergy) {
+  const double none = residualEnergyAfterExit(AbsorbingType::None, 0);
+  const double sponge = residualEnergyAfterExit(AbsorbingType::Sponge, 8);
+  EXPECT_LT(sponge, 0.05);
+  EXPECT_LT(sponge, none * 0.5);
+}
+
+TEST(Absorbing, PmlAbsorbsBetterThanSponge) {
+  // §II.D: "the ability of the sponge layers to absorb reflections is
+  // poorer than PMLs".
+  const double sponge = residualEnergyAfterExit(AbsorbingType::Sponge, 8);
+  const double pml = residualEnergyAfterExit(AbsorbingType::Pml, 8);
+  EXPECT_LT(pml, sponge);
+  EXPECT_LT(pml, 0.02);
+}
+
+TEST(Attenuation, LowQReducesAmplitude) {
+  auto runWithQ = [&](bool attenuation, double q) {
+    float peak = 0.0f;
+    ThreadCluster::run(1, [&](vcluster::Communicator& comm) {
+      CartTopology topo(Dims3{1, 1, 1});
+      auto config = baseConfig(40);
+      config.attenuation.enabled = attenuation;
+      config.attenuation.fMin = 0.5;
+      config.attenuation.fMax = 10.0;
+      WaveSolver solver(comm, topo, config, rock());
+      if (attenuation) {
+        solver.grid().qsInv.fill(static_cast<float>(2.0 / q));
+        solver.grid().qpInv.fill(static_cast<float>(2.0 / q));
+      }
+      const double dt = solver.config().dt;
+      solver.addSource(explosionPointSource(
+          20, 20, 8, rickerWavelet(5.0, 0.3, dt, 80, 1e15)));
+      solver.addReceiver("top", 20, 20);
+      solver.run(250);
+      const auto traces = solver.receivers().gather(comm);
+      if (comm.rank() == 0)
+        for (float v : traces[0].w) peak = std::max(peak, std::abs(v));
+    });
+    return peak;
+  };
+  const float elastic = runWithQ(false, 0.0);
+  const float q10 = runWithQ(true, 10.0);
+  const float q50 = runWithQ(true, 50.0);
+  ASSERT_GT(elastic, 0.0f);
+  // Attenuation reduces amplitude, more so for lower Q.
+  EXPECT_LT(q10, 0.9f * elastic);
+  EXPECT_LT(q10, q50);
+  // Sanity: Q=10 over ~3.1 km at ~5 Hz with vp ~5.2 km/s predicts roughly
+  // exp(-pi f r / (Q c)) ~ 0.4; allow a generous band for the
+  // coarse-grained scheme.
+  EXPECT_GT(q10, 0.15f * elastic);
+  EXPECT_LT(q10, 0.8f * elastic);
+}
+
+TEST(Kernels, VariantsAgree) {
+  // All §IV.B variants must produce the same physics.
+  auto runVariant = [&](bool recip, bool blocked, bool unrolled) {
+    std::vector<float> result;
+    ThreadCluster::run(1, [&](vcluster::Communicator& comm) {
+      CartTopology topo(Dims3{1, 1, 1});
+      auto config = baseConfig(24);
+      config.kernels.useReciprocals = recip;
+      config.kernels.cacheBlocked = blocked;
+      config.kernels.unrolled = unrolled;
+      WaveSolver solver(comm, topo, config, rock());
+      const double dt = solver.config().dt;
+      solver.addSource(explosionPointSource(
+          12, 12, 12, rickerWavelet(4.0, 0.4, dt, 60, 1e15)));
+      solver.run(60);
+      const auto& u = solver.grid().u;
+      result.assign(u.data(), u.data() + u.size());
+    });
+    return result;
+  };
+  const auto reference = runVariant(true, false, false);
+  float refPeak = 0.0f;
+  for (float v : reference) refPeak = std::max(refPeak, std::abs(v));
+  ASSERT_GT(refPeak, 0.0f);
+
+  for (auto [recip, blocked, unrolled] :
+       {std::array<bool, 3>{false, false, false},
+        {true, true, false},
+        {true, false, true},
+        {true, true, true}}) {
+    const auto got = runVariant(recip, blocked, unrolled);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t n = 0; n < got.size(); ++n)
+      ASSERT_NEAR(got[n], reference[n], 1e-5f * refPeak)
+          << "variant recip=" << recip << " blocked=" << blocked
+          << " unrolled=" << unrolled;
+  }
+}
+
+// The decomposition-invariance suite: the same problem must produce the
+// same seismograms regardless of rank count, exchange mode, reduced
+// communication, or overlap. This is what makes the §IV optimizations
+// safe.
+struct ParallelCase {
+  Dims3 dims;
+  grid::HaloExchanger::Mode mode;
+  bool reduced;
+  bool overlap;
+};
+
+class ParallelEquivalence : public ::testing::TestWithParam<ParallelCase> {};
+
+std::vector<SeismogramTrace> runCase(const ParallelCase& pc) {
+  auto config = baseConfig(24);
+  config.commMode = pc.mode;
+  config.reducedComm = pc.reduced;
+  config.overlap = pc.overlap;
+  std::vector<SeismogramTrace> out;
+  ThreadCluster::run(pc.dims.total(), [&](vcluster::Communicator& comm) {
+    CartTopology topo(pc.dims);
+    WaveSolver solver(comm, topo, config, rock());
+    const double dt = solver.config().dt;
+    solver.addSource(explosionPointSource(
+        13, 11, 12, rickerWavelet(4.0, 0.4, dt, 80, 1e15)));
+    solver.addSource(strikeSlipPointSource(
+        7, 15, 10, rickerWavelet(3.0, 0.5, dt, 80, 5e15)));
+    solver.addReceiver("a", 6, 6);
+    solver.addReceiver("b", 18, 12);
+    solver.run(90);
+    auto traces = solver.receivers().gather(comm);
+    if (comm.rank() == 0) out = std::move(traces);
+  });
+  // Sort by name for stable comparison.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return out;
+}
+
+TEST_P(ParallelEquivalence, MatchesSingleRankReference) {
+  static const auto reference = runCase(
+      {Dims3{1, 1, 1}, grid::HaloExchanger::Mode::Asynchronous, true,
+       false});
+  const auto got = runCase(GetParam());
+  ASSERT_EQ(got.size(), reference.size());
+  for (std::size_t t = 0; t < got.size(); ++t) {
+    ASSERT_EQ(got[t].name, reference[t].name);
+    ASSERT_EQ(got[t].u.size(), reference[t].u.size());
+    for (std::size_t n = 0; n < got[t].u.size(); ++n) {
+      ASSERT_FLOAT_EQ(got[t].u[n], reference[t].u[n]);
+      ASSERT_FLOAT_EQ(got[t].v[n], reference[t].v[n]);
+      ASSERT_FLOAT_EQ(got[t].w[n], reference[t].w[n]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DecompositionAndCommModes, ParallelEquivalence,
+    ::testing::Values(
+        ParallelCase{Dims3{2, 1, 1},
+                     grid::HaloExchanger::Mode::Asynchronous, true, false},
+        ParallelCase{Dims3{2, 2, 1},
+                     grid::HaloExchanger::Mode::Asynchronous, true, false},
+        ParallelCase{Dims3{2, 2, 2},
+                     grid::HaloExchanger::Mode::Asynchronous, true, false},
+        ParallelCase{Dims3{1, 2, 2},
+                     grid::HaloExchanger::Mode::Synchronous, true, false},
+        ParallelCase{Dims3{2, 2, 1},
+                     grid::HaloExchanger::Mode::Asynchronous, false, false},
+        ParallelCase{Dims3{2, 2, 1},
+                     grid::HaloExchanger::Mode::Asynchronous, true, true},
+        ParallelCase{Dims3{3, 2, 1},
+                     grid::HaloExchanger::Mode::Synchronous, false, true}));
+
+TEST(Checkpoint, RestartReproducesUninterruptedRun) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("awp_ckpt_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  auto makeSolver = [&](vcluster::Communicator& comm,
+                        const CartTopology& topo,
+                        io::CheckpointStore* store) {
+    auto config = baseConfig(20);
+    auto solver = std::make_unique<WaveSolver>(comm, topo, config, rock());
+    const double dt = solver->config().dt;
+    solver->addSource(explosionPointSource(
+        10, 10, 10, rickerWavelet(4.0, 0.4, dt, 60, 1e15)));
+    if (store != nullptr) solver->attachCheckpoints(store, 20);
+    return solver;
+  };
+
+  std::vector<float> uninterrupted, restarted;
+  ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+    CartTopology topo(Dims3{2, 1, 1});
+    io::CheckpointStore store(dir.string());
+    auto solver = makeSolver(comm, topo, &store);
+    solver->run(40);
+    if (comm.rank() == 0) {
+      const auto& u = solver->grid().u;
+      uninterrupted.assign(u.data(), u.data() + u.size());
+    }
+  });
+  ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+    CartTopology topo(Dims3{2, 1, 1});
+    io::CheckpointStore store(dir.string());
+    auto solver = makeSolver(comm, topo, &store);
+    solver->restart();  // resumes after step 20
+    EXPECT_EQ(solver->currentStep(), 21u);
+    solver->run(40 - solver->currentStep());
+    if (comm.rank() == 0) {
+      const auto& u = solver->grid().u;
+      restarted.assign(u.data(), u.data() + u.size());
+    }
+  });
+  std::filesystem::remove_all(dir);
+
+  ASSERT_EQ(uninterrupted.size(), restarted.size());
+  for (std::size_t n = 0; n < uninterrupted.size(); ++n)
+    ASSERT_EQ(uninterrupted[n], restarted[n]);
+}
+
+TEST(Solver, FlopsAccountingGrowsLinearly) {
+  ThreadCluster::run(1, [&](vcluster::Communicator& comm) {
+    CartTopology topo(Dims3{1, 1, 1});
+    WaveSolver solver(comm, topo, baseConfig(16), rock());
+    solver.run(10);
+    const double f10 = solver.flopsExecuted();
+    solver.run(10);
+    EXPECT_NEAR(solver.flopsExecuted(), 2.0 * f10, 1.0);
+    EXPECT_GT(f10, 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace awp::core

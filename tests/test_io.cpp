@@ -1,0 +1,249 @@
+// Tests for the parallel I/O substrate: shared files, open throttling,
+// aggregated output, checkpoint/restart, parallel checksums, and the
+// file-system contention model.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <filesystem>
+#include <thread>
+
+#include "io/aggregated_writer.hpp"
+#include "io/checkpoint.hpp"
+#include "io/checksum.hpp"
+#include "io/contention.hpp"
+#include "io/shared_file.hpp"
+#include "io/throttle.hpp"
+#include "util/error.hpp"
+#include "util/md5.hpp"
+#include "vcluster/cluster.hpp"
+
+namespace awp::io {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("awp_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+using SharedFileTest = TempDir;
+
+TEST_F(SharedFileTest, PositionalReadWrite) {
+  SharedFile f(path("a.bin"), SharedFile::Mode::Write);
+  const std::vector<float> data = {1.0f, 2.0f, 3.0f};
+  f.writeAt(100, std::span<const float>(data));
+  std::vector<float> back(3);
+  f.readAt(100, std::span<float>(back));
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(f.size(), 100 + 3 * sizeof(float));
+}
+
+TEST_F(SharedFileTest, ConcurrentDisjointWrites) {
+  const std::string p = path("shared.bin");
+  {
+    SharedFile f(p, SharedFile::Mode::Write);
+    f.truncate(8 * sizeof(double));
+  }
+  vcluster::ThreadCluster::run(8, [&](vcluster::Communicator& comm) {
+    SharedFile f(p, SharedFile::Mode::ReadWrite);
+    const double v = comm.rank() * 1.5;
+    f.writeAt(comm.rank() * sizeof(double),
+              std::span<const double>(&v, 1));
+  });
+  SharedFile f(p, SharedFile::Mode::Read);
+  for (int r = 0; r < 8; ++r) {
+    double v;
+    f.readAt(r * sizeof(double), std::span<double>(&v, 1));
+    EXPECT_DOUBLE_EQ(v, r * 1.5);
+  }
+}
+
+TEST_F(SharedFileTest, ShortReadThrows) {
+  SharedFile f(path("short.bin"), SharedFile::Mode::Write);
+  f.truncate(4);
+  std::vector<std::byte> buf(16);
+  EXPECT_THROW(f.readAt(0, std::span<std::byte>(buf)), Error);
+}
+
+TEST_F(SharedFileTest, MissingFileThrows) {
+  EXPECT_THROW(SharedFile(path("nope.bin"), SharedFile::Mode::Read), Error);
+}
+
+TEST(Throttle, NeverExceedsLimit) {
+  OpenThrottle throttle(4);
+  vcluster::ThreadCluster::run(16, [&](vcluster::Communicator&) {
+    for (int i = 0; i < 20; ++i) {
+      OpenThrottle::Ticket t(throttle);
+      std::this_thread::yield();
+    }
+  });
+  EXPECT_LE(throttle.peakConcurrent(), 4);
+  EXPECT_GE(throttle.peakConcurrent(), 1);
+}
+
+using AggregatedWriterTest = TempDir;
+
+TEST_F(AggregatedWriterTest, AggregatesFlushes) {
+  SharedFile f(path("out.bin"), SharedFile::Mode::Write);
+  AggregatedWriter w(&f, /*recordFloats=*/4, /*rankOffset=*/0,
+                     /*stepFloats=*/4, /*flushEvery=*/5);
+  std::vector<float> sample = {1, 2, 3, 4};
+  for (int s = 0; s < 12; ++s) {
+    for (auto& v : sample) v += 1.0f;
+    w.appendSample(sample.data(), sample.size());
+  }
+  w.flush();
+  EXPECT_EQ(w.stats().flushes, 3u);  // 5 + 5 + 2
+  EXPECT_EQ(w.stats().bytesWritten, 12u * 4 * sizeof(float));
+
+  // Verify sample 7 landed at the right displacement.
+  std::vector<float> back(4);
+  f.readAt(7 * 4 * sizeof(float), std::span<float>(back));
+  EXPECT_FLOAT_EQ(back[0], 1.0f + 8.0f);
+}
+
+TEST_F(AggregatedWriterTest, MultiRankDisplacements) {
+  const std::string p = path("multi.bin");
+  {
+    SharedFile f(p, SharedFile::Mode::Write);
+    f.truncate(0);
+  }
+  // 4 ranks each owning 2 floats of an 8-float step record, 3 samples.
+  vcluster::ThreadCluster::run(4, [&](vcluster::Communicator& comm) {
+    SharedFile f(p, SharedFile::Mode::ReadWrite);
+    AggregatedWriter w(&f, 2, static_cast<std::uint64_t>(comm.rank()) * 2,
+                       8, 2);
+    for (int s = 0; s < 3; ++s) {
+      const float vals[2] = {static_cast<float>(comm.rank()),
+                             static_cast<float>(s)};
+      w.appendSample(vals, 2);
+    }
+    w.flush();
+    comm.barrier();
+  });
+  SharedFile f(p, SharedFile::Mode::Read);
+  for (int s = 0; s < 3; ++s)
+    for (int r = 0; r < 4; ++r) {
+      float vals[2];
+      f.readAt((s * 8 + r * 2) * sizeof(float),
+               std::span<float>(vals, 2));
+      EXPECT_FLOAT_EQ(vals[0], r);
+      EXPECT_FLOAT_EQ(vals[1], s);
+    }
+}
+
+using CheckpointTest = TempDir;
+
+TEST_F(CheckpointTest, RoundTrip) {
+  CheckpointStore store(path("ckpt"));
+  std::vector<std::byte> state(1000);
+  for (std::size_t i = 0; i < state.size(); ++i)
+    state[i] = static_cast<std::byte>(i & 0xff);
+  store.write(3, 1234, state);
+  EXPECT_TRUE(store.exists(3));
+  EXPECT_FALSE(store.exists(4));
+  const auto restored = store.read(3);
+  EXPECT_EQ(restored.step, 1234u);
+  EXPECT_EQ(restored.state, state);
+}
+
+TEST_F(CheckpointTest, DetectsCorruption) {
+  CheckpointStore store(path("ckpt"));
+  std::vector<std::byte> state(64, std::byte{0x5a});
+  store.write(0, 10, state);
+  // Flip a byte in the payload.
+  {
+    SharedFile f(store.pathFor(0), SharedFile::Mode::ReadWrite);
+    const std::byte evil{0xff};
+    f.writeAt(f.size() - 1, std::span<const std::byte>(&evil, 1));
+  }
+  EXPECT_THROW(store.read(0), Error);
+}
+
+TEST_F(CheckpointTest, PerRankParallelWrites) {
+  CheckpointStore store(path("ckpt"));
+  OpenThrottle throttle(2);
+  CheckpointStore throttled(path("ckpt"), &throttle);
+  vcluster::ThreadCluster::run(8, [&](vcluster::Communicator& comm) {
+    std::vector<std::byte> state(
+        128, std::byte{static_cast<unsigned char>(comm.rank())});
+    throttled.write(comm.rank(), 55, state);
+    comm.barrier();
+    const auto r = throttled.read(comm.rank());
+    EXPECT_EQ(r.state[0],
+              std::byte{static_cast<unsigned char>(comm.rank())});
+  });
+  EXPECT_LE(throttle.peakConcurrent(), 2);
+}
+
+TEST(ParallelChecksum, DeterministicAcrossRuns) {
+  std::string hex1, hex2;
+  auto runOnce = [&](std::string& out) {
+    vcluster::ThreadCluster::run(4, [&](vcluster::Communicator& comm) {
+      std::vector<std::byte> block(
+          256, std::byte{static_cast<unsigned char>(comm.rank() + 1)});
+      const auto result = parallelMd5(comm, block);
+      if (comm.rank() == 0) out = result.collectionHex;
+      // Every rank receives the same collection digest.
+      EXPECT_EQ(result.collectionHex.size(), 32u);
+    });
+  };
+  runOnce(hex1);
+  runOnce(hex2);
+  EXPECT_EQ(hex1, hex2);
+}
+
+TEST(ParallelChecksum, SensitiveToAnyBlock) {
+  std::string base, changed;
+  auto runWith = [&](unsigned char rank2Fill, std::string& out) {
+    vcluster::ThreadCluster::run(4, [&](vcluster::Communicator& comm) {
+      const unsigned char fill =
+          comm.rank() == 2 ? rank2Fill
+                           : static_cast<unsigned char>(comm.rank());
+      std::vector<std::byte> block(64, std::byte{fill});
+      const auto result = parallelMd5(comm, block);
+      if (comm.rank() == 0) out = result.collectionHex;
+    });
+  };
+  runWith(2, base);
+  runWith(3, changed);
+  EXPECT_NE(base, changed);
+}
+
+TEST(ContentionModel, PeaksNearMdsComfortLimit) {
+  const auto fs = FileSystemModel::jaguarLustre();
+  // §IV.E: limiting to 650 concurrent opens reached ~20 GB/s.
+  const double bwAtLimit = fs.aggregateBandwidth(650);
+  EXPECT_GT(bwAtLimit, 15e9);
+  EXPECT_LT(bwAtLimit, 30e9);
+  // Unthrottled access at 100K+ clients collapses (the BG/P failure mode).
+  EXPECT_LT(fs.aggregateBandwidth(100000), 0.2 * bwAtLimit);
+  // The best writer count is at/below the comfort limit.
+  const int best = fs.bestWriterCount(20000);
+  EXPECT_LE(best, 700);
+  EXPECT_GT(best, 50);
+}
+
+TEST(ContentionModel, StripePolicyMatchesPaper) {
+  const auto fs = FileSystemModel::jaguarLustre();
+  // "The stripe size is set to unity for serial access of pre-partitioned
+  // input files and checkpoints" (§IV.E).
+  EXPECT_EQ(stripePolicy(FileClass::PrePartitioned, fs).stripeCount, 1);
+  EXPECT_GT(stripePolicy(FileClass::LargeSharedInput, fs).stripeCount, 100);
+  EXPECT_EQ(stripePolicy(FileClass::SimulationOutput, fs).stripeCount,
+            fs.osts);
+}
+
+}  // namespace
+}  // namespace awp::io

@@ -1,0 +1,176 @@
+// Tests for the analytic performance model: Table 1 catalog, Eq. (7)/(8),
+// and the version calibration against the paper's reported anchors.
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/machine.hpp"
+#include "perfmodel/model.hpp"
+#include "perfmodel/version.hpp"
+#include "util/error.hpp"
+#include "vcluster/cart.hpp"
+
+namespace awp::perfmodel {
+namespace {
+
+using vcluster::CartTopology;
+using vcluster::Dims3;
+
+TEST(MachineCatalog, HasAllTable1Rows) {
+  const auto& cat = machineCatalog();
+  ASSERT_EQ(cat.size(), 6u);
+  EXPECT_EQ(cat[0].name, "DataStar");
+  EXPECT_EQ(cat[5].name, "Jaguar");
+}
+
+TEST(MachineCatalog, JaguarMatchesPaperCalibration) {
+  const auto& j = machineByName("Jaguar");
+  EXPECT_DOUBLE_EQ(j.alpha, 5.5e-6);
+  EXPECT_DOUBLE_EQ(j.beta, 2.5e-10);
+  EXPECT_DOUBLE_EQ(j.tau, 9.62e-11);
+  EXPECT_EQ(j.coresUsed, 223074);
+  EXPECT_TRUE(j.numa);
+  EXPECT_THROW(machineByName("NoSuchMachine"), Error);
+}
+
+TEST(VersionTable, MatchesTable2) {
+  const auto& t = versionTable();
+  ASSERT_EQ(t.size(), 9u);
+  EXPECT_EQ(traitsOf(CodeVersion::V1_0).year, 2004);
+  EXPECT_DOUBLE_EQ(traitsOf(CodeVersion::V7_2).paperSustainedTflops, 220.0);
+  EXPECT_TRUE(traitsOf(CodeVersion::V7_2).reducedComm);
+  EXPECT_TRUE(traitsOf(CodeVersion::V7_2).cacheBlocking);
+  // Overlap was dropped after 7.0 (§V.A "not included in v. 7.2").
+  EXPECT_TRUE(traitsOf(CodeVersion::V7_0).overlap);
+  EXPECT_FALSE(traitsOf(CodeVersion::V7_2).overlap);
+  EXPECT_FALSE(traitsOf(CodeVersion::V4_0).asyncComm);
+  EXPECT_TRUE(traitsOf(CodeVersion::V5_0).asyncComm);
+}
+
+TEST(ProblemSizes, MatchPaperGridCounts) {
+  EXPECT_NEAR(terashakeProblem().total(), 1.8e9, 0.1e9);
+  EXPECT_NEAR(shakeoutProblem().total(), 14.4e9, 0.1e9);
+  EXPECT_NEAR(m8Problem().total(), 436e9, 1e9);
+  EXPECT_NEAR(bluewatersBenchmarkProblem().total(), 1.4e12, 0.03e12);
+}
+
+class JaguarM8Model : public ::testing::Test {
+ protected:
+  JaguarM8Model()
+      : model_(machineByName("Jaguar"), m8Problem()),
+        dims_(CartTopology::balancedDims(223074, 20250, 10125, 2125)) {}
+  ScalingModel model_;
+  Dims3 dims_;
+};
+
+TEST_F(JaguarM8Model, Eq8ReproducesPaperEfficiency) {
+  // §V.A: "demonstrates a 2.20e5 speedup or 98.6% parallel efficiency on
+  // 223K Jaguar cores".
+  const double eff = model_.efficiencyEq8(dims_);
+  EXPECT_GT(eff, 0.975);
+  EXPECT_LE(eff, 1.0);
+  EXPECT_NEAR(model_.speedupEq8(dims_), 2.20e5, 0.1e5);
+}
+
+TEST_F(JaguarM8Model, V72TimePerStepNearHalfSecond) {
+  // Anchor: M8 ran 24 h for ~156K steps -> ~0.55 s/step.
+  const auto t = model_.perStep(traitsOf(CodeVersion::V7_2), dims_);
+  EXPECT_GT(t.total(), 0.35);
+  EXPECT_LT(t.total(), 0.8);
+}
+
+TEST_F(JaguarM8Model, V72Sustains220TflopsScale) {
+  const double tf =
+      model_.sustainedTflops(traitsOf(CodeVersion::V7_2), dims_);
+  EXPECT_GT(tf, 150.0);
+  EXPECT_LT(tf, 300.0);
+}
+
+TEST_F(JaguarM8Model, AsyncRedesignGivesAbout7x) {
+  // §V.A: asynchronous communication "achieved more than ~7x reduction in
+  // wall clock time on 223K Jaguar cores".
+  VersionTraits sync = traitsOf(CodeVersion::V7_2);
+  sync.asyncComm = false;
+  const double tSync = model_.perStep(sync, dims_).total();
+  const double tAsync =
+      model_.perStep(traitsOf(CodeVersion::V7_2), dims_).total();
+  const double gain = tSync / tAsync;
+  EXPECT_GT(gain, 4.0);
+  EXPECT_LT(gain, 12.0);
+}
+
+TEST_F(JaguarM8Model, ReducedCommShrinksCommTime) {
+  VersionTraits full = traitsOf(CodeVersion::V7_2);
+  full.reducedComm = false;
+  const auto tFull = model_.perStep(full, dims_);
+  const auto tReduced = model_.perStep(traitsOf(CodeVersion::V7_2), dims_);
+  EXPECT_LT(tReduced.comm, tFull.comm);
+}
+
+TEST_F(JaguarM8Model, SingleCpuOptWorthAbout40Percent) {
+  VersionTraits un = traitsOf(CodeVersion::V7_2);
+  un.singleCpuOpt = false;
+  un.cacheBlocking = false;
+  const double tUn = model_.perStep(un, dims_).comp;
+  const double tOpt =
+      model_.perStep(traitsOf(CodeVersion::V7_2), dims_).comp;
+  EXPECT_NEAR(1.0 - tOpt / tUn, 0.40, 0.03);  // §IV.B: 40% at full scale
+}
+
+TEST_F(JaguarM8Model, IoTuningMovesShareFrom49To2Percent) {
+  VersionTraits untuned = traitsOf(CodeVersion::V7_2);
+  untuned.ioTuned = false;
+  const auto tU = model_.perStep(untuned, dims_);
+  EXPECT_NEAR(tU.output / tU.total(), 0.49, 0.05);
+  const auto tT = model_.perStep(traitsOf(CodeVersion::V7_2), dims_);
+  EXPECT_LT(tT.output / tT.total(), 0.03);
+}
+
+TEST(ScalingModel, RangerAsyncEfficiencyJump) {
+  // §IV.A: "The parallel efficiency increased from 28% to 75%" on 60K
+  // Ranger cores (shape: a large jump from poor to good).
+  ScalingModel model(machineByName("Ranger"), shakeoutProblem());
+  const auto dims = CartTopology::balancedDims(60000, 6000, 3000, 800);
+  VersionTraits sync = traitsOf(CodeVersion::V4_0);
+  VersionTraits async = traitsOf(CodeVersion::V5_0);
+  const double tSync = model.perStep(sync, dims).total();
+  const double tAsync = model.perStep(async, dims).total();
+  // Efficiency proxy: compute share of the total.
+  const double effSync = model.perStep(sync, dims).comp / tSync;
+  const double effAsync = model.perStep(async, dims).comp / tAsync;
+  EXPECT_LT(effSync, 0.5);
+  EXPECT_GT(effAsync, 0.7);
+}
+
+TEST(ScalingModel, NonNumaToleratesSynchronousModel) {
+  // §IV.A: BG/L showed ideal scaling up to 32K cores with the synchronous
+  // scheme ("96% on BG/L" vs "40% on BG/P").
+  ScalingModel bgl(machineByName("BGW"), shakeoutProblem());
+  const auto dims = CartTopology::balancedDims(32768, 6000, 3000, 800);
+  const auto t = bgl.perStep(traitsOf(CodeVersion::V4_0), dims);
+  EXPECT_GT(t.comp / t.total(), 0.9);
+}
+
+TEST(ScalingModel, StrongScalingMonotonic) {
+  ScalingModel model(machineByName("Jaguar"), m8Problem());
+  const auto traits = traitsOf(CodeVersion::V7_2);
+  double prev = 0.0;
+  for (int p : {1024, 4096, 16384, 65536, 223074}) {
+    const auto dims = CartTopology::balancedDims(p, 20250, 10125, 2125);
+    const double tf = model.sustainedTflops(traits, dims);
+    EXPECT_GT(tf, prev);
+    prev = tf;
+  }
+}
+
+TEST(ScalingModel, RelativeSpeedupNearIdealForV72) {
+  ScalingModel model(machineByName("Jaguar"), m8Problem());
+  const auto base = CartTopology::balancedDims(65610, 20250, 10125, 2125);
+  const auto big = CartTopology::balancedDims(223074, 20250, 10125, 2125);
+  const double s =
+      model.relativeSpeedup(traitsOf(CodeVersion::V7_2), base, big);
+  // Ideal would be 223074; accept >=80% of ideal.
+  EXPECT_GT(s, 0.8 * 223074);
+}
+
+}  // namespace
+}  // namespace awp::perfmodel

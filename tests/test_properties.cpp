@@ -1,0 +1,260 @@
+// Property-based and parameterized sweeps over the system's invariants:
+// solver linearity, CFL scaling, Eq. (8) monotonicity, halo-exchange
+// correctness over many topologies, friction-law monotonicity, filter
+// orders, and random-field statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/gmpe.hpp"
+#include "core/solver.hpp"
+#include "grid/halo.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/model.hpp"
+#include "rupture/friction.hpp"
+#include "rupture/stress_model.hpp"
+#include "util/filter.hpp"
+#include "util/stats.hpp"
+#include "vcluster/cluster.hpp"
+
+namespace awp {
+namespace {
+
+using vcluster::CartTopology;
+using vcluster::Dims3;
+using vcluster::ThreadCluster;
+
+// --- Solver linearity ---------------------------------------------------------
+
+std::vector<float> runWithSources(
+    const std::vector<core::MomentRateSource>& sources) {
+  std::vector<float> field;
+  ThreadCluster::run(1, [&](vcluster::Communicator& comm) {
+    CartTopology topo(Dims3{1, 1, 1});
+    core::SolverConfig config;
+    config.globalDims = {24, 24, 16};
+    config.h = 300.0;
+    core::WaveSolver solver(comm, topo, config,
+                            vmodel::Material{5196.0f, 3000.0f, 2700.0f});
+    for (const auto& s : sources) solver.addSource(s);
+    solver.run(60);
+    const auto& u = solver.grid().u;
+    field.assign(u.data(), u.data() + u.size());
+  });
+  return field;
+}
+
+TEST(SolverProperties, FieldScalesLinearlyWithMoment) {
+  const double dt = 0.45 * 300.0 / 5196.0;
+  const auto base = runWithSources({core::explosionPointSource(
+      12, 12, 8, core::rickerWavelet(3.0, 0.4, dt, 50, 1e15))});
+  const auto doubled = runWithSources({core::explosionPointSource(
+      12, 12, 8, core::rickerWavelet(3.0, 0.4, dt, 50, 2e15))});
+  float peak = 0.0f;
+  for (float v : base) peak = std::max(peak, std::abs(v));
+  ASSERT_GT(peak, 0.0f);
+  for (std::size_t n = 0; n < base.size(); ++n)
+    ASSERT_NEAR(doubled[n], 2.0f * base[n], 1e-4f * peak);
+}
+
+TEST(SolverProperties, SuperpositionOfSources) {
+  const double dt = 0.45 * 300.0 / 5196.0;
+  const auto a = core::explosionPointSource(
+      9, 12, 8, core::rickerWavelet(3.0, 0.4, dt, 50, 1e15));
+  const auto b = core::strikeSlipPointSource(
+      15, 11, 9, core::rickerWavelet(2.0, 0.5, dt, 50, 2e15));
+  const auto fieldA = runWithSources({a});
+  const auto fieldB = runWithSources({b});
+  const auto fieldAB = runWithSources({a, b});
+  float peak = 0.0f;
+  for (float v : fieldAB) peak = std::max(peak, std::abs(v));
+  ASSERT_GT(peak, 0.0f);
+  for (std::size_t n = 0; n < fieldAB.size(); ++n)
+    ASSERT_NEAR(fieldAB[n], fieldA[n] + fieldB[n], 1e-4f * peak);
+}
+
+// --- Eq. (8) sweeps -------------------------------------------------------------
+
+class Eq8Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Eq8Sweep, EfficiencyDecreasesButStaysPhysical) {
+  perfmodel::ScalingModel model(perfmodel::machineByName("Jaguar"),
+                                perfmodel::m8Problem());
+  const int p = GetParam();
+  const auto dims =
+      CartTopology::balancedDims(p, 20250, 10125, 2125);
+  const double eff = model.efficiencyEq8(dims);
+  EXPECT_GT(eff, 0.5);
+  EXPECT_LE(eff, 1.0);
+  // More cores never increases Eq. 8 efficiency (for balanced splits).
+  if (p >= 2048) {
+    const auto smaller =
+        CartTopology::balancedDims(p / 2, 20250, 10125, 2125);
+    EXPECT_LE(eff, model.efficiencyEq8(smaller) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, Eq8Sweep,
+                         ::testing::Values(1024, 2048, 8192, 32768, 65536,
+                                           131072, 223074));
+
+// --- Halo exchange over many topologies ----------------------------------------
+
+class HaloTopologySweep : public ::testing::TestWithParam<Dims3> {};
+
+TEST_P(HaloTopologySweep, GlobalFunctionSurvivesExchange) {
+  const Dims3 dims = GetParam();
+  const grid::GridDims global{18, 15, 12};
+  const mesh::MeshSpec spec{global.nx, global.ny, global.nz, 1.0, 0, 0};
+  ThreadCluster::run(dims.total(), [&](vcluster::Communicator& comm) {
+    CartTopology topo(dims);
+    const auto sub = mesh::subdomainFor(topo, spec, comm.rank());
+    grid::StaggeredGrid g({sub.x.count(), sub.y.count(), sub.z.count()},
+                          1.0, 0.1);
+    auto value = [](std::size_t gi, std::size_t gj, std::size_t gk) {
+      return static_cast<float>(7 * gi + 131 * gj + 1117 * gk + 1);
+    };
+    for (grid::FieldId f : grid::kVelocityFields) {
+      auto& a = g.field(f);
+      for (std::size_t k = 0; k < sub.z.count(); ++k)
+        for (std::size_t j = 0; j < sub.y.count(); ++j)
+          for (std::size_t i = 0; i < sub.x.count(); ++i)
+            a(i + grid::kHalo, j + grid::kHalo, k + grid::kHalo) =
+                value(sub.x.begin + i, sub.y.begin + j, sub.z.begin + k);
+    }
+    grid::HaloExchanger ex(comm, topo,
+                           grid::HaloExchanger::Mode::Asynchronous,
+                           /*reduced=*/false);
+    ex.exchangeVelocities(g);
+
+    // Every filled halo cell must carry the global function's value.
+    for (int axis = 0; axis < 3; ++axis)
+      for (int dir : {-1, 1}) {
+        if (topo.neighbor(comm.rank(), axis, dir) < 0) continue;
+        for (std::size_t p = 0; p < grid::kHalo; ++p)
+          for (std::size_t b = 0; b < sub.y.count(); ++b)
+            for (std::size_t c = 0; c < sub.z.count(); ++c) {
+              std::size_t gi, gj, gk, li, lj, lk;
+              if (axis == 0) {
+                gi = dir < 0 ? sub.x.begin - grid::kHalo + p
+                             : sub.x.end + p;
+                gj = sub.y.begin + b;
+                gk = sub.z.begin + c;
+                li = dir < 0 ? p : grid::kHalo + sub.x.count() + p;
+                lj = b + grid::kHalo;
+                lk = c + grid::kHalo;
+              } else if (axis == 1) {
+                if (b >= sub.x.count()) continue;
+                gi = sub.x.begin + b;
+                gj = dir < 0 ? sub.y.begin - grid::kHalo + p
+                             : sub.y.end + p;
+                gk = sub.z.begin + c;
+                li = b + grid::kHalo;
+                lj = dir < 0 ? p : grid::kHalo + sub.y.count() + p;
+                lk = c + grid::kHalo;
+              } else {
+                if (b >= sub.x.count() || c >= sub.y.count()) continue;
+                gi = sub.x.begin + b;
+                gj = sub.y.begin + c;
+                gk = dir < 0 ? sub.z.begin - grid::kHalo + p
+                             : sub.z.end + p;
+                li = b + grid::kHalo;
+                lj = c + grid::kHalo;
+                lk = dir < 0 ? p : grid::kHalo + sub.z.count() + p;
+              }
+              ASSERT_EQ(g.u(li, lj, lk), value(gi, gj, gk))
+                  << "axis " << axis << " dir " << dir;
+            }
+      }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, HaloTopologySweep,
+                         ::testing::Values(Dims3{2, 1, 1}, Dims3{1, 2, 1},
+                                           Dims3{1, 1, 2}, Dims3{2, 2, 1},
+                                           Dims3{3, 1, 2}, Dims3{2, 2, 2},
+                                           Dims3{3, 2, 2}));
+
+// --- Friction-law monotonicity ---------------------------------------------------
+
+class FrictionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FrictionSweep, CoefficientMonotoneInSlip) {
+  const double depth = GetParam();
+  rupture::SlipWeakeningFriction f{rupture::FrictionParams{}};
+  double prev = 1e9;
+  for (double slip : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 1.0, 5.0}) {
+    const double mu = f.coefficient(slip, depth);
+    if (depth > f.params().strengthenBottom) {
+      EXPECT_LE(mu, prev);  // weakening below the strengthened zone
+    }
+    EXPECT_GT(mu, 0.0);
+    EXPECT_LT(mu, 1.5);
+    prev = mu;
+  }
+  // Strength is monotone in compressive normal stress at any slip.
+  EXPECT_LT(f.strength(0.1, depth, -1e6), f.strength(0.1, depth, -50e6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, FrictionSweep,
+                         ::testing::Values(500.0, 1500.0, 2500.0, 4000.0,
+                                           8000.0, 14000.0));
+
+// --- Butterworth order sweep -----------------------------------------------------
+
+class ButterworthOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ButterworthOrderSweep, HalfPowerAtCutoffForEveryOrder) {
+  const int order = GetParam();
+  const double dt = 0.002, fc = 15.0;
+  ButterworthLowpass lp(order, fc, dt);
+  double peak = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double y = lp.step(std::sin(2.0 * M_PI * fc * i * dt));
+    if (i > 5000) peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_NEAR(peak, std::sqrt(0.5), 0.05) << "order " << order;
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ButterworthOrderSweep,
+                         ::testing::Values(2, 4, 6, 8));
+
+// --- von Kármán seeds ------------------------------------------------------------
+
+class VonKarmanSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VonKarmanSeedSweep, NormalizedForEverySeed) {
+  const auto f = rupture::vonKarmanField(40, 24, 500.0, 8e3, 3e3, 0.75,
+                                         GetParam());
+  EXPECT_NEAR(mean(f), 0.0, 1e-9);
+  double var = 0.0;
+  for (double v : f) var += v * v;
+  EXPECT_NEAR(var / static_cast<double>(f.size()), 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VonKarmanSeedSweep,
+                         ::testing::Values(1u, 7u, 1992u, 20100545u));
+
+// --- GMPE sanity across magnitudes -----------------------------------------------
+
+class GmpeMagnitudeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GmpeMagnitudeSweep, PoeIsMonotoneInAmplitude) {
+  const double mw = GetParam();
+  const auto g = analysis::ba08Like();
+  double prev = 1.1;
+  for (double pgv : {0.1, 1.0, 5.0, 20.0, 100.0, 500.0}) {
+    const double poe = g.poe(mw, 25.0, pgv);
+    EXPECT_LT(poe, prev);
+    EXPECT_GE(poe, 0.0);
+    EXPECT_LE(poe, 1.0);
+    prev = poe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, GmpeMagnitudeSweep,
+                         ::testing::Values(6.0, 7.0, 7.8, 8.5));
+
+}  // namespace
+}  // namespace awp

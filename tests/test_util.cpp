@@ -1,0 +1,218 @@
+// Unit tests for src/util: containers, RNG, FFT, MD5, filters, statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/array3.hpp"
+#include "util/error.hpp"
+#include "util/fft.hpp"
+#include "util/filter.hpp"
+#include "util/md5.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace awp {
+namespace {
+
+TEST(Array3, IndexingIsXFastest) {
+  Array3<int> a(3, 4, 5);
+  ASSERT_EQ(a.size(), 60u);
+  a(1, 2, 3) = 42;
+  EXPECT_EQ(a.data()[1 + 3 * (2 + 4 * 3)], 42);
+  EXPECT_EQ(a.index(2, 0, 0), 2u);
+  EXPECT_EQ(a.index(0, 1, 0), 3u);
+  EXPECT_EQ(a.index(0, 0, 1), 12u);
+}
+
+TEST(Array3, FillAndResize) {
+  Array3f a(2, 2, 2, 7.0f);
+  for (float v : a) EXPECT_EQ(v, 7.0f);
+  a.resize(1, 1, 1, -1.0f);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(a(0, 0, 0), -1.0f);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(99);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.gaussian());
+  EXPECT_NEAR(mean(xs), 0.0, 0.03);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.03);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng base(5);
+  Rng a = base.split(1);
+  Rng b = base.split(2);
+  EXPECT_NE(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, BelowIsUnbiasedRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Fft, RoundTrip) {
+  Rng rng(1);
+  std::vector<Complex> a(64);
+  for (auto& v : a) v = Complex(rng.uniform(), rng.uniform());
+  auto b = a;
+  fft(b, false);
+  fft(b, true);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-10);
+}
+
+TEST(Fft, SinglePureToneSpectrumPeak) {
+  const double dt = 0.01, f0 = 5.0;
+  std::vector<double> x(512);
+  for (std::size_t n = 0; n < x.size(); ++n)
+    x[n] = std::sin(2.0 * M_PI * f0 * static_cast<double>(n) * dt);
+  const auto s = amplitudeSpectrum(x, dt);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < s.amplitude.size(); ++k)
+    if (s.amplitude[k] > s.amplitude[peak]) peak = k;
+  EXPECT_NEAR(s.frequency[peak], f0, 0.3);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> a(3);
+  EXPECT_THROW(fft(a, false), Error);
+}
+
+TEST(Fft2d, RoundTrip) {
+  Rng rng(2);
+  std::vector<Complex> a(16 * 8);
+  for (auto& v : a) v = Complex(rng.uniform(), rng.uniform());
+  auto b = a;
+  fft2d(b, 16, 8, false);
+  fft2d(b, 16, 8, true);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-10);
+}
+
+// RFC 1321 test vectors.
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::hexDigest("", 0), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::hexDigest("a", 1), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::hexDigest("abc", 3), "900150983cd24fb0d6963f7d28e17f72");
+  const char* msg = "message digest";
+  EXPECT_EQ(Md5::hexDigest(msg, 14), "f96b697d7cb7938d525a2f31aaf161d0");
+  const char* alpha = "abcdefghijklmnopqrstuvwxyz";
+  EXPECT_EQ(Md5::hexDigest(alpha, 26), "c3fcd3d76192e4007dfb496cca67e13b");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  const std::string data(1000, 'x');
+  Md5 h;
+  for (std::size_t i = 0; i < data.size(); i += 77)
+    h.update(data.data() + i, std::min<std::size_t>(77, data.size() - i));
+  EXPECT_EQ(Md5::toHex(h.digest()),
+            Md5::hexDigest(data.data(), data.size()));
+}
+
+TEST(Md5, DigestTwiceThrows) {
+  Md5 h;
+  h.update("x", 1);
+  h.digest();
+  EXPECT_THROW(h.digest(), Error);
+}
+
+TEST(Butterworth, PassesDcBlocksHighFrequency) {
+  const double dt = 0.001;
+  ButterworthLowpass lp(4, 10.0, dt);
+  // DC gain ~ 1.
+  double y = 0.0;
+  for (int i = 0; i < 5000; ++i) y = lp.step(1.0);
+  EXPECT_NEAR(y, 1.0, 1e-3);
+
+  // A 100 Hz tone (10x cutoff) should be attenuated by ~80 dB/decade in
+  // steady state (skip the onset transient).
+  lp.reset();
+  double peak = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = std::sin(2.0 * M_PI * 100.0 * i * dt);
+    const double y = lp.step(x);
+    if (i > 2000) peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_LT(peak, 0.002);
+}
+
+TEST(Butterworth, HalfPowerAtCutoff) {
+  const double dt = 0.001, fc = 20.0;
+  ButterworthLowpass lp(4, fc, dt);
+  double peak = 0.0;
+  for (int i = 0; i < 8000; ++i) {
+    const double x = std::sin(2.0 * M_PI * fc * i * dt);
+    const double y = lp.step(x);
+    if (i > 4000) peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_NEAR(peak, std::sqrt(0.5), 0.05);
+}
+
+TEST(Butterworth, RejectsOddOrder) {
+  EXPECT_THROW(ButterworthLowpass(3, 1.0, 0.01), Error);
+  EXPECT_THROW(ButterworthLowpass(4, 100.0, 0.01), Error);  // above Nyquist
+}
+
+TEST(Resample, PreservesLinearRamp) {
+  std::vector<double> x;
+  for (int i = 0; i < 11; ++i) x.push_back(i);
+  const auto y = resampleLinear(x, 0.1, 0.05);
+  ASSERT_EQ(y.size(), 21u);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y[i], 0.5 * static_cast<double>(i), 1e-12);
+}
+
+TEST(Stats, Percentiles) {
+  std::vector<double> x = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(median(x), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(x, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(minOf(x), 1.0);
+  EXPECT_DOUBLE_EQ(maxOf(x), 5.0);
+}
+
+TEST(Stats, L2Misfit) {
+  std::vector<double> a = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(l2Misfit(a, a), 0.0);
+  std::vector<double> b = {2, 4, 6};
+  EXPECT_NEAR(l2Misfit(a, b), 0.5, 1e-12);
+}
+
+TEST(Stats, Linspace) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(TextTable, FormatsRows) {
+  TextTable t({"a", "bb"});
+  t.addRow({"1", "2"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("| a"), std::string::npos);
+  EXPECT_NE(os.str().find("| 1"), std::string::npos);
+  EXPECT_THROW(t.addRow({"only-one"}), Error);
+}
+
+}  // namespace
+}  // namespace awp
