@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awp_bench_common.dir/scenarios.cpp.o"
+  "CMakeFiles/awp_bench_common.dir/scenarios.cpp.o.d"
+  "libawp_bench_common.a"
+  "libawp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libawp_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3dt.dir/bench_f3dt.cpp.o"
+  "CMakeFiles/bench_f3dt.dir/bench_f3dt.cpp.o.d"
+  "bench_f3dt"
+  "bench_f3dt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3dt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig15_terashake.cpp" "bench/CMakeFiles/bench_fig15_terashake.dir/bench_fig15_terashake.cpp.o" "gcc" "bench/CMakeFiles/bench_fig15_terashake.dir/bench_fig15_terashake.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/awp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/awp_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/awp_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/awp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/awp_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/rupture/CMakeFiles/awp_rupture.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/awp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/awp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/awp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmodel/CMakeFiles/awp_vmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/awp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcluster/CMakeFiles/awp_vcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/awp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

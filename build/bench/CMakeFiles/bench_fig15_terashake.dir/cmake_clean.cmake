@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_terashake.dir/bench_fig15_terashake.cpp.o"
+  "CMakeFiles/bench_fig15_terashake.dir/bench_fig15_terashake.cpp.o.d"
+  "bench_fig15_terashake"
+  "bench_fig15_terashake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_terashake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

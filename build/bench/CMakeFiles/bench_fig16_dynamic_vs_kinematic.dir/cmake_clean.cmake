@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_dynamic_vs_kinematic.dir/bench_fig16_dynamic_vs_kinematic.cpp.o"
+  "CMakeFiles/bench_fig16_dynamic_vs_kinematic.dir/bench_fig16_dynamic_vs_kinematic.cpp.o.d"
+  "bench_fig16_dynamic_vs_kinematic"
+  "bench_fig16_dynamic_vs_kinematic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_dynamic_vs_kinematic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig16_dynamic_vs_kinematic.
+# This may be replaced when dependencies are built.

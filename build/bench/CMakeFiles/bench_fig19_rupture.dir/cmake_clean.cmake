@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_rupture.dir/bench_fig19_rupture.cpp.o"
+  "CMakeFiles/bench_fig19_rupture.dir/bench_fig19_rupture.cpp.o.d"
+  "bench_fig19_rupture"
+  "bench_fig19_rupture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_rupture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

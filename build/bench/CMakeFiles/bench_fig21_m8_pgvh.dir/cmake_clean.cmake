@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_m8_pgvh.dir/bench_fig21_m8_pgvh.cpp.o"
+  "CMakeFiles/bench_fig21_m8_pgvh.dir/bench_fig21_m8_pgvh.cpp.o.d"
+  "bench_fig21_m8_pgvh"
+  "bench_fig21_m8_pgvh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_m8_pgvh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

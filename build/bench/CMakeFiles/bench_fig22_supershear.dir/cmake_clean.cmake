@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_supershear.dir/bench_fig22_supershear.cpp.o"
+  "CMakeFiles/bench_fig22_supershear.dir/bench_fig22_supershear.cpp.o.d"
+  "bench_fig22_supershear"
+  "bench_fig22_supershear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_supershear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

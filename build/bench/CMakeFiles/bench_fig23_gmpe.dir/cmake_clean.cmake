@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_gmpe.dir/bench_fig23_gmpe.cpp.o"
+  "CMakeFiles/bench_fig23_gmpe.dir/bench_fig23_gmpe.cpp.o.d"
+  "bench_fig23_gmpe"
+  "bench_fig23_gmpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_gmpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

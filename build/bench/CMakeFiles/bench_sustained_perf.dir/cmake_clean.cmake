@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sustained_perf.dir/bench_sustained_perf.cpp.o"
+  "CMakeFiles/bench_sustained_perf.dir/bench_sustained_perf.cpp.o.d"
+  "bench_sustained_perf"
+  "bench_sustained_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sustained_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_evolution.dir/bench_table2_evolution.cpp.o"
+  "CMakeFiles/bench_table2_evolution.dir/bench_table2_evolution.cpp.o.d"
+  "bench_table2_evolution"
+  "bench_table2_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

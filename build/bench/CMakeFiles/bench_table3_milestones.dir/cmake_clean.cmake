@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_milestones.dir/bench_table3_milestones.cpp.o"
+  "CMakeFiles/bench_table3_milestones.dir/bench_table3_milestones.cpp.o.d"
+  "bench_table3_milestones"
+  "bench_table3_milestones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_milestones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m8_end_to_end.dir/m8_end_to_end.cpp.o"
+  "CMakeFiles/m8_end_to_end.dir/m8_end_to_end.cpp.o.d"
+  "m8_end_to_end"
+  "m8_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m8_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shakeout_scenario.dir/shakeout_scenario.cpp.o"
+  "CMakeFiles/shakeout_scenario.dir/shakeout_scenario.cpp.o.d"
+  "shakeout_scenario"
+  "shakeout_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shakeout_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("vcluster")
+subdirs("perfmodel")
+subdirs("vmodel")
+subdirs("io")
+subdirs("mesh")
+subdirs("grid")
+subdirs("core")
+subdirs("rupture")
+subdirs("source")
+subdirs("analysis")
+subdirs("workflow")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awp_analysis.dir/aval.cpp.o"
+  "CMakeFiles/awp_analysis.dir/aval.cpp.o.d"
+  "CMakeFiles/awp_analysis.dir/gmpe.cpp.o"
+  "CMakeFiles/awp_analysis.dir/gmpe.cpp.o.d"
+  "CMakeFiles/awp_analysis.dir/pgv.cpp.o"
+  "CMakeFiles/awp_analysis.dir/pgv.cpp.o.d"
+  "CMakeFiles/awp_analysis.dir/products.cpp.o"
+  "CMakeFiles/awp_analysis.dir/products.cpp.o.d"
+  "libawp_analysis.a"
+  "libawp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

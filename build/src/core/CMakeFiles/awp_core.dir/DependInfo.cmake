@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/free_surface.cpp" "src/core/CMakeFiles/awp_core.dir/free_surface.cpp.o" "gcc" "src/core/CMakeFiles/awp_core.dir/free_surface.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "src/core/CMakeFiles/awp_core.dir/kernels.cpp.o" "gcc" "src/core/CMakeFiles/awp_core.dir/kernels.cpp.o.d"
+  "/root/repo/src/core/pml.cpp" "src/core/CMakeFiles/awp_core.dir/pml.cpp.o" "gcc" "src/core/CMakeFiles/awp_core.dir/pml.cpp.o.d"
+  "/root/repo/src/core/receivers.cpp" "src/core/CMakeFiles/awp_core.dir/receivers.cpp.o" "gcc" "src/core/CMakeFiles/awp_core.dir/receivers.cpp.o.d"
+  "/root/repo/src/core/runtime_config.cpp" "src/core/CMakeFiles/awp_core.dir/runtime_config.cpp.o" "gcc" "src/core/CMakeFiles/awp_core.dir/runtime_config.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/awp_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/awp_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/source.cpp" "src/core/CMakeFiles/awp_core.dir/source.cpp.o" "gcc" "src/core/CMakeFiles/awp_core.dir/source.cpp.o.d"
+  "/root/repo/src/core/sponge.cpp" "src/core/CMakeFiles/awp_core.dir/sponge.cpp.o" "gcc" "src/core/CMakeFiles/awp_core.dir/sponge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/awp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcluster/CMakeFiles/awp_vcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmodel/CMakeFiles/awp_vmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/awp_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/awp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/awp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/awp_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awp_core.dir/free_surface.cpp.o"
+  "CMakeFiles/awp_core.dir/free_surface.cpp.o.d"
+  "CMakeFiles/awp_core.dir/kernels.cpp.o"
+  "CMakeFiles/awp_core.dir/kernels.cpp.o.d"
+  "CMakeFiles/awp_core.dir/pml.cpp.o"
+  "CMakeFiles/awp_core.dir/pml.cpp.o.d"
+  "CMakeFiles/awp_core.dir/receivers.cpp.o"
+  "CMakeFiles/awp_core.dir/receivers.cpp.o.d"
+  "CMakeFiles/awp_core.dir/runtime_config.cpp.o"
+  "CMakeFiles/awp_core.dir/runtime_config.cpp.o.d"
+  "CMakeFiles/awp_core.dir/solver.cpp.o"
+  "CMakeFiles/awp_core.dir/solver.cpp.o.d"
+  "CMakeFiles/awp_core.dir/source.cpp.o"
+  "CMakeFiles/awp_core.dir/source.cpp.o.d"
+  "CMakeFiles/awp_core.dir/sponge.cpp.o"
+  "CMakeFiles/awp_core.dir/sponge.cpp.o.d"
+  "libawp_core.a"
+  "libawp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

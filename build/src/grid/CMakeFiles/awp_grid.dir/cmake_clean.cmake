@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awp_grid.dir/halo.cpp.o"
+  "CMakeFiles/awp_grid.dir/halo.cpp.o.d"
+  "CMakeFiles/awp_grid.dir/staggered_grid.cpp.o"
+  "CMakeFiles/awp_grid.dir/staggered_grid.cpp.o.d"
+  "libawp_grid.a"
+  "libawp_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awp_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

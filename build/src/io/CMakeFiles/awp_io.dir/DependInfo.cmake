@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/aggregated_writer.cpp" "src/io/CMakeFiles/awp_io.dir/aggregated_writer.cpp.o" "gcc" "src/io/CMakeFiles/awp_io.dir/aggregated_writer.cpp.o.d"
+  "/root/repo/src/io/checkpoint.cpp" "src/io/CMakeFiles/awp_io.dir/checkpoint.cpp.o" "gcc" "src/io/CMakeFiles/awp_io.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/io/checksum.cpp" "src/io/CMakeFiles/awp_io.dir/checksum.cpp.o" "gcc" "src/io/CMakeFiles/awp_io.dir/checksum.cpp.o.d"
+  "/root/repo/src/io/contention.cpp" "src/io/CMakeFiles/awp_io.dir/contention.cpp.o" "gcc" "src/io/CMakeFiles/awp_io.dir/contention.cpp.o.d"
+  "/root/repo/src/io/shared_file.cpp" "src/io/CMakeFiles/awp_io.dir/shared_file.cpp.o" "gcc" "src/io/CMakeFiles/awp_io.dir/shared_file.cpp.o.d"
+  "/root/repo/src/io/throttle.cpp" "src/io/CMakeFiles/awp_io.dir/throttle.cpp.o" "gcc" "src/io/CMakeFiles/awp_io.dir/throttle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/awp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcluster/CMakeFiles/awp_vcluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

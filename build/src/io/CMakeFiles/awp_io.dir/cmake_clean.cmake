@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awp_io.dir/aggregated_writer.cpp.o"
+  "CMakeFiles/awp_io.dir/aggregated_writer.cpp.o.d"
+  "CMakeFiles/awp_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/awp_io.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/awp_io.dir/checksum.cpp.o"
+  "CMakeFiles/awp_io.dir/checksum.cpp.o.d"
+  "CMakeFiles/awp_io.dir/contention.cpp.o"
+  "CMakeFiles/awp_io.dir/contention.cpp.o.d"
+  "CMakeFiles/awp_io.dir/shared_file.cpp.o"
+  "CMakeFiles/awp_io.dir/shared_file.cpp.o.d"
+  "CMakeFiles/awp_io.dir/throttle.cpp.o"
+  "CMakeFiles/awp_io.dir/throttle.cpp.o.d"
+  "libawp_io.a"
+  "libawp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/generator.cpp" "src/mesh/CMakeFiles/awp_mesh.dir/generator.cpp.o" "gcc" "src/mesh/CMakeFiles/awp_mesh.dir/generator.cpp.o.d"
+  "/root/repo/src/mesh/mesh_file.cpp" "src/mesh/CMakeFiles/awp_mesh.dir/mesh_file.cpp.o" "gcc" "src/mesh/CMakeFiles/awp_mesh.dir/mesh_file.cpp.o.d"
+  "/root/repo/src/mesh/partitioner.cpp" "src/mesh/CMakeFiles/awp_mesh.dir/partitioner.cpp.o" "gcc" "src/mesh/CMakeFiles/awp_mesh.dir/partitioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/awp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcluster/CMakeFiles/awp_vcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmodel/CMakeFiles/awp_vmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/awp_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awp_mesh.dir/generator.cpp.o"
+  "CMakeFiles/awp_mesh.dir/generator.cpp.o.d"
+  "CMakeFiles/awp_mesh.dir/mesh_file.cpp.o"
+  "CMakeFiles/awp_mesh.dir/mesh_file.cpp.o.d"
+  "CMakeFiles/awp_mesh.dir/partitioner.cpp.o"
+  "CMakeFiles/awp_mesh.dir/partitioner.cpp.o.d"
+  "libawp_mesh.a"
+  "libawp_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awp_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

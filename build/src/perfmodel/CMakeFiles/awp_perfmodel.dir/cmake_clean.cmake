@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awp_perfmodel.dir/machine.cpp.o"
+  "CMakeFiles/awp_perfmodel.dir/machine.cpp.o.d"
+  "CMakeFiles/awp_perfmodel.dir/model.cpp.o"
+  "CMakeFiles/awp_perfmodel.dir/model.cpp.o.d"
+  "CMakeFiles/awp_perfmodel.dir/version.cpp.o"
+  "CMakeFiles/awp_perfmodel.dir/version.cpp.o.d"
+  "libawp_perfmodel.a"
+  "libawp_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awp_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awp_rupture.dir/friction.cpp.o"
+  "CMakeFiles/awp_rupture.dir/friction.cpp.o.d"
+  "CMakeFiles/awp_rupture.dir/solver.cpp.o"
+  "CMakeFiles/awp_rupture.dir/solver.cpp.o.d"
+  "CMakeFiles/awp_rupture.dir/stress_model.cpp.o"
+  "CMakeFiles/awp_rupture.dir/stress_model.cpp.o.d"
+  "libawp_rupture.a"
+  "libawp_rupture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awp_rupture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awp_source.dir/dsrcg.cpp.o"
+  "CMakeFiles/awp_source.dir/dsrcg.cpp.o.d"
+  "CMakeFiles/awp_source.dir/petasrcp.cpp.o"
+  "CMakeFiles/awp_source.dir/petasrcp.cpp.o.d"
+  "CMakeFiles/awp_source.dir/trace.cpp.o"
+  "CMakeFiles/awp_source.dir/trace.cpp.o.d"
+  "libawp_source.a"
+  "libawp_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awp_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awp_util.dir/fft.cpp.o"
+  "CMakeFiles/awp_util.dir/fft.cpp.o.d"
+  "CMakeFiles/awp_util.dir/filter.cpp.o"
+  "CMakeFiles/awp_util.dir/filter.cpp.o.d"
+  "CMakeFiles/awp_util.dir/md5.cpp.o"
+  "CMakeFiles/awp_util.dir/md5.cpp.o.d"
+  "CMakeFiles/awp_util.dir/rng.cpp.o"
+  "CMakeFiles/awp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/awp_util.dir/stats.cpp.o"
+  "CMakeFiles/awp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/awp_util.dir/table.cpp.o"
+  "CMakeFiles/awp_util.dir/table.cpp.o.d"
+  "CMakeFiles/awp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/awp_util.dir/thread_pool.cpp.o.d"
+  "libawp_util.a"
+  "libawp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libawp_util.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vcluster/cart.cpp" "src/vcluster/CMakeFiles/awp_vcluster.dir/cart.cpp.o" "gcc" "src/vcluster/CMakeFiles/awp_vcluster.dir/cart.cpp.o.d"
+  "/root/repo/src/vcluster/cluster.cpp" "src/vcluster/CMakeFiles/awp_vcluster.dir/cluster.cpp.o" "gcc" "src/vcluster/CMakeFiles/awp_vcluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/vcluster/comm.cpp" "src/vcluster/CMakeFiles/awp_vcluster.dir/comm.cpp.o" "gcc" "src/vcluster/CMakeFiles/awp_vcluster.dir/comm.cpp.o.d"
+  "/root/repo/src/vcluster/mailbox.cpp" "src/vcluster/CMakeFiles/awp_vcluster.dir/mailbox.cpp.o" "gcc" "src/vcluster/CMakeFiles/awp_vcluster.dir/mailbox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/awp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

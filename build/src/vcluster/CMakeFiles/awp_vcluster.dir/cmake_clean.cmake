@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awp_vcluster.dir/cart.cpp.o"
+  "CMakeFiles/awp_vcluster.dir/cart.cpp.o.d"
+  "CMakeFiles/awp_vcluster.dir/cluster.cpp.o"
+  "CMakeFiles/awp_vcluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/awp_vcluster.dir/comm.cpp.o"
+  "CMakeFiles/awp_vcluster.dir/comm.cpp.o.d"
+  "CMakeFiles/awp_vcluster.dir/mailbox.cpp.o"
+  "CMakeFiles/awp_vcluster.dir/mailbox.cpp.o.d"
+  "libawp_vcluster.a"
+  "libawp_vcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awp_vcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

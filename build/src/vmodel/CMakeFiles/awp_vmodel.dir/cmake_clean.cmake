@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awp_vmodel.dir/cvm.cpp.o"
+  "CMakeFiles/awp_vmodel.dir/cvm.cpp.o.d"
+  "CMakeFiles/awp_vmodel.dir/material.cpp.o"
+  "CMakeFiles/awp_vmodel.dir/material.cpp.o.d"
+  "libawp_vmodel.a"
+  "libawp_vmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awp_vmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for awp_vmodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/archive.cpp" "src/workflow/CMakeFiles/awp_workflow.dir/archive.cpp.o" "gcc" "src/workflow/CMakeFiles/awp_workflow.dir/archive.cpp.o.d"
+  "/root/repo/src/workflow/e2eaw.cpp" "src/workflow/CMakeFiles/awp_workflow.dir/e2eaw.cpp.o" "gcc" "src/workflow/CMakeFiles/awp_workflow.dir/e2eaw.cpp.o.d"
+  "/root/repo/src/workflow/transfer.cpp" "src/workflow/CMakeFiles/awp_workflow.dir/transfer.cpp.o" "gcc" "src/workflow/CMakeFiles/awp_workflow.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/awp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/awp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcluster/CMakeFiles/awp_vcluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

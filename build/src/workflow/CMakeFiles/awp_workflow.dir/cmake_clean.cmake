@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awp_workflow.dir/archive.cpp.o"
+  "CMakeFiles/awp_workflow.dir/archive.cpp.o.d"
+  "CMakeFiles/awp_workflow.dir/e2eaw.cpp.o"
+  "CMakeFiles/awp_workflow.dir/e2eaw.cpp.o.d"
+  "CMakeFiles/awp_workflow.dir/transfer.cpp.o"
+  "CMakeFiles/awp_workflow.dir/transfer.cpp.o.d"
+  "libawp_workflow.a"
+  "libawp_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awp_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rupture.dir/test_rupture.cpp.o"
+  "CMakeFiles/test_rupture.dir/test_rupture.cpp.o.d"
+  "test_rupture"
+  "test_rupture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rupture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

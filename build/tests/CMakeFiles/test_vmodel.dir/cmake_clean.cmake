@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmodel.dir/test_vmodel.cpp.o"
+  "CMakeFiles/test_vmodel.dir/test_vmodel.cpp.o.d"
+  "test_vmodel"
+  "test_vmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
