@@ -254,7 +254,19 @@ void WaveSolver::run(std::size_t nSteps,
 
 void WaveSolver::restart() {
   AWP_CHECK_MSG(checkpoints_ != nullptr, "no checkpoint store attached");
-  const auto restored = checkpoints_->read(comm_.rank());
+  // True collective (§III.F): ranks may disagree on their newest valid
+  // generation (one rank's newest checkpoint can be torn while its
+  // neighbors' are fine), so all ranks allreduce-agree on the newest step
+  // that is valid on *every* rank and restore that generation.
+  const auto newest = checkpoints_->newestValidStep(comm_.rank());
+  const std::int64_t mine =
+      newest ? static_cast<std::int64_t>(*newest) : std::int64_t{-1};
+  const std::int64_t agreed =
+      comm_.allreduce(mine, vcluster::ReduceOp::Min);
+  AWP_CHECK_MSG(agreed >= 0,
+                "restart: some rank has no valid checkpoint generation");
+  const auto restored =
+      checkpoints_->readStep(comm_.rank(), static_cast<std::uint64_t>(agreed));
   grid_->restoreState(restored.state);
   step_ = restored.step + 1;
   comm_.barrier();

@@ -1,0 +1,136 @@
+#pragma once
+// Deterministic, seeded fault injection. At 223k cores component failure
+// is the expected case (§III.F), so the paper's workflow verifies every
+// data product (§III.H) and recovers failed transfers automatically
+// (§III.I). This subsystem lets tests *prove* those recovery paths work:
+// a FaultPlan schedules faults by site name, rank and occurrence count,
+// and hooks in io::SharedFile, io::CheckpointStore, vcluster::Communicator
+// / Mailbox and workflow::TransferChannel consult the installed injector.
+//
+// Hook sites (exact-match strings):
+//   sharedfile.read / sharedfile.write — positional I/O ops
+//   ckpt.payload                       — checkpoint payload as written
+//   comm.send                          — point-to-point message injection
+//   mailbox.pop                        — receive-side stall
+//   transfer.chunk                     — wide-area chunk transfer
+//
+// When no injector is installed every hook is a single relaxed atomic
+// load + branch, so the disabled path adds no measurable overhead to the
+// solver bench path.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace awp::fault {
+
+enum class FaultKind {
+  TransientIoError,   // throw awp::TransientError (retryable)
+  ShortWrite,         // write only a prefix, then throw TransientError
+  NoSpace,            // throw awp::Error (permanent, ENOSPC-style)
+  BitFlip,            // flip one deterministic bit in the payload
+  MessageDrop,        // comm: the message silently vanishes
+  MessageDuplicate,   // comm: the message is delivered twice
+  RankStall,          // sleep stallSeconds at the site
+};
+
+const char* toString(FaultKind kind);
+
+struct FaultSpec {
+  std::string site;               // exact hook-site name
+  FaultKind kind = FaultKind::TransientIoError;
+  int rank = -1;                  // -1 = any rank
+  std::uint64_t occurrence = 1;   // 1-based op index at (site, rank) that
+                                  // first triggers the fault
+  std::uint64_t count = 1;        // consecutive ops affected from there
+  double stallSeconds = 0.0;      // RankStall only
+};
+
+// Builder for a set of scheduled faults.
+class FaultPlan {
+ public:
+  FaultPlan& add(FaultSpec spec);
+
+  // Convenience builders for the common cases.
+  FaultPlan& transientIoError(std::string site, int rank,
+                              std::uint64_t occurrence,
+                              std::uint64_t count = 1);
+  FaultPlan& bitFlip(std::string site, int rank, std::uint64_t occurrence);
+  FaultPlan& stall(std::string site, int rank, std::uint64_t occurrence,
+                   double seconds);
+
+  [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
+  [[nodiscard]] bool empty() const { return specs_.empty(); }
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+// What a hook should do for the current operation.
+struct FaultAction {
+  FaultKind kind = FaultKind::TransientIoError;
+  double stallSeconds = 0.0;
+  std::uint64_t flipBit = 0;  // BitFlip: bit index (mod payload bits)
+};
+
+struct SiteStats {
+  std::uint64_t operations = 0;
+  std::uint64_t injected = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 0xfa017ULL);
+
+  // Consult the plan at a hook site. Counts one operation against the
+  // (site, rank) stream — per-rank streams keep concurrent ranks
+  // deterministic — and returns the scheduled action, if any.
+  std::optional<FaultAction> check(std::string_view site, int rank);
+
+  [[nodiscard]] std::uint64_t faultsInjected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::map<std::string, SiteStats> stats() const;
+
+ private:
+  std::vector<FaultSpec> specs_;
+  std::uint64_t seed_;
+  std::atomic<std::uint64_t> injected_{0};
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::string, int>, std::uint64_t> opCounts_;
+  std::map<std::string, SiteStats> stats_;
+};
+
+namespace detail {
+extern std::atomic<FaultInjector*> g_injector;
+}
+
+// The process-global injector consulted by all hooks (nullptr = disabled).
+inline FaultInjector* activeInjector() {
+  return detail::g_injector.load(std::memory_order_acquire);
+}
+inline bool injectionEnabled() { return activeInjector() != nullptr; }
+void installInjector(FaultInjector* injector);
+
+// RAII install/uninstall for tests.
+class ScopedInjection {
+ public:
+  explicit ScopedInjection(FaultInjector& injector) {
+    installInjector(&injector);
+  }
+  ~ScopedInjection() { installInjector(nullptr); }
+  ScopedInjection(const ScopedInjection&) = delete;
+  ScopedInjection& operator=(const ScopedInjection&) = delete;
+};
+
+// Rank attribution for hooks that sit below the Communicator (SharedFile,
+// Mailbox): the cluster launcher tags each rank thread; -1 outside one.
+void setThreadRank(int rank);
+int threadRank();
+
+}  // namespace awp::fault

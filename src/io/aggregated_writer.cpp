@@ -1,5 +1,6 @@
 #include "io/aggregated_writer.hpp"
 
+#include "fault/injector.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -43,8 +44,21 @@ void AggregatedWriter::flush() {
     const std::uint64_t offsetBytes =
         (sampleIndex * stepFloatsGlobal_ + rankOffsetFloats_) * sizeof(float);
     const float* src = buffer_.data() + s * recordFloats_;
-    file_->writeAt(offsetBytes,
-                   std::span<const float>(src, recordFloats_));
+    if (!fault::injectionEnabled()) {
+      file_->writeAt(offsetBytes, std::span<const float>(src, recordFloats_));
+      ++stats_.writeAttempts;
+      continue;
+    }
+    util::RetryStats rs;
+    util::retryCall(
+        retryPolicy_, "aggwriter.flush",
+        [&] {
+          file_->writeAt(offsetBytes,
+                         std::span<const float>(src, recordFloats_));
+        },
+        &rs);
+    stats_.writeAttempts += static_cast<std::uint64_t>(rs.attempts);
+    stats_.writeRetries += static_cast<std::uint64_t>(rs.failures);
   }
   samplesFlushed_ += samplesBuffered_;
   stats_.bytesWritten +=

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "io/shared_file.hpp"
+#include "util/retry.hpp"
 
 namespace awp::io {
 
@@ -20,6 +21,8 @@ struct WriterStats {
   std::uint64_t recordsBuffered = 0;
   std::uint64_t flushes = 0;
   std::uint64_t bytesWritten = 0;
+  std::uint64_t writeAttempts = 0;  // sample writes incl. retries
+  std::uint64_t writeRetries = 0;   // failed attempts that were retried
   double writeSeconds = 0.0;
 };
 
@@ -37,8 +40,14 @@ class AggregatedWriter {
   // Append one sampled step worth of data (must be recordFloats long).
   void appendSample(const float* data, std::size_t count);
 
-  // Flush whatever is buffered.
+  // Flush whatever is buffered. Transient write faults that escape the
+  // file's own retries are retried once more per sample at this level, so
+  // an aggregation buffer survives a flaky flush without losing samples.
   void flush();
+
+  void setRetryPolicy(const util::RetryPolicy& policy) {
+    retryPolicy_ = policy;
+  }
 
   [[nodiscard]] const WriterStats& stats() const { return stats_; }
 
@@ -52,6 +61,7 @@ class AggregatedWriter {
   std::vector<float> buffer_;
   std::uint64_t samplesBuffered_ = 0;
   std::uint64_t samplesFlushed_ = 0;
+  util::RetryPolicy retryPolicy_{.maxAttempts = 3};
   WriterStats stats_;
 };
 

@@ -1,9 +1,15 @@
 #include "io/checkpoint.hpp"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 
+#include "fault/injector.hpp"
 #include "io/shared_file.hpp"
 #include "util/error.hpp"
 #include "util/md5.hpp"
@@ -11,7 +17,7 @@
 namespace awp::io {
 
 namespace {
-constexpr std::uint64_t kMagic = 0x4157504f44435031ULL;  // "AWPODCP1"
+constexpr std::uint64_t kMagic = 0x4157504f44435032ULL;  // "AWPODCP2"
 
 struct Header {
   std::uint64_t magic;
@@ -19,6 +25,34 @@ struct Header {
   std::uint64_t payloadBytes;
   std::uint8_t digest[16];
 };
+
+// Header-only view of one generation slot. Raw POSIX (no fault hooks, no
+// throttle): slot selection must stay cheap and deterministic even while
+// faults are being injected into the data path.
+struct SlotView {
+  bool present = false;
+  bool headerOk = false;  // magic matches and the file is not torn short
+  std::uint64_t step = 0;
+};
+
+SlotView inspectSlot(const std::string& path) {
+  SlotView v;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return v;
+  v.present = true;
+  Header h{};
+  const ssize_t n = ::pread(fd, &h, sizeof(h), 0);
+  struct stat st{};
+  const bool statOk = ::fstat(fd, &st) == 0;
+  ::close(fd);
+  if (n != static_cast<ssize_t>(sizeof(h)) || !statOk) return v;
+  if (h.magic != kMagic) return v;
+  if (static_cast<std::uint64_t>(st.st_size) != sizeof(h) + h.payloadBytes)
+    return v;
+  v.headerOk = true;
+  v.step = h.step;
+  return v;
+}
 }  // namespace
 
 CheckpointStore::CheckpointStore(std::string directory, OpenThrottle* throttle)
@@ -26,13 +60,35 @@ CheckpointStore::CheckpointStore(std::string directory, OpenThrottle* throttle)
   ::mkdir(directory_.c_str(), 0755);  // ok if it already exists
 }
 
+std::string CheckpointStore::pathFor(int rank, int generation) const {
+  return directory_ + "/ckpt_rank" + std::to_string(rank) + "_g" +
+         std::to_string(generation) + ".bin";
+}
+
 std::string CheckpointStore::pathFor(int rank) const {
-  return directory_ + "/ckpt_rank" + std::to_string(rank) + ".bin";
+  int best = 0;
+  std::uint64_t bestStep = 0;
+  bool haveOk = false;
+  for (int g = 0; g < kGenerations; ++g) {
+    const SlotView v = inspectSlot(pathFor(rank, g));
+    if (!v.present) continue;
+    if (v.headerOk && (!haveOk || v.step > bestStep)) {
+      best = g;
+      bestStep = v.step;
+      haveOk = true;
+    } else if (!haveOk) {
+      best = g;
+    }
+  }
+  return pathFor(rank, best);
 }
 
 bool CheckpointStore::exists(int rank) const {
-  struct stat st{};
-  return ::stat(pathFor(rank).c_str(), &st) == 0;
+  for (int g = 0; g < kGenerations; ++g) {
+    struct stat st{};
+    if (::stat(pathFor(rank, g).c_str(), &st) == 0) return true;
+  }
+  return false;
 }
 
 void CheckpointStore::write(int rank, std::uint64_t step,
@@ -44,12 +100,47 @@ void CheckpointStore::write(int rank, std::uint64_t step,
   const auto digest = Md5::hash(state.data(), state.size());
   std::memcpy(h.digest, digest.data(), sizeof(h.digest));
 
+  // The digest above is of the true state; a "ckpt.payload" bit-flip
+  // corrupts the bytes actually written, so the stored digest will not
+  // verify on read — the silent-corruption case §III.H guards against.
+  std::span<const std::byte> payload = state;
+  std::vector<std::byte> corrupted;
+  if (fault::injectionEnabled()) {
+    if (auto act = fault::activeInjector()->check("ckpt.payload", rank);
+        act && act->kind == fault::FaultKind::BitFlip && !state.empty()) {
+      corrupted.assign(state.begin(), state.end());
+      const std::uint64_t bit = act->flipBit % (corrupted.size() * 8);
+      corrupted[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+      payload = corrupted;
+    }
+  }
+
   auto writeBody = [&] {
-    SharedFile f(pathFor(rank), SharedFile::Mode::Write);
-    f.truncate(0);
-    f.writeAt(0, std::span<const std::byte>(
-                     reinterpret_cast<const std::byte*>(&h), sizeof(h)));
-    f.writeAt(sizeof(h), state);
+    // Overwrite the slot that does NOT hold the newest intact generation.
+    int slot = 0;
+    {
+      const SlotView s0 = inspectSlot(pathFor(rank, 0));
+      const SlotView s1 = inspectSlot(pathFor(rank, 1));
+      if (!s0.headerOk)
+        slot = 0;
+      else if (!s1.headerOk)
+        slot = 1;
+      else
+        slot = s0.step <= s1.step ? 0 : 1;
+    }
+    const std::string finalPath = pathFor(rank, slot);
+    const std::string tmpPath = finalPath + ".tmp";
+    {
+      SharedFile f(tmpPath, SharedFile::Mode::Write);
+      f.truncate(0);
+      f.writeAt(0, std::span<const std::byte>(
+                       reinterpret_cast<const std::byte*>(&h), sizeof(h)));
+      f.writeAt(sizeof(h), payload);
+      f.sync();
+    }
+    if (std::rename(tmpPath.c_str(), finalPath.c_str()) != 0)
+      throw Error("cannot rename checkpoint '" + tmpPath + "' -> '" +
+                  finalPath + "': " + std::strerror(errno));
   };
   if (throttle_ != nullptr) {
     OpenThrottle::Ticket ticket(*throttle_);
@@ -59,9 +150,9 @@ void CheckpointStore::write(int rank, std::uint64_t step,
   }
 }
 
-CheckpointStore::Restored CheckpointStore::read(int rank) const {
+CheckpointStore::Restored CheckpointStore::loadSlot(int rank, int slot) const {
   auto readBody = [&]() -> Restored {
-    SharedFile f(pathFor(rank), SharedFile::Mode::Read);
+    SharedFile f(pathFor(rank, slot), SharedFile::Mode::Read);
     Header h{};
     f.readAt(0, std::span<std::byte>(reinterpret_cast<std::byte*>(&h),
                                      sizeof(h)));
@@ -81,6 +172,60 @@ CheckpointStore::Restored CheckpointStore::read(int rank) const {
     return readBody();
   }
   return readBody();
+}
+
+CheckpointStore::Restored CheckpointStore::read(int rank) const {
+  // Candidate slots with an intact header, newest step first.
+  struct Candidate {
+    int slot;
+    std::uint64_t step;
+  };
+  std::vector<Candidate> candidates;
+  std::string notes;
+  for (int g = 0; g < kGenerations; ++g) {
+    const SlotView v = inspectSlot(pathFor(rank, g));
+    if (!v.present) continue;
+    if (!v.headerOk) {
+      notes += " [gen " + std::to_string(g) + ": torn header]";
+      continue;
+    }
+    candidates.push_back({g, v.step});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.step > b.step;
+            });
+  for (const Candidate& c : candidates) {
+    try {
+      return loadSlot(rank, c.slot);
+    } catch (const Error& e) {
+      notes += " [gen " + std::to_string(c.slot) + " @ step " +
+               std::to_string(c.step) + ": " + e.what() + "]";
+    }
+  }
+  throw Error("no valid checkpoint generation for rank " +
+              std::to_string(rank) + notes);
+}
+
+std::optional<std::uint64_t> CheckpointStore::newestValidStep(
+    int rank) const {
+  try {
+    return read(rank).step;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+CheckpointStore::Restored CheckpointStore::readStep(
+    int rank, std::uint64_t step) const {
+  for (int g = 0; g < kGenerations; ++g) {
+    const SlotView v = inspectSlot(pathFor(rank, g));
+    if (!v.present || !v.headerOk || v.step != step) continue;
+    return loadSlot(rank, g);  // throws on digest mismatch
+  }
+  throw Error("rank " + std::to_string(rank) +
+              " has no valid checkpoint at agreed step " +
+              std::to_string(step));
 }
 
 }  // namespace awp::io

@@ -4,11 +4,15 @@
 // periodically saved into reliable storage where each processor is
 // responsible for writing and updating its own checkpoint data."
 //
-// Layout: one file per rank, <dir>/ckpt_rank<r>.bin, containing a header
-// (magic, step, payload size, MD5 of payload) followed by the raw state
-// blob. Restart verifies the digest before handing the state back.
+// Resilient layout: two generations per rank, <dir>/ckpt_rank<r>_g<0|1>.bin,
+// each holding a header (magic, step, payload size, MD5 of payload) followed
+// by the raw state blob. Writes go to "<final>.tmp" and are renamed into
+// the older generation slot only after an fsync, so a crash mid-write can
+// never destroy the previous good checkpoint. Reads verify the digest and
+// fall back from a torn/corrupt newest generation to the previous one.
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,24 +23,41 @@ namespace awp::io {
 
 class CheckpointStore {
  public:
+  static constexpr int kGenerations = 2;
+
   // `throttle` may be null (no concurrent-open limiting); when set, writes
   // and reads take a throttle ticket, matching the §IV.E scheme that was
   // "also applied to the checkpointing scheme".
   CheckpointStore(std::string directory, OpenThrottle* throttle = nullptr);
 
+  // Atomic generational write (tmp + fsync + rename onto the older slot).
+  // Fault-injection site "ckpt.payload" can bit-flip the payload as
+  // written, producing a checkpoint whose stored digest will not verify.
   void write(int rank, std::uint64_t step, std::span<const std::byte> state);
 
   struct Restored {
     std::uint64_t step = 0;
     std::vector<std::byte> state;
   };
-  // Throws awp::Error on missing file or digest mismatch (torn checkpoint).
+  // Newest generation whose payload digest verifies; falls back to the
+  // previous generation on a torn header or digest mismatch. Throws
+  // awp::Error when no generation is valid.
   Restored read(int rank) const;
+  // Exact-step read, used by the collective restart agreement: every rank
+  // loads the newest step that is valid on *all* ranks.
+  Restored readStep(int rank, std::uint64_t step) const;
+  // Step of the newest digest-valid generation; nullopt when none is.
+  [[nodiscard]] std::optional<std::uint64_t> newestValidStep(int rank) const;
 
+  // Any generation file present (valid or not).
   [[nodiscard]] bool exists(int rank) const;
+  // Path of the most recently written generation (by header step).
   [[nodiscard]] std::string pathFor(int rank) const;
+  [[nodiscard]] std::string pathFor(int rank, int generation) const;
 
  private:
+  Restored loadSlot(int rank, int slot) const;
+
   std::string directory_;
   OpenThrottle* throttle_;
 };

@@ -5,11 +5,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <utility>
+#include <vector>
 
+#include "fault/injector.hpp"
 #include "util/error.hpp"
 
 namespace awp::io {
@@ -17,6 +21,12 @@ namespace awp::io {
 namespace {
 [[noreturn]] void throwErrno(const std::string& what, const std::string& path) {
   throw Error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+void flipBit(std::span<std::byte> data, std::uint64_t bit) {
+  if (data.empty()) return;
+  const std::uint64_t b = bit % (data.size() * 8);
+  data[b / 8] ^= static_cast<std::byte>(1u << (b % 8));
 }
 }  // namespace
 
@@ -64,7 +74,8 @@ void SharedFile::close() {
   }
 }
 
-void SharedFile::readAt(std::uint64_t offset, std::span<std::byte> out) const {
+void SharedFile::readAtRaw(std::uint64_t offset,
+                           std::span<std::byte> out) const {
   AWP_CHECK(isOpen());
   std::size_t done = 0;
   while (done < out.size()) {
@@ -80,8 +91,8 @@ void SharedFile::readAt(std::uint64_t offset, std::span<std::byte> out) const {
   }
 }
 
-void SharedFile::writeAt(std::uint64_t offset,
-                         std::span<const std::byte> data) {
+void SharedFile::writeAtRaw(std::uint64_t offset,
+                            std::span<const std::byte> data) {
   AWP_CHECK(isOpen());
   std::size_t done = 0;
   while (done < data.size()) {
@@ -93,6 +104,80 @@ void SharedFile::writeAt(std::uint64_t offset,
     }
     done += static_cast<std::size_t>(n);
   }
+}
+
+void SharedFile::readAt(std::uint64_t offset, std::span<std::byte> out) const {
+  if (!fault::injectionEnabled()) {  // fast path: one load + branch
+    readAtRaw(offset, out);
+    return;
+  }
+  util::retryCall(retryPolicy_, "sharedfile.read", [&] {
+    if (auto act = fault::activeInjector()->check("sharedfile.read",
+                                                  fault::threadRank())) {
+      switch (act->kind) {
+        case fault::FaultKind::TransientIoError:
+        case fault::FaultKind::ShortWrite:
+          throw TransientError("injected transient read error on '" + path_ +
+                               "'");
+        case fault::FaultKind::NoSpace:
+          throw Error("injected I/O error reading '" + path_ + "'");
+        case fault::FaultKind::BitFlip:
+          readAtRaw(offset, out);
+          flipBit(out, act->flipBit);
+          return;
+        case fault::FaultKind::RankStall:
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(act->stallSeconds));
+          break;
+        default:
+          break;  // message-level kinds do not apply to file reads
+      }
+    }
+    readAtRaw(offset, out);
+  });
+}
+
+void SharedFile::writeAt(std::uint64_t offset,
+                         std::span<const std::byte> data) {
+  if (!fault::injectionEnabled()) {  // fast path: one load + branch
+    writeAtRaw(offset, data);
+    return;
+  }
+  util::retryCall(retryPolicy_, "sharedfile.write", [&] {
+    if (auto act = fault::activeInjector()->check("sharedfile.write",
+                                                  fault::threadRank())) {
+      switch (act->kind) {
+        case fault::FaultKind::TransientIoError:
+          throw TransientError("injected transient write error on '" + path_ +
+                               "'");
+        case fault::FaultKind::ShortWrite:
+          // Torn write: a prefix lands on disk, then the op "fails". A
+          // retry rewrites the full span; exhausted retries leave the tear.
+          writeAtRaw(offset, data.first(data.size() / 2));
+          throw TransientError("injected short write on '" + path_ + "'");
+        case fault::FaultKind::NoSpace:
+          throw Error("injected ENOSPC writing '" + path_ + "'");
+        case fault::FaultKind::BitFlip: {
+          std::vector<std::byte> corrupted(data.begin(), data.end());
+          flipBit(corrupted, act->flipBit);
+          writeAtRaw(offset, corrupted);
+          return;
+        }
+        case fault::FaultKind::RankStall:
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(act->stallSeconds));
+          break;
+        default:
+          break;  // message-level kinds do not apply to file writes
+      }
+    }
+    writeAtRaw(offset, data);
+  });
+}
+
+void SharedFile::sync() {
+  AWP_CHECK(isOpen());
+  if (::fsync(fd_) != 0) throwErrno("fsync failed on", path_);
 }
 
 std::uint64_t SharedFile::size() const {

@@ -11,6 +11,8 @@
 #include <span>
 #include <string>
 
+#include "util/retry.hpp"
+
 namespace awp::io {
 
 class SharedFile {
@@ -31,9 +33,22 @@ class SharedFile {
   [[nodiscard]] bool isOpen() const { return fd_ >= 0; }
 
   // Thread-safe positional access (pread/pwrite); full-length transfers or
-  // awp::Error.
+  // awp::Error. Both ops carry fault-injection hooks ("sharedfile.read" /
+  // "sharedfile.write"); injected transient faults are retried through the
+  // shared util/retry.hpp policy before an error escapes.
   void readAt(std::uint64_t offset, std::span<std::byte> out) const;
   void writeAt(std::uint64_t offset, std::span<const std::byte> data);
+
+  // Policy for transient-fault retries on this file's positional ops.
+  void setRetryPolicy(const util::RetryPolicy& policy) {
+    retryPolicy_ = policy;
+  }
+  [[nodiscard]] const util::RetryPolicy& retryPolicy() const {
+    return retryPolicy_;
+  }
+
+  // fsync to stable storage (checkpoints sync before the atomic rename).
+  void sync();
 
   template <typename T>
   void readAt(std::uint64_t offset, std::span<T> out) const {
@@ -51,8 +66,12 @@ class SharedFile {
   void truncate(std::uint64_t size);
 
  private:
+  void readAtRaw(std::uint64_t offset, std::span<std::byte> out) const;
+  void writeAtRaw(std::uint64_t offset, std::span<const std::byte> data);
+
   int fd_ = -1;
   std::string path_;
+  util::RetryPolicy retryPolicy_{.maxAttempts = 4};
 };
 
 // Convenience whole-file helpers.

@@ -14,6 +14,15 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+// A failure that is expected to clear on retry: interrupted transfers,
+// injected transient I/O faults, momentarily unreachable storage. The
+// shared retry policy (util/retry.hpp) retries these by default and treats
+// every other Error as permanent.
+class TransientError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
 [[noreturn]] inline void checkFailed(const char* expr, const char* file,
                                      int line, const std::string& msg) {

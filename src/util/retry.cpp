@@ -1,0 +1,92 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+
+namespace awp::util {
+
+namespace {
+
+// splitmix64: one-shot mixing for jitter derivation.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::mutex& registryMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, RetrySiteStats>& registry() {
+  static std::map<std::string, RetrySiteStats> r;
+  return r;
+}
+
+}  // namespace
+
+double retryBackoffSeconds(const RetryPolicy& policy, std::string_view site,
+                           int failureIndex) {
+  if (policy.baseDelaySeconds <= 0.0 || failureIndex < 1) return 0.0;
+  double delay = policy.baseDelaySeconds;
+  for (int i = 1; i < failureIndex; ++i) delay *= policy.backoffFactor;
+  delay = std::min(delay, policy.maxDelaySeconds);
+  if (policy.jitterFraction > 0.0) {
+    const std::uint64_t h = mix64(policy.seed ^ fnv1a(site) ^
+                                  static_cast<std::uint64_t>(failureIndex));
+    // Map the hash to [-1, 1) and scale by the jitter fraction.
+    const double unit =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+    delay *= 1.0 + policy.jitterFraction * (2.0 * unit - 1.0);
+  }
+  return std::max(delay, 0.0);
+}
+
+std::map<std::string, RetrySiteStats> retryRegistrySnapshot() {
+  std::lock_guard<std::mutex> lock(registryMutex());
+  return registry();
+}
+
+void resetRetryRegistry() {
+  std::lock_guard<std::mutex> lock(registryMutex());
+  registry().clear();
+}
+
+namespace detail {
+
+void recordRetry(std::string_view site, const RetryStats& stats,
+                 bool succeeded) {
+  std::lock_guard<std::mutex> lock(registryMutex());
+  auto& s = registry()[std::string(site)];
+  ++s.calls;
+  s.attempts += static_cast<std::uint64_t>(stats.attempts);
+  s.failures += static_cast<std::uint64_t>(stats.failures);
+  if (!succeeded) ++s.exhausted;
+}
+
+bool currentExceptionIsTransient() {
+  try {
+    throw;
+  } catch (const TransientError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::string currentExceptionMessage() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-standard exception";
+  }
+}
+
+}  // namespace detail
+
+}  // namespace awp::util

@@ -1,0 +1,138 @@
+#pragma once
+// The single retry policy behind every fault-tolerant path in the
+// reproduction (§III.F/§III.I: component failure is the expected case at
+// petascale, so transfers, shared-file writes and workflow stages all
+// recover automatically). Bounded attempts, exponential backoff with
+// deterministic jitter (seeded, so chaos tests replay exactly), and a
+// process-wide per-site statistics registry so benches and tests can
+// assert on how often each site actually retried.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <type_traits>
+
+#include "util/error.hpp"
+
+namespace awp::util {
+
+struct RetryPolicy {
+  int maxAttempts = 3;            // total attempts, including the first
+  double baseDelaySeconds = 0.0;  // backoff before the 2nd attempt
+  double backoffFactor = 2.0;     // delay multiplier per further failure
+  double maxDelaySeconds = 0.5;   // backoff ceiling
+  double jitterFraction = 0.25;   // +/- this fraction of the delay
+  std::uint64_t seed = 0x5eedULL; // jitter stream (deterministic)
+};
+
+struct RetryStats {
+  int attempts = 0;           // attempts actually made (>= 1)
+  int failures = 0;           // failed attempts among them
+  double backoffSeconds = 0;  // total backoff delay inserted
+  std::string lastError;      // what() of the most recent failure
+};
+
+// FNV-1a — used to salt jitter streams per site and to derive
+// order-invariant per-item RNG streams (e.g. per transfer file).
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Backoff before retrying after the `failureIndex`-th failure (1-based).
+// Pure function of (policy, site, failureIndex) — no global RNG state, so
+// concurrent ranks retrying the same site stay deterministic.
+double retryBackoffSeconds(const RetryPolicy& policy, std::string_view site,
+                           int failureIndex);
+
+// Cumulative per-site retry accounting, aggregated across the process.
+struct RetrySiteStats {
+  std::uint64_t calls = 0;      // retryCall invocations
+  std::uint64_t attempts = 0;   // total attempts
+  std::uint64_t failures = 0;   // failed attempts
+  std::uint64_t exhausted = 0;  // calls that ran out of attempts
+};
+
+std::map<std::string, RetrySiteStats> retryRegistrySnapshot();
+void resetRetryRegistry();
+
+namespace detail {
+
+void recordRetry(std::string_view site, const RetryStats& stats,
+                 bool succeeded);
+bool currentExceptionIsTransient();
+std::string currentExceptionMessage();
+
+template <bool RetryAll, typename Fn>
+auto retryImpl(const RetryPolicy& policy, std::string_view site, Fn&& fn,
+               RetryStats* out) {
+  RetryStats stats;
+  const int maxAttempts = policy.maxAttempts < 1 ? 1 : policy.maxAttempts;
+  auto finish = [&](bool succeeded) {
+    if (out != nullptr) *out = stats;
+    recordRetry(site, stats, succeeded);
+  };
+  auto invoke = [&](int attempt) {
+    if constexpr (std::is_invocable_v<Fn&, int>) {
+      return fn(attempt);
+    } else {
+      (void)attempt;
+      return fn();
+    }
+  };
+  for (int attempt = 1;; ++attempt) {
+    ++stats.attempts;
+    try {
+      if constexpr (std::is_void_v<decltype(invoke(attempt))>) {
+        invoke(attempt);
+        finish(true);
+        return;
+      } else {
+        auto result = invoke(attempt);
+        finish(true);
+        return result;
+      }
+    } catch (...) {
+      ++stats.failures;
+      stats.lastError = currentExceptionMessage();
+      const bool retryable = RetryAll || currentExceptionIsTransient();
+      if (!retryable || attempt >= maxAttempts) {
+        finish(false);
+        throw;
+      }
+    }
+    const double delay = retryBackoffSeconds(policy, site, stats.failures);
+    stats.backoffSeconds += delay;
+    if (delay > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+}
+
+}  // namespace detail
+
+// Run `fn` (optionally taking the 1-based attempt index) with bounded
+// retries on awp::TransientError; any other exception propagates
+// immediately. Returns fn's result; rethrows the last failure when
+// attempts are exhausted.
+template <typename Fn>
+auto retryCall(const RetryPolicy& policy, std::string_view site, Fn&& fn,
+               RetryStats* stats = nullptr) {
+  return detail::retryImpl<false>(policy, site, std::forward<Fn>(fn), stats);
+}
+
+// Same, but retries on *any* thrown object (workflow stages are re-runnable
+// by design, whatever they threw).
+template <typename Fn>
+auto retryCallAny(const RetryPolicy& policy, std::string_view site, Fn&& fn,
+                  RetryStats* stats = nullptr) {
+  return detail::retryImpl<true>(policy, site, std::forward<Fn>(fn), stats);
+}
+
+}  // namespace awp::util

@@ -4,6 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "fault/injector.hpp"
+
 namespace awp::vcluster {
 
 void ThreadCluster::run(int nranks, const RankFn& fn) {
@@ -16,6 +18,9 @@ void ThreadCluster::run(int nranks, const RankFn& fn) {
 
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      // Tag the thread so fault-injection hooks below the Communicator
+      // (SharedFile, Mailbox) can attribute operations to this rank.
+      fault::setThreadRank(r);
       Communicator comm(r, &state);
       try {
         fn(comm);

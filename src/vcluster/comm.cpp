@@ -1,7 +1,11 @@
 #include "vcluster/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "fault/injector.hpp"
 
 namespace awp::vcluster {
 
@@ -21,6 +25,40 @@ void Communicator::send(int dest, int tag, const void* data,
   msg.tag = tag;
   msg.payload.resize(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+
+  bool duplicate = false;
+  if (fault::injectionEnabled()) {  // fast path when disabled: one branch
+    if (auto act = fault::activeInjector()->check("comm.send", rank_)) {
+      switch (act->kind) {
+        case fault::FaultKind::MessageDrop:
+          // The message vanishes in flight; the sender never learns.
+          state_->stats.messagesDropped.fetch_add(1,
+                                                  std::memory_order_relaxed);
+          return;
+        case fault::FaultKind::MessageDuplicate:
+          duplicate = true;
+          state_->stats.messagesDuplicated.fetch_add(
+              1, std::memory_order_relaxed);
+          break;
+        case fault::FaultKind::BitFlip:
+          if (!msg.payload.empty()) {
+            const std::uint64_t bit =
+                act->flipBit % (msg.payload.size() * 8);
+            msg.payload[bit / 8] ^=
+                static_cast<std::byte>(1u << (bit % 8));
+          }
+          break;
+        case fault::FaultKind::RankStall:
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(act->stallSeconds));
+          break;
+        default:
+          break;  // I/O kinds do not apply to message sends
+      }
+    }
+  }
+  if (duplicate)
+    state_->mailboxes[static_cast<std::size_t>(dest)]->push(msg);
   state_->mailboxes[static_cast<std::size_t>(dest)]->push(std::move(msg));
   state_->stats.messagesSent.fetch_add(1, std::memory_order_relaxed);
   state_->stats.bytesSent.fetch_add(bytes, std::memory_order_relaxed);

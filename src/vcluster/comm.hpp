@@ -27,11 +27,17 @@ struct CommStats {
   std::atomic<std::uint64_t> messagesSent{0};
   std::atomic<std::uint64_t> bytesSent{0};
   std::atomic<std::uint64_t> barriers{0};
+  // Fault injection ("comm.send" site): messages dropped in flight or
+  // delivered twice. Always zero when no injector is installed.
+  std::atomic<std::uint64_t> messagesDropped{0};
+  std::atomic<std::uint64_t> messagesDuplicated{0};
 
   void reset() {
     messagesSent = 0;
     bytesSent = 0;
     barriers = 0;
+    messagesDropped = 0;
+    messagesDuplicated = 0;
   }
 };
 

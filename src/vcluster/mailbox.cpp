@@ -1,5 +1,10 @@
 #include "vcluster/mailbox.hpp"
 
+#include <chrono>
+#include <thread>
+
+#include "fault/injector.hpp"
+
 namespace awp::vcluster {
 
 void Mailbox::push(Message msg) {
@@ -22,6 +27,15 @@ bool Mailbox::extractLocked(int src, int tag, Message& out) {
 }
 
 Message Mailbox::popMatch(int src, int tag) {
+  if (fault::injectionEnabled()) {
+    // Receive-side stall: this rank goes quiet for a while before it starts
+    // waiting, letting chaos tests model a slow/hung peer (§III.F).
+    if (auto act = fault::activeInjector()->check("mailbox.pop",
+                                                  fault::threadRank());
+        act && act->kind == fault::FaultKind::RankStall)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(act->stallSeconds));
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   Message out;
   cv_.wait(lock, [&] { return extractLocked(src, tag, out); });

@@ -7,30 +7,63 @@
 namespace awp::workflow {
 
 void Pipeline::addStage(std::string name, StageFn fn) {
-  stages_.emplace_back(std::move(name), std::move(fn));
+  stages_.push_back({std::move(name), std::move(fn),
+                     util::RetryPolicy{.maxAttempts = 1}});
+}
+
+void Pipeline::addStage(std::string name, StageFn fn,
+                        util::RetryPolicy retry) {
+  stages_.push_back({std::move(name), std::move(fn), retry});
 }
 
 bool Pipeline::run() {
   results_.clear();
   bool ok = true;
-  for (const auto& [name, fn] : stages_) {
+  for (const auto& stage : stages_) {
     StageResult r;
-    r.name = name;
+    r.name = stage.name;
     if (!ok) {
       results_.push_back(std::move(r));
       continue;
     }
     r.ran = true;
-    Stopwatch watch;
+    Stopwatch total;
+    util::RetryStats rs;
     try {
-      r.detail = fn();
+      r.detail = util::retryCallAny(
+          stage.retry, "pipeline." + stage.name,
+          [&](int attempt) -> std::string {
+            Stopwatch watch;
+            try {
+              std::string detail = stage.fn();
+              r.attemptLog.push_back(
+                  {attempt, true, watch.seconds(), detail});
+              return detail;
+            } catch (const std::exception& e) {
+              r.attemptLog.push_back(
+                  {attempt, false, watch.seconds(), e.what()});
+              throw;
+            } catch (...) {
+              // Non-standard throw: still recorded and still a stage
+              // failure rather than std::terminate.
+              r.attemptLog.push_back({attempt, false, watch.seconds(),
+                                      "non-standard exception"});
+              throw;
+            }
+          },
+          &rs);
       r.ok = true;
     } catch (const std::exception& e) {
       r.ok = false;
       r.detail = e.what();
       ok = false;
+    } catch (...) {
+      r.ok = false;
+      r.detail = "non-standard exception";
+      ok = false;
     }
-    r.seconds = watch.seconds();
+    r.attempts = rs.attempts;
+    r.seconds = total.seconds();
     results_.push_back(std::move(r));
   }
   return ok;

@@ -3,21 +3,33 @@
 // AWP-ODC modules: data partitioning, solver execution, parallel checksum
 // generation, high-performance site-to-site transfer with automatic
 // recovery, verification, and ingestion into the digital library. Stages
-// are named, timed, and re-runnable; a stage failure stops the pipeline
-// with the failure recorded.
+// are named, timed, re-runnable and individually retryable through the
+// shared util/retry.hpp policy; a stage failure (including non-standard
+// throws) stops the pipeline with the failure and every attempt recorded.
 
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "util/retry.hpp"
+
 namespace awp::workflow {
+
+struct StageAttempt {
+  int attempt = 0;  // 1-based
+  bool ok = false;
+  double seconds = 0.0;
+  std::string detail;  // stage detail on success, error message on failure
+};
 
 struct StageResult {
   std::string name;
   bool ran = false;
   bool ok = false;
-  double seconds = 0.0;
+  int attempts = 0;       // attempts actually made (retry policy)
+  double seconds = 0.0;   // wall-clock across all attempts
   std::string detail;
+  std::vector<StageAttempt> attemptLog;
 };
 
 class Pipeline {
@@ -25,10 +37,15 @@ class Pipeline {
   using StageFn = std::function<std::string()>;  // returns detail; throws on
                                                  // failure
 
+  // Single-attempt stage (the §III.I default: failures stop the pipeline
+  // and the stage is re-run by a later Pipeline::run()).
   void addStage(std::string name, StageFn fn);
+  // Stage with automatic in-run retries: any throw (std::exception or not)
+  // is retried up to policy.maxAttempts with the shared backoff.
+  void addStage(std::string name, StageFn fn, util::RetryPolicy retry);
 
-  // Run stages in order; stops at the first failure. Returns overall
-  // success.
+  // Run stages in order; stops at the first (post-retry) failure. Returns
+  // overall success.
   bool run();
 
   [[nodiscard]] const std::vector<StageResult>& results() const {
@@ -36,7 +53,12 @@ class Pipeline {
   }
 
  private:
-  std::vector<std::pair<std::string, StageFn>> stages_;
+  struct Stage {
+    std::string name;
+    StageFn fn;
+    util::RetryPolicy retry{.maxAttempts = 1};
+  };
+  std::vector<Stage> stages_;
   std::vector<StageResult> results_;
 };
 

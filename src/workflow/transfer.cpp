@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "io/shared_file.hpp"
 #include "util/error.hpp"
 #include "util/md5.hpp"
+#include "util/retry.hpp"
 
 namespace awp::workflow {
 
 TransferChannel::TransferChannel(const TransferConfig& config)
-    : config_(config), rng_(config.seed) {}
+    : config_(config) {}
 
 TransferReport TransferChannel::transfer(
     const std::string& srcDir, const std::string& dstDir,
@@ -24,7 +26,16 @@ TransferReport TransferChannel::transfer(
     const std::uint64_t size = src.size();
     dst.truncate(size);
 
-    Md5 srcDigest, dstDigest;
+    // Reorder-invariant failure stream: seeded from the file *name*, so the
+    // same file fails the same chunks wherever it sits in the list.
+    Rng fileRng = Rng(config_.seed).split(util::fnv1a(name));
+
+    util::RetryPolicy chunkPolicy;
+    chunkPolicy.maxAttempts = config_.maxRetries + 1;
+    chunkPolicy.baseDelaySeconds = 0.0;  // retransfer cost is modeled below
+    chunkPolicy.seed = config_.seed ^ util::fnv1a(name);
+
+    Md5 srcDigest;
     std::vector<std::byte> chunk;
     const std::uint64_t nChunks =
         (size + config_.chunkBytes - 1) / config_.chunkBytes;
@@ -37,28 +48,41 @@ TransferReport TransferChannel::transfer(
       src.readAt(offset, chunk);
       srcDigest.update(chunk.data(), chunk.size());
 
-      int attempt = 0;
-      for (;;) {
-        ++attempt;
-        report.simulatedSeconds +=
-            static_cast<double>(len) / config_.bandwidthBytesPerSec;
-        if (rng_.uniform() < config_.chunkFailureProb &&
-            attempt <= config_.maxRetries) {
-          // Failed in flight: log the transaction and retransfer.
-          ++report.chunksFailed;
-          ++report.chunksRetried;
-          report.records.push_back({name, c, attempt, false});
-          continue;
-        }
-        dst.writeAt(offset, std::span<const std::byte>(chunk));
-        if (attempt > 1) {
-          // Mark every failed transaction for this chunk as recovered.
-          for (auto& rec : report.records) {
-            if (rec.file == name && rec.chunkIndex == c)
-              rec.recovered = true;
-          }
-        }
-        break;
+      util::RetryStats rs;
+      util::retryCall(
+          chunkPolicy, "transfer.chunk",
+          [&](int attempt) {
+            report.simulatedSeconds +=
+                static_cast<double>(len) / config_.bandwidthBytesPerSec;
+            // In-flight loss: the modeled stream, or an externally injected
+            // fault. The modeled stream is capped at maxRetries failures
+            // per chunk so the bounded policy always recovers it.
+            bool failed = fileRng.uniform() < config_.chunkFailureProb &&
+                          attempt <= config_.maxRetries;
+            if (fault::injectionEnabled()) {
+              if (auto act = fault::activeInjector()->check(
+                      "transfer.chunk", fault::threadRank());
+                  act && (act->kind == fault::FaultKind::MessageDrop ||
+                          act->kind ==
+                              fault::FaultKind::TransientIoError))
+                failed = true;
+            }
+            if (failed) {
+              // Failed in flight: log the transaction for retransfer.
+              report.records.push_back({name, c, attempt, false});
+              throw TransientError("chunk " + std::to_string(c) + " of '" +
+                                   name + "' lost in flight");
+            }
+            dst.writeAt(offset, std::span<const std::byte>(chunk));
+          },
+          &rs);
+      report.attempts += static_cast<std::uint64_t>(rs.attempts);
+      report.chunksFailed += static_cast<std::uint64_t>(rs.failures);
+      report.chunksRetried += static_cast<std::uint64_t>(rs.failures);
+      if (rs.failures > 0) {
+        // Mark every failed transaction for this chunk as recovered.
+        for (auto& rec : report.records)
+          if (rec.file == name && rec.chunkIndex == c) rec.recovered = true;
       }
       report.bytesMoved += len;
     }

@@ -20,6 +20,9 @@ struct TransferConfig {
   std::size_t chunkBytes = 1 << 20;
   double chunkFailureProb = 0.0;  // failure injection
   int maxRetries = 5;
+  // Seeds each file's chunk-failure stream: the stream is derived from
+  // (seed, file name), so which chunks fail is a property of the file, not
+  // of its position in the transfer list.
   std::uint64_t seed = 42;
 };
 
@@ -34,6 +37,7 @@ struct TransferReport {
   std::uint64_t bytesMoved = 0;
   std::uint64_t chunksFailed = 0;
   std::uint64_t chunksRetried = 0;
+  std::uint64_t attempts = 0;  // total chunk attempts (util/retry policy)
   int filesMoved = 0;
   double simulatedSeconds = 0.0;  // bandwidth-model time incl. retries
   bool allVerified = false;       // MD5 source == destination for all files
@@ -53,7 +57,6 @@ class TransferChannel {
 
  private:
   TransferConfig config_;
-  Rng rng_;
 };
 
 }  // namespace awp::workflow

@@ -1,0 +1,237 @@
+// Tests for the deterministic fault-injection subsystem: plan/occurrence
+// semantics, rank attribution, and the hooks wired into the comm layer
+// (message drop/duplicate/bit-flip) and the shared-file I/O layer
+// (transient errors retried, torn writes, injected ENOSPC).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "io/shared_file.hpp"
+#include "util/error.hpp"
+#include "util/retry.hpp"
+#include "vcluster/cluster.hpp"
+
+namespace awp {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::FaultSpec;
+using fault::ScopedInjection;
+
+TEST(FaultInjector, FiresOnScheduledOccurrenceOnly) {
+  FaultPlan plan;
+  plan.add({"site.a", FaultKind::TransientIoError, /*rank=*/-1,
+            /*occurrence=*/3, /*count=*/2, 0.0});
+  FaultInjector injector(std::move(plan), /*seed=*/7);
+  EXPECT_FALSE(injector.check("site.a", 0).has_value());  // op 1
+  EXPECT_FALSE(injector.check("site.a", 0).has_value());  // op 2
+  auto third = injector.check("site.a", 0);               // op 3: fires
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->kind, FaultKind::TransientIoError);
+  EXPECT_TRUE(injector.check("site.a", 0).has_value());   // op 4: count=2
+  EXPECT_FALSE(injector.check("site.a", 0).has_value());  // op 5: done
+  EXPECT_EQ(injector.faultsInjected(), 2u);
+  const auto stats = injector.stats();
+  EXPECT_EQ(stats.at("site.a").operations, 5u);
+  EXPECT_EQ(stats.at("site.a").injected, 2u);
+}
+
+TEST(FaultInjector, RankFilterAndPerRankStreams) {
+  FaultPlan plan;
+  plan.transientIoError("site.b", /*rank=*/1, /*occurrence=*/1);
+  FaultInjector injector(std::move(plan), 7);
+  // Rank 0's first op does not fire; rank 1's does — each rank counts its
+  // own occurrence stream, so the outcome is independent of interleaving.
+  EXPECT_FALSE(injector.check("site.b", 0).has_value());
+  EXPECT_TRUE(injector.check("site.b", 1).has_value());
+  EXPECT_FALSE(injector.check("site.b", 1).has_value());
+}
+
+TEST(FaultInjector, UnrelatedSitesAreUntouched) {
+  FaultPlan plan;
+  plan.bitFlip("site.c", -1, 1);
+  FaultInjector injector(std::move(plan), 7);
+  EXPECT_FALSE(injector.check("site.other", 0).has_value());
+  auto act = injector.check("site.c", 0);
+  ASSERT_TRUE(act.has_value());
+  EXPECT_EQ(act->kind, FaultKind::BitFlip);
+}
+
+TEST(FaultInjector, BitChoiceIsDeterministic) {
+  auto run = [] {
+    FaultPlan plan;
+    plan.bitFlip("site.d", 2, 1);
+    FaultInjector injector(std::move(plan), 99);
+    return injector.check("site.d", 2)->flipBit;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultInjector, DisabledByDefault) {
+  EXPECT_FALSE(fault::injectionEnabled());
+  EXPECT_EQ(fault::activeInjector(), nullptr);
+  {
+    FaultInjector injector(FaultPlan{}, 1);
+    ScopedInjection scope(injector);
+    EXPECT_TRUE(fault::injectionEnabled());
+  }
+  EXPECT_FALSE(fault::injectionEnabled());
+}
+
+TEST(CommFaults, MessageDropNeverArrives) {
+  FaultPlan plan;
+  plan.add({"comm.send", FaultKind::MessageDrop, /*rank=*/0,
+            /*occurrence=*/1, /*count=*/1, 0.0});
+  FaultInjector injector(std::move(plan), 5);
+  ScopedInjection scope(injector);
+  vcluster::ThreadCluster::run(2, [](vcluster::Communicator& comm) {
+    if (comm.rank() == 0) {
+      const int v = 123;
+      comm.send(1, 7, &v, sizeof(v));  // dropped
+      comm.send(1, 7, &v, sizeof(v));  // arrives
+    } else {
+      // Only one message is ever delivered for the envelope.
+      const int got = comm.recvValue<int>(0, 7);
+      EXPECT_EQ(got, 123);
+    }
+    comm.barrier();
+    if (comm.rank() == 1) {
+      EXPECT_EQ(comm.stats().messagesDropped.load(), 1u);
+    }
+  });
+}
+
+TEST(CommFaults, MessageDuplicateDeliversTwice) {
+  FaultPlan plan;
+  plan.add({"comm.send", FaultKind::MessageDuplicate, /*rank=*/0,
+            /*occurrence=*/1, /*count=*/1, 0.0});
+  FaultInjector injector(std::move(plan), 5);
+  ScopedInjection scope(injector);
+  vcluster::ThreadCluster::run(2, [](vcluster::Communicator& comm) {
+    if (comm.rank() == 0) {
+      const double v = 2.5;
+      comm.send(1, 3, &v, sizeof(v));
+    } else {
+      EXPECT_EQ(comm.recvValue<double>(0, 3), 2.5);
+      EXPECT_EQ(comm.recvValue<double>(0, 3), 2.5);  // the duplicate
+      EXPECT_EQ(comm.stats().messagesDuplicated.load(), 1u);
+    }
+  });
+}
+
+TEST(CommFaults, PayloadBitFlipIsDetectable) {
+  FaultPlan plan;
+  plan.bitFlip("comm.send", /*rank=*/0, /*occurrence=*/1);
+  FaultInjector injector(std::move(plan), 11);
+  ScopedInjection scope(injector);
+  vcluster::ThreadCluster::run(2, [](vcluster::Communicator& comm) {
+    std::vector<std::byte> payload(64, std::byte{0});
+    if (comm.rank() == 0) {
+      comm.send(1, 9, payload.data(), payload.size());
+    } else {
+      std::vector<std::byte> got(64);
+      comm.recv(0, 9, got.data(), got.size());
+      // Exactly one bit differs from the all-zero payload.
+      int bitsSet = 0;
+      for (const auto b : got)
+        bitsSet += __builtin_popcount(static_cast<unsigned>(b));
+      EXPECT_EQ(bitsSet, 1);
+    }
+  });
+}
+
+class SharedFileFaults : public ::testing::Test {
+ protected:
+  SharedFileFaults() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("awp_fault_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  ~SharedFileFaults() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(SharedFileFaults, TransientWriteErrorIsRetriedTransparently) {
+  FaultPlan plan;
+  plan.transientIoError("sharedfile.write", /*rank=*/-1, /*occurrence=*/1,
+                        /*count=*/2);
+  FaultInjector injector(std::move(plan), 3);
+  ScopedInjection scope(injector);
+  util::resetRetryRegistry();
+
+  io::SharedFile f(path("t.bin"), io::SharedFile::Mode::Write);
+  const std::vector<float> data = {1.f, 2.f, 3.f};
+  f.writeAt(0, std::span<const float>(data));  // retried internally
+
+  std::vector<float> back(3);
+  f.readAt(0, std::span<float>(back));
+  EXPECT_EQ(back, data);
+  const auto reg = util::retryRegistrySnapshot();
+  EXPECT_EQ(reg.at("sharedfile.write").failures, 2u);
+  EXPECT_EQ(reg.at("sharedfile.write").exhausted, 0u);
+}
+
+TEST_F(SharedFileFaults, ExhaustedShortWritesLeaveATornFile) {
+  FaultPlan plan;
+  // More consecutive short writes than the file's retry budget.
+  plan.add({"sharedfile.write", FaultKind::ShortWrite, -1, 1, 16, 0.0});
+  FaultInjector injector(std::move(plan), 3);
+  ScopedInjection scope(injector);
+
+  io::SharedFile f(path("torn.bin"), io::SharedFile::Mode::Write);
+  std::vector<std::byte> data(64, std::byte{0x5a});
+  EXPECT_THROW(f.writeAt(0, std::span<const std::byte>(data)),
+               TransientError);
+  // Only the injected prefix landed.
+  EXPECT_EQ(f.size(), 32u);
+}
+
+TEST_F(SharedFileFaults, InjectedEnospcIsPermanent) {
+  FaultPlan plan;
+  plan.add({"sharedfile.write", FaultKind::NoSpace, -1, 1, 1, 0.0});
+  FaultInjector injector(std::move(plan), 3);
+  ScopedInjection scope(injector);
+  util::resetRetryRegistry();
+
+  io::SharedFile f(path("full.bin"), io::SharedFile::Mode::Write);
+  std::vector<std::byte> data(8, std::byte{1});
+  EXPECT_THROW(f.writeAt(0, std::span<const std::byte>(data)), Error);
+  // Permanent errors are not retried.
+  EXPECT_EQ(util::retryRegistrySnapshot().at("sharedfile.write").attempts,
+            1u);
+}
+
+TEST_F(SharedFileFaults, ReadBitFlipCorruptsExactlyOneBit) {
+  {
+    io::SharedFile f(path("r.bin"), io::SharedFile::Mode::Write);
+    std::vector<std::byte> zeros(32, std::byte{0});
+    f.writeAt(0, std::span<const std::byte>(zeros));
+  }
+  FaultPlan plan;
+  plan.bitFlip("sharedfile.read", -1, 1);
+  FaultInjector injector(std::move(plan), 21);
+  ScopedInjection scope(injector);
+
+  io::SharedFile f(path("r.bin"), io::SharedFile::Mode::Read);
+  std::vector<std::byte> got(32);
+  f.readAt(0, std::span<std::byte>(got));
+  int bitsSet = 0;
+  for (const auto b : got)
+    bitsSet += __builtin_popcount(static_cast<unsigned>(b));
+  EXPECT_EQ(bitsSet, 1);
+}
+
+}  // namespace
+}  // namespace awp

@@ -12,7 +12,10 @@
 #include "analysis/aval.hpp"
 #include "analysis/pgv.hpp"
 #include "core/solver.hpp"
+#include "fault/injector.hpp"
+#include "io/checkpoint.hpp"
 #include "io/checksum.hpp"
+#include "util/retry.hpp"
 #include "mesh/generator.hpp"
 #include "mesh/partitioner.hpp"
 #include "rupture/solver.hpp"
@@ -275,6 +278,104 @@ TEST_F(IntegrationTest, ChecksummedSurfaceOutputRoundTrip) {
   // Layout: 12 sampled steps of 3 floats per decimated surface point.
   io::SharedFile file(out, io::SharedFile::Mode::Read);
   EXPECT_EQ(file.size(), 12ull * 3 * 16 * 16 * sizeof(float));
+}
+
+TEST_F(IntegrationTest, ChaosRestartReproducesUninterruptedRun) {
+  // Resilience end-to-end (§III.F/§III.H): run a simulation under fault
+  // injection — the newest checkpoint generation of rank 1 is silently
+  // corrupted on disk and rank 0 sees transient write errors — then
+  // restart a fresh solver. The collective restart must agree on the
+  // newest step valid on *every* rank (the older generation), and the
+  // restarted receiver traces must be bit-identical to the uninterrupted
+  // run's tail.
+  const grid::GridDims dims{28, 20, 14};
+  const std::string ckptDir = (dir_ / "ckpt").string();
+  const CartTopology topo(Dims3{2, 1, 1});
+
+  auto makeSolver = [&](vcluster::Communicator& comm,
+                        io::CheckpointStore* store) {
+    core::SolverConfig config;
+    config.globalDims = dims;
+    config.h = 600.0;
+    auto solver = std::make_unique<core::WaveSolver>(
+        comm, topo, config, vmodel::Material{5200.0f, 3000.0f, 2700.0f});
+    solver->addSource(core::explosionPointSource(
+        14, 10, 7,
+        core::rickerWavelet(2.0, 0.5, solver->config().dt, 40, 1e15)));
+    solver->addReceiver("site", 20, 12);
+    if (store != nullptr) solver->attachCheckpoints(store, 10);
+    return solver;
+  };
+
+  // Run A: fault-free reference, 30 steps.
+  std::vector<core::SeismogramTrace> refTraces;
+  ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+    io::CheckpointStore store((dir_ / "ref_ckpt").string());
+    auto solver = makeSolver(comm, &store);
+    solver->run(30);
+    auto gathered = solver->receivers().gather(comm);
+    if (comm.rank() == 0) refTraces = std::move(gathered);
+  });
+  ASSERT_EQ(refTraces.size(), 1u);
+  ASSERT_EQ(refTraces[0].u.size(), 30u);
+
+  // Run B: same simulation under fault injection. Rank 1's second
+  // checkpoint (step 20) is bit-flipped on disk; rank 0's second
+  // checkpoint hits two transient write errors, which the shared-file
+  // retry layer absorbs. Physics is unaffected either way.
+  fault::FaultPlan plan;
+  plan.bitFlip("ckpt.payload", /*rank=*/1, /*occurrence=*/2);
+  plan.transientIoError("sharedfile.write", /*rank=*/0, /*occurrence=*/3,
+                        /*count=*/2);
+  fault::FaultInjector injector(std::move(plan), /*seed=*/2026);
+  util::resetRetryRegistry();
+  std::vector<core::SeismogramTrace> chaosTraces;
+  {
+    fault::ScopedInjection scope(injector);
+    ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+      io::CheckpointStore store(ckptDir);
+      auto solver = makeSolver(comm, &store);
+      solver->run(30);
+      auto gathered = solver->receivers().gather(comm);
+      if (comm.rank() == 0) chaosTraces = std::move(gathered);
+    });
+  }
+  // All three scheduled faults fired, and the transient errors were
+  // recovered by retries without exhausting the budget.
+  EXPECT_EQ(injector.faultsInjected(), 3u);
+  const auto reg = util::retryRegistrySnapshot();
+  EXPECT_EQ(reg.at("sharedfile.write").failures, 2u);
+  EXPECT_EQ(reg.at("sharedfile.write").exhausted, 0u);
+  // The faults were invisible to the running simulation.
+  ASSERT_EQ(chaosTraces.size(), 1u);
+  EXPECT_EQ(chaosTraces[0].u, refTraces[0].u);
+
+  // Run B2: fresh solver, no injection. Rank 0's newest valid step is 20
+  // but rank 1's step-20 generation fails its digest check, so the
+  // collective restart must agree on step 10 for everyone.
+  std::vector<core::SeismogramTrace> restartTraces;
+  ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+    io::CheckpointStore store(ckptDir);
+    EXPECT_EQ(store.newestValidStep(comm.rank()),
+              comm.rank() == 0 ? 20u : 10u);
+    auto solver = makeSolver(comm, &store);
+    solver->restart();
+    EXPECT_EQ(solver->currentStep(), 11u);
+    solver->run(30 - solver->currentStep());
+    auto gathered = solver->receivers().gather(comm);
+    if (comm.rank() == 0) restartTraces = std::move(gathered);
+  });
+
+  // The restarted tail is bit-identical to the uninterrupted run.
+  ASSERT_EQ(restartTraces.size(), 1u);
+  const auto& ref = refTraces[0];
+  const auto& got = restartTraces[0];
+  ASSERT_EQ(got.u.size(), 19u);
+  for (std::size_t k = 0; k < got.u.size(); ++k) {
+    ASSERT_EQ(got.u[k], ref.u[11 + k]) << "step " << 11 + k;
+    ASSERT_EQ(got.v[k], ref.v[11 + k]) << "step " << 11 + k;
+    ASSERT_EQ(got.w[k], ref.w[11 + k]) << "step " << 11 + k;
+  }
 }
 
 }  // namespace

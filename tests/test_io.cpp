@@ -171,6 +171,89 @@ TEST_F(CheckpointTest, DetectsCorruption) {
   EXPECT_THROW(store.read(0), Error);
 }
 
+TEST_F(CheckpointTest, KeepsTwoGenerationsAndRotates) {
+  CheckpointStore store(path("ckpt"));
+  std::vector<std::byte> s1(32, std::byte{1});
+  std::vector<std::byte> s2(32, std::byte{2});
+  std::vector<std::byte> s3(32, std::byte{3});
+  store.write(0, 10, s1);
+  store.write(0, 20, s2);
+  // Newest wins on read; both generations exist on disk.
+  EXPECT_EQ(store.read(0).step, 20u);
+  EXPECT_EQ(store.newestValidStep(0), 20u);
+  EXPECT_EQ(store.readStep(0, 10).state, s1);
+  // A third write overwrites the *older* generation, never the newest.
+  store.write(0, 30, s3);
+  EXPECT_EQ(store.read(0).step, 30u);
+  EXPECT_EQ(store.readStep(0, 20).state, s2);
+  EXPECT_THROW(store.readStep(0, 10), Error);  // rotated out
+  // Writes are atomic: no .tmp litter remains.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(path("ckpt")))
+    EXPECT_EQ(entry.path().extension(), ".bin");
+}
+
+TEST_F(CheckpointTest, FallsBackOnPayloadDigestMismatch) {
+  CheckpointStore store(path("ckpt"));
+  std::vector<std::byte> oldState(128, std::byte{0xaa});
+  std::vector<std::byte> newState(128, std::byte{0xbb});
+  store.write(2, 100, oldState);
+  store.write(2, 200, newState);
+  // Corrupt one payload byte of the newest generation.
+  {
+    SharedFile f(store.pathFor(2), SharedFile::Mode::ReadWrite);
+    const std::byte evil{0xff};
+    f.writeAt(f.size() - 5, std::span<const std::byte>(&evil, 1));
+  }
+  const auto restored = store.read(2);  // falls back, does not throw
+  EXPECT_EQ(restored.step, 100u);
+  EXPECT_EQ(restored.state, oldState);
+  EXPECT_EQ(store.newestValidStep(2), 100u);
+}
+
+TEST_F(CheckpointTest, FallsBackOnTornHeader) {
+  CheckpointStore store(path("ckpt"));
+  std::vector<std::byte> oldState(64, std::byte{0x11});
+  std::vector<std::byte> newState(64, std::byte{0x22});
+  store.write(1, 10, oldState);
+  store.write(1, 20, newState);
+  // Tear the newest generation mid-header (truncated file).
+  {
+    SharedFile f(store.pathFor(1), SharedFile::Mode::ReadWrite);
+    f.truncate(17);
+  }
+  const auto restored = store.read(1);
+  EXPECT_EQ(restored.step, 10u);
+  EXPECT_EQ(restored.state, oldState);
+}
+
+TEST_F(CheckpointTest, MissingNewestGenerationUsesPrevious) {
+  CheckpointStore store(path("ckpt"));
+  std::vector<std::byte> oldState(64, std::byte{0x33});
+  std::vector<std::byte> newState(64, std::byte{0x44});
+  store.write(0, 5, oldState);
+  store.write(0, 6, newState);
+  std::filesystem::remove(store.pathFor(0));  // lose the newest file
+  EXPECT_TRUE(store.exists(0));
+  const auto restored = store.read(0);
+  EXPECT_EQ(restored.step, 5u);
+  EXPECT_EQ(restored.state, oldState);
+}
+
+TEST_F(CheckpointTest, BothGenerationsCorruptThrows) {
+  CheckpointStore store(path("ckpt"));
+  std::vector<std::byte> state(64, std::byte{0x55});
+  store.write(0, 1, state);
+  store.write(0, 2, state);
+  for (int g = 0; g < CheckpointStore::kGenerations; ++g) {
+    SharedFile f(store.pathFor(0, g), SharedFile::Mode::ReadWrite);
+    const std::byte evil{0xf0};
+    f.writeAt(f.size() - 1, std::span<const std::byte>(&evil, 1));
+  }
+  EXPECT_THROW(store.read(0), Error);
+  EXPECT_FALSE(store.newestValidStep(0).has_value());
+}
+
 TEST_F(CheckpointTest, PerRankParallelWrites) {
   CheckpointStore store(path("ckpt"));
   OpenThrottle throttle(2);

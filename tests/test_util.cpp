@@ -1,20 +1,139 @@
-// Unit tests for src/util: containers, RNG, FFT, MD5, filters, statistics.
+// Unit tests for src/util: containers, RNG, FFT, MD5, filters, statistics,
+// and the shared retry policy.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "util/array3.hpp"
 #include "util/error.hpp"
 #include "util/fft.hpp"
 #include "util/filter.hpp"
 #include "util/md5.hpp"
+#include "util/retry.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace awp {
 namespace {
+
+TEST(Retry, SucceedsAfterTransientFailures) {
+  util::RetryPolicy policy;
+  policy.maxAttempts = 5;
+  int calls = 0;
+  util::RetryStats stats;
+  const int result = util::retryCall(
+      policy, "test.transient",
+      [&] {
+        if (++calls < 3) throw TransientError("flaky");
+        return 42;
+      },
+      &stats);
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.failures, 2);
+  EXPECT_EQ(stats.lastError, "flaky");
+}
+
+TEST(Retry, ExhaustsAttemptsAndRethrows) {
+  util::RetryPolicy policy;
+  policy.maxAttempts = 3;
+  int calls = 0;
+  util::RetryStats stats;
+  EXPECT_THROW(util::retryCall(
+                   policy, "test.exhaust",
+                   [&]() -> int { ++calls; throw TransientError("down"); },
+                   &stats),
+               TransientError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.failures, 3);
+}
+
+TEST(Retry, PermanentErrorsAreNotRetried) {
+  util::RetryPolicy policy;
+  policy.maxAttempts = 5;
+  int calls = 0;
+  EXPECT_THROW(util::retryCall(policy, "test.permanent",
+                               [&]() -> int {
+                                 ++calls;
+                                 throw Error("disk gone");
+                               }),
+               Error);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, RetryCallAnyRetriesNonStandardThrows) {
+  util::RetryPolicy policy;
+  policy.maxAttempts = 4;
+  int calls = 0;
+  const int result = util::retryCallAny(policy, "test.any", [&] {
+    if (++calls < 4) throw 17;  // not a std::exception
+    return 7;
+  });
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(Retry, AttemptIndexIsPassedWhenRequested) {
+  util::RetryPolicy policy;
+  policy.maxAttempts = 3;
+  std::vector<int> seen;
+  util::retryCall(policy, "test.index", [&](int attempt) {
+    seen.push_back(attempt);
+    if (attempt < 3) throw TransientError("again");
+  });
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Retry, BackoffIsDeterministicBoundedAndGrowing) {
+  util::RetryPolicy policy;
+  policy.baseDelaySeconds = 0.010;
+  policy.backoffFactor = 2.0;
+  policy.maxDelaySeconds = 0.100;
+  policy.jitterFraction = 0.25;
+  policy.seed = 1234;
+  const double d1 = util::retryBackoffSeconds(policy, "site", 1);
+  const double d2 = util::retryBackoffSeconds(policy, "site", 2);
+  // Same inputs, same delay (deterministic jitter).
+  EXPECT_DOUBLE_EQ(d1, util::retryBackoffSeconds(policy, "site", 1));
+  // Jitter stays within +/- 25% of the nominal exponential delay.
+  EXPECT_GT(d1, 0.010 * 0.75);
+  EXPECT_LT(d1, 0.010 * 1.25);
+  EXPECT_GT(d2, 0.020 * 0.75);
+  EXPECT_LT(d2, 0.020 * 1.25);
+  // Ceiling applies (nominal would be 0.64s at failure 7).
+  EXPECT_LE(util::retryBackoffSeconds(policy, "site", 7), 0.100 * 1.25);
+  // Different sites draw different jitter.
+  EXPECT_NE(util::retryBackoffSeconds(policy, "siteA", 1),
+            util::retryBackoffSeconds(policy, "siteB", 1));
+  // Zero base delay means no sleeping at all.
+  policy.baseDelaySeconds = 0.0;
+  EXPECT_DOUBLE_EQ(util::retryBackoffSeconds(policy, "site", 3), 0.0);
+}
+
+TEST(Retry, RegistryAggregatesPerSite) {
+  util::resetRetryRegistry();
+  util::RetryPolicy policy;
+  policy.maxAttempts = 2;
+  int calls = 0;
+  util::retryCall(policy, "test.registry", [&] {
+    if (++calls < 2) throw TransientError("once");
+  });
+  EXPECT_THROW(
+      util::retryCall(policy, "test.registry",
+                      [&] { throw TransientError("always"); }),
+      TransientError);
+  const auto snapshot = util::retryRegistrySnapshot();
+  const auto& site = snapshot.at("test.registry");
+  EXPECT_EQ(site.calls, 2u);
+  EXPECT_EQ(site.attempts, 4u);
+  EXPECT_EQ(site.failures, 3u);
+  EXPECT_EQ(site.exhausted, 1u);
+}
 
 TEST(Array3, IndexingIsXFastest) {
   Array3<int> a(3, 4, 5);

@@ -7,8 +7,10 @@
 
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "util/error.hpp"
+#include "util/retry.hpp"
 #include "workflow/archive.hpp"
 #include "workflow/e2eaw.hpp"
 #include "workflow/transfer.hpp"
@@ -176,6 +178,109 @@ TEST(Pipeline, RerunnableAfterFailure) {
   EXPECT_FALSE(p.run());
   EXPECT_TRUE(p.run());
   EXPECT_EQ(p.results()[0].detail, "recovered");
+}
+
+TEST(Pipeline, NonStandardThrowIsCaughtAndReported) {
+  Pipeline p;
+  bool afterRan = false;
+  p.addStage("weird", []() -> std::string { throw 42; });
+  p.addStage("after", [&] {
+    afterRan = true;
+    return "never";
+  });
+  EXPECT_FALSE(p.run());
+  EXPECT_FALSE(afterRan);
+  ASSERT_EQ(p.results().size(), 2u);
+  EXPECT_FALSE(p.results()[0].ok);
+  EXPECT_EQ(p.results()[0].detail, "non-standard exception");
+  EXPECT_FALSE(p.results()[1].ran);
+}
+
+TEST(Pipeline, StageRetryPolicyRecoversAndLogsAttempts) {
+  Pipeline p;
+  int calls = 0;
+  util::RetryPolicy policy;
+  policy.maxAttempts = 3;
+  policy.baseDelaySeconds = 0.0;
+  p.addStage(
+      "flaky",
+      [&]() -> std::string {
+        if (++calls < 3) throw Error("not yet");
+        return "done";
+      },
+      policy);
+  EXPECT_TRUE(p.run());
+  EXPECT_EQ(calls, 3);
+  const auto& r = p.results()[0];
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.attempts, 3);
+  ASSERT_EQ(r.attemptLog.size(), 3u);
+  EXPECT_FALSE(r.attemptLog[0].ok);
+  EXPECT_EQ(r.attemptLog[0].detail, "not yet");
+  EXPECT_FALSE(r.attemptLog[1].ok);
+  EXPECT_TRUE(r.attemptLog[2].ok);
+  EXPECT_EQ(r.detail, "done");
+}
+
+TEST(Pipeline, StageRetryExhaustionFailsTheRun) {
+  Pipeline p;
+  util::RetryPolicy policy;
+  policy.maxAttempts = 2;
+  policy.baseDelaySeconds = 0.0;
+  p.addStage(
+      "doomed", []() -> std::string { throw Error("always"); }, policy);
+  EXPECT_FALSE(p.run());
+  const auto& r = p.results()[0];
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(r.attemptLog.size(), 2u);
+  EXPECT_EQ(r.detail, "always");
+}
+
+TEST_F(WorkflowTest, ChunkFailuresAreReorderInvariant) {
+  makeFile("a.bin", 4 << 20, 0x10);
+  makeFile("b.bin", 4 << 20, 0x20);
+  TransferConfig config;
+  config.chunkFailureProb = 0.25;
+  config.seed = 7;
+
+  auto failedChunks = [](const TransferReport& report,
+                         const std::string& file) {
+    std::vector<std::uint64_t> chunks;
+    for (const auto& rec : report.records)
+      if (rec.file == file) chunks.push_back(rec.chunkIndex);
+    return chunks;
+  };
+
+  TransferChannel forward(config);
+  const auto ab =
+      forward.transfer(src_.string(), dst_.string(), {"a.bin", "b.bin"});
+  std::filesystem::remove_all(dst_);
+  std::filesystem::create_directories(dst_);
+  TransferChannel backward(config);
+  const auto ba =
+      backward.transfer(src_.string(), dst_.string(), {"b.bin", "a.bin"});
+
+  // The same file fails the same chunks regardless of list position.
+  EXPECT_GT(ab.chunksFailed, 0u);
+  EXPECT_EQ(ab.chunksFailed, ba.chunksFailed);
+  EXPECT_EQ(failedChunks(ab, "a.bin"), failedChunks(ba, "a.bin"));
+  EXPECT_EQ(failedChunks(ab, "b.bin"), failedChunks(ba, "b.bin"));
+  EXPECT_TRUE(ab.allVerified);
+  EXPECT_TRUE(ba.allVerified);
+}
+
+TEST_F(WorkflowTest, TransferReportCountsAttempts) {
+  makeFile("clean.bin", 2 << 20, 0x01);
+  TransferConfig config;  // no failures
+  TransferChannel channel(config);
+  const auto report =
+      channel.transfer(src_.string(), dst_.string(), {"clean.bin"});
+  const std::uint64_t nChunks =
+      ((2u << 20) + config.chunkBytes - 1) / config.chunkBytes;
+  // One attempt per chunk on a clean run; failures add extras.
+  EXPECT_EQ(report.attempts, nChunks);
+  EXPECT_EQ(report.chunksFailed, 0u);
 }
 
 }  // namespace
