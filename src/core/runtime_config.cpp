@@ -131,6 +131,28 @@ RuntimeConfig parseRuntimeConfig(const std::string& text,
       else fail(lineNo, "mesh_io must be prepartitioned, ondemand or direct");
     } else if (key == "checksums") {
       config.checksums = parseSwitch(value, lineNo);
+    } else if (key == "health") {
+      s.health.enabled = parseSwitch(value, lineNo);
+    } else if (key == "health_interval") {
+      s.health.monitor.everySteps = parseInt(value, lineNo);
+      if (s.health.monitor.everySteps < 1)
+        fail(lineNo, "health_interval must be >= 1");
+    } else if (key == "health_max_rollbacks") {
+      s.health.maxRollbacks = parseInt(value, lineNo);
+      if (s.health.maxRollbacks < 0)
+        fail(lineNo, "health_max_rollbacks must be >= 0");
+    } else if (key == "health_dt_tighten") {
+      s.health.dtTighten = parseDouble(value, lineNo);
+      if (s.health.dtTighten <= 0.0 || s.health.dtTighten >= 1.0)
+        fail(lineNo, "health_dt_tighten must be in (0, 1)");
+    } else if (key == "health_growth_limit") {
+      s.health.monitor.growthLimit = parseDouble(value, lineNo);
+      if (s.health.monitor.growthLimit <= 1.0)
+        fail(lineNo, "health_growth_limit must be > 1");
+    } else if (key == "health_stall_timeout") {
+      s.health.stallTimeoutSeconds = parseDouble(value, lineNo);
+      if (s.health.stallTimeoutSeconds <= 0.0)
+        fail(lineNo, "health_stall_timeout must be > 0");
     } else {
       fail(lineNo, "unknown key '" + key + "'");
     }

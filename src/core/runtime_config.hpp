@@ -26,6 +26,12 @@
 //   output_sample_steps / output_decimation / output_aggregate = <n>
 //   mesh_io         = prepartitioned | ondemand | direct
 //   checksums       = on | off
+//   health          = on | off           (numerical health guard)
+//   health_interval = <steps>            (monitor scan cadence)
+//   health_max_rollbacks = <n>
+//   health_dt_tighten    = <factor in (0,1)>
+//   health_growth_limit  = <ratio > 1>
+//   health_stall_timeout = <seconds>     (rank watchdog)
 
 #include <string>
 

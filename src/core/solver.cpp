@@ -1,7 +1,12 @@
 #include "core/solver.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <limits>
+#include <thread>
 
+#include "fault/injector.hpp"
 #include "util/error.hpp"
 
 namespace awp::core {
@@ -51,6 +56,10 @@ void WaveSolver::init(const mesh::MeshBlock& block) {
     const double localDt = probe.stableDt();
     dt = comm_.allreduce(localDt, vcluster::ReduceOp::Min);
     config_.dt = dt;
+    dtDerived_ = true;
+    if (comm_.rank() == 0)
+      std::fprintf(stderr, "[awp] CFL-derived dt = %.6g s (h = %g m)\n", dt,
+                   config_.h);
   }
 
   grid_ = std::make_unique<grid::StaggeredGrid>(local, config_.h, dt,
@@ -76,6 +85,9 @@ void WaveSolver::init(const mesh::MeshBlock& block) {
     pml_ = std::make_unique<PmlBoundary>(geom_, *grid_, config_.pml, vpMax);
   }
   surface_ = std::make_unique<SurfaceMonitor>(geom_);
+
+  if (config_.health.enabled)
+    guard_ = std::make_unique<health::HealthGuard>(config_.health);
 }
 
 void WaveSolver::addSource(MomentRateSource src) {
@@ -227,12 +239,50 @@ void WaveSolver::observationPhase() {
 
   if (checkpoints_ != nullptr && checkpointEvery_ > 0 && step_ > 0 &&
       step_ % static_cast<std::size_t>(checkpointEvery_) == 0) {
-    ScopedPhase t(phases_, Phase::Output);
-    checkpoints_->write(comm_.rank(), step_, grid_->saveState());
+    // Checkpoint veto: never persist a non-finite state. A blow-up that
+    // slips a NaN into a checkpoint between poisoning and detection would
+    // turn every later rollback into a restore-garbage-retry loop. The
+    // veto is COLLECTIVE: if any rank is poisoned, no rank writes —
+    // otherwise the clean ranks' two-generation stores rotate past the
+    // last step the poisoned rank can still restore.
+    bool veto = false;
+    if (guard_) {
+      const std::int64_t bad =
+          health::FieldMonitor::allFinite(*grid_) ? 0 : 1;
+      veto = comm_.allreduce(bad, vcluster::ReduceOp::Max) != 0;
+    }
+    if (veto) {
+      guard_->noteCheckpointVeto(step_);
+    } else {
+      ScopedPhase t(phases_, Phase::Output);
+      checkpoints_->write(comm_.rank(), step_, grid_->saveState());
+    }
   }
 }
 
 void WaveSolver::step() {
+  // Fault hook: the injector can wedge this rank (RankStall — exercises
+  // the watchdog) or poison one deterministic interior cell (FieldPoison —
+  // exercises blow-up detection and rollback).
+  if (fault::injectionEnabled()) {
+    if (auto act =
+            fault::activeInjector()->check("solver.step", comm_.rank())) {
+      if (act->kind == fault::FaultKind::RankStall)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(act->stallSeconds));
+      if (act->kind == fault::FaultKind::FieldPoison) {
+        const auto& d = grid_->dims();
+        const std::size_t n = act->flipBit % d.count();
+        grid_->u(kHalo + n % d.nx, kHalo + (n / d.nx) % d.ny,
+                 kHalo + n / (d.nx * d.ny)) =
+            std::numeric_limits<float>::quiet_NaN();
+      }
+    }
+  }
+  // Heartbeat AFTER the fault hook: a stalled rank's last beat stays one
+  // step behind its neighbors (which beat, then block in the halo
+  // exchange), so the watchdog can name the origin of a stall.
+  if (guard_) guard_->beat(comm_.rank(), step_);
   velocityPhase();
   stressPhase();
   observationPhase();
@@ -243,11 +293,75 @@ void WaveSolver::step() {
   ++step_;
 }
 
+health::PreflightContext WaveSolver::buildPreflightContext(
+    std::size_t plannedSteps) const {
+  health::PreflightContext ctx;
+  ctx.grid = grid_.get();
+  ctx.globalDims = config_.globalDims;
+  ctx.dt = config_.dt;
+  ctx.h = config_.h;
+  ctx.limits = config_.health.limits;
+  switch (config_.absorbing) {
+    case AbsorbingType::None:
+      break;
+    case AbsorbingType::Sponge:
+      ctx.boundary = health::BoundaryKind::Sponge;
+      ctx.boundaryWidth = config_.spongeWidth;
+      break;
+    case AbsorbingType::Pml:
+      ctx.boundary = health::BoundaryKind::Pml;
+      ctx.boundaryWidth = config_.pml.width;
+      break;
+  }
+  ctx.touchesXMin = geom_.touchesXMin();
+  ctx.touchesXMax = geom_.touchesXMax();
+  ctx.touchesYMin = geom_.touchesYMin();
+  ctx.touchesYMax = geom_.touchesYMax();
+  ctx.touchesBottom = geom_.touchesBottom();
+  ctx.plannedSteps = plannedSteps;
+  for (const auto& s : sources_.sources())
+    ctx.sources.push_back({s.gi, s.gj, s.gk, s.stepCount()});
+  return ctx;
+}
+
+void WaveSolver::handleBlowup(const health::ClusterVerdict& cv) {
+  // Every rank saw the same allreduced verdict and shares the same rollback
+  // budget, so all take the same branch — recovery and abort are both
+  // collective.
+  if (checkpoints_ != nullptr && guard_->rollbackBudgetLeft()) {
+    const std::size_t from = step_;
+    try {
+      restart();
+    } catch (const Error& e) {
+      throw Error(guard_->abortDump(cv, from) +
+                  "; rollback failed: " + e.what());
+    }
+    const double newDt = config_.dt * config_.health.dtTighten;
+    config_.dt = newDt;
+    grid_->setDt(newDt);
+    guard_->noteRollback(from, step_, newDt);
+    return;
+  }
+  throw Error(guard_->abortDump(cv, step_));
+}
+
 void WaveSolver::run(std::size_t nSteps,
                      const std::function<void(std::size_t)>& onStep) {
-  for (std::size_t n = 0; n < nSteps; ++n) {
+  if (guard_ && !preflightDone_) {
+    guard_->preflight(comm_, buildPreflightContext(nSteps));
+    preflightDone_ = true;
+  }
+  const std::size_t target = step_ + nSteps;
+  while (step_ < target) {
     step();
     if (onStep) onStep(step_);
+    // Scan on the monitor cadence plus once at the end of the run, so a
+    // run can never return an undetected non-finite field. A Fatal verdict
+    // rolls step_ back below target and the loop re-runs the window.
+    if (guard_ && (guard_->scanDue(step_) || step_ == target)) {
+      const auto cv = guard_->evaluate(comm_, *grid_, step_);
+      if (cv.verdict == health::Verdict::Fatal) handleBlowup(cv);
+    }
   }
   if (surfaceWriter_) surfaceWriter_->flush();
 }

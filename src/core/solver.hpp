@@ -26,6 +26,7 @@
 #include "core/sponge.hpp"
 #include "grid/halo.hpp"
 #include "grid/staggered_grid.hpp"
+#include "health/guard.hpp"
 #include "io/aggregated_writer.hpp"
 #include "io/checkpoint.hpp"
 #include "util/timer.hpp"
@@ -57,6 +58,9 @@ struct SolverConfig {
   int spongeWidth = 20;
   PmlConfig pml;
   bool freeSurface = true;
+
+  // Runtime health guard (preflight + blow-up monitor + rollback budget).
+  health::HealthConfig health;
 };
 
 // Optional aggregated surface-velocity output (§III.E).
@@ -91,6 +95,13 @@ class WaveSolver {
   void restart();
 
   [[nodiscard]] std::size_t currentStep() const { return step_; }
+  // The effective time step (CFL-derived when the config asked for dt = 0,
+  // and tightened by health-guard rollbacks).
+  [[nodiscard]] double dt() const { return config_.dt; }
+  [[nodiscard]] bool dtDerived() const { return dtDerived_; }
+  // The health guard, when config.health.enabled (nullptr otherwise) —
+  // tests and harnesses read its event trail.
+  [[nodiscard]] health::HealthGuard* healthGuard() { return guard_.get(); }
   [[nodiscard]] grid::StaggeredGrid& grid() { return *grid_; }
   [[nodiscard]] const DomainGeometry& geometry() const { return geom_; }
   [[nodiscard]] const SolverConfig& config() const { return config_; }
@@ -111,6 +122,12 @@ class WaveSolver {
   void velocityPhase();
   void stressPhase();
   void observationPhase();
+  [[nodiscard]] health::PreflightContext buildPreflightContext(
+      std::size_t plannedSteps) const;
+  // Collective recovery from a Fatal cluster verdict: roll back to the
+  // agreed checkpoint generation and tighten dt, or (budget exhausted /
+  // nothing to restore) throw the structured diagnostic dump on every rank.
+  void handleBlowup(const health::ClusterVerdict& cv);
 
   vcluster::Communicator& comm_;
   const vcluster::CartTopology& topo_;
@@ -133,6 +150,10 @@ class WaveSolver {
 
   io::CheckpointStore* checkpoints_ = nullptr;
   int checkpointEvery_ = 0;
+
+  std::unique_ptr<health::HealthGuard> guard_;
+  bool preflightDone_ = false;
+  bool dtDerived_ = false;
 
   PhaseTimer phases_;
   std::size_t step_ = 0;

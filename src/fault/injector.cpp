@@ -33,6 +33,7 @@ const char* toString(FaultKind kind) {
     case FaultKind::MessageDrop: return "MessageDrop";
     case FaultKind::MessageDuplicate: return "MessageDuplicate";
     case FaultKind::RankStall: return "RankStall";
+    case FaultKind::FieldPoison: return "FieldPoison";
   }
   return "?";
 }
@@ -59,6 +60,12 @@ FaultPlan& FaultPlan::stall(std::string site, int rank,
                             std::uint64_t occurrence, double seconds) {
   return add(
       {std::move(site), FaultKind::RankStall, rank, occurrence, 1, seconds});
+}
+
+FaultPlan& FaultPlan::poison(std::string site, int rank,
+                             std::uint64_t occurrence) {
+  return add(
+      {std::move(site), FaultKind::FieldPoison, rank, occurrence, 1, 0.0});
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)

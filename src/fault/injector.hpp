@@ -13,6 +13,9 @@
 //   comm.send                          — point-to-point message injection
 //   mailbox.pop                        — receive-side stall
 //   transfer.chunk                     — wide-area chunk transfer
+//   solver.step                        — top of each WaveSolver step
+//                                        (RankStall wedges a rank;
+//                                        FieldPoison NaNs one cell)
 //
 // When no injector is installed every hook is a single relaxed atomic
 // load + branch, so the disabled path adds no measurable overhead to the
@@ -37,6 +40,7 @@ enum class FaultKind {
   MessageDrop,        // comm: the message silently vanishes
   MessageDuplicate,   // comm: the message is delivered twice
   RankStall,          // sleep stallSeconds at the site
+  FieldPoison,        // solver: write NaN into one deterministic cell
 };
 
 const char* toString(FaultKind kind);
@@ -63,6 +67,7 @@ class FaultPlan {
   FaultPlan& bitFlip(std::string site, int rank, std::uint64_t occurrence);
   FaultPlan& stall(std::string site, int rank, std::uint64_t occurrence,
                    double seconds);
+  FaultPlan& poison(std::string site, int rank, std::uint64_t occurrence);
 
   [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
   [[nodiscard]] bool empty() const { return specs_.empty(); }

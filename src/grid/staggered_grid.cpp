@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -35,6 +36,11 @@ StaggeredGrid::StaggeredGrid(GridDims dims, double h, double dt,
   }
 }
 
+void StaggeredGrid::setDt(double dt) {
+  AWP_CHECK_MSG(dt > 0.0, "dt must be positive");
+  dt_ = dt;
+}
+
 Array3f& StaggeredGrid::field(FieldId f) {
   switch (f) {
     case FieldId::U:
@@ -66,6 +72,10 @@ const Array3f& StaggeredGrid::field(FieldId f) const {
 }
 
 void StaggeredGrid::setUniformMaterial(const vmodel::Material& m) {
+  if (const char* issue = vmodel::materialIssue(m))
+    throw Error(std::string("bad uniform material: ") + issue +
+                " (vp=" + std::to_string(m.vp) + " vs=" +
+                std::to_string(m.vs) + " rho=" + std::to_string(m.rho) + ")");
   rho.fill(m.rho);
   const auto muV = static_cast<float>(vmodel::muOf(m));
   const auto lamV = static_cast<float>(vmodel::lambdaOf(m));
@@ -90,6 +100,12 @@ void StaggeredGrid::setMaterial(const mesh::MeshBlock& block) {
     for (std::size_t j = 0; j < dims_.ny; ++j)
       for (std::size_t i = 0; i < dims_.nx; ++i) {
         const vmodel::Material& m = block.at(i, j, meshK);
+        if (const char* issue = vmodel::materialIssue(m))
+          throw Error(std::string("bad material: ") + issue +
+                      " at mesh cell (" + std::to_string(i) + ", " +
+                      std::to_string(j) + ", " + std::to_string(meshK) +
+                      "): vp=" + std::to_string(m.vp) + " vs=" +
+                      std::to_string(m.vs) + " rho=" + std::to_string(m.rho));
         const std::size_t gi = i + kHalo, gj = j + kHalo, gk = k + kHalo;
         rho(gi, gj, gk) = m.rho;
         mu(gi, gj, gk) = static_cast<float>(vmodel::muOf(m));

@@ -51,6 +51,10 @@ class StaggeredGrid {
   [[nodiscard]] const GridDims& dims() const { return dims_; }
   [[nodiscard]] double h() const { return h_; }
   [[nodiscard]] double dt() const { return dt_; }
+  // Retighten the time step (health-guard rollback). Safe mid-run: the
+  // kernels and PML updates read dt() fresh every step, and the saved
+  // wavefield state is dt-independent.
+  void setDt(double dt);
   [[nodiscard]] const AttenuationConfig& attenuation() const {
     return attenuation_;
   }

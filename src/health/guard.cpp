@@ -1,0 +1,111 @@
+#include "health/guard.hpp"
+
+#include <sstream>
+
+namespace awp::health {
+
+const char* toString(EventKind kind) {
+  switch (kind) {
+    case EventKind::Preflight: return "Preflight";
+    case EventKind::Scan: return "Scan";
+    case EventKind::Rollback: return "Rollback";
+    case EventKind::CheckpointVeto: return "CheckpointVeto";
+    case EventKind::Abort: return "Abort";
+  }
+  return "?";
+}
+
+HealthGuard::HealthGuard(const HealthConfig& config)
+    : config_(config), monitor_(config.monitor) {}
+
+PreflightReport HealthGuard::preflight(vcluster::Communicator& comm,
+                                       const PreflightContext& ctx) {
+  // collectivePreflight throws on every rank when any rank is Fatal; the
+  // event below therefore only records surviving (Healthy/Degraded) runs.
+  const PreflightReport report = collectivePreflight(comm, ctx);
+  events_.push_back({EventKind::Preflight, 0, report.verdict, -1,
+                     report.issues.empty() ? "clean"
+                                           : describeIssues(report.issues)});
+  return report;
+}
+
+ClusterVerdict HealthGuard::evaluate(vcluster::Communicator& comm,
+                                     const grid::StaggeredGrid& grid,
+                                     std::size_t step) {
+  ClusterVerdict cv;
+  cv.local = monitor_.scan(grid);
+  cv.verdict = decode(comm.allreduce(encode(cv.local.verdict),
+                                     vcluster::ReduceOp::Max));
+  if (cv.verdict != Verdict::Healthy) {
+    // Offender: the lowest-ranked process carrying the worst verdict, so
+    // every rank names the same one in its report.
+    const std::int64_t mine = cv.local.verdict == cv.verdict
+                                  ? static_cast<std::int64_t>(comm.rank())
+                                  : static_cast<std::int64_t>(comm.size());
+    cv.offenderRank =
+        static_cast<int>(comm.allreduce(mine, vcluster::ReduceOp::Min));
+
+    // Ship the offender's diagnostic to every rank so the eventual dump is
+    // complete even on ranks whose local fields are still clean.
+    std::string detail =
+        comm.rank() == cv.offenderRank ? cv.local.detail : std::string();
+    std::uint64_t len = detail.size();
+    comm.bcast(cv.offenderRank, &len, sizeof(len));
+    detail.resize(len);
+    if (len > 0) comm.bcast(cv.offenderRank, detail.data(), len);
+    cv.offenderDetail = std::move(detail);
+
+    events_.push_back(
+        {EventKind::Scan, step, cv.verdict, cv.offenderRank,
+         cv.offenderDetail});
+  }
+  return cv;
+}
+
+void HealthGuard::noteRollback(std::size_t fromStep, std::size_t toStep,
+                               double newDt) {
+  ++rollbacksUsed_;
+  monitor_.resetAfterRollback();
+  std::ostringstream os;
+  os << "rolled back from step " << fromStep << " to step " << toStep
+     << ", dt tightened to " << newDt << " s (rollback " << rollbacksUsed_
+     << "/" << config_.maxRollbacks << ")";
+  events_.push_back(
+      {EventKind::Rollback, fromStep, Verdict::Degraded, -1, os.str()});
+}
+
+void HealthGuard::noteCheckpointVeto(std::size_t step) {
+  events_.push_back({EventKind::CheckpointVeto, step, Verdict::Degraded, -1,
+                     "refused to persist a non-finite state"});
+}
+
+void HealthGuard::beat(int rank, std::size_t step) {
+  if (config_.heartbeats != nullptr) config_.heartbeats->beat(rank, step);
+}
+
+std::string HealthGuard::abortDump(const ClusterVerdict& cv,
+                                   std::size_t step) {
+  std::ostringstream os;
+  os << "[health] FATAL at step " << step << ": "
+     << (cv.offenderDetail.empty() ? "numerical blow-up"
+                                   : cv.offenderDetail)
+     << " (offending rank " << cv.offenderRank << ")";
+  os << "; rollbacks used " << rollbacksUsed_ << "/" << config_.maxRollbacks;
+  const auto& hist = monitor_.peakHistory();
+  if (!hist.empty()) {
+    os << "; local peak-velocity history [";
+    for (std::size_t n = 0; n < hist.size(); ++n)
+      os << (n > 0 ? " " : "") << hist[n];
+    os << "]";
+  }
+  os << "; trail:";
+  for (const auto& e : events_)
+    os << " {" << toString(e.kind) << " step " << e.step << " "
+       << toString(e.verdict) << (e.detail.empty() ? "" : ": " + e.detail)
+       << "}";
+  events_.push_back(
+      {EventKind::Abort, step, Verdict::Fatal, cv.offenderRank, os.str()});
+  return os.str();
+}
+
+}  // namespace awp::health

@@ -1,0 +1,126 @@
+#include "health/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace awp::health {
+
+using grid::kHalo;
+
+namespace {
+
+constexpr std::size_t kPeakHistoryDepth = 16;
+
+struct Offence {
+  bool found = false;
+  const char* field = nullptr;
+  std::size_t i = 0, j = 0, k = 0;
+  double value = 0.0;
+};
+
+// Scan one field's interior; returns the first non-finite sample.
+bool scanField(const Array3f& f, const grid::GridDims& d, const char* name,
+               Offence& off) {
+  for (std::size_t k = kHalo; k < kHalo + d.nz; ++k)
+    for (std::size_t j = kHalo; j < kHalo + d.ny; ++j)
+      for (std::size_t i = kHalo; i < kHalo + d.nx; ++i) {
+        const float v = f(i, j, k);
+        if (!std::isfinite(v)) {
+          off = {true, name, i, j, k, static_cast<double>(v)};
+          return true;
+        }
+      }
+  return false;
+}
+
+}  // namespace
+
+bool FieldMonitor::allFinite(const grid::StaggeredGrid& g) {
+  Offence off;
+  const auto& d = g.dims();
+  const std::pair<const Array3f*, const char*> fields[] = {
+      {&g.u, "u"},   {&g.v, "v"},   {&g.w, "w"},
+      {&g.xx, "xx"}, {&g.yy, "yy"}, {&g.zz, "zz"},
+      {&g.xy, "xy"}, {&g.xz, "xz"}, {&g.yz, "yz"}};
+  for (const auto& [f, name] : fields)
+    if (scanField(*f, d, name, off)) return false;
+  return true;
+}
+
+ScanResult FieldMonitor::scan(const grid::StaggeredGrid& g) {
+  ScanResult result;
+  const auto& d = g.dims();
+
+  // Peak velocity over the interior (also detects the first non-finite
+  // velocity sample without a second pass).
+  Offence off;
+  double peak = 0.0;
+  const std::pair<const Array3f*, const char*> velocities[] = {
+      {&g.u, "u"}, {&g.v, "v"}, {&g.w, "w"}};
+  for (const auto& [f, name] : velocities) {
+    for (std::size_t k = kHalo; k < kHalo + d.nz && !off.found; ++k)
+      for (std::size_t j = kHalo; j < kHalo + d.ny && !off.found; ++j)
+        for (std::size_t i = kHalo; i < kHalo + d.nx; ++i) {
+          const float v = (*f)(i, j, k);
+          if (!std::isfinite(v)) {
+            off = {true, name, i, j, k, static_cast<double>(v)};
+            break;
+          }
+          peak = std::max(peak, static_cast<double>(std::fabs(v)));
+        }
+    if (off.found) break;
+  }
+  const std::pair<const Array3f*, const char*> stresses[] = {
+      {&g.xx, "xx"}, {&g.yy, "yy"}, {&g.zz, "zz"},
+      {&g.xy, "xy"}, {&g.xz, "xz"}, {&g.yz, "yz"}};
+  for (const auto& [f, name] : stresses) {
+    if (off.found) break;
+    scanField(*f, d, name, off);
+  }
+  result.peakVelocity = peak;
+
+  if (off.found) {
+    result.verdict = Verdict::Fatal;
+    result.field = off.field;
+    result.i = off.i;
+    result.j = off.j;
+    result.k = off.k;
+    result.value = off.value;
+    std::ostringstream os;
+    os << "non-finite " << off.field << " = " << off.value << " at local ("
+       << off.i - kHalo << "," << off.j - kHalo << "," << off.k - kHalo
+       << ")";
+    result.detail = os.str();
+    consecutiveDegraded_ = 0;
+  } else {
+    const double prev =
+        peakHistory_.empty() ? 0.0 : peakHistory_.back();
+    if (prev > config_.velocityFloor &&
+        peak > config_.growthLimit * prev) {
+      ++consecutiveDegraded_;
+      const bool fatal = config_.degradedFatalAfter > 0 &&
+                         consecutiveDegraded_ >= config_.degradedFatalAfter;
+      result.verdict = fatal ? Verdict::Fatal : Verdict::Degraded;
+      std::ostringstream os;
+      os << "peak velocity grew " << peak / prev << "x in one window ("
+         << prev << " -> " << peak << " m/s), " << consecutiveDegraded_
+         << " consecutive" << (fatal ? " — treating as blow-up" : "");
+      result.detail = os.str();
+    } else {
+      consecutiveDegraded_ = 0;
+    }
+  }
+
+  peakHistory_.push_back(peak);
+  while (peakHistory_.size() > kPeakHistoryDepth) peakHistory_.pop_front();
+  return result;
+}
+
+void FieldMonitor::resetAfterRollback() {
+  peakHistory_.clear();
+  consecutiveDegraded_ = 0;
+}
+
+}  // namespace awp::health

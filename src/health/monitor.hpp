@@ -1,0 +1,76 @@
+#pragma once
+// In-loop numerical monitor (layer 2 of the health guard). Every N steps
+// each rank scans its wavefields for NaN/Inf and tracks the growth of the
+// peak velocity between scans. A single poisoned cell propagates through
+// the stencil at ~2 cells/step in every direction, so one scan interval
+// bounds how far garbage can travel before it is caught; the growth-rate
+// track catches the slower failure mode where an unstable dt amplifies the
+// field exponentially *before* it overflows to Inf.
+//
+// Verdicts: NaN/Inf anywhere ⇒ Fatal. Peak velocity growing faster than
+// `growthLimit` per scan window (above an absolute floor) ⇒ Degraded;
+// `degradedFatalAfter` consecutive Degraded scans promote to Fatal —
+// exponential growth that persists for several windows IS a blow-up even
+// while every value is still finite.
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+#include "grid/staggered_grid.hpp"
+#include "health/verdict.hpp"
+
+namespace awp::health {
+
+struct MonitorConfig {
+  int everySteps = 25;           // scan cadence (0 disables scanning)
+  double growthLimit = 100.0;    // peak-velocity factor per window
+  double velocityFloor = 1e-12;  // ignore growth below this peak [m/s]
+  int degradedFatalAfter = 3;    // consecutive Degraded scans ⇒ Fatal
+};
+
+// Result of one local scan.
+struct ScanResult {
+  Verdict verdict = Verdict::Healthy;
+  std::string detail;         // human-readable first offence
+  // First offending sample, when verdict != Healthy from a field defect.
+  std::string field;          // "u", "xy", ...
+  std::size_t i = 0, j = 0, k = 0;  // local raw indices
+  double value = 0.0;
+  double peakVelocity = 0.0;  // max |u|,|v|,|w| this scan
+};
+
+class FieldMonitor {
+ public:
+  explicit FieldMonitor(MonitorConfig config) : config_(config) {}
+
+  [[nodiscard]] const MonitorConfig& config() const { return config_; }
+  [[nodiscard]] bool due(std::size_t step) const {
+    return config_.everySteps > 0 &&
+           step % static_cast<std::size_t>(config_.everySteps) == 0;
+  }
+
+  // Scan this rank's fields; records the peak into the history.
+  ScanResult scan(const grid::StaggeredGrid& g);
+
+  // Local-only finiteness check (no history side effects) — the checkpoint
+  // gate uses this so a non-finite state is never persisted.
+  static bool allFinite(const grid::StaggeredGrid& g);
+
+  // Recent peak-velocity samples, oldest first (bounded).
+  [[nodiscard]] const std::deque<double>& peakHistory() const {
+    return peakHistory_;
+  }
+
+  // Forget growth state after a rollback: the restored field is from a
+  // different trajectory, so comparing against pre-rollback peaks would
+  // immediately re-trip the growth check.
+  void resetAfterRollback();
+
+ private:
+  MonitorConfig config_;
+  std::deque<double> peakHistory_;
+  int consecutiveDegraded_ = 0;
+};
+
+}  // namespace awp::health

@@ -1,0 +1,185 @@
+#include "health/preflight.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace awp::health {
+
+using grid::kHalo;
+
+namespace {
+
+// Bound the number of per-cell findings so a fully-broken block produces a
+// readable report, not a million lines.
+constexpr std::size_t kMaxMaterialIssues = 8;
+
+void checkMaterial(const PreflightContext& ctx, PreflightReport& report) {
+  const auto& g = *ctx.grid;
+  const auto& d = g.dims();
+  const auto& lim = ctx.limits;
+  std::size_t flagged = 0;
+  for (std::size_t k = kHalo; k < kHalo + d.nz; ++k)
+    for (std::size_t j = kHalo; j < kHalo + d.ny; ++j)
+      for (std::size_t i = kHalo; i < kHalo + d.nx; ++i) {
+        const double rho = g.rho(i, j, k);
+        const double mu = g.mu(i, j, k);
+        const double lam = g.lam(i, j, k);
+        Verdict sev = Verdict::Healthy;
+        std::string what;
+        if (!std::isfinite(rho) || !std::isfinite(mu) ||
+            !std::isfinite(lam)) {
+          sev = Verdict::Fatal;
+          what = "non-finite material";
+        } else if (rho <= 0.0 || mu <= 0.0) {
+          sev = Verdict::Fatal;
+          what = "non-positive rho or mu";
+        } else {
+          const double vs = std::sqrt(mu / rho);
+          const double vp = std::sqrt((lam + 2.0 * mu) / rho);
+          const double ratio = vp / vs;
+          if (lam < 0.0 || ratio < lim.minVpVsRatio) {
+            sev = Verdict::Fatal;
+            what = "Vp/Vs = " + std::to_string(ratio) +
+                   " below sqrt(2) (negative lambda)";
+          } else if (vp > lim.maxVp) {
+            sev = Verdict::Fatal;
+            what = "Vp = " + std::to_string(vp) + " m/s unphysical";
+          } else if (ratio > lim.maxVpVsRatio) {
+            sev = Verdict::Degraded;
+            what = "Vp/Vs = " + std::to_string(ratio) + " suspiciously high";
+          } else if (rho < lim.minRho || rho > lim.maxRho) {
+            sev = Verdict::Degraded;
+            what = "rho = " + std::to_string(rho) + " kg/m^3 out of range";
+          }
+        }
+        if (sev == Verdict::Healthy) continue;
+        report.verdict = worse(report.verdict, sev);
+        if (flagged++ < kMaxMaterialIssues) {
+          std::ostringstream os;
+          os << "material at local (" << i - kHalo << "," << j - kHalo << ","
+             << k - kHalo << "): " << what;
+          report.issues.push_back({sev, os.str()});
+        }
+      }
+  if (flagged > kMaxMaterialIssues)
+    report.issues.push_back(
+        {report.verdict, std::to_string(flagged - kMaxMaterialIssues) +
+                             " further material cells flagged"});
+}
+
+void checkStability(const PreflightContext& ctx, PreflightReport& report) {
+  if (!(ctx.dt > 0.0) || !std::isfinite(ctx.dt)) {
+    report.verdict = Verdict::Fatal;
+    report.issues.push_back(
+        {Verdict::Fatal, "dt = " + std::to_string(ctx.dt) + " not positive"});
+    return;
+  }
+  // Only meaningful once the material is loaded; stableDt throws otherwise.
+  const double local = ctx.grid->stableDt();
+  if (ctx.dt > local * ctx.limits.cflSlack) {
+    report.verdict = Verdict::Fatal;
+    std::ostringstream os;
+    os << "CFL violated: dt = " << ctx.dt << " s exceeds this rank's stable "
+       << "limit " << local << " s (h = " << ctx.h << " m)";
+    report.issues.push_back({Verdict::Fatal, os.str()});
+  }
+}
+
+void checkBoundary(const PreflightContext& ctx, PreflightReport& report) {
+  if (ctx.boundary == BoundaryKind::None || ctx.boundaryWidth <= 0) return;
+  const auto w = static_cast<std::size_t>(ctx.boundaryWidth);
+  const auto& g = ctx.globalDims;
+  const char* name = ctx.boundary == BoundaryKind::Pml ? "PML" : "sponge";
+  if (2 * w >= g.nx || 2 * w >= g.ny || w >= g.nz) {
+    report.verdict = Verdict::Fatal;
+    std::ostringstream os;
+    os << name << " width " << w << " does not fit the global grid "
+       << g.nx << "x" << g.ny << "x" << g.nz
+       << " (opposing layers would overlap)";
+    report.issues.push_back({Verdict::Fatal, os.str()});
+    return;
+  }
+  // Per-rank extent: the sponge taper is a pure per-cell multiply driven by
+  // global position, so a layer spanning ranks still works (Degraded: the
+  // decomposition is suspicious). PML split-field zones hold private state
+  // that is never halo-exchanged, so a zone must not cross a rank boundary:
+  // width > a face rank's extent is Fatal.
+  const auto& d = ctx.grid->dims();
+  auto check = [&](bool touches, std::size_t extent, const char* face) {
+    if (!touches || extent >= w) return;
+    const Verdict sev = ctx.boundary == BoundaryKind::Pml ? Verdict::Fatal
+                                                          : Verdict::Degraded;
+    report.verdict = worse(report.verdict, sev);
+    std::ostringstream os;
+    os << name << " width " << w << " exceeds this rank's " << face
+       << " extent " << extent
+       << (sev == Verdict::Fatal ? " (split zones cannot span ranks)"
+                                 : " (layer spans rank boundaries)");
+    report.issues.push_back({sev, os.str()});
+  };
+  check(ctx.touchesXMin || ctx.touchesXMax, d.nx, "x");
+  check(ctx.touchesYMin || ctx.touchesYMax, d.ny, "y");
+  check(ctx.touchesBottom, d.nz, "z");
+}
+
+void checkSources(const PreflightContext& ctx, PreflightReport& report) {
+  const auto& g = ctx.globalDims;
+  std::size_t outside = 0, truncated = 0;
+  for (const auto& s : ctx.sources) {
+    if (s.gi >= g.nx || s.gj >= g.ny || s.gk >= g.nz) ++outside;
+    if (ctx.plannedSteps > 0 && s.steps > ctx.plannedSteps) ++truncated;
+  }
+  if (outside > 0) {
+    report.verdict = Verdict::Fatal;
+    report.issues.push_back(
+        {Verdict::Fatal, std::to_string(outside) +
+                             " source(s) outside the global grid (would be "
+                             "silently dropped)"});
+  }
+  if (truncated > 0) {
+    report.verdict = worse(report.verdict, Verdict::Degraded);
+    report.issues.push_back(
+        {Verdict::Degraded,
+         std::to_string(truncated) + " source time-window(s) extend past the "
+                                     "planned " +
+             std::to_string(ctx.plannedSteps) + " steps (tail truncated)"});
+  }
+}
+
+}  // namespace
+
+PreflightReport runPreflight(const PreflightContext& ctx) {
+  AWP_CHECK_MSG(ctx.grid != nullptr, "preflight needs a grid");
+  PreflightReport report;
+  checkMaterial(ctx, report);
+  checkStability(ctx, report);
+  checkBoundary(ctx, report);
+  checkSources(ctx, report);
+  return report;
+}
+
+PreflightReport collectivePreflight(vcluster::Communicator& comm,
+                                    const PreflightContext& ctx) {
+  const PreflightReport report = runPreflight(ctx);
+  const auto verdicts = comm.allgather(encode(report.verdict));
+  const Verdict cluster =
+      decode(*std::max_element(verdicts.begin(), verdicts.end()));
+  if (cluster != Verdict::Fatal) return report;
+
+  std::ostringstream os;
+  os << "preflight failed on rank " << comm.rank() << " [";
+  for (int r = 0; r < comm.size(); ++r)
+    os << (r > 0 ? " " : "") << "r" << r << "="
+       << toString(decode(verdicts[static_cast<std::size_t>(r)]));
+  os << "]";
+  if (!report.issues.empty())
+    os << ": " << describeIssues(report.issues);
+  else
+    os << ": this rank is clean; see the fatal rank(s) above";
+  throw Error(os.str());
+}
+
+}  // namespace awp::health

@@ -1,0 +1,81 @@
+#pragma once
+// Pre-flight validation (layer 1 of the health guard): collective fail-fast
+// checks before step 0. A capability job discovers a bad material cell, an
+// unstable dt, or an impossible absorbing-layer width in seconds instead of
+// after hours of queue wait plus a blow-up at step 40k. Every rank
+// validates its own block; the verdicts are combined with one
+// allreduce(Max) so all ranks abort *together* with a per-rank diagnostic
+// instead of one rank throwing while its neighbors deadlock in a halo
+// exchange.
+//
+// Checks:
+//   material  — Vp/Vs/rho positive, finite and physical; Vp/Vs ratio sane
+//               (below sqrt(2) means a negative λ: Fatal); Q derivable
+//   stability — dt against the local CFL limit of this rank's material
+//   boundary  — sponge/PML width vs the global dims (overlapping layers)
+//               and, for PML, vs this rank's subdomain extent (split-field
+//               zones cannot span rank boundaries)
+//   sources   — inside the global grid (Fatal: today they are silently
+//               dropped by SourceSet::bind) and time-windows inside the
+//               planned run (Degraded: the tail would be truncated)
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/staggered_grid.hpp"
+#include "health/verdict.hpp"
+#include "vcluster/comm.hpp"
+
+namespace awp::health {
+
+struct PreflightLimits {
+  float minVpVsRatio = 1.415f;  // just above sqrt(2); below ⇒ λ < 0
+  float maxVpVsRatio = 6.0f;    // beyond ⇒ Degraded (suspicious, not fatal)
+  float maxVp = 15000.0f;       // m/s — nothing in the crust is faster
+  float minRho = 500.0f;        // kg/m³ — Degraded outside [minRho, maxRho]
+  float maxRho = 8000.0f;
+  double cflSlack = 1.000001;   // dt may exceed stableDt by this factor
+};
+
+enum class BoundaryKind { None, Sponge, Pml };
+
+struct SourceWindow {
+  std::size_t gi = 0, gj = 0, gk = 0;  // global grid indices
+  std::size_t steps = 0;               // history length in solver steps
+};
+
+// Everything the checks need, assembled by the caller (the solver) so this
+// layer stays independent of core.
+struct PreflightContext {
+  const grid::StaggeredGrid* grid = nullptr;  // material already loaded
+  grid::GridDims globalDims;
+  double dt = 0.0;
+  double h = 0.0;
+  BoundaryKind boundary = BoundaryKind::None;
+  int boundaryWidth = 0;
+  // Which physical faces this rank touches (the damped faces: the four
+  // sides and the bottom; the free surface is never damped).
+  bool touchesXMin = false, touchesXMax = false;
+  bool touchesYMin = false, touchesYMax = false;
+  bool touchesBottom = false;
+  std::size_t plannedSteps = 0;
+  std::vector<SourceWindow> sources;
+  PreflightLimits limits;
+};
+
+struct PreflightReport {
+  Verdict verdict = Verdict::Healthy;
+  std::vector<Issue> issues;
+};
+
+// Local (this rank only) validation.
+PreflightReport runPreflight(const PreflightContext& ctx);
+
+// Collective validation: runs the local checks, allgathers the verdicts,
+// and when any rank is Fatal throws awp::Error on EVERY rank with the
+// per-rank verdict table plus this rank's own findings. Returns the local
+// report (possibly Degraded) otherwise.
+PreflightReport collectivePreflight(vcluster::Communicator& comm,
+                                    const PreflightContext& ctx);
+
+}  // namespace awp::health

@@ -1,0 +1,28 @@
+#include "health/verdict.hpp"
+
+#include <sstream>
+
+namespace awp::health {
+
+const char* toString(Verdict v) {
+  switch (v) {
+    case Verdict::Healthy: return "Healthy";
+    case Verdict::Degraded: return "Degraded";
+    case Verdict::Fatal: return "Fatal";
+  }
+  return "?";
+}
+
+std::string describeIssues(const std::vector<Issue>& issues,
+                           std::size_t cap) {
+  std::ostringstream os;
+  for (std::size_t n = 0; n < issues.size() && n < cap; ++n) {
+    if (n > 0) os << "; ";
+    os << "[" << toString(issues[n].severity) << "] " << issues[n].what;
+  }
+  if (issues.size() > cap)
+    os << "; ... and " << issues.size() - cap << " more";
+  return os.str();
+}
+
+}  // namespace awp::health

@@ -1,0 +1,37 @@
+#pragma once
+// The health verdict lattice shared by every layer of the guard:
+//   Healthy < Degraded < Fatal
+// Local verdicts are ints so they combine across the cluster with a single
+// Communicator::allreduce(Max) — the cluster verdict is the worst local
+// one, and every rank sees it, so aborts and rollbacks are collective by
+// construction (no rank can decide alone and deadlock the others).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace awp::health {
+
+enum class Verdict : int { Healthy = 0, Degraded = 1, Fatal = 2 };
+
+const char* toString(Verdict v);
+
+inline Verdict worse(Verdict a, Verdict b) { return a < b ? b : a; }
+
+inline std::int64_t encode(Verdict v) { return static_cast<std::int64_t>(v); }
+inline Verdict decode(std::int64_t v) {
+  return v >= 2 ? Verdict::Fatal
+                : (v == 1 ? Verdict::Degraded : Verdict::Healthy);
+}
+
+// One local diagnostic finding (preflight or in-loop scan).
+struct Issue {
+  Verdict severity = Verdict::Healthy;
+  std::string what;
+};
+
+// Render a bounded issue list ("... and N more" past the cap).
+std::string describeIssues(const std::vector<Issue>& issues,
+                           std::size_t cap = 8);
+
+}  // namespace awp::health

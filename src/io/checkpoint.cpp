@@ -216,6 +216,21 @@ std::optional<std::uint64_t> CheckpointStore::newestValidStep(
   }
 }
 
+std::vector<std::uint64_t> CheckpointStore::validSteps(int rank) const {
+  std::vector<std::uint64_t> steps;
+  for (int g = 0; g < kGenerations; ++g) {
+    const SlotView v = inspectSlot(pathFor(rank, g));
+    if (!v.present || !v.headerOk) continue;
+    try {
+      loadSlot(rank, g);  // digest must verify to count as valid
+      steps.push_back(v.step);
+    } catch (const Error&) {
+    }
+  }
+  std::sort(steps.rbegin(), steps.rend());
+  return steps;
+}
+
 CheckpointStore::Restored CheckpointStore::readStep(
     int rank, std::uint64_t step) const {
   for (int g = 0; g < kGenerations; ++g) {

@@ -48,6 +48,9 @@ class CheckpointStore {
   Restored readStep(int rank, std::uint64_t step) const;
   // Step of the newest digest-valid generation; nullopt when none is.
   [[nodiscard]] std::optional<std::uint64_t> newestValidStep(int rank) const;
+  // Steps of ALL digest-valid generations, newest first — the health
+  // guard's rollback diagnostics list what a retry could restore.
+  [[nodiscard]] std::vector<std::uint64_t> validSteps(int rank) const;
 
   // Any generation file present (valid or not).
   [[nodiscard]] bool exists(int rank) const;

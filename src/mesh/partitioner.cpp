@@ -43,6 +43,22 @@ MeshBlock readBlockFromGlobal(io::SharedFile& f, const MeshSpec& spec,
 
 }  // namespace
 
+void validateBlock(const MeshBlock& block, const std::string& origin) {
+  const std::size_t lnx = block.spec.x.count();
+  const std::size_t lny = block.spec.y.count();
+  for (std::size_t n = 0; n < block.points.size(); ++n) {
+    const vmodel::Material& m = block.points[n];
+    const char* issue = vmodel::materialIssue(m);
+    if (issue == nullptr) continue;
+    throw Error("bad material in '" + origin + "': " + issue +
+                " at local cell (" + std::to_string(n % lnx) + ", " +
+                std::to_string((n / lnx) % lny) + ", " +
+                std::to_string(n / (lnx * lny)) + "): vp=" +
+                std::to_string(m.vp) + " vs=" + std::to_string(m.vs) +
+                " rho=" + std::to_string(m.rho));
+  }
+}
+
 SubdomainSpec subdomainFor(const vcluster::CartTopology& topo,
                            const MeshSpec& spec, int rank) {
   const auto c = topo.coordsOf(rank);
@@ -67,6 +83,7 @@ void prePartitionMesh(vcluster::Communicator& comm,
   auto work = [&] {
     io::SharedFile in(meshPath, io::SharedFile::Mode::Read);
     MeshBlock block = readBlockFromGlobal(in, spec, sub);
+    validateBlock(block, meshPath);
 
     BlockHeader bh;
     bh.rank = static_cast<std::uint64_t>(comm.rank());
@@ -110,6 +127,7 @@ MeshBlock readPrePartitioned(const std::string& dir, int rank,
     block.spec.z = {bh.zb, bh.ze};
     block.points.resize(block.spec.pointCount());
     f.readAt(sizeof(bh), std::span<vmodel::Material>(block.points));
+    validateBlock(block, blockPath(dir, rank));
     return block;
   };
   if (throttle != nullptr) {
@@ -204,6 +222,7 @@ MeshBlock readAndRedistribute(vcluster::Communicator& comm,
     }
   }
   comm.barrier();
+  validateBlock(block, meshPath);
   return block;
 }
 
@@ -212,7 +231,10 @@ MeshBlock readDirect(const std::string& meshPath,
   const MeshHeader header = readMeshHeader(meshPath);
   const MeshSpec spec = header.spec();
   io::SharedFile in(meshPath, io::SharedFile::Mode::Read);
-  return readBlockFromGlobal(in, spec, subdomainFor(topo, spec, rank));
+  MeshBlock block =
+      readBlockFromGlobal(in, spec, subdomainFor(topo, spec, rank));
+  validateBlock(block, meshPath);
+  return block;
 }
 
 }  // namespace awp::mesh

@@ -78,4 +78,10 @@ MeshBlock readAndRedistribute(vcluster::Communicator& comm,
 MeshBlock readDirect(const std::string& meshPath,
                      const vcluster::CartTopology& topo, int rank);
 
+// Reject unphysical material (zero/negative Vs, vp <= vs, non-finite
+// values) with the offending local cell and its values. All the load paths
+// above call this before handing the block to the solver; `origin` names
+// the file the block came from.
+void validateBlock(const MeshBlock& block, const std::string& origin);
+
 }  // namespace awp::mesh

@@ -177,4 +177,17 @@ std::vector<std::vector<std::byte>> Communicator::gatherBytes(
   return out;
 }
 
+std::vector<std::int64_t> Communicator::allgather(std::int64_t value) {
+  std::vector<std::int64_t> out(static_cast<std::size_t>(size()), 0);
+  if (rank_ == 0) {
+    out[0] = value;
+    for (int r = 1; r < size(); ++r)
+      out[static_cast<std::size_t>(r)] = recvValue<std::int64_t>(r, kTagReduce);
+  } else {
+    sendValue(0, kTagReduce, value);
+  }
+  bcast(0, out.data(), out.size() * sizeof(std::int64_t));
+  return out;
+}
+
 }  // namespace awp::vcluster

@@ -115,6 +115,9 @@ class Communicator {
   // Gather variable-length byte payloads to root; non-root ranks get {}.
   std::vector<std::vector<std::byte>> gatherBytes(
       int root, std::span<const std::byte> payload);
+  // Every rank contributes one value and receives the full rank-indexed
+  // vector (the health guard's per-rank verdict tables use this).
+  std::vector<std::int64_t> allgather(std::int64_t value);
 
  private:
   template <typename T>

@@ -26,4 +26,13 @@ double lambdaOf(const Material& m) {
          (static_cast<double>(m.vp) * m.vp - 2.0 * static_cast<double>(m.vs) * m.vs);
 }
 
+const char* materialIssue(const Material& m) {
+  if (!std::isfinite(m.vp) || !std::isfinite(m.vs) || !std::isfinite(m.rho))
+    return "non-finite vp/vs/rho";
+  if (m.rho <= 0.0f) return "rho <= 0";
+  if (m.vs <= 0.0f) return "vs <= 0";
+  if (m.vp <= m.vs) return "vp <= vs";
+  return nullptr;
+}
+
 }  // namespace awp::vmodel

@@ -23,4 +23,10 @@ double brocherDensity(double vpMetersPerSecond);
 double muOf(const Material& m);      // μ = ρ Vs²
 double lambdaOf(const Material& m);  // λ = ρ (Vp² − 2 Vs²)
 
+// Physical admissibility for the elastic solver: nullptr when the material
+// is usable, else a static description of the defect. Zero or negative Vs
+// (an acoustic or empty cell) is rejected here: the kernels would silently
+// produce a μ = 0 medium and the CFL probe a meaningless dt.
+const char* materialIssue(const Material& m);
+
 }  // namespace awp::vmodel
