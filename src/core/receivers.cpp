@@ -35,11 +35,31 @@ void ReceiverSet::bind(const DomainGeometry& geom) {
   }
 }
 
-void ReceiverSet::record(const grid::StaggeredGrid& g) {
+void ReceiverSet::record(const grid::StaggeredGrid& g, std::size_t step) {
+  if (!traces_.empty() && step < traces_.front().u.size())
+    ++samplesRewritten_;
   for (std::size_t t = 0; t < traces_.size(); ++t) {
-    traces_[t].u.push_back(g.u(li_[t], lj_[t], lk_[t]));
-    traces_[t].v.push_back(g.v(li_[t], lj_[t], lk_[t]));
-    traces_[t].w.push_back(g.w(li_[t], lj_[t], lk_[t]));
+    SeismogramTrace& trace = traces_[t];
+    // Defensive gap fill: recording is expected step-dense, but a skipped
+    // step must not shift every later sample's time axis.
+    if (step > trace.u.size()) {
+      trace.u.resize(step, 0.0f);
+      trace.v.resize(step, 0.0f);
+      trace.w.resize(step, 0.0f);
+    }
+    const float u = g.u(li_[t], lj_[t], lk_[t]);
+    const float v = g.v(li_[t], lj_[t], lk_[t]);
+    const float w = g.w(li_[t], lj_[t], lk_[t]);
+    if (step < trace.u.size()) {
+      // Rollback replay revisiting a recorded step: overwrite in place.
+      trace.u[step] = u;
+      trace.v[step] = v;
+      trace.w[step] = w;
+    } else {
+      trace.u.push_back(u);
+      trace.v.push_back(v);
+      trace.w.push_back(w);
+    }
   }
 }
 

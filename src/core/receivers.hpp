@@ -4,6 +4,7 @@
 // (PGV in Figs 3, 15, 17; PGVH — root sum of squares of the horizontal
 // components — in Fig 21).
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,8 +26,21 @@ class ReceiverSet {
   void add(std::string name, std::size_t gi, std::size_t gj);
   void bind(const DomainGeometry& geom);
 
-  // Record surface velocities for locally owned receivers.
-  void record(const grid::StaggeredGrid& g);
+  // Record surface velocities for locally owned receivers at the given
+  // simulation step. Step-indexed and idempotent: a rollback replay that
+  // revisits recorded steps overwrites them in place instead of appending
+  // duplicates, so traces stay one-sample-per-step.
+  void record(const grid::StaggeredGrid& g, std::size_t step);
+  // Append at the next step index (single-pass runs with no rollback).
+  void record(const grid::StaggeredGrid& g) { record(g, recordedSteps()); }
+
+  // Steps recorded so far (traces grow in lockstep).
+  [[nodiscard]] std::size_t recordedSteps() const {
+    return traces_.empty() ? 0 : traces_.front().u.size();
+  }
+  [[nodiscard]] std::uint64_t samplesRewritten() const {
+    return samplesRewritten_;
+  }
 
   // Collective: gather all traces to rank 0 (other ranks get {}).
   [[nodiscard]] std::vector<SeismogramTrace> gather(
@@ -44,6 +58,7 @@ class ReceiverSet {
   std::vector<Pending> pending_;
   std::vector<SeismogramTrace> traces_;   // bound, locally owned
   std::vector<std::size_t> li_, lj_, lk_;  // local raw indices per trace
+  std::uint64_t samplesRewritten_ = 0;
 };
 
 // Per-surface-cell peak velocity accumulation.

@@ -68,7 +68,10 @@ RuntimeConfig parseRuntimeConfig(const std::string& text,
     const auto eq = line.find('=');
     if (eq == std::string::npos) fail(lineNo, "expected key = value");
     const std::string key = trim(line.substr(0, eq));
-    std::string value = trim(line.substr(eq + 1));
+    // Values are case-folded for enum/switch keys; path-valued keys use
+    // the raw spelling (filesystems are case-sensitive).
+    const std::string rawValue = trim(line.substr(eq + 1));
+    std::string value = rawValue;
     std::transform(value.begin(), value.end(), value.begin(), ::tolower);
 
     auto& s = config.solver;
@@ -153,6 +156,28 @@ RuntimeConfig parseRuntimeConfig(const std::string& text,
       s.health.stallTimeoutSeconds = parseDouble(value, lineNo);
       if (s.health.stallTimeoutSeconds <= 0.0)
         fail(lineNo, "health_stall_timeout must be > 0");
+    } else if (key == "health_dt_rewiden_window") {
+      s.health.dtRewidenWindow = parseInt(value, lineNo);
+      if (s.health.dtRewidenWindow < 0)
+        fail(lineNo, "health_dt_rewiden_window must be >= 0");
+    } else if (key == "health_dt_rewiden") {
+      s.health.dtRewiden = parseDouble(value, lineNo);
+      if (s.health.dtRewiden <= 1.0)
+        fail(lineNo, "health_dt_rewiden must be > 1");
+    } else if (key == "telemetry") {
+      config.telemetryEnabled = parseSwitch(value, lineNo);
+    } else if (key == "telemetry_interval") {
+      s.telemetry.reportEverySteps = parseInt(value, lineNo);
+      if (s.telemetry.reportEverySteps < 0)
+        fail(lineNo, "telemetry_interval must be >= 0");
+    } else if (key == "telemetry_report") {
+      s.telemetry.reportPath = rawValue;
+    } else if (key == "telemetry_trace") {
+      s.telemetry.tracePathPrefix = rawValue;
+    } else if (key == "telemetry_ring") {
+      const int cap = parseInt(value, lineNo);
+      if (cap < 1) fail(lineNo, "telemetry_ring must be >= 1");
+      config.telemetryRingCapacity = static_cast<std::size_t>(cap);
     } else {
       fail(lineNo, "unknown key '" + key + "'");
     }

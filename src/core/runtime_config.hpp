@@ -32,7 +32,15 @@
 //   health_dt_tighten    = <factor in (0,1)>
 //   health_growth_limit  = <ratio > 1>
 //   health_stall_timeout = <seconds>     (rank watchdog)
+//   health_dt_rewiden_window = <scans>   (0 = never re-widen dt)
+//   health_dt_rewiden    = <factor > 1>  (walk-back step toward baseline)
+//   telemetry            = on | off      (install a telemetry session)
+//   telemetry_interval   = <steps>       (0 = report only at end of run)
+//   telemetry_report     = <path>        (cluster JSON report, rank 0)
+//   telemetry_trace      = <path prefix> (per-rank JSONL traces)
+//   telemetry_ring       = <spans>       (per-rank trace ring capacity)
 
+#include <cstddef>
 #include <string>
 
 #include "core/solver.hpp"
@@ -46,6 +54,11 @@ struct RuntimeConfig {
   SurfaceOutputConfig output;  // file left null; cadence fields populated
   MeshIoMode meshIo = MeshIoMode::PrePartitioned;
   bool checksums = true;
+  // Telemetry session knobs (the report cadence and paths live in
+  // solver.telemetry): whether the harness should install a session at
+  // all, and the span ring capacity per rank.
+  bool telemetryEnabled = false;
+  std::size_t telemetryRingCapacity = std::size_t{1} << 16;
 };
 
 // Parse `key = value` text into a RuntimeConfig starting from defaults.

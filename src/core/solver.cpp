@@ -1,5 +1,6 @@
 #include "core/solver.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -88,6 +89,8 @@ void WaveSolver::init(const mesh::MeshBlock& block) {
 
   if (config_.health.enabled)
     guard_ = std::make_unique<health::HealthGuard>(config_.health);
+
+  dtBaseline_ = config_.dt;
 }
 
 void WaveSolver::addSource(MomentRateSource src) {
@@ -142,6 +145,9 @@ void WaveSolver::attachCheckpoints(io::CheckpointStore* store,
 }
 
 void WaveSolver::velocityPhase() {
+  // Halo exchanges and PML updates open nested spans, so this bucket's
+  // exclusive time is the FD kernels plus free-surface images.
+  telemetry::ScopedSpan span(telemetry::Phase::VelocityKernel);
   const Region r = Region::interior(*grid_);
   if (config_.overlap) {
     // §IV.C: "While the value of v is computed, the exchange of u can be
@@ -165,7 +171,10 @@ void WaveSolver::velocityPhase() {
     {
       ScopedPhase t(phases_, Phase::Compute);
       updateVelocity(*grid_, VelocityComponent::W, config_.kernels, r);
-      if (pml_) pml_->updateVelocity(*grid_);
+      if (pml_) {
+        telemetry::ScopedSpan absorb(telemetry::Phase::Absorb);
+        pml_->updateVelocity(*grid_);
+      }
     }
     {
       ScopedPhase t(phases_, Phase::Communicate);
@@ -179,7 +188,10 @@ void WaveSolver::velocityPhase() {
     {
       ScopedPhase t(phases_, Phase::Compute);
       updateVelocity(*grid_, config_.kernels);
-      if (pml_) pml_->updateVelocity(*grid_);
+      if (pml_) {
+        telemetry::ScopedSpan absorb(telemetry::Phase::Absorb);
+        pml_->updateVelocity(*grid_);
+      }
     }
     {
       ScopedPhase t(phases_, Phase::Communicate);
@@ -190,6 +202,7 @@ void WaveSolver::velocityPhase() {
 }
 
 void WaveSolver::stressPhase() {
+  telemetry::ScopedSpan span(telemetry::Phase::StressKernel);
   const Region r = Region::interior(*grid_);
   {
     ScopedPhase t(phases_, Phase::Compute);
@@ -197,7 +210,10 @@ void WaveSolver::stressPhase() {
     updateStress(*grid_, StressGroup::XY, config_.kernels, r);
     updateStress(*grid_, StressGroup::XZ, config_.kernels, r);
     updateStress(*grid_, StressGroup::YZ, config_.kernels, r);
-    if (pml_) pml_->updateStress(*grid_);
+    if (pml_) {
+      telemetry::ScopedSpan absorb(telemetry::Phase::Absorb);
+      pml_->updateStress(*grid_);
+    }
     sources_.inject(*grid_, step_);
   }
   freeSurface_->applyStressImages(*grid_);
@@ -207,19 +223,26 @@ void WaveSolver::stressPhase() {
   }
   if (sponge_) {
     ScopedPhase t(phases_, Phase::Compute);
+    telemetry::ScopedSpan absorb(telemetry::Phase::Absorb);
     sponge_->apply(*grid_);
   }
 }
 
 void WaveSolver::observationPhase() {
-  receivers_.record(*grid_);
-  surface_->accumulate(*grid_);
+  {
+    // Step-indexed recording: replayed windows overwrite their first-pass
+    // samples, so observations stay one-record-per-step across rollbacks.
+    telemetry::ScopedSpan span(telemetry::Phase::Output);
+    receivers_.record(*grid_, step_);
+    surface_->accumulate(*grid_);
+  }
 
   if (surfaceWriter_ && surfaceOutput_ &&
       step_ % static_cast<std::size_t>(surfaceOutput_->sampleEverySteps) ==
           0 &&
       geom_.touchesTop()) {
     ScopedPhase t(phases_, Phase::Output);
+    telemetry::ScopedSpan span(telemetry::Phase::Output);
     const auto dec =
         static_cast<std::size_t>(surfaceOutput_->spatialDecimation);
     const std::size_t T = kHalo + grid_->dims().nz - 1;
@@ -234,7 +257,9 @@ void WaveSolver::observationPhase() {
         sample.push_back(grid_->v(i, j, T));
         sample.push_back(grid_->w(i, j, T));
       }
-    surfaceWriter_->appendSample(sample.data(), sample.size());
+    const std::uint64_t sampleIndex =
+        step_ / static_cast<std::size_t>(surfaceOutput_->sampleEverySteps);
+    surfaceWriter_->writeSampleAt(sampleIndex, sample.data(), sample.size());
   }
 
   if (checkpoints_ != nullptr && checkpointEvery_ > 0 && step_ > 0 &&
@@ -245,6 +270,7 @@ void WaveSolver::observationPhase() {
     // veto is COLLECTIVE: if any rank is poisoned, no rank writes —
     // otherwise the clean ranks' two-generation stores rotate past the
     // last step the poisoned rank can still restore.
+    telemetry::ScopedSpan span(telemetry::Phase::Checkpoint);
     bool veto = false;
     if (guard_) {
       const std::int64_t bad =
@@ -261,6 +287,13 @@ void WaveSolver::observationPhase() {
 }
 
 void WaveSolver::step() {
+  telemetry::stepMark(step_);
+  telemetry::count(telemetry::Counter::CellsUpdated, grid_->dims().count());
+  telemetry::count(
+      telemetry::Counter::FlopsEstimated,
+      static_cast<std::uint64_t>(
+          static_cast<double>(grid_->dims().count()) *
+          flopsPerPointPerStep(config_.attenuation.enabled)));
   // Fault hook: the injector can wedge this rank (RankStall — exercises
   // the watchdog) or poison one deterministic interior cell (FieldPoison —
   // exercises blow-up detection and rollback).
@@ -340,30 +373,78 @@ void WaveSolver::handleBlowup(const health::ClusterVerdict& cv) {
     config_.dt = newDt;
     grid_->setDt(newDt);
     guard_->noteRollback(from, step_, newDt);
+    // Open (or extend) the replay window: until the solver re-reaches the
+    // step it blew up at, enclosed spans count as replay, not useful work.
+    replayTarget_ = std::max(replayTarget_, from);
+    replaySpan_.begin(telemetry::Phase::RollbackReplay);
     return;
   }
   throw Error(guard_->abortDump(cv, step_));
 }
 
+void WaveSolver::maybeRewiden() {
+  if (!guard_ || !guard_->rewidenDue()) return;
+  if (replaySpan_.active()) return;  // never widen mid-replay
+  if (config_.dt >= dtBaseline_) return;  // nothing tightened to undo
+  const double newDt =
+      std::min(config_.dt * config_.health.dtRewiden, dtBaseline_);
+  config_.dt = newDt;
+  grid_->setDt(newDt);
+  guard_->noteRewiden(step_, newDt);
+}
+
+void WaveSolver::emitTelemetry(double wallSeconds, bool endOfRun) {
+  telemetry::Session* session = telemetry::activeSession();
+  if (session == nullptr) return;
+  // Collective: every rank contributes its summary; rank 0 gets the report.
+  const telemetry::ClusterReport report =
+      telemetry::aggregate(comm_, *session, step_, wallSeconds);
+  if (endOfRun && !config_.telemetry.tracePathPrefix.empty())
+    telemetry::writeTraceFile(config_.telemetry.tracePathPrefix + ".rank" +
+                                  std::to_string(comm_.rank()) + ".jsonl",
+                              session->slot(comm_.rank()));
+  if (comm_.rank() != 0) return;
+  lastTelemetryReport_ = report;
+  if (!config_.telemetry.reportPath.empty())
+    telemetry::writeReportFile(config_.telemetry.reportPath, report);
+}
+
 void WaveSolver::run(std::size_t nSteps,
                      const std::function<void(std::size_t)>& onStep) {
+  Stopwatch wall;
   if (guard_ && !preflightDone_) {
     guard_->preflight(comm_, buildPreflightContext(nSteps));
     preflightDone_ = true;
   }
   const std::size_t target = step_ + nSteps;
+  const auto reportEvery =
+      static_cast<std::size_t>(std::max(config_.telemetry.reportEverySteps,
+                                        0));
   while (step_ < target) {
     step();
+    // The replay window closes once the solver re-reaches the step it
+    // rolled back from: everything after is new work.
+    if (replaySpan_.active() && step_ >= replayTarget_) replaySpan_.end();
     if (onStep) onStep(step_);
     // Scan on the monitor cadence plus once at the end of the run, so a
     // run can never return an undetected non-finite field. A Fatal verdict
     // rolls step_ back below target and the loop re-runs the window.
     if (guard_ && (guard_->scanDue(step_) || step_ == target)) {
       const auto cv = guard_->evaluate(comm_, *grid_, step_);
-      if (cv.verdict == health::Verdict::Fatal) handleBlowup(cv);
+      if (cv.verdict == health::Verdict::Fatal)
+        handleBlowup(cv);
+      else if (cv.verdict == health::Verdict::Healthy)
+        maybeRewiden();
     }
+    // Interval aggregation: collective, and consistent because every rank
+    // holds the same step_ (the loop is lockstep).
+    if (reportEvery > 0 && step_ % reportEvery == 0 && step_ < target)
+      emitTelemetry(wallSeconds_ + wall.seconds(), /*endOfRun=*/false);
   }
+  if (replaySpan_.active()) replaySpan_.end();
   if (surfaceWriter_) surfaceWriter_->flush();
+  wallSeconds_ += wall.seconds();
+  emitTelemetry(wallSeconds_, /*endOfRun=*/true);
 }
 
 void WaveSolver::restart() {

@@ -29,6 +29,8 @@
 #include "health/guard.hpp"
 #include "io/aggregated_writer.hpp"
 #include "io/checkpoint.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/report.hpp"
 #include "util/timer.hpp"
 #include "vcluster/cart.hpp"
 #include "vcluster/comm.hpp"
@@ -36,6 +38,15 @@
 namespace awp::core {
 
 enum class AbsorbingType { None, Sponge, Pml };
+
+// Where and how often the solver emits telemetry aggregates. Only
+// consulted while a telemetry session is installed; spans and counters
+// themselves are recorded by the hooks regardless of these knobs.
+struct TelemetryOutputConfig {
+  int reportEverySteps = 0;      // 0 = only at end of run()
+  std::string reportPath;        // cluster JSON report (rank 0; "" = none)
+  std::string tracePathPrefix;   // per-rank JSONL: <prefix>.rankN.jsonl
+};
 
 struct SolverConfig {
   grid::GridDims globalDims;
@@ -61,6 +72,9 @@ struct SolverConfig {
 
   // Runtime health guard (preflight + blow-up monitor + rollback budget).
   health::HealthConfig health;
+
+  // Telemetry emission (see src/telemetry; no-op without a session).
+  TelemetryOutputConfig telemetry;
 };
 
 // Optional aggregated surface-velocity output (§III.E).
@@ -117,6 +131,12 @@ class WaveSolver {
   // Useful flops executed so far (for sustained-performance accounting).
   [[nodiscard]] double flopsExecuted() const;
 
+  // The newest cluster telemetry report (rank 0 only; !valid() elsewhere
+  // or before the first emission).
+  [[nodiscard]] const telemetry::ClusterReport& lastTelemetryReport() const {
+    return lastTelemetryReport_;
+  }
+
  private:
   void init(const mesh::MeshBlock& block);
   void velocityPhase();
@@ -128,6 +148,11 @@ class WaveSolver {
   // agreed checkpoint generation and tighten dt, or (budget exhausted /
   // nothing to restore) throw the structured diagnostic dump on every rank.
   void handleBlowup(const health::ClusterVerdict& cv);
+  // After a Healthy streak on a tightened dt, walk dt back toward the
+  // baseline (collective: every rank sees the same streak and factors).
+  void maybeRewiden();
+  // Collective telemetry aggregation + report/trace emission.
+  void emitTelemetry(double wallSeconds, bool endOfRun);
 
   vcluster::Communicator& comm_;
   const vcluster::CartTopology& topo_;
@@ -154,9 +179,17 @@ class WaveSolver {
   std::unique_ptr<health::HealthGuard> guard_;
   bool preflightDone_ = false;
   bool dtDerived_ = false;
+  double dtBaseline_ = 0.0;  // dt before any health-guard tightening
 
   PhaseTimer phases_;
   std::size_t step_ = 0;
+
+  // Rollback-replay window: opened on a successful rollback, closed when
+  // the solver re-reaches the step it rolled back from.
+  telemetry::ManualSpan replaySpan_;
+  std::size_t replayTarget_ = 0;
+  double wallSeconds_ = 0.0;  // accumulated across run() calls
+  telemetry::ClusterReport lastTelemetryReport_;
 };
 
 }  // namespace awp::core

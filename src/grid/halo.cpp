@@ -1,5 +1,6 @@
 #include "grid/halo.hpp"
 
+#include "telemetry/registry.hpp"
 #include "util/error.hpp"
 
 namespace awp::grid {
@@ -110,11 +111,17 @@ void HaloExchanger::sendOne(Array3f& f, const AxisNeed& need, int axis,
               : kHalo + interiorExtent(in, axis) -
                     static_cast<std::size_t>(count);
   std::vector<float> buf;
-  pack(f, axis, start, count, buf);
+  {
+    telemetry::ScopedSpan span(telemetry::Phase::HaloPack);
+    pack(f, axis, start, count, buf);
+  }
   comm_.sendSpan<float>(neighbor, tag, buf);
   ++stats_.messages;
   stats_.bytes += buf.size() * sizeof(float);
   stats_.planes += static_cast<std::uint64_t>(count);
+  telemetry::count(telemetry::Counter::HaloMessages);
+  telemetry::count(telemetry::Counter::HaloBytesSent,
+                   buf.size() * sizeof(float));
 }
 
 void HaloExchanger::recvOne(Array3f& f, const AxisNeed& need, int axis,
@@ -129,12 +136,20 @@ void HaloExchanger::recvOne(Array3f& f, const AxisNeed& need, int axis,
               : kHalo + interiorExtent(in, axis);
   std::vector<float> buf(planeFloats(in, axis, count));
   comm_.recvSpan<float>(neighbor, tag, std::span<float>(buf));
-  unpack(f, axis, start, count, buf);
+  telemetry::count(telemetry::Counter::HaloBytesReceived,
+                   buf.size() * sizeof(float));
+  {
+    telemetry::ScopedSpan span(telemetry::Phase::HaloUnpack);
+    unpack(f, axis, start, count, buf);
+  }
 }
 
 void HaloExchanger::runExchangeRaw(std::vector<Array3f*> fields,
                                    const std::vector<FieldNeed>& needs) {
   AWP_CHECK(fields.size() == needs.size());
+  // Pack/unpack open nested spans, so this span's exclusive time is the
+  // messaging itself: posting sends and blocking in receives.
+  telemetry::ScopedSpan span(telemetry::Phase::HaloExchange);
   ++seq_;
 
   if (mode_ == Mode::Asynchronous) {

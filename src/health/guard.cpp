@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "telemetry/registry.hpp"
+
 namespace awp::health {
 
 const char* toString(EventKind kind) {
@@ -9,6 +11,7 @@ const char* toString(EventKind kind) {
     case EventKind::Preflight: return "Preflight";
     case EventKind::Scan: return "Scan";
     case EventKind::Rollback: return "Rollback";
+    case EventKind::DtRewiden: return "DtRewiden";
     case EventKind::CheckpointVeto: return "CheckpointVeto";
     case EventKind::Abort: return "Abort";
   }
@@ -20,6 +23,7 @@ HealthGuard::HealthGuard(const HealthConfig& config)
 
 PreflightReport HealthGuard::preflight(vcluster::Communicator& comm,
                                        const PreflightContext& ctx) {
+  telemetry::ScopedSpan span(telemetry::Phase::HealthScan);
   // collectivePreflight throws on every rank when any rank is Fatal; the
   // event below therefore only records surviving (Healthy/Degraded) runs.
   const PreflightReport report = collectivePreflight(comm, ctx);
@@ -32,11 +36,15 @@ PreflightReport HealthGuard::preflight(vcluster::Communicator& comm,
 ClusterVerdict HealthGuard::evaluate(vcluster::Communicator& comm,
                                      const grid::StaggeredGrid& grid,
                                      std::size_t step) {
+  telemetry::ScopedSpan span(telemetry::Phase::HealthScan);
   ClusterVerdict cv;
   cv.local = monitor_.scan(grid);
   cv.verdict = decode(comm.allreduce(encode(cv.local.verdict),
                                      vcluster::ReduceOp::Max));
-  if (cv.verdict != Verdict::Healthy) {
+  if (cv.verdict == Verdict::Healthy) {
+    ++consecutiveHealthy_;
+  } else {
+    consecutiveHealthy_ = 0;
     // Offender: the lowest-ranked process carrying the worst verdict, so
     // every rank names the same one in its report.
     const std::int64_t mine = cv.local.verdict == cv.verdict
@@ -65,7 +73,10 @@ ClusterVerdict HealthGuard::evaluate(vcluster::Communicator& comm,
 void HealthGuard::noteRollback(std::size_t fromStep, std::size_t toStep,
                                double newDt) {
   ++rollbacksUsed_;
+  consecutiveHealthy_ = 0;
   monitor_.resetAfterRollback();
+  telemetry::count(telemetry::Counter::Rollbacks);
+  telemetry::count(telemetry::Counter::DtTightenEvents);
   std::ostringstream os;
   os << "rolled back from step " << fromStep << " to step " << toStep
      << ", dt tightened to " << newDt << " s (rollback " << rollbacksUsed_
@@ -74,7 +85,18 @@ void HealthGuard::noteRollback(std::size_t fromStep, std::size_t toStep,
       {EventKind::Rollback, fromStep, Verdict::Degraded, -1, os.str()});
 }
 
+void HealthGuard::noteRewiden(std::size_t step, double newDt) {
+  consecutiveHealthy_ = 0;  // demand a fresh streak before the next widening
+  telemetry::count(telemetry::Counter::DtRewidenEvents);
+  std::ostringstream os;
+  os << "dt re-widened to " << newDt << " s after "
+     << config_.dtRewidenWindow << " consecutive Healthy scans";
+  events_.push_back(
+      {EventKind::DtRewiden, step, Verdict::Healthy, -1, os.str()});
+}
+
 void HealthGuard::noteCheckpointVeto(std::size_t step) {
+  telemetry::count(telemetry::Counter::CheckpointVetoes);
   events_.push_back({EventKind::CheckpointVeto, step, Verdict::Degraded, -1,
                      "refused to persist a non-finite state"});
 }

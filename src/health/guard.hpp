@@ -29,6 +29,11 @@ struct HealthConfig {
   PreflightLimits limits;
   int maxRollbacks = 3;          // blow-up recoveries before aborting
   double dtTighten = 0.5;        // dt multiplier applied on each rollback
+  // Adaptive re-widening: after this many consecutive Healthy scans on a
+  // tightened dt, walk dt back toward the CFL-derived value by dtRewiden
+  // per event (never past the baseline). 0 disables re-widening.
+  int dtRewidenWindow = 0;
+  double dtRewiden = 2.0;        // dt multiplier per re-widen event
   double stallTimeoutSeconds = 30.0;  // watchdog knob (harness builds it)
   HeartbeatBoard* heartbeats = nullptr;  // optional shared board
 };
@@ -37,6 +42,7 @@ enum class EventKind {
   Preflight,
   Scan,             // a monitor scan with a non-Healthy verdict
   Rollback,         // restored a checkpoint generation, tightened dt
+  DtRewiden,        // walked dt back after a streak of Healthy scans
   CheckpointVeto,   // refused to persist a non-finite state
   Abort,            // rollback budget exhausted / nothing to restore
 };
@@ -87,6 +93,20 @@ class HealthGuard {
   void noteRollback(std::size_t fromStep, std::size_t toStep, double newDt);
   void noteCheckpointVeto(std::size_t step);
 
+  // Adaptive dt re-widening. The Healthy streak is fed by evaluate() —
+  // verdicts are cluster-combined there, so every rank tracks the same
+  // streak and rewidenDue() answers identically cluster-wide. The solver
+  // performs the actual dt change and reports it back via noteRewiden()
+  // (which restarts the streak, spacing successive re-widen events).
+  [[nodiscard]] bool rewidenDue() const {
+    return config_.dtRewidenWindow > 0 &&
+           consecutiveHealthy_ >= config_.dtRewidenWindow;
+  }
+  [[nodiscard]] int consecutiveHealthyScans() const {
+    return consecutiveHealthy_;
+  }
+  void noteRewiden(std::size_t step, double newDt);
+
   // Publish a heartbeat if a board is attached (no-op otherwise).
   void beat(int rank, std::size_t step);
 
@@ -102,6 +122,7 @@ class HealthGuard {
   HealthConfig config_;
   FieldMonitor monitor_;
   int rollbacksUsed_ = 0;
+  int consecutiveHealthy_ = 0;
   std::vector<HealthEvent> events_;
 };
 

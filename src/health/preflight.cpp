@@ -182,4 +182,156 @@ PreflightReport collectivePreflight(vcluster::Communicator& comm,
   throw Error(os.str());
 }
 
+// --- Rupture-solver preflight ---------------------------------------------
+
+namespace {
+
+void checkFrictionParams(const RupturePreflightContext& ctx,
+                         PreflightReport& report) {
+  auto fatal = [&](const std::string& text) {
+    report.verdict = Verdict::Fatal;
+    report.issues.push_back({Verdict::Fatal, text});
+  };
+  if (!std::isfinite(ctx.muS) || !std::isfinite(ctx.muD) ||
+      !std::isfinite(ctx.dc) || !std::isfinite(ctx.dcSurface) ||
+      !std::isfinite(ctx.cohesion)) {
+    fatal("non-finite friction parameter");
+    return;
+  }
+  if (ctx.muS < 0.0)
+    fatal("static friction muS = " + std::to_string(ctx.muS) + " negative");
+  if (ctx.muD < 0.0)
+    fatal("dynamic friction muD = " + std::to_string(ctx.muD) + " negative");
+  if (ctx.cohesion < 0.0)
+    fatal("cohesion = " + std::to_string(ctx.cohesion) + " Pa negative");
+  // A zero or negative slip-weakening distance makes the strength drop
+  // instantaneous: the weakening integral (fracture energy) vanishes and
+  // the rupture front becomes grid-dependent.
+  if (!(ctx.dc > 0.0))
+    fatal("slip-weakening distance dc = " + std::to_string(ctx.dc) +
+          " m must be positive");
+  if (!(ctx.dcSurface > 0.0))
+    fatal("surface slip-weakening distance dcSurface = " +
+          std::to_string(ctx.dcSurface) + " m must be positive");
+  // Slip-strengthening (muD > muS) is not fatal — it arrests rupture — but
+  // it is almost certainly a transposed pair.
+  if (ctx.muD > ctx.muS) {
+    report.verdict = worse(report.verdict, Verdict::Degraded);
+    report.issues.push_back(
+        {Verdict::Degraded, "muD = " + std::to_string(ctx.muD) +
+                                " exceeds muS = " + std::to_string(ctx.muS) +
+                                " (slip-strengthening fault cannot rupture)"});
+  }
+}
+
+// Per-node checks; returns the number of locally supercritical nodes
+// (initial shear above the static strength — the intended nucleation
+// patch, when bounded).
+std::size_t checkRuptureNodes(const RupturePreflightContext& ctx,
+                              PreflightReport& report) {
+  std::size_t supercritical = 0, flagged = 0;
+  auto flag = [&](Verdict sev, const RuptureNode& n, const std::string& what) {
+    report.verdict = worse(report.verdict, sev);
+    if (flagged++ < kMaxMaterialIssues) {
+      std::ostringstream os;
+      os << "fault node (" << n.gi << "," << n.gk << ") at depth " << n.depth
+         << " m: " << what;
+      report.issues.push_back({sev, os.str()});
+    }
+  };
+  for (const RuptureNode& n : ctx.nodes) {
+    if (!std::isfinite(n.tau0) || !std::isfinite(n.sigmaN) ||
+        !std::isfinite(n.depth)) {
+      flag(Verdict::Fatal, n, "non-finite initial stress");
+      continue;
+    }
+    if (n.sigmaN > 0.0) {
+      flag(Verdict::Degraded, n,
+           "tensile normal stress sigmaN = " + std::to_string(n.sigmaN) +
+               " Pa (fault clamps to zero frictional strength)");
+    }
+    // Static strength with the unweakened (slip = 0) friction coefficient;
+    // compression is negative sigmaN, matching
+    // SlipWeakeningFriction::strength.
+    const double strength =
+        std::max(0.0, ctx.cohesion + ctx.muS * std::max(0.0, -n.sigmaN));
+    if (n.tau0 > strength) ++supercritical;
+  }
+  if (flagged > kMaxMaterialIssues)
+    report.issues.push_back(
+        {report.verdict, std::to_string(flagged - kMaxMaterialIssues) +
+                             " further fault nodes flagged"});
+  return supercritical;
+}
+
+// The supercritical-fraction verdicts, shared by the local and collective
+// paths (counts are cluster-wide in the collective path).
+void judgeSupercritical(const RupturePreflightContext& ctx,
+                        std::int64_t supercritical, std::int64_t total,
+                        PreflightReport& report) {
+  if (total <= 0) return;
+  const double fraction =
+      static_cast<double>(supercritical) / static_cast<double>(total);
+  if (fraction > ctx.maxSupercriticalFraction) {
+    report.verdict = Verdict::Fatal;
+    std::ostringstream os;
+    os << supercritical << " of " << total << " fault nodes ("
+       << fraction * 100.0 << "%) start above static strength — exceeds the "
+       << ctx.maxSupercriticalFraction * 100.0
+       << "% nucleation-patch allowance (the whole fault would release at "
+          "step 0)";
+    report.issues.push_back({Verdict::Fatal, os.str()});
+  } else if (supercritical == 0) {
+    report.verdict = worse(report.verdict, Verdict::Degraded);
+    report.issues.push_back(
+        {Verdict::Degraded,
+         "no fault node starts above static strength: rupture cannot "
+         "nucleate (check the nucleation patch / nucExcess)"});
+  }
+}
+
+}  // namespace
+
+PreflightReport runRupturePreflight(const RupturePreflightContext& ctx,
+                                    std::size_t* supercriticalLocal) {
+  PreflightReport report;
+  checkFrictionParams(ctx, report);
+  const std::size_t supercritical = checkRuptureNodes(ctx, report);
+  if (supercriticalLocal != nullptr) *supercriticalLocal = supercritical;
+  return report;
+}
+
+PreflightReport collectiveRupturePreflight(
+    vcluster::Communicator& comm, const RupturePreflightContext& ctx) {
+  std::size_t supercriticalLocal = 0;
+  PreflightReport report = runRupturePreflight(ctx, &supercriticalLocal);
+
+  // Cluster-wide supercritical fraction: the fault is decomposed across
+  // ranks, so the nucleation patch may live entirely on one rank — only
+  // the global fraction is meaningful.
+  const auto supercritical = comm.allreduce(
+      static_cast<std::int64_t>(supercriticalLocal), vcluster::ReduceOp::Sum);
+  const auto total =
+      comm.allreduce(static_cast<std::int64_t>(ctx.nodes.size()),
+                     vcluster::ReduceOp::Sum);
+  judgeSupercritical(ctx, supercritical, total, report);
+
+  const auto verdicts = comm.allgather(encode(report.verdict));
+  const Verdict cluster =
+      decode(*std::max_element(verdicts.begin(), verdicts.end()));
+  if (cluster != Verdict::Fatal) return report;
+
+  std::ostringstream os;
+  os << "rupture preflight failed on rank " << comm.rank() << " [";
+  for (int r = 0; r < comm.size(); ++r)
+    os << (r > 0 ? " " : "") << "r" << r << "="
+       << toString(decode(verdicts[static_cast<std::size_t>(r)]));
+  os << "]";
+  if (!report.issues.empty())
+    os << ": " << describeIssues(report.issues);
+  else
+    os << ": this rank is clean; see the fatal rank(s) above";
+  throw Error(os.str());
+}
+
 }  // namespace awp::health

@@ -78,4 +78,44 @@ PreflightReport runPreflight(const PreflightContext& ctx);
 PreflightReport collectivePreflight(vcluster::Communicator& comm,
                                     const PreflightContext& ctx);
 
+// --- Rupture-solver preflight ---------------------------------------------
+// Validates dynamic-rupture inputs the same way the material path is
+// validated: friction parameters must be physical, and the initial stress
+// must sit below the static strength everywhere except a bounded
+// nucleation patch (a fault that is supercritical over a large fraction of
+// its area releases everything in step 0; one that is supercritical
+// nowhere can never nucleate).
+
+// One locally owned fault node, as sampled by the rupture solver.
+struct RuptureNode {
+  std::size_t gi = 0, gk = 0;  // global fault-plane indices (strike, depth)
+  double tau0 = 0.0;           // initial strike shear [Pa]
+  double sigmaN = 0.0;         // effective normal stress (negative) [Pa]
+  double depth = 0.0;          // [m]
+};
+
+struct RupturePreflightContext {
+  // Friction parameters, copied so this layer stays independent of
+  // src/rupture (mirrors PreflightContext's relationship to core).
+  double muS = 0.75;
+  double muD = 0.50;
+  double dc = 0.3;        // m
+  double dcSurface = 1.0; // m
+  double cohesion = 1.0e6;  // Pa
+  // Supercritical nodes (tau0 above static strength) tolerated as the
+  // nucleation patch, as a fraction of the global fault area. Fatal above.
+  double maxSupercriticalFraction = 0.25;
+  std::vector<RuptureNode> nodes;  // locally owned fault nodes
+};
+
+// Local validation; reports this rank's supercritical node count through
+// `supercriticalLocal` (the global fraction needs a reduction).
+PreflightReport runRupturePreflight(const RupturePreflightContext& ctx,
+                                    std::size_t* supercriticalLocal);
+
+// Collective: local checks + cluster-wide supercritical fraction, then the
+// same allgather-and-throw-together protocol as collectivePreflight.
+PreflightReport collectiveRupturePreflight(vcluster::Communicator& comm,
+                                           const RupturePreflightContext& ctx);
+
 }  // namespace awp::health

@@ -8,6 +8,12 @@
 // Each rank owns one AggregatedWriter targeting a shared output file; the
 // writer computes explicit displacements from (step, rank block) exactly as
 // the MPI-IO file views do in the paper.
+//
+// Samples are addressed by a caller-supplied step-derived index, which
+// makes the sink idempotent under rollback replay: a re-executed window
+// overwrites the records it wrote the first time (in the buffer when still
+// aggregated, positionally in the file when already flushed) instead of
+// appending duplicates.
 
 #include <cstdint>
 #include <vector>
@@ -23,6 +29,7 @@ struct WriterStats {
   std::uint64_t bytesWritten = 0;
   std::uint64_t writeAttempts = 0;  // sample writes incl. retries
   std::uint64_t writeRetries = 0;   // failed attempts that were retried
+  std::uint64_t samplesRewritten = 0;  // rollback-replay overwrites
   double writeSeconds = 0.0;
 };
 
@@ -37,8 +44,16 @@ class AggregatedWriter {
                    std::uint64_t rankOffsetFloats,
                    std::uint64_t stepFloatsGlobal, int flushEverySamples);
 
-  // Append one sampled step worth of data (must be recordFloats long).
+  // Append one sampled step worth of data (must be recordFloats long) at
+  // the next sample index.
   void appendSample(const float* data, std::size_t count);
+
+  // Write one sample at an explicit step-derived index. Indices at or past
+  // the flushed prefix land in (or extend) the aggregation buffer; indices
+  // below it — a rollback replay revisiting flushed steps — are rewritten
+  // in place at their original displacement.
+  void writeSampleAt(std::uint64_t sampleIndex, const float* data,
+                     std::size_t count);
 
   // Flush whatever is buffered. Transient write faults that escape the
   // file's own retries are retried once more per sample at this level, so
@@ -50,8 +65,15 @@ class AggregatedWriter {
   }
 
   [[nodiscard]] const WriterStats& stats() const { return stats_; }
+  // Index the next appendSample() would write.
+  [[nodiscard]] std::uint64_t nextSampleIndex() const {
+    return samplesFlushed_ + samplesBuffered_;
+  }
 
  private:
+  // One positional sample write (with retries under fault injection).
+  void writeOne(std::uint64_t sampleIndex, const float* src);
+
   SharedFile* file_;
   std::size_t recordFloats_;
   std::uint64_t rankOffsetFloats_;

@@ -11,6 +11,7 @@
 
 #include "fault/injector.hpp"
 #include "io/shared_file.hpp"
+#include "telemetry/registry.hpp"
 #include "util/error.hpp"
 #include "util/md5.hpp"
 
@@ -93,6 +94,10 @@ bool CheckpointStore::exists(int rank) const {
 
 void CheckpointStore::write(int rank, std::uint64_t step,
                             std::span<const std::byte> state) {
+  telemetry::ScopedSpan span(telemetry::Phase::Checkpoint);
+  telemetry::count(telemetry::Counter::CheckpointWrites);
+  telemetry::count(telemetry::Counter::CheckpointBytes,
+                   sizeof(Header) + state.size());
   Header h{};
   h.magic = kMagic;
   h.step = step;
@@ -151,6 +156,7 @@ void CheckpointStore::write(int rank, std::uint64_t step,
 }
 
 CheckpointStore::Restored CheckpointStore::loadSlot(int rank, int slot) const {
+  telemetry::ScopedSpan span(telemetry::Phase::Checkpoint);
   auto readBody = [&]() -> Restored {
     SharedFile f(pathFor(rank, slot), SharedFile::Mode::Read);
     Header h{};

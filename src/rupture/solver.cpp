@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "core/source.hpp"
+#include "health/preflight.hpp"
+#include "telemetry/registry.hpp"
 #include "util/error.hpp"
 
 namespace awp::rupture {
@@ -132,6 +134,20 @@ DynamicRuptureSolver::DynamicRuptureSolver(vcluster::Communicator& comm,
       n.mu = grid_->mu(li, lj, lk);
       nodes_.push_back(n);
     }
+
+  if (config_.preflight) {
+    health::RupturePreflightContext pf;
+    pf.muS = config_.friction.muS;
+    pf.muD = config_.friction.muD;
+    pf.dc = config_.friction.dc;
+    pf.dcSurface = config_.friction.dcSurface;
+    pf.cohesion = config_.friction.cohesion;
+    pf.maxSupercriticalFraction = config_.maxSupercriticalFraction;
+    pf.nodes.reserve(nodes_.size());
+    for (const LocalNode& n : nodes_)
+      pf.nodes.push_back({n.gi, n.gk, n.tau0, n.sigmaN, n.depth});
+    health::collectiveRupturePreflight(comm_, pf);  // throws when Fatal
+  }
 }
 
 void DynamicRuptureSolver::recordSlipRates() {
@@ -179,20 +195,39 @@ void DynamicRuptureSolver::faultCondition() {
 }
 
 void DynamicRuptureSolver::step() {
+  telemetry::stepMark(step_);
+  telemetry::count(telemetry::Counter::CellsUpdated, grid_->dims().count());
   const core::Region r = core::Region::interior(*grid_);
-  core::updateVelocity(*grid_, config_.kernels);
-  halo_->exchangeVelocities(*grid_);
-  freeSurface_->applyVelocityImages(*grid_);
-  recordSlipRates();
-
-  core::updateStress(*grid_, core::StressGroup::Normal, config_.kernels, r);
-  core::updateStress(*grid_, core::StressGroup::XY, config_.kernels, r);
-  core::updateStress(*grid_, core::StressGroup::XZ, config_.kernels, r);
-  core::updateStress(*grid_, core::StressGroup::YZ, config_.kernels, r);
-  faultCondition();
-  freeSurface_->applyStressImages(*grid_);
-  halo_->exchangeStresses(*grid_);
-  sponge_->apply(*grid_);
+  {
+    telemetry::ScopedSpan span(telemetry::Phase::VelocityKernel);
+    core::updateVelocity(*grid_, config_.kernels);
+    halo_->exchangeVelocities(*grid_);
+    freeSurface_->applyVelocityImages(*grid_);
+  }
+  {
+    telemetry::ScopedSpan span(telemetry::Phase::Rupture);
+    recordSlipRates();
+  }
+  {
+    telemetry::ScopedSpan span(telemetry::Phase::StressKernel);
+    core::updateStress(*grid_, core::StressGroup::Normal, config_.kernels, r);
+    core::updateStress(*grid_, core::StressGroup::XY, config_.kernels, r);
+    core::updateStress(*grid_, core::StressGroup::XZ, config_.kernels, r);
+    core::updateStress(*grid_, core::StressGroup::YZ, config_.kernels, r);
+  }
+  {
+    telemetry::ScopedSpan span(telemetry::Phase::Rupture);
+    faultCondition();
+  }
+  {
+    telemetry::ScopedSpan span(telemetry::Phase::StressKernel);
+    freeSurface_->applyStressImages(*grid_);
+    halo_->exchangeStresses(*grid_);
+  }
+  {
+    telemetry::ScopedSpan span(telemetry::Phase::Absorb);
+    sponge_->apply(*grid_);
+  }
   ++step_;
 }
 

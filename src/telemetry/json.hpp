@@ -1,0 +1,41 @@
+#pragma once
+// Minimal JSON tree, parser, and string escaping — just enough for the
+// telemetry report: emit structured reports without a dependency, and
+// validate emitted text against the schema in tests and the CI gate.
+// Supported: objects, arrays, strings (with the standard escapes and
+// BMP \uXXXX), numbers (via strtod), true/false/null. No comments, no
+// trailing commas — exactly RFC 8259's grammar for the subset we emit.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace awp::telemetry {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;                            // Array
+  std::vector<std::pair<std::string, JsonValue>> members;  // Object
+
+  // Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  [[nodiscard]] bool isNumber() const { return kind == Kind::Number; }
+  [[nodiscard]] bool isString() const { return kind == Kind::String; }
+  [[nodiscard]] bool isArray() const { return kind == Kind::Array; }
+  [[nodiscard]] bool isObject() const { return kind == Kind::Object; }
+};
+
+// Parse a complete JSON document; throws awp::Error (with the byte offset)
+// on malformed input or trailing garbage.
+JsonValue parseJson(const std::string& text);
+
+// Escape a string for embedding in a JSON document (without quotes).
+std::string escapeJson(const std::string& s);
+
+}  // namespace awp::telemetry

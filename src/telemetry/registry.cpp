@@ -1,0 +1,121 @@
+#include "telemetry/registry.hpp"
+
+#include "fault/injector.hpp"
+#include "util/error.hpp"
+
+namespace awp::telemetry {
+
+namespace detail {
+std::atomic<Session*> g_session{nullptr};
+}
+
+void installSession(Session* session) {
+  detail::g_session.store(session, std::memory_order_release);
+}
+
+RankTelemetry* currentRank() {
+  Session* s = activeSession();
+  if (s == nullptr) return nullptr;
+  return &s->slot(fault::threadRank());
+}
+
+RankTelemetry::RankTelemetry(int rank, std::size_t ringCapacity,
+                             std::chrono::steady_clock::time_point epoch)
+    : rank_(rank), epoch_(epoch) {
+  AWP_CHECK(ringCapacity > 0);
+  ring_.resize(ringCapacity);
+}
+
+std::uint64_t RankTelemetry::nowNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void RankTelemetry::open(Frame& frame, Phase phase) {
+  frame.phase = phase;
+  frame.childNs = 0;
+  frame.parent = top_;
+  top_ = &frame;
+  ++depth_;
+  if (phase == Phase::RollbackReplay) ++replayDepth_;
+  frame.t0 = nowNs();  // last, so setup cost lands in the parent
+}
+
+void RankTelemetry::close(Frame& frame) {
+  const std::uint64_t t1 = nowNs();
+  const std::uint64_t dur = t1 - frame.t0;
+  top_ = frame.parent;
+  --depth_;  // LIFO: equals the nesting depth this frame was opened at
+  if (frame.parent != nullptr) frame.parent->childNs += dur;
+  if (frame.phase == Phase::RollbackReplay) --replayDepth_;
+  const bool replay =
+      replayDepth_ > 0 && frame.phase != Phase::RollbackReplay;
+  const std::uint64_t exclusive =
+      dur > frame.childNs ? dur - frame.childNs : 0;
+  (replay ? replayNs_ : phaseNs_)[static_cast<std::size_t>(frame.phase)] +=
+      exclusive;
+
+  SpanRecord& rec = ring_[ring_.empty() ? 0 : ringWrites_ % ring_.size()];
+  rec.phase = frame.phase;
+  rec.depth = depth_;
+  rec.replay = replay;
+  rec.step = step_;
+  rec.startNs = frame.t0;
+  rec.durationNs = dur;
+  ++ringWrites_;
+}
+
+RankSummary RankTelemetry::summary() const {
+  RankSummary s;
+  s.rank = rank_;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    s.phaseNs[p] = phaseNs_[p];
+    s.replayNs[p] = replayNs_[p];
+  }
+  for (std::size_t c = 0; c < kCounterCount; ++c)
+    s.counters[c] = counters_[c].load(std::memory_order_relaxed);
+  s.spansRecorded = ringWrites_;
+  s.spansDropped =
+      ringWrites_ > ring_.size() ? ringWrites_ - ring_.size() : 0;
+  s.counters[static_cast<std::size_t>(Counter::SpansDropped)] +=
+      s.spansDropped;
+  return s;
+}
+
+std::vector<SpanRecord> RankTelemetry::traceSnapshot() const {
+  std::vector<SpanRecord> out;
+  const std::uint64_t kept =
+      ringWrites_ < ring_.size() ? ringWrites_
+                                 : static_cast<std::uint64_t>(ring_.size());
+  out.reserve(static_cast<std::size_t>(kept));
+  const std::uint64_t first = ringWrites_ - kept;
+  for (std::uint64_t n = 0; n < kept; ++n)
+    out.push_back(ring_[(first + n) % ring_.size()]);
+  return out;
+}
+
+Session::Session(const SessionConfig& config)
+    : config_(config), epoch_(std::chrono::steady_clock::now()) {
+  AWP_CHECK(config_.nranks > 0);
+  slots_.reserve(static_cast<std::size_t>(config_.nranks) + 1);
+  for (int r = 0; r < config_.nranks; ++r)
+    slots_.push_back(std::make_unique<RankTelemetry>(
+        r, config_.ringCapacity, epoch_));
+  // The off-rank slot (launcher thread, workflow stages).
+  slots_.push_back(
+      std::make_unique<RankTelemetry>(-1, config_.ringCapacity, epoch_));
+}
+
+RankTelemetry& Session::slot(int rank) {
+  if (rank < 0 || rank >= config_.nranks) return *slots_.back();
+  return *slots_[static_cast<std::size_t>(rank)];
+}
+
+const RankTelemetry& Session::slot(int rank) const {
+  if (rank < 0 || rank >= config_.nranks) return *slots_.back();
+  return *slots_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace awp::telemetry

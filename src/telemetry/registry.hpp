@@ -1,0 +1,229 @@
+#pragma once
+// Per-rank span tracer and counter registry (layer 1 of the telemetry
+// subsystem; see report.hpp for the cluster aggregator).
+//
+// Design constraints, in order:
+//  * Disabled must be free. Like the fault injector, the session is a
+//    process-global atomic pointer; with no session installed a ScopedSpan
+//    constructor is one relaxed load and a branch — no clock reads, no
+//    allocation, nothing the optimizer must keep.
+//  * The hot path must not lock. Each rank thread owns one RankTelemetry
+//    slot: span records go into a pre-allocated ring buffer written only
+//    by the owning thread (a monotone write index makes overflow explicit
+//    rather than silent), and counters are relaxed atomics so off-thread
+//    increments (the workflow's transfer leg runs on the launcher thread)
+//    stay safe.
+//  * Attribution must be exclusive. Spans nest (a PML update inside the
+//    velocity block, a pack inside an exchange); each frame subtracts its
+//    children's time before accumulating into its phase bucket, so the
+//    per-phase totals partition wall time instead of double-counting it.
+//  * Replay is not useful work. While a RollbackReplay span is open every
+//    enclosed span is flagged and its exclusive time lands in a separate
+//    replay bucket, so the report can state both what a run spent and what
+//    of that was re-execution of a lost window.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "telemetry/taxonomy.hpp"
+
+namespace awp::telemetry {
+
+// One closed span in the per-rank trace ring.
+struct SpanRecord {
+  Phase phase = Phase::VelocityKernel;
+  std::uint16_t depth = 0;   // nesting depth at open (0 = top level)
+  bool replay = false;       // opened inside a rollback-replay window
+  std::uint64_t step = 0;    // solver step current at open
+  std::uint64_t startNs = 0; // since session epoch
+  std::uint64_t durationNs = 0;
+};
+
+// Flat, trivially-copyable per-rank totals — the unit of aggregation.
+struct RankSummary {
+  std::int32_t rank = -1;
+  std::uint64_t phaseNs[kPhaseCount] = {};   // exclusive, useful work
+  std::uint64_t replayNs[kPhaseCount] = {};  // exclusive, replay windows
+  std::uint64_t counters[kCounterCount] = {};
+  std::uint64_t spansRecorded = 0;
+  std::uint64_t spansDropped = 0;
+};
+
+class RankTelemetry {
+ public:
+  RankTelemetry(int rank, std::size_t ringCapacity,
+                std::chrono::steady_clock::time_point epoch);
+
+  // Open-span frame, stack-allocated inside ScopedSpan/ManualSpan. Frames
+  // must close in LIFO order on the owning thread.
+  struct Frame {
+    Phase phase = Phase::VelocityKernel;
+    std::uint64_t t0 = 0;
+    std::uint64_t childNs = 0;
+    Frame* parent = nullptr;
+  };
+
+  void open(Frame& frame, Phase phase);
+  void close(Frame& frame);
+
+  void count(Counter c, std::uint64_t delta) {
+    counters_[static_cast<std::size_t>(c)].fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void setStep(std::uint64_t step) { step_ = step; }
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] std::uint64_t counterValue(Counter c) const {
+    return counters_[static_cast<std::size_t>(c)].load(
+        std::memory_order_relaxed);
+  }
+  // Exclusive per-phase totals (useful / replay), in nanoseconds.
+  [[nodiscard]] std::uint64_t phaseNs(Phase p) const {
+    return phaseNs_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] std::uint64_t replayNs(Phase p) const {
+    return replayNs_[static_cast<std::size_t>(p)];
+  }
+
+  // Snapshot of the totals (call from the owning thread, or after join).
+  [[nodiscard]] RankSummary summary() const;
+  // Surviving trace records, oldest first (ring overflow drops the oldest).
+  [[nodiscard]] std::vector<SpanRecord> traceSnapshot() const;
+
+  [[nodiscard]] std::uint64_t nowNs() const;
+
+ private:
+  int rank_;
+  std::chrono::steady_clock::time_point epoch_;
+  Frame* top_ = nullptr;
+  std::uint16_t depth_ = 0;
+  int replayDepth_ = 0;
+  std::uint64_t step_ = 0;
+  std::uint64_t phaseNs_[kPhaseCount] = {};
+  std::uint64_t replayNs_[kPhaseCount] = {};
+  std::array<std::atomic<std::uint64_t>, kCounterCount> counters_ = {};
+  std::vector<SpanRecord> ring_;
+  std::uint64_t ringWrites_ = 0;
+};
+
+struct SessionConfig {
+  int nranks = 1;
+  std::size_t ringCapacity = 1 << 16;  // span records retained per rank
+};
+
+// One telemetry session shared by every rank of a virtual cluster; owns
+// one RankTelemetry slot per rank plus an off-rank slot for threads that
+// are not cluster ranks (the workflow's launcher-thread transfer leg).
+class Session {
+ public:
+  explicit Session(const SessionConfig& config);
+
+  [[nodiscard]] int nranks() const { return config_.nranks; }
+  [[nodiscard]] const SessionConfig& config() const { return config_; }
+  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const {
+    return epoch_;
+  }
+
+  // rank in [0, nranks) selects that rank's slot; anything else (notably
+  // the launcher thread's -1) selects the shared off-rank slot.
+  [[nodiscard]] RankTelemetry& slot(int rank);
+  [[nodiscard]] const RankTelemetry& slot(int rank) const;
+  [[nodiscard]] RankTelemetry& offRankSlot() { return *slots_.back(); }
+  [[nodiscard]] const RankTelemetry& offRankSlot() const {
+    return *slots_.back();
+  }
+
+ private:
+  SessionConfig config_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<RankTelemetry>> slots_;  // nranks + 1
+};
+
+namespace detail {
+extern std::atomic<Session*> g_session;
+}
+
+// The process-global session consulted by all hooks (nullptr = disabled).
+inline Session* activeSession() {
+  return detail::g_session.load(std::memory_order_acquire);
+}
+inline bool enabled() { return activeSession() != nullptr; }
+void installSession(Session* session);
+
+// RAII install/uninstall for harnesses and tests.
+class ScopedSession {
+ public:
+  explicit ScopedSession(Session& session) { installSession(&session); }
+  ~ScopedSession() { installSession(nullptr); }
+  ScopedSession(const ScopedSession&) = delete;
+  ScopedSession& operator=(const ScopedSession&) = delete;
+};
+
+// The current thread's slot, or nullptr when telemetry is disabled.
+// Rank attribution reuses the fault layer's thread tag (set by the
+// cluster launcher for every rank thread).
+RankTelemetry* currentRank();
+
+// --- fast-path helpers ----------------------------------------------------
+
+inline void count(Counter c, std::uint64_t delta = 1) {
+  if (RankTelemetry* rt = currentRank()) rt->count(c, delta);
+}
+
+inline void stepMark(std::uint64_t step) {
+  if (RankTelemetry* rt = currentRank()) rt->setStep(step);
+}
+
+// RAII span: times a scope into a phase bucket and the trace ring.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Phase phase) {
+    if (RankTelemetry* rt = currentRank()) {
+      rt_ = rt;
+      rt->open(frame_, phase);
+    }
+  }
+  ~ScopedSpan() {
+    if (rt_ != nullptr) rt_->close(frame_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  RankTelemetry* rt_ = nullptr;
+  RankTelemetry::Frame frame_{};
+};
+
+// Explicitly opened/closed span for windows that outlive any one scope
+// (the solver's rollback-replay window spans many step() calls). Must be
+// closed on the thread that opened it, with LIFO discipline against any
+// scoped spans opened in between (which is automatic: scoped spans unwind
+// before control returns to the owner of the manual span).
+class ManualSpan {
+ public:
+  void begin(Phase phase) {
+    if (active()) return;
+    if (RankTelemetry* rt = currentRank()) {
+      rt_ = rt;
+      rt->open(frame_, phase);
+    }
+  }
+  void end() {
+    if (rt_ != nullptr) {
+      rt_->close(frame_);
+      rt_ = nullptr;
+      frame_ = RankTelemetry::Frame{};
+    }
+  }
+  [[nodiscard]] bool active() const { return rt_ != nullptr; }
+
+ private:
+  RankTelemetry* rt_ = nullptr;
+  RankTelemetry::Frame frame_{};
+};
+
+}  // namespace awp::telemetry

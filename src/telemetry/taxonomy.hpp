@@ -1,0 +1,82 @@
+#pragma once
+// The fixed phase taxonomy and counter set of the telemetry subsystem.
+// Phases attribute wall-clock time to the solver's hot paths (the paper's
+// Fig 12 compute/comm/I-O breakdown, at finer grain); counters record
+// monotone work and event totals. Both are closed enums so per-rank
+// storage is a flat array, aggregation is index-aligned across ranks, and
+// the report schema is stable for the bench harness.
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace awp::telemetry {
+
+// Span phases. Order is the report order; names are the JSON identifiers.
+enum class Phase : std::size_t {
+  VelocityKernel = 0,  // velocity FD update (incl. free-surface images)
+  StressKernel,        // stress FD update + source injection
+  HaloPack,            // packing exchange planes into send buffers
+  HaloExchange,        // posting/completing the exchange (incl. waits)
+  HaloUnpack,          // unpacking received planes into ghost cells
+  Absorb,              // sponge taper / PML split-field updates
+  Rupture,             // fault traction bounding + slip-rate bookkeeping
+  Checkpoint,          // checkpoint write/read incl. the collective veto
+  Output,              // observation recording + aggregated surface output
+  HealthScan,          // preflight + in-loop monitor scans (collective)
+  Transfer,            // wide-area transfer leg of the workflow
+  RollbackReplay,      // re-execution window after a rollback
+  kCount
+};
+
+inline constexpr std::size_t kPhaseCount =
+    static_cast<std::size_t>(Phase::kCount);
+
+inline constexpr std::array<std::string_view, kPhaseCount> kPhaseJsonNames = {
+    "velocity_kernel", "stress_kernel", "halo_pack",   "halo_exchange",
+    "halo_unpack",     "absorb",        "rupture",     "checkpoint",
+    "output",          "health_scan",   "transfer",    "rollback_replay"};
+
+[[nodiscard]] inline std::string_view toString(Phase p) {
+  return kPhaseJsonNames[static_cast<std::size_t>(p)];
+}
+
+// Monotone counters and event totals. Cheap relaxed-atomic increments.
+enum class Counter : std::size_t {
+  CellsUpdated = 0,      // grid cells advanced one full time step
+  FlopsEstimated,        // flops implied by the kernel launches
+  HaloBytesSent,
+  HaloBytesReceived,
+  HaloMessages,
+  CheckpointWrites,
+  CheckpointBytes,
+  CheckpointVetoes,      // collective refusals to persist non-finite state
+  OutputBytes,           // aggregated observation bytes written
+  WriteRetries,          // retried output write attempts
+  TransferBytes,
+  TransferRetries,
+  Rollbacks,
+  DtTightenEvents,       // dt tightened after a rollback
+  DtRewidenEvents,       // dt walked back toward the CFL-derived value
+  ObservationsRewritten, // step-indexed records overwritten on replay
+  SpansDropped,          // ring-buffer overflow (trace truncated)
+  kCount
+};
+
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount);
+
+inline constexpr std::array<std::string_view, kCounterCount>
+    kCounterJsonNames = {
+        "cells_updated",      "flops_estimated",    "halo_bytes_sent",
+        "halo_bytes_received", "halo_messages",     "checkpoint_writes",
+        "checkpoint_bytes",   "checkpoint_vetoes",  "output_bytes",
+        "write_retries",      "transfer_bytes",     "transfer_retries",
+        "rollbacks",          "dt_tighten_events",  "dt_rewiden_events",
+        "observations_rewritten", "spans_dropped"};
+
+[[nodiscard]] inline std::string_view toString(Counter c) {
+  return kCounterJsonNames[static_cast<std::size_t>(c)];
+}
+
+}  // namespace awp::telemetry

@@ -5,6 +5,7 @@
 
 #include "fault/injector.hpp"
 #include "io/shared_file.hpp"
+#include "telemetry/registry.hpp"
 #include "util/error.hpp"
 #include "util/md5.hpp"
 #include "util/retry.hpp"
@@ -19,6 +20,9 @@ TransferReport TransferChannel::transfer(
     const std::vector<std::string>& files) {
   TransferReport report;
   report.allVerified = true;
+  // Runs on the launcher thread in the e2eaw workflow, so this lands in
+  // the session's off-rank slot.
+  telemetry::ScopedSpan span(telemetry::Phase::Transfer);
 
   for (const auto& name : files) {
     io::SharedFile src(srcDir + "/" + name, io::SharedFile::Mode::Read);
@@ -79,6 +83,9 @@ TransferReport TransferChannel::transfer(
       report.attempts += static_cast<std::uint64_t>(rs.attempts);
       report.chunksFailed += static_cast<std::uint64_t>(rs.failures);
       report.chunksRetried += static_cast<std::uint64_t>(rs.failures);
+      telemetry::count(telemetry::Counter::TransferBytes, len);
+      telemetry::count(telemetry::Counter::TransferRetries,
+                       static_cast<std::uint64_t>(rs.failures));
       if (rs.failures > 0) {
         // Mark every failed transaction for this chunk as recovered.
         for (auto& rec : report.records)

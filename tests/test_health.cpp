@@ -392,8 +392,9 @@ TEST_F(HealthTest, GuardDisabledLetsThePoisonThrough) {
         core::rickerWavelet(2.0, 0.5, solver.dt(), 40, 1e15)));
     solver.run(40);
     EXPECT_EQ(solver.currentStep(), 40u);
-    if (comm.rank() == 0)
+    if (comm.rank() == 0) {
       EXPECT_FALSE(health::FieldMonitor::allFinite(solver.grid()));
+    }
   });
   EXPECT_EQ(injector.faultsInjected(), 1u);
 }
@@ -563,6 +564,193 @@ TEST(RuntimeConfigHealth, RejectsInvalidValues) {
   EXPECT_THROW(core::parseRuntimeConfig("health_growth_limit = 1\n"), Error);
   EXPECT_THROW(core::parseRuntimeConfig("health_stall_timeout = -1\n"),
                Error);
+}
+
+TEST(RuntimeConfigHealth, ParsesRewidenAndTelemetryKeys) {
+  const auto config = core::parseRuntimeConfig(
+      "health_dt_rewiden_window = 3\n"
+      "health_dt_rewiden = 1.5\n"
+      "telemetry = on\n"
+      "telemetry_interval = 100\n"
+      "telemetry_report = Out/Report.json\n"
+      "telemetry_trace = Out/trace\n"
+      "telemetry_ring = 1024\n");
+  EXPECT_EQ(config.solver.health.dtRewidenWindow, 3);
+  EXPECT_DOUBLE_EQ(config.solver.health.dtRewiden, 1.5);
+  EXPECT_TRUE(config.telemetryEnabled);
+  EXPECT_EQ(config.solver.telemetry.reportEverySteps, 100);
+  // Path values keep their case (only enum/switch values are folded).
+  EXPECT_EQ(config.solver.telemetry.reportPath, "Out/Report.json");
+  EXPECT_EQ(config.solver.telemetry.tracePathPrefix, "Out/trace");
+  EXPECT_EQ(config.telemetryRingCapacity, 1024u);
+
+  EXPECT_THROW(core::parseRuntimeConfig("health_dt_rewiden = 1\n"), Error);
+  EXPECT_THROW(core::parseRuntimeConfig("health_dt_rewiden_window = -1\n"),
+               Error);
+  EXPECT_THROW(core::parseRuntimeConfig("telemetry_ring = 0\n"), Error);
+  EXPECT_THROW(core::parseRuntimeConfig("telemetry_interval = -5\n"), Error);
+}
+
+// --- dt re-widening --------------------------------------------------------
+
+TEST_F(HealthTest, DtRewidensAfterHealthyStreak) {
+  // The PoisonedCellRollsBackAndCompletes scenario with re-widening
+  // enabled: rollback at the step-25 scan halves dt; the Healthy scans at
+  // 30 and 35 complete the streak and dt walks back to the baseline.
+  const grid::GridDims dims{28, 20, 14};
+  const CartTopology topo(Dims3{2, 1, 1});
+  const std::string ckptDir = (dir_ / "ckpt").string();
+
+  fault::FaultPlan plan;
+  plan.poison("solver.step", /*rank=*/0, /*occurrence=*/23);
+  fault::FaultInjector injector(std::move(plan), /*seed=*/99);
+  fault::ScopedInjection scope(injector);
+
+  ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+    core::SolverConfig config;
+    config.globalDims = dims;
+    config.h = 600.0;
+    config.spongeWidth = 4;
+    config.health.enabled = true;
+    config.health.monitor.everySteps = 5;
+    config.health.dtRewidenWindow = 2;
+    config.health.dtRewiden = 2.0;
+    io::CheckpointStore store(ckptDir);
+    core::WaveSolver solver(comm, topo, config,
+                            vmodel::Material{5200.0f, 3000.0f, 2700.0f});
+    solver.attachCheckpoints(&store, 10);
+    solver.addSource(core::explosionPointSource(
+        14, 10, 7,
+        core::rickerWavelet(2.0, 0.5, solver.dt(), 40, 1e15)));
+    const double dt0 = solver.dt();
+
+    solver.run(40);
+
+    EXPECT_EQ(solver.currentStep(), 40u);
+    EXPECT_TRUE(health::FieldMonitor::allFinite(solver.grid()));
+    // dt walked all the way back to the pre-rollback baseline, and the
+    // walk-back never overshoots it.
+    EXPECT_DOUBLE_EQ(solver.dt(), dt0);
+
+    ASSERT_NE(solver.healthGuard(), nullptr);
+    const auto& events = solver.healthGuard()->events();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[2].kind, health::EventKind::Rollback);
+    EXPECT_EQ(events[3].kind, health::EventKind::DtRewiden);
+    EXPECT_NE(events[3].detail.find("after 2 consecutive Healthy scans"),
+              std::string::npos);
+    // Exactly one widening: once dt is back at the baseline, later Healthy
+    // streaks must not push it beyond.
+    int rewidens = 0;
+    for (const auto& e : events)
+      if (e.kind == health::EventKind::DtRewiden) ++rewidens;
+    EXPECT_EQ(rewidens, 1);
+  });
+  EXPECT_EQ(injector.faultsInjected(), 1u);
+}
+
+// --- rupture preflight -----------------------------------------------------
+
+health::RupturePreflightContext ruptureCtx(std::size_t nodes,
+                                           std::size_t supercritical) {
+  health::RupturePreflightContext ctx;
+  ctx.nodes.reserve(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    health::RuptureNode node;
+    node.gi = n;
+    node.gk = 3;
+    node.sigmaN = -60.0e6;  // 60 MPa compression
+    node.depth = 5000.0;
+    // Static strength = cohesion + muS * 60 MPa = 1 MPa + 45 MPa.
+    node.tau0 = n < supercritical ? 50.0e6 : 20.0e6;
+    ctx.nodes.push_back(node);
+  }
+  return ctx;
+}
+
+TEST(RupturePreflight, AcceptsBoundedNucleationPatch) {
+  std::size_t supercritical = 0;
+  const auto report =
+      health::runRupturePreflight(ruptureCtx(100, 10), &supercritical);
+  EXPECT_EQ(report.verdict, health::Verdict::Healthy);
+  EXPECT_EQ(supercritical, 10u);
+}
+
+TEST(RupturePreflight, RejectsUnphysicalFrictionParameters) {
+  auto ctx = ruptureCtx(4, 1);
+  ctx.dc = 0.0;
+  auto report = health::runRupturePreflight(ctx, nullptr);
+  EXPECT_EQ(report.verdict, health::Verdict::Fatal);
+  EXPECT_NE(health::describeIssues(report.issues).find("dc"),
+            std::string::npos);
+
+  ctx = ruptureCtx(4, 1);
+  ctx.muS = -0.1;
+  EXPECT_EQ(health::runRupturePreflight(ctx, nullptr).verdict,
+            health::Verdict::Fatal);
+
+  ctx = ruptureCtx(4, 1);
+  ctx.cohesion = -1.0;
+  EXPECT_EQ(health::runRupturePreflight(ctx, nullptr).verdict,
+            health::Verdict::Fatal);
+
+  // Slip-strengthening is suspicious but survivable.
+  ctx = ruptureCtx(4, 1);
+  ctx.muD = ctx.muS + 0.1;
+  EXPECT_EQ(health::runRupturePreflight(ctx, nullptr).verdict,
+            health::Verdict::Degraded);
+}
+
+TEST(RupturePreflight, FlagsBrokenNodesWithCellDiagnostics) {
+  auto ctx = ruptureCtx(8, 1);
+  ctx.nodes[5].tau0 = std::numeric_limits<double>::quiet_NaN();
+  const auto report = health::runRupturePreflight(ctx, nullptr);
+  EXPECT_EQ(report.verdict, health::Verdict::Fatal);
+  // The diagnostic names the fault cell.
+  EXPECT_NE(health::describeIssues(report.issues).find("(5,3)"),
+            std::string::npos);
+
+  auto tensile = ruptureCtx(8, 1);
+  tensile.nodes[2].sigmaN = 1.0e6;  // tension
+  EXPECT_EQ(health::runRupturePreflight(tensile, nullptr).verdict,
+            health::Verdict::Degraded);
+}
+
+TEST(RupturePreflight, CollectiveJudgesGlobalSupercriticalFraction) {
+  // The nucleation patch lives entirely on rank 0: locally 40% of rank 0's
+  // nodes are supercritical, globally only 10% — the collective check must
+  // pass where a per-rank check would abort.
+  ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+    const auto ctx =
+        comm.rank() == 0 ? ruptureCtx(25, 10) : ruptureCtx(75, 0);
+    const auto report = health::collectiveRupturePreflight(comm, ctx);
+    EXPECT_EQ(report.verdict, health::Verdict::Healthy);
+  });
+
+  // A fault supercritical over half its area aborts on EVERY rank, with
+  // the per-rank verdict table in the message.
+  ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+    const auto ctx =
+        comm.rank() == 0 ? ruptureCtx(50, 50) : ruptureCtx(50, 0);
+    try {
+      health::collectiveRupturePreflight(comm, ctx);
+      ADD_FAILURE() << "expected Fatal on rank " << comm.rank();
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("rupture preflight failed"),
+                std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("r0=Fatal"), std::string::npos);
+    }
+  });
+
+  // Zero supercritical nodes anywhere: Degraded (cannot nucleate), no
+  // throw.
+  ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+    const auto report =
+        health::collectiveRupturePreflight(comm, ruptureCtx(50, 0));
+    EXPECT_EQ(report.verdict, health::Verdict::Degraded);
+    EXPECT_NE(health::describeIssues(report.issues).find("cannot nucleate"),
+              std::string::npos);
+  });
 }
 
 }  // namespace

@@ -366,15 +366,23 @@ TEST_F(IntegrationTest, ChaosRestartReproducesUninterruptedRun) {
     if (comm.rank() == 0) restartTraces = std::move(gathered);
   });
 
-  // The restarted tail is bit-identical to the uninterrupted run.
+  // Recording is step-indexed, so the restarted solver's trace is aligned
+  // to simulation steps: entries for the pre-restart window it never saw
+  // stay zero-filled, and the re-run tail is bit-identical to the
+  // uninterrupted run at the same steps.
   ASSERT_EQ(restartTraces.size(), 1u);
   const auto& ref = refTraces[0];
   const auto& got = restartTraces[0];
-  ASSERT_EQ(got.u.size(), 19u);
-  for (std::size_t k = 0; k < got.u.size(); ++k) {
-    ASSERT_EQ(got.u[k], ref.u[11 + k]) << "step " << 11 + k;
-    ASSERT_EQ(got.v[k], ref.v[11 + k]) << "step " << 11 + k;
-    ASSERT_EQ(got.w[k], ref.w[11 + k]) << "step " << 11 + k;
+  ASSERT_EQ(got.u.size(), 30u);
+  for (std::size_t k = 0; k < 11; ++k) {
+    ASSERT_EQ(got.u[k], 0.0f) << "pre-restart step " << k;
+    ASSERT_EQ(got.v[k], 0.0f) << "pre-restart step " << k;
+    ASSERT_EQ(got.w[k], 0.0f) << "pre-restart step " << k;
+  }
+  for (std::size_t k = 11; k < got.u.size(); ++k) {
+    ASSERT_EQ(got.u[k], ref.u[k]) << "step " << k;
+    ASSERT_EQ(got.v[k], ref.v[k]) << "step " << k;
+    ASSERT_EQ(got.w[k], ref.w[k]) << "step " << k;
   }
 }
 

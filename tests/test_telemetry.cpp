@@ -1,0 +1,433 @@
+// Telemetry tests: span nesting and exclusive-time attribution, replay
+// accounting, cross-rank counter aggregation, report JSON schema (positive
+// and negative), the disabled-mode zero-overhead guarantee, and the
+// solver-level invariant that telemetry never perturbs the physics.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <new>
+#include <string>
+
+#include "core/solver.hpp"
+#include "fault/injector.hpp"
+#include "io/shared_file.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/report.hpp"
+#include "vcluster/cluster.hpp"
+#include "vmodel/material.hpp"
+
+// Global allocation counter for the zero-overhead test. Counting is always
+// on (the overhead of one relaxed increment is irrelevant to the other
+// tests) and covers every operator-new in the binary.
+static std::atomic<std::uint64_t> g_allocations{0};
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace awp {
+namespace {
+
+using vcluster::CartTopology;
+using vcluster::Dims3;
+using vcluster::ThreadCluster;
+
+// Tag the calling thread as a cluster rank for the duration of a test
+// (ThreadCluster does this for real rank threads).
+class ScopedThreadRank {
+ public:
+  explicit ScopedThreadRank(int rank) { fault::setThreadRank(rank); }
+  ~ScopedThreadRank() { fault::setThreadRank(-1); }
+};
+
+void spinFor(std::chrono::microseconds d) {
+  const auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  TelemetryTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("awp_telemetry_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  ~TelemetryTest() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+// --- span recording --------------------------------------------------------
+
+TEST_F(TelemetryTest, NestedSpansAttributeExclusiveTime) {
+  using telemetry::Phase;
+  using telemetry::Counter;
+  using namespace telemetry;
+  Session session(SessionConfig{1});
+  ScopedSession active(session);
+  ScopedThreadRank rank(0);
+
+  const auto spin = std::chrono::microseconds(2000);
+  {
+    ScopedSpan outer(Phase::VelocityKernel);
+    spinFor(spin);
+    {
+      ScopedSpan inner(Phase::HaloExchange);
+      spinFor(spin);
+    }
+    spinFor(spin);
+  }
+
+  const RankTelemetry& rt = session.slot(0);
+  const auto velocity = rt.phaseNs(Phase::VelocityKernel);
+  const auto halo = rt.phaseNs(Phase::HaloExchange);
+  const auto spinNs = static_cast<std::uint64_t>(spin.count()) * 1000u;
+  EXPECT_GE(halo, spinNs);
+  EXPECT_GE(velocity, 2 * spinNs);
+
+  // Trace ring: records close in LIFO order with nesting depth, and the
+  // records hold *inclusive* durations while the buckets hold *exclusive*
+  // ones — exact arithmetic, independent of scheduler noise:
+  //   halo bucket == inner record;  velocity bucket == outer - inner.
+  const auto trace = rt.traceSnapshot();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].phase, Phase::HaloExchange);
+  EXPECT_EQ(trace[0].depth, 1);
+  EXPECT_EQ(trace[1].phase, Phase::VelocityKernel);
+  EXPECT_EQ(trace[1].depth, 0);
+  EXPECT_GE(trace[1].durationNs, trace[0].durationNs);
+  EXPECT_FALSE(trace[0].replay);
+  EXPECT_EQ(halo, trace[0].durationNs);
+  EXPECT_EQ(velocity, trace[1].durationNs - trace[0].durationNs);
+}
+
+TEST_F(TelemetryTest, ReplayWindowsExcludedFromUsefulTotals) {
+  using telemetry::Phase;
+  using telemetry::Counter;
+  using namespace telemetry;
+  Session session(SessionConfig{1});
+  ScopedSession active(session);
+  ScopedThreadRank rank(0);
+
+  ManualSpan window;
+  window.begin(Phase::RollbackReplay);
+  {
+    ScopedSpan span(Phase::VelocityKernel);
+    spinFor(std::chrono::microseconds(1000));
+  }
+  window.end();
+  EXPECT_FALSE(window.active());
+
+  const RankTelemetry& rt = session.slot(0);
+  // The kernel time inside the replay window lands in the replay bucket,
+  // not the useful one.
+  EXPECT_EQ(rt.phaseNs(Phase::VelocityKernel), 0u);
+  EXPECT_GE(rt.replayNs(Phase::VelocityKernel), 1000000u);
+  const auto trace = rt.traceSnapshot();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_TRUE(trace[0].replay);  // the kernel span
+}
+
+TEST_F(TelemetryTest, RingOverflowDropsOldestAndCounts) {
+  using telemetry::Phase;
+  using telemetry::Counter;
+  using namespace telemetry;
+  Session session(SessionConfig{1, /*ringCapacity=*/4});
+  ScopedSession active(session);
+  ScopedThreadRank rank(0);
+
+  for (int n = 0; n < 10; ++n) {
+    stepMark(static_cast<std::uint64_t>(n));
+    ScopedSpan span(Phase::Output);
+  }
+  const RankSummary s = session.slot(0).summary();
+  EXPECT_EQ(s.spansRecorded, 10u);
+  EXPECT_EQ(s.spansDropped, 6u);
+  EXPECT_EQ(s.counters[static_cast<std::size_t>(Counter::SpansDropped)], 6u);
+  const auto trace = session.slot(0).traceSnapshot();
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.front().step, 6u);  // oldest survivor
+  EXPECT_EQ(trace.back().step, 9u);
+}
+
+// --- disabled mode ---------------------------------------------------------
+
+TEST_F(TelemetryTest, DisabledModeAllocatesNothing) {
+  ASSERT_FALSE(telemetry::enabled());
+  // Warm up so lazy init elsewhere cannot pollute the measurement.
+  {
+    telemetry::ScopedSpan span(telemetry::Phase::VelocityKernel);
+    telemetry::count(telemetry::Counter::CellsUpdated, 1);
+  }
+  const std::uint64_t before = g_allocations.load();
+  for (int n = 0; n < 10000; ++n) {
+    telemetry::ScopedSpan span(telemetry::Phase::StressKernel);
+    telemetry::count(telemetry::Counter::FlopsEstimated, 100);
+    telemetry::stepMark(static_cast<std::uint64_t>(n));
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after, before);
+}
+
+// --- aggregation -----------------------------------------------------------
+
+TEST_F(TelemetryTest, CountersAggregateAcrossRanks) {
+  using telemetry::Phase;
+  using telemetry::Counter;
+  using namespace telemetry;
+  Session session(SessionConfig{2});
+  ScopedSession active(session);
+
+  ClusterReport report;
+  ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+    // Rank r records r+1 halo messages and a rank-dependent byte count.
+    for (int n = 0; n <= comm.rank(); ++n)
+      count(Counter::HaloMessages);
+    count(Counter::HaloBytesSent, 1000u * (comm.rank() + 1u));
+    {
+      ScopedSpan span(Phase::VelocityKernel);
+      spinFor(std::chrono::microseconds(500));
+    }
+    comm.barrier();
+    auto r = aggregate(comm, session, /*step=*/7, /*wallSeconds=*/0.01);
+    if (comm.rank() == 0) report = std::move(r);
+  });
+
+  ASSERT_TRUE(report.valid());
+  EXPECT_EQ(report.nranks, 2);
+  EXPECT_EQ(report.step, 7u);
+  const auto& msgs =
+      report.counters[static_cast<std::size_t>(Counter::HaloMessages)];
+  EXPECT_EQ(msgs.total, 3u);
+  EXPECT_EQ(msgs.min, 1u);
+  EXPECT_EQ(msgs.max, 2u);
+  EXPECT_EQ(msgs.maxRank, 1);
+  const auto& bytes =
+      report.counters[static_cast<std::size_t>(Counter::HaloBytesSent)];
+  EXPECT_EQ(bytes.total, 3000u);
+  // Phase stats: both ranks spun ~0.5 ms in the velocity bucket.
+  const auto& vel =
+      report.phases[static_cast<std::size_t>(Phase::VelocityKernel)];
+  EXPECT_GE(vel.minSeconds, 0.0005);
+  EXPECT_GE(vel.meanSeconds, vel.minSeconds);
+  EXPECT_GE(vel.maxSeconds, vel.meanSeconds);
+  EXPECT_GE(vel.imbalance, 1.0);
+  EXPECT_TRUE(vel.maxRank == 0 || vel.maxRank == 1);
+  EXPECT_NEAR(vel.sumSeconds, vel.meanSeconds * 2.0, 1e-12);
+}
+
+TEST_F(TelemetryTest, OffRankWorkFoldsIntoCounterTotals) {
+  using telemetry::Phase;
+  using telemetry::Counter;
+  using namespace telemetry;
+  Session session(SessionConfig{2});
+  ScopedSession active(session);
+
+  // The launcher thread (rank tag -1) counts transfer bytes — the
+  // workflow's transfer leg does exactly this.
+  count(Counter::TransferBytes, 4096);
+
+  ClusterReport report;
+  ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+    auto r = aggregate(comm, session, 0, 0.001);
+    if (comm.rank() == 0) report = std::move(r);
+  });
+  ASSERT_TRUE(report.valid());
+  EXPECT_EQ(report.counters[static_cast<std::size_t>(Counter::TransferBytes)]
+                .total,
+            4096u);
+}
+
+// --- report JSON -----------------------------------------------------------
+
+TEST_F(TelemetryTest, ReportJsonRoundTripsAndValidates) {
+  using telemetry::Phase;
+  using telemetry::Counter;
+  using namespace telemetry;
+  Session session(SessionConfig{2});
+  ScopedSession active(session);
+
+  ClusterReport report;
+  ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+    {
+      ScopedSpan span(Phase::StressKernel);
+      spinFor(std::chrono::microseconds(200));
+    }
+    count(Counter::CellsUpdated, 100);
+    auto r = aggregate(comm, session, 42, 0.005);
+    if (comm.rank() == 0) report = std::move(r);
+  });
+  ASSERT_TRUE(report.valid());
+
+  const std::string text = toJson(report);
+  EXPECT_TRUE(validateReportJson(text).empty())
+      << validateReportJson(text).front();
+
+  // Round-trip through the parser.
+  const JsonValue root = parseJson(text);
+  EXPECT_EQ(root.find("schema")->text, "awp-telemetry-report");
+  EXPECT_EQ(root.find("nranks")->number, 2.0);
+  EXPECT_EQ(root.find("step")->number, 42.0);
+  const JsonValue* phases = root.find("phases");
+  ASSERT_NE(phases, nullptr);
+  for (std::size_t p = 0; p < kPhaseCount; ++p)
+    EXPECT_NE(phases->find(std::string(kPhaseJsonNames[p])), nullptr)
+        << kPhaseJsonNames[p];
+
+  // File emission is atomic and re-readable.
+  const std::string path = (dir_ / "report.json").string();
+  writeReportFile(path, report);
+  EXPECT_TRUE(validateReportJson(io::readTextFile(path)).empty());
+}
+
+TEST_F(TelemetryTest, ValidatorRejectsBrokenReports) {
+  using telemetry::Phase;
+  using telemetry::Counter;
+  using namespace telemetry;
+  // Missing phase.
+  std::string text =
+      "{\"schema\": \"awp-telemetry-report\", \"version\": 1, "
+      "\"nranks\": 1, \"step\": 0, \"wall_seconds\": 1.0, "
+      "\"useful_seconds\": 0.9, \"replay_seconds\": 0.0, "
+      "\"coverage\": 0.9, \"spans_recorded\": 0, \"spans_dropped\": 0, "
+      "\"phases\": {}, \"counters\": {}}";
+  auto violations = validateReportJson(text);
+  EXPECT_FALSE(violations.empty());
+  bool missingPhase = false, missingCounter = false;
+  for (const auto& v : violations) {
+    if (v.find("missing phase 'velocity_kernel'") != std::string::npos)
+      missingPhase = true;
+    if (v.find("missing counter 'rollbacks'") != std::string::npos)
+      missingCounter = true;
+  }
+  EXPECT_TRUE(missingPhase);
+  EXPECT_TRUE(missingCounter);
+
+  // Negative duration.
+  EXPECT_FALSE(validateReportJson(
+                   "{\"schema\": \"awp-telemetry-report\", \"version\": 1, "
+                   "\"nranks\": 1, \"wall_seconds\": -2.0}")
+                   .empty());
+  // NaN is not valid JSON at all: the parser must reject it.
+  EXPECT_FALSE(validateReportJson("{\"wall_seconds\": NaN}").empty());
+  // Wrong schema id.
+  EXPECT_FALSE(validateReportJson("{\"schema\": \"something-else\"}").empty());
+  // Malformed document.
+  EXPECT_FALSE(validateReportJson("{\"unterminated").empty());
+}
+
+// --- solver integration ----------------------------------------------------
+
+TEST_F(TelemetryTest, SolverPhysicsIsBitIdenticalWithTelemetry) {
+  const grid::GridDims dims{24, 16, 12};
+  const CartTopology topo(Dims3{2, 1, 1});
+
+  auto runOnce = [&](bool withTelemetry, const std::string& reportPath) {
+    std::vector<core::SeismogramTrace> traces;
+    telemetry::Session session(telemetry::SessionConfig{2});
+    ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+      core::SolverConfig config;
+      config.globalDims = dims;
+      config.h = 600.0;
+      config.spongeWidth = 4;
+      if (withTelemetry) config.telemetry.reportPath = reportPath;
+      core::WaveSolver solver(comm, topo, config,
+                              vmodel::Material{5200.0f, 3000.0f, 2700.0f});
+      solver.addSource(core::explosionPointSource(
+          12, 8, 6,
+          core::rickerWavelet(2.0, 0.5, solver.dt(), 30, 1e15)));
+      solver.addReceiver("site", 18, 10);
+      // Install the session around run() only, so the report's wall clock
+      // and its spans measure the same window (construction-time halo
+      // exchanges would otherwise push coverage past 1).
+      comm.barrier();
+      if (withTelemetry && comm.rank() == 0)
+        telemetry::installSession(&session);
+      comm.barrier();
+      solver.run(30);
+      comm.barrier();
+      if (withTelemetry && comm.rank() == 0)
+        telemetry::installSession(nullptr);
+      comm.barrier();
+      auto gathered = solver.receivers().gather(comm);
+      if (comm.rank() == 0) traces = std::move(gathered);
+    });
+    return traces;
+  };
+
+  const std::string reportPath = (dir_ / "solver_report.json").string();
+  const auto plain = runOnce(false, "");
+  const auto traced = runOnce(true, reportPath);
+
+  // Telemetry must not perturb the physics: bit-identical seismograms.
+  ASSERT_EQ(plain.size(), 1u);
+  ASSERT_EQ(traced.size(), 1u);
+  EXPECT_EQ(plain[0].u, traced[0].u);
+  EXPECT_EQ(plain[0].v, traced[0].v);
+  EXPECT_EQ(plain[0].w, traced[0].w);
+
+  // And the emitted report is schema-valid with sane coverage.
+  const std::string text = io::readTextFile(reportPath);
+  EXPECT_TRUE(telemetry::validateReportJson(text).empty());
+  const auto root = telemetry::parseJson(text);
+  EXPECT_EQ(root.find("nranks")->number, 2.0);
+  EXPECT_GT(root.find("wall_seconds")->number, 0.0);
+  const double coverage = root.find("coverage")->number;
+  EXPECT_GT(coverage, 0.5);   // phases dominate the run() window
+  EXPECT_LT(coverage, 1.05);  // and never exceed it (exclusive times)
+  EXPECT_GT(root.find("counters")
+                ->find("cells_updated")
+                ->find("total")
+                ->number,
+            0.0);
+}
+
+TEST_F(TelemetryTest, PerRankTraceFilesAreEmitted) {
+  const grid::GridDims dims{24, 16, 12};
+  const CartTopology topo(Dims3{2, 1, 1});
+  const std::string prefix = (dir_ / "trace").string();
+
+  telemetry::Session session(telemetry::SessionConfig{2});
+  telemetry::ScopedSession active(session);
+  ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+    core::SolverConfig config;
+    config.globalDims = dims;
+    config.h = 600.0;
+    config.spongeWidth = 4;
+    config.telemetry.tracePathPrefix = prefix;
+    core::WaveSolver solver(comm, topo, config,
+                            vmodel::Material{5200.0f, 3000.0f, 2700.0f});
+    solver.run(5);
+  });
+
+  for (int r = 0; r < 2; ++r) {
+    const std::string path = prefix + ".rank" + std::to_string(r) + ".jsonl";
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    // Every line is a standalone JSON object naming this rank.
+    std::istringstream in(io::readTextFile(path));
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto rec = telemetry::parseJson(line);
+      EXPECT_EQ(rec.find("rank")->number, static_cast<double>(r));
+      EXPECT_GE(rec.find("duration_ns")->number, 0.0);
+      ++lines;
+    }
+    EXPECT_GT(lines, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace awp
