@@ -1,10 +1,11 @@
 #include "core/free_surface.hpp"
+#include "util/hot.hpp"
 
 namespace awp::core {
 
 using grid::kHalo;
 
-void FreeSurface::applyVelocityImages(grid::StaggeredGrid& g) const {
+AWP_HOT void FreeSurface::applyVelocityImages(grid::StaggeredGrid& g) const {
   if (!active_) return;
   const std::size_t T = kHalo + g.dims().nz - 1;  // surface plane (w level)
   for (std::size_t j = kHalo; j < kHalo + g.dims().ny; ++j)
@@ -20,7 +21,7 @@ void FreeSurface::applyVelocityImages(grid::StaggeredGrid& g) const {
     }
 }
 
-void FreeSurface::applyStressImages(grid::StaggeredGrid& g) const {
+AWP_HOT void FreeSurface::applyStressImages(grid::StaggeredGrid& g) const {
   if (!active_) return;
   const std::size_t T = kHalo + g.dims().nz - 1;
   for (std::size_t j = kHalo; j < kHalo + g.dims().ny; ++j)

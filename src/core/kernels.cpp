@@ -1,6 +1,7 @@
 #include "core/kernels.hpp"
 
 #include "util/error.hpp"
+#include "util/hot.hpp"
 
 namespace awp::core {
 
@@ -250,7 +251,7 @@ inline void rowYZ(StaggeredGrid& g, std::size_t j, std::size_t k,
 // ---------------------------------------------------------------------------
 
 template <typename RowFn>
-void driveRange(std::size_t k0, std::size_t k1, const Region& r,
+AWP_HOT void driveRange(std::size_t k0, std::size_t k1, const Region& r,
                 const KernelOptions& o, RowFn&& row) {
   if (!o.cacheBlocked) {
     for (std::size_t k = k0; k < k1; ++k)
@@ -266,7 +267,7 @@ void driveRange(std::size_t k0, std::size_t k1, const Region& r,
 }
 
 template <typename RowFn>
-void driveLoops(const Region& r, const KernelOptions& o, RowFn&& row) {
+AWP_HOT void driveLoops(const Region& r, const KernelOptions& o, RowFn&& row) {
   if (o.pool == nullptr) {
     driveRange(r.k0, r.k1, r, o, row);
     return;
@@ -281,7 +282,7 @@ void driveLoops(const Region& r, const KernelOptions& o, RowFn&& row) {
 
 }  // namespace
 
-void updateVelocity(grid::StaggeredGrid& g, VelocityComponent comp,
+AWP_HOT void updateVelocity(grid::StaggeredGrid& g, VelocityComponent comp,
                     const KernelOptions& opts, const Region& r) {
   const float dth = static_cast<float>(g.dt() / g.h());
   switch (comp) {
@@ -306,14 +307,14 @@ void updateVelocity(grid::StaggeredGrid& g, VelocityComponent comp,
   }
 }
 
-void updateVelocity(grid::StaggeredGrid& g, const KernelOptions& opts) {
+AWP_HOT void updateVelocity(grid::StaggeredGrid& g, const KernelOptions& opts) {
   const Region r = Region::interior(g);
   updateVelocity(g, VelocityComponent::U, opts, r);
   updateVelocity(g, VelocityComponent::V, opts, r);
   updateVelocity(g, VelocityComponent::W, opts, r);
 }
 
-void updateStress(grid::StaggeredGrid& g, StressGroup group,
+AWP_HOT void updateStress(grid::StaggeredGrid& g, StressGroup group,
                   const KernelOptions& opts, const Region& r) {
   const float dth = static_cast<float>(g.dt() / g.h());
   const float dt = static_cast<float>(g.dt());
@@ -393,7 +394,7 @@ void updateStress(grid::StaggeredGrid& g, StressGroup group,
   }
 }
 
-void updateStress(grid::StaggeredGrid& g, const KernelOptions& opts) {
+AWP_HOT void updateStress(grid::StaggeredGrid& g, const KernelOptions& opts) {
   const Region r = Region::interior(g);
   updateStress(g, StressGroup::Normal, opts, r);
   updateStress(g, StressGroup::XY, opts, r);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/hot.hpp"
 
 namespace awp::core {
 
@@ -152,7 +153,7 @@ inline float muShearRecip(const StaggeredGrid& g, std::size_t ia,
 
 }  // namespace
 
-void PmlBoundary::updateVelocity(StaggeredGrid& g) {
+AWP_HOT void PmlBoundary::updateVelocity(StaggeredGrid& g) {
   const float dth = static_cast<float>(g.dt() / g.h());
   for (auto& zp : zones_) {
     Zone& z = *zp;
@@ -228,7 +229,7 @@ void PmlBoundary::updateVelocity(StaggeredGrid& g) {
   }
 }
 
-void PmlBoundary::updateStress(StaggeredGrid& g) {
+AWP_HOT void PmlBoundary::updateStress(StaggeredGrid& g) {
   const float dth = static_cast<float>(g.dt() / g.h());
   for (auto& zp : zones_) {
     Zone& z = *zp;

@@ -9,6 +9,7 @@
 
 #include "fault/injector.hpp"
 #include "util/error.hpp"
+#include "util/hot.hpp"
 
 namespace awp::core {
 
@@ -134,6 +135,7 @@ void WaveSolver::attachSurfaceOutput(const SurfaceOutputConfig& out) {
   }
   const std::size_t lnx = decCount(geom_.local.x);
   const std::size_t lny = decCount(geom_.local.y);
+  surfaceSample_.resize(3 * lnx * lny);
   surfaceWriter_ = std::make_unique<io::AggregatedWriter>(
       out.file, 3 * lnx * lny, myOffset, stepFloats, out.flushEverySamples);
 }
@@ -144,7 +146,7 @@ void WaveSolver::attachCheckpoints(io::CheckpointStore* store,
   checkpointEvery_ = everySteps;
 }
 
-void WaveSolver::velocityPhase() {
+AWP_HOT void WaveSolver::velocityPhase() {
   // Halo exchanges and PML updates open nested spans, so this bucket's
   // exclusive time is the FD kernels plus free-surface images.
   telemetry::ScopedSpan span(telemetry::Phase::VelocityKernel);
@@ -201,7 +203,7 @@ void WaveSolver::velocityPhase() {
   freeSurface_->applyVelocityImages(*grid_);
 }
 
-void WaveSolver::stressPhase() {
+AWP_HOT void WaveSolver::stressPhase() {
   telemetry::ScopedSpan span(telemetry::Phase::StressKernel);
   const Region r = Region::interior(*grid_);
   {
@@ -228,7 +230,7 @@ void WaveSolver::stressPhase() {
   }
 }
 
-void WaveSolver::observationPhase() {
+AWP_HOT void WaveSolver::observationPhase() {
   {
     // Step-indexed recording: replayed windows overwrite their first-pass
     // samples, so observations stay one-record-per-step across rollbacks.
@@ -246,20 +248,22 @@ void WaveSolver::observationPhase() {
     const auto dec =
         static_cast<std::size_t>(surfaceOutput_->spatialDecimation);
     const std::size_t T = kHalo + grid_->dims().nz - 1;
-    std::vector<float> sample;
+    // Fill the staging buffer preallocated by attachSurfaceOutput; the
+    // decimated loop visits exactly surfaceSample_.size() / 3 points.
+    std::size_t at = 0;
     for (std::size_t gj = (geom_.local.y.begin + dec - 1) / dec * dec;
          gj < geom_.local.y.end; gj += dec)
       for (std::size_t gi = (geom_.local.x.begin + dec - 1) / dec * dec;
            gi < geom_.local.x.end; gi += dec) {
         const std::size_t i = gi - geom_.local.x.begin + kHalo;
         const std::size_t j = gj - geom_.local.y.begin + kHalo;
-        sample.push_back(grid_->u(i, j, T));
-        sample.push_back(grid_->v(i, j, T));
-        sample.push_back(grid_->w(i, j, T));
+        surfaceSample_[at++] = grid_->u(i, j, T);
+        surfaceSample_[at++] = grid_->v(i, j, T);
+        surfaceSample_[at++] = grid_->w(i, j, T);
       }
     const std::uint64_t sampleIndex =
         step_ / static_cast<std::size_t>(surfaceOutput_->sampleEverySteps);
-    surfaceWriter_->writeSampleAt(sampleIndex, sample.data(), sample.size());
+    surfaceWriter_->writeSampleAt(sampleIndex, surfaceSample_.data(), at);
   }
 
   if (checkpoints_ != nullptr && checkpointEvery_ > 0 && step_ > 0 &&
@@ -286,7 +290,7 @@ void WaveSolver::observationPhase() {
   }
 }
 
-void WaveSolver::step() {
+AWP_HOT void WaveSolver::step() {
   telemetry::stepMark(step_);
   telemetry::count(telemetry::Counter::CellsUpdated, grid_->dims().count());
   telemetry::count(
@@ -351,6 +355,10 @@ health::PreflightContext WaveSolver::buildPreflightContext(
   ctx.touchesYMin = geom_.touchesYMin();
   ctx.touchesYMax = geom_.touchesYMax();
   ctx.touchesBottom = geom_.touchesBottom();
+  ctx.decompX = topo_.dims().x;
+  ctx.decompY = topo_.dims().y;
+  ctx.decompZ = topo_.dims().z;
+  ctx.haloWidth = kHalo;
   ctx.plannedSteps = plannedSteps;
   for (const auto& s : sources_.sources())
     ctx.sources.push_back({s.gi, s.gj, s.gk, s.stepCount()});

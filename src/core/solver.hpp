@@ -172,6 +172,9 @@ class WaveSolver {
 
   std::optional<SurfaceOutputConfig> surfaceOutput_;
   std::unique_ptr<io::AggregatedWriter> surfaceWriter_;
+  // Preallocated (in attachSurfaceOutput) staging for one decimated surface
+  // sample: observationPhase is on the hot path and must not allocate.
+  std::vector<float> surfaceSample_;
 
   io::CheckpointStore* checkpoints_ = nullptr;
   int checkpointEvery_ = 0;
@@ -186,6 +189,7 @@ class WaveSolver {
 
   // Rollback-replay window: opened on a successful rollback, closed when
   // the solver re-reaches the step it rolled back from.
+  // awplint: manual-span(opens in handleBlowup and closes steps later in run; no lexical scope spans the replay window)
   telemetry::ManualSpan replaySpan_;
   std::size_t replayTarget_ = 0;
   double wallSeconds_ = 0.0;  // accumulated across run() calls

@@ -1,6 +1,7 @@
 #include "core/sponge.hpp"
 
 #include <cmath>
+#include "util/hot.hpp"
 
 namespace awp::core {
 
@@ -40,7 +41,7 @@ SpongeLayer::SpongeLayer(const DomainGeometry& geom,
   build(fz_, g.sz(), geom.local.z.begin, geom.global.nz, false);
 }
 
-void SpongeLayer::apply(grid::StaggeredGrid& g) const {
+AWP_HOT void SpongeLayer::apply(grid::StaggeredGrid& g) const {
   if (!active_) return;
   const std::size_t ax = g.sx(), ay = g.sy(), az = g.sz();
   Array3f* fields[] = {&g.u,  &g.v,  &g.w,  &g.xx, &g.yy,

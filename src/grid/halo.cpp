@@ -1,7 +1,10 @@
 #include "grid/halo.hpp"
 
+#include <span>
+
 #include "telemetry/registry.hpp"
 #include "util/error.hpp"
+#include "util/hot.hpp"
 
 namespace awp::grid {
 
@@ -28,14 +31,17 @@ std::size_t planeFloats(const Interior& in, int axis, int count) {
   }
 }
 
-// Pack `count` planes starting at raw index `start` along `axis` into buf.
+// Pack `count` planes starting at raw index `start` along `axis` into buf,
+// which the caller must have sized to planeFloats() already (the exchanger
+// stages through persistent scratch, so this path never allocates).
 // Only the interior cross-section of the other two axes is packed: the
 // stencils never read halo corners or edges (all derivatives are
 // axis-aligned), so faces are sufficient.
-void pack(const Array3f& f, int axis, std::size_t start, int count,
-          std::vector<float>& buf) {
+AWP_HOT void pack(const Array3f& f, int axis, std::size_t start, int count,
+                  std::span<float> buf) {
   const Interior in = interiorOf(f);
-  buf.resize(planeFloats(in, axis, count));
+  // awplint: hot-ok(size assert runs once per message, outside the copy loops; fires only on a caller bug)
+  AWP_CHECK(buf.size() == planeFloats(in, axis, count));
   std::size_t at = 0;
   if (axis == 0) {
     for (std::size_t k = kHalo; k < kHalo + in.nz; ++k)
@@ -55,9 +61,10 @@ void pack(const Array3f& f, int axis, std::size_t start, int count,
   }
 }
 
-void unpack(Array3f& f, int axis, std::size_t start, int count,
-            const std::vector<float>& buf) {
+AWP_HOT void unpack(Array3f& f, int axis, std::size_t start, int count,
+                    std::span<const float> buf) {
   const Interior in = interiorOf(f);
+  // awplint: hot-ok(size assert runs once per message, outside the copy loops; fires only on a caller bug)
   AWP_CHECK(buf.size() == planeFloats(in, axis, count));
   std::size_t at = 0;
   if (axis == 0) {
@@ -110,7 +117,8 @@ void HaloExchanger::sendOne(Array3f& f, const AxisNeed& need, int axis,
       dir < 0 ? kHalo
               : kHalo + interiorExtent(in, axis) -
                     static_cast<std::size_t>(count);
-  std::vector<float> buf;
+  sendScratch_.resize(planeFloats(in, axis, count));
+  const std::span<float> buf(sendScratch_);
   {
     telemetry::ScopedSpan span(telemetry::Phase::HaloPack);
     pack(f, axis, start, count, buf);
@@ -134,8 +142,9 @@ void HaloExchanger::recvOne(Array3f& f, const AxisNeed& need, int axis,
   const std::size_t start =
       dir < 0 ? kHalo - static_cast<std::size_t>(count)
               : kHalo + interiorExtent(in, axis);
-  std::vector<float> buf(planeFloats(in, axis, count));
-  comm_.recvSpan<float>(neighbor, tag, std::span<float>(buf));
+  recvScratch_.resize(planeFloats(in, axis, count));
+  const std::span<float> buf(recvScratch_);
+  comm_.recvSpan<float>(neighbor, tag, buf);
   telemetry::count(telemetry::Counter::HaloBytesReceived,
                    buf.size() * sizeof(float));
   {

@@ -80,6 +80,10 @@ class HaloExchanger {
   bool reduced_;
   int seq_ = 0;
   ExchangeStats stats_;
+  // Persistent pack/unpack staging: grown to the largest plane on first
+  // use, then reused — the per-message path never allocates again.
+  std::vector<float> sendScratch_;
+  std::vector<float> recvScratch_;
 };
 
 }  // namespace awp::grid

@@ -125,6 +125,45 @@ void checkBoundary(const PreflightContext& ctx, PreflightReport& report) {
   check(ctx.touchesBottom, d.nz, "z");
 }
 
+// Halo width vs subdomain extent on every partitioned axis. An extreme
+// decomposition (many ranks on a short axis) can shave a rank's block below
+// the ghost-layer depth: the planes it must send a neighbor would include
+// cells it only receives from the opposite neighbor, so the exchange can
+// never converge — Fatal. Below twice the halo width the minus- and
+// plus-side source regions overlap: still well-defined, but the surface-to-
+// volume ratio says the decomposition is pathological — Degraded. The
+// verdict is combined across ranks by collectivePreflight, so one sliver
+// rank (block remainders land on the low coordinates) fails everyone
+// together instead of deadlocking the halo exchange.
+void checkTopology(const PreflightContext& ctx, PreflightReport& report) {
+  if (ctx.haloWidth == 0) return;  // caller provided no topology
+  const auto& d = ctx.grid->dims();
+  const std::size_t w = ctx.haloWidth;
+  auto axis = [&](int parts, std::size_t extent, const char* name) {
+    if (parts <= 1) return;  // unpartitioned: nothing exchanged this way
+    if (extent < w) {
+      report.verdict = Verdict::Fatal;
+      std::ostringstream os;
+      os << "decomposition too fine: this rank's " << name << " extent "
+         << extent << " is below the halo width " << w << " (" << parts
+         << "-way split along " << name
+         << "; ghost planes sent to one neighbor would have to contain "
+            "cells received from the other)";
+      report.issues.push_back({Verdict::Fatal, os.str()});
+    } else if (extent < 2 * w) {
+      report.verdict = worse(report.verdict, Verdict::Degraded);
+      std::ostringstream os;
+      os << name << " extent " << extent << " is below twice the halo width "
+         << w << " (" << parts << "-way split along " << name
+         << "; exchange regions overlap — decomposition is extreme)";
+      report.issues.push_back({Verdict::Degraded, os.str()});
+    }
+  };
+  axis(ctx.decompX, d.nx, "x");
+  axis(ctx.decompY, d.ny, "y");
+  axis(ctx.decompZ, d.nz, "z");
+}
+
 void checkSources(const PreflightContext& ctx, PreflightReport& report) {
   const auto& g = ctx.globalDims;
   std::size_t outside = 0, truncated = 0;
@@ -157,6 +196,7 @@ PreflightReport runPreflight(const PreflightContext& ctx) {
   checkMaterial(ctx, report);
   checkStability(ctx, report);
   checkBoundary(ctx, report);
+  checkTopology(ctx, report);
   checkSources(ctx, report);
   return report;
 }

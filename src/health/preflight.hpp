@@ -15,6 +15,10 @@
 //   boundary  — sponge/PML width vs the global dims (overlapping layers)
 //               and, for PML, vs this rank's subdomain extent (split-field
 //               zones cannot span rank boundaries)
+//   topology  — halo width vs this rank's subdomain extent on every
+//               partitioned axis: an extreme decomposition can shave a
+//               rank's block below the ghost-layer depth, at which point
+//               the planes it must send overlap the planes it receives
 //   sources   — inside the global grid (Fatal: today they are silently
 //               dropped by SourceSet::bind) and time-windows inside the
 //               planned run (Degraded: the tail would be truncated)
@@ -58,6 +62,11 @@ struct PreflightContext {
   bool touchesXMin = false, touchesXMax = false;
   bool touchesYMin = false, touchesYMax = false;
   bool touchesBottom = false;
+  // Process decomposition (ranks per axis) and the ghost-layer depth, for
+  // the halo-vs-extent topology check. haloWidth = 0 skips the check (for
+  // callers that have no topology, e.g. single-rank harnesses).
+  int decompX = 1, decompY = 1, decompZ = 1;
+  std::size_t haloWidth = 0;
   std::size_t plannedSteps = 0;
   std::vector<SourceWindow> sources;
   PreflightLimits limits;

@@ -1,0 +1,17 @@
+#pragma once
+// AWP_HOT marks the per-step hot path: the solver step loop, the FD
+// kernels, halo pack/unpack, and the PML/sponge boundary updates. The
+// marker does two jobs:
+//  * tells the optimizer the function is hot (GCC/Clang `hot` attribute:
+//    more aggressive inlining/layout, grouped in the .text.hot section);
+//  * registers the function with awplint's hot-path hygiene rule — no
+//    allocation, container growth, string construction, or throwing calls
+//    inside (see tools/awplint and DESIGN.md §10). The set of functions
+//    that MUST carry this marker is pinned in tools/awplint/hot_registry.txt
+//    so the marker cannot silently disappear in a refactor.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AWP_HOT [[gnu::hot]]
+#else
+#define AWP_HOT
+#endif

@@ -1,0 +1,80 @@
+// Known-bad fixture for rule 1 (collective-in-rank-branch). Each violation
+// class the rule must catch carries an `awplint-expect` marker on the line
+// the finding anchors to. This file is analyzer input only — never compiled.
+
+namespace fixture {
+
+void directRankBranch(Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.barrier();  // awplint-expect: collective-in-rank-branch
+  }
+}
+
+void elseBranchDiverges(Comm& comm) {
+  if (comm.rank() < 2) {
+    localWork();
+  } else {
+    comm.allreduce(1.0);  // awplint-expect: collective-in-rank-branch
+  }
+}
+
+void elseIfChain(Comm& comm, int mode) {
+  if (mode == 0) {
+    localWork();
+  } else if (comm.rank() == 0) {
+    localWork();
+  } else {
+    comm.barrier();  // awplint-expect: collective-in-rank-branch
+  }
+}
+
+void taintPropagation(Comm& comm) {
+  const bool leader = comm.rank() == 0;
+  if (leader) {
+    comm.bcast(0, nullptr, 0);  // awplint-expect: collective-in-rank-branch
+  }
+}
+
+void earlyExitRemainder(Comm& comm) {
+  if (comm.rank() != 0) return;
+  comm.gatherBytes(0, payload());  // awplint-expect: collective-in-rank-branch
+}
+
+void breakUnderTaint(Comm& comm) {
+  for (int i = 0; i < 4; ++i) {
+    if (comm.rank() == i) break;
+    comm.barrier();  // awplint-expect: collective-in-rank-branch
+  }
+}
+
+void faultSiteBranch(Comm& comm, Faults& faults) {
+  if (faults.injectionEnabled()) {
+    comm.allgather(7);  // awplint-expect: collective-in-rank-branch
+  }
+}
+
+void wrapperUnderTaint(Comm& comm, Ctx& ctx) {
+  if (comm.rank() == 0) {
+    collectivePreflight(comm, ctx);  // awplint-expect: collective-in-rank-branch
+  }
+}
+
+void singleStatementBody(Comm& comm) {
+  if (comm.rank() == 0) comm.barrier();  // awplint-expect: collective-in-rank-branch
+}
+
+void emptyReasonIsNoExcuse(Comm& comm) {
+  if (comm.rank() == 0) {
+    // awplint: collective-uniform()
+    comm.barrier();  // awplint-expect: collective-in-rank-branch
+  }
+}
+
+void perRankScanBranch(Comm& comm, Monitor& monitor, Grid& grid) {
+  const auto local = monitor.scan(grid);
+  if (local.verdict != 0) {
+    comm.allreduce(2.0);  // awplint-expect: collective-in-rank-branch
+  }
+}
+
+}  // namespace fixture

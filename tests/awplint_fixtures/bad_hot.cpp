@@ -1,0 +1,48 @@
+// awplint-expect: hot-registry
+// ^ the fixture hot registry lists `ghostKernel` for this file but no such
+//   definition exists — registry drift is reported against line 1.
+// Known-bad fixture for rule 2 (hot-path allocation hygiene). Never compiled.
+
+namespace fixture {
+
+AWP_HOT void kernelWithVector(float* out, int n) {
+  std::vector<float> scratch(n);  // awplint-expect: hot-alloc
+  for (int i = 0; i < n; ++i) out[i] = scratch[i];
+}
+
+AWP_HOT void kernelWithNew(float* out) {
+  float* tmp = new float[8];  // awplint-expect: hot-alloc
+  out[0] = tmp[0];
+  delete[] tmp;  // awplint-expect: hot-alloc
+}
+
+AWP_HOT void kernelWithMalloc(float* out, int n) {
+  void* p = malloc(n);  // awplint-expect: hot-alloc
+  out[0] = 0.0f;
+  free(p);  // awplint-expect: hot-alloc
+}
+
+AWP_HOT void kernelWithMakeUnique(Sink& sink) {
+  auto p = std::make_unique<float>(3.0f);  // awplint-expect: hot-alloc
+  sink.take(p.get());
+}
+
+AWP_HOT void kernelWithGrowth(Buffer& buf) {
+  buf.push_back(1.0f);  // awplint-expect: hot-alloc
+}
+
+AWP_HOT void kernelWithString(Log& log, int code) {
+  log.write(std::to_string(code));  // awplint-expect: hot-alloc
+}
+
+AWP_HOT void kernelWithThrow(int n) {
+  if (n < 0) throw BadInput();  // awplint-expect: hot-throw
+  AWP_CHECK(n < 1024);  // awplint-expect: hot-throw
+}
+
+void unmarkedKernel(float* out, int n) {  // awplint-expect: hot-registry
+  // Listed in the fixture hot registry but missing the AWP_HOT marker.
+  for (int i = 0; i < n; ++i) out[i] = 0.0f;
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Known-bad fixture for rule 3 (telemetry span discipline). Never compiled.
+
+namespace fixture {
+
+void invalidPhase() {
+  telemetry::ScopedSpan span(telemetry::Phase::Mystery);  // awplint-expect: span-taxonomy
+  compute();
+}
+
+void discardedTemporary() {
+  telemetry::ScopedSpan(telemetry::Phase::Output);  // awplint-expect: span-temporary
+  compute();
+}
+
+void rawManualSpan() {
+  telemetry::ManualSpan span;  // awplint-expect: manual-span
+  span.begin(telemetry::Phase::Output);
+  compute();
+  span.end();
+}
+
+void rawRegistryAccess(telemetry::RankTelemetry& rt) {  // awplint-expect: raw-span-api
+  rt.open(0);
+}
+
+}  // namespace fixture

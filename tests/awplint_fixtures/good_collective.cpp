@@ -1,0 +1,63 @@
+// Known-good fixture for rule 1: every pattern here is uniform across ranks
+// (or carries a justified annotation) and must produce ZERO findings. The
+// self-test fails on any unexpected finding in this file.
+
+namespace fixture {
+
+void uniformReduce(Comm& comm) {
+  const double verdict = comm.allreduce(localValue());
+  if (verdict > 0.5) {
+    comm.barrier();  // predicate built from a collective result: uniform
+  }
+}
+
+void rankWorkThenSync(Comm& comm) {
+  if (comm.rank() == 0) makeDirectory();
+  comm.barrier();  // outside the single-statement if: every rank arrives
+}
+
+void rankBlockThenSync(Comm& comm) {
+  if (comm.rank() == 0) {
+    writeHeader();
+  }
+  comm.barrier();
+}
+
+void reassignedClean(Comm& comm) {
+  int who = comm.rank();
+  who = comm.allreduce(who);  // overwritten with a uniform value
+  if (who == 0) {
+    comm.barrier();
+  }
+}
+
+void cleanEarlyReturn(Comm& comm, const Config& config) {
+  if (config.skipOutput) return;  // uniform config predicate
+  comm.barrier();
+}
+
+void uniformBreakLoop(Comm& comm) {
+  for (int iter = 0; iter < 4; ++iter) {
+    if (converged(iter)) break;  // same iterate on every rank
+    comm.barrier();
+  }
+}
+
+void annotatedDivergence(Comm& comm, Monitor& monitor, Grid& grid) {
+  const auto local = monitor.scan(grid);
+  if (local.ok) {
+    // awplint: collective-uniform(scan is deterministic over replicated fixture state, so every rank takes this branch together)
+    comm.barrier();
+  }
+}
+
+void rankLoopIsUniform(Comm& comm, Topology& topo) {
+  // Looping over *all* ranks is uniform; only predicates on our own
+  // rank() diverge.
+  for (int r = 0; r < topo.nranks; ++r) {
+    recordNeighbor(r);
+  }
+  comm.barrier();
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Known-good fixture for rule 2: hot functions that follow the hygiene
+// rules (preallocated buffers, annotated asserts), plus a cold function
+// where allocation is perfectly fine. Must produce ZERO findings.
+
+namespace fixture {
+
+AWP_HOT void markedKernel(float* out, const float* in, int n) {
+  for (int i = 0; i < n; ++i) out[i] = in[i] * 2.0f;
+}
+
+AWP_HOT void checkedKernel(Span out, Span in) {
+  // awplint: hot-ok(bounds assert runs once per call, outside the lattice loop; it fires only on programmer error)
+  AWP_CHECK(out.size() == in.size());
+  for (int i = 0; i < out.size(); ++i) out[i] = in[i];
+}
+
+AWP_HOT void packsIntoScratch(Scratch& scratch, const float* field, int n) {
+  // Writing through a preallocated span is the approved pattern.
+  for (int i = 0; i < n; ++i) scratch.data()[i] = field[i];
+}
+
+void coldSetup(Buffers& buffers, int n) {
+  // Not AWP_HOT: setup code may allocate freely.
+  buffers.scratch.resize(n);
+  auto owned = std::make_unique<float>(0.0f);
+  buffers.adopt(owned.get());
+}
+
+}  // namespace fixture

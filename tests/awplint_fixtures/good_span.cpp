@@ -1,0 +1,33 @@
+// Known-good fixture for rule 3: taxonomy-valid phases, RAII-named spans,
+// a justified ManualSpan, and a non-telemetry Phase enum that must not be
+// validated against the taxonomy. Must produce ZERO findings.
+
+namespace fixture {
+
+void namedSpan() {
+  telemetry::ScopedSpan span(telemetry::Phase::VelocityKernel);
+  compute();
+}
+
+void nestedSpans() {
+  telemetry::ScopedSpan outer(telemetry::Phase::HaloExchange);
+  {
+    telemetry::ScopedSpan inner(telemetry::Phase::HaloPack);
+    packField();
+  }
+}
+
+void justifiedManual(ReplayWindow& window) {
+  // awplint: manual-span(the span must outlive this scope; the replay window closes it when rollback completes)
+  telemetry::ManualSpan span;
+  window.adopt(&span);
+}
+
+void perfPhaseIsNotTelemetry(Profiler& profiler) {
+  // The core perf model has its own Phase enum; unqualified members are
+  // outside the telemetry taxonomy and must not be checked against it.
+  profiler.enter(Phase::Compute);
+  profiler.leave(Phase::Communicate);
+}
+
+}  // namespace fixture

@@ -257,6 +257,76 @@ TEST(Preflight, PmlCannotSpanRankBoundaries) {
   EXPECT_EQ(sponge.verdict, health::Verdict::Degraded);
 }
 
+TEST(Preflight, FlagsExtremeDecomposition) {
+  // Topology check: halo width vs subdomain extent on partitioned axes.
+  // A sliver rank (extent below the halo width) is Fatal — its ghost
+  // planes cannot be sourced from its own cells; collectivePreflight then
+  // aborts every rank together instead of deadlocking the exchange.
+  grid::StaggeredGrid g({1, 20, 12}, 600.0, 0.001);
+  g.setUniformMaterial({5200.0f, 3000.0f, 2700.0f});
+  health::PreflightContext ctx;
+  ctx.grid = &g;
+  ctx.globalDims = {64, 20, 12};
+  ctx.dt = 0.9 * g.stableDt();
+  ctx.h = 600.0;
+  ctx.decompX = 64;
+  ctx.haloWidth = grid::kHalo;
+  const auto fatal = health::runPreflight(ctx);
+  EXPECT_EQ(fatal.verdict, health::Verdict::Fatal);
+  EXPECT_NE(
+      health::describeIssues(fatal.issues).find("decomposition too fine"),
+      std::string::npos);
+
+  // The same sliver on an UNPARTITIONED axis exchanges nothing: clean.
+  ctx.decompX = 1;
+  EXPECT_EQ(health::runPreflight(ctx).verdict, health::Verdict::Healthy);
+
+  // haloWidth = 0 opts out (callers without topology information).
+  ctx.decompX = 64;
+  ctx.haloWidth = 0;
+  EXPECT_EQ(health::runPreflight(ctx).verdict, health::Verdict::Healthy);
+
+  // Between one and two halo widths the exchange regions overlap: legal
+  // but pathological — Degraded, not Fatal.
+  grid::StaggeredGrid g3({3, 20, 12}, 600.0, 0.001);
+  g3.setUniformMaterial({5200.0f, 3000.0f, 2700.0f});
+  ctx.grid = &g3;
+  ctx.dt = 0.9 * g3.stableDt();
+  ctx.decompX = 4;
+  ctx.haloWidth = grid::kHalo;
+  const auto degraded = health::runPreflight(ctx);
+  EXPECT_EQ(degraded.verdict, health::Verdict::Degraded);
+  EXPECT_NE(
+      health::describeIssues(degraded.issues).find("decomposition is extreme"),
+      std::string::npos);
+}
+
+TEST(Preflight, ExtremeDecompositionDegradesEndToEnd) {
+  // Solver-level wiring: a 2-way x split of a 5-cell axis leaves extents of
+  // 3 and 2 — above the halo width (so init accepts it) but below twice the
+  // halo width. The preflight must record the Degraded verdict and the run
+  // must still complete.
+  ThreadCluster::run(2, [&](vcluster::Communicator& comm) {
+    CartTopology topo(Dims3{2, 1, 1});
+    core::SolverConfig config;
+    config.globalDims = {5, 12, 10};
+    config.h = 600.0;
+    config.absorbing = core::AbsorbingType::None;
+    config.health.enabled = true;
+    core::WaveSolver solver(comm, topo, config,
+                            vmodel::Material{5200.0f, 3000.0f, 2700.0f});
+    solver.run(4);
+    EXPECT_EQ(solver.currentStep(), 4u);
+    ASSERT_NE(solver.healthGuard(), nullptr);
+    const auto& events = solver.healthGuard()->events();
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events[0].kind, health::EventKind::Preflight);
+    EXPECT_EQ(events[0].verdict, health::Verdict::Degraded);
+    EXPECT_NE(events[0].detail.find("decomposition is extreme"),
+              std::string::npos);
+  });
+}
+
 // --- monitor ---------------------------------------------------------------
 
 TEST(Monitor, SustainedGrowthPromotesToFatal) {

@@ -1,0 +1,190 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace awplint {
+
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parse the comment channels out of one line comment's text (the part
+// after "//"). Recognized forms:
+//   awplint: <rule>(<reason>)      — suppression
+//   awplint-expect: <rule-id>      — fixture expectation
+void parseCommentDirectives(const std::string& text, int line, LexedFile& out) {
+  std::size_t at = 0;
+  while (at < text.size() && std::isspace(static_cast<unsigned char>(text[at])))
+    ++at;
+  auto startsWith = [&](const char* prefix) {
+    return text.compare(at, std::string(prefix).size(), prefix) == 0;
+  };
+  if (startsWith("awplint-expect:")) {
+    std::size_t p = at + std::string("awplint-expect:").size();
+    while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p])))
+      ++p;
+    std::size_t e = p;
+    while (e < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[e])))
+      ++e;
+    if (e > p) out.expects[line].push_back(text.substr(p, e - p));
+    return;
+  }
+  if (startsWith("awplint:")) {
+    std::size_t p = at + std::string("awplint:").size();
+    while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p])))
+      ++p;
+    std::size_t nameEnd = p;
+    while (nameEnd < text.size() &&
+           (isIdentChar(text[nameEnd]) || text[nameEnd] == '-'))
+      ++nameEnd;
+    Annotation a;
+    a.rule = text.substr(p, nameEnd - p);
+    if (nameEnd < text.size() && text[nameEnd] == '(') {
+      const std::size_t close = text.rfind(')');
+      if (close != std::string::npos && close > nameEnd)
+        a.reason = text.substr(nameEnd + 1, close - nameEnd - 1);
+    }
+    if (!a.rule.empty()) out.annotations[line].push_back(a);
+  }
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& src) {
+  LexedFile out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool atLineStart = true;
+
+  auto bump = [&](char c) {
+    if (c == '\n') {
+      ++line;
+      atLineStart = true;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      bump(c);
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: skip to end of line, honoring continuations.
+    if (c == '#' && atLineStart) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          bump('\n');
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    atLineStart = false;
+
+    // Line comment (with directive channels).
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t e = i + 2;
+      while (e < n && src[e] != '\n') ++e;
+      parseCommentDirectives(src.substr(i + 2, e - i - 2), line, out);
+      i = e;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        bump(src[i]);
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(') ++d;
+      const std::string delim = ")" + src.substr(i + 2, d - i - 2) + "\"";
+      std::size_t e = src.find(delim, d);
+      e = (e == std::string::npos) ? n : e + delim.size();
+      for (std::size_t k = i; k < e && k < n; ++k) bump(src[k]);
+      i = e;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t e = i + 1;
+      while (e < n && src[e] != quote) {
+        if (src[e] == '\\' && e + 1 < n) ++e;
+        bump(src[e]);
+        ++e;
+      }
+      i = (e < n) ? e + 1 : n;
+      continue;
+    }
+
+    if (isIdentStart(c)) {
+      std::size_t e = i;
+      while (e < n && isIdentChar(src[e])) ++e;
+      out.tokens.push_back(
+          {Token::Kind::Identifier, src.substr(i, e - i), line});
+      i = e;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t e = i;
+      while (e < n && (isIdentChar(src[e]) || src[e] == '.' ||
+                       ((src[e] == '+' || src[e] == '-') && e > i &&
+                        (src[e - 1] == 'e' || src[e - 1] == 'E'))))
+        ++e;
+      out.tokens.push_back({Token::Kind::Number, src.substr(i, e - i), line});
+      i = e;
+      continue;
+    }
+
+    // Multi-char punctuators the rules care about.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back({Token::Kind::Punct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.tokens.push_back({Token::Kind::Punct, "->", line});
+      i += 2;
+      continue;
+    }
+    // Comparison / compound-assignment operators are folded to two-char
+    // tokens so the taint pass can tell `=` from `==`, `<=`, `+=`, ...
+    if (i + 1 < n && src[i + 1] == '=' &&
+        (c == '=' || c == '!' || c == '<' || c == '>' || c == '+' ||
+         c == '-' || c == '*' || c == '/' || c == '%' || c == '&' ||
+         c == '|' || c == '^')) {
+      out.tokens.push_back({Token::Kind::Punct, std::string{c, '='}, line});
+      i += 2;
+      continue;
+    }
+
+    out.tokens.push_back({Token::Kind::Punct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace awplint

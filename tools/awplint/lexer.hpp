@@ -1,0 +1,41 @@
+#pragma once
+// awplint lexer: a comment/string/preprocessor-aware tokenizer for the
+// project's static-analysis pass. It is NOT a C++ parser — it produces a
+// flat token stream with line numbers, plus the two comment channels the
+// rules consume:
+//   * suppressions  — `// awplint: <rule>(<reason>)` escape hatches
+//   * expectations  — `// awplint-expect: <rule-id>` markers used by the
+//                     fixture self-test to assert the exact finding set
+// Preprocessor lines are skipped wholesale (macro BODIES are not analyzed;
+// macro CALLS appear as ordinary identifiers, which is what the rules key
+// on — e.g. AWP_CHECK counts as a throwing call at its use site).
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace awplint {
+
+struct Token {
+  enum class Kind { Identifier, Number, Punct };
+  Kind kind = Kind::Punct;
+  std::string text;
+  int line = 0;
+};
+
+struct Annotation {
+  std::string rule;    // e.g. "collective-uniform"
+  std::string reason;  // text inside the parentheses; must be non-empty
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  // line -> suppression annotations found on that line
+  std::map<int, std::vector<Annotation>> annotations;
+  // line -> rule ids the fixture self-test expects to fire on that line
+  std::map<int, std::vector<std::string>> expects;
+};
+
+LexedFile lex(const std::string& source);
+
+}  // namespace awplint

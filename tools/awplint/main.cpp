@@ -1,0 +1,198 @@
+// awplint — project-specific static analysis for the AWP solver sources.
+//
+// Usage:
+//   awplint [--taxonomy FILE] [--hot-registry FILE] [--self-test] PATH...
+//
+// PATH arguments may be files or directories (directories are walked
+// recursively for .cpp/.hpp). Exit status is non-zero when findings are
+// emitted, or — under --self-test — when the findings do not match the
+// `// awplint-expect:` markers in the fixture set exactly (both missed
+// expectations and unexpected findings fail).
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const fs::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  *ok = static_cast<bool>(in);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool isSource(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+void collect(const fs::path& root, std::vector<fs::path>* out) {
+  if (fs::is_directory(root)) {
+    for (const auto& e : fs::recursive_directory_iterator(root))
+      if (e.is_regular_file() && isSource(e.path())) out->push_back(e.path());
+  } else {
+    out->push_back(root);
+  }
+}
+
+void loadHotRegistry(const fs::path& p, awplint::Config* cfg, bool* ok) {
+  std::ifstream in(p);
+  *ok = static_cast<bool>(in);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back())))
+      line.pop_back();
+    std::size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start])))
+      ++start;
+    line.erase(0, start);
+    if (line.empty()) continue;
+    const std::size_t sep = line.find("::");
+    if (sep == std::string::npos) continue;
+    cfg->hotRegistry.emplace(line.substr(0, sep), line.substr(sep + 2));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  awplint::Config cfg;
+  bool selfTest = false;
+  std::vector<fs::path> roots;
+  fs::path taxonomyPath;
+  fs::path registryPath;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--taxonomy" && a + 1 < argc) {
+      taxonomyPath = argv[++a];
+    } else if (arg == "--hot-registry" && a + 1 < argc) {
+      registryPath = argv[++a];
+    } else if (arg == "--self-test") {
+      selfTest = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: awplint [--taxonomy FILE] [--hot-registry FILE] "
+                   "[--self-test] PATH...\n";
+      return 0;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "awplint: no input paths\n";
+    return 2;
+  }
+
+  bool ok = true;
+  if (!taxonomyPath.empty()) {
+    const std::string src = slurp(taxonomyPath, &ok);
+    if (!ok) {
+      std::cerr << "awplint: cannot read taxonomy " << taxonomyPath << "\n";
+      return 2;
+    }
+    cfg.phases = awplint::parsePhaseTaxonomy(awplint::lex(src));
+    if (cfg.phases.empty()) {
+      std::cerr << "awplint: no Phase enum found in " << taxonomyPath << "\n";
+      return 2;
+    }
+  }
+  if (!registryPath.empty()) {
+    loadHotRegistry(registryPath, &cfg, &ok);
+    if (!ok) {
+      std::cerr << "awplint: cannot read hot registry " << registryPath
+                << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& r : roots) {
+    if (!fs::exists(r)) {
+      std::cerr << "awplint: no such path: " << r << "\n";
+      return 2;
+    }
+    collect(r, &files);
+  }
+  std::sort(files.begin(), files.end());
+
+  int findingCount = 0;
+  int mismatchCount = 0;
+  for (const fs::path& f : files) {
+    const std::string src = slurp(f, &ok);
+    if (!ok) {
+      std::cerr << "awplint: cannot read " << f << "\n";
+      return 2;
+    }
+    const awplint::LexedFile lf = awplint::lex(src);
+    std::vector<awplint::Finding> findings =
+        awplint::analyzeFile(f.generic_string(), lf, cfg);
+
+    if (!selfTest) {
+      for (const auto& fd : findings) {
+        std::cout << fd.file << ":" << fd.line << ": [" << fd.rule << "] "
+                  << fd.message << "\n";
+        ++findingCount;
+      }
+      continue;
+    }
+
+    // Self-test: findings must match the expect markers exactly.
+    std::map<int, std::vector<std::string>> expected = lf.expects;
+    for (const auto& fd : findings) {
+      auto it = expected.find(fd.line);
+      bool matched = false;
+      if (it != expected.end()) {
+        auto& rules = it->second;
+        auto rit = std::find(rules.begin(), rules.end(), fd.rule);
+        if (rit != rules.end()) {
+          rules.erase(rit);
+          if (rules.empty()) expected.erase(it);
+          matched = true;
+        }
+      }
+      if (!matched) {
+        std::cout << fd.file << ":" << fd.line << ": UNEXPECTED [" << fd.rule
+                  << "] " << fd.message << "\n";
+        ++mismatchCount;
+      }
+    }
+    for (const auto& [line, rules] : expected) {
+      for (const auto& rule : rules) {
+        std::cout << f.generic_string() << ":" << line << ": MISSED expected ["
+                  << rule << "]\n";
+        ++mismatchCount;
+      }
+    }
+  }
+
+  if (selfTest) {
+    if (mismatchCount > 0) {
+      std::cout << "awplint self-test: " << mismatchCount << " mismatch(es)\n";
+      return 1;
+    }
+    std::cout << "awplint self-test: all expectations matched across "
+              << files.size() << " fixture file(s)\n";
+    return 0;
+  }
+  if (findingCount > 0) {
+    std::cout << "awplint: " << findingCount << " finding(s)\n";
+    return 1;
+  }
+  std::cout << "awplint: clean (" << files.size() << " files)\n";
+  return 0;
+}

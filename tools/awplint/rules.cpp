@@ -1,0 +1,719 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace awplint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool isIdent(const Token& t) { return t.kind == Token::Kind::Identifier; }
+bool is(const Token& t, const char* s) { return t.text == s; }
+
+// Identifiers whose mere presence in a predicate makes it rank-dependent.
+const std::set<std::string> kRankSeeds = {"rank", "rank_", "myRank",
+                                          "offenderRank"};
+// Fault-injection entry points: predicates touching them diverge by design.
+const std::set<std::string> kFaultSeeds = {"injectionEnabled",
+                                           "activeInjector"};
+// Functions returning per-rank data (local scans and verdicts): assigning
+// from them taints the destination.
+const std::set<std::string> kLocalVerdictFns = {
+    "scan", "runPreflight", "runRupturePreflight", "allFinite"};
+// Collective results are uniform across ranks by construction: these call
+// expressions are scrubbed before evaluating taint.
+const std::set<std::string> kUniformResultFns = {"allreduce", "allgather"};
+
+// Need a call-paren right after the name (avoids flagging unrelated members).
+const std::set<std::string> kHotAllocCalls = {"malloc", "calloc", "realloc",
+                                              "free"};
+// Flagged on presence: template arguments sit between the name and the '('.
+const std::set<std::string> kHotAllocNames = {"vector", "make_unique",
+                                              "make_shared"};
+const std::set<std::string> kHotGrowthMembers = {
+    "push_back", "emplace_back", "emplace", "resize",
+    "reserve",   "insert",       "assign",  "append"};
+const std::set<std::string> kHotStringIds = {"string", "to_string",
+                                             "ostringstream", "stringstream",
+                                             "wstring"};
+const std::set<std::string> kHotCheckMacros = {"AWP_CHECK", "AWP_CHECK_MSG"};
+
+struct Scope {
+  enum class Kind {
+    Namespace,
+    Type,
+    Function,
+    Cond,   // if / switch body
+    Else,   // else body
+    Loop,   // for / while / do body
+    Block,  // plain or unclassified braces
+    Init,   // brace initializer
+    Stmt    // single-statement control body (no braces)
+  };
+  Kind kind = Kind::Block;
+  bool braced = true;        // Stmt scopes are unbraced
+  bool tainted = false;
+  std::string taintReason;
+  bool remainderTainted = false;
+  std::string remainderReason;
+  // Function scopes only:
+  bool isHot = false;
+  std::string fnName;
+  std::map<std::string, std::string> taintedPaths;  // path -> reason
+  // Taint of the if-chain that just closed at this level (for `else`).
+  bool lastIfTaint = false;
+  std::string lastIfReason;
+};
+
+bool isControl(Scope::Kind k) {
+  return k == Scope::Kind::Cond || k == Scope::Kind::Else ||
+         k == Scope::Kind::Loop;
+}
+
+struct Pending {
+  bool active = false;
+  Scope::Kind kind = Scope::Kind::Block;
+  bool tainted = false;
+  std::string reason;
+  std::size_t afterIdx = 0;  // attaches to the first token past this index
+};
+
+class Analyzer {
+ public:
+  Analyzer(const std::string& path, const LexedFile& lf, const Config& cfg)
+      : path_(path), lf_(lf), toks_(lf.tokens), cfg_(cfg) {
+    checkCollectives_ = path.find("vcluster/") == std::string::npos;
+    checkSpans_ = path.find("telemetry/") == std::string::npos;
+  }
+
+  std::vector<Finding> run() {
+    for (i_ = 0; i_ < toks_.size(); ++i_) step();
+    registryCheck();
+    applySuppressions();
+    return std::move(findings_);
+  }
+
+ private:
+  // ---- token helpers ------------------------------------------------------
+
+  const Token& tok(std::size_t i) const { return toks_[i]; }
+  bool has(std::size_t i) const { return i < toks_.size(); }
+
+  std::size_t matchForward(std::size_t open) const {
+    // open indexes a "(" token; returns the index of its matching ")".
+    int depth = 0;
+    for (std::size_t j = open; j < toks_.size(); ++j) {
+      if (is(toks_[j], "(")) ++depth;
+      else if (is(toks_[j], ")") && --depth == 0) return j;
+    }
+    return toks_.size() - 1;
+  }
+
+  std::size_t matchBackward(std::size_t close) const {
+    // close indexes a ")" token; returns the index of its matching "(".
+    int depth = 0;
+    for (std::size_t j = close + 1; j-- > 0;) {
+      if (is(toks_[j], ")")) ++depth;
+      else if (is(toks_[j], "(") && --depth == 0) return j;
+    }
+    return 0;
+  }
+
+  // ---- scope stack --------------------------------------------------------
+
+  Scope* functionScope() {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it)
+      if (it->kind == Scope::Kind::Function) return &*it;
+    return nullptr;
+  }
+
+  bool inFunction() { return functionScope() != nullptr; }
+
+  // Any enclosing predicate or early-exit remainder that is rank-tainted?
+  bool effectiveTaint(std::string* reason) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->tainted) {
+        if (reason) *reason = it->taintReason;
+        return true;
+      }
+      if (it->remainderTainted) {
+        if (reason) *reason = it->remainderReason;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void pushScope(Scope s) { scopes_.push_back(std::move(s)); }
+
+  void popScopeInto() {
+    Scope closed = std::move(scopes_.back());
+    scopes_.pop_back();
+    if (!scopes_.empty() && (closed.kind == Scope::Kind::Cond ||
+                             (closed.kind == Scope::Kind::Stmt))) {
+      Scope& parent = scopes_.back();
+      if (closed.tainted || closed.lastIfTaint) {
+        parent.lastIfTaint = true;
+        parent.lastIfReason = closed.tainted ? closed.taintReason
+                                             : closed.lastIfReason;
+      }
+    }
+  }
+
+  // Pop single-statement control scopes whose statement just ended.
+  void popStmtScopes() {
+    while (!scopes_.empty() && scopes_.back().kind == Scope::Kind::Stmt)
+      popScopeInto();
+  }
+
+  // ---- taint machinery ----------------------------------------------------
+
+  bool spanTainted(std::size_t a, std::size_t b, std::string* reason) {
+    Scope* fn = functionScope();
+    for (std::size_t j = a; j < b && j < toks_.size();) {
+      const Token& t = toks_[j];
+      if (!isIdent(t)) {
+        ++j;
+        continue;
+      }
+      // Build the dotted access path a.b->c starting here.
+      std::string pathText = t.text;
+      std::size_t end = j;
+      bool tainted = seedTainted(t.text, j, reason);
+      if (fn != nullptr) {
+        auto hit = fn->taintedPaths.find(pathText);
+        if (hit != fn->taintedPaths.end()) {
+          tainted = true;
+          if (reason) *reason = hit->second;
+        }
+      }
+      while (has(end + 2) &&
+             (is(toks_[end + 1], ".") || is(toks_[end + 1], "->")) &&
+             isIdent(toks_[end + 2])) {
+        end += 2;
+        pathText += "." + toks_[end].text;
+        if (!tainted) tainted = seedTainted(toks_[end].text, end, reason);
+        if (!tainted && fn != nullptr && fn->taintedPaths.count(pathText)) {
+          tainted = true;
+          if (reason) *reason = fn->taintedPaths[pathText];
+        }
+      }
+      // Scrub collective-result calls: allreduce(...)/allgather(...) produce
+      // the same value on every rank whatever their arguments were, so the
+      // whole call expression — arguments included — is skipped untainted.
+      if (kUniformResultFns.count(toks_[end].text) && has(end + 1) &&
+          is(toks_[end + 1], "(")) {
+        j = matchForward(end + 1) + 1;
+        continue;
+      }
+      if (tainted) return true;
+      j = end + 1;
+    }
+    return false;
+  }
+
+  bool seedTainted(const std::string& id, std::size_t idx,
+                   std::string* reason) {
+    if (kRankSeeds.count(id)) {
+      if (reason) *reason = "`" + id + "` is rank-dependent";
+      return true;
+    }
+    if (kFaultSeeds.count(id)) {
+      if (reason) *reason = "`" + id + "` is a fault-injection site";
+      return true;
+    }
+    if (kLocalVerdictFns.count(id) && has(idx + 1) && is(toks_[idx + 1], "(")) {
+      if (reason) *reason = "`" + id + "()` returns per-rank data";
+      return true;
+    }
+    return false;
+  }
+
+  // Handle `path = expr` taint propagation (and clean overwrites).
+  void handleAssignment(std::size_t eqIdx) {
+    Scope* fn = functionScope();
+    if (fn == nullptr || eqIdx == 0) return;
+    // LHS: dotted path ending right before '='.
+    std::size_t k = eqIdx - 1;
+    if (!isIdent(toks_[k])) return;
+    std::vector<std::string> parts = {toks_[k].text};
+    while (k >= 2 && (is(toks_[k - 1], ".") || is(toks_[k - 1], "->")) &&
+           isIdent(toks_[k - 2])) {
+      k -= 2;
+      parts.push_back(toks_[k].text);
+    }
+    std::string path;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it)
+      path += (path.empty() ? "" : ".") + *it;
+
+    // RHS: until ';' at this paren level or the level closes (covers both
+    // plain statements and `if (auto x = ...)` / for-header inits).
+    int rel = 0;
+    std::size_t end = eqIdx + 1;
+    for (; end < toks_.size(); ++end) {
+      const std::string& s = toks_[end].text;
+      if (s == "(" || s == "[" || s == "{") ++rel;
+      else if (s == ")" || s == "]" || s == "}") {
+        if (--rel < 0) break;
+      } else if (s == ";" && rel <= 0) {
+        break;
+      }
+    }
+    std::string reason;
+    bool tainted = spanTainted(eqIdx + 1, end, &reason);
+    if (!tainted && effectiveTaint(&reason))
+      tainted = true;  // assignment only happens on some ranks
+    if (tainted)
+      fn->taintedPaths[path] = reason;
+    else
+      fn->taintedPaths.erase(path);
+  }
+
+  // ---- structure: braces, functions, control flow -------------------------
+
+  // Classify the '{' at index i and push the matching scope.
+  void openBrace(std::size_t i) {
+    if (pending_.active && i > pending_.afterIdx) {
+      Scope s;
+      s.kind = pending_.kind;
+      s.tainted = pending_.tainted;
+      s.taintReason = pending_.reason;
+      pending_.active = false;
+      pushScope(std::move(s));
+      return;
+    }
+    // Statement tokens since the last boundary.
+    const std::size_t stmtBegin = lastBoundary_ + 1;
+    auto stmtHas = [&](const char* kw) {
+      for (std::size_t j = stmtBegin; j < i; ++j)
+        if (isIdent(toks_[j]) && is(toks_[j], kw)) return true;
+      return false;
+    };
+
+    if (stmtHas("namespace")) {
+      pushScope({Scope::Kind::Namespace});
+      return;
+    }
+    // Type definitions: class-key leads the statement (after template<..>).
+    std::size_t first = stmtBegin;
+    if (first < i && is(toks_[first], "template")) {
+      int depth = 0;
+      for (std::size_t j = first + 1; j < i; ++j) {
+        if (is(toks_[j], "<")) ++depth;
+        else if (is(toks_[j], ">") && --depth == 0) {
+          first = j + 1;
+          break;
+        }
+      }
+    }
+    if (first < i &&
+        (is(toks_[first], "class") || is(toks_[first], "struct") ||
+         is(toks_[first], "union") || is(toks_[first], "enum"))) {
+      pushScope({Scope::Kind::Type});
+      return;
+    }
+
+    // Lambda body: `[..] {` or `[..](params) {`.
+    if (i >= 1) {
+      std::size_t p = i - 1;
+      while (p > stmtBegin &&
+             (is(toks_[p], "mutable") || is(toks_[p], "noexcept") ||
+              is(toks_[p], "const")))
+        --p;
+      bool lambda = is(toks_[p], "]");
+      if (!lambda && is(toks_[p], ")")) {
+        const std::size_t open = matchBackward(p);
+        lambda = open > 0 && is(toks_[open - 1], "]");
+      }
+      if (lambda) {
+        // Inside a function a lambda body is part of the surrounding
+        // analysis; at namespace scope treat it as an anonymous function.
+        pushScope(inFunction() ? Scope{Scope::Kind::Block}
+                               : Scope{Scope::Kind::Function});
+        return;
+      }
+    }
+
+    if (!inFunction()) {
+      std::string name;
+      if (looksLikeFunction(i, &name)) {
+        Scope s;
+        s.kind = Scope::Kind::Function;
+        s.fnName = name;
+        for (std::size_t j = stmtBegin; j < i; ++j)
+          if (is(toks_[j], "AWP_HOT")) s.isHot = true;
+        definedFns_[name] = toks_[i].line;
+        if (s.isHot) hotFns_.insert(name);
+        pushScope(std::move(s));
+        return;
+      }
+    }
+    pushScope({Scope::Kind::Block});
+  }
+
+  bool looksLikeFunction(std::size_t braceIdx, std::string* name) {
+    if (braceIdx == 0) return false;
+    std::size_t p = braceIdx - 1;
+    while (p > 0 && (is(toks_[p], "const") || is(toks_[p], "noexcept") ||
+                     is(toks_[p], "override") || is(toks_[p], "final") ||
+                     is(toks_[p], "try")))
+      --p;
+    // Walk backward over constructor-initializer entries `name(...)`,
+    // separated by ',' and introduced by ':', to the parameter list.
+    for (int guard = 0; guard < 64; ++guard) {
+      if (!is(toks_[p], ")")) return false;
+      const std::size_t open = matchBackward(p);
+      if (open == 0) return false;
+      const std::size_t nameIdx = open - 1;
+      if (!isIdent(toks_[nameIdx])) return false;
+      if (nameIdx >= 1 &&
+          (is(toks_[nameIdx - 1], ",") || is(toks_[nameIdx - 1], ":"))) {
+        if (nameIdx < 2) return false;
+        p = nameIdx - 2;  // token before the ',' / ':' separator
+        continue;
+      }
+      *name = toks_[nameIdx].text;
+      return true;
+    }
+    return false;
+  }
+
+  void closeBrace() {
+    if (scopes_.empty()) return;
+    const bool wasControl = isControl(scopes_.back().kind);
+    popScopeInto();
+    // A braced control body completes the single-statement scope that
+    // introduced it: `if (a) while (b) { ... }`.
+    if (wasControl) popStmtScopes();
+  }
+
+  // ---- per-token dispatch -------------------------------------------------
+
+  void step() {
+    const Token& t = toks_[i_];
+
+    if (is(t, "{")) {
+      openBrace(i_);
+      lastBoundary_ = i_;
+      return;
+    }
+    if (is(t, "}")) {
+      closeBrace();
+      lastBoundary_ = i_;
+      return;
+    }
+    if (is(t, ";")) {
+      if (parenDepth_ == 0) popStmtScopes();
+      lastBoundary_ = i_;
+      return;
+    }
+    if (is(t, "(")) ++parenDepth_;
+    if (is(t, ")")) parenDepth_ = std::max(0, parenDepth_ - 1);
+
+    // Convert a pending control header into a single-statement scope when
+    // its body turns out to be unbraced.
+    if (pending_.active && i_ > pending_.afterIdx && !is(t, "{")) {
+      Scope s;
+      s.kind = Scope::Kind::Stmt;
+      s.braced = false;
+      s.tainted = pending_.tainted;
+      s.taintReason = pending_.reason;
+      pending_.active = false;
+      pushScope(std::move(s));
+    }
+
+    if (isIdent(t) && inFunction()) {
+      if (is(t, "if") || is(t, "while") || is(t, "switch") || is(t, "for")) {
+        controlHeader(t.text);
+        return;
+      }
+      if (is(t, "else")) {
+        pending_.active = true;
+        pending_.kind = Scope::Kind::Else;
+        pending_.tainted = scopes_.back().lastIfTaint;
+        pending_.reason = scopes_.back().lastIfReason;
+        pending_.afterIdx = i_;
+        return;
+      }
+      if (is(t, "do")) {
+        pending_ = {true, Scope::Kind::Loop, false, "", i_};
+        return;
+      }
+      if (is(t, "return") || is(t, "throw") || is(t, "break") ||
+          is(t, "continue")) {
+        earlyExit(t.text);
+        // fall through: `throw` is also a hot-path violation.
+      }
+    }
+
+    if (is(t, "=")) handleAssignment(i_);
+
+    collectiveRule(t);
+    hotRules(t);
+    spanRules(t);
+  }
+
+  void controlHeader(const std::string& kw) {
+    // `if` starts a fresh chain at this level.
+    if (kw == "if" && !scopes_.empty()) {
+      scopes_.back().lastIfTaint = false;
+      scopes_.back().lastIfReason.clear();
+    }
+    if (!has(i_ + 1) || !is(toks_[i_ + 1], "(")) return;
+    const std::size_t close = matchForward(i_ + 1);
+    std::string reason;
+    const bool tainted = spanTainted(i_ + 2, close, &reason);
+    pending_.active = true;
+    pending_.kind = (kw == "for" || kw == "while") ? Scope::Kind::Loop
+                                                   : Scope::Kind::Cond;
+    pending_.tainted = tainted;
+    pending_.reason = tainted
+                          ? reason + " (line " +
+                                std::to_string(toks_[i_].line) + ")"
+                          : "";
+    pending_.afterIdx = close;
+  }
+
+  void earlyExit(const std::string& kw) {
+    // Locate the exit's target scope and check whether any predicate
+    // BETWEEN it and this statement is tainted: if so, everything after
+    // the construct in the target scope only runs on some ranks.
+    const bool toFunction = (kw == "return" || kw == "throw");
+    std::string reason;
+    bool taintedBelowTarget = false;
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const bool isTarget =
+          toFunction ? it->kind == Scope::Kind::Function
+                     : (it->kind == Scope::Kind::Loop ||
+                        (kw == "break" && it->kind == Scope::Kind::Cond));
+      if (isTarget) {
+        if (taintedBelowTarget && !it->remainderTainted) {
+          it->remainderTainted = true;
+          it->remainderReason = "code after rank-dependent `" + kw +
+                                "` at line " +
+                                std::to_string(toks_[i_].line) + " (" +
+                                reason + ")";
+        }
+        return;
+      }
+      if (it->tainted && !taintedBelowTarget) {
+        taintedBelowTarget = true;
+        reason = it->taintReason;
+      }
+    }
+  }
+
+  // ---- rule 1: collective consistency -------------------------------------
+
+  void collectiveRule(const Token& t) {
+    if (!checkCollectives_ || !isIdent(t) || !inFunction()) return;
+    if (!has(i_ + 1) || !is(toks_[i_ + 1], "(")) return;
+    const bool memberCall =
+        i_ > 0 && (is(toks_[i_ - 1], ".") || is(toks_[i_ - 1], "->"));
+    const bool primitive =
+        cfg_.collectivePrimitives.count(t.text) != 0 && memberCall;
+    const bool wrapper = cfg_.collectiveWrappers.count(t.text) != 0;
+    if (!primitive && !wrapper) return;
+    std::string reason;
+    if (!effectiveTaint(&reason)) return;
+    emit(t.line, "collective-in-rank-branch",
+         "collective `" + t.text +
+             "` reached under rank-dependent control flow: " + reason +
+             "; if every rank provably takes this branch together, annotate "
+             "with `// awplint: collective-uniform(<why>)`");
+  }
+
+  // ---- rule 2: hot-path hygiene -------------------------------------------
+
+  void hotRules(const Token& t) {
+    Scope* fn = functionScope();
+    if (fn == nullptr || !fn->isHot || !isIdent(t)) return;
+    const bool call = has(i_ + 1) && is(toks_[i_ + 1], "(");
+    const bool memberCall =
+        i_ > 0 && (is(toks_[i_ - 1], ".") || is(toks_[i_ - 1], "->"));
+    if (is(t, "new") || is(t, "delete")) {
+      emit(t.line, "hot-alloc",
+           "`" + t.text + "` in AWP_HOT function `" + fn->fnName + "`");
+    } else if (call && !memberCall && kHotAllocCalls.count(t.text)) {
+      emit(t.line, "hot-alloc",
+           "allocation call `" + t.text + "` in AWP_HOT function `" +
+               fn->fnName + "`");
+    } else if (call && memberCall && kHotGrowthMembers.count(t.text)) {
+      emit(t.line, "hot-alloc",
+           "container growth `." + t.text + "()` in AWP_HOT function `" +
+               fn->fnName + "`");
+    } else if (kHotAllocNames.count(t.text) && !memberCall) {
+      emit(t.line, "hot-alloc",
+           "`" + t.text + "` in AWP_HOT function `" + fn->fnName +
+               "` (use a preallocated span/scratch buffer)");
+    } else if (kHotStringIds.count(t.text) && !memberCall) {
+      emit(t.line, "hot-alloc",
+           "string construction `" + t.text + "` in AWP_HOT function `" +
+               fn->fnName + "`");
+    } else if (is(t, "throw")) {
+      emit(t.line, "hot-throw",
+           "`throw` in AWP_HOT function `" + fn->fnName + "`");
+    } else if (call && kHotCheckMacros.count(t.text)) {
+      emit(t.line, "hot-throw",
+           "`" + t.text + "` (throws on failure) in AWP_HOT function `" +
+               fn->fnName + "`");
+    }
+  }
+
+  // ---- rule 3: telemetry span discipline ----------------------------------
+
+  void spanRules(const Token& t) {
+    if (!checkSpans_ || !isIdent(t)) return;
+    // telemetry::Phase::X must name a taxonomy member.
+    if (is(t, "Phase") && i_ >= 2 && is(toks_[i_ - 1], "::") &&
+        is(toks_[i_ - 2], "telemetry") && has(i_ + 2) &&
+        is(toks_[i_ + 1], "::") && isIdent(toks_[i_ + 2])) {
+      const std::string& member = toks_[i_ + 2].text;
+      if (!cfg_.phases.empty() && cfg_.phases.count(member) == 0) {
+        emit(toks_[i_ + 2].line, "span-taxonomy",
+             "`telemetry::Phase::" + member +
+                 "` is not in the fixed phase taxonomy");
+      }
+    }
+    if (is(t, "ScopedSpan")) {
+      // Statement-leading `ScopedSpan(...)` is a temporary that closes
+      // immediately — it times nothing.
+      std::size_t first = i_;
+      if (first >= 2 && is(toks_[first - 1], "::") &&
+          is(toks_[first - 2], "telemetry"))
+        first -= 2;
+      const bool stmtStart =
+          first == 0 || is(toks_[first - 1], ";") ||
+          is(toks_[first - 1], "{") || is(toks_[first - 1], "}");
+      if (stmtStart && has(i_ + 1) && is(toks_[i_ + 1], "(")) {
+        emit(t.line, "span-temporary",
+             "unnamed ScopedSpan temporary is destroyed immediately; bind "
+             "it to a named local");
+      }
+    }
+    if (is(t, "ManualSpan")) {
+      emit(t.line, "manual-span",
+           "ManualSpan is a raw begin/end pair; prefer ScopedSpan, or "
+           "annotate with `// awplint: manual-span(<why RAII cannot work>)`");
+    }
+    if (is(t, "RankTelemetry")) {
+      emit(t.line, "raw-span-api",
+           "raw RankTelemetry open/close API used outside src/telemetry");
+    }
+  }
+
+  // ---- registry + suppression ---------------------------------------------
+
+  void registryCheck() {
+    for (const auto& [suffix, fn] : cfg_.hotRegistry) {
+      if (path_.size() < suffix.size() ||
+          path_.compare(path_.size() - suffix.size(), suffix.size(),
+                        suffix) != 0)
+        continue;
+      if (hotFns_.count(fn)) continue;
+      const auto defined = definedFns_.find(fn);
+      if (defined != definedFns_.end()) {
+        emit(defined->second, "hot-registry",
+             "`" + fn + "` is listed in the hot registry but its definition "
+                        "is not marked AWP_HOT");
+      } else {
+        emit(1, "hot-registry",
+             "hot registry lists `" + fn + "` for this file but no such "
+             "function definition was found (registry drift?)");
+      }
+    }
+  }
+
+  static std::string suppressionFor(const std::string& rule) {
+    if (rule == "collective-in-rank-branch") return "collective-uniform";
+    if (rule == "hot-alloc" || rule == "hot-throw") return "hot-ok";
+    if (rule == "manual-span") return "manual-span";
+    if (rule == "span-taxonomy" || rule == "span-temporary" ||
+        rule == "raw-span-api")
+      return "span-ok";
+    return "";
+  }
+
+  void applySuppressions() {
+    std::vector<Finding> kept;
+    for (Finding& f : findings_) {
+      const std::string want = suppressionFor(f.rule);
+      bool suppressed = false;
+      bool emptyReason = false;
+      for (int line : {f.line, f.line - 1}) {
+        auto it = lf_.annotations.find(line);
+        if (it == lf_.annotations.end()) continue;
+        for (const Annotation& a : it->second) {
+          if (a.rule != want) continue;
+          if (a.reason.empty()) emptyReason = true;
+          else suppressed = true;
+        }
+      }
+      if (suppressed) continue;
+      if (emptyReason)
+        f.message += " [annotation found but its reason string is empty]";
+      kept.push_back(std::move(f));
+    }
+    findings_ = std::move(kept);
+  }
+
+  void emit(int line, const std::string& rule, const std::string& message) {
+    findings_.push_back({path_, line, rule, message});
+  }
+
+  // ---- state --------------------------------------------------------------
+
+  std::string path_;
+  const LexedFile& lf_;
+  const Tokens& toks_;
+  const Config& cfg_;
+  bool checkCollectives_ = true;
+  bool checkSpans_ = true;
+
+  std::size_t i_ = 0;
+  std::size_t lastBoundary_ = static_cast<std::size_t>(-1);
+  int parenDepth_ = 0;
+  std::vector<Scope> scopes_;
+  Pending pending_;
+  std::vector<Finding> findings_;
+  std::set<std::string> hotFns_;
+  std::map<std::string, int> definedFns_;
+};
+
+}  // namespace
+
+std::set<std::string> parsePhaseTaxonomy(const LexedFile& lf) {
+  std::set<std::string> phases;
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is(toks[i], "enum")) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && (is(toks[j], "class") || is(toks[j], "struct")))
+      ++j;
+    if (j >= toks.size() || !is(toks[j], "Phase")) continue;
+    while (j < toks.size() && !is(toks[j], "{")) ++j;
+    ++j;
+    bool expectName = true;
+    int depth = 1;
+    for (; j < toks.size() && depth > 0; ++j) {
+      if (is(toks[j], "{")) ++depth;
+      else if (is(toks[j], "}")) --depth;
+      else if (is(toks[j], ",") && depth == 1) expectName = true;
+      else if (expectName && isIdent(toks[j])) {
+        phases.insert(toks[j].text);
+        expectName = false;
+      }
+    }
+    break;
+  }
+  return phases;
+}
+
+std::vector<Finding> analyzeFile(const std::string& path, const LexedFile& lf,
+                                 const Config& cfg) {
+  return Analyzer(path, lf, cfg).run();
+}
+
+}  // namespace awplint

@@ -1,0 +1,74 @@
+#pragma once
+// awplint rule engine: the three project-specific rule families enforced
+// over src/ (see DESIGN.md §10 for the full catalog and the annotation
+// grammar).
+//
+//   1. collective-in-rank-branch — a Communicator/Mailbox collective
+//      (allreduce, allgather, barrier, bcast, gatherBytes, or a known
+//      collective wrapper) reached under control flow whose predicate is
+//      rank-dependent: derived from rank(), per-rank verdict scans, or
+//      fault-injection sites. Rank-divergent control flow around a
+//      collective is the canonical SPMD deadlock. Suppress with
+//      `// awplint: collective-uniform(<why all ranks agree>)`.
+//   2. hot-alloc / hot-throw — allocation, container growth, string
+//      construction, or throwing calls inside a function marked AWP_HOT
+//      (the solver step loop, FD kernels, halo pack/unpack, PML/sponge
+//      updates). Suppress with `// awplint: hot-ok(<reason>)`.
+//   3. span discipline — telemetry::Phase members must belong to the
+//      fixed taxonomy (span-taxonomy), ScopedSpan must be a named local,
+//      never a discarded temporary (span-temporary), ManualSpan use must
+//      be justified (manual-span), and the raw RankTelemetry open/close
+//      API stays inside src/telemetry (raw-span-api). Suppress with
+//      `// awplint: span-ok(...)` / `// awplint: manual-span(...)`.
+//
+// The analysis is a scoped token scan with one-level taint propagation,
+// not a full dataflow pass: results of allreduce/allgather are uniform by
+// construction and scrub taint; early exits (return/throw) under a
+// tainted predicate taint the remainder of the function; break/continue
+// taint the remainder of the enclosing loop.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace awplint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Config {
+  // Valid telemetry phase names, parsed from taxonomy.hpp.
+  std::set<std::string> phases;
+  // Collectives called through an object (comm.barrier(), comm_->bcast()).
+  std::set<std::string> collectivePrimitives = {
+      "allreduce", "allgather", "barrier", "bcast", "broadcast",
+      "gatherBytes"};
+  // Functions that contain collectives, flagged at their call sites too.
+  std::set<std::string> collectiveWrappers = {
+      "collectivePreflight", "collectiveRupturePreflight", "parallelMd5",
+      "aggregate",           "emitTelemetry",              "restart",
+      "preflight",           "evaluate",                   "collectTraces",
+      "gatherFaultHistory",  "exchangeVelocities",         "exchangeStresses",
+      "exchangeMaterial",    "exchangeFields"};
+  // file-suffix -> function names that MUST carry AWP_HOT in that file.
+  std::multimap<std::string, std::string> hotRegistry;
+};
+
+// Parse the Phase enum out of a lexed taxonomy header.
+std::set<std::string> parsePhaseTaxonomy(const LexedFile& lf);
+
+// Run all applicable rule families over one lexed file. `path` selects the
+// per-layer exclusions (rule 1 skips src/vcluster — the implementation of
+// the collectives; rule 3 skips src/telemetry — the implementation of the
+// spans). Suppression annotations are applied before returning.
+std::vector<Finding> analyzeFile(const std::string& path, const LexedFile& lf,
+                                 const Config& cfg);
+
+}  // namespace awplint
