@@ -4,27 +4,70 @@
 // only in the random initial-stress seed and report the spread of their
 // source properties (slip distributions and rupture-time contours differ
 // realization to realization while the magnitude stays comparable).
+//
+// The ensemble is driven through the scenario service: the realizations
+// are submitted together, admission control leases each one a 2-rank core
+// range out of a shared budget (so two run concurrently on a 4-core
+// budget), and completed products are memoized — resubmitting a seed is a
+// cache hit, not a re-run, which is how a site-motion assessment iterates
+// on an ensemble without paying for unchanged members.
 
 #include <iostream>
+#include <vector>
 
-#include "scenarios.hpp"
+#include "sched/service.hpp"
+#include "sched/spec.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 using namespace awp;
-using namespace awp::bench;
+
+namespace {
+
+sched::ScenarioSpec realization(std::uint64_t seed) {
+  sched::ScenarioSpec spec;
+  spec.kind = sched::ScenarioKind::Rupture;
+  spec.lengthKm = 50.0;
+  spec.depthKm = 12.0;
+  spec.h = 600.0;
+  spec.seed = seed;
+  spec.steps = 360;
+  spec.nranks = 2;
+  spec.name = "shakeout-d-seed-" + std::to_string(seed);
+  return spec;
+}
+
+}  // namespace
 
 int main() {
-  std::cout << "=== Fig 18: dynamic source ensemble ===\n\n";
+  std::cout << "=== Fig 18: dynamic source ensemble (scenario service) ===\n\n";
+
+  sched::ServiceConfig cfg;
+  cfg.coreBudget = 4;  // two 2-rank realizations in flight at a time
+  sched::ScenarioService service(cfg);
+
+  const std::vector<std::uint64_t> seeds{11, 23, 42, 77};
+  std::vector<sched::JobHandle> jobs;
+  for (std::uint64_t seed : seeds) jobs.push_back(service.submit(realization(seed)));
+  service.drain();
 
   TextTable table({"Seed", "Mw", "Mean slip (m)", "Max slip (m)",
                    "Peak slip rate (m/s)", "Last rupture time (s)",
                    "Ruptured fraction"});
   std::vector<double> mws, maxSlips;
-  for (std::uint64_t seed : {11u, 23u, 42u, 77u}) {
-    const auto fault = runMiniRupture(/*lengthKm=*/50.0, /*depthKm=*/12.0,
-                                      /*hRupture=*/600.0, seed,
-                                      /*steps=*/360, /*nranks=*/2);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i]->wait() != sched::JobPhase::Completed) {
+      std::cerr << "realization seed " << seeds[i] << " failed: "
+                << jobs[i]->error << "\n";
+      return 1;
+    }
+    const auto* blob = jobs[i]->products.find("fault_history");
+    if (blob == nullptr) {
+      std::cerr << "realization seed " << seeds[i]
+                << " produced no fault history\n";
+      return 1;
+    }
+    const auto fault = sched::deserializeFaultHistory(blob->bytes);
     double maxSlip = 0.0, maxRate = 0.0, lastTime = 0.0;
     std::size_t ruptured = 0;
     for (std::size_t n = 0; n < fault.finalSlip.size(); ++n) {
@@ -38,7 +81,7 @@ int main() {
     const double mw = fault.momentMagnitude();
     mws.push_back(mw);
     maxSlips.push_back(maxSlip);
-    table.addRow({std::to_string(seed), TextTable::num(mw, 2),
+    table.addRow({std::to_string(seeds[i]), TextTable::num(mw, 2),
                   TextTable::num(fault.averageSlip(), 2),
                   TextTable::num(maxSlip, 2), TextTable::num(maxRate, 2),
                   TextTable::num(lastTime, 2),
@@ -48,13 +91,25 @@ int main() {
   }
   table.print(std::cout);
 
+  // Iterating on the ensemble: an unchanged member is served from the
+  // product cache without re-executing the rupture.
+  auto rerun = service.submit(realization(seeds.front()));
+  rerun->wait();
+
+  const auto report = service.report();
   std::cout << "\nEnsemble spread: Mw " << TextTable::num(minOf(mws), 2)
             << " - " << TextTable::num(maxOf(mws), 2) << ", max slip "
             << TextTable::num(minOf(maxSlips), 2) << " - "
             << TextTable::num(maxOf(maxSlips), 2)
-            << " m.\nPaper anchor: the seven ShakeOut-D realizations share "
-               "the target magnitude but differ in slip distribution and "
-               "rupture-time contours — the basis of the site-motion "
-               "uncertainty assessment.\n";
-  return 0;
+            << " m.\nService: " << report.executedAttempts
+            << " attempts executed for " << report.submitted
+            << " submissions (" << report.cacheHits
+            << " cache hit), mean queue latency "
+            << TextTable::num(report.queueLatencyMean, 3) << " s, throughput "
+            << TextTable::num(report.throughputPerSecond, 3)
+            << " scenarios/s.\nPaper anchor: the seven ShakeOut-D "
+               "realizations share the target magnitude but differ in slip "
+               "distribution and rupture-time contours — the basis of the "
+               "site-motion uncertainty assessment.\n";
+  return rerun->cacheHit ? 0 : 1;
 }

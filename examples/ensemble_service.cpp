@@ -1,0 +1,123 @@
+// Scenario-service demonstration (and the CI chaos-job driver): an
+// ensemble of wave scenarios runs concurrently under the service's
+// admission control while the fault injector wedges one rank mid-run.
+// The watchdog turns the hang into a stall episode, the attempt is
+// cancelled collectively and requeued, and the retry resumes from the
+// job's last checkpoint — after which a resubmitted member is served
+// from the product cache without re-execution.
+//
+// Exits nonzero unless every scenario completes, the stall was retried,
+// the resubmission hit the cache, and the service report validates.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "sched/report.hpp"
+#include "sched/service.hpp"
+#include "sched/spec.hpp"
+
+using namespace awp;
+namespace fs = std::filesystem;
+
+namespace {
+
+sched::ScenarioSpec member(std::uint64_t steps, double amplitude,
+                           const std::string& name) {
+  sched::ScenarioSpec spec;
+  spec.kind = sched::ScenarioKind::Wave;
+  spec.dims = {32, 24, 16};
+  spec.h = 600.0;
+  spec.steps = steps;
+  spec.nranks = 2;
+  spec.useCvm = true;
+  spec.checkpointEverySteps = 8;
+  spec.surfaceSampleEverySteps = 2;
+  spec.healthEverySteps = 5;
+  spec.sourceAmplitude = amplitude;
+  spec.name = name;
+  return spec;
+}
+
+bool expect(bool ok, const char* what) {
+  if (!ok) std::fprintf(stderr, "FAIL: %s\n", what);
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  const fs::path work = fs::temp_directory_path() / "awp-ensemble-service";
+  fs::remove_all(work);
+
+  // One injected stall: the rank-1 op stream is shared by the concurrent
+  // jobs, so the 40th consult lands mid-run in one of them (typically past
+  // its step-8 checkpoint) and wedges that rank for 2 s — long past the
+  // 0.75 s watchdog timeout.
+  fault::FaultPlan plan;
+  plan.stall("solver.step", /*rank=*/1, /*occurrence=*/40, /*seconds=*/2.0);
+  fault::FaultInjector injector(std::move(plan));
+  fault::ScopedInjection scoped(injector);
+
+  sched::ServiceConfig cfg;
+  cfg.coreBudget = 8;  // four 2-rank scenarios in flight concurrently
+  cfg.queueCapacity = 8;
+  cfg.maxRetries = 3;
+  cfg.stallTimeoutSeconds = 0.75;
+  cfg.watchdogPollSeconds = 0.05;
+  cfg.workDir = work.string();
+  sched::ScenarioService service(cfg);
+
+  // Four distinct members (different source amplitudes and lengths), all
+  // admitted together so they run concurrently under the core budget.
+  std::vector<sched::JobHandle> jobs;
+  jobs.push_back(service.submit(member(32, 1.0e15, "member-a")));
+  jobs.push_back(service.submit(member(32, 2.0e15, "member-b")));
+  jobs.push_back(service.submit(member(40, 1.0e15, "member-c")));
+  jobs.push_back(service.submit(member(40, 3.0e15, "member-d")));
+  service.drain();
+
+  bool ok = true;
+  for (const auto& job : jobs) {
+    ok &= expect(job->wait() == sched::JobPhase::Completed,
+                 "every ensemble member completes");
+    ok &= expect(job->products.find("surface.bin") != nullptr,
+                 "completed member has a surface product");
+    ok &= expect(job->products.find("pgvh.bin") != nullptr,
+                 "completed member has a PGV-H product");
+  }
+
+  // The wedged rank was reported by the watchdog and the attempt retried.
+  ok &= expect(!service.stallEpisodes().empty(),
+               "watchdog recorded the injected stall");
+  ok &= expect(injector.faultsInjected() >= 1, "the stall actually fired");
+
+  // Resubmitting an unchanged member is a cache hit, not a re-run.
+  auto resubmitted = service.submit(member(32, 1.0e15, "member-a-again"));
+  ok &= expect(resubmitted->wait() == sched::JobPhase::Completed,
+               "resubmission completes");
+  ok &= expect(resubmitted->cacheHit, "resubmission served from cache");
+
+  const auto report = service.report();
+  ok &= expect(report.retries >= 1, "report shows the stall retry");
+  ok &= expect(report.cacheHits >= 1, "report shows the cache hit");
+  ok &= expect(report.completed == 4, "report counts 4 executed completions");
+  const auto violations = sched::validateServiceReportJson(toJson(report));
+  for (const auto& v : violations)
+    std::fprintf(stderr, "report violation: %s\n", v.c_str());
+  ok &= expect(violations.empty(), "service report validates");
+
+  const std::string reportPath = (work / "service_report.json").string();
+  sched::writeServiceReportFile(reportPath, report);
+  std::printf(
+      "ensemble: %llu submitted, %llu completed, %llu retries, %llu cache "
+      "hits, %zu stall episode(s); report at %s\n",
+      static_cast<unsigned long long>(report.submitted),
+      static_cast<unsigned long long>(report.completed),
+      static_cast<unsigned long long>(report.retries),
+      static_cast<unsigned long long>(report.cacheHits),
+      service.stallEpisodes().size(), reportPath.c_str());
+  return ok ? 0 : 1;
+}

@@ -174,10 +174,50 @@ RuntimeConfig parseRuntimeConfig(const std::string& text,
       s.telemetry.reportPath = rawValue;
     } else if (key == "telemetry_trace") {
       s.telemetry.tracePathPrefix = rawValue;
+    } else if (key == "telemetry_chrome") {
+      s.telemetry.chromeTracePath = rawValue;
     } else if (key == "telemetry_ring") {
       const int cap = parseInt(value, lineNo);
       if (cap < 1) fail(lineNo, "telemetry_ring must be >= 1");
       config.telemetryRingCapacity = static_cast<std::size_t>(cap);
+    } else if (key == "sched_workers") {
+      config.sched.workers = parseInt(value, lineNo);
+      if (config.sched.workers < 1) fail(lineNo, "sched_workers must be >= 1");
+    } else if (key == "sched_memory_mb") {
+      const int mb = parseInt(value, lineNo);
+      if (mb < 0) fail(lineNo, "sched_memory_mb must be >= 0");
+      config.sched.memoryMb = static_cast<std::size_t>(mb);
+    } else if (key == "sched_queue_capacity") {
+      config.sched.queueCapacity = parseInt(value, lineNo);
+      if (config.sched.queueCapacity < 1)
+        fail(lineNo, "sched_queue_capacity must be >= 1");
+    } else if (key == "sched_admission") {
+      if (value == "reject") config.sched.admitBlock = false;
+      else if (value == "block") config.sched.admitBlock = true;
+      else fail(lineNo, "sched_admission must be reject or block");
+    } else if (key == "sched_max_retries") {
+      config.sched.maxRetries = parseInt(value, lineNo);
+      if (config.sched.maxRetries < 0)
+        fail(lineNo, "sched_max_retries must be >= 0");
+    } else if (key == "sched_stall_timeout") {
+      config.sched.stallTimeoutSeconds = parseDouble(value, lineNo);
+      if (config.sched.stallTimeoutSeconds <= 0.0)
+        fail(lineNo, "sched_stall_timeout must be > 0");
+    } else if (key == "sched_cancel_check") {
+      config.sched.cancelCheckEverySteps = parseInt(value, lineNo);
+      if (config.sched.cancelCheckEverySteps < 1)
+        fail(lineNo, "sched_cancel_check must be >= 1");
+    } else if (key == "sched_retry_dt_tighten") {
+      config.sched.retryDtTighten = parseDouble(value, lineNo);
+      if (config.sched.retryDtTighten <= 0.0 ||
+          config.sched.retryDtTighten > 1.0)
+        fail(lineNo, "sched_retry_dt_tighten must be in (0, 1]");
+    } else if (key == "sched_cache") {
+      config.sched.cacheProducts = parseSwitch(value, lineNo);
+    } else if (key == "sched_cache_dir") {
+      config.sched.cacheDir = rawValue;
+    } else if (key == "sched_work_dir") {
+      config.sched.workDir = rawValue;
     } else {
       fail(lineNo, "unknown key '" + key + "'");
     }

@@ -38,7 +38,20 @@
 //   telemetry_interval   = <steps>       (0 = report only at end of run)
 //   telemetry_report     = <path>        (cluster JSON report, rank 0)
 //   telemetry_trace      = <path prefix> (per-rank JSONL traces)
+//   telemetry_chrome     = <path>        (chrome://tracing JSON array)
 //   telemetry_ring       = <spans>       (per-rank trace ring capacity)
+//   sched_workers        = <n>           (scenario-service core budget)
+//   sched_memory_mb      = <mb>          (0 = unlimited admission memory)
+//   sched_queue_capacity = <n>           (bounded admission queue depth)
+//   sched_admission      = reject | block (backpressure policy when full)
+//   sched_max_retries    = <n>           (requeues before a job is poison)
+//   sched_stall_timeout  = <seconds>     (per-job watchdog timeout)
+//   sched_cancel_check   = <steps>       (collective cancel-poll cadence)
+//   sched_retry_dt_tighten = <factor in (0,1]> (dt scale on fatal-verdict
+//                                        requeue; crash/stall retries keep dt)
+//   sched_cache          = on | off      (memoize completed products)
+//   sched_cache_dir      = <path>        ("" = in-memory cache only)
+//   sched_work_dir       = <path>        (per-job checkpoints + surface files)
 
 #include <cstddef>
 #include <string>
@@ -48,6 +61,22 @@
 namespace awp::core {
 
 enum class MeshIoMode { PrePartitioned, OnDemand, Direct };
+
+// Scenario-service knobs (consumed by sched::ServiceConfig::fromRuntime;
+// kept as a plain struct here so core does not depend on src/sched).
+struct SchedKnobs {
+  int workers = 4;                 // global core budget for leases
+  std::size_t memoryMb = 0;        // admission memory budget (0 = unlimited)
+  int queueCapacity = 16;          // bounded priority queue depth
+  bool admitBlock = false;         // full queue: false = reject, true = block
+  int maxRetries = 2;              // requeues before Failed (poison)
+  double stallTimeoutSeconds = 30.0;  // per-job watchdog timeout
+  int cancelCheckEverySteps = 2;   // collective cancel-poll cadence
+  double retryDtTighten = 0.5;     // dt scale on fatal-verdict requeue
+  bool cacheProducts = true;       // memoize completed scenario products
+  std::string cacheDir;            // "" = in-memory artifact cache only
+  std::string workDir;             // "" = std::filesystem::temp_directory_path
+};
 
 struct RuntimeConfig {
   SolverConfig solver;
@@ -59,6 +88,8 @@ struct RuntimeConfig {
   // all, and the span ring capacity per rank.
   bool telemetryEnabled = false;
   std::size_t telemetryRingCapacity = std::size_t{1} << 16;
+  // Scenario-service knobs (sched_* keys).
+  SchedKnobs sched;
 };
 
 // Parse `key = value` text into a RuntimeConfig starting from defaults.

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "fault/injector.hpp"
+#include "telemetry/chrome_trace.hpp"
 #include "util/error.hpp"
 #include "util/hot.hpp"
 
@@ -404,6 +405,10 @@ void WaveSolver::maybeRewiden() {
 void WaveSolver::emitTelemetry(double wallSeconds, bool endOfRun) {
   telemetry::Session* session = telemetry::activeSession();
   if (session == nullptr) return;
+  // Under the scenario service the session outlives this solver and is
+  // shared with concurrent jobs; aggregation (which reads the off-rank
+  // slot) is deferred to the service. Uniform config: no rank divergence.
+  if (!config_.telemetry.emitAggregates) return;
   // Collective: every rank contributes its summary; rank 0 gets the report.
   const telemetry::ClusterReport report =
       telemetry::aggregate(comm_, *session, step_, wallSeconds);
@@ -411,6 +416,16 @@ void WaveSolver::emitTelemetry(double wallSeconds, bool endOfRun) {
     telemetry::writeTraceFile(config_.telemetry.tracePathPrefix + ".rank" +
                                   std::to_string(comm_.rank()) + ".jsonl",
                               session->slot(comm_.rank()));
+  if (endOfRun && !config_.telemetry.chromeTracePath.empty()) {
+    // Rank 0 reads every rank's ring: flank with barriers so no rank is
+    // still writing spans (before) and none starts new ones until the
+    // file is out (after).
+    comm_.barrier();
+    if (comm_.rank() == 0)
+      telemetry::writeChromeTraceFile(config_.telemetry.chromeTracePath,
+                                      *session);
+    comm_.barrier();
+  }
   if (comm_.rank() != 0) return;
   lastTelemetryReport_ = report;
   if (!config_.telemetry.reportPath.empty())
@@ -472,6 +487,14 @@ void WaveSolver::restart() {
       checkpoints_->readStep(comm_.rank(), static_cast<std::uint64_t>(agreed));
   grid_->restoreState(restored.state);
   step_ = restored.step + 1;
+  if (surfaceWriter_ && surfaceOutput_) {
+    // Samples before the resume point are already on disk (written by this
+    // writer or by a previous attempt sharing the output file): mark the
+    // prefix persisted so the first post-resume flush cannot zero-fill it.
+    const auto every =
+        static_cast<std::uint64_t>(surfaceOutput_->sampleEverySteps);
+    surfaceWriter_->resumeFrom((step_ + every - 1) / every);
+  }
   comm_.barrier();
 }
 

@@ -46,6 +46,13 @@ struct TelemetryOutputConfig {
   int reportEverySteps = 0;      // 0 = only at end of run()
   std::string reportPath;        // cluster JSON report (rank 0; "" = none)
   std::string tracePathPrefix;   // per-rank JSONL: <prefix>.rankN.jsonl
+  std::string chromeTracePath;   // whole-session chrome://tracing array
+                                 // written by rank 0 at end of run ("" = none)
+  // Whether run() performs collective aggregation at all. The scenario
+  // service shares one session across concurrent jobs and aggregates
+  // itself after shutdown; a job solver aggregating mid-flight would read
+  // the off-rank slot while the dispatcher is still writing spans to it.
+  bool emitAggregates = true;
 };
 
 struct SolverConfig {

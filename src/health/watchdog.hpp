@@ -24,6 +24,8 @@
 #include <thread>
 #include <vector>
 
+#include "health/verdict.hpp"
+
 namespace awp::health {
 
 // Shared per-rank heartbeat slots. beat() is wait-free; readers may see a
@@ -77,6 +79,12 @@ class Watchdog {
 
   [[nodiscard]] std::vector<StallReport> reports() const;
 
+  // Consume pending (not yet drained) reports. reports() stays a full
+  // non-destructive history; drain() hands each episode to exactly one
+  // consumer — the scenario-service scheduler polls it to decide on
+  // cancellation and requeue without double-acting on an episode.
+  [[nodiscard]] std::vector<StallReport> drain();
+
  private:
   void scanLoop();
 
@@ -90,7 +98,17 @@ class Watchdog {
   bool episodeOpen_ = false;
   int episodeOrigin_ = -1;
   std::uint64_t episodeOriginStep_ = 0;
+  std::size_t drained_ = 0;  // reports_ prefix already handed out by drain()
   std::thread thread_;
 };
+
+// Map a stall episode onto the health verdict lattice so schedulers and
+// tests act on stalls with the same vocabulary as field monitoring: a
+// fresh episode is Degraded (the rank may still recover — injected stalls
+// are transient by construction); one aged past `fatalFactor` timeouts is
+// Fatal (treat the rank as lost, cancel and reschedule from checkpoint).
+[[nodiscard]] Verdict verdictFor(const StallReport& report,
+                                 double stallTimeoutSeconds,
+                                 double fatalFactor = 4.0);
 
 }  // namespace awp::health

@@ -73,6 +73,11 @@ void AggregatedWriter::writeSampleAt(std::uint64_t sampleIndex,
     flush();
 }
 
+void AggregatedWriter::resumeFrom(std::uint64_t sampleIndex) {
+  flush();
+  if (sampleIndex > samplesFlushed_) samplesFlushed_ = sampleIndex;
+}
+
 void AggregatedWriter::writeOne(std::uint64_t sampleIndex, const float* src) {
   // The file is laid out step-major: sample s occupies the float range
   // [s * stepFloatsGlobal, (s+1) * stepFloatsGlobal).

@@ -60,6 +60,14 @@ class AggregatedWriter {
   // an aggregation buffer survives a flaky flush without losing samples.
   void flush();
 
+  // Declare indices below `sampleIndex` already persisted — by a previous
+  // incarnation of this writer whose checkpoint-resumed run is picking up
+  // mid-file. Without this a fresh writer would treat the resume point as
+  // a gap and zero-fill the prefix on its first flush, destroying the
+  // earlier attempt's samples. Buffered samples are flushed first; the
+  // prefix only ever advances.
+  void resumeFrom(std::uint64_t sampleIndex);
+
   void setRetryPolicy(const util::RetryPolicy& policy) {
     retryPolicy_ = policy;
   }

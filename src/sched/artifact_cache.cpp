@@ -1,0 +1,192 @@
+#include "sched/artifact_cache.hpp"
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "util/error.hpp"
+#include "util/md5.hpp"
+
+namespace awp::sched {
+
+namespace fs = std::filesystem;
+
+ArtifactCache::ArtifactCache(std::string directory)
+    : directory_(std::move(directory)) {
+  if (!directory_.empty()) fs::create_directories(directory_);
+}
+
+std::string ArtifactCache::entryPath(const std::string& key) const {
+  return (fs::path(directory_) /
+          (Md5::hexDigest(key.data(), key.size()) + ".blob"))
+      .string();
+}
+
+std::optional<std::vector<std::byte>> ArtifactCache::loadDisk(
+    const std::string& key) {
+  if (directory_.empty()) return std::nullopt;
+  std::ifstream in(entryPath(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::array<std::uint8_t, 16> stored{};
+  in.read(reinterpret_cast<char*>(stored.data()),
+          static_cast<std::streamsize>(stored.size()));
+  if (!in) return std::nullopt;
+  std::vector<std::byte> payload;
+  {
+    std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    payload.resize(raw.size());
+    std::memcpy(payload.data(), raw.data(), raw.size());
+  }
+  // Digest-gate the load: torn or corrupted entries are misses.
+  if (Md5::hash(payload.data(), payload.size()) != stored)
+    return std::nullopt;
+  return payload;
+}
+
+void ArtifactCache::storeDisk(const std::string& key,
+                              const std::vector<std::byte>& value) const {
+  if (directory_.empty()) return;
+  const std::string target = entryPath(key);
+  const std::string tmp = target + ".tmp";
+  const auto digest = Md5::hash(value.data(), value.size());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("sched: cache cannot open " + tmp);
+    out.write(reinterpret_cast<const char*>(digest.data()),
+              static_cast<std::streamsize>(digest.size()));
+    out.write(reinterpret_cast<const char*>(value.data()),
+              static_cast<std::streamsize>(value.size()));
+    out.flush();
+    if (!out) throw Error("sched: cache short write to " + tmp);
+  }
+  fs::rename(tmp, target);
+}
+
+std::optional<std::vector<std::byte>> ArtifactCache::get(
+    const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = memory_.find(key);
+    if (it != memory_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  // Disk probe outside the lock: I/O must not serialize memory hits.
+  auto fromDisk = loadDisk(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!fromDisk.has_value()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  ++stats_.diskLoads;
+  memory_[key] = *fromDisk;
+  return fromDisk;
+}
+
+void ArtifactCache::put(const std::string& key, std::vector<std::byte> value) {
+  storeDisk(key, value);
+  std::lock_guard<std::mutex> lock(mutex_);
+  memory_[key] = std::move(value);
+}
+
+std::vector<std::byte> ArtifactCache::getOrCompute(
+    const std::string& key,
+    const std::function<std::vector<std::byte>()>& compute) {
+  for (;;) {
+    std::shared_ptr<Pending> waitOn;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      auto hit = memory_.find(key);
+      if (hit != memory_.end()) {
+        ++stats_.hits;
+        return hit->second;
+      }
+      auto inFlight = pending_.find(key);
+      if (inFlight == pending_.end()) {
+        // This caller computes; publish the pending marker first.
+        pending_[key] = std::make_shared<Pending>();
+        break;
+      }
+      waitOn = inFlight->second;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      waitOn->cv.wait(lock, [&] { return waitOn->done; });
+      if (!waitOn->failed) {
+        auto hit = memory_.find(key);
+        if (hit != memory_.end()) {
+          ++stats_.hits;
+          return hit->second;
+        }
+      }
+      // Winner failed (or entry vanished): loop and retry as a candidate
+      // computer.
+    }
+  }
+
+  // We are the single in-flight computer for this key. Check the disk
+  // tier before paying for the compute.
+  auto finish = [&](bool failed) {
+    std::shared_ptr<Pending> p;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = pending_.find(key);
+      p = it->second;
+      pending_.erase(it);
+      p->done = true;
+      p->failed = failed;
+    }
+    p->cv.notify_all();
+  };
+
+  try {
+    auto fromDisk = loadDisk(key);
+    std::vector<std::byte> value;
+    if (fromDisk.has_value()) {
+      value = std::move(*fromDisk);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.hits;
+      ++stats_.diskLoads;
+      memory_[key] = value;
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        ++stats_.computes;
+      }
+      value = compute();
+      storeDisk(key, value);
+      std::lock_guard<std::mutex> lock(mutex_);
+      memory_[key] = value;
+    }
+    finish(/*failed=*/false);
+    return value;
+  } catch (...) {
+    finish(/*failed=*/true);
+    throw;
+  }
+}
+
+bool ArtifactCache::contains(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (memory_.count(key) > 0) return true;
+  }
+  auto fromDisk = loadDisk(key);
+  if (!fromDisk.has_value()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  memory_[key] = std::move(*fromDisk);
+  return true;
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace awp::sched

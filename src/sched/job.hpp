@@ -1,0 +1,124 @@
+#pragma once
+// JobState: the shared record of one submitted scenario as it moves
+// through the service — queued, leased to a worker, possibly requeued
+// after a crash/stall/fatal verdict, and finally settled (Completed,
+// Failed or Rejected). The handle is shared between the submitter, the
+// admission queue, the dispatcher, the worker running the attempt, and
+// the per-job watchdog; the cancel flag and abort markers are atomics so
+// the watchdog and fault hooks can request cancellation without touching
+// the job mutex from inside a rank thread.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sched/spec.hpp"
+#include "util/error.hpp"
+
+namespace awp::sched {
+
+enum class JobPhase { Queued, Running, Completed, Failed, Rejected };
+
+const char* toString(JobPhase phase);
+
+// Why a running attempt was abandoned and the scenario requeued.
+enum class RequeueCause : int {
+  None = 0,
+  WorkerCrash = 1,   // injected/real worker failure mid-attempt
+  Stall = 2,         // watchdog stall episode on the job's heartbeat board
+  FatalVerdict = 3,  // health guard exhausted its in-run rollback budget
+};
+
+const char* toString(RequeueCause cause);
+
+struct RequeueEvent {
+  RequeueCause cause = RequeueCause::None;
+  int attempt = 0;             // 1-based attempt that was abandoned
+  std::uint64_t atStep = 0;    // solver step when the attempt ended
+  double dtNext = 0.0;         // dt override for the next attempt (0 = CFL)
+};
+
+// Thrown collectively by every rank of a cancelled attempt: the cancel
+// flag is agreed via allreduce at the cancel-check step, so no rank is
+// left blocking on a neighbour that already unwound.
+class CancelledError : public Error {
+ public:
+  CancelledError(RequeueCause cause, std::uint64_t step)
+      : Error(std::string("scenario attempt cancelled (") +
+              sched::toString(cause) + " at step " + std::to_string(step) +
+              ")"),
+        cause_(cause),
+        step_(step) {}
+
+  [[nodiscard]] RequeueCause cause() const { return cause_; }
+  [[nodiscard]] std::uint64_t step() const { return step_; }
+
+ private:
+  RequeueCause cause_;
+  std::uint64_t step_;
+};
+
+struct JobState {
+  ScenarioSpec spec;
+  std::string hash;            // spec.hashHex(), computed at submit
+  std::uint64_t submitSeq = 0; // admission order (FIFO within priority)
+
+  // --- cross-thread controls (lock-free) ---
+  // RequeueCause as int; nonzero = some party asked this attempt to stop.
+  // Set by the watchdog thread and the rank-0 fault consult; read by every
+  // rank at the collective cancel-check.
+  std::atomic<int> cancelRequested{0};
+  // The solver threw a non-cancellation Error (health abort, I/O): the
+  // worker maps it to a FatalVerdict requeue.
+  std::atomic<bool> fatalAbort{false};
+  // Last effective dt observed by rank 0 (feeds dt tightening on requeue).
+  std::atomic<double> lastDt{0.0};
+  // Step the failed/cancelled attempt reached (for the requeue record).
+  std::atomic<std::uint64_t> lastStep{0};
+
+  // --- guarded by mutex ---
+  mutable std::mutex mutex;
+  std::condition_variable settled;
+  JobPhase phase = JobPhase::Queued;
+  int attempts = 0;            // attempts started
+  std::vector<RequeueEvent> requeues;
+  bool cacheHit = false;       // served from the product cache
+  bool coalesced = false;      // merged into an in-flight identical spec
+  double dtOverride = 0.0;     // next attempt's dt (0 = spec/CFL default)
+  std::string error;           // terminal failure description
+  ScenarioProducts products;   // populated when phase == Completed
+  double submitSeconds = 0.0;  // service-epoch timestamps
+  double startSeconds = 0.0;   // first dispatch
+  double endSeconds = 0.0;     // settle time
+
+  void requestCancel(RequeueCause cause) {
+    int expected = 0;
+    // First cause wins; later requests keep the original attribution.
+    cancelRequested.compare_exchange_strong(
+        expected, static_cast<int>(cause), std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool done() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return phase == JobPhase::Completed || phase == JobPhase::Failed ||
+           phase == JobPhase::Rejected;
+  }
+
+  // Block until the job settles; returns the terminal phase.
+  JobPhase wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    settled.wait(lock, [&] {
+      return phase == JobPhase::Completed || phase == JobPhase::Failed ||
+             phase == JobPhase::Rejected;
+    });
+    return phase;
+  }
+};
+
+using JobHandle = std::shared_ptr<JobState>;
+
+}  // namespace awp::sched

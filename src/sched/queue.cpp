@@ -1,0 +1,100 @@
+#include "sched/queue.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/hot.hpp"
+
+namespace awp::sched {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity, AdmitPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  AWP_CHECK(capacity > 0);
+  // Headroom beyond the bound: requeues bypass capacity, and the pop path
+  // must never trigger a reallocation (it is a registered hot path).
+  items_.reserve(2 * capacity + 8);
+}
+
+void AdmissionQueue::insertSorted(JobHandle job) {
+  // Ascending (priority, descending seq): back() is the highest priority,
+  // and within a priority the OLDEST submission (lowest seq).
+  const auto pos = std::upper_bound(
+      items_.begin(), items_.end(), job,
+      [](const JobHandle& a, const JobHandle& b) {
+        if (a->spec.priority != b->spec.priority)
+          return a->spec.priority < b->spec.priority;
+        return a->submitSeq > b->submitSeq;
+      });
+  items_.insert(pos, std::move(job));
+}
+
+AdmissionQueue::PushResult AdmissionQueue::push(JobHandle job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) return PushResult::Closed;
+  if (items_.size() >= capacity_) {
+    if (policy_ == AdmitPolicy::Reject) {
+      ++stats_.rejected;
+      return PushResult::Rejected;
+    }
+    ++stats_.blockedPushes;
+    space_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return PushResult::Closed;
+  }
+  insertSorted(std::move(job));
+  ++stats_.admitted;
+  return PushResult::Admitted;
+}
+
+void AdmissionQueue::pushRequeue(JobHandle job) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Requeues land even after close(): a drain must finish accepted work.
+  insertSorted(std::move(job));
+  ++stats_.requeued;
+}
+
+AWP_HOT JobHandle AdmissionQueue::pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (items_.empty()) return nullptr;
+  JobHandle job = std::move(items_.back());
+  items_.pop_back();
+  space_.notify_one();
+  return job;
+}
+
+AWP_HOT JobHandle AdmissionQueue::popFit(int freeCores,
+                                         std::size_t freeBytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = items_.rbegin(); it != items_.rend(); ++it) {
+    const ScenarioSpec& spec = (*it)->spec;
+    if (spec.nranks > freeCores) continue;
+    if (freeBytes != 0 && spec.estimatedBytes() > freeBytes) continue;
+    JobHandle job = std::move(*it);
+    items_.erase(std::next(it).base());
+    space_.notify_one();
+    return job;
+  }
+  return nullptr;
+}
+
+void AdmissionQueue::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  space_.notify_all();
+}
+
+std::size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+AdmissionQueue::Stats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace awp::sched

@@ -1,0 +1,266 @@
+#include "sched/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+#include "util/error.hpp"
+
+namespace awp::sched {
+
+namespace {
+
+std::string fmtDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void writeTextAtomically(const std::string& path, const std::string& text) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  if (target.has_parent_path()) fs::create_directories(target.parent_path());
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("sched: cannot open " + tmp.string());
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.flush();
+    if (!out) throw Error("sched: short write to " + tmp.string());
+  }
+  fs::rename(tmp, target);
+}
+
+}  // namespace
+
+std::string toJson(const ServiceReport& report) {
+  using telemetry::escapeJson;
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"awp-sched-service-report\",\n";
+  os << "  \"version\": 1,\n";
+  os << "  \"wall_seconds\": " << fmtDouble(report.wallSeconds) << ",\n";
+  os << "  \"core_budget\": " << report.coreBudget << ",\n";
+  os << "  \"submitted\": " << report.submitted << ",\n";
+  os << "  \"completed\": " << report.completed << ",\n";
+  os << "  \"failed\": " << report.failed << ",\n";
+  os << "  \"rejected\": " << report.rejected << ",\n";
+  os << "  \"cache_hits\": " << report.cacheHits << ",\n";
+  os << "  \"coalesced\": " << report.coalesced << ",\n";
+  os << "  \"retries\": " << report.retries << ",\n";
+  os << "  \"executed_attempts\": " << report.executedAttempts << ",\n";
+  os << "  \"throughput_per_second\": "
+     << fmtDouble(report.throughputPerSecond) << ",\n";
+  os << "  \"queue_latency_seconds\": {"
+     << "\"min\": " << fmtDouble(report.queueLatencyMin) << ", "
+     << "\"mean\": " << fmtDouble(report.queueLatencyMean) << ", "
+     << "\"max\": " << fmtDouble(report.queueLatencyMax) << "},\n";
+  os << "  \"artifact_cache\": {"
+     << "\"hits\": " << report.cache.hits << ", "
+     << "\"misses\": " << report.cache.misses << ", "
+     << "\"computes\": " << report.cache.computes << ", "
+     << "\"disk_loads\": " << report.cache.diskLoads << "},\n";
+  os << "  \"jobs\": [\n";
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const JobRow& j = report.jobs[i];
+    os << "    {"
+       << "\"name\": \"" << escapeJson(j.name) << "\", "
+       << "\"kind\": \"" << escapeJson(j.kind) << "\", "
+       << "\"hash\": \"" << escapeJson(j.hash) << "\", "
+       << "\"priority\": " << j.priority << ", "
+       << "\"phase\": \"" << escapeJson(j.phase) << "\", "
+       << "\"attempts\": " << j.attempts << ", "
+       << "\"retries\": " << j.retries << ", "
+       << "\"cache_hit\": " << (j.cacheHit ? "true" : "false") << ", "
+       << "\"coalesced\": " << (j.coalesced ? "true" : "false") << ", "
+       << "\"completed_steps\": " << j.completedSteps << ", "
+       << "\"queue_seconds\": " << fmtDouble(j.queueSeconds) << ", "
+       << "\"run_seconds\": " << fmtDouble(j.runSeconds) << ", "
+       << "\"error\": \"" << escapeJson(j.error) << "\"}"
+       << (i + 1 < report.jobs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+void writeServiceReportFile(const std::string& path,
+                            const ServiceReport& report) {
+  AWP_CHECK_MSG(report.valid(), "sched: writeServiceReportFile without data");
+  writeTextAtomically(path, toJson(report));
+}
+
+namespace {
+
+using telemetry::JsonValue;
+
+bool numberMember(const JsonValue& obj, const std::string& context,
+                  const std::string& key, std::vector<std::string>& out,
+                  double* value) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->isNumber()) {
+    out.push_back(context + ": missing numeric field '" + key + "'");
+    return false;
+  }
+  if (!std::isfinite(v->number)) {
+    out.push_back(context + ": field '" + key + "' is not finite");
+    return false;
+  }
+  *value = v->number;
+  return true;
+}
+
+bool nonNegativeMember(const JsonValue& obj, const std::string& context,
+                       const std::string& key, std::vector<std::string>& out,
+                       double* value) {
+  if (!numberMember(obj, context, key, out, value)) return false;
+  if (*value < 0.0) {
+    out.push_back(context + ": field '" + key + "' is negative");
+    return false;
+  }
+  return true;
+}
+
+bool stringMember(const JsonValue& obj, const std::string& context,
+                  const std::string& key, std::vector<std::string>& out,
+                  std::string* value) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->isString()) {
+    out.push_back(context + ": missing string field '" + key + "'");
+    return false;
+  }
+  *value = v->text;
+  return true;
+}
+
+bool boolMember(const JsonValue& obj, const std::string& context,
+                const std::string& key, std::vector<std::string>& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::Bool) {
+    out.push_back(context + ": missing boolean field '" + key + "'");
+    return false;
+  }
+  return true;
+}
+
+bool knownPhaseName(const std::string& name) {
+  return name == "queued" || name == "running" || name == "completed" ||
+         name == "failed" || name == "rejected";
+}
+
+}  // namespace
+
+std::vector<std::string> validateServiceReportJson(const std::string& text) {
+  std::vector<std::string> out;
+  JsonValue root;
+  try {
+    root = telemetry::parseJson(text);
+  } catch (const Error& e) {
+    out.push_back(std::string("parse error: ") + e.what());
+    return out;
+  }
+  if (!root.isObject()) {
+    out.push_back("document is not an object");
+    return out;
+  }
+
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || !schema->isString() ||
+      schema->text != "awp-sched-service-report")
+    out.push_back("missing or wrong 'schema' identifier");
+  const JsonValue* version = root.find("version");
+  if (version == nullptr || !version->isNumber() || version->number != 1.0)
+    out.push_back("missing or unsupported 'version'");
+
+  double scratch = 0.0;
+  nonNegativeMember(root, "report", "wall_seconds", out, &scratch);
+  double coreBudget = 0.0;
+  if (numberMember(root, "report", "core_budget", out, &coreBudget) &&
+      coreBudget < 1.0)
+    out.push_back("report: 'core_budget' must be >= 1");
+
+  double submitted = 0, completed = 0, failed = 0, rejected = 0;
+  double cacheHits = 0, coalescedN = 0;
+  nonNegativeMember(root, "report", "submitted", out, &submitted);
+  nonNegativeMember(root, "report", "completed", out, &completed);
+  nonNegativeMember(root, "report", "failed", out, &failed);
+  nonNegativeMember(root, "report", "rejected", out, &rejected);
+  nonNegativeMember(root, "report", "cache_hits", out, &cacheHits);
+  nonNegativeMember(root, "report", "coalesced", out, &coalescedN);
+  nonNegativeMember(root, "report", "retries", out, &scratch);
+  nonNegativeMember(root, "report", "executed_attempts", out, &scratch);
+  nonNegativeMember(root, "report", "throughput_per_second", out, &scratch);
+  // Every submission has exactly one terminal outcome.
+  if (completed + failed + rejected + cacheHits + coalescedN >
+      submitted + 0.5)
+    out.push_back("report: outcomes exceed submissions");
+
+  constexpr double kEps = 1e-9;
+  const JsonValue* lat = root.find("queue_latency_seconds");
+  if (lat == nullptr || !lat->isObject()) {
+    out.push_back("missing 'queue_latency_seconds' object");
+  } else {
+    double minV = 0, mean = 0, maxV = 0;
+    const bool haveMin =
+        nonNegativeMember(*lat, "queue_latency", "min", out, &minV);
+    const bool haveMean =
+        nonNegativeMember(*lat, "queue_latency", "mean", out, &mean);
+    const bool haveMax =
+        nonNegativeMember(*lat, "queue_latency", "max", out, &maxV);
+    if (haveMin && haveMean && minV > mean * (1.0 + kEps) + kEps)
+      out.push_back("queue_latency: min exceeds mean");
+    if (haveMean && haveMax && mean > maxV * (1.0 + kEps) + kEps)
+      out.push_back("queue_latency: mean exceeds max");
+  }
+
+  const JsonValue* cache = root.find("artifact_cache");
+  if (cache == nullptr || !cache->isObject()) {
+    out.push_back("missing 'artifact_cache' object");
+  } else {
+    double hits = 0, computes = 0;
+    nonNegativeMember(*cache, "artifact_cache", "hits", out, &hits);
+    nonNegativeMember(*cache, "artifact_cache", "misses", out, &scratch);
+    nonNegativeMember(*cache, "artifact_cache", "computes", out, &computes);
+    nonNegativeMember(*cache, "artifact_cache", "disk_loads", out, &scratch);
+  }
+
+  const JsonValue* jobs = root.find("jobs");
+  if (jobs == nullptr || !jobs->isArray()) {
+    out.push_back("missing 'jobs' array");
+    return out;
+  }
+  for (std::size_t i = 0; i < jobs->items.size(); ++i) {
+    const JsonValue& j = jobs->items[i];
+    const std::string context = "job[" + std::to_string(i) + "]";
+    if (!j.isObject()) {
+      out.push_back(context + ": not an object");
+      continue;
+    }
+    std::string s;
+    stringMember(j, context, "name", out, &s);
+    if (stringMember(j, context, "kind", out, &s) && s != "wave" &&
+        s != "rupture")
+      out.push_back(context + ": unknown kind '" + s + "'");
+    if (stringMember(j, context, "hash", out, &s) && s.size() != 32)
+      out.push_back(context + ": hash is not a 32-hex digest");
+    if (stringMember(j, context, "phase", out, &s) && !knownPhaseName(s))
+      out.push_back(context + ": unknown phase '" + s + "'");
+    numberMember(j, context, "priority", out, &scratch);
+    double attempts = 0, retries = 0;
+    nonNegativeMember(j, context, "attempts", out, &attempts);
+    nonNegativeMember(j, context, "retries", out, &retries);
+    if (retries > attempts)
+      out.push_back(context + ": retries exceed attempts");
+    boolMember(j, context, "cache_hit", out);
+    boolMember(j, context, "coalesced", out);
+    nonNegativeMember(j, context, "completed_steps", out, &scratch);
+    nonNegativeMember(j, context, "queue_seconds", out, &scratch);
+    nonNegativeMember(j, context, "run_seconds", out, &scratch);
+  }
+  return out;
+}
+
+}  // namespace awp::sched

@@ -1,0 +1,772 @@
+#include "sched/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "core/solver.hpp"
+#include "core/source.hpp"
+#include "fault/injector.hpp"
+#include "io/checkpoint.hpp"
+#include "io/shared_file.hpp"
+#include "mesh/partitioner.hpp"
+#include "rupture/solver.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "util/error.hpp"
+#include "util/hot.hpp"
+#include "vcluster/cart.hpp"
+#include "vcluster/cluster.hpp"
+#include "vmodel/cvm.hpp"
+
+namespace awp::sched {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string productKey(const std::string& specHash) {
+  return "prod:" + specHash;
+}
+
+// Mesh identity: everything that determines the sampled material field.
+// Steps, seed, source and cadence knobs are deliberately absent — jobs
+// that differ only in those share one mesh generation.
+std::string meshKey(const ScenarioSpec& spec) {
+  return "mesh:" + std::to_string(spec.dims.nx) + "x" +
+         std::to_string(spec.dims.ny) + "x" + std::to_string(spec.dims.nz) +
+         ":h=" + std::to_string(spec.h) +
+         ":cvm=" + (spec.useCvm ? "1" : "0");
+}
+
+// Sample the full global material field from the synthetic CVM, x fastest.
+std::vector<std::byte> buildGlobalMesh(const ScenarioSpec& spec) {
+  const double lx = static_cast<double>(spec.dims.nx) * spec.h;
+  const double ly = static_cast<double>(spec.dims.ny) * spec.h;
+  const auto cvm =
+      vmodel::CommunityVelocityModel::socal(lx, ly, 0.55 * ly);
+  std::vector<vmodel::Material> field(spec.dims.count());
+  std::size_t at = 0;
+  for (std::size_t k = 0; k < spec.dims.nz; ++k)
+    for (std::size_t j = 0; j < spec.dims.ny; ++j)
+      for (std::size_t i = 0; i < spec.dims.nx; ++i)
+        field[at++] = cvm.sample(static_cast<double>(i) * spec.h,
+                                 static_cast<double>(j) * spec.h,
+                                 static_cast<double>(k) * spec.h);
+  std::vector<std::byte> bytes(field.size() * sizeof(vmodel::Material));
+  std::memcpy(bytes.data(), field.data(), bytes.size());
+  return bytes;
+}
+
+std::vector<std::byte> readFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("sched: cannot read " + path);
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  std::vector<std::byte> bytes(raw.size());
+  std::memcpy(bytes.data(), raw.data(), raw.size());
+  return bytes;
+}
+
+// Horizontal peak ground velocity per surface-file record position: the
+// max over samples of sqrt(u^2 + v^2). Derived from the surface.bin BYTES
+// (not from in-memory accumulators) so it is exactly reproducible from the
+// canonical product alone — the property the bit-identity tests pin.
+std::vector<std::byte> derivePgvh(const std::vector<std::byte>& surface,
+                                  std::size_t stepFloats) {
+  if (stepFloats == 0 || surface.size() % (stepFloats * sizeof(float)) != 0)
+    throw Error("sched: surface product size is not a whole sample count");
+  const std::size_t samples = surface.size() / (stepFloats * sizeof(float));
+  const std::size_t points = stepFloats / 3;
+  std::vector<float> floats(stepFloats);
+  std::vector<float> pgvh(points, 0.0f);
+  for (std::size_t s = 0; s < samples; ++s) {
+    std::memcpy(floats.data(),
+                surface.data() + s * stepFloats * sizeof(float),
+                stepFloats * sizeof(float));
+    for (std::size_t p = 0; p < points; ++p) {
+      const float u = floats[3 * p];
+      const float v = floats[3 * p + 1];
+      const float horiz = std::sqrt(u * u + v * v);
+      if (horiz > pgvh[p]) pgvh[p] = horiz;
+    }
+  }
+  std::vector<std::byte> bytes(pgvh.size() * sizeof(float));
+  std::memcpy(bytes.data(), pgvh.data(), bytes.size());
+  return bytes;
+}
+
+}  // namespace
+
+const char* toString(JobPhase phase) {
+  switch (phase) {
+    case JobPhase::Queued: return "queued";
+    case JobPhase::Running: return "running";
+    case JobPhase::Completed: return "completed";
+    case JobPhase::Failed: return "failed";
+    case JobPhase::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+const char* toString(RequeueCause cause) {
+  switch (cause) {
+    case RequeueCause::None: return "none";
+    case RequeueCause::WorkerCrash: return "worker-crash";
+    case RequeueCause::Stall: return "stall";
+    case RequeueCause::FatalVerdict: return "fatal-verdict";
+  }
+  return "?";
+}
+
+ServiceConfig ServiceConfig::fromRuntime(const core::RuntimeConfig& rc) {
+  ServiceConfig c;
+  c.coreBudget = rc.sched.workers;
+  c.memoryBudgetBytes =
+      static_cast<std::size_t>(rc.sched.memoryMb) * (std::size_t{1} << 20);
+  c.queueCapacity = static_cast<std::size_t>(rc.sched.queueCapacity);
+  c.admitPolicy = rc.sched.admitBlock ? AdmissionQueue::AdmitPolicy::Block
+                                      : AdmissionQueue::AdmitPolicy::Reject;
+  c.maxRetries = rc.sched.maxRetries;
+  c.stallTimeoutSeconds = rc.sched.stallTimeoutSeconds;
+  c.cancelCheckEverySteps = rc.sched.cancelCheckEverySteps;
+  c.retryDtTighten = rc.sched.retryDtTighten;
+  c.cacheProducts = rc.sched.cacheProducts;
+  c.cacheDir = rc.sched.cacheDir;
+  c.workDir = rc.sched.workDir;
+  c.telemetry = rc.telemetryEnabled;
+  c.telemetryRingCapacity = rc.telemetryRingCapacity;
+  c.chromeTracePath = rc.solver.telemetry.chromeTracePath;
+  return c;
+}
+
+ScenarioService::ScenarioService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cacheDir),
+      queue_(config_.queueCapacity, config_.admitPolicy),
+      coreBusy_(static_cast<std::size_t>(std::max(1, config_.coreBudget)),
+                0) {
+  AWP_CHECK_MSG(config_.coreBudget >= 1, "sched: core budget must be >= 1");
+  if (config_.workDir.empty())
+    config_.workDir = (fs::temp_directory_path() / "awp-sched").string();
+  fs::create_directories(config_.workDir);
+  if (config_.telemetry && telemetry::activeSession() == nullptr) {
+    telemetry::SessionConfig sc;
+    sc.nranks = config_.coreBudget;
+    sc.ringCapacity = config_.telemetryRingCapacity;
+    ownedSession_ = std::make_unique<telemetry::Session>(sc);
+    telemetry::installSession(ownedSession_.get());
+  }
+  dispatcher_ = std::thread([this] { dispatcherLoop(); });
+}
+
+ScenarioService::~ScenarioService() { shutdown(); }
+
+std::string ScenarioService::jobDirFor(const std::string& hash) const {
+  return (fs::path(config_.workDir) / ("job-" + hash)).string();
+}
+
+JobHandle ScenarioService::submit(ScenarioSpec spec) {
+  AWP_CHECK_MSG(spec.nranks >= 1 && spec.nranks <= config_.coreBudget,
+                "sched: spec.nranks outside [1, coreBudget]");
+  auto job = std::make_shared<JobState>();
+  job->spec = std::move(spec);
+  job->hash = job->spec.hashHex();
+  job->submitSeq = submitSeq_.fetch_add(1, std::memory_order_relaxed);
+  job->submitSeconds = epoch_.seconds();
+  telemetry::count(telemetry::Counter::ScenariosSubmitted);
+  {
+    std::lock_guard<std::mutex> lock(jobsMu_);
+    allJobs_.push_back(job);
+  }
+
+  // Memoized completed work: served without touching the queue.
+  if (config_.cacheProducts) {
+    if (auto bytes = cache_.get(productKey(job->hash))) {
+      try {
+        ScenarioProducts products = ScenarioProducts::deserialize(*bytes);
+        job->cacheHit = true;
+        telemetry::count(telemetry::Counter::ScenarioCacheHits);
+        settleTerminal(job, JobPhase::Completed, "", std::move(products),
+                       /*countedPrimary=*/false);
+        return job;
+      } catch (const Error&) {
+        // A digest-valid entry that fails structural deserialization is a
+        // version skew, not corruption: treat as a miss and recompute.
+      }
+    }
+  }
+
+  // Coalesce onto an identical in-flight spec, or register as primary.
+  {
+    std::lock_guard<std::mutex> lock(jobsMu_);
+    auto it = primaryByHash_.find(job->hash);
+    if (it != primaryByHash_.end()) {
+      job->coalesced = true;
+      followersByHash_[job->hash].push_back(job);
+      ++outstanding_;
+      return job;
+    }
+    primaryByHash_[job->hash] = job;
+    ++outstanding_;
+  }
+
+  const auto result = queue_.push(job);
+  if (result != AdmissionQueue::PushResult::Admitted) {
+    telemetry::count(telemetry::Counter::ScenariosRejected);
+    const char* why = result == AdmissionQueue::PushResult::Closed
+                          ? "service closed"
+                          : "admission queue full";
+    settleTerminal(job, JobPhase::Rejected, why, {}, /*countedPrimary=*/true);
+    return job;
+  }
+  {
+    std::lock_guard<std::mutex> lock(dispatchMu_);
+    signal_ = true;
+  }
+  dispatchCv_.notify_all();
+  return job;
+}
+
+AWP_HOT bool ScenarioService::dispatchNext(Dispatch& out) {
+  telemetry::ScopedSpan span(telemetry::Phase::SchedQueue);
+  int freeCores = 0;
+  for (std::size_t i = 0; i < coreBusy_.size(); ++i)
+    if (coreBusy_[i] == 0) ++freeCores;
+  std::size_t freeBytes = 0;  // 0 = unlimited for popFit
+  if (config_.memoryBudgetBytes != 0)
+    freeBytes = config_.memoryBudgetBytes > memoryUsed_
+                    ? config_.memoryBudgetBytes - memoryUsed_
+                    : 1;  // fully committed: nothing real fits
+  JobHandle job = queue_.popFit(freeCores, freeBytes);
+  if (job == nullptr) return false;
+  // Contiguous first-fit core range (slot = base + rank needs a run).
+  const int need = job->spec.nranks;
+  int base = -1;
+  int run = 0;
+  for (std::size_t i = 0; i < coreBusy_.size(); ++i) {
+    if (coreBusy_[i] != 0) {
+      run = 0;
+      continue;
+    }
+    ++run;
+    if (run == need) {
+      base = static_cast<int>(i) - need + 1;
+      break;
+    }
+  }
+  if (base < 0) {
+    // Enough cores but fragmented: put the job back, retry on release.
+    queue_.pushRequeue(std::move(job));
+    return false;
+  }
+  for (int i = 0; i < need; ++i)
+    coreBusy_[static_cast<std::size_t>(base + i)] = 1;
+  const std::size_t bytes = job->spec.estimatedBytes();
+  memoryUsed_ += bytes;
+  out.job = std::move(job);
+  out.coreBase = base;
+  out.bytes = bytes;
+  return true;
+}
+
+void ScenarioService::dispatcherLoop() {
+  std::unique_lock<std::mutex> lock(dispatchMu_);
+  for (;;) {
+    dispatchCv_.wait(lock, [&] { return signal_; });
+    signal_ = false;
+    for (;;) {
+      Dispatch d;
+      if (!dispatchNext(d)) break;
+      ++activeWorkers_;
+      {
+        telemetry::ScopedSpan span(telemetry::Phase::SchedDispatch);
+        lock.unlock();
+        std::thread([this, d = std::move(d)]() mutable {
+          workerMain(std::move(d));
+        }).detach();
+        lock.lock();
+      }
+    }
+    if (stopping_ && activeWorkers_ == 0 && queue_.empty()) return;
+  }
+}
+
+void ScenarioService::workerMain(Dispatch d) {
+  {
+    std::lock_guard<std::mutex> lock(d.job->mutex);
+    d.job->phase = JobPhase::Running;
+    ++d.job->attempts;
+    if (d.job->startSeconds <= 0.0) d.job->startSeconds = epoch_.seconds();
+  }
+  executedAttempts_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    ScenarioProducts products =
+        d.job->spec.kind == ScenarioKind::Wave
+            ? attemptWave(*d.job, d.coreBase)
+            : attemptRupture(*d.job, d.coreBase);
+    if (config_.cacheProducts)
+      cache_.put(productKey(d.job->hash), products.serialize());
+    settleTerminal(d.job, JobPhase::Completed, "", std::move(products),
+                   /*countedPrimary=*/true);
+  } catch (const CancelledError& e) {
+    maybeRequeue(d.job, e.cause(), e.step(), e.what());
+  } catch (const Error& e) {
+    if (d.job->spec.kind == ScenarioKind::Rupture) {
+      // Rupture attempts have no checkpoint to resume from: errors are
+      // terminal, not retryable.
+      settleTerminal(d.job, JobPhase::Failed, e.what(), {},
+                     /*countedPrimary=*/true);
+    } else {
+      // A health-guard abort (rollback budget exhausted) surfaces here as
+      // a collective Error: requeue with a tightened dt.
+      maybeRequeue(d.job, RequeueCause::FatalVerdict,
+                   d.job->lastStep.load(std::memory_order_relaxed),
+                   e.what());
+    }
+  } catch (const std::exception& e) {
+    settleTerminal(d.job, JobPhase::Failed, e.what(), {},
+                   /*countedPrimary=*/true);
+  }
+  {
+    std::lock_guard<std::mutex> lock(dispatchMu_);
+    for (int i = 0; i < d.job->spec.nranks; ++i)
+      coreBusy_[static_cast<std::size_t>(d.coreBase + i)] = 0;
+    memoryUsed_ -= d.bytes;
+    --activeWorkers_;
+    signal_ = true;
+  }
+  dispatchCv_.notify_all();
+}
+
+ScenarioProducts ScenarioService::attemptWave(JobState& job, int coreBase) {
+  const ScenarioSpec& spec = job.spec;
+  const std::string jobDir = jobDirFor(job.hash);
+  fs::create_directories(fs::path(jobDir) / "ckpt");
+
+  // Mesh generation is deduplicated across jobs (and across attempts of
+  // one job): the cache's single-flight getOrCompute means N concurrent
+  // jobs over the same domain pay for one sampling pass.
+  std::vector<std::byte> meshBytes;
+  if (spec.useCvm) {
+    bool computedHere = false;
+    meshBytes = cache_.getOrCompute(meshKey(spec), [&] {
+      computedHere = true;
+      return buildGlobalMesh(spec);
+    });
+    if (!computedHere)
+      telemetry::count(telemetry::Counter::ArtifactCacheHits);
+    AWP_CHECK(meshBytes.size() ==
+              spec.dims.count() * sizeof(vmodel::Material));
+  }
+
+  // Per-attempt heartbeat board + watchdog. A stall episode requests a
+  // collective cancel; injected stalls are transient, so the wedged rank
+  // wakes, reaches the cancel-check allreduce, and every rank unwinds
+  // together.
+  health::HeartbeatBoard board(spec.nranks);
+  // Heartbeats stop when the step loop ends, so the post-run epilogue
+  // (gather, product assembly) would eventually look like a stall; the
+  // done flag keeps such phantom episodes out of the record.
+  std::atomic<bool> attemptDone{false};
+  std::unique_ptr<health::Watchdog> dog;
+  if (config_.stallTimeoutSeconds > 0.0)
+    dog = std::make_unique<health::Watchdog>(
+        board, config_.stallTimeoutSeconds,
+        [this, &job, &attemptDone](const health::StallReport& r) {
+          if (attemptDone.load(std::memory_order_relaxed)) return;
+          recordStall(r);
+          job.requestCancel(RequeueCause::Stall);
+        },
+        config_.watchdogPollSeconds);
+
+  io::CheckpointStore checkpoints((fs::path(jobDir) / "ckpt").string());
+  const std::string surfacePath =
+      (fs::path(jobDir) / "surface.bin").string();
+  const int cancelEvery = std::max(1, config_.cancelCheckEverySteps);
+  double dtOverride = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(job.mutex);
+    dtOverride = job.dtOverride;
+  }
+
+  vcluster::ThreadCluster::run(
+      spec.nranks, [&](vcluster::Communicator& comm) {
+        // Concurrent jobs share one telemetry session sized to the core
+        // budget: shift this job's ranks onto its lease's slot range, and
+        // clear any frame stack a previous (possibly unwound) attempt left
+        // on the slot.
+        telemetry::setThreadSlotBase(coreBase);
+        telemetry::resetThreadSpans();
+
+        const auto cart = vcluster::CartTopology::balancedDims(
+            spec.nranks, spec.dims.nx, spec.dims.ny, spec.dims.nz);
+        vcluster::CartTopology topo(cart);
+
+        core::SolverConfig config;
+        config.globalDims = spec.dims;
+        config.h = spec.h;
+        config.dt = dtOverride > 0.0 ? dtOverride : 0.0;
+        config.absorbing = core::AbsorbingType::Sponge;
+        config.spongeWidth = spec.spongeWidth;
+        config.health.enabled = true;
+        config.health.monitor.everySteps = spec.healthEverySteps;
+        config.health.maxRollbacks = spec.maxRollbacks;
+        config.health.stallTimeoutSeconds = config_.stallTimeoutSeconds;
+        config.health.heartbeats = &board;
+        config.telemetry.emitAggregates = false;
+
+        std::unique_ptr<core::WaveSolver> solver;
+        if (spec.useCvm) {
+          const mesh::MeshSpec mspec{spec.dims.nx, spec.dims.ny,
+                                     spec.dims.nz, spec.h, 0.0, 0.0};
+          mesh::MeshBlock block;
+          block.spec = mesh::subdomainFor(topo, mspec, comm.rank());
+          block.points.resize(block.spec.pointCount());
+          const auto* field =
+              reinterpret_cast<const vmodel::Material*>(meshBytes.data());
+          for (std::size_t k = 0; k < block.spec.z.count(); ++k)
+            for (std::size_t j = 0; j < block.spec.y.count(); ++j)
+              for (std::size_t i = 0; i < block.spec.x.count(); ++i)
+                block.at(i, j, k) =
+                    field[(block.spec.x.begin + i) +
+                          spec.dims.nx * ((block.spec.y.begin + j) +
+                                          spec.dims.ny *
+                                              (block.spec.z.begin + k))];
+          solver = std::make_unique<core::WaveSolver>(comm, topo, config,
+                                                      block);
+        } else {
+          const vmodel::Material uniform{6000.0f, 3464.0f, 2700.0f};
+          solver = std::make_unique<core::WaveSolver>(comm, topo, config,
+                                                      uniform);
+        }
+
+        // Source: an isotropic Ricker pulse at the domain centre. The
+        // wavelet is sampled at the EFFECTIVE dt (CFL-derived or the
+        // retry's tightened override), which every rank agrees on.
+        const double dt = solver->dt();
+        const double f0 =
+            spec.sourceFreqHz > 0.0 ? spec.sourceFreqHz : 1.0 / (20.0 * dt);
+        solver->addSource(core::explosionPointSource(
+            spec.dims.nx / 2, spec.dims.ny / 2, spec.dims.nz / 2,
+            core::rickerWavelet(f0, 1.5 / f0, dt, spec.steps,
+                                spec.sourceAmplitude)));
+
+        // Surface output: unbuffered, undecimated, step-indexed writes to
+        // a file that PERSISTS across attempts (open never truncates), so
+        // a resumed attempt rewrites its replay window in place and keeps
+        // every earlier sample — the canonical wave product.
+        io::SharedFile surface(surfacePath,
+                               io::SharedFile::Mode::ReadWrite);
+        core::SurfaceOutputConfig out;
+        out.file = &surface;
+        out.sampleEverySteps = spec.surfaceSampleEverySteps;
+        out.spatialDecimation = 1;
+        out.flushEverySamples = 1;
+        solver->attachSurfaceOutput(out);
+
+        if (spec.checkpointEverySteps > 0) {
+          solver->attachCheckpoints(&checkpoints,
+                                    spec.checkpointEverySteps);
+          // Collective resume agreement: restart only when EVERY rank has
+          // a valid generation (a fresh job has none anywhere).
+          const std::int64_t have =
+              checkpoints.newestValidStep(comm.rank()).has_value() ? 1 : 0;
+          if (comm.allreduce(have, vcluster::ReduceOp::Min) == 1)
+            solver->restart();
+        }
+
+        if (comm.rank() == 0) {
+          job.lastDt.store(solver->dt(), std::memory_order_relaxed);
+          job.lastStep.store(solver->currentStep(),
+                             std::memory_order_relaxed);
+        }
+
+        const std::size_t target = spec.steps;
+        if (solver->currentStep() >= target) return;
+        solver->run(target - solver->currentStep(), [&](std::size_t step) {
+          if (comm.rank() == 0) {
+            job.lastStep.store(step, std::memory_order_relaxed);
+            job.lastDt.store(solver->dt(), std::memory_order_relaxed);
+            // Worker-crash injection point. The consult is rank-0-only
+            // (non-collective is fine: it only SETS the flag); the
+            // cancellation itself is agreed below by allreduce.
+            if (fault::injectionEnabled()) {
+              if (fault::activeInjector()->check("sched.job.step", 0))
+                job.requestCancel(RequeueCause::WorkerCrash);
+            }
+          }
+          if (step % static_cast<std::size_t>(cancelEvery) == 0) {
+            // awplint: collective-uniform(the early return above is taken by all ranks together: restart() is gated on an allreduce-Min agreement and step advance is lockstep, so currentStep is rank-uniform; the rank-0 branch only sets a local flag)
+            const std::int64_t flag = comm.allreduce(
+                static_cast<std::int64_t>(
+                    job.cancelRequested.load(std::memory_order_relaxed)),
+                vcluster::ReduceOp::Max);
+            if (flag != 0)
+              throw CancelledError(static_cast<RequeueCause>(flag), step);
+          }
+        });
+      });
+  attemptDone.store(true, std::memory_order_relaxed);
+  if (dog) dog->stop();
+
+  // Products from the canonical bytes on disk.
+  ScenarioProducts products;
+  products.specHash = job.hash;
+  products.completedSteps = spec.steps;
+  products.dt = job.lastDt.load(std::memory_order_relaxed);
+  auto surfaceBytes = readFileBytes(surfacePath);
+  const std::size_t stepFloats = 3 * spec.dims.nx * spec.dims.ny;
+  products.blobs.emplace_back("pgvh.bin",
+                              ArtifactBlob::fromBytes(derivePgvh(
+                                  surfaceBytes, stepFloats)));
+  products.blobs.emplace_back(
+      "surface.bin", ArtifactBlob::fromBytes(std::move(surfaceBytes)));
+  return products;
+}
+
+ScenarioProducts ScenarioService::attemptRupture(JobState& job,
+                                                 int coreBase) {
+  const ScenarioSpec& spec = job.spec;
+  rupture::RuptureConfig config;
+  const auto nx =
+      static_cast<std::size_t>(spec.lengthKm * 1000.0 / spec.h);
+  const auto nzFault =
+      static_cast<std::size_t>(spec.depthKm * 1000.0 / spec.h);
+  const std::size_t margin = 14;
+  config.globalDims = {nx + 2 * margin, 2 * margin + 2, nzFault + margin};
+  config.h = spec.h;
+  config.faultJ = margin;
+  config.fi0 = margin;
+  config.fi1 = margin + nx;
+  config.fk1 = config.globalDims.nz - 1;
+  config.fk0 = config.fk1 - nzFault;
+  config.spongeWidth = 10;
+  config.friction.dc = 1.5e-3 * spec.h;
+  config.friction.dcSurface = 3.0 * config.friction.dc;
+  config.stress.seed = spec.seed;
+  config.stress.corrX = 0.1 * spec.lengthKm * 1000.0;
+  config.stress.corrZ = 0.3 * spec.depthKm * 1000.0;
+  config.stress.nucX = spec.nucFraction * spec.lengthKm * 1000.0;
+  config.stress.nucZ = 0.6 * spec.depthKm * 1000.0;
+  config.stress.nucRadius = std::max(8.0 * spec.h, 4000.0);
+  config.stress.nucExcess = 0.15;
+  config.timeDecimation = 2;
+  config.slipRateThreshold = 0.01;
+
+  rupture::FaultHistory history;
+  vcluster::ThreadCluster::run(
+      spec.nranks, [&](vcluster::Communicator& comm) {
+        telemetry::setThreadSlotBase(coreBase);
+        telemetry::resetThreadSpans();
+        const auto cart = vcluster::CartTopology::balancedDims(
+            spec.nranks, config.globalDims.nx, config.globalDims.ny,
+            config.globalDims.nz);
+        vcluster::CartTopology topo(cart);
+        const auto model = vmodel::LayeredModel::socalBackground();
+        rupture::DynamicRuptureSolver solver(comm, topo, config, model);
+        solver.run(spec.steps);
+        if (comm.rank() == 0)
+          job.lastStep.store(solver.currentStep(),
+                             std::memory_order_relaxed);
+        auto h = solver.gather();
+        if (comm.rank() == 0) history = std::move(h);
+      });
+
+  ScenarioProducts products;
+  products.specHash = job.hash;
+  products.completedSteps = spec.steps;
+  products.dt = history.dt;
+  products.blobs.emplace_back(
+      "fault_history",
+      ArtifactBlob::fromBytes(serializeFaultHistory(history)));
+  return products;
+}
+
+void ScenarioService::maybeRequeue(const JobHandle& job, RequeueCause cause,
+                                   std::uint64_t atStep,
+                                   const std::string& why) {
+  bool requeue = false;
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    if (static_cast<int>(job->requeues.size()) < config_.maxRetries) {
+      requeue = true;
+      RequeueEvent ev;
+      ev.cause = cause;
+      ev.attempt = job->attempts;
+      ev.atStep = atStep;
+      if (cause == RequeueCause::FatalVerdict) {
+        // The attempt was numerically unstable: resume on a tighter dt.
+        const double last = job->lastDt.load(std::memory_order_relaxed);
+        if (last > 0.0) job->dtOverride = last * config_.retryDtTighten;
+      }
+      // Crash/stall retries keep dt so the resumed run is bit-identical.
+      ev.dtNext = job->dtOverride;
+      job->requeues.push_back(ev);
+      job->phase = JobPhase::Queued;
+      job->cancelRequested.store(0, std::memory_order_relaxed);
+      job->fatalAbort.store(false, std::memory_order_relaxed);
+    }
+  }
+  if (!requeue) {
+    settleTerminal(job, JobPhase::Failed,
+                   std::string("retry budget exhausted (") +
+                       toString(cause) + "): " + why,
+                   {}, /*countedPrimary=*/true);
+    return;
+  }
+  telemetry::count(telemetry::Counter::ScenarioRetries);
+  queue_.pushRequeue(job);
+  {
+    std::lock_guard<std::mutex> lock(dispatchMu_);
+    signal_ = true;
+  }
+  dispatchCv_.notify_all();
+}
+
+void ScenarioService::settleTerminal(const JobHandle& job, JobPhase phase,
+                                     const std::string& error,
+                                     ScenarioProducts products,
+                                     bool countedPrimary) {
+  std::vector<JobHandle> followers;
+  {
+    std::lock_guard<std::mutex> lock(jobsMu_);
+    auto it = primaryByHash_.find(job->hash);
+    if (it != primaryByHash_.end() && it->second == job) {
+      primaryByHash_.erase(it);
+      auto fit = followersByHash_.find(job->hash);
+      if (fit != followersByHash_.end()) {
+        followers = std::move(fit->second);
+        followersByHash_.erase(fit);
+      }
+    }
+  }
+  const double now = epoch_.seconds();
+  auto finish = [&](const JobHandle& j, bool copyProducts) {
+    {
+      std::lock_guard<std::mutex> lock(j->mutex);
+      j->phase = phase;
+      j->error = error;
+      if (phase == JobPhase::Completed)
+        j->products = copyProducts ? products : std::move(products);
+      j->endSeconds = now;
+    }
+    j->settled.notify_all();
+    if (phase == JobPhase::Completed)
+      telemetry::count(telemetry::Counter::ScenariosCompleted);
+  };
+  for (const auto& f : followers) finish(f, /*copyProducts=*/true);
+  finish(job, /*copyProducts=*/false);
+  {
+    std::lock_guard<std::mutex> lock(jobsMu_);
+    outstanding_ -= followers.size() + (countedPrimary ? 1 : 0);
+  }
+  drainCv_.notify_all();
+}
+
+void ScenarioService::recordStall(const health::StallReport& report) {
+  std::lock_guard<std::mutex> lock(stallMu_);
+  stalls_.push_back(report);
+}
+
+std::vector<health::StallReport> ScenarioService::stallEpisodes() const {
+  std::lock_guard<std::mutex> lock(stallMu_);
+  return stalls_;
+}
+
+void ScenarioService::drain() {
+  std::unique_lock<std::mutex> lock(jobsMu_);
+  drainCv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void ScenarioService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(dispatchMu_);
+    if (shutdownDone_) return;
+    shutdownDone_ = true;
+  }
+  queue_.close();
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(dispatchMu_);
+    stopping_ = true;
+    signal_ = true;
+  }
+  dispatchCv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  if (ownedSession_ != nullptr) {
+    if (!config_.chromeTracePath.empty())
+      telemetry::writeChromeTraceFile(config_.chromeTracePath,
+                                      *ownedSession_);
+    telemetry::installSession(nullptr);
+  }
+}
+
+ServiceReport ScenarioService::report() const {
+  ServiceReport r;
+  r.coreBudget = config_.coreBudget;
+  r.wallSeconds = epoch_.seconds();
+  r.cache = cache_.stats();
+  r.executedAttempts = executedAttempts_.load(std::memory_order_relaxed);
+
+  std::vector<JobHandle> jobs;
+  {
+    std::lock_guard<std::mutex> lock(jobsMu_);
+    jobs = allJobs_;
+  }
+  r.submitted = jobs.size();
+  double latSum = 0.0;
+  std::uint64_t latCount = 0;
+  for (const auto& j : jobs) {
+    std::lock_guard<std::mutex> lock(j->mutex);
+    JobRow row;
+    row.name = j->spec.name;
+    row.kind = toString(j->spec.kind);
+    row.hash = j->hash;
+    row.priority = j->spec.priority;
+    row.phase = toString(j->phase);
+    row.attempts = j->attempts;
+    row.retries = static_cast<int>(j->requeues.size());
+    row.cacheHit = j->cacheHit;
+    row.coalesced = j->coalesced;
+    if (j->phase == JobPhase::Completed)
+      row.completedSteps = j->products.completedSteps;
+    if (j->startSeconds > 0.0) {
+      row.queueSeconds = j->startSeconds - j->submitSeconds;
+      const double end =
+          j->endSeconds > 0.0 ? j->endSeconds : r.wallSeconds;
+      row.runSeconds = end - j->startSeconds;
+      latSum += row.queueSeconds;
+      ++latCount;
+      if (latCount == 1 || row.queueSeconds < r.queueLatencyMin)
+        r.queueLatencyMin = row.queueSeconds;
+      if (row.queueSeconds > r.queueLatencyMax)
+        r.queueLatencyMax = row.queueSeconds;
+    }
+    row.error = j->error;
+    r.retries += j->requeues.size();
+    // Disjoint outcome classes (cache-served and coalesced submissions
+    // complete without executing): completed counts executed completions.
+    if (j->cacheHit) {
+      ++r.cacheHits;
+    } else if (j->coalesced) {
+      ++r.coalesced;
+    } else if (j->phase == JobPhase::Completed) {
+      ++r.completed;
+    } else if (j->phase == JobPhase::Failed) {
+      ++r.failed;
+    } else if (j->phase == JobPhase::Rejected) {
+      ++r.rejected;
+    }
+    r.jobs.push_back(std::move(row));
+  }
+  if (latCount > 0) r.queueLatencyMean = latSum / latCount;
+  if (r.wallSeconds > 0.0)
+    r.throughputPerSecond =
+        static_cast<double>(r.completed) / r.wallSeconds;
+  return r;
+}
+
+}  // namespace awp::sched

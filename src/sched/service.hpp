@@ -1,0 +1,157 @@
+#pragma once
+// ScenarioService: the ensemble scheduler. An operator submits
+// ScenarioSpecs; the service admits them through a bounded priority queue
+// (backpressure: reject or block), leases contiguous thread-cluster core
+// ranges out of a global core/memory budget, and runs each scenario as an
+// SPMD job under the health guard with a per-attempt watchdog. Identical
+// in-flight specs coalesce onto one execution; completed products are
+// memoized in a content-addressed artifact cache (spec-hash keyed, MD5
+// verified), so a resubmitted spec is served without re-execution and
+// concurrent jobs share one mesh generation.
+//
+// Failure policy: an injected/real worker crash, a watchdog stall episode,
+// or a Fatal health verdict cancels the attempt COLLECTIVELY (the cancel
+// flag is agreed by allreduce at a fixed step cadence, so no rank is left
+// blocking on a dead neighbour) and requeues the scenario with a bounded
+// retry budget. Crash and stall retries resume from the job's last
+// checkpoint at the SAME dt — the completed products are bit-identical to
+// an uninterrupted run. Fatal-verdict retries tighten dt (the run was
+// numerically unstable; reproducing it exactly would reproduce the
+// blow-up).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runtime_config.hpp"
+#include "health/watchdog.hpp"
+#include "sched/artifact_cache.hpp"
+#include "sched/job.hpp"
+#include "sched/queue.hpp"
+#include "sched/report.hpp"
+#include "telemetry/registry.hpp"
+#include "util/timer.hpp"
+
+namespace awp::sched {
+
+struct ServiceConfig {
+  int coreBudget = 4;               // total rank threads leasable at once
+  std::size_t memoryBudgetBytes = 0;  // admission memory budget (0 = none)
+  std::size_t queueCapacity = 16;
+  AdmissionQueue::AdmitPolicy admitPolicy =
+      AdmissionQueue::AdmitPolicy::Reject;
+  int maxRetries = 2;               // requeues before a job is poison
+  double stallTimeoutSeconds = 30.0;  // per-attempt watchdog (0 = off)
+  double watchdogPollSeconds = 0.05;
+  int cancelCheckEverySteps = 2;    // collective cancel-poll cadence
+  double retryDtTighten = 0.5;      // dt scale on fatal-verdict requeue
+  bool cacheProducts = true;        // memoize completed scenario products
+  std::string cacheDir;             // "" = in-memory artifact cache only
+  std::string workDir;              // "" = <tmp>/awp-sched
+  // Telemetry: when true and no session is installed, the service owns a
+  // Session sized to the core budget (slot = lease base + rank) so spans
+  // and counters from concurrent jobs never collide.
+  bool telemetry = false;
+  std::size_t telemetryRingCapacity = std::size_t{1} << 16;
+  std::string chromeTracePath;      // whole-service trace at shutdown
+
+  static ServiceConfig fromRuntime(const core::RuntimeConfig& rc);
+};
+
+class ScenarioService {
+ public:
+  explicit ScenarioService(ServiceConfig config);
+  ~ScenarioService();
+  ScenarioService(const ScenarioService&) = delete;
+  ScenarioService& operator=(const ScenarioService&) = delete;
+
+  // Admission-controlled submission. Returns immediately with a handle:
+  // Completed (cache hit), Rejected (backpressure / closed), or Queued.
+  // With the Block policy a full queue blocks the caller until space
+  // frees. job->wait() blocks until the job settles.
+  JobHandle submit(ScenarioSpec spec);
+
+  // Block until every admitted job has settled (admissions stay open).
+  void drain();
+  // Close admissions, drain, stop the dispatcher. Idempotent; the
+  // destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] ServiceReport report() const;
+  [[nodiscard]] CacheStats cacheStats() const { return cache_.stats(); }
+  [[nodiscard]] AdmissionQueue::Stats queueStats() const {
+    return queue_.stats();
+  }
+  // Watchdog stall episodes observed across all attempts (consumed from
+  // each per-attempt watchdog via its callback).
+  [[nodiscard]] std::vector<health::StallReport> stallEpisodes() const;
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Dispatch {
+    JobHandle job;
+    int coreBase = -1;
+    std::size_t bytes = 0;
+  };
+
+  // Pop the best fitting job and lease it a contiguous core range +
+  // memory. dispatchMu_ must be held. Registered hot path: no allocation,
+  // no throw (a fragmented-budget pop is pushed back, not dropped).
+  bool dispatchNext(Dispatch& out);
+  void dispatcherLoop();
+  void workerMain(Dispatch d);
+  // One attempt of each kind; returns the products on success, throws
+  // CancelledError (collective cancellation) or awp::Error.
+  ScenarioProducts attemptWave(JobState& job, int coreBase);
+  ScenarioProducts attemptRupture(JobState& job, int coreBase);
+  void maybeRequeue(const JobHandle& job, RequeueCause cause,
+                    std::uint64_t atStep, const std::string& why);
+  // Terminal transition: settle the job (and any coalesced followers),
+  // release the in-flight registration, update outstanding accounting.
+  void settleTerminal(const JobHandle& job, JobPhase phase,
+                      const std::string& error, ScenarioProducts products,
+                      bool countedPrimary);
+  void recordStall(const health::StallReport& report);
+  [[nodiscard]] std::string jobDirFor(const std::string& hash) const;
+
+  ServiceConfig config_;
+  ArtifactCache cache_;
+  AdmissionQueue queue_;
+  Stopwatch epoch_;
+
+  std::unique_ptr<telemetry::Session> ownedSession_;
+
+  // Dispatcher state (dispatchMu_): core/memory accounting + lifecycle.
+  mutable std::mutex dispatchMu_;
+  std::condition_variable dispatchCv_;
+  std::vector<char> coreBusy_;
+  std::size_t memoryUsed_ = 0;
+  int activeWorkers_ = 0;
+  bool signal_ = false;
+  bool stopping_ = false;
+  bool shutdownDone_ = false;
+
+  // Job bookkeeping (jobsMu_).
+  mutable std::mutex jobsMu_;
+  std::condition_variable drainCv_;
+  std::vector<JobHandle> allJobs_;
+  std::map<std::string, JobHandle> primaryByHash_;       // in-flight
+  std::map<std::string, std::vector<JobHandle>> followersByHash_;
+  std::size_t outstanding_ = 0;
+
+  mutable std::mutex stallMu_;
+  std::vector<health::StallReport> stalls_;
+
+  std::atomic<std::uint64_t> submitSeq_{0};
+  std::atomic<std::uint64_t> executedAttempts_{0};
+
+  std::thread dispatcher_;
+};
+
+}  // namespace awp::sched

@@ -1,0 +1,283 @@
+#include "sched/spec.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/md5.hpp"
+
+namespace awp::sched {
+
+namespace {
+
+// Fixed-width little-endian append helpers. Doubles go through their
+// IEEE-754 bit pattern: the encoding hashes the exact value, not a
+// formatting of it.
+void putU64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+void putU32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+void putI32(std::vector<std::byte>& out, std::int32_t v) {
+  putU32(out, static_cast<std::uint32_t>(v));
+}
+
+void putF64(std::vector<std::byte>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  putU64(out, bits);
+}
+
+void putBytes(std::vector<std::byte>& out, const void* data,
+              std::size_t len) {
+  const auto* p = static_cast<const std::byte*>(data);
+  out.insert(out.end(), p, p + len);
+}
+
+void putString(std::vector<std::byte>& out, const std::string& s) {
+  putU64(out, s.size());
+  putBytes(out, s.data(), s.size());
+}
+
+void putFloats(std::vector<std::byte>& out, const std::vector<float>& v) {
+  putU64(out, v.size());
+  putBytes(out, v.data(), v.size() * sizeof(float));
+}
+
+// Cursor-based readers; every read bounds-checks against the buffer.
+struct Reader {
+  const std::vector<std::byte>& data;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (pos + n > data.size())
+      throw Error("sched: truncated product encoding at offset " +
+                  std::to_string(pos));
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+    pos += 4;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const auto n = static_cast<std::size_t>(u64());
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data.data() + pos), n);
+    pos += n;
+    return s;
+  }
+  std::vector<std::byte> bytes(std::size_t n) {
+    need(n);
+    std::vector<std::byte> out(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                               data.begin() +
+                                   static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return out;
+  }
+  std::vector<float> floats() {
+    const auto n = static_cast<std::size_t>(u64());
+    need(n * sizeof(float));
+    std::vector<float> out(n);
+    std::memcpy(out.data(), data.data() + pos, n * sizeof(float));
+    pos += n * sizeof(float);
+    return out;
+  }
+};
+
+constexpr char kSpecMagic[8] = {'A', 'W', 'P', 'S', 'P', 'E', 'C', '1'};
+constexpr char kProductMagic[8] = {'A', 'W', 'P', 'P', 'R', 'O', 'D', '1'};
+constexpr char kHistoryMagic[8] = {'A', 'W', 'P', 'F', 'H', 'I', 'S', '1'};
+
+void checkMagic(Reader& r, const char (&magic)[8], const char* what) {
+  r.need(8);
+  if (std::memcmp(r.data.data() + r.pos, magic, 8) != 0)
+    throw Error(std::string("sched: bad ") + what + " magic");
+  r.pos += 8;
+}
+
+}  // namespace
+
+const char* toString(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::Wave: return "wave";
+    case ScenarioKind::Rupture: return "rupture";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> ScenarioSpec::canonicalBytes() const {
+  std::vector<std::byte> out;
+  out.reserve(160);
+  putBytes(out, kSpecMagic, sizeof(kSpecMagic));
+  putU32(out, static_cast<std::uint32_t>(kind));
+  putU64(out, steps);
+  putI32(out, nranks);
+  putU64(out, seed);
+  putU64(out, static_cast<std::uint64_t>(dims.nx));
+  putU64(out, static_cast<std::uint64_t>(dims.ny));
+  putU64(out, static_cast<std::uint64_t>(dims.nz));
+  putF64(out, h);
+  putU32(out, useCvm ? 1u : 0u);
+  putI32(out, spongeWidth);
+  putI32(out, checkpointEverySteps);
+  putI32(out, surfaceSampleEverySteps);
+  putF64(out, sourceFreqHz);
+  putF64(out, sourceAmplitude);
+  putI32(out, healthEverySteps);
+  putI32(out, maxRollbacks);
+  putF64(out, lengthKm);
+  putF64(out, depthKm);
+  putF64(out, nucFraction);
+  return out;
+}
+
+std::string ScenarioSpec::hashHex() const {
+  const auto bytes = canonicalBytes();
+  return Md5::hexDigest(bytes.data(), bytes.size());
+}
+
+std::size_t ScenarioSpec::estimatedBytes() const {
+  // Admission-control estimate: the staggered grid holds ~20 float fields
+  // per cell (velocities, stresses, material, attenuation memory), plus
+  // halo padding and solver scratch. Deliberately generous.
+  constexpr std::size_t kBytesPerCell = 160;
+  if (kind == ScenarioKind::Wave) return dims.count() * kBytesPerCell;
+  // Rupture: reconstruct the volume runMiniRupture-style (fault plus
+  // absorbing margins) from the fault extent.
+  const auto nx = static_cast<std::size_t>(lengthKm * 1000.0 / h);
+  const auto nzFault = static_cast<std::size_t>(depthKm * 1000.0 / h);
+  const std::size_t margin = 14;
+  const std::size_t cells =
+      (nx + 2 * margin) * (2 * margin + 2) * (nzFault + margin);
+  return cells * kBytesPerCell;
+}
+
+ArtifactBlob ArtifactBlob::fromBytes(std::vector<std::byte> data) {
+  ArtifactBlob blob;
+  blob.md5Hex = Md5::hexDigest(data.data(), data.size());
+  blob.bytes = std::move(data);
+  return blob;
+}
+
+const ArtifactBlob* ScenarioProducts::find(const std::string& name) const {
+  for (const auto& [n, blob] : blobs)
+    if (n == name) return &blob;
+  return nullptr;
+}
+
+std::vector<std::byte> ScenarioProducts::serialize() const {
+  auto sorted = blobs;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::byte> out;
+  putBytes(out, kProductMagic, sizeof(kProductMagic));
+  putString(out, specHash);
+  putU64(out, completedSteps);
+  putF64(out, dt);
+  putU64(out, sorted.size());
+  for (const auto& [name, blob] : sorted) {
+    putString(out, name);
+    putString(out, blob.md5Hex);
+    putU64(out, blob.bytes.size());
+    putBytes(out, blob.bytes.data(), blob.bytes.size());
+  }
+  return out;
+}
+
+ScenarioProducts ScenarioProducts::deserialize(
+    const std::vector<std::byte>& data) {
+  Reader r{data};
+  checkMagic(r, kProductMagic, "product");
+  ScenarioProducts p;
+  p.specHash = r.str();
+  p.completedSteps = r.u64();
+  p.dt = r.f64();
+  const auto count = static_cast<std::size_t>(r.u64());
+  p.blobs.reserve(count);
+  std::string prev;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name = r.str();
+    if (i > 0 && !(prev < name))
+      throw Error("sched: product blobs not sorted ('" + prev + "' before '" +
+                  name + "')");
+    prev = name;
+    ArtifactBlob blob;
+    blob.md5Hex = r.str();
+    blob.bytes = r.bytes(static_cast<std::size_t>(r.u64()));
+    const std::string actual =
+        Md5::hexDigest(blob.bytes.data(), blob.bytes.size());
+    if (actual != blob.md5Hex)
+      throw Error("sched: product blob '" + name + "' digest mismatch (" +
+                  actual + " != " + blob.md5Hex + ")");
+    p.blobs.emplace_back(std::move(name), std::move(blob));
+  }
+  if (r.pos != data.size())
+    throw Error("sched: trailing bytes after product encoding");
+  return p;
+}
+
+std::vector<std::byte> serializeFaultHistory(const rupture::FaultHistory& h) {
+  std::vector<std::byte> out;
+  putBytes(out, kHistoryMagic, sizeof(kHistoryMagic));
+  putU64(out, h.nx);
+  putU64(out, h.nz);
+  putF64(out, h.h);
+  putF64(out, h.dt);
+  putI32(out, h.timeDecimation);
+  putU64(out, h.recordedSteps);
+  putFloats(out, h.finalSlip);
+  putFloats(out, h.peakSlipRate);
+  putFloats(out, h.ruptureTime);
+  putFloats(out, h.rigidity);
+  putFloats(out, h.slipRateX);
+  putFloats(out, h.slipRateZ);
+  return out;
+}
+
+rupture::FaultHistory deserializeFaultHistory(
+    const std::vector<std::byte>& data) {
+  Reader r{data};
+  checkMagic(r, kHistoryMagic, "fault-history");
+  rupture::FaultHistory h;
+  h.nx = static_cast<std::size_t>(r.u64());
+  h.nz = static_cast<std::size_t>(r.u64());
+  h.h = r.f64();
+  h.dt = r.f64();
+  h.timeDecimation = r.i32();
+  h.recordedSteps = static_cast<std::size_t>(r.u64());
+  h.finalSlip = r.floats();
+  h.peakSlipRate = r.floats();
+  h.ruptureTime = r.floats();
+  h.rigidity = r.floats();
+  h.slipRateX = r.floats();
+  h.slipRateZ = r.floats();
+  if (r.pos != data.size())
+    throw Error("sched: trailing bytes after fault-history encoding");
+  return h;
+}
+
+}  // namespace awp::sched

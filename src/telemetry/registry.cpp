@@ -13,10 +13,26 @@ void installSession(Session* session) {
   detail::g_session.store(session, std::memory_order_release);
 }
 
+namespace {
+thread_local int t_slotBase = 0;
+}  // namespace
+
+void setThreadSlotBase(int base) { t_slotBase = base; }
+
+int threadSlotBase() { return t_slotBase; }
+
 RankTelemetry* currentRank() {
   Session* s = activeSession();
   if (s == nullptr) return nullptr;
-  return &s->slot(fault::threadRank());
+  const int r = fault::threadRank();
+  // Off-rank threads (r < 0) keep the shared off-rank slot regardless of
+  // any base; rank threads shift by the lease base so concurrent clusters
+  // sharing one session land on disjoint slots.
+  return &s->slot(r < 0 ? r : r + t_slotBase);
+}
+
+void resetThreadSpans() {
+  if (RankTelemetry* rt = currentRank()) rt->resetSpanState();
 }
 
 RankTelemetry::RankTelemetry(int rank, std::size_t ringCapacity,

@@ -96,6 +96,13 @@ class RankTelemetry {
 
   [[nodiscard]] std::uint64_t nowNs() const;
 
+  // Drops any open-frame stack (see telemetry::resetThreadSpans).
+  void resetSpanState() {
+    top_ = nullptr;
+    depth_ = 0;
+    replayDepth_ = 0;
+  }
+
  private:
   int rank_;
   std::chrono::steady_clock::time_point epoch_;
@@ -167,6 +174,22 @@ class ScopedSession {
 // Rank attribution reuses the fault layer's thread tag (set by the
 // cluster launcher for every rank thread).
 RankTelemetry* currentRank();
+
+// Slot-base offset for the current thread. When several thread clusters
+// share one session (the scenario service runs concurrent jobs against a
+// core-budget-sized session), each job's rank threads call this with the
+// first core id of their lease so rank r maps to slot base + r and
+// concurrent jobs never collide on a slot. Zero (the default) preserves
+// the single-cluster mapping.
+void setThreadSlotBase(int base);
+[[nodiscard]] int threadSlotBase();
+
+// Clears any span state left on the current thread's slot (open-frame
+// stack, depth, replay nesting). Slots are reused across scenario-service
+// attempts: a rank thread that unwound through an exception leaves its
+// Frame pointers dangling into a dead stack, so every attempt resets its
+// slots before opening new spans. Totals and counters are preserved.
+void resetThreadSpans();
 
 // --- fast-path helpers ----------------------------------------------------
 

@@ -26,6 +26,8 @@ enum class Phase : std::size_t {
   HealthScan,          // preflight + in-loop monitor scans (collective)
   Transfer,            // wide-area transfer leg of the workflow
   RollbackReplay,      // re-execution window after a rollback
+  SchedQueue,          // scenario-service admission-queue pop
+  SchedDispatch,       // scenario-service lease dispatch + job launch
   kCount
 };
 
@@ -35,7 +37,8 @@ inline constexpr std::size_t kPhaseCount =
 inline constexpr std::array<std::string_view, kPhaseCount> kPhaseJsonNames = {
     "velocity_kernel", "stress_kernel", "halo_pack",   "halo_exchange",
     "halo_unpack",     "absorb",        "rupture",     "checkpoint",
-    "output",          "health_scan",   "transfer",    "rollback_replay"};
+    "output",          "health_scan",   "transfer",    "rollback_replay",
+    "sched_queue",     "sched_dispatch"};
 
 [[nodiscard]] inline std::string_view toString(Phase p) {
   return kPhaseJsonNames[static_cast<std::size_t>(p)];
@@ -60,6 +63,12 @@ enum class Counter : std::size_t {
   DtRewidenEvents,       // dt walked back toward the CFL-derived value
   ObservationsRewritten, // step-indexed records overwritten on replay
   SpansDropped,          // ring-buffer overflow (trace truncated)
+  ScenariosSubmitted,    // scenario-service submissions accepted or merged
+  ScenariosCompleted,    // scenarios settled with products
+  ScenariosRejected,     // admission backpressure rejections
+  ScenarioRetries,       // requeues after crash/stall/fatal verdicts
+  ScenarioCacheHits,     // completed specs served from the artifact cache
+  ArtifactCacheHits,     // shared-artifact (mesh/material) cache hits
   kCount
 };
 
@@ -73,7 +82,9 @@ inline constexpr std::array<std::string_view, kCounterCount>
         "checkpoint_bytes",   "checkpoint_vetoes",  "output_bytes",
         "write_retries",      "transfer_bytes",     "transfer_retries",
         "rollbacks",          "dt_tighten_events",  "dt_rewiden_events",
-        "observations_rewritten", "spans_dropped"};
+        "observations_rewritten", "spans_dropped",
+        "scenarios_submitted", "scenarios_completed", "scenarios_rejected",
+        "scenario_retries",   "scenario_cache_hits", "artifact_cache_hits"};
 
 [[nodiscard]] inline std::string_view toString(Counter c) {
   return kCounterJsonNames[static_cast<std::size_t>(c)];

@@ -26,4 +26,21 @@ void coldSetup(Buffers& buffers, int n) {
   buffers.adopt(owned.get());
 }
 
+void coldComparatorCall(Items& items, Item item) {
+  // Scanner regression: a lambda passed as a CALL ARGUMENT whose body holds
+  // an unbraced `if`. The `;` inside the body sits at nonzero paren depth of
+  // the enclosing call; the statement scope must still pop there, or the
+  // scope stack misaligns and every later definition in the file (including
+  // the registered hot function below) goes undetected.
+  sortThings(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.priority != b.priority)
+      return a.priority < b.priority;
+    return a.seq > b.seq;
+  });
+}
+
+AWP_HOT void afterComparator(float* out, const float* in, int n) {
+  for (int i = 0; i < n; ++i) out[i] = in[i] + 1.0f;
+}
+
 }  // namespace fixture

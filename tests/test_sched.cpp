@@ -1,0 +1,726 @@
+// Scenario-service tests: spec hashing, the bounded priority admission
+// queue (backpressure both policies), the content-addressed artifact cache
+// (single-flight + disk tier), watchdog drain/verdict, the chrome-trace
+// exporter, sched_* runtime-config keys, report validation, and the
+// end-to-end service guarantees — cache-hit bit-identity without re-run,
+// crash -> requeue -> checkpoint-resume equivalence, stall -> requeue
+// equivalence, admission rejection under saturation, and in-flight
+// coalescing.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runtime_config.hpp"
+#include "fault/injector.hpp"
+#include "health/watchdog.hpp"
+#include "sched/artifact_cache.hpp"
+#include "sched/job.hpp"
+#include "sched/queue.hpp"
+#include "sched/report.hpp"
+#include "sched/service.hpp"
+#include "sched/spec.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/registry.hpp"
+#include "util/error.hpp"
+
+namespace awp::sched {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path tempDir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("awp-sched-test-" + tag + "-" + std::to_string(getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Small, fast wave scenario; ~5k cells, a checkpoint every 6 steps.
+ScenarioSpec smallWaveSpec() {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::Wave;
+  spec.dims = {24, 18, 12};
+  spec.h = 600.0;
+  spec.steps = 24;
+  spec.nranks = 2;
+  spec.useCvm = true;
+  spec.spongeWidth = 4;
+  spec.checkpointEverySteps = 6;
+  spec.surfaceSampleEverySteps = 2;
+  spec.healthEverySteps = 4;
+  spec.name = "small-wave";
+  return spec;
+}
+
+JobHandle makeJob(int priority, std::uint64_t seq, int nranks = 1,
+                  std::uint64_t steps = 8) {
+  auto job = std::make_shared<JobState>();
+  job->spec = smallWaveSpec();
+  job->spec.nranks = nranks;
+  job->spec.steps = steps;
+  job->spec.priority = priority;
+  job->hash = job->spec.hashHex();
+  job->submitSeq = seq;
+  return job;
+}
+
+std::string jobError(const JobHandle& job) {
+  std::lock_guard<std::mutex> lock(job->mutex);
+  return job->error;
+}
+
+bool isRunning(const JobHandle& job) {
+  std::lock_guard<std::mutex> lock(job->mutex);
+  return job->phase == JobPhase::Running;
+}
+
+void awaitRunning(const JobHandle& job) {
+  for (int i = 0; i < 2000 && !isRunning(job) && !job->done(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+std::string blobMd5(const ScenarioProducts& products,
+                    const std::string& name) {
+  const ArtifactBlob* blob = products.find(name);
+  return blob != nullptr ? blob->md5Hex : std::string("<missing:" + name +
+                                                      ">");
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioSpec hashing and product serialization
+
+TEST(ScenarioSpec, HashIgnoresPresentationMetadata) {
+  ScenarioSpec a = smallWaveSpec();
+  ScenarioSpec b = a;
+  b.name = "renamed";
+  b.priority = 99;
+  EXPECT_EQ(a.hashHex(), b.hashHex());
+  EXPECT_EQ(a.hashHex().size(), 32u);
+  for (char c : a.hashHex()) EXPECT_TRUE(isxdigit(static_cast<unsigned char>(c)));
+}
+
+TEST(ScenarioSpec, HashSensitiveToEveryPhysicsField) {
+  const ScenarioSpec base = smallWaveSpec();
+  const std::string h0 = base.hashHex();
+  auto changed = [&](auto mutate) {
+    ScenarioSpec s = base;
+    mutate(s);
+    return s.hashHex() != h0;
+  };
+  EXPECT_TRUE(changed([](ScenarioSpec& s) { s.steps += 1; }));
+  EXPECT_TRUE(changed([](ScenarioSpec& s) { s.nranks += 1; }));
+  EXPECT_TRUE(changed([](ScenarioSpec& s) { s.dims.nx += 1; }));
+  EXPECT_TRUE(changed([](ScenarioSpec& s) { s.h *= 1.5; }));
+  EXPECT_TRUE(changed([](ScenarioSpec& s) { s.useCvm = !s.useCvm; }));
+  EXPECT_TRUE(changed([](ScenarioSpec& s) { s.checkpointEverySteps += 1; }));
+  EXPECT_TRUE(changed([](ScenarioSpec& s) { s.sourceAmplitude *= 2.0; }));
+  EXPECT_TRUE(changed([](ScenarioSpec& s) { s.kind = ScenarioKind::Rupture; }));
+  EXPECT_TRUE(changed([](ScenarioSpec& s) { s.seed += 1; }));
+}
+
+TEST(ScenarioSpec, ProductsSerializeRoundTripAndDetectCorruption) {
+  ScenarioProducts p;
+  p.specHash = smallWaveSpec().hashHex();
+  p.completedSteps = 24;
+  p.dt = 0.025;
+  std::vector<std::byte> payload(257);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::byte>(i * 7u);
+  p.blobs.emplace_back("surface.bin", ArtifactBlob::fromBytes(payload));
+  p.blobs.emplace_back("pgvh.bin",
+                       ArtifactBlob::fromBytes({std::byte{1}, std::byte{2}}));
+
+  auto bytes = p.serialize();
+  ScenarioProducts q = ScenarioProducts::deserialize(bytes);
+  EXPECT_EQ(q.specHash, p.specHash);
+  EXPECT_EQ(q.completedSteps, 24u);
+  EXPECT_DOUBLE_EQ(q.dt, 0.025);
+  ASSERT_NE(q.find("surface.bin"), nullptr);
+  EXPECT_EQ(q.find("surface.bin")->bytes, payload);
+  EXPECT_EQ(q.find("surface.bin")->md5Hex, p.find("surface.bin")->md5Hex);
+
+  // Flip one payload byte: the per-blob digest check must reject it.
+  auto corrupt = bytes;
+  corrupt[corrupt.size() - 3] ^= std::byte{0x40};
+  EXPECT_THROW((void)ScenarioProducts::deserialize(corrupt), Error);
+  EXPECT_THROW((void)ScenarioProducts::deserialize({std::byte{9}}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Admission queue
+
+TEST(AdmissionQueue, PriorityOrderWithFifoTies) {
+  AdmissionQueue q(8, AdmissionQueue::AdmitPolicy::Reject);
+  EXPECT_EQ(q.push(makeJob(1, 0)), AdmissionQueue::PushResult::Admitted);
+  EXPECT_EQ(q.push(makeJob(3, 1)), AdmissionQueue::PushResult::Admitted);
+  EXPECT_EQ(q.push(makeJob(3, 2)), AdmissionQueue::PushResult::Admitted);
+  EXPECT_EQ(q.push(makeJob(2, 3)), AdmissionQueue::PushResult::Admitted);
+
+  auto a = q.pop();
+  auto b = q.pop();
+  auto c = q.pop();
+  auto d = q.pop();
+  ASSERT_TRUE(a && b && c && d);
+  EXPECT_EQ(a->spec.priority, 3);
+  EXPECT_EQ(a->submitSeq, 1u);  // FIFO within equal priority
+  EXPECT_EQ(b->spec.priority, 3);
+  EXPECT_EQ(b->submitSeq, 2u);
+  EXPECT_EQ(c->spec.priority, 2);
+  EXPECT_EQ(d->spec.priority, 1);
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(AdmissionQueue, RejectPolicyBoundsDepthButRequeueBypasses) {
+  AdmissionQueue q(2, AdmissionQueue::AdmitPolicy::Reject);
+  EXPECT_EQ(q.push(makeJob(0, 0)), AdmissionQueue::PushResult::Admitted);
+  EXPECT_EQ(q.push(makeJob(0, 1)), AdmissionQueue::PushResult::Admitted);
+  EXPECT_EQ(q.push(makeJob(0, 2)), AdmissionQueue::PushResult::Rejected);
+  EXPECT_EQ(q.size(), 2u);
+
+  // Requeued work the service already accepted must never be dropped.
+  q.pushRequeue(makeJob(9, 3));
+  EXPECT_EQ(q.size(), 3u);
+  q.close();
+  EXPECT_EQ(q.push(makeJob(0, 4)), AdmissionQueue::PushResult::Closed);
+  q.pushRequeue(makeJob(9, 5));  // still accepted after close
+  EXPECT_EQ(q.size(), 4u);
+
+  const auto stats = q.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.requeued, 2u);
+}
+
+TEST(AdmissionQueue, BlockPolicyWaitsForSpaceAndCloseReleases) {
+  AdmissionQueue q(1, AdmissionQueue::AdmitPolicy::Block);
+  EXPECT_EQ(q.push(makeJob(0, 0)), AdmissionQueue::PushResult::Admitted);
+
+  std::atomic<int> admitted{0};
+  std::thread pusher([&] {
+    if (q.push(makeJob(0, 1)) == AdmissionQueue::PushResult::Admitted)
+      admitted.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(admitted.load(), 0);  // still blocked on the full queue
+  ASSERT_NE(q.pop(), nullptr);
+  pusher.join();
+  EXPECT_EQ(admitted.load(), 1);
+  EXPECT_GE(q.stats().blockedPushes, 1u);
+
+  // A pusher blocked at close() time gets Closed, not a hang.
+  std::thread lateClosed([&] {
+    EXPECT_EQ(q.push(makeJob(0, 2)), AdmissionQueue::PushResult::Closed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  q.close();
+  lateClosed.join();
+}
+
+TEST(AdmissionQueue, PopFitHonoursCoreAndMemoryLimits) {
+  AdmissionQueue q(8, AdmissionQueue::AdmitPolicy::Reject);
+  auto wide = makeJob(/*priority=*/5, 0, /*nranks=*/4);
+  auto narrow = makeJob(/*priority=*/1, 1, /*nranks=*/1);
+  ASSERT_EQ(q.push(wide), AdmissionQueue::PushResult::Admitted);
+  ASSERT_EQ(q.push(narrow), AdmissionQueue::PushResult::Admitted);
+
+  // Only 2 free cores: the higher-priority 4-rank job does not fit, the
+  // 1-rank job runs instead of idling the machine.
+  auto fit = q.popFit(/*freeCores=*/2, /*freeBytes=*/0);
+  ASSERT_NE(fit, nullptr);
+  EXPECT_EQ(fit->spec.nranks, 1);
+
+  // A 1-byte allowance fits nothing real; 0 means unlimited.
+  EXPECT_EQ(q.popFit(/*freeCores=*/8, /*freeBytes=*/1), nullptr);
+  auto rest = q.popFit(/*freeCores=*/8, /*freeBytes=*/0);
+  ASSERT_NE(rest, nullptr);
+  EXPECT_EQ(rest->spec.nranks, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Artifact cache
+
+TEST(ArtifactCache, SingleFlightComputesExactlyOnce) {
+  ArtifactCache cache;
+  std::atomic<int> computes{0};
+  auto compute = [&] {
+    computes.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return std::vector<std::byte>{std::byte{0xAB}, std::byte{0xCD}};
+  };
+
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::byte>> results(6);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    threads.emplace_back(
+        [&, i] { results[i] = cache.getOrCompute("mesh:key", compute); });
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(computes.load(), 1);
+  for (const auto& r : results)
+    EXPECT_EQ(r, (std::vector<std::byte>{std::byte{0xAB}, std::byte{0xCD}}));
+  EXPECT_EQ(cache.stats().computes, 1u);
+}
+
+TEST(ArtifactCache, DiskTierRoundTripsAndCorruptEntryIsMiss) {
+  const fs::path dir = tempDir("cache");
+  const std::vector<std::byte> value{std::byte{1}, std::byte{2},
+                                     std::byte{3}, std::byte{4}};
+  {
+    ArtifactCache writer(dir.string());
+    writer.put("products:abc", value);
+  }
+  {
+    ArtifactCache reader(dir.string());
+    auto got = reader.get("products:abc");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, value);
+    EXPECT_EQ(reader.stats().diskLoads, 1u);
+    EXPECT_TRUE(reader.get("products:missing") == std::nullopt);
+  }
+
+  // Flip a byte in the single entry file: the digest check makes the
+  // corrupt entry a miss, never wrong data.
+  fs::path entry;
+  for (const auto& e : fs::directory_iterator(dir)) entry = e.path();
+  ASSERT_FALSE(entry.empty());
+  {
+    std::fstream f(entry, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put('\x7f');
+  }
+  ArtifactCache verifier(dir.string());
+  EXPECT_TRUE(verifier.get("products:abc") == std::nullopt);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: consumable episodes and verdict mapping
+
+TEST(Watchdog, DrainHandsEachEpisodeToExactlyOneConsumer) {
+  health::HeartbeatBoard board(2);
+  board.beat(0, 1);
+  board.beat(1, 1);
+  health::Watchdog dog(board, /*stallTimeoutSeconds=*/0.1, nullptr,
+                       /*pollIntervalSeconds=*/0.02);
+  for (int i = 0; i < 100 && dog.reports().empty(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  dog.stop();
+
+  ASSERT_FALSE(dog.reports().empty());
+  auto first = dog.drain();
+  EXPECT_EQ(first.size(), dog.reports().size());
+  EXPECT_TRUE(dog.drain().empty());          // already consumed
+  EXPECT_FALSE(dog.reports().empty());       // history is non-destructive
+  EXPECT_FALSE(first.front().stalledRanks.empty());
+  EXPECT_GE(first.front().stalledSeconds, 0.1);
+}
+
+TEST(Watchdog, VerdictForMapsEpisodeAgeOntoTheLattice) {
+  health::StallReport none;  // rank = -1: no stall
+  EXPECT_EQ(health::verdictFor(none, 0.1), health::Verdict::Healthy);
+
+  health::StallReport fresh;
+  fresh.rank = 0;
+  fresh.stalledSeconds = 0.15;
+  EXPECT_EQ(health::verdictFor(fresh, 0.1), health::Verdict::Degraded);
+
+  health::StallReport aged = fresh;
+  aged.stalledSeconds = 0.5;  // past fatalFactor (4) x timeout
+  EXPECT_EQ(health::verdictFor(aged, 0.1), health::Verdict::Fatal);
+  EXPECT_EQ(health::verdictFor(aged, 0.1, /*fatalFactor=*/10.0),
+            health::Verdict::Degraded);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace exporter
+
+TEST(ChromeTrace, SessionExportIsValidJsonWithServiceLane) {
+  telemetry::SessionConfig sc;
+  sc.nranks = 1;
+  telemetry::Session session(sc);
+  telemetry::ScopedSession scoped(session);
+  {
+    telemetry::ScopedSpan outer(telemetry::Phase::SchedQueue);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    telemetry::ScopedSpan inner(telemetry::Phase::SchedDispatch);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const std::string trace = telemetry::toChromeTrace(session);
+  const auto root = telemetry::parseJson(trace);
+  ASSERT_TRUE(root.isArray());
+
+  bool sawServiceLane = false;
+  bool sawComplete = false;
+  for (const auto& ev : root.items) {
+    ASSERT_TRUE(ev.isObject());
+    const auto* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->text == "M") {
+      const auto* args = ev.find("args");
+      if (args != nullptr && args->find("name") != nullptr &&
+          args->find("name")->text == "service")
+        sawServiceLane = true;
+    }
+    if (ph->text == "X") {
+      sawComplete = true;
+      EXPECT_NE(ev.find("name"), nullptr);
+      EXPECT_NE(ev.find("dur"), nullptr);
+      EXPECT_NE(ev.find("ts"), nullptr);
+    }
+  }
+  // The untagged test thread lands on the off-rank "service" lane.
+  EXPECT_TRUE(sawServiceLane);
+  EXPECT_TRUE(sawComplete);
+
+  EXPECT_THROW((void)telemetry::chromeTraceFromJsonl("{not json\n"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-config keys
+
+TEST(RuntimeConfig, SchedKeysParseIntoServiceConfig) {
+  const std::string text =
+      "sched_workers = 6\n"
+      "sched_memory_mb = 128\n"
+      "sched_queue_capacity = 3\n"
+      "sched_admission = block\n"
+      "sched_max_retries = 5\n"
+      "sched_stall_timeout = 2.5\n"
+      "sched_cancel_check = 4\n"
+      "sched_retry_dt_tighten = 0.25\n"
+      "sched_cache = off\n"
+      "sched_cache_dir = /tmp/awp-cache\n"
+      "sched_work_dir = /tmp/awp-work\n"
+      "telemetry = on\n"
+      "telemetry_chrome = trace.json\n";
+  const auto rc = core::parseRuntimeConfig(text);
+  const auto cfg = ServiceConfig::fromRuntime(rc);
+  EXPECT_EQ(cfg.coreBudget, 6);
+  EXPECT_EQ(cfg.memoryBudgetBytes, std::size_t{128} << 20);
+  EXPECT_EQ(cfg.queueCapacity, 3u);
+  EXPECT_EQ(cfg.admitPolicy, AdmissionQueue::AdmitPolicy::Block);
+  EXPECT_EQ(cfg.maxRetries, 5);
+  EXPECT_DOUBLE_EQ(cfg.stallTimeoutSeconds, 2.5);
+  EXPECT_EQ(cfg.cancelCheckEverySteps, 4);
+  EXPECT_DOUBLE_EQ(cfg.retryDtTighten, 0.25);
+  EXPECT_FALSE(cfg.cacheProducts);
+  EXPECT_EQ(cfg.cacheDir, "/tmp/awp-cache");
+  EXPECT_EQ(cfg.workDir, "/tmp/awp-work");
+  EXPECT_TRUE(cfg.telemetry);
+  EXPECT_EQ(cfg.chromeTracePath, "trace.json");
+
+  EXPECT_THROW((void)core::parseRuntimeConfig("sched_admission = maybe\n"),
+               Error);
+  EXPECT_THROW((void)core::parseRuntimeConfig("sched_workers = zero\n"),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+// Report validator
+
+TEST(ServiceReportJson, ValidatorAcceptsWellFormedAndFlagsViolations) {
+  ServiceReport report;
+  report.coreBudget = 4;
+  report.wallSeconds = 1.0;
+  report.submitted = 3;
+  report.completed = 2;
+  report.cacheHits = 1;
+  JobRow row;
+  row.name = "job-a";
+  row.kind = "wave";
+  row.hash = std::string(32, 'a');
+  row.phase = "completed";
+  row.attempts = 2;
+  row.retries = 1;
+  report.jobs.push_back(row);
+  EXPECT_TRUE(validateServiceReportJson(toJson(report)).empty());
+
+  // Outcome classes are disjoint; more outcomes than submissions is a bug.
+  ServiceReport overcounted = report;
+  overcounted.completed = 5;
+  EXPECT_FALSE(validateServiceReportJson(toJson(overcounted)).empty());
+
+  ServiceReport badRow = report;
+  badRow.jobs[0].hash = "nope";
+  EXPECT_FALSE(validateServiceReportJson(toJson(badRow)).empty());
+
+  ServiceReport badRetries = report;
+  badRetries.jobs[0].retries = 7;  // > attempts
+  EXPECT_FALSE(validateServiceReportJson(toJson(badRetries)).empty());
+
+  EXPECT_FALSE(validateServiceReportJson("{ not json").empty());
+  EXPECT_FALSE(validateServiceReportJson("[1,2]").empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end service behaviour
+
+TEST(ScenarioService, CompletesCachesAndServesResubmissionWithoutRerun) {
+  const fs::path work = tempDir("svc-cache-work");
+  const fs::path cacheDir = tempDir("svc-cache-dir");
+  ServiceConfig cfg;
+  cfg.coreBudget = 2;
+  cfg.workDir = work.string();
+  cfg.cacheDir = cacheDir.string();
+  cfg.stallTimeoutSeconds = 30.0;
+
+  const ScenarioSpec spec = smallWaveSpec();
+  std::string surfaceMd5;
+  std::string pgvhMd5;
+  {
+    ScenarioService service(cfg);
+    auto first = service.submit(spec);
+    ASSERT_EQ(first->wait(), JobPhase::Completed);
+    EXPECT_FALSE(first->cacheHit);
+    surfaceMd5 = blobMd5(first->products, "surface.bin");
+    pgvhMd5 = blobMd5(first->products, "pgvh.bin");
+    ASSERT_EQ(surfaceMd5.size(), 32u);
+
+    // Same physics, different presentation: still the same cache entry.
+    ScenarioSpec renamed = spec;
+    renamed.name = "resubmitted";
+    renamed.priority = 7;
+    auto second = service.submit(renamed);
+    ASSERT_EQ(second->wait(), JobPhase::Completed);
+    EXPECT_TRUE(second->cacheHit);
+    EXPECT_EQ(second->attempts, 0);  // served without touching a worker
+    EXPECT_EQ(blobMd5(second->products, "surface.bin"), surfaceMd5);
+    EXPECT_EQ(blobMd5(second->products, "pgvh.bin"), pgvhMd5);
+
+    const auto report = service.report();
+    EXPECT_EQ(report.submitted, 2u);
+    EXPECT_EQ(report.completed, 1u);  // executed completions only
+    EXPECT_EQ(report.cacheHits, 1u);
+    EXPECT_EQ(report.executedAttempts, 1u);
+    const auto violations = validateServiceReportJson(toJson(report));
+    EXPECT_TRUE(violations.empty())
+        << (violations.empty() ? "" : violations.front());
+  }
+
+  // The disk tier outlives the service: a fresh instance (fresh memory
+  // cache) still serves the spec without execution.
+  {
+    ScenarioService service(cfg);
+    auto job = service.submit(spec);
+    ASSERT_EQ(job->wait(), JobPhase::Completed);
+    EXPECT_TRUE(job->cacheHit);
+    EXPECT_EQ(blobMd5(job->products, "surface.bin"), surfaceMd5);
+    EXPECT_EQ(service.report().executedAttempts, 0u);
+  }
+  fs::remove_all(work);
+  fs::remove_all(cacheDir);
+}
+
+TEST(ScenarioService, CrashRequeuesAndResumesBitIdentical) {
+  const ScenarioSpec spec = smallWaveSpec();
+
+  // Baseline: uninterrupted run of the same spec.
+  const fs::path baseWork = tempDir("svc-crash-base");
+  std::string surfaceMd5;
+  std::string pgvhMd5;
+  {
+    ServiceConfig cfg;
+    cfg.coreBudget = 2;
+    cfg.workDir = baseWork.string();
+    ScenarioService service(cfg);
+    auto job = service.submit(spec);
+    ASSERT_EQ(job->wait(), JobPhase::Completed);
+    surfaceMd5 = blobMd5(job->products, "surface.bin");
+    pgvhMd5 = blobMd5(job->products, "pgvh.bin");
+  }
+
+  // Faulted: rank 0's 14th step consult injects a worker crash — past the
+  // step-12 checkpoint, so the retry resumes rather than restarting.
+  const fs::path crashWork = tempDir("svc-crash-faulted");
+  fault::FaultPlan plan;
+  plan.transientIoError("sched.job.step", /*rank=*/0, /*occurrence=*/14);
+  fault::FaultInjector injector(std::move(plan));
+  fault::ScopedInjection scoped(injector);
+
+  ServiceConfig cfg;
+  cfg.coreBudget = 2;
+  cfg.workDir = crashWork.string();
+  cfg.maxRetries = 2;
+  ScenarioService service(cfg);
+  auto job = service.submit(spec);
+  ASSERT_EQ(job->wait(), JobPhase::Completed);
+  EXPECT_EQ(injector.faultsInjected(), 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    ASSERT_GE(job->requeues.size(), 1u);
+    EXPECT_EQ(job->requeues[0].cause, RequeueCause::WorkerCrash);
+    EXPECT_GE(job->attempts, 2);
+    // Crash retries keep dt: bit-identity depends on it.
+    EXPECT_DOUBLE_EQ(job->requeues[0].dtNext, 0.0);
+  }
+  EXPECT_EQ(blobMd5(job->products, "surface.bin"), surfaceMd5);
+  EXPECT_EQ(blobMd5(job->products, "pgvh.bin"), pgvhMd5);
+
+  const auto report = service.report();
+  EXPECT_GE(report.retries, 1u);
+  EXPECT_GE(report.executedAttempts, 2u);
+  EXPECT_TRUE(validateServiceReportJson(toJson(report)).empty());
+  fs::remove_all(baseWork);
+  fs::remove_all(crashWork);
+}
+
+TEST(ScenarioService, StallRequeuesAndResumesBitIdentical) {
+  const ScenarioSpec spec = smallWaveSpec();
+
+  const fs::path baseWork = tempDir("svc-stall-base");
+  std::string surfaceMd5;
+  {
+    ServiceConfig cfg;
+    cfg.coreBudget = 2;
+    cfg.workDir = baseWork.string();
+    ScenarioService service(cfg);
+    auto job = service.submit(spec);
+    ASSERT_EQ(job->wait(), JobPhase::Completed);
+    surfaceMd5 = blobMd5(job->products, "surface.bin");
+  }
+
+  // Rank 1 wedges for 1.5 s at its 5th step; the watchdog (0.4 s timeout)
+  // reports the stall and the attempt is cancelled collectively once the
+  // rank wakes into the next cancel-check allreduce.
+  const fs::path stallWork = tempDir("svc-stall-faulted");
+  fault::FaultPlan plan;
+  plan.stall("solver.step", /*rank=*/1, /*occurrence=*/5, /*seconds=*/1.5);
+  fault::FaultInjector injector(std::move(plan));
+  fault::ScopedInjection scoped(injector);
+
+  ServiceConfig cfg;
+  cfg.coreBudget = 2;
+  cfg.workDir = stallWork.string();
+  cfg.stallTimeoutSeconds = 0.4;
+  cfg.watchdogPollSeconds = 0.02;
+  ScenarioService service(cfg);
+  auto job = service.submit(spec);
+  ASSERT_EQ(job->wait(), JobPhase::Completed);
+
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    ASSERT_GE(job->requeues.size(), 1u);
+    EXPECT_EQ(job->requeues[0].cause, RequeueCause::Stall);
+  }
+  ASSERT_GE(service.stallEpisodes().size(), 1u);
+  EXPECT_EQ(service.stallEpisodes().front().rank, 1);
+  EXPECT_EQ(blobMd5(job->products, "surface.bin"), surfaceMd5);
+  EXPECT_GE(service.report().retries, 1u);
+  fs::remove_all(baseWork);
+  fs::remove_all(stallWork);
+}
+
+TEST(ScenarioService, SaturatedQueueRejectsNewSubmissions) {
+  const fs::path work = tempDir("svc-reject");
+  ServiceConfig cfg;
+  cfg.coreBudget = 1;
+  cfg.queueCapacity = 1;
+  cfg.admitPolicy = AdmissionQueue::AdmitPolicy::Reject;
+  cfg.workDir = work.string();
+  ScenarioService service(cfg);
+
+  auto makeSpec = [](std::uint64_t steps) {
+    ScenarioSpec s = smallWaveSpec();
+    s.nranks = 1;
+    s.steps = steps;
+    return s;
+  };
+  auto running = service.submit(makeSpec(200));
+  awaitRunning(running);
+  auto queued = service.submit(makeSpec(8));    // fills the queue
+  auto rejected = service.submit(makeSpec(9));  // bounces off it
+
+  EXPECT_EQ(rejected->wait(), JobPhase::Rejected);
+  {
+    std::lock_guard<std::mutex> lock(rejected->mutex);
+    EXPECT_FALSE(rejected->error.empty());
+  }
+  EXPECT_EQ(running->wait(), JobPhase::Completed);
+  EXPECT_EQ(queued->wait(), JobPhase::Completed);
+
+  const auto report = service.report();
+  EXPECT_EQ(report.submitted, 3u);
+  EXPECT_EQ(report.rejected, 1u);
+  EXPECT_EQ(report.completed, 2u);
+  EXPECT_TRUE(validateServiceReportJson(toJson(report)).empty());
+  fs::remove_all(work);
+}
+
+TEST(ScenarioService, IdenticalInFlightSpecsCoalesceOntoOneExecution) {
+  const fs::path work = tempDir("svc-coalesce");
+  ServiceConfig cfg;
+  cfg.coreBudget = 1;
+  cfg.workDir = work.string();
+  ScenarioService service(cfg);
+
+  ScenarioSpec spec = smallWaveSpec();
+  spec.nranks = 1;
+  spec.steps = 200;
+  auto primary = service.submit(spec);
+  awaitRunning(primary);
+  spec.name = "follower";
+  auto follower = service.submit(spec);
+
+  ASSERT_EQ(primary->wait(), JobPhase::Completed);
+  ASSERT_EQ(follower->wait(), JobPhase::Completed);
+  // The follower merged into the running execution (or, if the primary won
+  // the race and settled first, was served from the product cache); either
+  // way exactly one attempt executed.
+  EXPECT_TRUE(follower->coalesced || follower->cacheHit);
+  EXPECT_EQ(service.report().executedAttempts, 1u);
+  EXPECT_EQ(blobMd5(follower->products, "surface.bin"),
+            blobMd5(primary->products, "surface.bin"));
+  fs::remove_all(work);
+}
+
+TEST(ScenarioService, RunsRuptureScenarioToFaultHistoryProduct) {
+  const fs::path work = tempDir("svc-rupture");
+  ServiceConfig cfg;
+  cfg.coreBudget = 2;
+  cfg.workDir = work.string();
+  ScenarioService service(cfg);
+
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::Rupture;
+  spec.nranks = 2;
+  spec.steps = 16;
+  spec.h = 600.0;
+  // Big enough that the 4 km nucleation-radius floor stays under the
+  // preflight's 25% nucleation-patch allowance.
+  spec.lengthKm = 36.0;
+  spec.depthKm = 12.0;
+  spec.seed = 42;
+  spec.name = "small-rupture";
+  auto job = service.submit(spec);
+  ASSERT_EQ(job->wait(), JobPhase::Completed) << jobError(job);
+
+  const ArtifactBlob* history = job->products.find("fault_history");
+  ASSERT_NE(history, nullptr);
+  EXPECT_FALSE(history->bytes.empty());
+  const auto decoded = deserializeFaultHistory(history->bytes);
+  EXPECT_GT(decoded.dt, 0.0);
+
+  const auto report = service.report();
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].kind, "rupture");
+  EXPECT_TRUE(validateServiceReportJson(toJson(report)).empty());
+  fs::remove_all(work);
+}
+
+}  // namespace
+}  // namespace awp::sched

@@ -54,6 +54,11 @@ struct Scope {
   };
   Kind kind = Kind::Block;
   bool braced = true;        // Stmt scopes are unbraced
+  // Paren depth outside this braced scope. A braced body is a fresh
+  // statement context even mid-argument-list (a lambda body inside a
+  // call): depth is zeroed at `{` and restored from here at `}`, so `;`
+  // inside the body still pops single-statement control scopes.
+  int enclosingParenDepth = 0;
   bool tainted = false;
   std::string taintReason;
   bool remainderTainted = false;
@@ -382,7 +387,12 @@ class Analyzer {
 
   void closeBrace() {
     if (scopes_.empty()) return;
+    // Unbraced Stmt scopes cannot outlive the braced scope that contains
+    // them; drop any still open before closing the brace itself.
+    popStmtScopes();
+    if (scopes_.empty()) return;
     const bool wasControl = isControl(scopes_.back().kind);
+    parenDepth_ = scopes_.back().enclosingParenDepth;
     popScopeInto();
     // A braced control body completes the single-statement scope that
     // introduced it: `if (a) while (b) { ... }`.
@@ -396,6 +406,8 @@ class Analyzer {
 
     if (is(t, "{")) {
       openBrace(i_);
+      scopes_.back().enclosingParenDepth = parenDepth_;
+      parenDepth_ = 0;
       lastBoundary_ = i_;
       return;
     }
