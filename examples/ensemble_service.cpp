@@ -1,13 +1,20 @@
 // Scenario-service demonstration (and the CI chaos-job driver): an
 // ensemble of wave scenarios runs concurrently under the service's
-// admission control while the fault injector wedges one rank mid-run.
-// The watchdog turns the hang into a stall episode, the attempt is
-// cancelled collectively and requeued, and the retry resumes from the
-// job's last checkpoint — after which a resubmitted member is served
-// from the product cache without re-execution.
+// admission control while the fault injector exercises both rungs of the
+// rank recovery ladder:
 //
-// Exits nonzero unless every scenario completes, the stall was retried,
-// the resubmission hit the cache, and the service report validates.
+//  - a fail-stop rank death mid-ensemble is repaired IN PLACE — the
+//    supervisor respawns the lost rank, the replacement restores from its
+//    ring buddy's in-memory checkpoint replica, and the attempt completes
+//    with zero job requeues;
+//  - a transient rank wedge shorter than the watchdog's debounce window
+//    (watchdogMissThreshold consecutive missed scans) never opens a stall
+//    episode — the rank recovers on its own and nothing is cancelled.
+//
+// A resubmitted member is then served from the product cache without
+// re-execution. Exits nonzero unless every scenario completes, the death
+// was repaired without a requeue, the transient stall stayed below the
+// debounce threshold, and the service report validates.
 
 #include <cstdio>
 #include <filesystem>
@@ -52,12 +59,17 @@ int main() {
   const fs::path work = fs::temp_directory_path() / "awp-ensemble-service";
   fs::remove_all(work);
 
-  // One injected stall: the rank-1 op stream is shared by the concurrent
-  // jobs, so the 40th consult lands mid-run in one of them (typically past
-  // its step-8 checkpoint) and wedges that rank for 2 s — long past the
-  // 0.75 s watchdog timeout.
   fault::FaultPlan plan;
-  plan.stall("solver.step", /*rank=*/1, /*occurrence=*/40, /*seconds=*/2.0);
+  // Transient wedge on rank 0, shorter than the debounce window: the
+  // watchdog sees missed heartbeats but fewer than watchdogMissThreshold
+  // consecutive missed scans, so no stall episode opens and the wedged
+  // rank simply resumes.
+  plan.stall("solver.step", /*rank=*/0, /*occurrence=*/30, /*seconds=*/1.2);
+  // Fail-stop loss of rank 1 mid-ensemble: the op stream is shared by the
+  // concurrent jobs, so the 40th per-step consult lands mid-run in one of
+  // them. The supervisor respawns the rank in place and the replacement
+  // restores from its ring buddy's replica — no job requeue.
+  plan.rankDeath(/*rank=*/1, /*occurrence=*/40);
   fault::FaultInjector injector(std::move(plan));
   fault::ScopedInjection scoped(injector);
 
@@ -65,8 +77,13 @@ int main() {
   cfg.coreBudget = 8;  // four 2-rank scenarios in flight concurrently
   cfg.queueCapacity = 8;
   cfg.maxRetries = 3;
+  cfg.respawnBudget = 1;       // one in-place respawn before escalation
+  cfg.buddyCheckpoints = true; // diskless buddy restore for the replacement
   cfg.stallTimeoutSeconds = 0.75;
   cfg.watchdogPollSeconds = 0.05;
+  // Debounce: require 3 s of CONSECUTIVE missed scans before opening a
+  // stall episode, so the 1.2 s transient wedge above stays sub-threshold.
+  cfg.watchdogMissThreshold = 60;
   cfg.workDir = work.string();
   sched::ScenarioService service(cfg);
 
@@ -89,10 +106,12 @@ int main() {
                  "completed member has a PGV-H product");
   }
 
-  // The wedged rank was reported by the watchdog and the attempt retried.
-  ok &= expect(!service.stallEpisodes().empty(),
-               "watchdog recorded the injected stall");
-  ok &= expect(injector.faultsInjected() >= 1, "the stall actually fired");
+  ok &= expect(injector.faultsInjected() >= 2,
+               "both the transient stall and the rank death fired");
+  // The rank loss was repaired in place: exactly one respawn, no
+  // escalation, and ZERO job requeues anywhere in the ensemble.
+  ok &= expect(service.stallEpisodes().empty(),
+               "debounce suppressed the transient stall");
 
   // Resubmitting an unchanged member is a cache hit, not a re-run.
   auto resubmitted = service.submit(member(32, 1.0e15, "member-a-again"));
@@ -101,7 +120,9 @@ int main() {
   ok &= expect(resubmitted->cacheHit, "resubmission served from cache");
 
   const auto report = service.report();
-  ok &= expect(report.retries >= 1, "report shows the stall retry");
+  ok &= expect(report.retries == 0, "zero job requeues across the ensemble");
+  ok &= expect(report.respawns == 1, "exactly one in-place respawn");
+  ok &= expect(report.respawnEscalations == 0, "the ladder never escalated");
   ok &= expect(report.cacheHits >= 1, "report shows the cache hit");
   ok &= expect(report.completed == 4, "report counts 4 executed completions");
   const auto violations = sched::validateServiceReportJson(toJson(report));
@@ -112,10 +133,11 @@ int main() {
   const std::string reportPath = (work / "service_report.json").string();
   sched::writeServiceReportFile(reportPath, report);
   std::printf(
-      "ensemble: %llu submitted, %llu completed, %llu retries, %llu cache "
-      "hits, %zu stall episode(s); report at %s\n",
+      "ensemble: %llu submitted, %llu completed, %llu respawns, %llu "
+      "retries, %llu cache hits, %zu stall episode(s); report at %s\n",
       static_cast<unsigned long long>(report.submitted),
       static_cast<unsigned long long>(report.completed),
+      static_cast<unsigned long long>(report.respawns),
       static_cast<unsigned long long>(report.retries),
       static_cast<unsigned long long>(report.cacheHits),
       service.stallEpisodes().size(), reportPath.c_str());

@@ -147,6 +147,13 @@ void WaveSolver::attachCheckpoints(io::CheckpointStore* store,
   checkpointEvery_ = everySteps;
 }
 
+void WaveSolver::attachBuddies(io::BuddyStore* store, int everySteps) {
+  AWP_CHECK_MSG(store == nullptr || store->size() == comm_.size(),
+                "attachBuddies: store sized for a different cluster");
+  buddies_ = store;
+  buddyEvery_ = everySteps;
+}
+
 AWP_HOT void WaveSolver::velocityPhase() {
   // Halo exchanges and PML updates open nested spans, so this bucket's
   // exclusive time is the FD kernels plus free-surface images.
@@ -267,14 +274,20 @@ AWP_HOT void WaveSolver::observationPhase() {
     surfaceWriter_->writeSampleAt(sampleIndex, surfaceSample_.data(), at);
   }
 
-  if (checkpoints_ != nullptr && checkpointEvery_ > 0 && step_ > 0 &&
-      step_ % static_cast<std::size_t>(checkpointEvery_) == 0) {
+  const bool ckptDue =
+      checkpoints_ != nullptr && checkpointEvery_ > 0 && step_ > 0 &&
+      step_ % static_cast<std::size_t>(checkpointEvery_) == 0;
+  const bool buddyDue =
+      buddies_ != nullptr && buddyEvery_ > 0 && step_ > 0 &&
+      step_ % static_cast<std::size_t>(buddyEvery_) == 0;
+  if (ckptDue || buddyDue) {
     // Checkpoint veto: never persist a non-finite state. A blow-up that
     // slips a NaN into a checkpoint between poisoning and detection would
     // turn every later rollback into a restore-garbage-retry loop. The
     // veto is COLLECTIVE: if any rank is poisoned, no rank writes —
     // otherwise the clean ranks' two-generation stores rotate past the
-    // last step the poisoned rank can still restore.
+    // last step the poisoned rank can still restore. The buddy replicas
+    // share the veto for the same reason.
     telemetry::ScopedSpan span(telemetry::Phase::Checkpoint);
     bool veto = false;
     if (guard_) {
@@ -285,13 +298,75 @@ AWP_HOT void WaveSolver::observationPhase() {
     if (veto) {
       guard_->noteCheckpointVeto(step_);
     } else {
-      ScopedPhase t(phases_, Phase::Output);
-      checkpoints_->write(comm_.rank(), step_, grid_->saveState());
+      persistState(ckptDue, buddyDue);
+    }
+  }
+}
+
+void WaveSolver::persistState(bool toDisk, bool toBuddy) {
+  const auto state = grid_->saveState();
+  if (toDisk) {
+    ScopedPhase t(phases_, Phase::Output);
+    checkpoints_->write(comm_.rank(), step_, state);
+  }
+  if (!toBuddy) return;
+  buddies_->storeSelf(comm_.rank(), step_, state);
+  if (comm_.size() == 1) return;  // no partner: the self blob suffices
+  // Ring replica exchange: ship my blob to my buddy, receive my
+  // predecessor's and retain it as their replica. Deterministic order
+  // (everyone sends, then everyone receives) — buffered sends never block.
+  const int buddy = topo_.ringBuddy(comm_.rank());
+  const int pred = (comm_.rank() + comm_.size() - 1) % comm_.size();
+  comm_.sendValue(buddy, vcluster::kTagBuddySize,
+                  static_cast<std::uint64_t>(state.size()));
+  comm_.send(buddy, vcluster::kTagBuddyData, state.data(), state.size());
+  const auto n = comm_.recvValue<std::uint64_t>(pred, vcluster::kTagBuddySize);
+  std::vector<std::byte> replica(n);
+  comm_.recv(pred, vcluster::kTagBuddyData, replica.data(), n);
+  // buddy_drop site: the replica is lost in flight AFTER the wire exchange
+  // (occurrence streams are attributed to the replica's OWNER, so plans
+  // read as "drop rank R's replica").
+  if (fault::injectionEnabled()) {
+    if (auto act = fault::activeInjector()->check("buddy_drop", pred);
+        act && act->kind == fault::FaultKind::MessageDrop) {
+      buddies_->noteDrop(pred);
+      return;
+    }
+  }
+  buddies_->storeReplica(pred, step_, replica);
+  telemetry::count(telemetry::Counter::BuddyBlobsReplicated, 1);
+}
+
+void WaveSolver::stepEntryChecks() {
+  // Epoch fence before any per-rank side effect: a zombie incarnation
+  // woken after a respawn must quiesce here, before it can beat the
+  // heartbeat or write telemetry for a step the replacement re-runs.
+  comm_.fencePoint();
+  if (!fault::injectionEnabled()) return;
+  // Fault hooks: the injector can wedge this rank (RankStall — exercises
+  // the watchdog), poison one deterministic interior cell (FieldPoison —
+  // exercises blow-up detection and rollback), or kill the rank thread
+  // outright (rank_death — exercises the respawn ladder).
+  if (auto act = fault::activeInjector()->check("rank_death", comm_.rank());
+      act && act->kind == fault::FaultKind::RankDeath)
+    throw vcluster::RankDeathError(comm_.rank(), step_);
+  if (auto act =
+          fault::activeInjector()->check("solver.step", comm_.rank())) {
+    if (act->kind == fault::FaultKind::RankStall)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(act->stallSeconds));
+    if (act->kind == fault::FaultKind::FieldPoison) {
+      const auto& d = grid_->dims();
+      const std::size_t n = act->flipBit % d.count();
+      grid_->u(kHalo + n % d.nx, kHalo + (n / d.nx) % d.ny,
+               kHalo + n / (d.nx * d.ny)) =
+          std::numeric_limits<float>::quiet_NaN();
     }
   }
 }
 
 AWP_HOT void WaveSolver::step() {
+  stepEntryChecks();
   telemetry::stepMark(step_);
   telemetry::count(telemetry::Counter::CellsUpdated, grid_->dims().count());
   telemetry::count(
@@ -299,24 +374,6 @@ AWP_HOT void WaveSolver::step() {
       static_cast<std::uint64_t>(
           static_cast<double>(grid_->dims().count()) *
           flopsPerPointPerStep(config_.attenuation.enabled)));
-  // Fault hook: the injector can wedge this rank (RankStall — exercises
-  // the watchdog) or poison one deterministic interior cell (FieldPoison —
-  // exercises blow-up detection and rollback).
-  if (fault::injectionEnabled()) {
-    if (auto act =
-            fault::activeInjector()->check("solver.step", comm_.rank())) {
-      if (act->kind == fault::FaultKind::RankStall)
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(act->stallSeconds));
-      if (act->kind == fault::FaultKind::FieldPoison) {
-        const auto& d = grid_->dims();
-        const std::size_t n = act->flipBit % d.count();
-        grid_->u(kHalo + n % d.nx, kHalo + (n / d.nx) % d.ny,
-                 kHalo + n / (d.nx * d.ny)) =
-            std::numeric_limits<float>::quiet_NaN();
-      }
-    }
-  }
   // Heartbeat AFTER the fault hook: a stalled rank's last beat stays one
   // step behind its neighbors (which beat, then block in the halo
   // exchange), so the watchdog can name the origin of a stall.
@@ -471,22 +528,45 @@ void WaveSolver::run(std::size_t nSteps,
 }
 
 void WaveSolver::restart() {
-  AWP_CHECK_MSG(checkpoints_ != nullptr, "no checkpoint store attached");
+  AWP_CHECK_MSG(checkpoints_ != nullptr || buddies_ != nullptr,
+                "no checkpoint or buddy store attached");
   // True collective (§III.F): ranks may disagree on their newest valid
   // generation (one rank's newest checkpoint can be torn while its
-  // neighbors' are fine), so all ranks allreduce-agree on the newest step
-  // that is valid on *every* rank and restore that generation.
-  const auto newest = checkpoints_->newestValidStep(comm_.rank());
-  const std::int64_t mine =
-      newest ? static_cast<std::int64_t>(*newest) : std::int64_t{-1};
+  // neighbors' are fine, or a replacement rank only has its buddy's
+  // replica), so all ranks allreduce-agree on the newest step available on
+  // *every* rank and restore that generation. The diskless buddy store
+  // extends each rank's candidate set; per-rank restore prefers it and
+  // falls back to the two-generation disk store.
+  std::int64_t mine = -1;
+  if (checkpoints_ != nullptr) {
+    if (const auto newest = checkpoints_->newestValidStep(comm_.rank()))
+      mine = static_cast<std::int64_t>(*newest);
+  }
+  if (buddies_ != nullptr) {
+    if (const auto newest = buddies_->newestStep(comm_.rank()))
+      mine = std::max(mine, static_cast<std::int64_t>(*newest));
+  }
   const std::int64_t agreed =
       comm_.allreduce(mine, vcluster::ReduceOp::Min);
   AWP_CHECK_MSG(agreed >= 0,
                 "restart: some rank has no valid checkpoint generation");
-  const auto restored =
-      checkpoints_->readStep(comm_.rank(), static_cast<std::uint64_t>(agreed));
-  grid_->restoreState(restored.state);
-  step_ = restored.step + 1;
+  const auto agreedStep = static_cast<std::uint64_t>(agreed);
+  bool restoredFromBuddy = false;
+  if (buddies_ != nullptr) {
+    if (const auto blob = buddies_->restore(comm_.rank(), agreedStep)) {
+      grid_->restoreState(*blob);
+      restoredFromBuddy = true;
+      telemetry::count(telemetry::Counter::BuddyRestores, 1);
+    }
+  }
+  if (!restoredFromBuddy) {
+    AWP_CHECK_MSG(checkpoints_ != nullptr,
+                  "restart: agreed step not in the buddy store and no disk "
+                  "store attached");
+    const auto restored = checkpoints_->readStep(comm_.rank(), agreedStep);
+    grid_->restoreState(restored.state);
+  }
+  step_ = agreedStep + 1;
   if (surfaceWriter_ && surfaceOutput_) {
     // Samples before the resume point are already on disk (written by this
     // writer or by a previous attempt sharing the output file): mark the

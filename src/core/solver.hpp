@@ -28,6 +28,7 @@
 #include "grid/staggered_grid.hpp"
 #include "health/guard.hpp"
 #include "io/aggregated_writer.hpp"
+#include "io/buddy.hpp"
 #include "io/checkpoint.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/report.hpp"
@@ -107,6 +108,12 @@ class WaveSolver {
   void addReceiver(std::string name, std::size_t gi, std::size_t gj);
   void attachSurfaceOutput(const SurfaceOutputConfig& out);
   void attachCheckpoints(io::CheckpointStore* store, int everySteps);
+  // Diskless buddy checkpointing (recovery ladder rung 1): at the given
+  // cadence each rank keeps its serialized state in `store` and replicates
+  // it to its ring buddy over the cluster. restart() prefers these blobs
+  // over the on-disk store. Collective once attached: every rank must
+  // attach with the same cadence.
+  void attachBuddies(io::BuddyStore* store, int everySteps);
 
   void step();
   void run(std::size_t nSteps,
@@ -149,6 +156,15 @@ class WaveSolver {
   void velocityPhase();
   void stressPhase();
   void observationPhase();
+  // Per-step fault/fence consult (out-of-line: keeps `throw` sites off the
+  // AWP_HOT step body). Fences a zombie incarnation before it can beat the
+  // heartbeat or write spans, and services the rank_death / solver.step
+  // injection sites.
+  void stepEntryChecks();
+  // Persist this rank's serialized state to disk and/or the buddy store
+  // (includes the ring replica exchange when toBuddy). Not hot: runs on
+  // the checkpoint cadence only.
+  void persistState(bool toDisk, bool toBuddy);
   [[nodiscard]] health::PreflightContext buildPreflightContext(
       std::size_t plannedSteps) const;
   // Collective recovery from a Fatal cluster verdict: roll back to the
@@ -185,6 +201,8 @@ class WaveSolver {
 
   io::CheckpointStore* checkpoints_ = nullptr;
   int checkpointEvery_ = 0;
+  io::BuddyStore* buddies_ = nullptr;
+  int buddyEvery_ = 0;
 
   std::unique_ptr<health::HealthGuard> guard_;
   bool preflightDone_ = false;

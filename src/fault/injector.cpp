@@ -34,6 +34,7 @@ const char* toString(FaultKind kind) {
     case FaultKind::MessageDuplicate: return "MessageDuplicate";
     case FaultKind::RankStall: return "RankStall";
     case FaultKind::FieldPoison: return "FieldPoison";
+    case FaultKind::RankDeath: return "RankDeath";
   }
   return "?";
 }
@@ -66,6 +67,18 @@ FaultPlan& FaultPlan::poison(std::string site, int rank,
                              std::uint64_t occurrence) {
   return add(
       {std::move(site), FaultKind::FieldPoison, rank, occurrence, 1, 0.0});
+}
+
+FaultPlan& FaultPlan::rankDeath(int rank, std::uint64_t occurrence,
+                                std::uint64_t count) {
+  return add({"rank_death", FaultKind::RankDeath, rank, occurrence, count,
+              0.0});
+}
+
+FaultPlan& FaultPlan::buddyDrop(int rank, std::uint64_t occurrence,
+                                std::uint64_t count) {
+  return add({"buddy_drop", FaultKind::MessageDrop, rank, occurrence, count,
+              0.0});
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)

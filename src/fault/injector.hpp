@@ -16,6 +16,16 @@
 //   solver.step                        — top of each WaveSolver step
 //                                        (RankStall wedges a rank;
 //                                        FieldPoison NaNs one cell)
+//   rank_death                         — top of each WaveSolver step,
+//                                        consulted once per step per rank
+//                                        (RankDeath kills the rank thread
+//                                        so respawn ladders can be tested
+//                                        at a chosen step)
+//   buddy_drop                         — buddy-checkpoint replica receipt;
+//                                        rank attribution is the replica
+//                                        OWNER (MessageDrop loses the
+//                                        in-memory replica, forcing the
+//                                        disk fallback on restore)
 //
 // When no injector is installed every hook is a single relaxed atomic
 // load + branch, so the disabled path adds no measurable overhead to the
@@ -41,6 +51,7 @@ enum class FaultKind {
   MessageDuplicate,   // comm: the message is delivered twice
   RankStall,          // sleep stallSeconds at the site
   FieldPoison,        // solver: write NaN into one deterministic cell
+  RankDeath,          // kill the rank thread (throws RankDeathError)
 };
 
 const char* toString(FaultKind kind);
@@ -68,6 +79,15 @@ class FaultPlan {
   FaultPlan& stall(std::string site, int rank, std::uint64_t occurrence,
                    double seconds);
   FaultPlan& poison(std::string site, int rank, std::uint64_t occurrence);
+  // Kill rank `rank` at the given 1-based "rank_death" consult (one consult
+  // per solver step, so occurrence == step index within the attempt).
+  // count > 1 also kills the first count-1 respawned incarnations, which is
+  // how tests drive a respawn budget to exhaustion deterministically.
+  FaultPlan& rankDeath(int rank, std::uint64_t occurrence,
+                       std::uint64_t count = 1);
+  // Lose rank `rank`'s in-memory buddy replica at the given replication.
+  FaultPlan& buddyDrop(int rank, std::uint64_t occurrence,
+                       std::uint64_t count = 1);
 
   [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
   [[nodiscard]] bool empty() const { return specs_.empty(); }

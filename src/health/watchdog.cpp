@@ -33,12 +33,15 @@ HeartbeatBoard::Beat HeartbeatBoard::last(int rank) const {
 }
 
 Watchdog::Watchdog(const HeartbeatBoard& board, double stallTimeoutSeconds,
-                   StallFn onStall, double pollIntervalSeconds)
+                   StallFn onStall, double pollIntervalSeconds,
+                   int missThreshold)
     : board_(board),
       timeout_(stallTimeoutSeconds),
       poll_(pollIntervalSeconds),
+      missThreshold_(missThreshold),
       onStall_(std::move(onStall)) {
   AWP_CHECK(stallTimeoutSeconds > 0.0 && pollIntervalSeconds > 0.0);
+  AWP_CHECK_MSG(missThreshold >= 1, "watchdog miss threshold must be >= 1");
   thread_ = std::thread([this] { scanLoop(); });
 }
 
@@ -98,8 +101,13 @@ void Watchdog::scanLoop() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!originSeen) {
       episodeOpen_ = false;
+      missedScans_ = 0;  // debounce resets on any clean scan
       continue;
     }
+    // Debounce: require missThreshold_ consecutive stalled scans before an
+    // episode may open, so a one-scan heartbeat hiccup (respawn quiesce,
+    // slow flush) never trips the escalation ladder.
+    if (++missedScans_ < missThreshold_) continue;
     // One report per episode; a new episode needs the previous origin to
     // have beaten again (or a different origin to emerge).
     if (episodeOpen_ && episodeOrigin_ == report.rank &&

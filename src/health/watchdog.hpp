@@ -69,8 +69,13 @@ class Watchdog {
 
   // Starts the scan thread. One report is emitted per stall episode: after
   // reporting, the watchdog stays quiet until the origin rank beats again.
+  // `missThreshold` debounces verdicts: an episode opens only after that
+  // many CONSECUTIVE scans saw a stalled origin (1 = report immediately).
+  // A respawn quiesce or a slow I/O flush can age heartbeats past the
+  // timeout for one scan; debouncing keeps those from tripping the ladder.
   Watchdog(const HeartbeatBoard& board, double stallTimeoutSeconds,
-           StallFn onStall = nullptr, double pollIntervalSeconds = 0.05);
+           StallFn onStall = nullptr, double pollIntervalSeconds = 0.05,
+           int missThreshold = 1);
   ~Watchdog();
   Watchdog(const Watchdog&) = delete;
   Watchdog& operator=(const Watchdog&) = delete;
@@ -91,6 +96,8 @@ class Watchdog {
   const HeartbeatBoard& board_;
   double timeout_;
   double poll_;
+  int missThreshold_;
+  int missedScans_ = 0;  // consecutive scans with a stalled origin
   StallFn onStall_;
   std::atomic<bool> stop_{false};
   mutable std::mutex mutex_;

@@ -86,6 +86,11 @@ struct JobState {
   JobPhase phase = JobPhase::Queued;
   int attempts = 0;            // attempts started
   std::vector<RequeueEvent> requeues;
+  // Recovery-ladder bookkeeping: in-place rank respawns absorbed by this
+  // job's attempts (no requeue), and escalations where the ladder gave up
+  // and fell back to cancel-and-requeue.
+  int respawns = 0;
+  int respawnEscalations = 0;
   bool cacheHit = false;       // served from the product cache
   bool coalesced = false;      // merged into an in-flight identical spec
   double dtOverride = 0.0;     // next attempt's dt (0 = spec/CFL default)

@@ -51,6 +51,8 @@ std::string toJson(const ServiceReport& report) {
   os << "  \"cache_hits\": " << report.cacheHits << ",\n";
   os << "  \"coalesced\": " << report.coalesced << ",\n";
   os << "  \"retries\": " << report.retries << ",\n";
+  os << "  \"respawns\": " << report.respawns << ",\n";
+  os << "  \"respawn_escalations\": " << report.respawnEscalations << ",\n";
   os << "  \"executed_attempts\": " << report.executedAttempts << ",\n";
   os << "  \"throughput_per_second\": "
      << fmtDouble(report.throughputPerSecond) << ",\n";
@@ -74,6 +76,7 @@ std::string toJson(const ServiceReport& report) {
        << "\"phase\": \"" << escapeJson(j.phase) << "\", "
        << "\"attempts\": " << j.attempts << ", "
        << "\"retries\": " << j.retries << ", "
+       << "\"respawns\": " << j.respawns << ", "
        << "\"cache_hit\": " << (j.cacheHit ? "true" : "false") << ", "
        << "\"coalesced\": " << (j.coalesced ? "true" : "false") << ", "
        << "\"completed_steps\": " << j.completedSteps << ", "
@@ -191,6 +194,8 @@ std::vector<std::string> validateServiceReportJson(const std::string& text) {
   nonNegativeMember(root, "report", "cache_hits", out, &cacheHits);
   nonNegativeMember(root, "report", "coalesced", out, &coalescedN);
   nonNegativeMember(root, "report", "retries", out, &scratch);
+  nonNegativeMember(root, "report", "respawns", out, &scratch);
+  nonNegativeMember(root, "report", "respawn_escalations", out, &scratch);
   nonNegativeMember(root, "report", "executed_attempts", out, &scratch);
   nonNegativeMember(root, "report", "throughput_per_second", out, &scratch);
   // Every submission has exactly one terminal outcome.
@@ -249,11 +254,16 @@ std::vector<std::string> validateServiceReportJson(const std::string& text) {
     if (stringMember(j, context, "phase", out, &s) && !knownPhaseName(s))
       out.push_back(context + ": unknown phase '" + s + "'");
     numberMember(j, context, "priority", out, &scratch);
-    double attempts = 0, retries = 0;
+    double attempts = 0, retries = 0, respawns = 0;
     nonNegativeMember(j, context, "attempts", out, &attempts);
     nonNegativeMember(j, context, "retries", out, &retries);
     if (retries > attempts)
       out.push_back(context + ": retries exceed attempts");
+    nonNegativeMember(j, context, "respawns", out, &respawns);
+    // An in-place respawn happens inside a running attempt, so a job that
+    // never started an attempt cannot have absorbed one.
+    if (respawns > 0.5 && attempts < 0.5)
+      out.push_back(context + ": respawns without attempts");
     boolMember(j, context, "cache_hit", out);
     boolMember(j, context, "coalesced", out);
     nonNegativeMember(j, context, "completed_steps", out, &scratch);

@@ -22,6 +22,7 @@ struct JobRow {
   std::string phase;     // terminal JobPhase name
   int attempts = 0;
   int retries = 0;       // requeue count
+  int respawns = 0;      // in-place rank respawns absorbed by this job
   bool cacheHit = false;
   bool coalesced = false;
   std::uint64_t completedSteps = 0;
@@ -41,6 +42,10 @@ struct ServiceReport {
   std::uint64_t cacheHits = 0;   // product-cache served submissions
   std::uint64_t coalesced = 0;   // merged into an in-flight identical spec
   std::uint64_t retries = 0;     // requeue events across all jobs
+  // Recovery ladder: single-rank losses repaired in place (no requeue),
+  // and losses that escalated to the cancel-and-requeue path.
+  std::uint64_t respawns = 0;
+  std::uint64_t respawnEscalations = 0;
   std::uint64_t executedAttempts = 0;  // attempts actually run on workers
   double throughputPerSecond = 0.0;    // completed / wallSeconds
 

@@ -1,6 +1,7 @@
 #include "sched/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
@@ -10,6 +11,7 @@
 #include "core/solver.hpp"
 #include "core/source.hpp"
 #include "fault/injector.hpp"
+#include "io/buddy.hpp"
 #include "io/checkpoint.hpp"
 #include "io/shared_file.hpp"
 #include "mesh/partitioner.hpp"
@@ -19,6 +21,7 @@
 #include "util/hot.hpp"
 #include "vcluster/cart.hpp"
 #include "vcluster/cluster.hpp"
+#include "vcluster/respawn.hpp"
 #include "vmodel/cvm.hpp"
 
 namespace awp::sched {
@@ -133,6 +136,9 @@ ServiceConfig ServiceConfig::fromRuntime(const core::RuntimeConfig& rc) {
   c.stallTimeoutSeconds = rc.sched.stallTimeoutSeconds;
   c.cancelCheckEverySteps = rc.sched.cancelCheckEverySteps;
   c.retryDtTighten = rc.sched.retryDtTighten;
+  c.respawnBudget = rc.sched.respawnBudget;
+  c.buddyCheckpoints = rc.sched.respawnBuddy;
+  c.watchdogMissThreshold = rc.solver.health.watchdogMissThreshold;
   c.cacheProducts = rc.sched.cacheProducts;
   c.cacheDir = rc.sched.cacheDir;
   c.workDir = rc.sched.workDir;
@@ -313,6 +319,21 @@ void ScenarioService::workerMain(Dispatch d) {
                    /*countedPrimary=*/true);
   } catch (const CancelledError& e) {
     maybeRequeue(d.job, e.cause(), e.step(), e.what());
+  } catch (const vcluster::RespawnExhaustedError& e) {
+    // Ladder rung 2: the in-place respawn budget is spent. Fall back to
+    // the legacy cancel-and-requeue path with the loss's attribution.
+    {
+      std::lock_guard<std::mutex> lock(d.job->mutex);
+      ++d.job->respawnEscalations;
+    }
+    telemetry::count(telemetry::Counter::RespawnEscalations);
+    recordRecoveryInstant(
+        "respawn escalation rank " + std::to_string(e.rank()),
+        std::chrono::steady_clock::now());
+    maybeRequeue(d.job,
+                 e.cause() == "stall" ? RequeueCause::Stall
+                                      : RequeueCause::WorkerCrash,
+                 d.job->lastStep.load(std::memory_order_relaxed), e.what());
   } catch (const Error& e) {
     if (d.job->spec.kind == ScenarioKind::Rupture) {
       // Rupture attempts have no checkpoint to resume from: errors are
@@ -362,10 +383,63 @@ ScenarioProducts ScenarioService::attemptWave(JobState& job, int coreBase) {
               spec.dims.count() * sizeof(vmodel::Material));
   }
 
-  // Per-attempt heartbeat board + watchdog. A stall episode requests a
-  // collective cancel; injected stalls are transient, so the wedged rank
-  // wakes, reaches the cancel-check allreduce, and every rank unwinds
-  // together.
+  // Recovery ladder: with a respawn budget the attempt runs under a
+  // SupervisedCluster, a dead/stalled rank is respawned in place, and the
+  // replacement restores disklessly from its ring buddy's in-memory blob
+  // (disk checkpoints are the fallback). The buddy store is fresh per
+  // attempt so a requeued attempt never restores stale state.
+  const bool useLadder = config_.respawnBudget > 0;
+  const bool useBuddies =
+      config_.buddyCheckpoints && spec.checkpointEverySteps > 0;
+  io::BuddyStore buddies(spec.nranks);
+
+  // Quiesce spans bracket a survivor rank's wait at the respawn fence.
+  // awplint: manual-span(the wait spans the unwound rank fn's scope; the fenced frame stack is reset before begin)
+  std::vector<telemetry::ManualSpan> quiesceSpans(
+      static_cast<std::size_t>(spec.nranks));
+
+  std::unique_ptr<vcluster::SupervisedCluster> cluster;
+  if (useLadder) {
+    vcluster::SupervisorOptions opts;
+    opts.respawnBudget = config_.respawnBudget;
+    opts.onRespawn = [this, &job, &buddies,
+                      useBuddies](const vcluster::RespawnEvent& ev) {
+      // A dead rank's in-memory blob died with it (this hook runs before
+      // the replacement thread exists, so the restore below it cannot see
+      // the stale self copy): the replacement restores from the ring
+      // buddy's replica, or from disk. A stall respawn loses no memory.
+      if (useBuddies && ev.cause == "rank-death") buddies.noteDeath(ev.rank);
+      {
+        std::lock_guard<std::mutex> lock(job.mutex);
+        ++job.respawns;
+      }
+      telemetry::count(telemetry::Counter::RankRespawns);
+      recordRecoveryInstant("respawn rank " + std::to_string(ev.rank) +
+                                " (" + ev.cause + ")",
+                            ev.at);
+    };
+    opts.onQuiesce = [&quiesceSpans](int rank, bool entering) {
+      auto& span = quiesceSpans[static_cast<std::size_t>(rank)];
+      if (entering) {
+        // The fenced rank's fn just unwound, leaving its frame stack
+        // dangling on the slot: reset before opening the quiesce span
+        // (close() chases the parent frame pointer).
+        telemetry::resetThreadSpans();
+        span.begin(telemetry::Phase::RespawnQuiesce);
+      } else {
+        span.end();
+      }
+    };
+    cluster =
+        std::make_unique<vcluster::SupervisedCluster>(spec.nranks, opts);
+  }
+
+  // Per-attempt heartbeat board + watchdog. A stall episode first asks
+  // the supervisor for an in-place respawn (ladder rung 1); only when the
+  // budget is spent — or the ladder is off — does it request a collective
+  // cancel. Injected stalls are transient, so on the cancel path the
+  // wedged rank wakes, reaches the cancel-check allreduce, and every rank
+  // unwinds together.
   health::HeartbeatBoard board(spec.nranks);
   // Heartbeats stop when the step loop ends, so the post-run epilogue
   // (gather, product assembly) would eventually look like a stall; the
@@ -375,12 +449,15 @@ ScenarioProducts ScenarioService::attemptWave(JobState& job, int coreBase) {
   if (config_.stallTimeoutSeconds > 0.0)
     dog = std::make_unique<health::Watchdog>(
         board, config_.stallTimeoutSeconds,
-        [this, &job, &attemptDone](const health::StallReport& r) {
+        [this, &job, &attemptDone,
+         sup = cluster.get()](const health::StallReport& r) {
           if (attemptDone.load(std::memory_order_relaxed)) return;
           recordStall(r);
+          if (sup != nullptr && sup->requestRespawn(r.rank, "stall"))
+            return;
           job.requestCancel(RequeueCause::Stall);
         },
-        config_.watchdogPollSeconds);
+        config_.watchdogPollSeconds, config_.watchdogMissThreshold);
 
   io::CheckpointStore checkpoints((fs::path(jobDir) / "ckpt").string());
   const std::string surfacePath =
@@ -392,8 +469,11 @@ ScenarioProducts ScenarioService::attemptWave(JobState& job, int coreBase) {
     dtOverride = job.dtOverride;
   }
 
-  vcluster::ThreadCluster::run(
-      spec.nranks, [&](vcluster::Communicator& comm) {
+  // The same rank function runs under either cluster flavour; after a
+  // respawn the supervisor re-enters it from the top, so the checkpoint
+  // agreement below doubles as the collective recovery fence.
+  const vcluster::ThreadCluster::RankFn rankFn =
+      [&](vcluster::Communicator& comm) {
         // Concurrent jobs share one telemetry session sized to the core
         // budget: shift this job's ranks onto its lease's slot range, and
         // clear any frame stack a previous (possibly unwound) attempt left
@@ -415,6 +495,8 @@ ScenarioProducts ScenarioService::attemptWave(JobState& job, int coreBase) {
         config.health.monitor.everySteps = spec.healthEverySteps;
         config.health.maxRollbacks = spec.maxRollbacks;
         config.health.stallTimeoutSeconds = config_.stallTimeoutSeconds;
+        config.health.watchdogMissThreshold = config_.watchdogMissThreshold;
+        config.health.respawnBudget = config_.respawnBudget;
         config.health.heartbeats = &board;
         config.telemetry.emitAggregates = false;
 
@@ -470,11 +552,19 @@ ScenarioProducts ScenarioService::attemptWave(JobState& job, int coreBase) {
         if (spec.checkpointEverySteps > 0) {
           solver->attachCheckpoints(&checkpoints,
                                     spec.checkpointEverySteps);
+          if (useBuddies)
+            solver->attachBuddies(&buddies, spec.checkpointEverySteps);
           // Collective resume agreement: restart only when EVERY rank has
-          // a valid generation (a fresh job has none anywhere).
-          const std::int64_t have =
+          // a valid generation somewhere — on disk or in buddy memory (a
+          // fresh job has none anywhere). After a respawn every rank
+          // re-enters here, so this allreduce is the recovery fence.
+          std::int64_t have =
               checkpoints.newestValidStep(comm.rank()).has_value() ? 1 : 0;
+          if (useBuddies && buddies.newestStep(comm.rank()).has_value())
+            have = 1;
+          // awplint: collective-uniform(every rank reaches this agreement unconditionally on entering the rank fn; the rank-dependent early returns the linter sees are inside the watchdog callback lambda, not on this path)
           if (comm.allreduce(have, vcluster::ReduceOp::Min) == 1)
+            // awplint: collective-uniform(restart is gated on the allreduce-Min agreement immediately above, so all ranks take it together)
             solver->restart();
         }
 
@@ -508,7 +598,12 @@ ScenarioProducts ScenarioService::attemptWave(JobState& job, int coreBase) {
               throw CancelledError(static_cast<RequeueCause>(flag), step);
           }
         });
-      });
+      };
+
+  if (cluster != nullptr)
+    cluster->run(rankFn);
+  else
+    vcluster::ThreadCluster::run(spec.nranks, rankFn);
   attemptDone.store(true, std::memory_order_relaxed);
   if (dog) dog->stop();
 
@@ -671,6 +766,20 @@ void ScenarioService::recordStall(const health::StallReport& report) {
   stalls_.push_back(report);
 }
 
+void ScenarioService::recordRecoveryInstant(
+    const std::string& name, std::chrono::steady_clock::time_point at) {
+  const telemetry::Session* session = telemetry::activeSession();
+  if (session == nullptr) return;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      at - session->epoch())
+                      .count();
+  telemetry::InstantEvent ev;
+  ev.name = name;
+  ev.tsNs = ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+  std::lock_guard<std::mutex> lock(recoveryMu_);
+  recoveryInstants_.push_back(std::move(ev));
+}
+
 std::vector<health::StallReport> ScenarioService::stallEpisodes() const {
   std::lock_guard<std::mutex> lock(stallMu_);
   return stalls_;
@@ -697,9 +806,15 @@ void ScenarioService::shutdown() {
   dispatchCv_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
   if (ownedSession_ != nullptr) {
-    if (!config_.chromeTracePath.empty())
+    if (!config_.chromeTracePath.empty()) {
+      std::vector<telemetry::InstantEvent> instants;
+      {
+        std::lock_guard<std::mutex> lock(recoveryMu_);
+        instants = recoveryInstants_;
+      }
       telemetry::writeChromeTraceFile(config_.chromeTracePath,
-                                      *ownedSession_);
+                                      *ownedSession_, instants);
+    }
     telemetry::installSession(nullptr);
   }
 }
@@ -729,6 +844,7 @@ ServiceReport ScenarioService::report() const {
     row.phase = toString(j->phase);
     row.attempts = j->attempts;
     row.retries = static_cast<int>(j->requeues.size());
+    row.respawns = j->respawns;
     row.cacheHit = j->cacheHit;
     row.coalesced = j->coalesced;
     if (j->phase == JobPhase::Completed)
@@ -747,6 +863,9 @@ ServiceReport ScenarioService::report() const {
     }
     row.error = j->error;
     r.retries += j->requeues.size();
+    r.respawns += static_cast<std::uint64_t>(j->respawns);
+    r.respawnEscalations +=
+        static_cast<std::uint64_t>(j->respawnEscalations);
     // Disjoint outcome classes (cache-served and coalesced submissions
     // complete without executing): completed counts executed completions.
     if (j->cacheHit) {

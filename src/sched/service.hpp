@@ -35,6 +35,7 @@
 #include "sched/job.hpp"
 #include "sched/queue.hpp"
 #include "sched/report.hpp"
+#include "telemetry/chrome_trace.hpp"
 #include "telemetry/registry.hpp"
 #include "util/timer.hpp"
 
@@ -51,6 +52,18 @@ struct ServiceConfig {
   double watchdogPollSeconds = 0.05;
   int cancelCheckEverySteps = 2;    // collective cancel-poll cadence
   double retryDtTighten = 0.5;      // dt scale on fatal-verdict requeue
+  // Recovery ladder (wave attempts): in-place rank respawns allowed per
+  // attempt before a loss escalates to cancel-and-requeue. Separate from
+  // maxRetries — a respawn repairs the RUNNING attempt; a retry restarts
+  // it. 0 = legacy behaviour (every loss cancels the attempt).
+  int respawnBudget = 1;
+  // Diskless buddy checkpointing at the job's checkpoint cadence: each
+  // rank replicates its state blob to its ring buddy in memory, so a
+  // respawned rank restores without touching the two-generation disk
+  // store (which remains the fallback).
+  bool buddyCheckpoints = true;
+  // Watchdog debounce: consecutive stalled scans before an episode opens.
+  int watchdogMissThreshold = 1;
   bool cacheProducts = true;        // memoize completed scenario products
   std::string cacheDir;             // "" = in-memory artifact cache only
   std::string workDir;              // "" = <tmp>/awp-sched
@@ -118,6 +131,11 @@ class ScenarioService {
                       const std::string& error, ScenarioProducts products,
                       bool countedPrimary);
   void recordStall(const health::StallReport& report);
+  // Respawn/escalation markers for the chrome trace's service lane; `at`
+  // is converted to ns since the active telemetry session's epoch (no-op
+  // without a session).
+  void recordRecoveryInstant(const std::string& name,
+                             std::chrono::steady_clock::time_point at);
   [[nodiscard]] std::string jobDirFor(const std::string& hash) const;
 
   ServiceConfig config_;
@@ -147,6 +165,9 @@ class ScenarioService {
 
   mutable std::mutex stallMu_;
   std::vector<health::StallReport> stalls_;
+
+  mutable std::mutex recoveryMu_;
+  std::vector<telemetry::InstantEvent> recoveryInstants_;
 
   std::atomic<std::uint64_t> submitSeq_{0};
   std::atomic<std::uint64_t> executedAttempts_{0};

@@ -14,10 +14,21 @@
 
 namespace awp::telemetry {
 
+// A point-in-time marker rendered as a chrome-trace instant event
+// ("ph":"i") on the service lane — respawn and escalation episodes use
+// these, since they are moments in the supervisor's timeline rather than
+// any rank's span.
+struct InstantEvent {
+  std::string name;
+  std::uint64_t tsNs = 0;  // ns since the session epoch
+};
+
 // Render every slot of the session (ranks 0..nranks-1 plus the off-rank
 // slot as lane nranks, named "service"). Call after the rank threads have
 // joined — trace rings are single-writer and read here without locks.
-[[nodiscard]] std::string toChromeTrace(const Session& session);
+// `instants` (optional) are drawn on the service lane.
+[[nodiscard]] std::string toChromeTrace(
+    const Session& session, const std::vector<InstantEvent>& instants = {});
 
 // Same conversion from JSONL trace lines (the writeTraceFile format):
 // one span object per line, possibly concatenated from several per-rank
@@ -25,7 +36,9 @@ namespace awp::telemetry {
 // maps to the "service" lane). Throws awp::Error on malformed lines.
 [[nodiscard]] std::string chromeTraceFromJsonl(const std::string& jsonl);
 
-// Write toChromeTrace(session) to `path` atomically (tmp + rename).
-void writeChromeTraceFile(const std::string& path, const Session& session);
+// Write toChromeTrace(session, instants) to `path` atomically (tmp +
+// rename).
+void writeChromeTraceFile(const std::string& path, const Session& session,
+                          const std::vector<InstantEvent>& instants = {});
 
 }  // namespace awp::telemetry

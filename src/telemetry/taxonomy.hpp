@@ -28,6 +28,7 @@ enum class Phase : std::size_t {
   RollbackReplay,      // re-execution window after a rollback
   SchedQueue,          // scenario-service admission-queue pop
   SchedDispatch,       // scenario-service lease dispatch + job launch
+  RespawnQuiesce,      // surviving rank fenced at the respawn epoch fence
   kCount
 };
 
@@ -38,7 +39,7 @@ inline constexpr std::array<std::string_view, kPhaseCount> kPhaseJsonNames = {
     "velocity_kernel", "stress_kernel", "halo_pack",   "halo_exchange",
     "halo_unpack",     "absorb",        "rupture",     "checkpoint",
     "output",          "health_scan",   "transfer",    "rollback_replay",
-    "sched_queue",     "sched_dispatch"};
+    "sched_queue",     "sched_dispatch", "respawn_quiesce"};
 
 [[nodiscard]] inline std::string_view toString(Phase p) {
   return kPhaseJsonNames[static_cast<std::size_t>(p)];
@@ -69,6 +70,10 @@ enum class Counter : std::size_t {
   ScenarioRetries,       // requeues after crash/stall/fatal verdicts
   ScenarioCacheHits,     // completed specs served from the artifact cache
   ArtifactCacheHits,     // shared-artifact (mesh/material) cache hits
+  RankRespawns,          // in-place rank respawns (recovery ladder rung 2)
+  RespawnEscalations,    // respawn ladder fell back to cancel-and-requeue
+  BuddyBlobsReplicated,  // checkpoint blobs shipped to the ring buddy
+  BuddyRestores,         // restarts served from the in-memory buddy store
   kCount
 };
 
@@ -84,7 +89,9 @@ inline constexpr std::array<std::string_view, kCounterCount>
         "rollbacks",          "dt_tighten_events",  "dt_rewiden_events",
         "observations_rewritten", "spans_dropped",
         "scenarios_submitted", "scenarios_completed", "scenarios_rejected",
-        "scenario_retries",   "scenario_cache_hits", "artifact_cache_hits"};
+        "scenario_retries",   "scenario_cache_hits", "artifact_cache_hits",
+        "rank_respawns",      "respawn_escalations",
+        "buddy_blobs_replicated", "buddy_restores"};
 
 [[nodiscard]] inline std::string_view toString(Counter c) {
   return kCounterJsonNames[static_cast<std::size_t>(c)];

@@ -39,6 +39,14 @@ class CartTopology {
   // Returns -1 at a non-periodic boundary.
   [[nodiscard]] int neighbor(int rank, int axis, int dir) const;
 
+  // Buddy-checkpoint partner: the next rank on the periodic ring through
+  // the topology's rank ordering. Guarantees a single cycle covering every
+  // rank (unlike face neighbors, which dead-end at domain boundaries), so
+  // each rank holds exactly one replica and is held by exactly one peer.
+  [[nodiscard]] int ringBuddy(int rank) const {
+    return (rank + 1) % dims_.total();
+  }
+
   // Block range owned by coordinate `coord` when `n` points are split over
   // `parts` blocks (remainder spread over the lowest coordinates).
   static Range blockRange(std::size_t n, int parts, int coord);

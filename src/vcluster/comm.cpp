@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "fault/injector.hpp"
+#include "util/hot.hpp"
 
 namespace awp::vcluster {
 
@@ -13,16 +14,33 @@ ClusterState::ClusterState(int nranks)
     : size(nranks), barrier(nranks) {
   AWP_CHECK(nranks > 0);
   mailboxes.reserve(static_cast<std::size_t>(nranks));
-  for (int i = 0; i < nranks; ++i)
+  for (int i = 0; i < nranks; ++i) {
     mailboxes.push_back(std::make_unique<Mailbox>());
+    mailboxes.back()->setFencedCounter(&stats.messagesFenced);
+  }
+}
+
+AWP_HOT bool Communicator::fenced() const {
+  return state_->epoch.load(std::memory_order_acquire) != epochSeen_;
+}
+
+void Communicator::throwFenced() const {
+  throw EpochFenced(rank_, epochSeen_,
+                    state_->epoch.load(std::memory_order_acquire));
+}
+
+void Communicator::fencePoint() const {
+  if (fenced()) throwFenced();
 }
 
 void Communicator::send(int dest, int tag, const void* data,
                         std::size_t bytes) {
   AWP_CHECK_MSG(dest >= 0 && dest < size(), "send: destination out of range");
+  fencePoint();
   Message msg;
   msg.src = rank_;
   msg.tag = tag;
+  msg.epoch = epochSeen_;
   msg.payload.resize(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
 
@@ -66,8 +84,10 @@ void Communicator::send(int dest, int tag, const void* data,
 
 void Communicator::recv(int src, int tag, void* data, std::size_t bytes) {
   AWP_CHECK_MSG(src >= 0 && src < size(), "recv: source out of range");
+  fencePoint();
   Message msg =
-      state_->mailboxes[static_cast<std::size_t>(rank_)]->popMatch(src, tag);
+      state_->mailboxes[static_cast<std::size_t>(rank_)]->popMatch(
+          src, tag, EpochGuard{&state_->epoch, epochSeen_});
   AWP_CHECK_MSG(msg.payload.size() == bytes,
                 "recv: payload size mismatch for (src, tag) envelope");
   if (bytes > 0) std::memcpy(data, msg.payload.data(), bytes);
@@ -108,6 +128,23 @@ void Communicator::waitAll(std::span<Request> reqs) {
 
 void Communicator::barrier() {
   state_->stats.barriers.fetch_add(1, std::memory_order_relaxed);
+  if (state_->interruptibleBarrier) {
+    // Message-based barrier: every blocking wait goes through a mailbox,
+    // so a respawn epoch bump can wake and fence it. A std::barrier wait
+    // cannot be interrupted, which would deadlock survivors whenever a
+    // rank dies between their arrival and its own.
+    fencePoint();
+    const std::uint8_t token = 1;
+    if (rank_ == 0) {
+      for (int r = 1; r < size(); ++r)
+        (void)recvValue<std::uint8_t>(r, kTagBarrierBase);
+      for (int r = 1; r < size(); ++r) sendValue(r, kTagBarrierBase, token);
+    } else {
+      sendValue(0, kTagBarrierBase, token);
+      (void)recvValue<std::uint8_t>(0, kTagBarrierBase);
+    }
+    return;
+  }
   state_->barrier.arrive_and_wait();
 }
 

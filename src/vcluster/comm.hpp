@@ -31,6 +31,8 @@ struct CommStats {
   // delivered twice. Always zero when no injector is installed.
   std::atomic<std::uint64_t> messagesDropped{0};
   std::atomic<std::uint64_t> messagesDuplicated{0};
+  // Dead-incarnation mail discarded by epoch fencing (respawn recovery).
+  std::atomic<std::uint64_t> messagesFenced{0};
 
   void reset() {
     messagesSent = 0;
@@ -38,10 +40,12 @@ struct CommStats {
     barriers = 0;
     messagesDropped = 0;
     messagesDuplicated = 0;
+    messagesFenced = 0;
   }
 };
 
-// Shared state for one virtual cluster; owned by ThreadCluster.
+// Shared state for one virtual cluster; owned by ThreadCluster (where the
+// epoch stays 0 forever) or SupervisedCluster (which bumps it on respawn).
 struct ClusterState {
   explicit ClusterState(int nranks);
 
@@ -49,6 +53,14 @@ struct ClusterState {
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   std::barrier<> barrier;
   CommStats stats;
+  // Cluster incarnation epoch (see epoch.hpp). Bumped by the respawn
+  // supervisor; Communicators built before the bump fence on their next
+  // communication call.
+  std::atomic<std::uint64_t> epoch{0};
+  // When set, barrier() synchronizes over mailboxes (fence-interruptible)
+  // instead of the native std::barrier, which cannot be woken by a
+  // respawn. SupervisedCluster sets this before launching rank threads.
+  bool interruptibleBarrier = false;
 };
 
 enum class ReduceOp { Sum, Min, Max };
@@ -70,11 +82,30 @@ class Request {
 
 class Communicator {
  public:
-  Communicator(int rank, ClusterState* state) : rank_(rank), state_(state) {}
+  Communicator(int rank, ClusterState* state)
+      : rank_(rank),
+        state_(state),
+        epochSeen_(state->epoch.load(std::memory_order_acquire)) {}
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const { return state_->size; }
   [[nodiscard]] CommStats& stats() const { return state_->stats; }
+
+  // --- Incarnation epoch (respawn fencing; see epoch.hpp) -----------------
+  // The epoch this Communicator is operating under.
+  [[nodiscard]] std::uint64_t epoch() const { return epochSeen_; }
+  // True when the cluster epoch moved past this incarnation. Registered
+  // hot path: one atomic load, no allocation, no throw.
+  [[nodiscard]] bool fenced() const;
+  // Throw EpochFenced if fenced; called at the top of every communication
+  // primitive and at the solver's per-step fence point, so a woken zombie
+  // quiesces before touching shared per-rank state.
+  void fencePoint() const;
+  // Adopt the current cluster epoch (a surviving rank resuming after a
+  // respawn decision, or a replacement joining fresh).
+  void adoptEpoch() {
+    epochSeen_ = state_->epoch.load(std::memory_order_acquire);
+  }
 
   // --- Point-to-point -----------------------------------------------------
   void send(int dest, int tag, const void* data, std::size_t bytes);
@@ -122,16 +153,21 @@ class Communicator {
  private:
   template <typename T>
   T allreduceImpl(T value, ReduceOp op);
+  [[noreturn]] void throwFenced() const;
 
   int rank_;
   ClusterState* state_;
+  std::uint64_t epochSeen_;
 };
 
 // Internal tag space for collectives; user tags must be >= 0.
-inline constexpr int kTagBarrierBase = -1;  // unused, barrier is native
+inline constexpr int kTagBarrierBase = -1;  // interruptible-barrier rounds
 inline constexpr int kTagReduce = -2;
 inline constexpr int kTagBcast = -3;
 inline constexpr int kTagGatherSize = -4;
 inline constexpr int kTagGatherData = -5;
+// Buddy-checkpoint replica exchange (io::BuddyStore via the solver).
+inline constexpr int kTagBuddySize = -6;
+inline constexpr int kTagBuddyData = -7;
 
 }  // namespace awp::vcluster

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "fault/injector.hpp"
+#include "util/hot.hpp"
 
 namespace awp::vcluster {
 
@@ -15,18 +16,40 @@ void Mailbox::push(Message msg) {
   cv_.notify_all();
 }
 
-bool Mailbox::extractLocked(int src, int tag, Message& out) {
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (it->src == src && it->tag == tag) {
-      out = std::move(*it);
-      queue_.erase(it);
-      return true;
+bool Mailbox::extractLocked(int src, int tag, std::uint64_t epoch,
+                            Message& out) {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->src != src || it->tag != tag) {
+      ++it;
+      continue;
     }
+    if (it->epoch < epoch) {
+      // Mail from a dead incarnation: discard so a replayed exchange under
+      // the new epoch cannot consume a stale payload.
+      it = queue_.erase(it);
+      if (fencedCounter_ != nullptr)
+        fencedCounter_->fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (it->epoch > epoch) {
+      // Mail from a NEWER incarnation than this receiver: leave it queued
+      // for the receiver's post-resume replay (the receiver is about to
+      // fence out of this wait).
+      ++it;
+      continue;
+    }
+    out = std::move(*it);
+    queue_.erase(it);
+    return true;
   }
   return false;
 }
 
 Message Mailbox::popMatch(int src, int tag) {
+  return popMatch(src, tag, EpochGuard{});
+}
+
+Message Mailbox::popMatch(int src, int tag, const EpochGuard& guard) {
   if (fault::injectionEnabled()) {
     // Receive-side stall: this rank goes quiet for a while before it starts
     // waiting, letting chaos tests model a slow/hung peer (§III.F).
@@ -38,13 +61,54 @@ Message Mailbox::popMatch(int src, int tag) {
   }
   std::unique_lock<std::mutex> lock(mutex_);
   Message out;
-  cv_.wait(lock, [&] { return extractLocked(src, tag, out); });
+  bool got = false;
+  cv_.wait(lock, [&] {
+    // Fence first: a fenced receiver must never consume a message, even a
+    // matching one — the replacement incarnation will re-run the exchange.
+    if (guard.fenced()) return true;
+    got = extractLocked(src, tag, guard.mine, out);
+    return got;
+  });
+  if (!got)
+    throw EpochFenced(fault::threadRank(), guard.mine,
+                      guard.current->load(std::memory_order_acquire));
   return out;
 }
 
 bool Mailbox::tryPopMatch(int src, int tag, Message& out) {
+  // Epoch-agnostic (diagnostic/test path): first (src, tag) match wins.
   std::lock_guard<std::mutex> lock(mutex_);
-  return extractLocked(src, tag, out);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->src == src && it->tag == tag) {
+      out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+AWP_HOT void Mailbox::wakeAll() {
+  // Take the lock briefly so a waiter past its predicate check cannot miss
+  // the notification, then notify outside the critical section.
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::purgeBelow(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->epoch < epoch) {
+      it = queue_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0 && fencedCounter_ != nullptr)
+    fencedCounter_->fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
 }
 
 std::size_t Mailbox::depth() const {

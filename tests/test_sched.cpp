@@ -462,6 +462,19 @@ TEST(ServiceReportJson, ValidatorAcceptsWellFormedAndFlagsViolations) {
   badRetries.jobs[0].retries = 7;  // > attempts
   EXPECT_FALSE(validateServiceReportJson(toJson(badRetries)).empty());
 
+  // Respawn metrics: well-formed counts pass, impossible ones are flagged.
+  ServiceReport withRespawns = report;
+  withRespawns.respawns = 2;
+  withRespawns.respawnEscalations = 1;
+  withRespawns.jobs[0].respawns = 2;
+  EXPECT_TRUE(validateServiceReportJson(toJson(withRespawns)).empty());
+
+  ServiceReport badRespawns = report;
+  badRespawns.jobs[0].attempts = 0;
+  badRespawns.jobs[0].retries = 0;
+  badRespawns.jobs[0].respawns = 1;  // respawn inside an attempt that never ran
+  EXPECT_FALSE(validateServiceReportJson(toJson(badRespawns)).empty());
+
   EXPECT_FALSE(validateServiceReportJson("{ not json").empty());
   EXPECT_FALSE(validateServiceReportJson("[1,2]").empty());
 }
@@ -608,6 +621,10 @@ TEST(ScenarioService, StallRequeuesAndResumesBitIdentical) {
   cfg.workDir = stallWork.string();
   cfg.stallTimeoutSeconds = 0.4;
   cfg.watchdogPollSeconds = 0.02;
+  // This test pins the LEGACY rung of the recovery ladder (collective
+  // cancel + requeue); the in-place respawn rung is covered by
+  // test_respawn.cpp.
+  cfg.respawnBudget = 0;
   ScenarioService service(cfg);
   auto job = service.submit(spec);
   ASSERT_EQ(job->wait(), JobPhase::Completed);
