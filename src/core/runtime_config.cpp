@@ -232,6 +232,35 @@ RuntimeConfig parseRuntimeConfig(const std::string& text,
       config.sched.cacheDir = rawValue;
     } else if (key == "sched_work_dir") {
       config.sched.workDir = rawValue;
+    } else if (key == "fabric_brokers") {
+      config.fabric.brokers = parseInt(value, lineNo);
+      if (config.fabric.brokers < 1)
+        fail(lineNo, "fabric_brokers must be >= 1");
+    } else if (key == "fabric_vnodes") {
+      config.fabric.vnodes = parseInt(value, lineNo);
+      if (config.fabric.vnodes < 1) fail(lineNo, "fabric_vnodes must be >= 1");
+    } else if (key == "fabric_lease_seconds") {
+      config.fabric.leaseSeconds = parseDouble(value, lineNo);
+      if (config.fabric.leaseSeconds <= 0.0)
+        fail(lineNo, "fabric_lease_seconds must be > 0");
+    } else if (key == "fabric_heartbeat_seconds") {
+      config.fabric.heartbeatSeconds = parseDouble(value, lineNo);
+      if (config.fabric.heartbeatSeconds <= 0.0)
+        fail(lineNo, "fabric_heartbeat_seconds must be > 0");
+    } else if (key == "fabric_degraded_misses") {
+      config.fabric.degradedAfterMisses = parseInt(value, lineNo);
+      if (config.fabric.degradedAfterMisses < 1)
+        fail(lineNo, "fabric_degraded_misses must be >= 1");
+    } else if (key == "fabric_pump_interval") {
+      config.fabric.pumpIntervalSeconds = parseDouble(value, lineNo);
+      if (config.fabric.pumpIntervalSeconds <= 0.0)
+        fail(lineNo, "fabric_pump_interval must be > 0");
+    } else if (key == "fabric_forward_attempts") {
+      config.fabric.forwardAttempts = parseInt(value, lineNo);
+      if (config.fabric.forwardAttempts < 1)
+        fail(lineNo, "fabric_forward_attempts must be >= 1");
+    } else if (key == "fabric_root_dir") {
+      config.fabric.rootDir = rawValue;
     } else {
       fail(lineNo, "unknown key '" + key + "'");
     }

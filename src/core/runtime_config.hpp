@@ -59,6 +59,16 @@
 //   sched_cache          = on | off      (memoize completed products)
 //   sched_cache_dir      = <path>        ("" = in-memory cache only)
 //   sched_work_dir       = <path>        (per-job checkpoints + surface files)
+//   fabric_brokers       = <n>           (hazard-fabric broker count)
+//   fabric_vnodes        = <n>           (consistent-hash vnodes per broker)
+//   fabric_lease_seconds = <seconds>     (membership lease duration)
+//   fabric_heartbeat_seconds = <seconds> (lease renewal cadence)
+//   fabric_degraded_misses = <n>         (consecutive failed renewals before
+//                                        a broker enters degraded mode)
+//   fabric_pump_interval = <seconds>     (broker pump-loop tick)
+//   fabric_forward_attempts = <n>        (util/retry attempts per forward)
+//   fabric_root_dir      = <path>        (per-broker work dirs + the shared
+//                                        cache tier; "" = <tmp>/awp-fabric)
 
 #include <cstddef>
 #include <string>
@@ -87,6 +97,19 @@ struct SchedKnobs {
   std::string workDir;             // "" = std::filesystem::temp_directory_path
 };
 
+// Hazard-fabric knobs (consumed by fabric::FabricConfig::fromRuntime; a
+// plain struct here so core does not depend on src/fabric).
+struct FabricKnobs {
+  int brokers = 3;                  // in-process broker instances
+  int vnodes = 64;                  // consistent-hash vnodes per broker
+  double leaseSeconds = 1.0;        // membership lease duration
+  double heartbeatSeconds = 0.25;   // lease renewal cadence
+  int degradedAfterMisses = 2;      // failed renewals before degraded mode
+  double pumpIntervalSeconds = 0.01;  // broker pump-loop tick
+  int forwardAttempts = 4;          // util/retry attempts per forward
+  std::string rootDir;              // "" = <tmp>/awp-fabric
+};
+
 struct RuntimeConfig {
   SolverConfig solver;
   SurfaceOutputConfig output;  // file left null; cadence fields populated
@@ -99,6 +122,8 @@ struct RuntimeConfig {
   std::size_t telemetryRingCapacity = std::size_t{1} << 16;
   // Scenario-service knobs (sched_* keys).
   SchedKnobs sched;
+  // Hazard-fabric knobs (fabric_* keys).
+  FabricKnobs fabric;
 };
 
 // Parse `key = value` text into a RuntimeConfig starting from defaults.

@@ -1,0 +1,171 @@
+#pragma once
+// HazardFabric: N in-process scenario brokers (the vcluster thread-
+// simulation idiom, one level up: brokers instead of ranks) stitched into
+// one fault-tolerant hazard service. Submissions route by consistent-
+// hashing the spec's physics-only digest to an owner broker; ownership is
+// held under time-bounded leases renewed by heartbeat; an epoch-numbered
+// membership view detects missed renewals and hands a dead broker's hash
+// range to the survivors — queued work replays from the replicated
+// submission log, running work resumes from the shared checkpoint/
+// artifact tier, and at-least-once forwarding is collapsed back to
+// exactly-once completion by digest dedup at every layer. A partitioned
+// broker degrades instead of failing: it finishes local work, serves
+// cache hits, parks new submissions, and re-forwards them after rejoin.
+//
+// Config (core/runtime_config.hpp fabric_* keys):
+//   fabric_brokers, fabric_vnodes, fabric_lease_seconds,
+//   fabric_heartbeat_seconds, fabric_degraded_misses,
+//   fabric_pump_interval, fabric_forward_attempts, fabric_root_dir.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/runtime_config.hpp"
+#include "fabric/broker.hpp"
+#include "fabric/hash_ring.hpp"
+#include "fabric/membership.hpp"
+#include "fabric/submission_log.hpp"
+#include "fabric/transport.hpp"
+#include "sched/report.hpp"
+#include "sched/spec.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "util/retry.hpp"
+#include "util/timer.hpp"
+
+namespace awp::fabric {
+
+struct FabricConfig {
+  int brokers = 3;
+  int vnodes = 64;              // consistent-hash vnodes per broker
+  double leaseSeconds = 1.0;
+  double heartbeatSeconds = 0.25;
+  int degradedAfterMisses = 2;
+  double pumpIntervalSeconds = 0.01;
+  int forwardAttempts = 4;
+  std::size_t inboxCapacity = 256;
+  // Per-broker work dirs live at <rootDir>/broker-<i>; the shared cache
+  // tier at <rootDir>/cache. "" = <tmp>/awp-fabric.
+  std::string rootDir;
+  // Telemetry: when true and no session is installed, the fabric owns one
+  // Session sized brokers*coreBudget rank lanes + a dispatcher lane and a
+  // pump lane per broker, so every span writer in the fabric has a
+  // dedicated slot.
+  bool telemetry = false;
+  std::size_t telemetryRingCapacity = std::size_t{1} << 16;
+  std::string chromeTracePath;  // whole-fabric trace at shutdown
+  // Per-broker service template. workDir/cacheDir/telemetry fields are
+  // overridden per broker; cacheProducts is forced on (replay and
+  // degraded-mode serving both need the shared product tier).
+  sched::ServiceConfig service;
+
+  static FabricConfig fromRuntime(const core::RuntimeConfig& rc);
+};
+
+// One client-visible scenario of the fabric, keyed by spec digest.
+// Duplicate submissions coalesce onto one handle; `completions` stays at
+// 1 however many brokers raced to finish the digest (the exactly-once
+// check of the chaos tests).
+struct FabricJob {
+  sched::ScenarioSpec spec;
+  std::string digest;
+
+  mutable std::mutex mu;
+  std::condition_variable settledCv;
+  bool settled = false;
+  sched::JobPhase phase = sched::JobPhase::Queued;
+  std::string error;
+  sched::ScenarioProducts products;
+  int submissions = 0;  // client submissions coalesced onto this digest
+  int completions = 0;  // settle deliveries accepted (dedup holds it at 1)
+
+  // Block until the digest settles; returns the terminal phase.
+  sched::JobPhase wait();
+  [[nodiscard]] bool done() const;
+};
+
+using FabricJobHandle = std::shared_ptr<FabricJob>;
+
+struct FabricReport {
+  std::uint64_t viewEpoch = 0;
+  int liveBrokers = 0;
+  std::uint64_t submitted = 0;   // distinct digests accepted
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  Broker::Counters counters;     // summed across brokers
+  FabricTransport::Stats transport;
+  SubmissionLog::Stats log;
+  std::map<std::string, util::RetrySiteStats> retrySites;
+  std::vector<sched::ServiceReport> brokers;  // index = broker id
+};
+
+class HazardFabric {
+ public:
+  explicit HazardFabric(FabricConfig config);
+  ~HazardFabric();
+  HazardFabric(const HazardFabric&) = delete;
+  HazardFabric& operator=(const HazardFabric&) = delete;
+
+  // Route a scenario into the fabric. Never blocks on execution: returns
+  // a handle that settles when ANY broker completes (or terminally fails)
+  // the digest. Resubmitting an in-flight or completed digest coalesces.
+  FabricJobHandle submit(sched::ScenarioSpec spec);
+
+  // Block until every submitted digest settles. If every broker has
+  // fail-stopped with work still outstanding, the remaining handles are
+  // settled as Failed (degraded-mode parking only helps while somebody
+  // can eventually run the work).
+  void drain();
+
+  // Stop the pumps, settle anything left as Failed, shut the broker
+  // services down. Idempotent; the destructor calls it.
+  void shutdown();
+
+  // Chaos hook: operator fail-stop of one broker. Its lease lapses and
+  // its hash range moves at the next membership epoch.
+  void killBroker(int id);
+
+  [[nodiscard]] BrokerState brokerState(int id) const;
+  [[nodiscard]] MembershipView currentView();
+  [[nodiscard]] FabricReport report() const;
+  [[nodiscard]] const FabricConfig& config() const { return config_; }
+  // Fabric timeline (death/degrade/rejoin/handoff markers), for tests and
+  // the chrome trace's service lane.
+  [[nodiscard]] std::vector<std::string> events() const;
+
+ private:
+  void settleJob(int broker, const std::string& digest,
+                 sched::ScenarioProducts products, sched::JobPhase phase,
+                 const std::string& error);
+  void recordEvent(int broker, const std::string& what);
+  void settleRemainingLocked(const std::string& why);
+
+  FabricConfig config_;
+  Stopwatch clock_;
+
+  std::unique_ptr<telemetry::Session> ownedSession_;
+
+  std::unique_ptr<LeaseBoard> board_;
+  std::unique_ptr<HashRing> ring_;
+  std::unique_ptr<FabricTransport> transport_;
+  std::unique_ptr<SubmissionLog> log_;
+  std::vector<std::unique_ptr<Broker>> brokers_;
+
+  mutable std::mutex jobsMu_;
+  std::condition_variable settleCv_;
+  std::map<std::string, FabricJobHandle> jobs_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t nextEntry_ = 0;  // round-robin entry broker cursor
+  bool shutdownDone_ = false;
+
+  mutable std::mutex eventsMu_;
+  std::vector<std::string> events_;
+  std::vector<telemetry::InstantEvent> instants_;
+};
+
+}  // namespace awp::fabric

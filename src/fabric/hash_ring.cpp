@@ -1,0 +1,68 @@
+#include "fabric/hash_ring.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/hot.hpp"
+#include "util/retry.hpp"  // util::fnv1a
+
+namespace awp::fabric {
+
+namespace {
+// Finalizer from splitmix64: fnv1a alone clusters for short sequential
+// labels; the avalanche spreads vnode points across the full ring.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+HashRing::HashRing(int nbrokers, int vnodesPerBroker) : nbrokers_(nbrokers) {
+  AWP_CHECK_MSG(nbrokers >= 1 && nbrokers <= 32,
+                "fabric: broker count outside [1, 32]");
+  AWP_CHECK_MSG(vnodesPerBroker >= 1, "fabric: vnodes per broker must be >= 1");
+  ring_.reserve(static_cast<std::size_t>(nbrokers) *
+                static_cast<std::size_t>(vnodesPerBroker));
+  for (int b = 0; b < nbrokers; ++b) {
+    for (int v = 0; v < vnodesPerBroker; ++v) {
+      const std::string label = "fabric-broker-" + std::to_string(b) +
+                                "-vnode-" + std::to_string(v);
+      ring_.push_back({mix(util::fnv1a(label)), b});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Vnode& a, const Vnode& b) {
+    return a.at != b.at ? a.at < b.at : a.broker < b.broker;
+  });
+}
+
+std::uint64_t HashRing::pointFor(std::string_view digestHex) {
+  return mix(util::fnv1a(digestHex));
+}
+
+AWP_HOT int HashRing::ownerOf(std::uint64_t point,
+                              std::uint32_t liveMask) const {
+  if (ring_.empty() || liveMask == 0) return -1;
+  // First vnode at/after the point; end() wraps to begin().
+  std::size_t lo = 0;
+  std::size_t hi = ring_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (ring_[mid].at < point)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  for (std::size_t walked = 0; walked < ring_.size(); ++walked) {
+    const Vnode& v = ring_[(lo + walked) % ring_.size()];
+    if ((liveMask >> static_cast<std::uint32_t>(v.broker)) & 1u)
+      return v.broker;
+  }
+  return -1;
+}
+
+}  // namespace awp::fabric

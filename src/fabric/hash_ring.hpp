@@ -1,0 +1,46 @@
+#pragma once
+// Consistent-hash ring for scenario ownership. Each broker contributes a
+// fixed set of virtual nodes at deterministic points on a 64-bit ring; a
+// scenario's owner is the first LIVE broker at or after the point derived
+// from its physics-only spec digest. Liveness comes in as a bitmask (from
+// the epoch-numbered membership view), so a broker death moves only the
+// hash ranges that landed on the dead broker's vnodes — every other
+// assignment is untouched, which is what keeps a handoff from stampeding
+// the whole ensemble.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace awp::fabric {
+
+class HashRing {
+ public:
+  // Same (nbrokers, vnodesPerBroker) always builds the same ring: vnode
+  // points are hashes of a fixed label scheme, not of any runtime state,
+  // so every broker computes identical ownership without coordination.
+  HashRing(int nbrokers, int vnodesPerBroker);
+
+  // Ring point of a scenario digest (the spec's MD5 hex).
+  [[nodiscard]] static std::uint64_t pointFor(std::string_view digestHex);
+
+  // First live broker at/after `point` (wrapping). Registered hot path:
+  // one binary search plus a bounded walk, no allocation, no throw.
+  // Returns -1 when liveMask selects nobody.
+  [[nodiscard]] int ownerOf(std::uint64_t point,
+                            std::uint32_t liveMask) const;
+
+  [[nodiscard]] int nbrokers() const { return nbrokers_; }
+  [[nodiscard]] std::size_t vnodeCount() const { return ring_.size(); }
+
+ private:
+  struct Vnode {
+    std::uint64_t at = 0;
+    std::int32_t broker = -1;
+  };
+
+  int nbrokers_;
+  std::vector<Vnode> ring_;  // sorted by (at, broker)
+};
+
+}  // namespace awp::fabric

@@ -1,0 +1,77 @@
+#include "fabric/membership.hpp"
+
+#include "util/error.hpp"
+#include "util/hot.hpp"
+
+namespace awp::fabric {
+
+LeaseBoard::LeaseBoard(int nbrokers, double leaseSeconds)
+    : nbrokers_(nbrokers),
+      leaseSeconds_(leaseSeconds),
+      deadline_(static_cast<std::size_t>(nbrokers), leaseSeconds),
+      live_(static_cast<std::size_t>(nbrokers), 1),
+      dead_(static_cast<std::size_t>(nbrokers), 0) {
+  AWP_CHECK_MSG(nbrokers >= 1 && nbrokers <= 32,
+                "fabric: broker count outside [1, 32]");
+  AWP_CHECK_MSG(leaseSeconds > 0.0, "fabric: lease duration must be > 0");
+}
+
+void LeaseBoard::evaluateLocked(double nowSeconds) {
+  bool changed = false;
+  for (int b = 0; b < nbrokers_; ++b) {
+    const auto i = static_cast<std::size_t>(b);
+    if (live_[i] != 0 && deadline_[i] < nowSeconds) {
+      live_[i] = 0;
+      changed = true;
+    }
+  }
+  if (changed) ++epoch_;
+}
+
+AWP_HOT LeaseBoard::RenewResult LeaseBoard::renew(int broker,
+                                                  double nowSeconds) {
+  const auto i = static_cast<std::size_t>(broker);
+  std::lock_guard<std::mutex> lock(mu_);
+  evaluateLocked(nowSeconds);
+  if (broker < 0 || broker >= nbrokers_ || live_[i] == 0)
+    return RenewResult::Lapsed;
+  deadline_[i] = nowSeconds + leaseSeconds_;
+  return RenewResult::Ok;
+}
+
+void LeaseBoard::rejoin(int broker, double nowSeconds) {
+  if (broker < 0 || broker >= nbrokers_) return;
+  const auto i = static_cast<std::size_t>(broker);
+  std::lock_guard<std::mutex> lock(mu_);
+  evaluateLocked(nowSeconds);
+  if (dead_[i] != 0) return;  // fail-stop is permanent
+  if (live_[i] == 0) {
+    live_[i] = 1;
+    ++epoch_;
+  }
+  deadline_[i] = nowSeconds + leaseSeconds_;
+}
+
+void LeaseBoard::markDead(int broker) {
+  if (broker < 0 || broker >= nbrokers_) return;
+  const auto i = static_cast<std::size_t>(broker);
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_[i] = 1;
+  if (live_[i] != 0) {
+    live_[i] = 0;
+    ++epoch_;
+  }
+}
+
+MembershipView LeaseBoard::view(double nowSeconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  evaluateLocked(nowSeconds);
+  MembershipView v;
+  v.epoch = epoch_;
+  for (int b = 0; b < nbrokers_; ++b)
+    if (live_[static_cast<std::size_t>(b)] != 0)
+      v.liveMask |= 1u << static_cast<std::uint32_t>(b);
+  return v;
+}
+
+}  // namespace awp::fabric

@@ -1,0 +1,75 @@
+#pragma once
+// Lease-based membership for the hazard fabric. Every broker holds a
+// time-bounded lease it must renew by heartbeat; the board lazily expires
+// lapsed leases and numbers each change of the live set with a membership
+// epoch. Brokers act only on the epoch-stamped VIEW, never on each other
+// directly: a broker that misses renewals (death or partition) simply
+// vanishes from the next view, and the epoch bump is what triggers the
+// survivors to re-run ownership over the submission log.
+//
+// The board is the fabric's one oracle (the moral equivalent of the
+// coordination service a multi-process fabric would run); brokers reach it
+// through FabricTransport so an injected partition severs a broker from
+// the board exactly like it severs it from its peers.
+
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace awp::fabric {
+
+struct MembershipView {
+  std::uint64_t epoch = 0;
+  std::uint32_t liveMask = 0;
+
+  [[nodiscard]] bool contains(int broker) const {
+    return broker >= 0 && broker < 32 &&
+           ((liveMask >> static_cast<std::uint32_t>(broker)) & 1u) != 0;
+  }
+  [[nodiscard]] int liveCount() const { return std::popcount(liveMask); }
+};
+
+class LeaseBoard {
+ public:
+  // All brokers start live, holding a fresh lease relative to t = 0 of the
+  // fabric's stopwatch. The first view carries epoch 1.
+  LeaseBoard(int nbrokers, double leaseSeconds);
+
+  enum class RenewResult {
+    Ok,      // lease extended to now + leaseSeconds
+    Lapsed,  // the lease already expired: the broker must rejoin
+  };
+
+  // Heartbeat renewal. Registered hot path (every broker calls it every
+  // heartbeat): one mutex, comparisons, no allocation, no throw.
+  RenewResult renew(int broker, double nowSeconds);
+
+  // Re-admit a lapsed broker (post-partition recovery). Bumps the epoch.
+  // Ignored for brokers evicted by markDead — fail-stop is permanent.
+  void rejoin(int broker, double nowSeconds);
+
+  // Administrative fail-stop eviction (tests; operator kill). The honest
+  // path for a crashed broker is to simply stop renewing.
+  void markDead(int broker);
+
+  // Current view; expires lapsed leases first (lazy, so no timer thread).
+  [[nodiscard]] MembershipView view(double nowSeconds);
+
+  [[nodiscard]] int nbrokers() const { return nbrokers_; }
+
+ private:
+  // Expire lapsed leases; bump the epoch once per call when anything
+  // changed. mu_ must be held.
+  void evaluateLocked(double nowSeconds);
+
+  const int nbrokers_;
+  const double leaseSeconds_;
+  mutable std::mutex mu_;
+  std::vector<double> deadline_;
+  std::vector<char> live_;
+  std::vector<char> dead_;  // markDead: permanently evicted
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace awp::fabric

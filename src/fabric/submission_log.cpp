@@ -1,0 +1,59 @@
+#include "fabric/submission_log.hpp"
+
+namespace awp::fabric {
+
+std::uint64_t SubmissionLog::append(const sched::ScenarioSpec& spec,
+                                    const std::string& digest, int origin) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = byDigest_.find(digest);
+  if (it != byDigest_.end()) {
+    ++stats_.dedupedAppends;
+    return records_[it->second].seq;
+  }
+  LogRecord rec;
+  rec.seq = nextSeq_++;
+  rec.spec = spec;
+  rec.digest = digest;
+  rec.origin = origin;
+  byDigest_[digest] = records_.size();
+  records_.push_back(std::move(rec));
+  ++stats_.appended;
+  return records_.back().seq;
+}
+
+void SubmissionLog::markCompleted(const std::string& digest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = byDigest_.find(digest);
+  if (it == byDigest_.end()) return;
+  LogRecord& rec = records_[it->second];
+  if (!rec.completed) {
+    rec.completed = true;
+    ++stats_.completedMarks;
+  }
+}
+
+bool SubmissionLog::isCompleted(const std::string& digest) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = byDigest_.find(digest);
+  return it != byDigest_.end() && records_[it->second].completed;
+}
+
+bool SubmissionLog::contains(const std::string& digest) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return byDigest_.find(digest) != byDigest_.end();
+}
+
+std::vector<LogRecord> SubmissionLog::incompleteRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogRecord> out;
+  for (const LogRecord& rec : records_)
+    if (!rec.completed) out.push_back(rec);
+  return out;
+}
+
+SubmissionLog::Stats SubmissionLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace awp::fabric

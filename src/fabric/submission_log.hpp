@@ -1,0 +1,67 @@
+#pragma once
+// Replicated submission log: the fabric's source of truth for which
+// scenarios have been accepted and which have completed. Every client
+// submission is appended (idempotently, keyed by the spec digest) BEFORE
+// any routing happens, so a forward lost in flight, a dead owner, or a
+// partitioned entry broker can never lose a scenario — the record stays
+// incomplete, and whichever broker owns the digest under the next
+// membership view replays it.
+//
+// In this thread-simulation fabric the log is one shared structure (the
+// stand-in for a quorum-replicated log); it is deliberately NOT routed
+// through FabricTransport's fault sites, matching the checkpoint tier: a
+// partition severs brokers from each other, not from reliable storage.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sched/spec.hpp"
+
+namespace awp::fabric {
+
+struct LogRecord {
+  std::uint64_t seq = 0;       // 1-based append order
+  sched::ScenarioSpec spec;
+  std::string digest;          // spec.hashHex()
+  int origin = -1;             // broker that accepted the client submission
+  bool completed = false;
+};
+
+class SubmissionLog {
+ public:
+  // Idempotent append: a digest already present returns the existing
+  // record's seq (and counts a dedup) — at-least-once forwarding and
+  // client re-submission collapse onto one record.
+  std::uint64_t append(const sched::ScenarioSpec& spec,
+                       const std::string& digest, int origin);
+
+  // Mark the digest's record complete (idempotent; unknown digest ignored:
+  // a replayed completion can race a late append).
+  void markCompleted(const std::string& digest);
+
+  [[nodiscard]] bool isCompleted(const std::string& digest) const;
+  [[nodiscard]] bool contains(const std::string& digest) const;
+
+  // Snapshot of every record not yet marked complete, in seq order — the
+  // replay worklist a broker scans after a membership epoch bump.
+  [[nodiscard]] std::vector<LogRecord> incompleteRecords() const;
+
+  struct Stats {
+    std::uint64_t appended = 0;        // distinct records
+    std::uint64_t dedupedAppends = 0;  // appends absorbed by an existing one
+    std::uint64_t completedMarks = 0;  // first-time completion marks
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+  std::map<std::string, std::size_t> byDigest_;  // digest -> records_ index
+  std::uint64_t nextSeq_ = 1;
+  Stats stats_;
+};
+
+}  // namespace awp::fabric

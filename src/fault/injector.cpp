@@ -81,6 +81,28 @@ FaultPlan& FaultPlan::buddyDrop(int rank, std::uint64_t occurrence,
               0.0});
 }
 
+FaultPlan& FaultPlan::brokerDeath(int broker, std::uint64_t occurrence) {
+  return add({"broker_death", FaultKind::RankDeath, broker, occurrence, 1,
+              0.0});
+}
+
+FaultPlan& FaultPlan::fabricDrop(int broker, std::uint64_t occurrence,
+                                 std::uint64_t count) {
+  return add({"fabric_drop", FaultKind::MessageDrop, broker, occurrence,
+              count, 0.0});
+}
+
+FaultPlan& FaultPlan::fabricDuplicate(int broker, std::uint64_t occurrence) {
+  return add({"fabric_drop", FaultKind::MessageDuplicate, broker, occurrence,
+              1, 0.0});
+}
+
+FaultPlan& FaultPlan::fabricDelay(int broker, std::uint64_t occurrence,
+                                  double seconds, std::uint64_t count) {
+  return add({"fabric_delay", FaultKind::RankStall, broker, occurrence,
+              count, seconds});
+}
+
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
     : specs_(plan.specs()), seed_(seed) {}
 

@@ -26,6 +26,23 @@
 //                                        OWNER (MessageDrop loses the
 //                                        in-memory replica, forcing the
 //                                        disk fallback on restore)
+//   broker_death                       — top of each hazard-fabric broker
+//                                        pump tick; rank = broker id
+//                                        (RankDeath fail-stops the broker:
+//                                        its service aborts, its lease
+//                                        lapses, its hash range moves)
+//   fabric_drop                        — hazard-fabric transport send and
+//                                        lease-RPC path; rank = SENDING
+//                                        broker id (MessageDrop = sender-
+//                                        visible loss driving util/retry
+//                                        backoff; MessageDuplicate =
+//                                        delivered twice, exercising
+//                                        digest dedup; sustained drops
+//                                        partition the broker)
+//   fabric_delay                       — hazard-fabric transport send;
+//                                        rank = sending broker id
+//                                        (RankStall sleeps the sender,
+//                                        modelling a congested link)
 //
 // When no injector is installed every hook is a single relaxed atomic
 // load + branch, so the disabled path adds no measurable overhead to the
@@ -88,6 +105,18 @@ class FaultPlan {
   // Lose rank `rank`'s in-memory buddy replica at the given replication.
   FaultPlan& buddyDrop(int rank, std::uint64_t occurrence,
                        std::uint64_t count = 1);
+  // Fail-stop fabric broker `broker` at its occurrence-th pump tick.
+  FaultPlan& brokerDeath(int broker, std::uint64_t occurrence);
+  // Drop `count` consecutive fabric sends/lease renewals FROM `broker`
+  // starting at the occurrence-th "fabric_drop" consult. A long run
+  // partitions the broker from the membership view.
+  FaultPlan& fabricDrop(int broker, std::uint64_t occurrence,
+                        std::uint64_t count = 1);
+  // Deliver one fabric message from `broker` twice (dedup must absorb it).
+  FaultPlan& fabricDuplicate(int broker, std::uint64_t occurrence);
+  // Stall fabric sends from `broker` for `seconds` each.
+  FaultPlan& fabricDelay(int broker, std::uint64_t occurrence,
+                         double seconds, std::uint64_t count = 1);
 
   [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
   [[nodiscard]] bool empty() const { return specs_.empty(); }

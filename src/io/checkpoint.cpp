@@ -249,4 +249,28 @@ CheckpointStore::Restored CheckpointStore::readStep(
               std::to_string(step));
 }
 
+std::optional<std::uint64_t> CheckpointStore::adoptNewestFrom(
+    const CheckpointStore& other, int rank) {
+  // Adopt EVERY digest-valid generation, oldest first, so the full
+  // candidate set survives the move: the collective restart agreement
+  // restores the allreduce-Min of the ranks' newest steps, and a rank
+  // whose newest generation is ahead of the agreed step must still hold
+  // the older one. Copying only the newest would strand such a rank.
+  const auto steps = other.validSteps(rank);  // newest first
+  std::optional<std::uint64_t> adopted;
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    Restored got;
+    try {
+      got = other.readStep(rank, *it);
+    } catch (const Error&) {
+      // The generation decayed between the probe and the read (or its
+      // payload digest fails): skip it, never propagate.
+      continue;
+    }
+    write(rank, got.step, std::span<const std::byte>(got.state));
+    adopted = got.step;  // newest processed last
+  }
+  return adopted;
+}
+
 }  // namespace awp::io

@@ -52,6 +52,19 @@ class CheckpointStore {
   // guard's rollback diagnostics list what a retry could restore.
   [[nodiscard]] std::vector<std::uint64_t> validSteps(int rank) const;
 
+  // Cache-tier handoff (hazard fabric): copy every digest-valid generation
+  // of `other` for `rank` into this store via verified reads and atomic
+  // generational writes — a torn or corrupt source generation is skipped,
+  // never propagated, and the full candidate set moves so the collective
+  // restart agreement (allreduce-Min of the ranks' newest steps) can still
+  // be satisfied by a rank whose newest generation is ahead of the agreed
+  // step. Returns the newest adopted step, or nullopt when `other` holds
+  // no valid generation for the rank. Used when a scenario's ownership
+  // moves brokers: the new owner seeds its private checkpoint dir from the
+  // lost owner's tier, then resumes bit-identically.
+  std::optional<std::uint64_t> adoptNewestFrom(const CheckpointStore& other,
+                                               int rank);
+
   // Any generation file present (valid or not).
   [[nodiscard]] bool exists(int rank) const;
   // Path of the most recently written generation (by header step).

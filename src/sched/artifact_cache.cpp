@@ -1,6 +1,8 @@
 #include "sched/artifact_cache.hpp"
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -50,7 +52,14 @@ void ArtifactCache::storeDisk(const std::string& key,
                               const std::vector<std::byte>& value) const {
   if (directory_.empty()) return;
   const std::string target = entryPath(key);
-  const std::string tmp = target + ".tmp";
+  // Unique tmp name: several caches may share one disk tier (the hazard
+  // fabric points every broker at the same directory), and two brokers
+  // finishing the same digest concurrently must not interleave bytes in
+  // one tmp file. The rename stays atomic; last writer wins.
+  static std::atomic<std::uint64_t> tmpSeq{0};
+  const std::string tmp =
+      target + ".tmp." +
+      std::to_string(tmpSeq.fetch_add(1, std::memory_order_relaxed));
   const auto digest = Md5::hash(value.data(), value.size());
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);

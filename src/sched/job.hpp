@@ -31,6 +31,7 @@ enum class RequeueCause : int {
   WorkerCrash = 1,   // injected/real worker failure mid-attempt
   Stall = 2,         // watchdog stall episode on the job's heartbeat board
   FatalVerdict = 3,  // health guard exhausted its in-run rollback budget
+  Aborted = 4,       // service fail-fast abort (never requeues)
 };
 
 const char* toString(RequeueCause cause);

@@ -82,6 +82,15 @@ void AdmissionQueue::close() {
   space_.notify_all();
 }
 
+std::vector<JobHandle> AdmissionQueue::drainAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobHandle> out = std::move(items_);
+  items_.clear();
+  items_.reserve(2 * capacity_ + 8);  // keep the hot-pop no-realloc headroom
+  space_.notify_all();
+  return out;
+}
+
 std::size_t AdmissionQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return items_.size();

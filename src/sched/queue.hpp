@@ -47,6 +47,11 @@ class AdmissionQueue {
   // pushers (they get Closed).
   void close();
 
+  // Remove and return every queued job at once (highest priority last,
+  // matching pop order). The service's fail-fast abort settles them all
+  // as Failed; callers normally close() first so nothing refills behind.
+  [[nodiscard]] std::vector<JobHandle> drainAll();
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] bool empty() const { return size() == 0; }
   [[nodiscard]] bool closed() const;

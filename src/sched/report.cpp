@@ -65,6 +65,19 @@ std::string toJson(const ServiceReport& report) {
      << "\"misses\": " << report.cache.misses << ", "
      << "\"computes\": " << report.cache.computes << ", "
      << "\"disk_loads\": " << report.cache.diskLoads << "},\n";
+  os << "  \"retry_sites\": {";
+  {
+    bool first = true;
+    for (const auto& [site, s] : report.retrySites) {
+      os << (first ? "\n" : ",\n") << "    \"" << escapeJson(site)
+         << "\": {\"calls\": " << s.calls << ", \"attempts\": " << s.attempts
+         << ", \"failures\": " << s.failures
+         << ", \"exhausted\": " << s.exhausted << "}";
+      first = false;
+    }
+    if (!first) os << "\n  ";
+  }
+  os << "},\n";
   os << "  \"jobs\": [\n";
   for (std::size_t i = 0; i < report.jobs.size(); ++i) {
     const JobRow& j = report.jobs[i];
@@ -230,6 +243,35 @@ std::vector<std::string> validateServiceReportJson(const std::string& text) {
     nonNegativeMember(*cache, "artifact_cache", "misses", out, &scratch);
     nonNegativeMember(*cache, "artifact_cache", "computes", out, &computes);
     nonNegativeMember(*cache, "artifact_cache", "disk_loads", out, &scratch);
+  }
+
+  // Retry-site stats are part of the v1 schema but tolerated as absent so
+  // pre-existing handcrafted reports stay valid; when present every entry
+  // must be internally consistent.
+  const JsonValue* retry = root.find("retry_sites");
+  if (retry != nullptr) {
+    if (!retry->isObject()) {
+      out.push_back("'retry_sites' is not an object");
+    } else {
+      for (const auto& [site, stats] : retry->members) {
+        const std::string context = "retry_sites['" + site + "']";
+        if (!stats.isObject()) {
+          out.push_back(context + ": not an object");
+          continue;
+        }
+        double calls = 0, attempts = 0, failures = 0, exhausted = 0;
+        nonNegativeMember(stats, context, "calls", out, &calls);
+        nonNegativeMember(stats, context, "attempts", out, &attempts);
+        nonNegativeMember(stats, context, "failures", out, &failures);
+        nonNegativeMember(stats, context, "exhausted", out, &exhausted);
+        if (attempts < calls)
+          out.push_back(context + ": attempts below calls");
+        if (failures > attempts)
+          out.push_back(context + ": failures exceed attempts");
+        if (exhausted > calls)
+          out.push_back(context + ": exhausted exceeds calls");
+      }
+    }
   }
 
   const JsonValue* jobs = root.find("jobs");

@@ -6,11 +6,13 @@
 // tests call the validator rather than eyeballing text).
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "sched/artifact_cache.hpp"
 #include "sched/job.hpp"
+#include "util/retry.hpp"
 
 namespace awp::sched {
 
@@ -55,6 +57,11 @@ struct ServiceReport {
   double queueLatencyMax = 0.0;
 
   CacheStats cache;  // artifact cache (mesh dedupe + product memoization)
+
+  // Per-site retry/backoff statistics (util::retryRegistrySnapshot at
+  // report time, process-wide): how often each fault-tolerant path — I/O,
+  // transfers, fabric forwarding and lease renewal — actually retried.
+  std::map<std::string, util::RetrySiteStats> retrySites;
 
   std::vector<JobRow> jobs;
 

@@ -120,6 +120,7 @@ const char* toString(RequeueCause cause) {
     case RequeueCause::WorkerCrash: return "worker-crash";
     case RequeueCause::Stall: return "stall";
     case RequeueCause::FatalVerdict: return "fatal-verdict";
+    case RequeueCause::Aborted: return "aborted";
   }
   return "?";
 }
@@ -183,18 +184,21 @@ JobHandle ScenarioService::submit(ScenarioSpec spec) {
   job->submitSeq = submitSeq_.fetch_add(1, std::memory_order_relaxed);
   job->submitSeconds = epoch_.seconds();
   telemetry::count(telemetry::Counter::ScenariosSubmitted);
-  {
-    std::lock_guard<std::mutex> lock(jobsMu_);
-    allJobs_.push_back(job);
-  }
 
-  // Memoized completed work: served without touching the queue.
+  // Memoized completed work: served without touching the queue. The job
+  // is published into allJobs_ only after cacheHit/coalesced are final,
+  // so report() never observes a half-initialized row (jobsMu_ release /
+  // acquire orders every plain write made here before the publication).
   if (config_.cacheProducts) {
     if (auto bytes = cache_.get(productKey(job->hash))) {
       try {
         ScenarioProducts products = ScenarioProducts::deserialize(*bytes);
         job->cacheHit = true;
         telemetry::count(telemetry::Counter::ScenarioCacheHits);
+        {
+          std::lock_guard<std::mutex> lock(jobsMu_);
+          allJobs_.push_back(job);
+        }
         settleTerminal(job, JobPhase::Completed, "", std::move(products),
                        /*countedPrimary=*/false);
         return job;
@@ -212,10 +216,12 @@ JobHandle ScenarioService::submit(ScenarioSpec spec) {
     if (it != primaryByHash_.end()) {
       job->coalesced = true;
       followersByHash_[job->hash].push_back(job);
+      allJobs_.push_back(job);
       ++outstanding_;
       return job;
     }
     primaryByHash_[job->hash] = job;
+    allJobs_.push_back(job);
     ++outstanding_;
   }
 
@@ -279,6 +285,14 @@ AWP_HOT bool ScenarioService::dispatchNext(Dispatch& out) {
 }
 
 void ScenarioService::dispatcherLoop() {
+  if (config_.dispatcherTelemetrySlot >= 0) {
+    // Claim a private span lane: several services sharing one session
+    // (the hazard fabric's brokers) must not interleave single-writer
+    // span state on the off-rank slot.
+    fault::setThreadRank(0);
+    telemetry::setThreadSlotBase(config_.dispatcherTelemetrySlot);
+    telemetry::resetThreadSpans();
+  }
   std::unique_lock<std::mutex> lock(dispatchMu_);
   for (;;) {
     dispatchCv_.wait(lock, [&] { return signal_; });
@@ -301,6 +315,21 @@ void ScenarioService::dispatcherLoop() {
 }
 
 void ScenarioService::workerMain(Dispatch d) {
+  if (aborting_.load(std::memory_order_relaxed)) {
+    // Dispatched after (or racing) an abort: never start the attempt.
+    settleTerminal(d.job, JobPhase::Failed, "service aborted", {},
+                   /*countedPrimary=*/true);
+    {
+      std::lock_guard<std::mutex> lock(dispatchMu_);
+      for (int i = 0; i < d.job->spec.nranks; ++i)
+        coreBusy_[static_cast<std::size_t>(d.coreBase + i)] = 0;
+      memoryUsed_ -= d.bytes;
+      --activeWorkers_;
+      signal_ = true;
+    }
+    dispatchCv_.notify_all();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(d.job->mutex);
     d.job->phase = JobPhase::Running;
@@ -402,13 +431,19 @@ ScenarioProducts ScenarioService::attemptWave(JobState& job, int coreBase) {
   if (useLadder) {
     vcluster::SupervisorOptions opts;
     opts.respawnBudget = config_.respawnBudget;
-    opts.onRespawn = [this, &job, &buddies,
-                      useBuddies](const vcluster::RespawnEvent& ev) {
+    opts.onRespawn = [this, &job, &buddies, useBuddies,
+                      coreBase](const vcluster::RespawnEvent& ev) {
       // A dead rank's in-memory blob died with it (this hook runs before
       // the replacement thread exists, so the restore below it cannot see
       // the stale self copy): the replacement restores from the ring
       // buddy's replica, or from disk. A stall respawn loses no memory.
       if (useBuddies && ev.cause == "rank-death") buddies.noteDeath(ev.rank);
+      // Stall respawns leave a ZOMBIE incarnation that may still be
+      // executing (the wedge is a sleep, not an exit): fence its telemetry
+      // slot and drain any in-flight span write before the replacement —
+      // spawned after this hook returns — reuses it. Death respawns get
+      // the same treatment for uniformity (the drain is instant).
+      telemetry::retireSlot(config_.telemetrySlotBase + coreBase + ev.rank);
       {
         std::lock_guard<std::mutex> lock(job.mutex);
         ++job.respawns;
@@ -478,7 +513,7 @@ ScenarioProducts ScenarioService::attemptWave(JobState& job, int coreBase) {
         // budget: shift this job's ranks onto its lease's slot range, and
         // clear any frame stack a previous (possibly unwound) attempt left
         // on the slot.
-        telemetry::setThreadSlotBase(coreBase);
+        telemetry::setThreadSlotBase(config_.telemetrySlotBase + coreBase);
         telemetry::resetThreadSpans();
 
         const auto cart = vcluster::CartTopology::balancedDims(
@@ -654,7 +689,7 @@ ScenarioProducts ScenarioService::attemptRupture(JobState& job,
   rupture::FaultHistory history;
   vcluster::ThreadCluster::run(
       spec.nranks, [&](vcluster::Communicator& comm) {
-        telemetry::setThreadSlotBase(coreBase);
+        telemetry::setThreadSlotBase(config_.telemetrySlotBase + coreBase);
         telemetry::resetThreadSpans();
         const auto cart = vcluster::CartTopology::balancedDims(
             spec.nranks, config.globalDims.nx, config.globalDims.ny,
@@ -684,9 +719,14 @@ void ScenarioService::maybeRequeue(const JobHandle& job, RequeueCause cause,
                                    std::uint64_t atStep,
                                    const std::string& why) {
   bool requeue = false;
+  // An aborting service never requeues: the broker this service backs is
+  // modelled as dead, and the fabric replays its work elsewhere.
+  const bool aborting = aborting_.load(std::memory_order_relaxed) ||
+                        cause == RequeueCause::Aborted;
   {
     std::lock_guard<std::mutex> lock(job->mutex);
-    if (static_cast<int>(job->requeues.size()) < config_.maxRetries) {
+    if (!aborting &&
+        static_cast<int>(job->requeues.size()) < config_.maxRetries) {
       requeue = true;
       RequeueEvent ev;
       ev.cause = cause;
@@ -790,6 +830,36 @@ void ScenarioService::drain() {
   drainCv_.wait(lock, [&] { return outstanding_ == 0; });
 }
 
+void ScenarioService::abort(const std::string& why) {
+  bool expected = false;
+  if (!aborting_.compare_exchange_strong(expected, true)) {
+    drain();  // a concurrent abort is already sweeping; wait it out
+    return;
+  }
+  queue_.close();
+  // Fail everything still queued (requeues included: the abort flag keeps
+  // maybeRequeue from re-admitting anything behind our back).
+  for (auto& job : queue_.drainAll())
+    settleTerminal(job, JobPhase::Failed, "service aborted: " + why, {},
+                   /*countedPrimary=*/true);
+  // Cancel running attempts; each unwinds at its next collective
+  // cancel-check and settles Failed through the aborting maybeRequeue.
+  std::vector<JobHandle> jobs;
+  {
+    std::lock_guard<std::mutex> lock(jobsMu_);
+    jobs = allJobs_;
+  }
+  for (const auto& j : jobs) {
+    bool running = false;
+    {
+      std::lock_guard<std::mutex> lock(j->mutex);
+      running = j->phase == JobPhase::Running;
+    }
+    if (running) j->requestCancel(RequeueCause::Aborted);
+  }
+  drain();
+}
+
 void ScenarioService::shutdown() {
   {
     std::lock_guard<std::mutex> lock(dispatchMu_);
@@ -819,12 +889,29 @@ void ScenarioService::shutdown() {
   }
 }
 
+std::optional<ScenarioProducts> ScenarioService::cachedProducts(
+    const std::string& hash) {
+  if (!config_.cacheProducts) return std::nullopt;
+  auto bytes = cache_.get(productKey(hash));
+  if (!bytes) return std::nullopt;
+  try {
+    return ScenarioProducts::deserialize(*bytes);
+  } catch (const Error&) {
+    return std::nullopt;  // version skew: a miss, not an error
+  }
+}
+
 ServiceReport ScenarioService::report() const {
   ServiceReport r;
   r.coreBudget = config_.coreBudget;
   r.wallSeconds = epoch_.seconds();
   r.cache = cache_.stats();
   r.executedAttempts = executedAttempts_.load(std::memory_order_relaxed);
+  // Process-wide per-site retry stats: in a fabric every broker's report
+  // shows the same registry (the fabric report dedupes), which is the
+  // point — forwarding and lease-renewal retries are visible wherever an
+  // operator happens to look.
+  r.retrySites = util::retryRegistrySnapshot();
 
   std::vector<JobHandle> jobs;
   {

@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -71,6 +72,17 @@ struct ServiceConfig {
   // Session sized to the core budget (slot = lease base + rank) so spans
   // and counters from concurrent jobs never collide.
   bool telemetry = false;
+  // Slot offset added to every lease base (slot = slotBase + lease base +
+  // rank). Zero for a standalone service; the hazard fabric gives each of
+  // its brokers a disjoint slot range of one shared session so concurrent
+  // brokers never collide on a span ring.
+  int telemetrySlotBase = 0;
+  // Dedicated session slot for the dispatcher thread's SchedQueue /
+  // SchedDispatch spans. -1 (the default) keeps the legacy mapping — the
+  // shared off-rank slot — which is single-writer only while one service
+  // exists; the fabric runs several dispatchers concurrently and gives
+  // each its own lane.
+  int dispatcherTelemetrySlot = -1;
   std::size_t telemetryRingCapacity = std::size_t{1} << 16;
   std::string chromeTracePath;      // whole-service trace at shutdown
 
@@ -96,7 +108,24 @@ class ScenarioService {
   // destructor calls it.
   void shutdown();
 
+  // Fail-fast abort (the fabric's broker-death path): close admissions,
+  // settle every still-queued job as Failed, collectively cancel running
+  // attempts (suppressing their requeues), and wait for the workers to
+  // unwind. Best-effort: an attempt already past its last cancel-check
+  // may still complete — its products are correct and stay cached, which
+  // is exactly what at-least-once replay by a new owner wants. Idempotent;
+  // concurrent callers block until the first abort finishes draining.
+  void abort(const std::string& why);
+  [[nodiscard]] bool aborted() const {
+    return aborting_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] ServiceReport report() const;
+  // Completed products for a spec hash, served straight from the artifact
+  // cache without submitting anything — how a degraded (partitioned)
+  // fabric broker keeps serving hits while parking everything else.
+  [[nodiscard]] std::optional<ScenarioProducts> cachedProducts(
+      const std::string& hash);
   [[nodiscard]] CacheStats cacheStats() const { return cache_.stats(); }
   [[nodiscard]] AdmissionQueue::Stats queueStats() const {
     return queue_.stats();
@@ -105,6 +134,10 @@ class ScenarioService {
   // each per-attempt watchdog via its callback).
   [[nodiscard]] std::vector<health::StallReport> stallEpisodes() const;
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  // Private working directory of a (possibly not yet submitted) spec hash:
+  // checkpoints under <dir>/ckpt plus the step-indexed surface file. The
+  // fabric's handoff seeds a new owner's job dir from a lost broker's.
+  [[nodiscard]] std::string jobDirFor(const std::string& hash) const;
 
  private:
   struct Dispatch {
@@ -136,7 +169,6 @@ class ScenarioService {
   // without a session).
   void recordRecoveryInstant(const std::string& name,
                              std::chrono::steady_clock::time_point at);
-  [[nodiscard]] std::string jobDirFor(const std::string& hash) const;
 
   ServiceConfig config_;
   ArtifactCache cache_;
@@ -171,6 +203,7 @@ class ScenarioService {
 
   std::atomic<std::uint64_t> submitSeq_{0};
   std::atomic<std::uint64_t> executedAttempts_{0};
+  std::atomic<bool> aborting_{false};
 
   std::thread dispatcher_;
 };

@@ -1,5 +1,7 @@
 #include "telemetry/registry.hpp"
 
+#include <thread>
+
 #include "fault/injector.hpp"
 #include "util/error.hpp"
 
@@ -15,13 +17,12 @@ void installSession(Session* session) {
 
 namespace {
 thread_local int t_slotBase = 0;
-}  // namespace
+// Generation claim for the slot this thread writes (taken by
+// resetThreadSpans). The default 0 matches a never-retired slot, so
+// threads outside the respawn ladder are unaffected by the fence.
+thread_local std::uint64_t t_claim = 0;
 
-void setThreadSlotBase(int base) { t_slotBase = base; }
-
-int threadSlotBase() { return t_slotBase; }
-
-RankTelemetry* currentRank() {
+RankTelemetry* threadSlot() {
   Session* s = activeSession();
   if (s == nullptr) return nullptr;
   const int r = fault::threadRank();
@@ -30,9 +31,36 @@ RankTelemetry* currentRank() {
   // sharing one session land on disjoint slots.
   return &s->slot(r < 0 ? r : r + t_slotBase);
 }
+}  // namespace
+
+void setThreadSlotBase(int base) { t_slotBase = base; }
+
+int threadSlotBase() { return t_slotBase; }
+
+RankTelemetry* currentRank() {
+  RankTelemetry* rt = threadSlot();
+  // A retired claim means this thread is a fenced zombie incarnation: its
+  // slot has been handed to a replacement, so all hooks go quiet. (The
+  // check here is advisory — open/close/setStep re-check under the
+  // active-writer bracket, which is what retire() actually drains.)
+  if (rt != nullptr && rt->generation() != t_claim) return nullptr;
+  return rt;
+}
 
 void resetThreadSpans() {
-  if (RankTelemetry* rt = currentRank()) rt->resetSpanState();
+  // Bypass currentRank(): a replacement incarnation arrives with a stale
+  // default claim and must be able to adopt the slot's new generation.
+  if (RankTelemetry* rt = threadSlot()) {
+    t_claim = rt->generation();
+    rt->resetSpanState();
+  }
+}
+
+void retireSlot(int slot) {
+  Session* s = activeSession();
+  if (s == nullptr) return;
+  if (slot < 0 || slot >= s->nranks()) return;
+  s->slot(slot).retire();
 }
 
 RankTelemetry::RankTelemetry(int rank, std::size_t ringCapacity,
@@ -49,7 +77,31 @@ std::uint64_t RankTelemetry::nowNs() const {
           .count());
 }
 
+bool RankTelemetry::enterWrite() {
+  activeWriters_.fetch_add(1);  // seq_cst: ordered against retire()'s bump
+  if (gen_.load() == t_claim) return true;
+  exitWrite();
+  return false;
+}
+
+void RankTelemetry::retire() {
+  gen_.fetch_add(1);
+  // Drain: a writer that slipped past the fence with the old generation is
+  // inside its enter/exit bracket; wait it out so its plain-field writes
+  // are ordered (via its exit release / our acquire of zero) before the
+  // replacement thread — spawned after this returns — touches the slot.
+  while (activeWriters_.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
+}
+
+void RankTelemetry::setStep(std::uint64_t step) {
+  if (!enterWrite()) return;
+  step_ = step;
+  exitWrite();
+}
+
 void RankTelemetry::open(Frame& frame, Phase phase) {
+  if (!enterWrite()) return;
   frame.phase = phase;
   frame.childNs = 0;
   frame.parent = top_;
@@ -57,9 +109,15 @@ void RankTelemetry::open(Frame& frame, Phase phase) {
   ++depth_;
   if (phase == Phase::RollbackReplay) ++replayDepth_;
   frame.t0 = nowNs();  // last, so setup cost lands in the parent
+  exitWrite();
 }
 
 void RankTelemetry::close(Frame& frame) {
+  // A fenced close matches a fenced open (the generation only advances,
+  // so a claim that failed at open cannot succeed at close): the pair is
+  // a no-op and the replacement's resetSpanState clears any frame the
+  // zombie managed to push before the fence.
+  if (!enterWrite()) return;
   const std::uint64_t t1 = nowNs();
   const std::uint64_t dur = t1 - frame.t0;
   top_ = frame.parent;
@@ -81,6 +139,7 @@ void RankTelemetry::close(Frame& frame) {
   rec.startNs = frame.t0;
   rec.durationNs = dur;
   ++ringWrites_;
+  exitWrite();
 }
 
 RankSummary RankTelemetry::summary() const {

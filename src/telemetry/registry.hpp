@@ -67,14 +67,20 @@ class RankTelemetry {
     Frame* parent = nullptr;
   };
 
+  // open/close/setStep mutate single-writer state (frame stack, phase
+  // totals, trace ring). They are generation-fenced: the write proceeds
+  // only when the calling thread's claim token (taken by
+  // resetThreadSpans) matches the slot's current generation, so a retired
+  // incarnation's late calls are silent no-ops instead of racing the
+  // replacement writer. See retireSlot().
   void open(Frame& frame, Phase phase);
   void close(Frame& frame);
+  void setStep(std::uint64_t step);
 
   void count(Counter c, std::uint64_t delta) {
     counters_[static_cast<std::size_t>(c)].fetch_add(
         delta, std::memory_order_relaxed);
   }
-  void setStep(std::uint64_t step) { step_ = step; }
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] std::uint64_t counterValue(Counter c) const {
@@ -103,13 +109,35 @@ class RankTelemetry {
     replayDepth_ = 0;
   }
 
+  // --- slot generation fence (stall-respawn drain) -----------------------
+  // A wedged incarnation may still be executing when its rank is respawned
+  // in place: its thread holds ScopedSpan frames that will close into this
+  // slot whenever the injected stall ends. retire() advances the slot
+  // generation (fencing every writer holding an older claim) and then
+  // WAITS for any write already past the fence check to finish, so when it
+  // returns the zombie can never touch the slot again and the replacement
+  // incarnation reuses it bit-cleanly.
+  void retire();
+  [[nodiscard]] std::uint64_t generation() const { return gen_.load(); }
+
  private:
+  // Fenced-write bracket: enter() registers the write and admits it only
+  // while the caller's claim matches the generation; exit() closes it.
+  // Seq-cst on both atomics makes retire()'s bump-then-wait airtight: a
+  // writer that read the pre-bump generation is either waited out (its
+  // exit's release is observed by retire's acquire of zero) or it reads
+  // the new generation and backs off without writing.
+  bool enterWrite();
+  void exitWrite() { activeWriters_.fetch_sub(1, std::memory_order_release); }
+
   int rank_;
   std::chrono::steady_clock::time_point epoch_;
   Frame* top_ = nullptr;
   std::uint16_t depth_ = 0;
   int replayDepth_ = 0;
   std::uint64_t step_ = 0;
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<int> activeWriters_{0};
   std::uint64_t phaseNs_[kPhaseCount] = {};
   std::uint64_t replayNs_[kPhaseCount] = {};
   std::array<std::atomic<std::uint64_t>, kCounterCount> counters_ = {};
@@ -185,11 +213,21 @@ void setThreadSlotBase(int base);
 [[nodiscard]] int threadSlotBase();
 
 // Clears any span state left on the current thread's slot (open-frame
-// stack, depth, replay nesting). Slots are reused across scenario-service
-// attempts: a rank thread that unwound through an exception leaves its
-// Frame pointers dangling into a dead stack, so every attempt resets its
-// slots before opening new spans. Totals and counters are preserved.
+// stack, depth, replay nesting) and CLAIMS the slot's current generation
+// for this thread. Slots are reused across scenario-service attempts: a
+// rank thread that unwound through an exception leaves its Frame pointers
+// dangling into a dead stack, so every attempt resets its slots before
+// opening new spans. Totals and counters are preserved.
 void resetThreadSpans();
+
+// Fence a slot against its previous owner and drain any write in flight
+// (see RankTelemetry::retire). The scenario service calls this from the
+// supervisor's onRespawn hook — which runs BEFORE the replacement thread
+// spawns — so a stall-cause respawn hands the replacement a slot the
+// wedged zombie incarnation can provably never write again. Out-of-range
+// indices are ignored (the shared off-rank slot is never retired: its
+// writers are long-lived threads that would have no way to re-claim).
+void retireSlot(int slot);
 
 // --- fast-path helpers ----------------------------------------------------
 

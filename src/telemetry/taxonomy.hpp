@@ -29,6 +29,9 @@ enum class Phase : std::size_t {
   SchedQueue,          // scenario-service admission-queue pop
   SchedDispatch,       // scenario-service lease dispatch + job launch
   RespawnQuiesce,      // surviving rank fenced at the respawn epoch fence
+  FabricRoute,         // hazard-fabric owner lookup + local/forward split
+  FabricHeartbeat,     // broker lease renewal + membership-view poll
+  FabricForward,       // cross-broker submission forwarding (incl. retry)
   kCount
 };
 
@@ -39,7 +42,8 @@ inline constexpr std::array<std::string_view, kPhaseCount> kPhaseJsonNames = {
     "velocity_kernel", "stress_kernel", "halo_pack",   "halo_exchange",
     "halo_unpack",     "absorb",        "rupture",     "checkpoint",
     "output",          "health_scan",   "transfer",    "rollback_replay",
-    "sched_queue",     "sched_dispatch", "respawn_quiesce"};
+    "sched_queue",     "sched_dispatch", "respawn_quiesce",
+    "fabric_route",    "fabric_heartbeat", "fabric_forward"};
 
 [[nodiscard]] inline std::string_view toString(Phase p) {
   return kPhaseJsonNames[static_cast<std::size_t>(p)];
@@ -74,6 +78,12 @@ enum class Counter : std::size_t {
   RespawnEscalations,    // respawn ladder fell back to cancel-and-requeue
   BuddyBlobsReplicated,  // checkpoint blobs shipped to the ring buddy
   BuddyRestores,         // restarts served from the in-memory buddy store
+  FabricForwards,        // submissions forwarded to a remote owner broker
+  FabricReplays,         // submission-log records replayed after a handoff
+  FabricHandoffs,        // checkpoint/surface tiers adopted from a lost owner
+  FabricViewChanges,     // membership-view epoch bumps observed by brokers
+  FabricDegradedHolds,   // submissions parked by a degraded (partitioned) broker
+  FabricDedupHits,       // duplicate digests absorbed (forward/replay/at-least-once)
   kCount
 };
 
@@ -91,7 +101,10 @@ inline constexpr std::array<std::string_view, kCounterCount>
         "scenarios_submitted", "scenarios_completed", "scenarios_rejected",
         "scenario_retries",   "scenario_cache_hits", "artifact_cache_hits",
         "rank_respawns",      "respawn_escalations",
-        "buddy_blobs_replicated", "buddy_restores"};
+        "buddy_blobs_replicated", "buddy_restores",
+        "fabric_forwards",    "fabric_replays",      "fabric_handoffs",
+        "fabric_view_changes", "fabric_degraded_holds",
+        "fabric_dedup_hits"};
 
 [[nodiscard]] inline std::string_view toString(Counter c) {
   return kCounterJsonNames[static_cast<std::size_t>(c)];

@@ -34,6 +34,7 @@
 #include "telemetry/json.hpp"
 #include "telemetry/registry.hpp"
 #include "util/error.hpp"
+#include "util/retry.hpp"
 
 namespace awp::sched {
 namespace {
@@ -477,6 +478,58 @@ TEST(ServiceReportJson, ValidatorAcceptsWellFormedAndFlagsViolations) {
 
   EXPECT_FALSE(validateServiceReportJson("{ not json").empty());
   EXPECT_FALSE(validateServiceReportJson("[1,2]").empty());
+}
+
+TEST(ServiceReportJson, RetrySiteStatsRenderAndValidate) {
+  ServiceReport report;
+  report.coreBudget = 4;
+  report.wallSeconds = 1.0;
+  report.submitted = 1;
+  report.completed = 1;
+
+  util::RetrySiteStats ok;
+  ok.calls = 2;
+  ok.attempts = 5;
+  ok.failures = 3;
+  ok.exhausted = 1;
+  report.retrySites["sharedfile.write"] = ok;
+  const std::string json = toJson(report);
+  EXPECT_NE(json.find("\"retry_sites\""), std::string::npos);
+  EXPECT_NE(json.find("\"sharedfile.write\""), std::string::npos);
+  EXPECT_TRUE(validateServiceReportJson(json).empty());
+
+  // Internally inconsistent stats are flagged.
+  util::RetrySiteStats bad;
+  bad.calls = 3;
+  bad.attempts = 1;  // attempts below calls: impossible
+  report.retrySites["bogus.site"] = bad;
+  EXPECT_FALSE(validateServiceReportJson(toJson(report)).empty());
+}
+
+TEST(ServiceReportJson, LiveRetryRegistryLandsInTheServiceReport) {
+  util::resetRetryRegistry();
+  util::RetryPolicy policy;
+  policy.maxAttempts = 3;
+  policy.baseDelaySeconds = 0.0;
+  int calls = 0;
+  util::retryCall(policy, "test.flaky", [&] {
+    if (++calls < 3) throw TransientError("flaky");
+  });
+
+  ServiceConfig config;
+  config.coreBudget = 2;
+  ScenarioService service(config);
+  const ServiceReport report = service.report();
+  service.shutdown();
+
+  const auto it = report.retrySites.find("test.flaky");
+  ASSERT_NE(it, report.retrySites.end());
+  EXPECT_EQ(it->second.calls, 1u);
+  EXPECT_EQ(it->second.attempts, 3u);
+  EXPECT_EQ(it->second.failures, 2u);
+  EXPECT_EQ(it->second.exhausted, 0u);
+  const auto violations = validateServiceReportJson(toJson(report));
+  EXPECT_TRUE(violations.empty()) << violations.front();
 }
 
 // ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <new>
 #include <string>
+#include <thread>
 
 #include "core/solver.hpp"
 #include "fault/injector.hpp"
@@ -110,6 +111,62 @@ TEST_F(TelemetryTest, NestedSpansAttributeExclusiveTime) {
   EXPECT_FALSE(trace[0].replay);
   EXPECT_EQ(halo, trace[0].durationNs);
   EXPECT_EQ(velocity, trace[1].durationNs - trace[0].durationNs);
+}
+
+// The stall-respawn drain: retireSlot() advances the slot generation so a
+// wedged incarnation that wakes up later can provably never write again,
+// while the replacement claims the slot and records normally.
+TEST_F(TelemetryTest, RetireSlotFencesTheWedgedIncarnation) {
+  using telemetry::Phase;
+  using namespace telemetry;
+  Session session(SessionConfig{1});
+  ScopedSession active(session);
+
+  std::atomic<int> stage{0};
+  std::thread zombie([&] {
+    ScopedThreadRank rank(0);
+    resetThreadSpans();  // claim the slot's current generation
+    {
+      ScopedSpan s(Phase::VelocityKernel);
+      spinFor(std::chrono::microseconds(500));
+    }
+    stage.store(1);
+    while (stage.load() != 2) std::this_thread::yield();
+    // The slot was retired while this incarnation was wedged. Its late
+    // span writes must be silent no-ops, not races with the replacement.
+    for (int i = 0; i < 4; ++i) {
+      ScopedSpan late(Phase::HaloExchange);
+      spinFor(std::chrono::microseconds(100));
+    }
+    stage.store(3);
+  });
+
+  while (stage.load() != 1) std::this_thread::yield();
+  const std::uint64_t genBefore = session.slot(0).generation();
+  retireSlot(0);  // what the supervisor's onRespawn hook runs before reuse
+  EXPECT_GT(session.slot(0).generation(), genBefore);
+  stage.store(2);
+  while (stage.load() != 3) std::this_thread::yield();
+  zombie.join();
+
+  // The replacement incarnation claims the retired slot and records.
+  std::thread replacement([&] {
+    ScopedThreadRank rank(0);
+    resetThreadSpans();
+    ScopedSpan s(Phase::StressKernel);
+    spinFor(std::chrono::microseconds(500));
+  });
+  replacement.join();
+
+  const RankTelemetry& rt = session.slot(0);
+  EXPECT_EQ(rt.phaseNs(Phase::HaloExchange), 0u);  // fenced writes dropped
+  EXPECT_GT(rt.phaseNs(Phase::VelocityKernel), 0u);
+  EXPECT_GT(rt.phaseNs(Phase::StressKernel), 0u);
+  // Trace ring: exactly the pre-retire span and the replacement's span.
+  const auto trace = rt.traceSnapshot();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].phase, Phase::VelocityKernel);
+  EXPECT_EQ(trace[1].phase, Phase::StressKernel);
 }
 
 TEST_F(TelemetryTest, ReplayWindowsExcludedFromUsefulTotals) {
