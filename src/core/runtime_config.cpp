@@ -261,6 +261,19 @@ RuntimeConfig parseRuntimeConfig(const std::string& text,
         fail(lineNo, "fabric_forward_attempts must be >= 1");
     } else if (key == "fabric_root_dir") {
       config.fabric.rootDir = rawValue;
+    } else if (key == "serve_tile") {
+      config.serve.tileEdge = parseInt(value, lineNo);
+      if (config.serve.tileEdge < 1) fail(lineNo, "serve_tile must be >= 1");
+    } else if (key == "serve_window") {
+      config.serve.windowSamples = parseInt(value, lineNo);
+      if (config.serve.windowSamples < 1)
+        fail(lineNo, "serve_window must be >= 1");
+    } else if (key == "serve_partial") {
+      config.serve.partialPublish = parseSwitch(value, lineNo);
+    } else if (key == "serve_reconcile_ticks") {
+      config.serve.reconcileEveryTicks = parseInt(value, lineNo);
+      if (config.serve.reconcileEveryTicks < 1)
+        fail(lineNo, "serve_reconcile_ticks must be >= 1");
     } else {
       fail(lineNo, "unknown key '" + key + "'");
     }

@@ -69,6 +69,14 @@
 //   fabric_forward_attempts = <n>        (util/retry attempts per forward)
 //   fabric_root_dir      = <path>        (per-broker work dirs + the shared
 //                                        cache tier; "" = <tmp>/awp-fabric)
+//   serve_tile           = <points>      (square tile edge of the serving
+//                                        tier's surface-product tiles)
+//   serve_window         = <samples>     (min new surface samples between
+//                                        partial-map tile publishes)
+//   serve_partial        = on | off      (publish mid-run partial maps;
+//                                        off = completion publishes only)
+//   serve_reconcile_ticks = <n>          (broker pump ticks between serving
+//                                        anti-entropy reconcile passes)
 
 #include <cstddef>
 #include <string>
@@ -110,6 +118,15 @@ struct FabricKnobs {
   std::string rootDir;              // "" = <tmp>/awp-fabric
 };
 
+// Hazard-serving knobs (consumed by serve::ServeConfig::fromRuntime; a
+// plain struct here so core does not depend on src/serve).
+struct ServeKnobs {
+  int tileEdge = 16;             // square tile size in surface points
+  int windowSamples = 4;         // min samples between partial publishes
+  bool partialPublish = true;    // mid-run folding + tile publishes
+  int reconcileEveryTicks = 50;  // broker pump ticks between reconciles
+};
+
 struct RuntimeConfig {
   SolverConfig solver;
   SurfaceOutputConfig output;  // file left null; cadence fields populated
@@ -124,6 +141,8 @@ struct RuntimeConfig {
   SchedKnobs sched;
   // Hazard-fabric knobs (fabric_* keys).
   FabricKnobs fabric;
+  // Hazard-serving knobs (serve_* keys).
+  ServeKnobs serve;
 };
 
 // Parse `key = value` text into a RuntimeConfig starting from defaults.

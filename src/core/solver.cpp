@@ -139,6 +139,7 @@ void WaveSolver::attachSurfaceOutput(const SurfaceOutputConfig& out) {
   surfaceSample_.resize(3 * lnx * lny);
   surfaceWriter_ = std::make_unique<io::AggregatedWriter>(
       out.file, 3 * lnx * lny, myOffset, stepFloats, out.flushEverySamples);
+  if (out.flushObserver) surfaceWriter_->setFlushObserver(out.flushObserver);
 }
 
 void WaveSolver::attachCheckpoints(io::CheckpointStore* store,

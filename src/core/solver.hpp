@@ -91,6 +91,10 @@ struct SurfaceOutputConfig {
   int sampleEverySteps = 10;   // temporal decimation (M8: every 20th step)
   int spatialDecimation = 1;   // write every Nth surface point
   int flushEverySamples = 10;  // aggregation depth (1 = unbuffered)
+  // Optional durable-prefix observer (serving tier): fires on the rank
+  // thread after each flush/resume that advances this rank's flushed
+  // sample prefix. Only surface ranks own a writer, so only they call it.
+  io::FlushObserver flushObserver;
 };
 
 class WaveSolver {

@@ -95,6 +95,11 @@ void Broker::pumpOnce() {
   drainInbox();
   reapCompletions();
   if (state() == BrokerState::Active) flushDeferred();
+  ++pumpTicks_;
+  if (config_.reconcile && config_.reconcileEveryTicks > 0 &&
+      pumpTicks_ % static_cast<std::uint64_t>(config_.reconcileEveryTicks) ==
+          0)
+    config_.reconcile();
 }
 
 void Broker::heartbeat(double now) {
@@ -270,6 +275,19 @@ Broker::Accept Broker::submitClient(
       // tier; everything else is parked for re-forward after rejoin.
       if (auto products = service_->cachedProducts(digest)) {
         telemetry::count(telemetry::Counter::ScenarioCacheHits);
+        if (config_.service.publisher != nullptr &&
+            spec->kind == sched::ScenarioKind::Wave) {
+          // Degraded read-only serving still converges the serving tier:
+          // the canonical products republish (duplicates are absorbed).
+          sched::SurfaceRunInfo info;
+          info.specHash = digest;
+          info.spec = *spec;
+          info.surfacePath =
+              (fs::path(service_->jobDirFor(digest)) / "surface.bin")
+                  .string();
+          config_.service.publisher->onScenarioComplete(
+              info, config_.service.publishOriginId, *products);
+        }
         settle_(config_.id, digest, sched::JobPhase::Completed,
                 std::move(*products), "");
         return Accept::Owned;

@@ -57,6 +57,12 @@ struct BrokerConfig {
   // Work-dir roots of ALL brokers, indexed by broker id — the handoff
   // scans peers' job dirs for the newest valid checkpoint generation.
   std::vector<std::string> peerWorkDirs;
+  // Serving-tier anti-entropy hook, called every reconcileEveryTicks pump
+  // ticks (0 = never). The fabric binds it to ProductServer::reconcile;
+  // the broker stays ignorant of tiles. Runs in Degraded mode too — a
+  // partitioned broker keeps converging its subscribers read-only.
+  std::function<void()> reconcile;
+  int reconcileEveryTicks = 0;
   sched::ServiceConfig service;
 };
 
@@ -156,6 +162,7 @@ class Broker {
   // Pump-thread-only timing state.
   double nextHeartbeat_ = 0.0;
   int missedRenewals_ = 0;
+  std::uint64_t pumpTicks_ = 0;
 
   struct Parked {
     std::shared_ptr<const sched::ScenarioSpec> spec;

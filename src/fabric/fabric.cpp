@@ -39,6 +39,7 @@ FabricConfig FabricConfig::fromRuntime(const core::RuntimeConfig& rc) {
   c.service = sched::ServiceConfig::fromRuntime(rc);
   c.service.telemetry = false;  // the fabric owns the session
   c.service.chromeTracePath.clear();
+  c.serve = serve::ServeConfig::fromRuntime(rc);
   return c;
 }
 
@@ -48,6 +49,14 @@ HazardFabric::HazardFabric(FabricConfig config) : config_(std::move(config)) {
   if (config_.rootDir.empty())
     config_.rootDir = (fs::temp_directory_path() / "awp-fabric").string();
   fs::create_directories(fs::path(config_.rootDir) / "cache");
+
+  // One ProductServer over the shared cache tier: tile chunks dedupe
+  // against each other (and coexist with memoized products) in the same
+  // content-addressed directory every broker already shares.
+  serveCache_ = std::make_unique<sched::ArtifactCache>(
+      (fs::path(config_.rootDir) / "cache").string());
+  server_ =
+      std::make_unique<serve::ProductServer>(serveCache_.get(), config_.serve);
 
   board_ = std::make_unique<LeaseBoard>(config_.brokers,
                                         config_.leaseSeconds);
@@ -101,6 +110,10 @@ HazardFabric::HazardFabric(FabricConfig config) : config_(std::move(config)) {
         (fs::path(config_.rootDir) / "cache").string();
     bc.service.workDir = workDirs[static_cast<std::size_t>(i)];
     bc.service.chromeTracePath.clear();
+    bc.service.publisher = server_.get();
+    bc.service.publishOriginId = i;
+    bc.reconcile = [this] { server_->reconcile(); };
+    bc.reconcileEveryTicks = config_.serve.reconcileEveryTicks;
     bc.service.telemetrySlotBase = i * coreBudget;
     if (ownedSession_ != nullptr) {
       bc.service.dispatcherTelemetrySlot = totalCores + i;

@@ -33,6 +33,7 @@
 #include "fabric/transport.hpp"
 #include "sched/report.hpp"
 #include "sched/spec.hpp"
+#include "serve/server.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "util/retry.hpp"
 #include "util/timer.hpp"
@@ -62,6 +63,9 @@ struct FabricConfig {
   // overridden per broker; cacheProducts is forced on (replay and
   // degraded-mode serving both need the shared product tier).
   sched::ServiceConfig service;
+  // Serving-tier knobs (serve_* keys). The fabric owns one ProductServer
+  // over the shared cache tier; every broker publishes into it.
+  serve::ServeConfig serve;
 
   static FabricConfig fromRuntime(const core::RuntimeConfig& rc);
 };
@@ -129,6 +133,21 @@ class HazardFabric {
   // its hash range moves at the next membership epoch.
   void killBroker(int id);
 
+  // --- serving tier ----------------------------------------------------
+  // The fabric-wide ProductServer: every broker (including degraded ones
+  // serving read-only cache hits) publishes tile versions into it, so
+  // queries and subscriptions span the whole catalog regardless of which
+  // broker ran — or re-ran — each scenario.
+  [[nodiscard]] serve::ProductServer& productServer() { return *server_; }
+  serve::ExceedanceResult exceedance(const serve::ExceedanceQuery& query) {
+    return server_->exceedance(query);
+  }
+  std::uint64_t subscribeTiles(serve::Field field, serve::Extent extent,
+                               serve::SubscriptionCallback callback) {
+    return server_->subscribe(field, extent, std::move(callback));
+  }
+  void unsubscribeTiles(std::uint64_t id) { server_->unsubscribe(id); }
+
   [[nodiscard]] BrokerState brokerState(int id) const;
   [[nodiscard]] MembershipView currentView();
   [[nodiscard]] FabricReport report() const;
@@ -153,6 +172,12 @@ class HazardFabric {
   std::unique_ptr<HashRing> ring_;
   std::unique_ptr<FabricTransport> transport_;
   std::unique_ptr<SubmissionLog> log_;
+  // Serving tier: the chunk cache shares the brokers' on-disk cache dir,
+  // so tile chunks and memoized products live in one content-addressed
+  // tier. Declared before brokers_ — broker services publish into the
+  // server, so it must be destroyed after them.
+  std::unique_ptr<sched::ArtifactCache> serveCache_;
+  std::unique_ptr<serve::ProductServer> server_;
   std::vector<std::unique_ptr<Broker>> brokers_;
 
   mutable std::mutex jobsMu_;

@@ -103,6 +103,18 @@ FaultPlan& FaultPlan::fabricDelay(int broker, std::uint64_t occurrence,
               count, seconds});
 }
 
+FaultPlan& FaultPlan::servePublishDrop(int origin, std::uint64_t occurrence,
+                                       std::uint64_t count) {
+  return add({"serve_publish_drop", FaultKind::MessageDrop, origin,
+              occurrence, count, 0.0});
+}
+
+FaultPlan& FaultPlan::serveNotifyDelay(int origin, std::uint64_t occurrence,
+                                       double seconds, std::uint64_t count) {
+  return add({"serve_notify_delay", FaultKind::RankStall, origin, occurrence,
+              count, seconds});
+}
+
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
     : specs_(plan.specs()), seed_(seed) {}
 

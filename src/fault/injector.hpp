@@ -43,6 +43,17 @@
 //                                        rank = sending broker id
 //                                        (RankStall sleeps the sender,
 //                                        modelling a congested link)
+//   serve_publish_drop                 — serving-tier window publish;
+//                                        rank = publish origin (broker id,
+//                                        or ServeConfig::originId outside a
+//                                        fabric). MessageDrop loses one
+//                                        window's tile publish — the next
+//                                        window or a reconcile pass must
+//                                        converge subscribers anyway
+//   serve_notify_delay                 — serving-tier subscription delta
+//                                        delivery; rank = publish origin
+//                                        (RankStall delays the notify,
+//                                        modelling a slow subscriber link)
 //
 // When no injector is installed every hook is a single relaxed atomic
 // load + branch, so the disabled path adds no measurable overhead to the
@@ -117,6 +128,15 @@ class FaultPlan {
   // Stall fabric sends from `broker` for `seconds` each.
   FaultPlan& fabricDelay(int broker, std::uint64_t occurrence,
                          double seconds, std::uint64_t count = 1);
+  // Drop `count` consecutive serving-tier window publishes from publish
+  // origin `origin` starting at the occurrence-th "serve_publish_drop"
+  // consult. Dropped windows must be covered by later cumulative windows
+  // or a reconcile pass.
+  FaultPlan& servePublishDrop(int origin, std::uint64_t occurrence,
+                              std::uint64_t count = 1);
+  // Stall subscription delta delivery from `origin` for `seconds` each.
+  FaultPlan& serveNotifyDelay(int origin, std::uint64_t occurrence,
+                              double seconds, std::uint64_t count = 1);
 
   [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
   [[nodiscard]] bool empty() const { return specs_.empty(); }

@@ -42,6 +42,7 @@ void AggregatedWriter::writeSampleAt(std::uint64_t sampleIndex,
     writeOne(sampleIndex, data);
     stats_.bytesWritten += recordFloats_ * sizeof(float);
     ++stats_.samplesRewritten;
+    if (sampleIndex < lowestRewritten_) lowestRewritten_ = sampleIndex;
     stats_.writeSeconds += watch.seconds();
     telemetry::count(telemetry::Counter::OutputBytes,
                      recordFloats_ * sizeof(float));
@@ -75,7 +76,22 @@ void AggregatedWriter::writeSampleAt(std::uint64_t sampleIndex,
 
 void AggregatedWriter::resumeFrom(std::uint64_t sampleIndex) {
   flush();
-  if (sampleIndex > samplesFlushed_) samplesFlushed_ = sampleIndex;
+  if (sampleIndex > samplesFlushed_) {
+    samplesFlushed_ = sampleIndex;
+    // The adopted prefix is durable (written by the earlier attempt) —
+    // a new owner's observer must learn it before any fresh flush.
+    notifyObserver();
+  }
+}
+
+void AggregatedWriter::notifyObserver() {
+  if (!observer_) {
+    lowestRewritten_ = kNoRewrite;
+    return;
+  }
+  const std::uint64_t rewritten = lowestRewritten_;
+  lowestRewritten_ = kNoRewrite;
+  observer_(samplesFlushed_, rewritten);
 }
 
 void AggregatedWriter::writeOne(std::uint64_t sampleIndex, const float* src) {
@@ -120,6 +136,7 @@ void AggregatedWriter::flush() {
   telemetry::count(telemetry::Counter::OutputBytes, bytes);
   samplesBuffered_ = 0;
   buffer_.clear();
+  notifyObserver();
 }
 
 }  // namespace awp::io

@@ -16,12 +16,30 @@
 // appending duplicates.
 
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "io/shared_file.hpp"
 #include "util/retry.hpp"
 
 namespace awp::io {
+
+// Sentinel for "no sample was rewritten below the flushed prefix since the
+// last flush notification".
+inline constexpr std::uint64_t kNoRewrite =
+    std::numeric_limits<std::uint64_t>::max();
+
+// Invoked after each flush that advances (or re-establishes) the durable
+// prefix: `durableSamples` is the new flushed-sample count;
+// `lowestRewritten` is the smallest already-flushed sample index rewritten
+// in place since the previous notification (kNoRewrite when none). The
+// serving tier uses the pair to fold freshly durable samples into partial
+// hazard products and to detect rollback replays that invalidate
+// previously folded windows.
+using FlushObserver =
+    std::function<void(std::uint64_t durableSamples,
+                       std::uint64_t lowestRewritten)>;
 
 struct WriterStats {
   std::uint64_t recordsBuffered = 0;
@@ -72,6 +90,14 @@ class AggregatedWriter {
     retryPolicy_ = policy;
   }
 
+  // Observe durable-prefix advances. Fires on the writer's own thread
+  // after flush() persists buffered samples and after resumeFrom() adopts
+  // an earlier attempt's prefix; pending rewrite low-water marks ride on
+  // the next notification.
+  void setFlushObserver(FlushObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   [[nodiscard]] const WriterStats& stats() const { return stats_; }
   // Index the next appendSample() would write.
   [[nodiscard]] std::uint64_t nextSampleIndex() const {
@@ -88,10 +114,16 @@ class AggregatedWriter {
   std::uint64_t stepFloatsGlobal_;
   int flushEverySamples_;
 
+  // Notify the observer of the current durable prefix and consume the
+  // pending rewrite low-water mark.
+  void notifyObserver();
+
   std::vector<float> buffer_;
   std::uint64_t samplesBuffered_ = 0;
   std::uint64_t samplesFlushed_ = 0;
+  std::uint64_t lowestRewritten_ = kNoRewrite;
   util::RetryPolicy retryPolicy_{.maxAttempts = 3};
+  FlushObserver observer_;
   WriterStats stats_;
 };
 

@@ -81,26 +81,71 @@ std::optional<std::vector<std::byte>> ArtifactCache::get(
     auto it = memory_.find(key);
     if (it != memory_.end()) {
       ++stats_.hits;
+      ++stats_.memoryHits;
       return it->second;
     }
+    ++stats_.memoryMisses;
   }
   // Disk probe outside the lock: I/O must not serialize memory hits.
   auto fromDisk = loadDisk(key);
   std::lock_guard<std::mutex> lock(mutex_);
   if (!fromDisk.has_value()) {
     ++stats_.misses;
+    ++stats_.diskMisses;
     return std::nullopt;
   }
   ++stats_.hits;
   ++stats_.diskLoads;
+  ++stats_.diskHits;
   memory_[key] = *fromDisk;
   return fromDisk;
+}
+
+void ArtifactCache::accountPutLocked(const std::string& key,
+                                     std::uint64_t bytes, bool stored) {
+  ++stats_.puts;
+  stats_.logicalBytes += bytes;
+  auto& entry = accounting_[key];
+  entry.logicalBytes += bytes;
+  if (stored) {
+    stats_.storedBytes += bytes;
+    entry.storedBytes += bytes;
+  } else {
+    ++stats_.dedupHits;
+    ++entry.dedupPuts;
+  }
 }
 
 void ArtifactCache::put(const std::string& key, std::vector<std::byte> value) {
   storeDisk(key, value);
   std::lock_guard<std::mutex> lock(mutex_);
+  accountPutLocked(key, value.size(), /*stored=*/true);
   memory_[key] = std::move(value);
+}
+
+bool ArtifactCache::putDedup(const std::string& key,
+                             std::vector<std::byte> value) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (memory_.count(key) > 0) {
+      accountPutLocked(key, value.size(), /*stored=*/false);
+      return false;
+    }
+  }
+  // The key embeds the payload digest (content addressing), so a disk hit
+  // is the same bytes — promote it and absorb the put.
+  auto fromDisk = loadDisk(key);
+  if (fromDisk.has_value()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accountPutLocked(key, value.size(), /*stored=*/false);
+    memory_[key] = std::move(*fromDisk);
+    return false;
+  }
+  storeDisk(key, value);
+  std::lock_guard<std::mutex> lock(mutex_);
+  accountPutLocked(key, value.size(), /*stored=*/true);
+  memory_[key] = std::move(value);
+  return true;
 }
 
 std::vector<std::byte> ArtifactCache::getOrCompute(
@@ -113,6 +158,7 @@ std::vector<std::byte> ArtifactCache::getOrCompute(
       auto hit = memory_.find(key);
       if (hit != memory_.end()) {
         ++stats_.hits;
+        ++stats_.memoryHits;
         return hit->second;
       }
       auto inFlight = pending_.find(key);
@@ -130,6 +176,7 @@ std::vector<std::byte> ArtifactCache::getOrCompute(
         auto hit = memory_.find(key);
         if (hit != memory_.end()) {
           ++stats_.hits;
+          ++stats_.memoryHits;
           return hit->second;
         }
       }
@@ -161,16 +208,21 @@ std::vector<std::byte> ArtifactCache::getOrCompute(
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.hits;
       ++stats_.diskLoads;
+      ++stats_.diskHits;
+      ++stats_.memoryMisses;
       memory_[key] = value;
     } else {
       {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.misses;
         ++stats_.computes;
+        ++stats_.memoryMisses;
+        ++stats_.diskMisses;
       }
       value = compute();
       storeDisk(key, value);
       std::lock_guard<std::mutex> lock(mutex_);
+      accountPutLocked(key, value.size(), /*stored=*/true);
       memory_[key] = value;
     }
     finish(/*failed=*/false);
@@ -195,7 +247,15 @@ bool ArtifactCache::contains(const std::string& key) {
 
 CacheStats ArtifactCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  CacheStats s = stats_;
+  s.entries = memory_.size();
+  return s;
+}
+
+std::map<std::string, EntryAccounting> ArtifactCache::entryAccounting()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accounting_;
 }
 
 }  // namespace awp::sched

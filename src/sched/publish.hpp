@@ -1,0 +1,61 @@
+#pragma once
+// ProductPublisher: the scenario service's outbound hook into a serving
+// tier. The service stays ignorant of tiles, subscriptions, and hazard
+// queries — it only reports two facts a read path needs:
+//
+//  * onWindowFlush — a rank's AggregatedWriter advanced its durable
+//    sample prefix in the scenario's step-indexed surface file. Fired on
+//    the rank thread, mid-run; a serving tier can fold the freshly
+//    durable samples into partial hazard products. `lowestRewritten`
+//    carries the rollback-replay low-water mark (io::kNoRewrite when no
+//    flushed sample was rewritten in place) so the tier can tell cheap
+//    monotone progress from a replay that invalidates folded history.
+//
+//  * onScenarioComplete — the scenario settled with products (a fresh
+//    run, a cache hit, or a degraded broker serving memoized work). The
+//    products' canonical bytes are authoritative: a serving tier must
+//    converge its published state to them no matter what it saw (or
+//    missed) mid-run.
+//
+// Both calls may arrive multiple times for the same digest (retries,
+// respawns, at-least-once fabric replay) and from several threads;
+// implementations must be idempotent and thread-safe.
+
+#include <cstdint>
+#include <string>
+
+#include "sched/spec.hpp"
+
+namespace awp::sched {
+
+// Everything a serving tier needs to interpret one scenario's surface
+// stream: the spec identity, its geometry knobs, and the step-indexed
+// surface file the ranks are writing.
+struct SurfaceRunInfo {
+  std::string specHash;     // physics digest (32-hex MD5)
+  ScenarioSpec spec;        // dims/nranks/cadence for layout recovery
+  std::string surfacePath;  // step-indexed surface.bin of the active owner
+};
+
+class ProductPublisher {
+ public:
+  virtual ~ProductPublisher() = default;
+
+  // A rank's durable surface prefix advanced to `durableSamples`.
+  // `lowestRewritten` is the smallest already-flushed sample index
+  // rewritten in place since the previous notification for this rank
+  // (io::kNoRewrite when none). `origin` identifies the publishing
+  // service (broker id inside a fabric; ServiceConfig::publishOriginId
+  // otherwise) — it is the fault-injection rank for the serve_* sites.
+  virtual void onWindowFlush(const SurfaceRunInfo& info, int origin,
+                             int rank, std::uint64_t durableSamples,
+                             std::uint64_t lowestRewritten) = 0;
+
+  // The scenario settled with products. Must converge published state to
+  // the canonical product bytes; duplicate completions (fabric replay
+  // races) must not re-notify or regress versions.
+  virtual void onScenarioComplete(const SurfaceRunInfo& info, int origin,
+                                  const ScenarioProducts& products) = 0;
+};
+
+}  // namespace awp::sched

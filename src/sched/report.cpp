@@ -64,7 +64,16 @@ std::string toJson(const ServiceReport& report) {
      << "\"hits\": " << report.cache.hits << ", "
      << "\"misses\": " << report.cache.misses << ", "
      << "\"computes\": " << report.cache.computes << ", "
-     << "\"disk_loads\": " << report.cache.diskLoads << "},\n";
+     << "\"disk_loads\": " << report.cache.diskLoads << ",\n"
+     << "    \"memory_hits\": " << report.cache.memoryHits << ", "
+     << "\"memory_misses\": " << report.cache.memoryMisses << ", "
+     << "\"disk_hits\": " << report.cache.diskHits << ", "
+     << "\"disk_misses\": " << report.cache.diskMisses << ",\n"
+     << "    \"puts\": " << report.cache.puts << ", "
+     << "\"dedup_hits\": " << report.cache.dedupHits << ", "
+     << "\"logical_bytes\": " << report.cache.logicalBytes << ", "
+     << "\"stored_bytes\": " << report.cache.storedBytes << ", "
+     << "\"entries\": " << report.cache.entries << "},\n";
   os << "  \"retry_sites\": {";
   {
     bool first = true;
@@ -243,6 +252,34 @@ std::vector<std::string> validateServiceReportJson(const std::string& text) {
     nonNegativeMember(*cache, "artifact_cache", "misses", out, &scratch);
     nonNegativeMember(*cache, "artifact_cache", "computes", out, &computes);
     nonNegativeMember(*cache, "artifact_cache", "disk_loads", out, &scratch);
+    // Tier/dedup accounting joined the schema later; tolerated as absent
+    // so pre-existing handcrafted reports stay valid. When present the
+    // tiers must reconcile with the totals and dedup can only shrink.
+    if (cache->find("puts") != nullptr) {
+      double memHits = 0, diskHits = 0, puts = 0, dedup = 0;
+      double logical = 0, stored = 0;
+      const bool haveMem = nonNegativeMember(*cache, "artifact_cache",
+                                             "memory_hits", out, &memHits);
+      nonNegativeMember(*cache, "artifact_cache", "memory_misses", out,
+                        &scratch);
+      const bool haveDisk = nonNegativeMember(*cache, "artifact_cache",
+                                              "disk_hits", out, &diskHits);
+      nonNegativeMember(*cache, "artifact_cache", "disk_misses", out,
+                        &scratch);
+      nonNegativeMember(*cache, "artifact_cache", "puts", out, &puts);
+      nonNegativeMember(*cache, "artifact_cache", "dedup_hits", out, &dedup);
+      const bool haveLogical = nonNegativeMember(
+          *cache, "artifact_cache", "logical_bytes", out, &logical);
+      const bool haveStored = nonNegativeMember(
+          *cache, "artifact_cache", "stored_bytes", out, &stored);
+      nonNegativeMember(*cache, "artifact_cache", "entries", out, &scratch);
+      if (haveMem && haveDisk && memHits + diskHits > hits + 0.5)
+        out.push_back("artifact_cache: tier hits exceed total hits");
+      if (dedup > puts + 0.5)
+        out.push_back("artifact_cache: dedup_hits exceed puts");
+      if (haveLogical && haveStored && stored > logical + 0.5)
+        out.push_back("artifact_cache: stored_bytes exceed logical_bytes");
+    }
   }
 
   // Retry-site stats are part of the v1 schema but tolerated as absent so

@@ -195,6 +195,18 @@ JobHandle ScenarioService::submit(ScenarioSpec spec) {
         ScenarioProducts products = ScenarioProducts::deserialize(*bytes);
         job->cacheHit = true;
         telemetry::count(telemetry::Counter::ScenarioCacheHits);
+        if (config_.publisher != nullptr &&
+            job->spec.kind == ScenarioKind::Wave) {
+          // A memoized hit still converges the serving tier: the canonical
+          // products are republished (the tile store absorbs duplicates).
+          SurfaceRunInfo info;
+          info.specHash = job->hash;
+          info.spec = job->spec;
+          info.surfacePath =
+              (fs::path(jobDirFor(job->hash)) / "surface.bin").string();
+          config_.publisher->onScenarioComplete(
+              info, config_.publishOriginId, products);
+        }
         {
           std::lock_guard<std::mutex> lock(jobsMu_);
           allJobs_.push_back(job);
@@ -344,6 +356,16 @@ void ScenarioService::workerMain(Dispatch d) {
             : attemptRupture(*d.job, d.coreBase);
     if (config_.cacheProducts)
       cache_.put(productKey(d.job->hash), products.serialize());
+    if (config_.publisher != nullptr &&
+        d.job->spec.kind == ScenarioKind::Wave) {
+      SurfaceRunInfo info;
+      info.specHash = d.job->hash;
+      info.spec = d.job->spec;
+      info.surfacePath =
+          (fs::path(jobDirFor(d.job->hash)) / "surface.bin").string();
+      config_.publisher->onScenarioComplete(info, config_.publishOriginId,
+                                            products);
+    }
     settleTerminal(d.job, JobPhase::Completed, "", std::move(products),
                    /*countedPrimary=*/true);
   } catch (const CancelledError& e) {
@@ -582,6 +604,24 @@ ScenarioProducts ScenarioService::attemptWave(JobState& job, int coreBase) {
         out.sampleEverySteps = spec.surfaceSampleEverySteps;
         out.spatialDecimation = 1;
         out.flushEverySamples = 1;
+        if (config_.publisher != nullptr) {
+          // Serving-tier hook: every durable-prefix advance of this rank's
+          // writer is reported (on the rank thread) so partial hazard
+          // products can be folded mid-run.
+          SurfaceRunInfo info;
+          info.specHash = job.hash;
+          info.spec = spec;
+          info.surfacePath = surfacePath;
+          ProductPublisher* pub = config_.publisher;
+          const int origin = config_.publishOriginId;
+          const int rank = comm.rank();
+          out.flushObserver = [pub, info = std::move(info), origin, rank](
+                                  std::uint64_t durableSamples,
+                                  std::uint64_t lowestRewritten) {
+            pub->onWindowFlush(info, origin, rank, durableSamples,
+                               lowestRewritten);
+          };
+        }
         solver->attachSurfaceOutput(out);
 
         if (spec.checkpointEverySteps > 0) {

@@ -34,6 +34,7 @@
 #include "health/watchdog.hpp"
 #include "sched/artifact_cache.hpp"
 #include "sched/job.hpp"
+#include "sched/publish.hpp"
 #include "sched/queue.hpp"
 #include "sched/report.hpp"
 #include "telemetry/chrome_trace.hpp"
@@ -85,6 +86,13 @@ struct ServiceConfig {
   int dispatcherTelemetrySlot = -1;
   std::size_t telemetryRingCapacity = std::size_t{1} << 16;
   std::string chromeTracePath;      // whole-service trace at shutdown
+  // Serving-tier hook (not owned; may be null). Wave jobs report surface
+  // window flushes and scenario completions — fresh runs AND cache hits,
+  // so a serving tier converges to canonical products either way.
+  // publishOriginId is the fault-injection rank for the serve_* sites
+  // (the fabric sets it to the broker id).
+  ProductPublisher* publisher = nullptr;
+  int publishOriginId = 0;
 
   static ServiceConfig fromRuntime(const core::RuntimeConfig& rc);
 };

@@ -1,0 +1,65 @@
+#include "serve/layout.hpp"
+
+#include <cmath>
+
+#include "mesh/partitioner.hpp"
+#include "util/error.hpp"
+#include "vcluster/cart.hpp"
+
+namespace awp::serve {
+
+SurfaceLayout::SurfaceLayout(std::size_t nx, std::size_t ny, std::size_t nz,
+                             int nranks)
+    : nx_(nx), ny_(ny) {
+  AWP_CHECK_MSG(nx > 0 && ny > 0 && nz > 0 && nranks > 0,
+                "serve: degenerate surface layout");
+  const vcluster::CartTopology topo(
+      vcluster::CartTopology::balancedDims(nranks, nx, ny, nz));
+  const mesh::MeshSpec spec{nx, ny, nz, 0.0, 0.0, 0.0};
+  for (int r = 0; r < topo.size(); ++r) {
+    const auto sub = mesh::subdomainFor(topo, spec, r);
+    if (sub.z.end != nz) continue;  // not a surface rank
+    SurfaceSegment seg;
+    seg.rank = r;
+    seg.offsetFloats = stepFloats_;
+    seg.x0 = sub.x.begin;
+    seg.y0 = sub.y.begin;
+    seg.lnx = sub.x.count();
+    seg.lny = sub.y.count();
+    segments_.push_back(seg);
+    surfaceRanks_.push_back(r);
+    stepFloats_ += 3ULL * seg.lnx * seg.lny;
+  }
+  AWP_CHECK_MSG(stepFloats_ == 3ULL * nx * ny,
+                "serve: surface segments do not cover the free surface");
+}
+
+void SurfaceLayout::foldSampleMax(const float* record, float* field) const {
+  for (const SurfaceSegment& seg : segments_) {
+    std::uint64_t at = seg.offsetFloats;
+    for (std::size_t gj = seg.y0; gj < seg.y0 + seg.lny; ++gj)
+      for (std::size_t gi = seg.x0; gi < seg.x0 + seg.lnx; ++gi) {
+        const float u = record[at];
+        const float v = record[at + 1];
+        at += 3;
+        // Must match derivePgvh float-for-float: float multiply/add, the
+        // float sqrt overload, strict > (NaN compares false, so a NaN
+        // sample never enters the fold — same as the product path).
+        const float horiz = std::sqrt(u * u + v * v);
+        float& cell = field[gi + nx_ * gj];
+        if (horiz > cell) cell = horiz;
+      }
+  }
+}
+
+void SurfaceLayout::recordToRowMajor(const float* recordScalars,
+                                     float* field) const {
+  for (const SurfaceSegment& seg : segments_) {
+    std::uint64_t at = seg.offsetFloats / 3;
+    for (std::size_t gj = seg.y0; gj < seg.y0 + seg.lny; ++gj)
+      for (std::size_t gi = seg.x0; gi < seg.x0 + seg.lnx; ++gi)
+        field[gi + nx_ * gj] = recordScalars[at++];
+  }
+}
+
+}  // namespace awp::serve

@@ -1,0 +1,70 @@
+#pragma once
+// TileStore: the versioned tile index of the serving tier, backed by the
+// content-addressed artifact cache. The index maps TileKey -> (version,
+// payload digest); payload chunks live in the cache under a pure content
+// key, so identical tiles — across scenarios, or across versions of one
+// scenario whose extent stopped changing — are stored once (the cache's
+// putDedup path keeps the logical-vs-stored accounting).
+//
+// Version discipline: a publish only lands when it strictly advances the
+// tile's version. Retried attempts and at-least-once fabric replays
+// publish bit-identical payloads at the same step-derived versions, so a
+// duplicate publish is absorbed here (no index churn, no re-notify) and
+// a version can never regress.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "sched/artifact_cache.hpp"
+#include "serve/tile.hpp"
+#include "util/hot.hpp"
+
+namespace awp::serve {
+
+struct TileRecord {
+  std::uint64_t version = 0;               // samples folded into the tile
+  std::array<std::uint8_t, 16> chunkMd5{};  // content key of the payload
+  std::uint32_t payloadFloats = 0;
+};
+
+struct PublishOutcome {
+  bool advanced = false;     // version moved forward (subscribers notified)
+  bool chunkStored = false;  // payload was new to the cache tier
+};
+
+class TileStore {
+ public:
+  // `cache` must outlive the store; `tileEdge` is the square tile size in
+  // surface points.
+  TileStore(sched::ArtifactCache* cache, int tileEdge);
+
+  [[nodiscard]] int tileEdge() const { return tileEdge_; }
+
+  // Publish `payload` as the tile's content at `version`. No-op (absorbed
+  // duplicate) unless version strictly advances the tile's current one.
+  PublishOutcome publish(const TileKey& key, std::uint64_t version,
+                         const float* payload, std::size_t count);
+
+  // Index probe. Alloc-free/throw-free: the query and notify paths call
+  // this per candidate tile.
+  AWP_HOT bool lookup(const TileKey& key, TileRecord* out) const;
+  // Current version of a tile (0 = never published).
+  AWP_HOT std::uint64_t latestVersion(const TileKey& key) const;
+
+  // Load a tile's payload through the cache tier (memory, then disk).
+  [[nodiscard]] std::optional<std::vector<float>> load(
+      const TileKey& key) const;
+
+  [[nodiscard]] std::size_t tileCount() const;
+
+ private:
+  sched::ArtifactCache* cache_;
+  int tileEdge_;
+  mutable std::mutex mu_;
+  std::map<TileKey, TileRecord, TileKeyLess> index_;
+};
+
+}  // namespace awp::serve

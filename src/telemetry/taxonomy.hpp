@@ -32,6 +32,9 @@ enum class Phase : std::size_t {
   FabricRoute,         // hazard-fabric owner lookup + local/forward split
   FabricHeartbeat,     // broker lease renewal + membership-view poll
   FabricForward,       // cross-broker submission forwarding (incl. retry)
+  ServePublish,        // serving tier: tile fold + publish of a window
+  ServeQuery,          // serving tier: exceedance/max query streaming
+  ServeNotify,         // serving tier: subscription delta delivery
   kCount
 };
 
@@ -43,7 +46,8 @@ inline constexpr std::array<std::string_view, kPhaseCount> kPhaseJsonNames = {
     "halo_unpack",     "absorb",        "rupture",     "checkpoint",
     "output",          "health_scan",   "transfer",    "rollback_replay",
     "sched_queue",     "sched_dispatch", "respawn_quiesce",
-    "fabric_route",    "fabric_heartbeat", "fabric_forward"};
+    "fabric_route",    "fabric_heartbeat", "fabric_forward",
+    "serve_publish",   "serve_query",   "serve_notify"};
 
 [[nodiscard]] inline std::string_view toString(Phase p) {
   return kPhaseJsonNames[static_cast<std::size_t>(p)];
@@ -84,6 +88,14 @@ enum class Counter : std::size_t {
   FabricViewChanges,     // membership-view epoch bumps observed by brokers
   FabricDegradedHolds,   // submissions parked by a degraded (partitioned) broker
   FabricDedupHits,       // duplicate digests absorbed (forward/replay/at-least-once)
+  ServeTilesPublished,   // tile versions made visible to the tile index
+  ServeTileBytes,        // payload bytes behind published tile versions
+  ServeChunkDedups,      // tile chunks already present in the cache tier
+  ServePublishDrops,     // window publishes lost to injected drops
+  ServeQueries,          // exceedance/max-over-catalog queries answered
+  ServeTilesScanned,     // tiles streamed through the query path
+  ServeNotifies,         // subscription deltas delivered to clients
+  ServeReconciles,       // anti-entropy passes re-publishing lagging tiles
   kCount
 };
 
@@ -104,7 +116,10 @@ inline constexpr std::array<std::string_view, kCounterCount>
         "buddy_blobs_replicated", "buddy_restores",
         "fabric_forwards",    "fabric_replays",      "fabric_handoffs",
         "fabric_view_changes", "fabric_degraded_holds",
-        "fabric_dedup_hits"};
+        "fabric_dedup_hits",
+        "serve_tiles_published", "serve_tile_bytes",
+        "serve_chunk_dedups", "serve_publish_drops", "serve_queries",
+        "serve_tiles_scanned", "serve_notifies", "serve_reconciles"};
 
 [[nodiscard]] inline std::string_view toString(Counter c) {
   return kCounterJsonNames[static_cast<std::size_t>(c)];
