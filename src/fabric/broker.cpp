@@ -152,9 +152,14 @@ void Broker::heartbeat(double now) {
       break;
   }
 
-  if (auto view = transport_->fetchView(config_.id, now);
-      view.has_value() && view->epoch != lastView_.epoch)
-    adoptView(*view);
+  if (auto view = transport_->fetchView(config_.id, now); view.has_value()) {
+    std::uint64_t adopted;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      adopted = lastView_.epoch;
+    }
+    if (view->epoch != adopted) adoptView(*view);
+  }
   span.end();
 }
 

@@ -35,6 +35,7 @@
 #include "fabric/submission_log.hpp"
 #include "fabric/transport.hpp"
 #include "sched/service.hpp"
+#include "util/guarded.hpp"
 #include "util/timer.hpp"
 
 namespace awp::fabric {
@@ -170,9 +171,10 @@ class Broker {
   };
 
   mutable std::mutex mu_;
-  MembershipView lastView_;                      // routing snapshot
-  std::map<std::string, sched::JobHandle> tracked_;  // digest -> local job
-  std::vector<Parked> deferred_;
+  MembershipView lastView_ AWP_GUARDED_BY(mu_);  // routing snapshot
+  std::map<std::string, sched::JobHandle> tracked_
+      AWP_GUARDED_BY(mu_);  // digest -> local job
+  std::vector<Parked> deferred_ AWP_GUARDED_BY(mu_);
 
   std::atomic<std::uint64_t> forwards_{0};
   std::atomic<std::uint64_t> replays_{0};

@@ -35,6 +35,7 @@
 #include "sched/spec.hpp"
 #include "serve/server.hpp"
 #include "telemetry/chrome_trace.hpp"
+#include "util/guarded.hpp"
 #include "util/retry.hpp"
 #include "util/timer.hpp"
 
@@ -80,12 +81,14 @@ struct FabricJob {
 
   mutable std::mutex mu;
   std::condition_variable settledCv;
-  bool settled = false;
-  sched::JobPhase phase = sched::JobPhase::Queued;
-  std::string error;
-  sched::ScenarioProducts products;
-  int submissions = 0;  // client submissions coalesced onto this digest
-  int completions = 0;  // settle deliveries accepted (dedup holds it at 1)
+  bool settled AWP_GUARDED_BY(mu) = false;
+  sched::JobPhase phase AWP_GUARDED_BY(mu) = sched::JobPhase::Queued;
+  std::string error AWP_GUARDED_BY(mu);
+  sched::ScenarioProducts products AWP_GUARDED_BY(mu);
+  // submissions: client submissions coalesced onto this digest.
+  // completions: settle deliveries accepted (dedup holds it at 1).
+  int submissions AWP_GUARDED_BY(mu) = 0;
+  int completions AWP_GUARDED_BY(mu) = 0;
 
   // Block until the digest settles; returns the terminal phase.
   sched::JobPhase wait();
@@ -161,7 +164,7 @@ class HazardFabric {
                  sched::ScenarioProducts products, sched::JobPhase phase,
                  const std::string& error);
   void recordEvent(int broker, const std::string& what);
-  void settleRemainingLocked(const std::string& why);
+  void settleRemainingLocked(const std::string& why) AWP_REQUIRES(jobsMu_);
 
   FabricConfig config_;
   Stopwatch clock_;
@@ -182,15 +185,16 @@ class HazardFabric {
 
   mutable std::mutex jobsMu_;
   std::condition_variable settleCv_;
-  std::map<std::string, FabricJobHandle> jobs_;
-  std::uint64_t completed_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t nextEntry_ = 0;  // round-robin entry broker cursor
-  bool shutdownDone_ = false;
+  std::map<std::string, FabricJobHandle> jobs_ AWP_GUARDED_BY(jobsMu_);
+  std::uint64_t completed_ AWP_GUARDED_BY(jobsMu_) = 0;
+  std::uint64_t failed_ AWP_GUARDED_BY(jobsMu_) = 0;
+  // Round-robin entry broker cursor.
+  std::uint64_t nextEntry_ AWP_GUARDED_BY(jobsMu_) = 0;
+  bool shutdownDone_ AWP_GUARDED_BY(jobsMu_) = false;
 
   mutable std::mutex eventsMu_;
-  std::vector<std::string> events_;
-  std::vector<telemetry::InstantEvent> instants_;
+  std::vector<std::string> events_ AWP_GUARDED_BY(eventsMu_);
+  std::vector<telemetry::InstantEvent> instants_ AWP_GUARDED_BY(eventsMu_);
 };
 
 }  // namespace awp::fabric

@@ -17,6 +17,8 @@
 #include <mutex>
 #include <vector>
 
+#include "util/guarded.hpp"
+
 namespace awp::fabric {
 
 struct MembershipView {
@@ -60,16 +62,16 @@ class LeaseBoard {
 
  private:
   // Expire lapsed leases; bump the epoch once per call when anything
-  // changed. mu_ must be held.
-  void evaluateLocked(double nowSeconds);
+  // changed.
+  void evaluateLocked(double nowSeconds) AWP_REQUIRES(mu_);
 
   const int nbrokers_;
   const double leaseSeconds_;
   mutable std::mutex mu_;
-  std::vector<double> deadline_;
-  std::vector<char> live_;
-  std::vector<char> dead_;  // markDead: permanently evicted
-  std::uint64_t epoch_ = 1;
+  std::vector<double> deadline_ AWP_GUARDED_BY(mu_);
+  std::vector<char> live_ AWP_GUARDED_BY(mu_);
+  std::vector<char> dead_ AWP_GUARDED_BY(mu_);  // markDead: permanent
+  std::uint64_t epoch_ AWP_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace awp::fabric

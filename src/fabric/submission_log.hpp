@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sched/spec.hpp"
+#include "util/guarded.hpp"
 
 namespace awp::fabric {
 
@@ -58,10 +59,11 @@ class SubmissionLog {
 
  private:
   mutable std::mutex mu_;
-  std::vector<LogRecord> records_;
-  std::map<std::string, std::size_t> byDigest_;  // digest -> records_ index
-  std::uint64_t nextSeq_ = 1;
-  Stats stats_;
+  std::vector<LogRecord> records_ AWP_GUARDED_BY(mu_);
+  // digest -> records_ index
+  std::map<std::string, std::size_t> byDigest_ AWP_GUARDED_BY(mu_);
+  std::uint64_t nextSeq_ AWP_GUARDED_BY(mu_) = 1;
+  Stats stats_ AWP_GUARDED_BY(mu_);
 };
 
 }  // namespace awp::fabric

@@ -29,6 +29,7 @@
 
 #include "fabric/membership.hpp"
 #include "sched/spec.hpp"
+#include "util/guarded.hpp"
 
 namespace awp::fabric {
 
@@ -93,9 +94,9 @@ class FabricTransport {
 
   struct Inbox {
     std::mutex mu;
-    std::vector<FabricMessage> ring;
-    std::size_t head = 0;
-    std::size_t count = 0;
+    std::vector<FabricMessage> ring AWP_GUARDED_BY(mu);
+    std::size_t head AWP_GUARDED_BY(mu) = 0;
+    std::size_t count AWP_GUARDED_BY(mu) = 0;
   };
 
   const int n_;

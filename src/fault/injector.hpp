@@ -68,6 +68,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/guarded.hpp"
+
 namespace awp::fault {
 
 enum class FaultKind {
@@ -176,8 +178,43 @@ class FaultInjector {
   std::uint64_t seed_;
   std::atomic<std::uint64_t> injected_{0};
   mutable std::mutex mutex_;
-  std::map<std::pair<std::string, int>, std::uint64_t> opCounts_;
-  std::map<std::string, SiteStats> stats_;
+  std::map<std::pair<std::string, int>, std::uint64_t> opCounts_
+      AWP_GUARDED_BY(mutex_);
+  std::map<std::string, SiteStats> stats_ AWP_GUARDED_BY(mutex_);
+};
+
+// ---- declared hook-site registry ----------------------------------------
+// The single source of truth for which site names exist. awplint's
+// --registry gate cross-checks it three ways: every literal check("...")
+// consult in src/ must name a declared site, every declared site string
+// must appear at a consult site somewhere in src/, and every site must be
+// exercised by at least one test — matched by the site string itself or by
+// the dedicated FaultPlan builder named here ("" = no dedicated builder;
+// tests reach the site through the generic spec builders).
+struct KnownFaultSite {
+  const char* site;
+  const char* builder;
+};
+inline constexpr KnownFaultSite kKnownSites[] = {
+    {"sharedfile.read", ""},
+    {"sharedfile.write", ""},
+    {"ckpt.payload", ""},
+    {"comm.send", ""},
+    {"mailbox.pop", ""},
+    {"transfer.chunk", ""},
+    {"solver.step", ""},
+    {"rank_death", "rankDeath"},
+    {"buddy_drop", "buddyDrop"},
+    {"broker_death", "brokerDeath"},
+    {"fabric_drop", "fabricDrop"},
+    {"fabric_delay", "fabricDelay"},
+    {"serve_publish_drop", "servePublishDrop"},
+    {"serve_notify_delay", "serveNotifyDelay"},
+    // Worker-crash injection at the top of each scheduled job step
+    // (sched/service.cpp's step callback). Consulted long before this
+    // registry existed; declared here when the registry gate found the
+    // drift.
+    {"sched.job.step", ""},
 };
 
 namespace detail {

@@ -60,7 +60,6 @@ ClusterVerdict HealthGuard::evaluate(vcluster::Communicator& comm,
     std::uint64_t len = detail.size();
     comm.bcast(cv.offenderRank, &len, sizeof(len));
     detail.resize(len);
-    // awplint: collective-uniform(len was just broadcast from the offender, so every rank holds the same value and takes this branch together)
     if (len > 0) comm.bcast(cv.offenderRank, detail.data(), len);
     cv.offenderDetail = std::move(detail);
 

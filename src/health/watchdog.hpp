@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "health/verdict.hpp"
+#include "util/guarded.hpp"
 
 namespace awp::health {
 
@@ -101,11 +102,12 @@ class Watchdog {
   StallFn onStall_;
   std::atomic<bool> stop_{false};
   mutable std::mutex mutex_;
-  std::vector<StallReport> reports_;
-  bool episodeOpen_ = false;
-  int episodeOrigin_ = -1;
-  std::uint64_t episodeOriginStep_ = 0;
-  std::size_t drained_ = 0;  // reports_ prefix already handed out by drain()
+  std::vector<StallReport> reports_ AWP_GUARDED_BY(mutex_);
+  bool episodeOpen_ AWP_GUARDED_BY(mutex_) = false;
+  int episodeOrigin_ AWP_GUARDED_BY(mutex_) = -1;
+  std::uint64_t episodeOriginStep_ AWP_GUARDED_BY(mutex_) = 0;
+  // reports_ prefix already handed out by drain().
+  std::size_t drained_ AWP_GUARDED_BY(mutex_) = 0;
   std::thread thread_;
 };
 

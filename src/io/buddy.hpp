@@ -20,6 +20,8 @@
 #include <span>
 #include <vector>
 
+#include "util/guarded.hpp"
+
 namespace awp::io {
 
 class BuddyStore {
@@ -63,7 +65,10 @@ class BuddyStore {
   void clear();
 
   [[nodiscard]] Stats stats() const;
-  [[nodiscard]] int size() const { return static_cast<int>(slots_.size()); }
+  [[nodiscard]] int size() const {
+    // awplint: guard-ok(slots_ is sized once in the ctor, never resized)
+    return static_cast<int>(slots_.size());
+  }
 
  private:
   struct Blob {
@@ -76,8 +81,8 @@ class BuddyStore {
   };
 
   mutable std::mutex mu_;
-  std::vector<Slot> slots_;  // indexed by owner rank
-  Stats stats_;
+  std::vector<Slot> slots_ AWP_GUARDED_BY(mu_);  // indexed by owner rank
+  Stats stats_ AWP_GUARDED_BY(mu_);
 };
 
 }  // namespace awp::io

@@ -9,6 +9,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "util/guarded.hpp"
+
 namespace awp::io {
 
 class OpenThrottle {
@@ -38,8 +40,8 @@ class OpenThrottle {
 
  private:
   const int limit_;
-  int active_ = 0;
-  int peak_ = 0;
+  int active_ AWP_GUARDED_BY(mutex_) = 0;
+  int peak_ AWP_GUARDED_BY(mutex_) = 0;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
 };

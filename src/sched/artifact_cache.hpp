@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "util/guarded.hpp"
+
 namespace awp::sched {
 
 struct CacheStats {
@@ -97,21 +99,22 @@ class ArtifactCache {
     bool failed = false;  // winner threw; a waiter should retry
   };
 
-  // Unlocked helpers (mutex_ must be held where stated).
   [[nodiscard]] std::string entryPath(const std::string& key) const;
   std::optional<std::vector<std::byte>> loadDisk(const std::string& key);
   void storeDisk(const std::string& key,
                  const std::vector<std::byte>& value) const;
-  // mutex_ held: fold one put into the aggregate + per-entry accounting.
+  // Fold one put into the aggregate + per-entry accounting.
   void accountPutLocked(const std::string& key, std::uint64_t bytes,
-                        bool stored);
+                        bool stored) AWP_REQUIRES(mutex_);
 
   std::string directory_;
   mutable std::mutex mutex_;
-  std::map<std::string, std::vector<std::byte>> memory_;
-  std::map<std::string, std::shared_ptr<Pending>> pending_;
-  std::map<std::string, EntryAccounting> accounting_;
-  CacheStats stats_;
+  std::map<std::string, std::vector<std::byte>> memory_
+      AWP_GUARDED_BY(mutex_);
+  std::map<std::string, std::shared_ptr<Pending>> pending_
+      AWP_GUARDED_BY(mutex_);
+  std::map<std::string, EntryAccounting> accounting_ AWP_GUARDED_BY(mutex_);
+  CacheStats stats_ AWP_GUARDED_BY(mutex_);
 };
 
 }  // namespace awp::sched

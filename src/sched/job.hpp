@@ -18,6 +18,7 @@
 
 #include "sched/spec.hpp"
 #include "util/error.hpp"
+#include "util/guarded.hpp"
 
 namespace awp::sched {
 
@@ -84,22 +85,27 @@ struct JobState {
   // --- guarded by mutex ---
   mutable std::mutex mutex;
   std::condition_variable settled;
-  JobPhase phase = JobPhase::Queued;
-  int attempts = 0;            // attempts started
-  std::vector<RequeueEvent> requeues;
+  JobPhase phase AWP_GUARDED_BY(mutex) = JobPhase::Queued;
+  int attempts AWP_GUARDED_BY(mutex) = 0;  // attempts started
+  std::vector<RequeueEvent> requeues AWP_GUARDED_BY(mutex);
   // Recovery-ladder bookkeeping: in-place rank respawns absorbed by this
   // job's attempts (no requeue), and escalations where the ladder gave up
   // and fell back to cancel-and-requeue.
-  int respawns = 0;
-  int respawnEscalations = 0;
-  bool cacheHit = false;       // served from the product cache
-  bool coalesced = false;      // merged into an in-flight identical spec
-  double dtOverride = 0.0;     // next attempt's dt (0 = spec/CFL default)
-  std::string error;           // terminal failure description
-  ScenarioProducts products;   // populated when phase == Completed
-  double submitSeconds = 0.0;  // service-epoch timestamps
-  double startSeconds = 0.0;   // first dispatch
-  double endSeconds = 0.0;     // settle time
+  int respawns AWP_GUARDED_BY(mutex) = 0;
+  int respawnEscalations AWP_GUARDED_BY(mutex) = 0;
+  // cacheHit: served from the product cache. coalesced: merged into an
+  // in-flight identical spec.
+  bool cacheHit AWP_GUARDED_BY(mutex) = false;
+  bool coalesced AWP_GUARDED_BY(mutex) = false;
+  // Next attempt's dt (0 = spec/CFL default).
+  double dtOverride AWP_GUARDED_BY(mutex) = 0.0;
+  std::string error AWP_GUARDED_BY(mutex);  // terminal failure description
+  // Populated when phase == Completed.
+  ScenarioProducts products AWP_GUARDED_BY(mutex);
+  // Service-epoch timestamps: submit, first dispatch, settle.
+  double submitSeconds AWP_GUARDED_BY(mutex) = 0.0;
+  double startSeconds AWP_GUARDED_BY(mutex) = 0.0;
+  double endSeconds AWP_GUARDED_BY(mutex) = 0.0;
 
   void requestCancel(RequeueCause cause) {
     int expected = 0;

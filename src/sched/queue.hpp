@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sched/job.hpp"
+#include "util/guarded.hpp"
 
 namespace awp::sched {
 
@@ -66,17 +67,17 @@ class AdmissionQueue {
   [[nodiscard]] Stats stats() const;
 
  private:
-  // mutex_ held. Storage order: ascending (priority, descending seq), so
-  // back() = max priority, min seq.
-  void insertSorted(JobHandle job);
+  // Storage order: ascending (priority, descending seq), so back() = max
+  // priority, min seq.
+  void insertSorted(JobHandle job) AWP_REQUIRES(mutex_);
 
   std::size_t capacity_;
   AdmitPolicy policy_;
   mutable std::mutex mutex_;
   std::condition_variable space_;
-  std::vector<JobHandle> items_;
-  bool closed_ = false;
-  Stats stats_;
+  std::vector<JobHandle> items_ AWP_GUARDED_BY(mutex_);
+  bool closed_ AWP_GUARDED_BY(mutex_) = false;
+  Stats stats_ AWP_GUARDED_BY(mutex_);
 };
 
 }  // namespace awp::sched

@@ -338,8 +338,11 @@ void ScenarioService::workerMain(Dispatch d) {
       memoryUsed_ -= d.bytes;
       --activeWorkers_;
       signal_ = true;
+      // Workers are detached: notify under the mutex so the dispatcher
+      // (and the destructor behind it) cannot observe activeWorkers_==0,
+      // exit, and destroy the condvar while this broadcast is in flight.
+      dispatchCv_.notify_all();
     }
-    dispatchCv_.notify_all();
     return;
   }
   {
@@ -409,8 +412,10 @@ void ScenarioService::workerMain(Dispatch d) {
     memoryUsed_ -= d.bytes;
     --activeWorkers_;
     signal_ = true;
+    // Detached-thread epilogue: see the abort branch above — the notify
+    // must complete before the dispatcher can see activeWorkers_==0.
+    dispatchCv_.notify_all();
   }
-  dispatchCv_.notify_all();
 }
 
 ScenarioProducts ScenarioService::attemptWave(JobState& job, int coreBase) {
@@ -637,9 +642,7 @@ ScenarioProducts ScenarioService::attemptWave(JobState& job, int coreBase) {
               checkpoints.newestValidStep(comm.rank()).has_value() ? 1 : 0;
           if (useBuddies && buddies.newestStep(comm.rank()).has_value())
             have = 1;
-          // awplint: collective-uniform(every rank reaches this agreement unconditionally on entering the rank fn; the rank-dependent early returns the linter sees are inside the watchdog callback lambda, not on this path)
           if (comm.allreduce(have, vcluster::ReduceOp::Min) == 1)
-            // awplint: collective-uniform(restart is gated on the allreduce-Min agreement immediately above, so all ranks take it together)
             solver->restart();
         }
 
@@ -664,7 +667,6 @@ ScenarioProducts ScenarioService::attemptWave(JobState& job, int coreBase) {
             }
           }
           if (step % static_cast<std::size_t>(cancelEvery) == 0) {
-            // awplint: collective-uniform(the early return above is taken by all ranks together: restart() is gated on an allreduce-Min agreement and step advance is lockstep, so currentStep is rank-uniform; the rank-0 branch only sets a local flag)
             const std::int64_t flag = comm.allreduce(
                 static_cast<std::int64_t>(
                     job.cancelRequested.load(std::memory_order_relaxed)),
@@ -797,8 +799,9 @@ void ScenarioService::maybeRequeue(const JobHandle& job, RequeueCause cause,
   {
     std::lock_guard<std::mutex> lock(dispatchMu_);
     signal_ = true;
+    // Runs on a detached worker: notify under the mutex (see workerMain).
+    dispatchCv_.notify_all();
   }
-  dispatchCv_.notify_all();
 }
 
 void ScenarioService::settleTerminal(const JobHandle& job, JobPhase phase,
@@ -837,8 +840,11 @@ void ScenarioService::settleTerminal(const JobHandle& job, JobPhase phase,
   {
     std::lock_guard<std::mutex> lock(jobsMu_);
     outstanding_ -= followers.size() + (countedPrimary ? 1 : 0);
+    // Runs on a detached worker: drain() exits (and the service can be
+    // destroyed) the moment outstanding_ hits zero, so the broadcast must
+    // land before this mutex is released.
+    drainCv_.notify_all();
   }
-  drainCv_.notify_all();
 }
 
 void ScenarioService::recordStall(const health::StallReport& report) {

@@ -155,9 +155,9 @@ class ScenarioService {
   };
 
   // Pop the best fitting job and lease it a contiguous core range +
-  // memory. dispatchMu_ must be held. Registered hot path: no allocation,
-  // no throw (a fragmented-budget pop is pushed back, not dropped).
-  bool dispatchNext(Dispatch& out);
+  // memory. Registered hot path: no allocation, no throw (a
+  // fragmented-budget pop is pushed back, not dropped).
+  bool dispatchNext(Dispatch& out) AWP_REQUIRES(dispatchMu_);
   void dispatcherLoop();
   void workerMain(Dispatch d);
   // One attempt of each kind; returns the products on success, throws
@@ -188,26 +188,29 @@ class ScenarioService {
   // Dispatcher state (dispatchMu_): core/memory accounting + lifecycle.
   mutable std::mutex dispatchMu_;
   std::condition_variable dispatchCv_;
-  std::vector<char> coreBusy_;
-  std::size_t memoryUsed_ = 0;
-  int activeWorkers_ = 0;
-  bool signal_ = false;
-  bool stopping_ = false;
-  bool shutdownDone_ = false;
+  std::vector<char> coreBusy_ AWP_GUARDED_BY(dispatchMu_);
+  std::size_t memoryUsed_ AWP_GUARDED_BY(dispatchMu_) = 0;
+  int activeWorkers_ AWP_GUARDED_BY(dispatchMu_) = 0;
+  bool signal_ AWP_GUARDED_BY(dispatchMu_) = false;
+  bool stopping_ AWP_GUARDED_BY(dispatchMu_) = false;
+  bool shutdownDone_ AWP_GUARDED_BY(dispatchMu_) = false;
 
   // Job bookkeeping (jobsMu_).
   mutable std::mutex jobsMu_;
   std::condition_variable drainCv_;
-  std::vector<JobHandle> allJobs_;
-  std::map<std::string, JobHandle> primaryByHash_;       // in-flight
-  std::map<std::string, std::vector<JobHandle>> followersByHash_;
-  std::size_t outstanding_ = 0;
+  std::vector<JobHandle> allJobs_ AWP_GUARDED_BY(jobsMu_);
+  // In-flight primaries + the followers coalesced onto each.
+  std::map<std::string, JobHandle> primaryByHash_ AWP_GUARDED_BY(jobsMu_);
+  std::map<std::string, std::vector<JobHandle>> followersByHash_
+      AWP_GUARDED_BY(jobsMu_);
+  std::size_t outstanding_ AWP_GUARDED_BY(jobsMu_) = 0;
 
   mutable std::mutex stallMu_;
-  std::vector<health::StallReport> stalls_;
+  std::vector<health::StallReport> stalls_ AWP_GUARDED_BY(stallMu_);
 
   mutable std::mutex recoveryMu_;
-  std::vector<telemetry::InstantEvent> recoveryInstants_;
+  std::vector<telemetry::InstantEvent> recoveryInstants_
+      AWP_GUARDED_BY(recoveryMu_);
 
   std::atomic<std::uint64_t> submitSeq_{0};
   std::atomic<std::uint64_t> executedAttempts_{0};

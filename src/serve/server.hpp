@@ -42,6 +42,7 @@
 #include "serve/layout.hpp"
 #include "serve/store.hpp"
 #include "serve/tile.hpp"
+#include "util/guarded.hpp"
 
 namespace awp::serve {
 
@@ -179,34 +180,39 @@ class ProductServer final : public sched::ProductPublisher {
     std::map<std::tuple<std::string, int, int>, std::uint64_t> delivered;
   };
 
-  RunState& stateForLocked(const sched::SurfaceRunInfo& info);
+  RunState& stateForLocked(const sched::SurfaceRunInfo& info)
+      AWP_REQUIRES(stateMu_);
   // Read and fold samples [state.folded, upTo) from the surface file.
   // Returns false (without advancing) when the file cannot provide the
   // range yet — the next flush retries.
-  bool foldRangeLocked(RunState& state, std::uint64_t upTo);
+  bool foldRangeLocked(RunState& state, std::uint64_t upTo)
+      AWP_REQUIRES(stateMu_);
   // Publish tiles whose content differs from their stored chunk, at
   // `version`; returns the advanced deltas. forceAll publishes every tile
   // (the completion/reconcile canonical pass).
   std::vector<TileDelta> publishTilesLocked(RunState& state,
                                             std::uint64_t version,
-                                            bool forceAll, bool complete);
-  // Deliver deltas to matching subscribers (deliverMu_; call WITHOUT
-  // stateMu_ held).
+                                            bool forceAll, bool complete)
+      AWP_REQUIRES(stateMu_);
+  // Deliver deltas to matching subscribers (call WITHOUT stateMu_ held).
   void deliver(int origin, const std::vector<TileDelta>& deltas);
-  void deliverLocked(const std::vector<TileDelta>& deltas);
+  void deliverLocked(const std::vector<TileDelta>& deltas)
+      AWP_REQUIRES(deliverMu_);
 
   ServeConfig config_;
   TileStore store_;
 
   mutable std::mutex stateMu_;
-  std::map<std::string, std::unique_ptr<RunState>> runs_;  // by digest hex
+  // by digest hex
+  std::map<std::string, std::unique_ptr<RunState>> runs_
+      AWP_GUARDED_BY(stateMu_);
 
   mutable std::mutex deliverMu_;
-  std::map<std::uint64_t, Subscription> subs_;
-  std::uint64_t nextSubId_ = 1;
+  std::map<std::uint64_t, Subscription> subs_ AWP_GUARDED_BY(deliverMu_);
+  std::uint64_t nextSubId_ AWP_GUARDED_BY(deliverMu_) = 1;
 
   mutable std::mutex statsMu_;
-  ServerStats stats_;
+  ServerStats stats_ AWP_GUARDED_BY(statsMu_);
 };
 
 }  // namespace awp::serve

@@ -20,6 +20,7 @@
 
 #include "sched/artifact_cache.hpp"
 #include "serve/tile.hpp"
+#include "util/guarded.hpp"
 #include "util/hot.hpp"
 
 namespace awp::serve {
@@ -64,7 +65,7 @@ class TileStore {
   sched::ArtifactCache* cache_;
   int tileEdge_;
   mutable std::mutex mu_;
-  std::map<TileKey, TileRecord, TileKeyLess> index_;
+  std::map<TileKey, TileRecord, TileKeyLess> index_ AWP_GUARDED_BY(mu_);
 };
 
 }  // namespace awp::serve

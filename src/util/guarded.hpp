@@ -1,0 +1,37 @@
+#pragma once
+// Lock-discipline annotations, checked by awplint (rule family 4, see
+// DESIGN.md §10). Both expand to nothing at compile time — they are
+// structured comments the analyzer can verify rather than prose that
+// drifts:
+//
+//   AWP_GUARDED_BY(mutex_)  — on a data member: every read or write of
+//       the member in a member function must happen with `mutex_` held
+//       (a lock_guard/scoped_lock/unique_lock/shared_lock in scope, a
+//       manual .lock() without an intervening .unlock(), or an
+//       AWP_REQUIRES contract on the enclosing function). Constructors
+//       and destructors are exempt — no other thread can hold a
+//       reference yet/anymore.
+//
+//           std::deque<Message> queue_ AWP_GUARDED_BY(mutex_);
+//
+//   AWP_REQUIRES(mutex_)    — on a function or member-function
+//       declaration, between the parameter list and the body or `;`:
+//       callers must already hold `mutex_`; the body is checked as if
+//       the lock were taken on entry. This is the `...Locked()` helper
+//       contract the codebase already uses by naming convention, made
+//       checkable.
+//
+//           void drainLocked() AWP_REQUIRES(mutex_);
+//
+// awplint also records every lock-acquisition ordering (which locks are
+// held when another is taken, through calls too) and flags pairs taken
+// in both orders anywhere in the program — the classic deadlock shape.
+// Suppressions: `// awplint: guard-ok(<why>)`, `// awplint: lock-ok(<why>)`.
+//
+// These are deliberately NOT the clang `guarded_by`/`requires_capability`
+// attributes: the solver builds with GCC on the target machines, and the
+// clang attributes demand capability types on the mutex wrappers. The
+// awplint checker understands plain std::mutex members.
+
+#define AWP_GUARDED_BY(mutex)
+#define AWP_REQUIRES(mutex)

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/guarded.hpp"
+
 namespace awp {
 
 class ThreadPool {
@@ -40,13 +42,14 @@ class ThreadPool {
   void workerLoop(std::size_t index);
 
   std::vector<std::thread> threads_;
-  std::vector<Task> tasks_;  // one slot per worker
+  std::vector<Task> tasks_ AWP_GUARDED_BY(mutex_);  // one slot per worker
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
-  std::size_t generation_ = 0;  // bumped per parallelFor
-  std::size_t pending_ = 0;
-  bool stop_ = false;
+  // bumped per parallelFor
+  std::size_t generation_ AWP_GUARDED_BY(mutex_) = 0;
+  std::size_t pending_ AWP_GUARDED_BY(mutex_) = 0;
+  bool stop_ AWP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace awp

@@ -20,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "util/guarded.hpp"
 #include "vcluster/epoch.hpp"
 
 namespace awp::vcluster {
@@ -65,12 +66,13 @@ class Mailbox {
 
  private:
   // Finds the first queued match stamped with `epoch`, discarding older
-  // stamps along the way; caller must hold the lock.
-  bool extractLocked(int src, int tag, std::uint64_t epoch, Message& out);
+  // stamps along the way.
+  bool extractLocked(int src, int tag, std::uint64_t epoch, Message& out)
+      AWP_REQUIRES(mutex_);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  std::deque<Message> queue_ AWP_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t>* fencedCounter_ = nullptr;
 };
 

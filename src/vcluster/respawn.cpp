@@ -167,18 +167,17 @@ void SupervisedCluster::rankMain(int rank, int incarnation) {
 }
 
 void SupervisedCluster::run(const RankFn& fn) {
-  AWP_CHECK_MSG(!running_, "SupervisedCluster::run is single-shot");
-  running_ = true;
   state_ = std::make_unique<ClusterState>(nranks_);
   state_->interruptibleBarrier = true;
   fn_ = &fn;
-  incarnation_.assign(static_cast<std::size_t>(nranks_), 0);
-  rankDone_.assign(static_cast<std::size_t>(nranks_), 0);
-  quiescing_.assign(static_cast<std::size_t>(nranks_), 0);
-  errors_.assign(static_cast<std::size_t>(nranks_), nullptr);
-
   {
     std::lock_guard<std::mutex> lock(mu_);
+    AWP_CHECK_MSG(!running_, "SupervisedCluster::run is single-shot");
+    running_ = true;
+    incarnation_.assign(static_cast<std::size_t>(nranks_), 0);
+    rankDone_.assign(static_cast<std::size_t>(nranks_), 0);
+    quiescing_.assign(static_cast<std::size_t>(nranks_), 0);
+    errors_.assign(static_cast<std::size_t>(nranks_), nullptr);
     threads_.reserve(static_cast<std::size_t>(nranks_));
     for (int r = 0; r < nranks_; ++r)
       threads_.emplace_back([this, r] { rankMain(r, 0); });
@@ -213,10 +212,17 @@ void SupervisedCluster::run(const RankFn& fn) {
     }
   }
 
-  for (auto& t : threads_) t.join();
-  threads_.clear();
+  // Detach the thread handles under the lock, join outside it: a child
+  // still unwinding must never find the supervisor holding mu_ at join.
+  std::vector<std::thread> joiners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    joiners.swap(threads_);
+  }
+  for (auto& t : joiners) t.join();
   fn_ = nullptr;
 
+  std::lock_guard<std::mutex> lock(mu_);
   for (int r = 0; r < nranks_; ++r)
     if (errors_[static_cast<std::size_t>(r)])
       std::rethrow_exception(errors_[static_cast<std::size_t>(r)]);

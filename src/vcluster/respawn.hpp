@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/guarded.hpp"
 #include "vcluster/comm.hpp"
 #include "vcluster/epoch.hpp"
 
@@ -120,12 +121,12 @@ class SupervisedCluster {
 
   void rankMain(int rank, int incarnation);
   Decision awaitDecision(int rank, int incarnation);
-  // All *Locked helpers require mu_ held.
-  void handleLocked(const Pending& p, std::vector<RespawnEvent>& emitted);
-  void escalateLocked(const Pending& p);
-  void abortLocked();
-  void bumpEpochLocked();
-  [[nodiscard]] bool allRanksDoneLocked() const;
+  void handleLocked(const Pending& p, std::vector<RespawnEvent>& emitted)
+      AWP_REQUIRES(mu_);
+  void escalateLocked(const Pending& p) AWP_REQUIRES(mu_);
+  void abortLocked() AWP_REQUIRES(mu_);
+  void bumpEpochLocked() AWP_REQUIRES(mu_);
+  [[nodiscard]] bool allRanksDoneLocked() const AWP_REQUIRES(mu_);
 
   const int nranks_;
   SupervisorOptions options_;
@@ -134,20 +135,24 @@ class SupervisedCluster {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::vector<int> incarnation_;    // current incarnation per rank
-  std::vector<char> rankDone_;      // current incarnation reached terminal
-  std::vector<char> quiescing_;     // current incarnation is at the fence
-  std::vector<std::exception_ptr> errors_;
-  std::deque<Pending> pending_;
-  std::vector<std::thread> threads_;
-  std::vector<RespawnEvent> events_;
-  std::exception_ptr abortError_;
-  std::uint64_t settledEpoch_ = 0;  // last fully-configured epoch
-  int respawnsUsed_ = 0;
-  bool running_ = false;
-  bool finished_ = false;
-  bool aborting_ = false;
-  bool anyCompleted_ = false;
+  // current incarnation per rank
+  std::vector<int> incarnation_ AWP_GUARDED_BY(mu_);
+  // current incarnation reached terminal
+  std::vector<char> rankDone_ AWP_GUARDED_BY(mu_);
+  // current incarnation is at the fence
+  std::vector<char> quiescing_ AWP_GUARDED_BY(mu_);
+  std::vector<std::exception_ptr> errors_ AWP_GUARDED_BY(mu_);
+  std::deque<Pending> pending_ AWP_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_ AWP_GUARDED_BY(mu_);
+  std::vector<RespawnEvent> events_ AWP_GUARDED_BY(mu_);
+  std::exception_ptr abortError_ AWP_GUARDED_BY(mu_);
+  // last fully-configured epoch
+  std::uint64_t settledEpoch_ AWP_GUARDED_BY(mu_) = 0;
+  int respawnsUsed_ AWP_GUARDED_BY(mu_) = 0;
+  bool running_ AWP_GUARDED_BY(mu_) = false;
+  bool finished_ AWP_GUARDED_BY(mu_) = false;
+  bool aborting_ AWP_GUARDED_BY(mu_) = false;
+  bool anyCompleted_ AWP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace awp::vcluster

@@ -1,0 +1,69 @@
+// Known-bad fixture for rule 4 (lock discipline): AWP_GUARDED_BY fields
+// accessed without the guarding mutex held, AWP_REQUIRES helpers called
+// without their contract lock, and a lock-order inversion. This file is
+// analyzer input only — never compiled.
+
+namespace fixture {
+
+class LeakyBox {
+ public:
+  void unguardedWrite(int m) {
+    queue_.push_back(m);  // awplint-expect: guarded-field
+  }
+
+  int unguardedRead() const {
+    return depth_;  // awplint-expect: guarded-field
+  }
+
+  void releaseTooEarly() {
+    std::unique_lock<std::mutex> lk(mutex_);
+    depth_ += 1;  // fine: lock held
+    lk.unlock();
+    depth_ = 0;  // awplint-expect: guarded-field
+  }
+
+  void wrongMutex(int m) {
+    std::lock_guard<std::mutex> lk(statsMutex_);
+    queue_.push_back(m);  // awplint-expect: guarded-field
+  }
+
+  int drainLocked() AWP_REQUIRES(mutex_) {
+    const int n = depth_;  // fine: caller contract holds mutex_
+    depth_ = 0;
+    return n;
+  }
+
+  int drainWithoutContract() {
+    return drainLocked();  // awplint-expect: lock-requires
+  }
+
+ private:
+  std::mutex mutex_;
+  std::mutex statsMutex_;
+  std::vector<int> queue_ AWP_GUARDED_BY(mutex_);
+  int depth_ AWP_GUARDED_BY(mutex_) = 0;
+};
+
+// Lock-order inversion: `a_` before `b_` here, `b_` before `a_` below.
+// The global report anchors at the a_->b_ acquisition site.
+class OrderedPair {
+ public:
+  void forward() {
+    std::lock_guard<std::mutex> la(a_);
+    std::lock_guard<std::mutex> lb(b_);  // awplint-expect: lock-order
+    work_ += 1;
+  }
+
+  void backward() {
+    std::lock_guard<std::mutex> lb(b_);
+    std::lock_guard<std::mutex> la(a_);
+    work_ -= 1;
+  }
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+  int work_ AWP_GUARDED_BY(a_) = 0;
+};
+
+}  // namespace fixture

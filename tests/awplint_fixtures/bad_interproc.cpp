@@ -1,0 +1,55 @@
+// Known-bad fixture for the v2 interprocedural engine: rank-divergent
+// calls of functions that reach a collective primitive only through the
+// call graph (wrappers defined here and in good_interproc.cpp — cross-file
+// discovery), and rank taint flowing through return-position call chains.
+// This file is analyzer input only — never compiled.
+
+namespace fixture {
+
+// A wrapper chain defined bottom-up in THIS file.
+void depthOne(Comm& comm) { comm.allgather(1); }
+
+void depthTwo(Comm& comm) { depthOne(comm); }
+
+void depthThree(Comm& comm) { depthTwo(comm); }
+
+void deepWrapperUnderTaint(Comm& comm) {
+  if (comm.rank() == 0) {
+    depthThree(comm);  // awplint-expect: collective-in-rank-branch
+  }
+}
+
+// Cross-file: syncEpoch is defined in good_interproc.cpp and reaches
+// barrier() three calls deep. No whitelist entry exists for it anywhere.
+void crossFileWrapperUnderTaint(Comm& comm, Ctx& ctx) {
+  if (comm.rank() != 0) {
+    syncEpoch(comm, ctx);  // awplint-expect: collective-in-rank-branch
+  }
+}
+
+void wrapperUnderFaultSeed(Comm& comm, Faults& faults) {
+  if (faults.injectionEnabled()) {
+    depthTwo(comm);  // awplint-expect: collective-in-rank-branch
+  }
+}
+
+// Return-position propagation: pickOwner returns ownerRank's result
+// (defined in good_interproc.cpp, returns comm.rank()), so branching on
+// pickOwner() is rank-divergent two files and two calls away.
+int pickOwner(const Comm& comm) { return ownerRank(comm); }
+
+void taintedReturnChain(Comm& comm) {
+  if (pickOwner(comm) == 0) {
+    comm.barrier();  // awplint-expect: collective-in-rank-branch
+  }
+}
+
+// Assigning from a rank-returning chain taints the destination path.
+void taintedAssignment(Comm& comm, Ctx& ctx) {
+  ctx.owner = pickOwner(comm);
+  if (ctx.owner == 0) {
+    depthThree(comm);  // awplint-expect: collective-in-rank-branch
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,111 @@
+// Known-good fixture for rule 4 (lock discipline): every guarded access
+// holds the right mutex (RAII guards, manual lock/unlock, scoped_lock of
+// several mutexes, AWP_REQUIRES contracts), and lock orders are globally
+// consistent. Must produce ZERO findings. Analyzer input only — never
+// compiled.
+
+namespace fixture {
+
+class TidyBox {
+ public:
+  TidyBox() { depth_ = 0; }   // constructors are exempt: no concurrency yet
+  ~TidyBox() { queue_.clear(); }
+
+  void post(int m) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    queue_.push_back(m);
+    depth_ += 1;
+  }
+
+  int peek() {
+    std::unique_lock<std::mutex> lk(mutex_);
+    return depth_;
+  }
+
+  void manualPair() {
+    mutex_.lock();
+    depth_ += 1;
+    mutex_.unlock();
+  }
+
+  void relockedGuard() {
+    std::unique_lock<std::mutex> lk(mutex_, std::defer_lock);
+    prepare();        // deliberately lock-free setup
+    lk.lock();
+    queue_.clear();   // held again from here
+    depth_ = 0;
+  }
+
+  void bothStats() {
+    std::scoped_lock lk(mutex_, statsMutex_);
+    depth_ += 1;
+    hits_ += 1;
+  }
+
+  int drainLocked() AWP_REQUIRES(mutex_) {
+    const int n = depth_;
+    depth_ = 0;
+    queue_.clear();
+    return n;
+  }
+
+  int drainAll() {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return drainLocked();  // contract satisfied at the call site
+  }
+
+ private:
+  void prepare() {}
+
+  std::mutex mutex_;
+  std::mutex statsMutex_;
+  std::vector<int> queue_ AWP_GUARDED_BY(mutex_);
+  int depth_ AWP_GUARDED_BY(mutex_) = 0;
+  int hits_ AWP_GUARDED_BY(statsMutex_) = 0;
+};
+
+// Consistent global order (outer_ before inner_ everywhere): no inversion.
+class NestedLocks {
+ public:
+  void outerThenInner() {
+    std::lock_guard<std::mutex> lo(outer_);
+    std::lock_guard<std::mutex> li(inner_);
+    shared_ += 1;
+  }
+
+  void sameOrderElsewhere() {
+    std::lock_guard<std::mutex> lo(outer_);
+    refreshInner();
+  }
+
+ private:
+  void refreshInner() {
+    std::lock_guard<std::mutex> li(inner_);
+    shared_ -= 1;
+  }
+
+  std::mutex outer_;
+  std::mutex inner_;
+  int shared_ AWP_GUARDED_BY(inner_) = 0;
+};
+
+// A justified suppression: reads of a monotone flag published before the
+// worker threads start need no lock.
+class Published {
+ public:
+  bool startedRelaxed() const {
+    // awplint: guard-ok(written once before worker threads spawn, read-only after)
+    return started_;
+  }
+
+  void markStarted() {
+    std::lock_guard<std::mutex> lk(mutex_);
+    started_ = true;
+  }
+
+ private:
+  std::mutex mutex_;
+  bool started_ AWP_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace fixture

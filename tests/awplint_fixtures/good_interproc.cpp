@@ -1,0 +1,67 @@
+// Known-good fixture for the v2 interprocedural engine. This file DEFINES
+// the collective wrappers the fixpoint must discover (there is no
+// whitelist anymore): `collectivePreflight` is the wrapper that
+// bad_collective.cpp calls under rank taint, and `syncEpoch` reaches a
+// primitive only through a two-deep call chain. Every call in THIS file
+// is uniform across ranks and must produce ZERO findings. This file is
+// analyzer input only — never compiled.
+
+namespace fixture {
+
+// Depth 1: calls a collective primitive directly. The fixpoint seeds
+// `collectivePreflight` into the collective set from this body.
+void collectivePreflight(Comm& comm, Ctx& ctx) {
+  ctx.stage = comm.allreduce(ctx.stage);
+  comm.barrier();
+}
+
+// Depth 2: reaches a primitive only through collectivePreflight.
+void flushPending(Comm& comm, Ctx& ctx) {
+  ctx.drainQueue();
+  collectivePreflight(comm, ctx);
+}
+
+// Depth 3: reaches a primitive only through flushPending -> preflight.
+void syncEpoch(Comm& comm, Ctx& ctx) {
+  ctx.epoch += 1;
+  flushPending(comm, ctx);
+}
+
+// Uniform call sites of every wrapper level: no findings.
+void uniformWrapperUse(Comm& comm, Ctx& ctx) {
+  syncEpoch(comm, ctx);
+  if (ctx.config.verbose) {
+    flushPending(comm, ctx);  // config predicate: uniform on every rank
+  }
+}
+
+// Returns per-rank data (the fixpoint marks ownerRank rank-returning from
+// this body; no seed list involved).
+int ownerRank(const Comm& comm) { return comm.rank(); }
+
+// A mid-body call of a rank-returning helper does NOT taint the caller's
+// return — only return-position calls propagate.
+int boundedOwner(const Comm& comm) {
+  int owner = ownerRank(comm);
+  owner = comm.allreduce(owner);  // scrubbed before it escapes
+  return owner;
+}
+
+void scrubbedOwnerUse(Comm& comm, Ctx& ctx) {
+  if (boundedOwner(comm) == 0) {
+    syncEpoch(comm, ctx);  // predicate is allreduce-uniform: fine
+  }
+}
+
+// bcast makes its out-arguments uniform on every rank: branching on a
+// just-broadcast length needs no annotation (this pattern previously
+// required a collective-uniform suppression in src/health/guard.cpp).
+void broadcastThenBranch(Comm& comm, Payload& payload) {
+  int len = payload.bytes * comm.rank();  // tainted before the bcast
+  comm.bcast(0, &len, sizeof(len));
+  if (len > 0) {
+    comm.gatherBytes(0, payload.data);  // len is uniform after the bcast
+  }
+}
+
+}  // namespace fixture

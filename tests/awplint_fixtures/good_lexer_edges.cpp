@@ -1,0 +1,40 @@
+// Known-good fixture for the lexer edge cases fixed in awplint v2: raw
+// string literals (with and without delimiters) and line-spliced `//`
+// comments must not desynchronize the token stream, invent scopes, or
+// produce findings from text inside literals. Must produce ZERO findings.
+// Analyzer input only — never compiled.
+
+namespace fixture {
+
+// Raw string with unbalanced braces and collective-looking text: without
+// raw-string support the lexer would see `{` tokens and rank identifiers
+// here and shift every scope below.
+const char* kPlanTemplate = R"({ "leader": "comm.rank() == 0 {{{", "op": "comm.barrier()" })";
+
+// Delimited raw string containing the `)"` sequence that terminates a
+// plain raw string early.
+const char* kQuery = R"sql(
+  SELECT spec FROM plans WHERE note = ')"' AND site = "solver.step"
+)sql";
+
+// Encoding-prefixed raw string.
+const char* kWide = LR"(if (rank == 0) { barrier(); })";
+
+// Escaped quotes and backslashes in an ordinary string must not
+// terminate it early (a desync here would leak `rank` into the stream).
+const char* kEscaped = "she said \"rank\" and \\ was fine";
+
+void rawStringInBody(Comm& comm) {
+  log(R"(unbalanced { brace and "if (comm.rank() == 0)" inside)");
+  comm.barrier();  // still at function scope, still uniform
+}
+
+void splicedComment(Comm& comm) {
+  if (comm.rank() == 0) {
+    // this comment swallows the next line via a trailing splice \
+    comm.barrier();
+  }
+  comm.barrier();  // uniform: every rank reaches this line
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Registry-gate fixture sites table: io.read is consulted and scheduled
+// by a test (clean); io.dead is declared but no analyzed source consults
+// it; io.untested is consulted but no test ever schedules it.
+// Analyzer input only — never compiled.
+#pragma once
+
+namespace fixture::fault {
+
+struct KnownFaultSite {
+  const char* site;
+  const char* builder;
+};
+
+inline constexpr KnownFaultSite kKnownSites[] = {
+    {"io.read", "readFaults"},
+    {"io.dead", ""},      // awplint-expect: registry-unconsulted
+    {"io.untested", ""},  // awplint-expect: registry-untested
+};
+
+}  // namespace fixture::fault

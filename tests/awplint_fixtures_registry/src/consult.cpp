@@ -1,0 +1,24 @@
+// Registry-gate fixture sources: consults io.read and io.untested,
+// consults the undeclared io.ghost, defines a listed-but-not-hot pump,
+// and an AWP_HOT loop missing from the fixture hot registry.
+// Analyzer input only — never compiled.
+
+namespace fixture {
+
+void consumeFaults(Injector* injector, int step) {
+  if (injector->check("io.read", step)) return;
+  injector->check("io.untested", step);
+  injector->check("io.ghost", step);  // awplint-expect: registry-undeclared
+}
+
+void pump(Queue& q) {  // awplint-expect: hot-registry
+  q.drainOnce();
+}
+
+AWP_HOT int hotLoop(int n) {  // awplint-expect: hot-unpinned
+  int acc = 0;
+  for (int i = 0; i < n; ++i) acc += i;
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Registry-gate fixture taxonomy: Counter::Stale's JSON name drifted
+// from index-aligned snake_case, and Counter::Orphan is referenced by no
+// test. The Phase table is correct and swept by the fixture test file.
+// Analyzer input only — never compiled.
+#pragma once
+
+namespace fixture::telemetry {
+
+enum class Phase {
+  Alpha,
+  Beta,
+  kCount,
+};
+
+inline constexpr const char* kPhaseJsonNames[] = {
+    "alpha",
+    "beta",
+};
+
+enum class Counter {
+  GoodOne,
+  Stale,
+  Orphan,  // awplint-expect: registry-untested
+  kCount,
+};
+
+inline constexpr const char* kCounterJsonNames[] = {
+    "good_one",
+    "stale_typo",  // awplint-expect: registry-json-mismatch
+    "orphan",
+};
+
+}  // namespace fixture::telemetry

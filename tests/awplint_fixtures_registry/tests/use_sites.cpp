@@ -1,0 +1,13 @@
+// Test-side references for the registry fixture: schedules io.read via
+// its builder, names io.dead directly, sweeps the Phase JSON table, and
+// touches two counters — deliberately leaving the third counter and the
+// third site uncovered so the drift gates have something to catch.
+// Analyzer input only — never compiled.
+
+void registryCoverage() {
+  auto plan = readFaults(3);
+  expectEq(siteName(plan), "io.dead");
+  sweepNames(kPhaseJsonNames);
+  bump(Counter::GoodOne);
+  bump(Counter::Stale);
+}

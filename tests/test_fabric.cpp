@@ -224,6 +224,38 @@ TEST(Transport, InjectedDropAndDuplicateAreAttributedToTheSender) {
   EXPECT_EQ(stats.delivered, 2u);
 }
 
+TEST(Transport, InjectedSendDelayStallsButStillDelivers) {
+  LeaseBoard board(2, 1000.0);
+  FabricTransport transport(2, &board, /*inboxCapacity=*/8);
+
+  // A fabric_delay stall slows the sending broker without losing the
+  // message: delivery and digest integrity are unaffected.
+  fault::FaultPlan plan;
+  plan.fabricDelay(0, /*occurrence=*/1, /*seconds=*/0.05);
+  fault::FaultInjector injector(std::move(plan));
+  fault::ScopedInjection scoped(injector);
+
+  FabricMessage m;
+  m.from = 0;
+  m.setDigest(std::string(32, 'b'));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(transport.send(m, 1), FabricTransport::SendResult::Delivered);
+  const auto elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 0.04);
+
+  FabricMessage out;
+  ASSERT_TRUE(transport.poll(1, out));
+  EXPECT_EQ(out.digestStr(), std::string(32, 'b'));
+  EXPECT_FALSE(transport.poll(1, out));
+
+  const FabricTransport::Stats stats = transport.stats();
+  EXPECT_EQ(stats.delayed, 1u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.delivered, 1u);
+  EXPECT_EQ(injector.faultsInjected(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // SubmissionLog
 

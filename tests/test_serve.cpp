@@ -322,20 +322,25 @@ TEST(Serving, IncrementalFoldMatchesPostHocBitIdentically) {
 
   // Subscription ordering: strictly increasing per tile, at least one
   // PARTIAL delta (version < final), and every tile fenced at the final
-  // complete version.
-  std::lock_guard<std::mutex> lock(rec.mu);
-  EXPECT_TRUE(rec.ordered);
-  const std::uint64_t total = partial->version;
-  bool sawPartial = false;
-  for (const TileDelta& d : rec.all)
-    if (!d.complete && d.version < total) sawPartial = true;
-  EXPECT_TRUE(sawPartial);
-  const int tilesX = static_cast<int>((nx + 7) / 8);
-  const int tilesY = static_cast<int>((ny + 7) / 8);
-  EXPECT_EQ(rec.latest.size(),
-            static_cast<std::size_t>(tilesX * tilesY));
-  for (const auto& [tile, version] : rec.latest)
-    EXPECT_EQ(version, total) << std::get<1>(tile) << "," << std::get<2>(tile);
+  // complete version. rec.mu must drop before unsubscribe() below — the
+  // delivery path locks deliverMu_ then rec.mu, so holding rec.mu into a
+  // server call is the lock-order inversion TSan (and awplint) flag.
+  {
+    std::lock_guard<std::mutex> lock(rec.mu);
+    EXPECT_TRUE(rec.ordered);
+    const std::uint64_t total = partial->version;
+    bool sawPartial = false;
+    for (const TileDelta& d : rec.all)
+      if (!d.complete && d.version < total) sawPartial = true;
+    EXPECT_TRUE(sawPartial);
+    const int tilesX = static_cast<int>((nx + 7) / 8);
+    const int tilesY = static_cast<int>((ny + 7) / 8);
+    EXPECT_EQ(rec.latest.size(),
+              static_cast<std::size_t>(tilesX * tilesY));
+    for (const auto& [tile, version] : rec.latest)
+      EXPECT_EQ(version, total)
+          << std::get<1>(tile) << "," << std::get<2>(tile);
+  }
 
   // Completion re-publishes content already stored by the last window:
   // the content-addressed chunk tier absorbed those as dedups.
@@ -447,6 +452,41 @@ TEST(Serving, PublishDropsConvergeWithoutReconcile) {
       assembleFromTiles(server, job->hash, spec.dims.nx, spec.dims.ny);
   EXPECT_EQ(0, std::memcmp(assembled.data(), expected.data(),
                            expected.size() * sizeof(float)));
+  const auto partial = server.partialMap(job->hash);
+  ASSERT_TRUE(partial.has_value());
+  std::lock_guard<std::mutex> lock(rec.mu);
+  EXPECT_TRUE(rec.ordered);
+  for (const auto& [tile, version] : rec.latest)
+    EXPECT_EQ(version, partial->version);
+}
+
+// A stalled notify fan-out (serve_notify_delay) slows delivery without
+// losing anything: the run completes and subscribers still converge.
+
+TEST(Serving, NotifyDelayStallsDeliveryButConverges) {
+  const fs::path work = tempDir("notify-delay");
+  sched::ArtifactCache tileCache;
+  ServeConfig scfg;
+  scfg.tileEdge = 8;
+  scfg.windowSamples = 1;
+  ProductServer server(&tileCache, scfg);
+
+  const sched::ScenarioSpec spec = smallWaveSpec();
+  DeltaRecorder rec;
+  server.subscribe(Field::PgvH, Extent{0, 0, spec.dims.nx, spec.dims.ny},
+                   rec.callback());
+
+  fault::FaultPlan plan;
+  plan.serveNotifyDelay(/*origin=*/0, /*occurrence=*/1, /*seconds=*/0.05);
+  fault::FaultInjector injector(std::move(plan));
+  fault::ScopedInjection scoped(injector);
+
+  sched::ScenarioService service(smallServiceConfig(work, &server));
+  const sched::JobHandle job = service.submit(spec);
+  ASSERT_EQ(job->wait(), sched::JobPhase::Completed) << job->error;
+  service.shutdown();
+
+  EXPECT_GE(injector.faultsInjected(), 1u);
   const auto partial = server.partialMap(job->hash);
   ASSERT_TRUE(partial.has_value());
   std::lock_guard<std::mutex> lock(rec.mu);

@@ -341,6 +341,13 @@ TEST_F(TelemetryTest, ReportJsonRoundTripsAndValidates) {
   for (std::size_t p = 0; p < kPhaseCount; ++p)
     EXPECT_NE(phases->find(std::string(kPhaseJsonNames[p])), nullptr)
         << kPhaseJsonNames[p];
+  // Every taxonomy counter must appear in the emitted report, even when
+  // its total is zero — readers key on the full kCounterJsonNames table.
+  const JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  for (std::size_t c = 0; c < kCounterCount; ++c)
+    EXPECT_NE(counters->find(std::string(kCounterJsonNames[c])), nullptr)
+        << kCounterJsonNames[c];
 
   // File emission is atomic and re-readable.
   const std::string path = (dir_ / "report.json").string();

@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 
+#include "fault/injector.hpp"
 #include "util/error.hpp"
 #include "vcluster/cart.hpp"
 #include "vcluster/cluster.hpp"
 #include "vcluster/comm.hpp"
+#include "vcluster/mailbox.hpp"
 
 namespace awp::vcluster {
 namespace {
@@ -31,6 +34,33 @@ TEST(Cluster, PropagatesExceptions) {
                                     comm.barrier();
                                   }),
                Error);
+}
+
+TEST(Mailbox, InjectedPopStallDelaysButDelivers) {
+  // A RankStall at the "mailbox.pop" hook models a slow receiver: the
+  // pop goes quiet for the stall window, then delivery proceeds intact.
+  fault::FaultPlan plan;
+  plan.stall("mailbox.pop", /*rank=*/-1, /*occurrence=*/1,
+             /*seconds=*/0.05);
+  fault::FaultInjector injector(std::move(plan));
+  fault::ScopedInjection scoped(injector);
+
+  Mailbox box;
+  Message msg;
+  msg.src = 0;
+  msg.tag = 7;
+  msg.payload.resize(3, std::byte{0x2a});
+  box.push(std::move(msg));
+
+  const auto start = std::chrono::steady_clock::now();
+  const Message out = box.popMatch(0, 7);
+  const auto elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(out.src, 0);
+  EXPECT_EQ(out.tag, 7);
+  EXPECT_EQ(out.payload.size(), 3u);
+  EXPECT_GE(elapsed.count(), 0.04);
+  EXPECT_EQ(injector.faultsInjected(), 1u);
 }
 
 TEST(Comm, BlockingSendRecv) {

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "util/error.hpp"
 #include "util/retry.hpp"
 #include "workflow/archive.hpp"
@@ -74,6 +75,25 @@ TEST_F(WorkflowTest, FailureInjectionRecovers) {
   // Retries cost simulated time beyond the clean transfer.
   EXPECT_GT(report.simulatedSeconds,
             static_cast<double>(report.bytesMoved) / 200e6);
+}
+
+TEST_F(WorkflowTest, InjectedChunkFaultIsRetriedAndVerifies) {
+  makeFile("c.bin", 1 << 20, 0x3c);
+  // An externally injected in-flight loss at the "transfer.chunk" hook:
+  // the bounded retry policy must recover it like a modeled failure.
+  fault::FaultPlan plan;
+  plan.transientIoError("transfer.chunk", /*rank=*/-1, /*occurrence=*/1);
+  fault::FaultInjector injector(std::move(plan));
+  fault::ScopedInjection scoped(injector);
+
+  TransferConfig config;
+  TransferChannel channel(config);
+  const auto report =
+      channel.transfer(src_.string(), dst_.string(), {"c.bin"});
+  EXPECT_EQ(injector.faultsInjected(), 1u);
+  EXPECT_GE(report.chunksFailed, 1u);
+  EXPECT_TRUE(report.allVerified);
+  for (const auto& rec : report.records) EXPECT_TRUE(rec.recovered);
 }
 
 TEST_F(WorkflowTest, ArchiveIngestAndVerify) {

@@ -1,0 +1,63 @@
+#pragma once
+// awplint v2 call-graph propagation: the fixed-point pass that turns the
+// per-function summaries of symbols.hpp into whole-program facts.
+//
+//   * collective reachability — a function that calls a collective
+//     primitive, or any function that (transitively) reaches one, is
+//     itself collective: calling it under rank-divergent control flow is
+//     the same SPMD deadlock as calling `barrier` there. This replaced
+//     the hand-maintained `collectiveWrappers` whitelist.
+//   * rank-tainted returns — a function whose return expression is
+//     rank-tainted, or returns the result of a function that is, returns
+//     per-rank data; assigning from it taints the destination.
+//   * transitive lock sets — the union of locks a function may acquire
+//     through any call chain, feeding the cross-function lock-order
+//     check.
+//
+// Propagation is a worklist over the name-level call graph (bare names;
+// overloads fold conservatively — the same semantics the old whitelist
+// had). Cycles are handled by the fixpoint; iteration count is reported
+// for --stats.
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "symbols.hpp"
+
+namespace awplint {
+
+struct PropagateStats {
+  std::size_t functionsIndexed = 0;
+  std::size_t callEdges = 0;
+  std::size_t fixpointIterations = 0;
+  std::size_t collectiveFunctions = 0;
+  std::size_t rankReturnFunctions = 0;
+  std::size_t guardedFields = 0;
+  std::size_t lockEdges = 0;
+};
+
+// Seed names for the rank-return fixpoint that the lexical engine cannot
+// derive: local verdict/scan producers whose rank-dependence lives in the
+// DATA (field values differ per rank), not in the tokens of their bodies.
+// Kept deliberately tiny and reviewed — everything lexically derivable
+// flows through the fixpoint instead.
+const std::vector<std::string>& semanticRankReturnSeeds();
+
+// Fill index.collectiveNames / rankReturnNames / acquiresByName /
+// requiresByKey from the merged summaries. Returns iteration counts and
+// sizes for --stats.
+PropagateStats propagate(SymbolIndex& index);
+
+// Cross-function lock-order inversions: pairs of locks acquired in both
+// orders anywhere in the program (directly or through calls). Each
+// finding anchors at one of the acquisition sites.
+struct LockOrderFinding {
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+std::vector<LockOrderFinding> lockOrderInversions(const SymbolIndex& index);
+
+}  // namespace awplint

@@ -98,11 +98,26 @@ LexedFile lex(const std::string& src) {
     }
     atLineStart = false;
 
-    // Line comment (with directive channels).
+    // Line comment (with directive channels). A backslash-newline splice
+    // CONTINUES the comment onto the next physical line (translation phase
+    // 2 runs before comment removal), so the scanner must not wake up and
+    // tokenize the spliced tail as code.
     if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const int commentLine = line;
+      std::string text;
       std::size_t e = i + 2;
-      while (e < n && src[e] != '\n') ++e;
-      parseCommentDirectives(src.substr(i + 2, e - i - 2), line, out);
+      while (e < n) {
+        if (src[e] == '\\' && e + 1 < n && src[e + 1] == '\n') {
+          bump('\n');
+          text += ' ';
+          e += 2;
+          continue;
+        }
+        if (src[e] == '\n') break;
+        text += src[e];
+        ++e;
+      }
+      parseCommentDirectives(text, commentLine, out);
       i = e;
       continue;
     }
@@ -116,22 +131,55 @@ LexedFile lex(const std::string& src) {
       i = (i + 1 < n) ? i + 2 : n;
       continue;
     }
-    // Raw string literal R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t d = i + 2;
-      while (d < n && src[d] != '(') ++d;
-      const std::string delim = ")" + src.substr(i + 2, d - i - 2) + "\"";
-      std::size_t e = src.find(delim, d);
+    // String literal (emitted as a String token; the registry gates match
+    // fault-site consults on the inner text). Escapes are NOT processed —
+    // `\\` and `\"` just keep the scanner from ending the literal early.
+    auto scanString = [&]() {
+      std::size_t e = i + 1;
+      std::string text;
+      while (e < n && src[e] != '"') {
+        if (src[e] == '\\' && e + 1 < n) {
+          text += src[e];
+          bump(src[e]);
+          ++e;
+        }
+        text += src[e];
+        bump(src[e]);
+        ++e;
+      }
+      out.tokens.push_back({Token::Kind::String, std::move(text), line});
+      i = (e < n) ? e + 1 : n;
+    };
+    // Raw string literal R"delim( ... )delim" — no escape processing and
+    // the delimiter (not a bare quote) ends it. An unmatched delimiter
+    // consumes to EOF rather than desyncing into the middle of the file.
+    auto scanRawString = [&]() {
+      // i points at the opening '"'.
+      std::size_t d = i + 1;
+      while (d < n && src[d] != '(' && src[d] != '"' && src[d] != '\n' &&
+             d - i <= 17)
+        ++d;
+      if (d >= n || src[d] != '(') {  // ill-formed; treat as a plain string
+        scanString();
+        return;
+      }
+      const std::string delim = ")" + src.substr(i + 1, d - i - 1) + "\"";
+      std::size_t e = src.find(delim, d + 1);
+      const std::size_t contentEnd = (e == std::string::npos) ? n : e;
+      out.tokens.push_back(
+          {Token::Kind::String, src.substr(d + 1, contentEnd - d - 1), line});
       e = (e == std::string::npos) ? n : e + delim.size();
       for (std::size_t k = i; k < e && k < n; ++k) bump(src[k]);
       i = e;
+    };
+    if (c == '"') {
+      scanString();
       continue;
     }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
+    // Char literal: consumed, not emitted.
+    if (c == '\'') {
       std::size_t e = i + 1;
-      while (e < n && src[e] != quote) {
+      while (e < n && src[e] != '\'') {
         if (src[e] == '\\' && e + 1 < n) ++e;
         bump(src[e]);
         ++e;
@@ -143,8 +191,19 @@ LexedFile lex(const std::string& src) {
     if (isIdentStart(c)) {
       std::size_t e = i;
       while (e < n && isIdentChar(src[e])) ++e;
-      out.tokens.push_back(
-          {Token::Kind::Identifier, src.substr(i, e - i), line});
+      std::string id = src.substr(i, e - i);
+      // Raw-string openers, with or without an encoding prefix, scan as an
+      // identifier ending in R followed directly by a quote: R"( u8R"( LR"(.
+      // The old scanner only caught bare R and fell into the escape-aware
+      // plain-string path for the rest, desyncing on content like "..\)".
+      if (e < n && src[e] == '"' &&
+          (id == "R" || id == "u8R" || id == "uR" || id == "UR" ||
+           id == "LR")) {
+        i = e;
+        scanRawString();
+        continue;
+      }
+      out.tokens.push_back({Token::Kind::Identifier, std::move(id), line});
       i = e;
       continue;
     }

@@ -17,7 +17,10 @@
 namespace awplint {
 
 struct Token {
-  enum class Kind { Identifier, Number, Punct };
+  // String tokens carry the literal's inner text (quotes and any raw-string
+  // delimiter stripped, escape sequences left as written). The registry
+  // drift gates key on them — fault-site consults are exact-match strings.
+  enum class Kind { Identifier, Number, Punct, String };
   Kind kind = Kind::Punct;
   std::string text;
   int line = 0;

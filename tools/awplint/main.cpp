@@ -1,25 +1,44 @@
 // awplint — project-specific static analysis for the AWP solver sources.
 //
 // Usage:
-//   awplint [--taxonomy FILE] [--hot-registry FILE] [--self-test] PATH...
+//   awplint [--taxonomy FILE] [--hot-registry FILE] [--sites FILE]
+//           [--tests PATH]... [--registry] [--index-cache FILE]
+//           [--json] [--stats] [--self-test] PATH...
 //
 // PATH arguments may be files or directories (directories are walked
-// recursively for .cpp/.hpp). Exit status is non-zero when findings are
-// emitted, or — under --self-test — when the findings do not match the
-// `// awplint-expect:` markers in the fixture set exactly (both missed
-// expectations and unexpected findings fail).
+// recursively for .cpp/.hpp). The v2 engine runs in two passes: pass 1
+// indexes every file into per-function summaries, a fixed-point
+// propagation over the merged index derives collective-reachability,
+// rank-return taint and transitive lock sets, and pass 2 re-scans each
+// file with the propagated index to emit findings. `--index-cache FILE`
+// persists the propagated index keyed on the aggregate source hash (CI
+// keys the cache on the same hash, so unchanged sources skip pass 1).
+//
+// `--registry` additionally runs the registry drift gates (requires
+// --taxonomy, --hot-registry, --sites, and at least one --tests path).
+//
+// Exit status is non-zero when findings are emitted, or — under
+// --self-test — when the findings do not match the `// awplint-expect:`
+// markers in the fixture set exactly (both missed expectations and
+// unexpected findings fail).
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "callgraph.hpp"
 #include "lexer.hpp"
+#include "registry.hpp"
 #include "rules.hpp"
+#include "symbols.hpp"
 
 namespace fs = std::filesystem;
 
@@ -68,60 +87,134 @@ void loadHotRegistry(const fs::path& p, awplint::Config* cfg, bool* ok) {
   }
 }
 
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct Options {
+  fs::path taxonomyPath;
+  fs::path registryPath;
+  fs::path sitesPath;
+  fs::path indexCachePath;
+  std::vector<fs::path> testRoots;
+  std::vector<fs::path> roots;
+  bool selfTest = false;
+  bool json = false;
+  bool stats = false;
+  bool registry = false;
+};
+
+int usage(int code) {
+  (code == 0 ? std::cout : std::cerr)
+      << "usage: awplint [--taxonomy FILE] [--hot-registry FILE]\n"
+         "               [--sites FILE] [--tests PATH]... [--registry]\n"
+         "               [--index-cache FILE] [--json] [--stats]\n"
+         "               [--self-test] PATH...\n";
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   awplint::Config cfg;
-  bool selfTest = false;
-  std::vector<fs::path> roots;
-  fs::path taxonomyPath;
-  fs::path registryPath;
+  Options opt;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--taxonomy" && a + 1 < argc) {
-      taxonomyPath = argv[++a];
+      opt.taxonomyPath = argv[++a];
     } else if (arg == "--hot-registry" && a + 1 < argc) {
-      registryPath = argv[++a];
+      opt.registryPath = argv[++a];
+    } else if (arg == "--sites" && a + 1 < argc) {
+      opt.sitesPath = argv[++a];
+    } else if (arg == "--tests" && a + 1 < argc) {
+      opt.testRoots.emplace_back(argv[++a]);
+    } else if (arg == "--index-cache" && a + 1 < argc) {
+      opt.indexCachePath = argv[++a];
+    } else if (arg == "--registry") {
+      opt.registry = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--stats") {
+      opt.stats = true;
     } else if (arg == "--self-test") {
-      selfTest = true;
+      opt.selfTest = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: awplint [--taxonomy FILE] [--hot-registry FILE] "
-                   "[--self-test] PATH...\n";
-      return 0;
+      return usage(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "awplint: unknown option " << arg << "\n";
+      return usage(2);
     } else {
-      roots.emplace_back(arg);
+      opt.roots.emplace_back(arg);
     }
   }
-  if (roots.empty()) {
+  if (opt.roots.empty()) {
     std::cerr << "awplint: no input paths\n";
+    return 2;
+  }
+  if (opt.registry &&
+      (opt.taxonomyPath.empty() || opt.registryPath.empty() ||
+       opt.sitesPath.empty() || opt.testRoots.empty())) {
+    std::cerr << "awplint: --registry requires --taxonomy, --hot-registry, "
+                 "--sites and at least one --tests path\n";
     return 2;
   }
 
   bool ok = true;
-  if (!taxonomyPath.empty()) {
-    const std::string src = slurp(taxonomyPath, &ok);
+  awplint::LexedFile taxonomyLf;
+  if (!opt.taxonomyPath.empty()) {
+    const std::string src = slurp(opt.taxonomyPath, &ok);
     if (!ok) {
-      std::cerr << "awplint: cannot read taxonomy " << taxonomyPath << "\n";
+      std::cerr << "awplint: cannot read taxonomy " << opt.taxonomyPath
+                << "\n";
       return 2;
     }
-    cfg.phases = awplint::parsePhaseTaxonomy(awplint::lex(src));
+    taxonomyLf = awplint::lex(src);
+    cfg.phases = awplint::parsePhaseTaxonomy(taxonomyLf);
     if (cfg.phases.empty()) {
-      std::cerr << "awplint: no Phase enum found in " << taxonomyPath << "\n";
-      return 2;
-    }
-  }
-  if (!registryPath.empty()) {
-    loadHotRegistry(registryPath, &cfg, &ok);
-    if (!ok) {
-      std::cerr << "awplint: cannot read hot registry " << registryPath
+      std::cerr << "awplint: no Phase enum found in " << opt.taxonomyPath
                 << "\n";
       return 2;
     }
   }
+  if (!opt.registryPath.empty()) {
+    loadHotRegistry(opt.registryPath, &cfg, &ok);
+    if (!ok) {
+      std::cerr << "awplint: cannot read hot registry " << opt.registryPath
+                << "\n";
+      return 2;
+    }
+  }
+  awplint::LexedFile sitesLf;
+  if (!opt.sitesPath.empty()) {
+    const std::string src = slurp(opt.sitesPath, &ok);
+    if (!ok) {
+      std::cerr << "awplint: cannot read sites header " << opt.sitesPath
+                << "\n";
+      return 2;
+    }
+    sitesLf = awplint::lex(src);
+  }
 
   std::vector<fs::path> files;
-  for (const fs::path& r : roots) {
+  for (const fs::path& r : opt.roots) {
     if (!fs::exists(r)) {
       std::cerr << "awplint: no such path: " << r << "\n";
       return 2;
@@ -129,68 +222,209 @@ int main(int argc, char** argv) {
     collect(r, &files);
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  int findingCount = 0;
-  int mismatchCount = 0;
+  // ---- lex everything once ------------------------------------------------
+  std::vector<std::string> paths;
+  std::vector<awplint::LexedFile> lexed;
+  std::vector<std::string> contents;
   for (const fs::path& f : files) {
-    const std::string src = slurp(f, &ok);
+    std::string src = slurp(f, &ok);
     if (!ok) {
       std::cerr << "awplint: cannot read " << f << "\n";
       return 2;
     }
-    const awplint::LexedFile lf = awplint::lex(src);
-    std::vector<awplint::Finding> findings =
-        awplint::analyzeFile(f.generic_string(), lf, cfg);
+    paths.push_back(f.generic_string());
+    lexed.push_back(awplint::lex(src));
+    contents.push_back(std::move(src));
+  }
+  std::map<std::string, const awplint::LexedFile*> lfByPath;
+  for (std::size_t i = 0; i < paths.size(); ++i)
+    lfByPath[paths[i]] = &lexed[i];
+  if (!opt.taxonomyPath.empty())
+    lfByPath.emplace(opt.taxonomyPath.generic_string(), &taxonomyLf);
+  if (!opt.sitesPath.empty())
+    lfByPath.emplace(opt.sitesPath.generic_string(), &sitesLf);
 
-    if (!selfTest) {
-      for (const auto& fd : findings) {
-        std::cout << fd.file << ":" << fd.line << ": [" << fd.rule << "] "
-                  << fd.message << "\n";
-        ++findingCount;
-      }
-      continue;
+  // ---- pass 1: symbol index (or cache hit) --------------------------------
+  awplint::SymbolIndex index;
+  awplint::PropagateStats pstats;
+  const std::string cacheKey = awplint::indexCacheKey(contents);
+  bool cacheHit = false;
+  if (!opt.indexCachePath.empty() &&
+      awplint::loadIndexCache(opt.indexCachePath.generic_string(), cacheKey,
+                              &index)) {
+    cacheHit = true;
+    pstats.functionsIndexed = index.functions.size();
+    for (const auto& f : index.functions) {
+      pstats.callEdges += f.callees.size();
+      pstats.lockEdges += f.lockEdges.size();
     }
-
-    // Self-test: findings must match the expect markers exactly.
-    std::map<int, std::vector<std::string>> expected = lf.expects;
-    for (const auto& fd : findings) {
-      auto it = expected.find(fd.line);
-      bool matched = false;
-      if (it != expected.end()) {
-        auto& rules = it->second;
-        auto rit = std::find(rules.begin(), rules.end(), fd.rule);
-        if (rit != rules.end()) {
-          rules.erase(rit);
-          if (rules.empty()) expected.erase(it);
-          matched = true;
-        }
-      }
-      if (!matched) {
-        std::cout << fd.file << ":" << fd.line << ": UNEXPECTED [" << fd.rule
-                  << "] " << fd.message << "\n";
-        ++mismatchCount;
-      }
-    }
-    for (const auto& [line, rules] : expected) {
-      for (const auto& rule : rules) {
-        std::cout << f.generic_string() << ":" << line << ": MISSED expected ["
-                  << rule << "]\n";
-        ++mismatchCount;
-      }
-    }
+    pstats.collectiveFunctions = index.collectiveNames.size();
+    pstats.rankReturnFunctions = index.rankReturnNames.size();
+    for (const auto& [name, c] : index.classes)
+      pstats.guardedFields += c.guardedFields.size();
+  } else {
+    for (std::size_t i = 0; i < paths.size(); ++i)
+      index.add(awplint::indexFile(paths[i], lexed[i], cfg));
+    pstats = awplint::propagate(index);
+    if (!opt.indexCachePath.empty())
+      awplint::saveIndexCache(opt.indexCachePath.generic_string(), cacheKey,
+                              index);
   }
 
-  if (selfTest) {
+  // ---- pass 2: per-file findings ------------------------------------------
+  std::map<std::string, std::vector<awplint::Finding>> byFile;
+  for (std::size_t i = 0; i < paths.size(); ++i)
+    byFile[paths[i]] = awplint::analyzeFile(paths[i], lexed[i], cfg, index);
+
+  // Global findings anchor wherever their evidence is; suppressions from
+  // the anchor file apply.
+  auto addGlobal = [&](awplint::Finding f) {
+    const auto it = lfByPath.find(f.file);
+    std::vector<awplint::Finding> one;
+    one.push_back(std::move(f));
+    if (it != lfByPath.end())
+      one = awplint::applySuppressions(std::move(one), *it->second);
+    for (auto& kept : one) byFile[kept.file].push_back(std::move(kept));
+  };
+
+  for (const awplint::LockOrderFinding& lo :
+       awplint::lockOrderInversions(index))
+    addGlobal({lo.file, lo.line, "lock-order", lo.message});
+
+  // ---- registry drift gates -----------------------------------------------
+  if (opt.registry) {
+    std::vector<fs::path> testFiles;
+    for (const fs::path& r : opt.testRoots) {
+      if (!fs::exists(r)) {
+        std::cerr << "awplint: no such --tests path: " << r << "\n";
+        return 2;
+      }
+      collect(r, &testFiles);
+    }
+    std::vector<std::string> testContents;
+    for (const fs::path& t : testFiles) {
+      testContents.push_back(slurp(t, &ok));
+      if (!ok) {
+        std::cerr << "awplint: cannot read " << t << "\n";
+        return 2;
+      }
+    }
+    std::vector<std::pair<std::string, const awplint::LexedFile*>> sources;
+    for (std::size_t i = 0; i < paths.size(); ++i)
+      sources.emplace_back(paths[i], &lexed[i]);
+
+    awplint::RegistryInputs in;
+    in.taxonomy = &taxonomyLf;
+    in.taxonomyPath = opt.taxonomyPath.generic_string();
+    in.sites = &sitesLf;
+    in.sitesPath = opt.sitesPath.generic_string();
+    in.cfg = &cfg;
+    in.sources = &sources;
+    in.index = &index;
+    in.testContents = &testContents;
+    for (awplint::Finding& f : awplint::registryFindings(in))
+      addGlobal(std::move(f));
+  }
+
+  // ---- self-test: findings must match expect markers exactly --------------
+  if (opt.selfTest) {
+    int mismatchCount = 0;
+    std::set<std::string> reportPaths;
+    for (const auto& [path, lf] : lfByPath) reportPaths.insert(path);
+    for (const auto& [path, fds] : byFile) reportPaths.insert(path);
+    for (const std::string& path : reportPaths) {
+      std::map<int, std::vector<std::string>> expected;
+      const auto lfIt = lfByPath.find(path);
+      if (lfIt != lfByPath.end()) expected = lfIt->second->expects;
+      for (const auto& fd : byFile[path]) {
+        auto it = expected.find(fd.line);
+        bool matched = false;
+        if (it != expected.end()) {
+          auto& rules = it->second;
+          auto rit = std::find(rules.begin(), rules.end(), fd.rule);
+          if (rit != rules.end()) {
+            rules.erase(rit);
+            if (rules.empty()) expected.erase(it);
+            matched = true;
+          }
+        }
+        if (!matched) {
+          std::cout << fd.file << ":" << fd.line << ": UNEXPECTED ["
+                    << fd.rule << "] " << fd.message << "\n";
+          ++mismatchCount;
+        }
+      }
+      for (const auto& [line, rules] : expected) {
+        for (const auto& rule : rules) {
+          std::cout << path << ":" << line << ": MISSED expected [" << rule
+                    << "]\n";
+          ++mismatchCount;
+        }
+      }
+    }
     if (mismatchCount > 0) {
-      std::cout << "awplint self-test: " << mismatchCount << " mismatch(es)\n";
+      std::cout << "awplint self-test: " << mismatchCount
+                << " mismatch(es)\n";
       return 1;
     }
     std::cout << "awplint self-test: all expectations matched across "
               << files.size() << " fixture file(s)\n";
     return 0;
   }
-  if (findingCount > 0) {
-    std::cout << "awplint: " << findingCount << " finding(s)\n";
+
+  // ---- report -------------------------------------------------------------
+  std::vector<awplint::Finding> all;
+  for (auto& [path, fds] : byFile)
+    for (auto& fd : fds) all.push_back(std::move(fd));
+  std::sort(all.begin(), all.end(),
+            [](const awplint::Finding& a, const awplint::Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  if (opt.json) {
+    std::cout << "{\n  \"findings\": [";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const auto& fd = all[i];
+      std::cout << (i ? ",\n    " : "\n    ") << "{\"file\": \""
+                << jsonEscape(fd.file) << "\", \"line\": " << fd.line
+                << ", \"rule\": \"" << jsonEscape(fd.rule)
+                << "\", \"message\": \"" << jsonEscape(fd.message) << "\"}";
+    }
+    std::cout << (all.empty() ? "]" : "\n  ]") << ",\n  \"stats\": {"
+              << "\"files\": " << files.size()
+              << ", \"functions_indexed\": " << pstats.functionsIndexed
+              << ", \"call_edges\": " << pstats.callEdges
+              << ", \"fixpoint_iterations\": " << pstats.fixpointIterations
+              << ", \"collective_functions\": " << pstats.collectiveFunctions
+              << ", \"rank_return_functions\": "
+              << pstats.rankReturnFunctions
+              << ", \"guarded_fields\": " << pstats.guardedFields
+              << ", \"lock_edges\": " << pstats.lockEdges
+              << ", \"index_cache\": \"" << (cacheHit ? "hit" : "miss")
+              << "\"},\n  \"findings_count\": " << all.size() << "\n}\n";
+    return all.empty() ? 0 : 1;
+  }
+
+  for (const auto& fd : all)
+    std::cout << fd.file << ":" << fd.line << ": [" << fd.rule << "] "
+              << fd.message << "\n";
+  if (opt.stats) {
+    std::cout << "awplint stats: " << files.size() << " files, "
+              << pstats.functionsIndexed << " functions indexed, "
+              << pstats.callEdges << " call edges, "
+              << pstats.fixpointIterations << " fixpoint iterations, "
+              << pstats.collectiveFunctions << " collective-reaching, "
+              << pstats.rankReturnFunctions << " rank-returning, "
+              << pstats.guardedFields << " guarded fields, "
+              << pstats.lockEdges << " lock edges"
+              << (cacheHit ? " (index cache hit)" : "") << "\n";
+  }
+  if (!all.empty()) {
+    std::cout << "awplint: " << all.size() << " finding(s)\n";
     return 1;
   }
   std::cout << "awplint: clean (" << files.size() << " files)\n";

@@ -1,0 +1,289 @@
+#include "registry.hpp"
+
+#include <cctype>
+#include <set>
+
+namespace awplint {
+
+namespace {
+
+bool isIdent(const Token& t) { return t.kind == Token::Kind::Identifier; }
+bool is(const Token& t, const char* s) { return t.text == s; }
+
+struct NamedEntry {
+  std::string text;
+  int line = 0;
+};
+
+// Members of `enum class <name> ...`, declaration order, kCount excluded.
+std::vector<NamedEntry> parseEnumMembers(const LexedFile& lf,
+                                         const std::string& name) {
+  std::vector<NamedEntry> out;
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is(toks[i], "enum")) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && (is(toks[j], "class") || is(toks[j], "struct")))
+      ++j;
+    if (j >= toks.size() || toks[j].text != name) continue;
+    while (j < toks.size() && !is(toks[j], "{")) ++j;
+    ++j;
+    bool expectName = true;
+    int depth = 1;
+    for (; j < toks.size() && depth > 0; ++j) {
+      if (is(toks[j], "{")) ++depth;
+      else if (is(toks[j], "}")) --depth;
+      else if (is(toks[j], ",") && depth == 1) expectName = true;
+      else if (expectName && isIdent(toks[j])) {
+        if (toks[j].text != "kCount")
+          out.push_back({toks[j].text, toks[j].line});
+        expectName = false;
+      }
+    }
+    return out;
+  }
+  return out;
+}
+
+// String elements of `... <name> = { "a", "b", ... };`, in order.
+std::vector<NamedEntry> parseStringArray(const LexedFile& lf,
+                                         const std::string& name) {
+  std::vector<NamedEntry> out;
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!isIdent(toks[i]) || toks[i].text != name) continue;
+    std::size_t j = i + 1;
+    while (j < toks.size() && !is(toks[j], "{") && !is(toks[j], ";")) ++j;
+    if (j >= toks.size() || !is(toks[j], "{")) continue;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (is(toks[j], "{")) ++depth;
+      else if (is(toks[j], "}") && --depth == 0) break;
+      else if (toks[j].kind == Token::Kind::String)
+        out.push_back({toks[j].text, toks[j].line});
+    }
+    return out;
+  }
+  return out;
+}
+
+struct SiteEntry {
+  std::string site;
+  std::string builder;  // "" when the site has no dedicated builder
+  int line = 0;
+};
+
+// Entries of `constexpr KnownFaultSite kKnownSites[] = {{"s","b"}, ...};`.
+std::vector<SiteEntry> parseKnownSites(const LexedFile& lf) {
+  std::vector<SiteEntry> out;
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!isIdent(toks[i]) || toks[i].text != "kKnownSites") continue;
+    std::size_t j = i + 1;
+    while (j < toks.size() && !is(toks[j], "{") && !is(toks[j], ";")) ++j;
+    if (j >= toks.size() || !is(toks[j], "{")) continue;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (is(toks[j], "{")) {
+        ++depth;
+        if (depth == 2 && j + 1 < toks.size() &&
+            toks[j + 1].kind == Token::Kind::String) {
+          SiteEntry e;
+          e.site = toks[j + 1].text;
+          e.line = toks[j + 1].line;
+          if (j + 3 < toks.size() && is(toks[j + 2], ",") &&
+              toks[j + 3].kind == Token::Kind::String)
+            e.builder = toks[j + 3].text;
+          out.push_back(std::move(e));
+        }
+      } else if (is(toks[j], "}") && --depth == 0) {
+        break;
+      }
+    }
+    return out;
+  }
+  return out;
+}
+
+// CamelCase -> snake_case ("DtTightenEvents" -> "dt_tighten_events").
+std::string snakeCase(const std::string& name) {
+  std::string out;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (std::isupper(static_cast<unsigned char>(c))) {
+      if (i > 0) out.push_back('_');
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+class Gate {
+ public:
+  explicit Gate(const RegistryInputs& in) : in_(in) {}
+
+  std::vector<Finding> run() {
+    if (in_.sites != nullptr) siteGates();
+    if (in_.taxonomy != nullptr) {
+      enumGates("Phase", "kPhaseJsonNames");
+      enumGates("Counter", "kCounterJsonNames");
+    }
+    if (in_.cfg != nullptr && in_.index != nullptr) hotGate();
+    return std::move(findings_);
+  }
+
+ private:
+  bool inTests(const std::string& needle) const {
+    if (in_.testContents == nullptr || needle.empty()) return false;
+    for (const std::string& body : *in_.testContents)
+      if (body.find(needle) != std::string::npos) return true;
+    return false;
+  }
+
+  void emit(const std::string& file, int line, const std::string& rule,
+            const std::string& message) {
+    findings_.push_back({file, line, rule, message});
+  }
+
+  // ---- fault sites --------------------------------------------------------
+
+  void siteGates() {
+    const std::vector<SiteEntry> declared = parseKnownSites(*in_.sites);
+    if (declared.empty()) {
+      emit(in_.sitesPath, 1, "registry-undeclared",
+           "no kKnownSites table found in the sites header; the fault-site "
+           "registry gate has nothing to check against");
+      return;
+    }
+    std::set<std::string> declaredNames;
+    for (const SiteEntry& e : declared) declaredNames.insert(e.site);
+
+    // Every string literal seen in the analyzed sources (consulted-scan),
+    // and every literal consult `check("site", ...)` (declared-scan).
+    std::set<std::string> sourceStrings;
+    if (in_.sources != nullptr) {
+      for (const auto& [path, lf] : *in_.sources) {
+        const auto& toks = lf->tokens;
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+          if (toks[i].kind == Token::Kind::String)
+            sourceStrings.insert(toks[i].text);
+          // Member call `->check("...")` with a literal first argument.
+          if (isIdent(toks[i]) && is(toks[i], "check") && i > 0 &&
+              (is(toks[i - 1], ".") || is(toks[i - 1], "->")) &&
+              i + 2 < toks.size() && is(toks[i + 1], "(") &&
+              toks[i + 2].kind == Token::Kind::String) {
+            const std::string& site = toks[i + 2].text;
+            if (!declaredNames.count(site)) {
+              emit(path, toks[i + 2].line, "registry-undeclared",
+                   "fault site \"" + site +
+                       "\" is consulted here but not declared in "
+                       "fault::kKnownSites; add it to the table (with its "
+                       "hook-site documentation) so tests can schedule it");
+            }
+          }
+        }
+      }
+    }
+
+    for (const SiteEntry& e : declared) {
+      if (!sourceStrings.count(e.site)) {
+        emit(in_.sitesPath, e.line, "registry-unconsulted",
+             "fault site \"" + e.site +
+                 "\" is declared in kKnownSites but no analyzed source "
+                 "consults it; remove the dead entry or wire up the hook");
+      }
+      if (!inTests("\"" + e.site + "\"") && !inTests(e.builder)) {
+        emit(in_.sitesPath, e.line, "registry-untested",
+             "fault site \"" + e.site + "\" is declared but no test " +
+                 (e.builder.empty()
+                      ? "references its site string"
+                      : "references it (site string or builder `" +
+                            e.builder + "`)") +
+                 "; recovery paths that are never injected regress "
+                 "silently");
+      }
+    }
+  }
+
+  // ---- telemetry enums ----------------------------------------------------
+
+  void enumGates(const std::string& enumName, const std::string& arrayName) {
+    const auto members = parseEnumMembers(*in_.taxonomy, enumName);
+    const auto jsonNames = parseStringArray(*in_.taxonomy, arrayName);
+    if (members.empty()) return;  // taxonomy without this enum: nothing to do
+    if (members.size() != jsonNames.size()) {
+      emit(in_.taxonomyPath,
+           jsonNames.empty() ? members.front().line : jsonNames.front().line,
+           "registry-json-mismatch",
+           enumName + " has " + std::to_string(members.size()) +
+               " members but " + arrayName + " has " +
+               std::to_string(jsonNames.size()) +
+               " entries; the report schema is index-aligned and just "
+               "silently shifted");
+      return;
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const std::string want = snakeCase(members[i].text);
+      if (jsonNames[i].text != want) {
+        emit(in_.taxonomyPath, jsonNames[i].line, "registry-json-mismatch",
+             arrayName + "[" + std::to_string(i) + "] is \"" +
+                 jsonNames[i].text + "\" but " + enumName + "::" +
+                 members[i].text + " expects \"" + want +
+                 "\" (index-aligned snake_case)");
+      }
+    }
+    // Test coverage: an exhaustive sweep over the JSON-name array counts
+    // for every member; otherwise each member needs an individual
+    // reference (enum member or JSON name) in some test.
+    if (inTests(arrayName)) return;
+    for (const NamedEntry& m : members) {
+      if (inTests(enumName + "::" + m.text) ||
+          inTests("\"" + snakeCase(m.text) + "\""))
+        continue;
+      emit(in_.taxonomyPath, m.line, "registry-untested",
+           enumName + "::" + m.text +
+               " is declared but referenced by no test (neither the enum "
+               "member nor its JSON name \"" + snakeCase(m.text) +
+               "\" appears, and no test sweeps " + arrayName + ")");
+    }
+  }
+
+  // ---- hot registry reverse check -----------------------------------------
+
+  void hotGate() {
+    for (const FunctionSummary& f : in_.index->functions) {
+      if (!f.isHot || f.isDeclaration) continue;
+      bool listed = false;
+      for (const auto& [suffix, fn] : in_.cfg->hotRegistry) {
+        if (fn != f.name) continue;
+        if (f.file.size() >= suffix.size() &&
+            f.file.compare(f.file.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+          listed = true;
+          break;
+        }
+      }
+      if (!listed) {
+        emit(f.file, f.line, "hot-unpinned",
+             "`" + f.name +
+                 "` is marked AWP_HOT but hot_registry.txt does not list "
+                 "it; the registry is the reviewed set of pinned hot "
+                 "paths — add `" + f.file + "::" + f.name + "`");
+      }
+    }
+  }
+
+  const RegistryInputs& in_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::vector<Finding> registryFindings(const RegistryInputs& in) {
+  return Gate(in).run();
+}
+
+}  // namespace awplint

@@ -1,0 +1,58 @@
+#pragma once
+// awplint registry drift gates: cross-checks that keep the project's
+// machine-readable registries and the code that consults them in sync.
+// CI fails on silent divergence instead of letting it rot:
+//
+//   * registry-undeclared    — `check("site")` consulted in src/ for a
+//                              site that fault::kKnownSites does not
+//                              declare.
+//   * registry-unconsulted   — a declared site whose string appears
+//                              nowhere in the analyzed sources (dead
+//                              registry entry).
+//   * registry-untested      — a declared site (string + dedicated
+//                              builder both unseen) or a Phase/Counter
+//                              enum member referenced by no test.
+//                              An exhaustive sweep test that walks
+//                              kPhaseJsonNames / kCounterJsonNames
+//                              covers every member of that enum.
+//   * registry-json-mismatch — the Phase/Counter enums and their JSON
+//                              name arrays diverge (count or per-index
+//                              snake_case correspondence).
+//   * hot-unpinned           — a function marked AWP_HOT in src/ that
+//                              hot_registry.txt does not list (the
+//                              registry is the reviewed set of pinned
+//                              hot paths; additions must be recorded).
+//
+// Suppression for all of the above: `// awplint: registry-ok(<reason>)`
+// on the anchor line.
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+#include "symbols.hpp"
+
+namespace awplint {
+
+struct RegistryInputs {
+  // Lexed taxonomy header (Phase/Counter enums + JSON name arrays).
+  const LexedFile* taxonomy = nullptr;
+  std::string taxonomyPath;
+  // Lexed header carrying the fault::kKnownSites table.
+  const LexedFile* sites = nullptr;
+  std::string sitesPath;
+  // Hot registry entries (file-suffix -> function), from Config.
+  const Config* cfg = nullptr;
+  // Analyzed sources: path -> lexed file (consult scan + string scan).
+  const std::vector<std::pair<std::string, const LexedFile*>>* sources =
+      nullptr;
+  // Merged symbol index (AWP_HOT definitions for the reverse check).
+  const SymbolIndex* index = nullptr;
+  // Raw contents of every test/example file (reference scan).
+  const std::vector<std::string>* testContents = nullptr;
+};
+
+std::vector<Finding> registryFindings(const RegistryInputs& in);
+
+}  // namespace awplint

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "callgraph.hpp"
+
 namespace awplint {
 
 namespace {
@@ -18,10 +20,6 @@ const std::set<std::string> kRankSeeds = {"rank", "rank_", "myRank",
 // Fault-injection entry points: predicates touching them diverge by design.
 const std::set<std::string> kFaultSeeds = {"injectionEnabled",
                                            "activeInjector"};
-// Functions returning per-rank data (local scans and verdicts): assigning
-// from them taints the destination.
-const std::set<std::string> kLocalVerdictFns = {
-    "scan", "runPreflight", "runRupturePreflight", "allFinite"};
 // Collective results are uniform across ranks by construction: these call
 // expressions are scrubbed before evaluating taint.
 const std::set<std::string> kUniformResultFns = {"allreduce", "allgather"};
@@ -39,6 +37,27 @@ const std::set<std::string> kHotStringIds = {"string", "to_string",
                                              "ostringstream", "stringstream",
                                              "wstring"};
 const std::set<std::string> kHotCheckMacros = {"AWP_CHECK", "AWP_CHECK_MSG"};
+
+// RAII lock guards (declaration introduces an acquisition) and the raw
+// mutex member calls the scanner recognizes.
+const std::set<std::string> kLockGuardTypes = {"lock_guard", "scoped_lock",
+                                               "unique_lock", "shared_lock"};
+// Lock/condition-variable API member names: excluded from held-at-call
+// interprocedural edges — `cv.wait(lock)` would otherwise fold with every
+// user-defined `wait()` that takes its own mutex, manufacturing
+// inversions no execution can realize.
+const std::set<std::string> kLockApiCallees = {
+    "wait", "wait_for", "wait_until", "notify_one", "notify_all",
+    "lock", "unlock",   "try_lock",   "lock_shared", "unlock_shared"};
+const std::set<std::string> kMutexTypes = {
+    "mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+    "recursive_timed_mutex"};
+// Identifiers that are never callees even when followed by '('.
+const std::set<std::string> kNotCallees = {
+    "if",     "while",  "for",        "switch",      "return",
+    "sizeof", "alignof", "static_cast", "dynamic_cast", "const_cast",
+    "reinterpret_cast", "catch", "throw", "new", "delete", "assert",
+    "defined"};
 
 struct Scope {
   enum class Kind {
@@ -63,13 +82,31 @@ struct Scope {
   std::string taintReason;
   bool remainderTainted = false;
   std::string remainderReason;
+  // Type scopes only:
+  std::string typeName;
+  int classIdx = -1;  // index into fileIndex_.classes
   // Function scopes only:
   bool isHot = false;
+  bool isCtorDtor = false;
   std::string fnName;
+  std::string fnQualifier;
   std::map<std::string, std::string> taintedPaths;  // path -> reason
+  // Locks held by this scope: RAII guards declared here, the function's
+  // AWP_REQUIRES set (seeded on the Function scope itself), and manual
+  // .lock() calls (Function scope — they outlive inner blocks).
+  std::set<std::string> heldLocks;
   // Taint of the if-chain that just closed at this level (for `else`).
   bool lastIfTaint = false;
   std::string lastIfReason;
+  // For Stmt scopes: the pending control kind that created this unbraced
+  // body (Cond / Loop / Else). Only if-arm statements may feed the
+  // parent's lastIfTaint — a tainted loop body inside an if must not make
+  // the following `else` look rank-conditional.
+  Kind stmtOrigin = Kind::Block;
+  // A lambda body inside a function: shares the enclosing taint/lock
+  // context (captures), but `return`/`throw`/`break`/`continue` cannot
+  // escape it — early-exit remainder taint stops here.
+  bool lambdaBoundary = false;
 };
 
 bool isControl(Scope::Kind k) {
@@ -85,33 +122,49 @@ struct Pending {
   std::size_t afterIdx = 0;  // attaches to the first token past this index
 };
 
+// One pass over one file. Always extracts the FileIndex contribution;
+// when a propagated whole-program index is supplied, also emits findings
+// (pass 2). Running the identical scan in both passes is what guarantees
+// the summaries and the checks agree on function boundaries.
 class Analyzer {
  public:
-  Analyzer(const std::string& path, const LexedFile& lf, const Config& cfg)
-      : path_(path), lf_(lf), toks_(lf.tokens), cfg_(cfg) {
+  Analyzer(const std::string& path, const LexedFile& lf, const Config& cfg,
+           const SymbolIndex* index)
+      : path_(path), lf_(lf), toks_(lf.tokens), cfg_(cfg), index_(index) {
     checkCollectives_ = path.find("vcluster/") == std::string::npos;
     checkSpans_ = path.find("telemetry/") == std::string::npos;
   }
 
   std::vector<Finding> run() {
     for (i_ = 0; i_ < toks_.size(); ++i_) step();
-    registryCheck();
-    applySuppressions();
+    finishOpenSummaries();
+    if (checkMode()) {
+      registryCheck();
+      findings_ = applySuppressions(std::move(findings_), lf_);
+    }
     return std::move(findings_);
   }
 
+  FileIndex takeIndex() {
+    fileIndex_.path = path_;
+    return std::move(fileIndex_);
+  }
+
  private:
+  bool checkMode() const { return index_ != nullptr; }
+
   // ---- token helpers ------------------------------------------------------
 
-  const Token& tok(std::size_t i) const { return toks_[i]; }
   bool has(std::size_t i) const { return i < toks_.size(); }
 
   std::size_t matchForward(std::size_t open) const {
-    // open indexes a "(" token; returns the index of its matching ")".
+    // open indexes a "(" (or "{" / "<") token; returns its match's index.
+    const std::string& o = toks_[open].text;
+    const char* c = o == "(" ? ")" : (o == "{" ? "}" : ">");
     int depth = 0;
     for (std::size_t j = open; j < toks_.size(); ++j) {
-      if (is(toks_[j], "(")) ++depth;
-      else if (is(toks_[j], ")") && --depth == 0) return j;
+      if (toks_[j].text == o) ++depth;
+      else if (toks_[j].text == c && --depth == 0) return j;
     }
     return toks_.size() - 1;
   }
@@ -126,6 +179,21 @@ class Analyzer {
     return 0;
   }
 
+  // Dotted access path ending at token k, `this->` stripped: `a.b->c_`.
+  std::string pathEndingAt(std::size_t k) const {
+    std::vector<std::string> parts = {toks_[k].text};
+    while (k >= 2 && (is(toks_[k - 1], ".") || is(toks_[k - 1], "->")) &&
+           isIdent(toks_[k - 2])) {
+      k -= 2;
+      parts.push_back(toks_[k].text);
+    }
+    if (parts.back() == "this") parts.pop_back();
+    std::string path;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it)
+      path += (path.empty() ? "" : ".") + *it;
+    return path;
+  }
+
   // ---- scope stack --------------------------------------------------------
 
   Scope* functionScope() {
@@ -135,6 +203,25 @@ class Analyzer {
   }
 
   bool inFunction() { return functionScope() != nullptr; }
+
+  // Innermost class context: a Type scope, else the current function's
+  // qualifier (out-of-line member definitions).
+  std::string classContext() {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::Kind::Type) return it->typeName;
+      if (it->kind == Scope::Kind::Function && !it->fnQualifier.empty())
+        return it->fnQualifier;
+    }
+    return "";
+  }
+
+  Scope* typeScope() {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::Kind::Function) return nullptr;
+      if (it->kind == Scope::Kind::Type) return &*it;
+    }
+    return nullptr;
+  }
 
   // Any enclosing predicate or early-exit remainder that is rank-tainted?
   bool effectiveTaint(std::string* reason) {
@@ -156,10 +243,29 @@ class Analyzer {
   void popScopeInto() {
     Scope closed = std::move(scopes_.back());
     scopes_.pop_back();
-    if (!scopes_.empty() && (closed.kind == Scope::Kind::Cond ||
-                             (closed.kind == Scope::Kind::Stmt))) {
-      Scope& parent = scopes_.back();
-      if (closed.tainted || closed.lastIfTaint) {
+    if (closed.kind == Scope::Kind::Function) {
+      finalizeSummary();
+      guardVars_.clear();
+      localTypes_.clear();
+    }
+    // Feed the parent's `else` lookahead ONLY with if-chain CONDITION
+    // taint. A braced Cond contributes its own header taint; an unbraced
+    // if/else arm (Stmt) relays its condition taint plus any chained
+    // `else if` condition taint that closed inside it. Loop bodies and
+    // nested statements inside the arm do NOT count: whether the `else`
+    // runs depends solely on the if conditions, not on what the taken
+    // branch happened to compute.
+    if (!scopes_.empty()) {
+      const bool ifArmStmt =
+          closed.kind == Scope::Kind::Stmt &&
+          (closed.stmtOrigin == Scope::Kind::Cond ||
+           closed.stmtOrigin == Scope::Kind::Else);
+      const bool condTaint =
+          closed.kind == Scope::Kind::Cond
+              ? closed.tainted
+              : (ifArmStmt && (closed.tainted || closed.lastIfTaint));
+      if (condTaint) {
+        Scope& parent = scopes_.back();
         parent.lastIfTaint = true;
         parent.lastIfReason = closed.tainted ? closed.taintReason
                                              : closed.lastIfReason;
@@ -229,11 +335,20 @@ class Analyzer {
       if (reason) *reason = "`" + id + "` is a fault-injection site";
       return true;
     }
-    if (kLocalVerdictFns.count(id) && has(idx + 1) && is(toks_[idx + 1], "(")) {
+    if (has(idx + 1) && is(toks_[idx + 1], "(") && rankReturnFn(id)) {
       if (reason) *reason = "`" + id + "()` returns per-rank data";
       return true;
     }
     return false;
+  }
+
+  // Does a call to `id` produce per-rank data? Pass 2 asks the propagated
+  // index; pass 1 falls back to the semantic seeds so local return-taint
+  // extraction does not depend on propagation order.
+  bool rankReturnFn(const std::string& id) const {
+    if (index_ != nullptr) return index_->returnsRankData(id);
+    const auto& seeds = semanticRankReturnSeeds();
+    return std::find(seeds.begin(), seeds.end(), id) != seeds.end();
   }
 
   // Handle `path = expr` taint propagation (and clean overwrites).
@@ -243,15 +358,7 @@ class Analyzer {
     // LHS: dotted path ending right before '='.
     std::size_t k = eqIdx - 1;
     if (!isIdent(toks_[k])) return;
-    std::vector<std::string> parts = {toks_[k].text};
-    while (k >= 2 && (is(toks_[k - 1], ".") || is(toks_[k - 1], "->")) &&
-           isIdent(toks_[k - 2])) {
-      k -= 2;
-      parts.push_back(toks_[k].text);
-    }
-    std::string path;
-    for (auto it = parts.rbegin(); it != parts.rend(); ++it)
-      path += (path.empty() ? "" : ".") + *it;
+    const std::string path = pathEndingAt(k);
 
     // RHS: until ';' at this paren level or the level closes (covers both
     // plain statements and `if (auto x = ...)` / for-header inits).
@@ -276,6 +383,30 @@ class Analyzer {
       fn->taintedPaths.erase(path);
   }
 
+  // A completed bcast makes its out-arguments uniform on every rank:
+  // scrub every dotted path in the argument list. This is what lets
+  // "length was just broadcast" branches pass without an annotation.
+  void scrubBcastArgs(std::size_t callIdx) {
+    Scope* fn = functionScope();
+    if (fn == nullptr || !has(callIdx + 1) || !is(toks_[callIdx + 1], "("))
+      return;
+    const std::size_t close = matchForward(callIdx + 1);
+    for (std::size_t j = callIdx + 2; j < close; ++j) {
+      if (!isIdent(toks_[j])) continue;
+      if (j > callIdx + 2 &&
+          (is(toks_[j - 1], ".") || is(toks_[j - 1], "->")))
+        continue;  // only path heads; pathEndingAt walks the rest
+      // Walk the dotted path forward to its full extent.
+      std::size_t end = j;
+      while (has(end + 2) &&
+             (is(toks_[end + 1], ".") || is(toks_[end + 1], "->")) &&
+             isIdent(toks_[end + 2]))
+        end += 2;
+      fn->taintedPaths.erase(pathEndingAt(end));
+      j = end;
+    }
+  }
+
   // ---- structure: braces, functions, control flow -------------------------
 
   // Classify the '{' at index i and push the matching scope.
@@ -298,7 +429,9 @@ class Analyzer {
     };
 
     if (stmtHas("namespace")) {
-      pushScope({Scope::Kind::Namespace});
+      Scope s;
+      s.kind = Scope::Kind::Namespace;
+      pushScope(std::move(s));
       return;
     }
     // Type definitions: class-key leads the statement (after template<..>).
@@ -316,7 +449,34 @@ class Analyzer {
     if (first < i &&
         (is(toks_[first], "class") || is(toks_[first], "struct") ||
          is(toks_[first], "union") || is(toks_[first], "enum"))) {
-      pushScope({Scope::Kind::Type});
+      Scope s;
+      s.kind = Scope::Kind::Type;
+      // The type's name: the identifier right before the brace or before
+      // the base-clause colon. `enum class X : int {` and `struct X final
+      // : Base {` both land on X.
+      std::size_t nameIdx = i;
+      for (std::size_t j = first; j < i; ++j)
+        if (is(toks_[j], ":") && !is(toks_[j == 0 ? 0 : j - 1], ":") &&
+            (!has(j + 1) || !is(toks_[j + 1], ":"))) {
+          nameIdx = j;
+          break;
+        }
+      while (nameIdx > first) {
+        --nameIdx;
+        if (is(toks_[nameIdx], "final")) continue;
+        break;
+      }
+      if (nameIdx >= first && nameIdx < i && isIdent(toks_[nameIdx]) &&
+          !is(toks_[nameIdx], "class") && !is(toks_[nameIdx], "struct") &&
+          !is(toks_[nameIdx], "enum") && !is(toks_[nameIdx], "union")) {
+        s.typeName = toks_[nameIdx].text;
+        ClassInfo c;
+        c.name = s.typeName;
+        c.file = path_;
+        fileIndex_.classes.push_back(std::move(c));
+        s.classIdx = static_cast<int>(fileIndex_.classes.size()) - 1;
+      }
+      pushScope(std::move(s));
       return;
     }
 
@@ -333,38 +493,87 @@ class Analyzer {
         lambda = open > 0 && is(toks_[open - 1], "]");
       }
       if (lambda) {
-        // Inside a function a lambda body is part of the surrounding
-        // analysis; at namespace scope treat it as an anonymous function.
-        pushScope(inFunction() ? Scope{Scope::Kind::Block}
-                               : Scope{Scope::Kind::Function});
+        // Inside a function a lambda body shares the surrounding taint
+        // and lock context (captures) but is an early-exit boundary; at
+        // namespace scope treat it as an anonymous function.
+        Scope s;
+        s.kind = inFunction() ? Scope::Kind::Block : Scope::Kind::Function;
+        s.lambdaBoundary = inFunction();
+        pushScope(std::move(s));
         return;
       }
     }
 
     if (!inFunction()) {
       std::string name;
-      if (looksLikeFunction(i, &name)) {
+      std::string qualifier;
+      if (looksLikeFunction(i, &name, &qualifier)) {
         Scope s;
         s.kind = Scope::Kind::Function;
         s.fnName = name;
+        if (qualifier.empty()) {
+          if (const Scope* ts = typeScope()) qualifier = ts->typeName;
+        }
+        s.fnQualifier = qualifier;
+        s.isCtorDtor = !name.empty() &&
+                       (name[0] == '~' || (!qualifier.empty() &&
+                                           name == qualifier));
         for (std::size_t j = stmtBegin; j < i; ++j)
           if (is(toks_[j], "AWP_HOT")) s.isHot = true;
+        // AWP_REQUIRES(...) between the parameter list and the brace:
+        // the function body runs with those locks already held.
+        for (std::size_t j = stmtBegin; j < i; ++j)
+          if (is(toks_[j], "AWP_REQUIRES"))
+            for (const std::string& m : parenPaths(j))
+              s.heldLocks.insert(m);
+        // Pass 2: a declaration in the class body may carry the
+        // annotation while the out-of-line definition does not.
+        if (index_ != nullptr) {
+          if (const auto* req =
+                  index_->requiredLocksFor(s.fnQualifier, name)) {
+            for (const std::string& m : *req) {
+              const std::string prefix = s.fnQualifier + "::";
+              if (m.rfind(prefix, 0) == 0)
+                s.heldLocks.insert(m.substr(prefix.size()));
+              else if (m.find("::") == std::string::npos)
+                s.heldLocks.insert(m);
+            }
+          }
+        }
         definedFns_[name] = toks_[i].line;
         if (s.isHot) hotFns_.insert(name);
+        beginSummary(s, toks_[i].line);
+        // Parameters of indexed guarded-class types: typed bases for the
+        // guarded-field rule (`void merge(JobState& j)` types `j`).
+        localTypes_.clear();
+        for (std::size_t j = stmtBegin; j < i; ++j)
+          if (isIdent(toks_[j])) maybeRecordLocalDecl(j);
         pushScope(std::move(s));
         return;
       }
     }
-    pushScope({Scope::Kind::Block});
+    Scope s;
+    s.kind = Scope::Kind::Block;
+    pushScope(std::move(s));
   }
 
-  bool looksLikeFunction(std::size_t braceIdx, std::string* name) {
+  bool looksLikeFunction(std::size_t braceIdx, std::string* name,
+                         std::string* qualifier) {
     if (braceIdx == 0) return false;
     std::size_t p = braceIdx - 1;
     while (p > 0 && (is(toks_[p], "const") || is(toks_[p], "noexcept") ||
                      is(toks_[p], "override") || is(toks_[p], "final") ||
-                     is(toks_[p], "try")))
+                     is(toks_[p], "try") || is(toks_[p], "AWP_REQUIRES")))
       --p;
+    // An AWP_REQUIRES(...) clause sits between the parameter list and the
+    // brace; skip over its parenthesized argument.
+    if (is(toks_[p], ")") && matchBackward(p) > 0 &&
+        is(toks_[matchBackward(p) == 0 ? 0 : matchBackward(p) - 1],
+           "AWP_REQUIRES")) {
+      p = matchBackward(p) - 2;
+      while (p > 0 && (is(toks_[p], "const") || is(toks_[p], "noexcept")))
+        --p;
+    }
     // Walk backward over constructor-initializer entries `name(...)`,
     // separated by ',' and introduced by ':', to the parameter list.
     for (int guard = 0; guard < 64; ++guard) {
@@ -375,11 +584,21 @@ class Analyzer {
       if (!isIdent(toks_[nameIdx])) return false;
       if (nameIdx >= 1 &&
           (is(toks_[nameIdx - 1], ",") || is(toks_[nameIdx - 1], ":"))) {
+        // `:` could be a member-init-list introducer OR the `::` of a
+        // qualified name — `::` lexes as one token, so a single `:` here
+        // is the initializer list.
         if (nameIdx < 2) return false;
         p = nameIdx - 2;  // token before the ',' / ':' separator
         continue;
       }
       *name = toks_[nameIdx].text;
+      std::size_t q = nameIdx;
+      if (q >= 1 && is(toks_[q - 1], "~")) {
+        *name = "~" + *name;
+        q -= 1;
+      }
+      if (q >= 2 && is(toks_[q - 1], "::") && isIdent(toks_[q - 2]))
+        *qualifier = toks_[q - 2].text;
       return true;
     }
     return false;
@@ -399,10 +618,306 @@ class Analyzer {
     if (wasControl) popStmtScopes();
   }
 
+  // ---- summaries (pass 1 output) ------------------------------------------
+
+  void beginSummary(const Scope& s, int line) {
+    if (s.fnName.empty()) return;
+    FunctionSummary f;
+    f.name = s.fnName;
+    f.qualifier = s.fnQualifier;
+    f.file = path_;
+    f.line = line;
+    f.isHot = s.isHot;
+    for (const std::string& m : s.heldLocks) f.requiredLocks.insert(m);
+    summaryStack_.push_back(std::move(f));
+  }
+
+  FunctionSummary* curSummary() {
+    return summaryStack_.empty() ? nullptr : &summaryStack_.back();
+  }
+
+  void finalizeSummary() {
+    if (summaryStack_.empty()) return;
+    fileIndex_.functions.push_back(std::move(summaryStack_.back()));
+    summaryStack_.pop_back();
+  }
+
+  void finishOpenSummaries() {
+    while (!summaryStack_.empty()) finalizeSummary();
+  }
+
+  // Record a body-less declaration that carries AWP_REQUIRES — the
+  // annotation must be visible to out-of-line definitions in other files.
+  void recordRequiresDeclaration(std::size_t reqIdx) {
+    // Backtrack over cv-qualifiers to the parameter list.
+    std::size_t p = reqIdx;
+    while (p > 0) {
+      --p;
+      if (is(toks_[p], "const") || is(toks_[p], "noexcept")) continue;
+      break;
+    }
+    if (!is(toks_[p], ")")) return;
+    const std::size_t open = matchBackward(p);
+    if (open == 0 || !isIdent(toks_[open - 1])) return;
+    FunctionSummary f;
+    f.name = toks_[open - 1].text;
+    if (const Scope* ts = typeScope()) f.qualifier = ts->typeName;
+    f.file = path_;
+    f.line = toks_[open - 1].line;
+    f.isDeclaration = true;
+    for (const std::string& m : parenPaths(reqIdx)) f.requiredLocks.insert(m);
+    fileIndex_.functions.push_back(std::move(f));
+  }
+
+  // Comma-separated dotted paths inside the parens following token i.
+  std::vector<std::string> parenPaths(std::size_t i) const {
+    std::vector<std::string> out;
+    if (!has(i + 1) || !is(toks_[i + 1], "(")) return out;
+    const std::size_t close = matchForward(i + 1);
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (!isIdent(toks_[j])) continue;
+      if (j > i + 2 && (is(toks_[j - 1], ".") || is(toks_[j - 1], "->") ||
+                        is(toks_[j - 1], "::")))
+        continue;
+      std::size_t end = j;
+      while (has(end + 2) &&
+             (is(toks_[end + 1], ".") || is(toks_[end + 1], "->")) &&
+             isIdent(toks_[end + 2]))
+        end += 2;
+      out.push_back(pathEndingAt(end));
+      j = end;
+    }
+    return out;
+  }
+
+  // ---- lock machinery -----------------------------------------------------
+
+  std::set<std::string> allHeldLocks() {
+    std::set<std::string> held;
+    for (const Scope& s : scopes_)
+      held.insert(s.heldLocks.begin(), s.heldLocks.end());
+    return held;
+  }
+
+  bool lockHeld(const std::string& path) {
+    for (const Scope& s : scopes_)
+      if (s.heldLocks.count(path)) return true;
+    return false;
+  }
+
+  void acquireLock(const std::string& path, int line, bool functionScoped) {
+    if (FunctionSummary* f = curSummary()) {
+      f->acquiredLocks.insert(path);
+      for (const std::string& h : allHeldLocks()) {
+        if (h == path) continue;
+        bool dup = false;
+        for (const LockEdge& e : f->lockEdges)
+          if (e.held == h && e.acquired == path) dup = true;
+        if (!dup) f->lockEdges.push_back({h, path, path_, line});
+      }
+    }
+    Scope* target = functionScoped ? functionScope() : &scopes_.back();
+    if (target != nullptr) target->heldLocks.insert(path);
+  }
+
+  void releaseLock(const std::string& path) {
+    for (Scope& s : scopes_) s.heldLocks.erase(path);
+  }
+
+  // RAII guard declaration: `std::lock_guard<std::mutex> lk(mutex_);`,
+  // CTAD, brace-init, scoped_lock with several mutexes, and unique_lock
+  // with std::defer_lock all land here (i_ is the guard-type token).
+  void handleGuardDecl() {
+    std::size_t j = i_ + 1;
+    if (has(j) && is(toks_[j], "<")) j = matchForward(j) + 1;
+    if (!has(j) || !isIdent(toks_[j])) return;
+    const std::string var = toks_[j].text;
+    std::size_t open = j + 1;
+    if (!has(open) || (!is(toks_[open], "(") && !is(toks_[open], "{")))
+      return;
+    const std::size_t close = matchForward(open);
+    bool deferred = false;
+    std::vector<std::string> mutexes;
+    for (std::size_t k = open + 1; k < close; ++k) {
+      if (!isIdent(toks_[k])) continue;
+      if (is(toks_[k], "defer_lock")) {
+        deferred = true;
+        continue;
+      }
+      if (is(toks_[k], "adopt_lock") || is(toks_[k], "try_to_lock") ||
+          is(toks_[k], "std"))
+        continue;
+      if (k > open + 1 && (is(toks_[k - 1], ".") || is(toks_[k - 1], "->") ||
+                           is(toks_[k - 1], "::")))
+        continue;
+      std::size_t end = k;
+      while (has(end + 2) &&
+             (is(toks_[end + 1], ".") || is(toks_[end + 1], "->")) &&
+             isIdent(toks_[end + 2]))
+        end += 2;
+      mutexes.push_back(pathEndingAt(end));
+      k = end;
+    }
+    guardVars_[var] = {mutexes, scopes_.size() - 1};
+    if (!deferred)
+      for (const std::string& m : mutexes)
+        acquireLock(m, toks_[i_].line, /*functionScoped=*/false);
+  }
+
+  // Member calls on mutexes and guards: m.lock() / lk.unlock() / ...
+  void handleLockMemberCall() {
+    const std::string& member = toks_[i_].text;
+    const bool isLock = member == "lock" || member == "lock_shared";
+    const bool isUnlock = member == "unlock" || member == "unlock_shared";
+    if (!isLock && !isUnlock) return;
+    if (i_ < 2 || (!is(toks_[i_ - 1], ".") && !is(toks_[i_ - 1], "->")))
+      return;
+    if (!has(i_ + 1) || !is(toks_[i_ + 1], "(")) return;
+    const std::string path = pathEndingAt(i_ - 2);
+    const auto gv = guardVars_.find(path);
+    if (gv != guardVars_.end()) {
+      for (const std::string& m : gv->second.mutexes) {
+        if (isLock) {
+          // A manual re-lock on a guard holds until the GUARD's scope
+          // ends (its destructor), not the block the .lock() sits in:
+          // `lk.unlock(); { ...; lk.lock(); }` stays held after the `}`.
+          acquireLock(m, toks_[i_].line, /*functionScoped=*/false);
+          const std::size_t idx =
+              std::min(gv->second.scopeIdx, scopes_.size() - 1);
+          scopes_[idx].heldLocks.insert(m);
+        } else {
+          releaseLock(m);
+        }
+      }
+      return;
+    }
+    if (isLock)
+      acquireLock(path, toks_[i_].line, /*functionScoped=*/true);
+    else
+      releaseLock(path);
+  }
+
+  // Record `GuardedClass [&*]... var` declarations (params and locals) so
+  // dotted guarded-field accesses can be attributed to a concrete class.
+  // Only classes that actually carry AWP_GUARDED_BY fields are tracked.
+  void maybeRecordLocalDecl(std::size_t j) {
+    if (!checkMode()) return;
+    const Token& t = toks_[j];
+    if (j > 0 && (is(toks_[j - 1], ".") || is(toks_[j - 1], "->"))) return;
+    const ClassInfo* cls = index_->classInfo(t.text);
+    if (cls == nullptr || cls->guardedFields.empty()) return;
+    std::size_t k = j + 1;
+    while (has(k) && (is(toks_[k], "&") || is(toks_[k], "&&") ||
+                      is(toks_[k], "*") || is(toks_[k], "const")))
+      ++k;
+    if (k == j + 1 && has(k) && is(toks_[k], "<")) return;  // template arg
+    if (!has(k) || !isIdent(toks_[k]) || !has(k + 1)) return;
+    const std::string& nxt = toks_[k + 1].text;
+    if (nxt == "=" || nxt == ";" || nxt == "," || nxt == ")" ||
+        nxt == "{" || nxt == "(" || nxt == ":")
+      localTypes_[toks_[k].text] = t.text;
+  }
+
+  // Rule 4a: an AWP_GUARDED_BY field accessed without its mutex held.
+  void guardedAccessRule(const Token& t) {
+    if (!checkMode() || !inFunction()) return;
+    Scope* fn = functionScope();
+    if (fn->isCtorDtor) return;
+    const std::string full = pathEndingAt(i_);
+    const ClassInfo* cls = nullptr;
+    if (full == t.text) {
+      // Bare (implicit-this) access: resolve against the enclosing class.
+      const std::string ctx = classContext();
+      if (ctx.empty()) return;
+      cls = index_->classInfo(ctx);
+      if (cls == nullptr || !cls->guardedFields.count(t.text)) return;
+    } else {
+      // Dotted access: only attributable when the base object was declared
+      // in this function (param or local) with an indexed guarded-class
+      // type — matching common field names like `count` by name alone
+      // drowns in collisions with unrelated structs.
+      const std::string base = full.substr(0, full.find('.'));
+      const auto lt = localTypes_.find(base);
+      if (lt == localTypes_.end()) return;
+      cls = index_->classInfo(lt->second);
+      if (cls == nullptr || !cls->guardedFields.count(t.text)) return;
+      if (full != base + "." + t.text) return;  // only direct members
+    }
+    const std::string mutex = cls->guardedFields.at(t.text);
+    // Prefix of the access path: `other.queue_` needs `other.mutex_`.
+    std::string required = mutex;
+    if (full.size() > t.text.size())
+      required = full.substr(0, full.size() - t.text.size()) + mutex;
+    if (lockHeld(required)) return;
+    const std::string key = std::to_string(t.line) + ":" + full;
+    if (!guardReported_.insert(key).second) return;
+    emit(t.line, "guarded-field",
+         "field `" + full + "` is AWP_GUARDED_BY(`" + mutex + "`) but `" +
+             required +
+             "` is not held on this path; take the lock, annotate the "
+             "function with AWP_REQUIRES(" + mutex +
+             "), or suppress with `// awplint: guard-ok(<why this access "
+             "is race-free>)`");
+  }
+
+  // Rule 4b: calling an AWP_REQUIRES-annotated helper on `this` without
+  // holding its contract locks. Restricted to this-calls (bare name or
+  // explicit this->) where the current class declares the contract, so a
+  // same-named method of an unrelated class can never misfire.
+  void requiresCallRule(const Token& t) {
+    if (!checkMode() || !inFunction()) return;
+    Scope* fn = functionScope();
+    if (fn->isCtorDtor) return;
+    if (!has(i_ + 1) || !is(toks_[i_ + 1], "(")) return;
+    if (i_ > 0 && (is(toks_[i_ - 1], ".") || is(toks_[i_ - 1], "->")) &&
+        !(i_ >= 2 && is(toks_[i_ - 2], "this")))
+      return;
+    const std::string ctx = classContext();
+    if (ctx.empty()) return;
+    const auto it = index_->requiresByKey.find(ctx + "::" + t.text);
+    if (it == index_->requiresByKey.end()) return;
+    for (const std::string& m : it->second) {
+      std::string need = m;
+      const std::string prefix = ctx + "::";
+      if (need.rfind(prefix, 0) == 0) need = need.substr(prefix.size());
+      if (need.find("::") != std::string::npos) continue;
+      if (lockHeld(need)) continue;
+      emit(t.line, "lock-requires",
+           "`" + t.text + "()` is annotated AWP_REQUIRES(" + need +
+               ") but `" + need +
+               "` is not held at this call site; take the lock first, "
+               "propagate the AWP_REQUIRES contract, or suppress with "
+               "`// awplint: lock-ok(<why the lock is not needed here>)`");
+    }
+  }
+
+  // AWP_GUARDED_BY in a class body: record field -> mutex.
+  void handleGuardedByAnnotation() {
+    Scope* ts = typeScope();
+    if (ts == nullptr || ts->classIdx < 0 || i_ == 0) return;
+    if (!isIdent(toks_[i_ - 1])) return;
+    const auto paths = parenPaths(i_);
+    if (paths.size() != 1) return;
+    ClassInfo& c = fileIndex_.classes[static_cast<std::size_t>(ts->classIdx)];
+    c.guardedFields[toks_[i_ - 1].text] = paths[0];
+  }
+
+  // `std::mutex name_;` in a class body: record the mutex member so lock
+  // names can be class-qualified at merge time.
+  void maybeMutexMember() {
+    Scope* ts = typeScope();
+    if (ts == nullptr || ts->classIdx < 0) return;
+    if (!has(i_ + 1) || !isIdent(toks_[i_ + 1])) return;
+    if (!has(i_ + 2) || !is(toks_[i_ + 2], ";")) return;
+    fileIndex_.classes[static_cast<std::size_t>(ts->classIdx)]
+        .mutexMembers.insert(toks_[i_ + 1].text);
+  }
+
   // ---- per-token dispatch -------------------------------------------------
 
   void step() {
     const Token& t = toks_[i_];
+    if (t.kind == Token::Kind::String) return;
 
     if (is(t, "{")) {
       openBrace(i_);
@@ -429,11 +944,26 @@ class Analyzer {
     if (pending_.active && i_ > pending_.afterIdx && !is(t, "{")) {
       Scope s;
       s.kind = Scope::Kind::Stmt;
+      s.stmtOrigin = pending_.kind;
       s.braced = false;
       s.tainted = pending_.tainted;
       s.taintReason = pending_.reason;
       pending_.active = false;
       pushScope(std::move(s));
+    }
+
+    if (isIdent(t) && !inFunction()) {
+      if (is(t, "AWP_GUARDED_BY")) {
+        handleGuardedByAnnotation();
+        return;
+      }
+      if (is(t, "AWP_REQUIRES") && typeScope() != nullptr) {
+        // Only declarations land here: on definitions the annotation is
+        // consumed by openBrace before the body opens.
+        recordRequiresDeclaration(i_);
+        return;
+      }
+      if (kMutexTypes.count(t.text)) maybeMutexMember();
     }
 
     if (isIdent(t) && inFunction()) {
@@ -453,11 +983,22 @@ class Analyzer {
         pending_ = {true, Scope::Kind::Loop, false, "", i_};
         return;
       }
+      if (is(t, "return")) recordReturn();
       if (is(t, "return") || is(t, "throw") || is(t, "break") ||
           is(t, "continue")) {
         earlyExit(t.text);
         // fall through: `throw` is also a hot-path violation.
       }
+      if (kLockGuardTypes.count(t.text)) handleGuardDecl();
+      handleLockMemberCall();
+      recordCallee(t);
+      maybeRecordLocalDecl(i_);
+      guardedAccessRule(t);
+      requiresCallRule(t);
+      // A finished bcast leaves its arguments uniform on every rank.
+      if ((is(t, "bcast") || is(t, "broadcast")) && i_ > 0 &&
+          (is(toks_[i_ - 1], ".") || is(toks_[i_ - 1], "->")))
+        scrubBcastArgs(i_);
     }
 
     if (is(t, "=")) handleAssignment(i_);
@@ -465,6 +1006,64 @@ class Analyzer {
     collectiveRule(t);
     hotRules(t);
     spanRules(t);
+  }
+
+  // Record the callee set and allocation count for the summary.
+  void recordCallee(const Token& t) {
+    FunctionSummary* f = curSummary();
+    if (f == nullptr) return;
+    const bool call = has(i_ + 1) && is(toks_[i_ + 1], "(");
+    if (call && !kNotCallees.count(t.text)) {
+      f->callees.insert(t.text);
+      if (!kLockApiCallees.count(t.text))
+        for (const std::string& held : allHeldLocks())
+          f->calleeHeld[t.text].insert(held);
+    }
+    // Collective primitives are member calls: comm.barrier(), mb->bcast().
+    const bool memberCall =
+        i_ > 0 && (is(toks_[i_ - 1], ".") || is(toks_[i_ - 1], "->"));
+    if (call && memberCall && cfg_.collectivePrimitives.count(t.text))
+      f->callsCollectivePrimitive = true;
+    if (is(t, "new") || (call && kHotAllocCalls.count(t.text)) ||
+        (call && memberCall && kHotGrowthMembers.count(t.text)) ||
+        (!memberCall && kHotAllocNames.count(t.text)))
+      ++f->allocations;
+  }
+
+  // `return <expr>;` — extract local rank taint and return-position calls.
+  void recordReturn() {
+    FunctionSummary* f = curSummary();
+    if (f == nullptr) return;
+    int rel = 0;
+    std::size_t end = i_ + 1;
+    for (; end < toks_.size(); ++end) {
+      const std::string& s = toks_[end].text;
+      if (s == "(" || s == "[" || s == "{") ++rel;
+      else if (s == ")" || s == "]" || s == "}") {
+        if (--rel < 0) break;
+      } else if (s == ";" && rel <= 0) {
+        break;
+      }
+    }
+    std::string reason;
+    if (spanTainted(i_ + 1, end, &reason)) f->localRankReturn = true;
+    // A return VALUE inside rank-divergent control flow is itself
+    // rank-dependent even when the expression is clean.
+    if (!f->localRankReturn && end > i_ + 1 && effectiveTaint(&reason))
+      f->localRankReturn = true;
+    // Calls in return position propagate return-taint — but not from
+    // inside a scrubbing allreduce/allgather call expression.
+    for (std::size_t j = i_ + 1; j < end; ++j) {
+      if (!isIdent(toks_[j])) continue;
+      if (kUniformResultFns.count(toks_[j].text) && has(j + 1) &&
+          is(toks_[j + 1], "(")) {
+        j = matchForward(j + 1);
+        continue;
+      }
+      if (has(j + 1) && is(toks_[j + 1], "(") &&
+          !kNotCallees.count(toks_[j].text))
+        f->returnCallees.insert(toks_[j].text);
+    }
   }
 
   void controlHeader(const std::string& kw) {
@@ -496,10 +1095,13 @@ class Analyzer {
     std::string reason;
     bool taintedBelowTarget = false;
     for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      // No early exit escapes a lambda body: the exit targets at most
+      // the lambda itself.
       const bool isTarget =
-          toFunction ? it->kind == Scope::Kind::Function
-                     : (it->kind == Scope::Kind::Loop ||
-                        (kw == "break" && it->kind == Scope::Kind::Cond));
+          it->lambdaBoundary ||
+          (toFunction ? it->kind == Scope::Kind::Function
+                      : (it->kind == Scope::Kind::Loop ||
+                         (kw == "break" && it->kind == Scope::Kind::Cond)));
       if (isTarget) {
         if (taintedBelowTarget && !it->remainderTainted) {
           it->remainderTainted = true;
@@ -520,18 +1122,22 @@ class Analyzer {
   // ---- rule 1: collective consistency -------------------------------------
 
   void collectiveRule(const Token& t) {
-    if (!checkCollectives_ || !isIdent(t) || !inFunction()) return;
+    if (!checkMode() || !checkCollectives_ || !isIdent(t) || !inFunction())
+      return;
     if (!has(i_ + 1) || !is(toks_[i_ + 1], "(")) return;
     const bool memberCall =
         i_ > 0 && (is(toks_[i_ - 1], ".") || is(toks_[i_ - 1], "->"));
     const bool primitive =
         cfg_.collectivePrimitives.count(t.text) != 0 && memberCall;
-    const bool wrapper = cfg_.collectiveWrappers.count(t.text) != 0;
+    // Interprocedural: the fixpoint proved this function reaches a
+    // collective primitive at some call depth (v1's whitelist, derived).
+    const bool wrapper = !primitive && index_->isCollective(t.text);
     if (!primitive && !wrapper) return;
     std::string reason;
     if (!effectiveTaint(&reason)) return;
     emit(t.line, "collective-in-rank-branch",
-         "collective `" + t.text +
+         std::string("collective ") +
+             (wrapper ? "wrapper `" : "`") + t.text +
              "` reached under rank-dependent control flow: " + reason +
              "; if every rank provably takes this branch together, annotate "
              "with `// awplint: collective-uniform(<why>)`");
@@ -540,6 +1146,7 @@ class Analyzer {
   // ---- rule 2: hot-path hygiene -------------------------------------------
 
   void hotRules(const Token& t) {
+    if (!checkMode()) return;
     Scope* fn = functionScope();
     if (fn == nullptr || !fn->isHot || !isIdent(t)) return;
     const bool call = has(i_ + 1) && is(toks_[i_ + 1], "(");
@@ -577,7 +1184,7 @@ class Analyzer {
   // ---- rule 3: telemetry span discipline ----------------------------------
 
   void spanRules(const Token& t) {
-    if (!checkSpans_ || !isIdent(t)) return;
+    if (!checkMode() || !checkSpans_ || !isIdent(t)) return;
     // telemetry::Phase::X must name a taxonomy member.
     if (is(t, "Phase") && i_ >= 2 && is(toks_[i_ - 1], "::") &&
         is(toks_[i_ - 2], "telemetry") && has(i_ + 2) &&
@@ -638,40 +1245,8 @@ class Analyzer {
     }
   }
 
-  static std::string suppressionFor(const std::string& rule) {
-    if (rule == "collective-in-rank-branch") return "collective-uniform";
-    if (rule == "hot-alloc" || rule == "hot-throw") return "hot-ok";
-    if (rule == "manual-span") return "manual-span";
-    if (rule == "span-taxonomy" || rule == "span-temporary" ||
-        rule == "raw-span-api")
-      return "span-ok";
-    return "";
-  }
-
-  void applySuppressions() {
-    std::vector<Finding> kept;
-    for (Finding& f : findings_) {
-      const std::string want = suppressionFor(f.rule);
-      bool suppressed = false;
-      bool emptyReason = false;
-      for (int line : {f.line, f.line - 1}) {
-        auto it = lf_.annotations.find(line);
-        if (it == lf_.annotations.end()) continue;
-        for (const Annotation& a : it->second) {
-          if (a.rule != want) continue;
-          if (a.reason.empty()) emptyReason = true;
-          else suppressed = true;
-        }
-      }
-      if (suppressed) continue;
-      if (emptyReason)
-        f.message += " [annotation found but its reason string is empty]";
-      kept.push_back(std::move(f));
-    }
-    findings_ = std::move(kept);
-  }
-
   void emit(int line, const std::string& rule, const std::string& message) {
+    if (!checkMode()) return;
     findings_.push_back({path_, line, rule, message});
   }
 
@@ -681,6 +1256,7 @@ class Analyzer {
   const LexedFile& lf_;
   const Tokens& toks_;
   const Config& cfg_;
+  const SymbolIndex* index_;  // nullptr in pass 1
   bool checkCollectives_ = true;
   bool checkSpans_ = true;
 
@@ -692,6 +1268,17 @@ class Analyzer {
   std::vector<Finding> findings_;
   std::set<std::string> hotFns_;
   std::map<std::string, int> definedFns_;
+  FileIndex fileIndex_;
+  std::vector<FunctionSummary> summaryStack_;
+  struct GuardVar {
+    std::vector<std::string> mutexes;
+    std::size_t scopeIdx = 0;  // scope index where the guard was declared
+  };
+  std::map<std::string, GuardVar> guardVars_;
+  // Locals/params declared with an indexed guarded-class type, from this
+  // function's header and body: `JobState& j` -> {"j": "JobState"}.
+  std::map<std::string, std::string> localTypes_;
+  std::set<std::string> guardReported_;
 };
 
 }  // namespace
@@ -723,9 +1310,54 @@ std::set<std::string> parsePhaseTaxonomy(const LexedFile& lf) {
   return phases;
 }
 
+FileIndex indexFile(const std::string& path, const LexedFile& lf,
+                    const Config& cfg) {
+  Analyzer a(path, lf, cfg, nullptr);
+  a.run();
+  return a.takeIndex();
+}
+
 std::vector<Finding> analyzeFile(const std::string& path, const LexedFile& lf,
-                                 const Config& cfg) {
-  return Analyzer(path, lf, cfg).run();
+                                 const Config& cfg, const SymbolIndex& index) {
+  return Analyzer(path, lf, cfg, &index).run();
+}
+
+std::string suppressionNameFor(const std::string& rule) {
+  if (rule == "collective-in-rank-branch") return "collective-uniform";
+  if (rule == "hot-alloc" || rule == "hot-throw") return "hot-ok";
+  if (rule == "manual-span") return "manual-span";
+  if (rule == "span-taxonomy" || rule == "span-temporary" ||
+      rule == "raw-span-api")
+    return "span-ok";
+  if (rule == "guarded-field") return "guard-ok";
+  if (rule == "lock-order" || rule == "lock-requires") return "lock-ok";
+  if (rule.rfind("registry-", 0) == 0 || rule == "hot-unpinned")
+    return "registry-ok";
+  return "";
+}
+
+std::vector<Finding> applySuppressions(std::vector<Finding> findings,
+                                       const LexedFile& lf) {
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    const std::string want = suppressionNameFor(f.rule);
+    bool suppressed = false;
+    bool emptyReason = false;
+    for (int line : {f.line, f.line - 1}) {
+      auto it = lf.annotations.find(line);
+      if (it == lf.annotations.end()) continue;
+      for (const Annotation& a : it->second) {
+        if (a.rule != want) continue;
+        if (a.reason.empty()) emptyReason = true;
+        else suppressed = true;
+      }
+    }
+    if (suppressed) continue;
+    if (emptyReason)
+      f.message += " [annotation found but its reason string is empty]";
+    kept.push_back(std::move(f));
+  }
+  return kept;
 }
 
 }  // namespace awplint

@@ -1,31 +1,43 @@
 #pragma once
-// awplint rule engine: the three project-specific rule families enforced
+// awplint rule engine v2: four project-specific rule families enforced
 // over src/ (see DESIGN.md §10 for the full catalog and the annotation
-// grammar).
+// grammar), running in two passes over the same token stream.
 //
-//   1. collective-in-rank-branch — a Communicator/Mailbox collective
-//      (allreduce, allgather, barrier, bcast, gatherBytes, or a known
-//      collective wrapper) reached under control flow whose predicate is
-//      rank-dependent: derived from rank(), per-rank verdict scans, or
-//      fault-injection sites. Rank-divergent control flow around a
-//      collective is the canonical SPMD deadlock. Suppress with
-//      `// awplint: collective-uniform(<why all ranks agree>)`.
+// Pass 1 (indexFile) extracts a per-function summary from every file —
+// callees, collective primitives called, rank taint introduced or
+// scrubbed at returns, locks required/acquired and their ordering,
+// allocation sites — plus per-class guarded-field and mutex-member
+// tables. tools/awplint/callgraph.cpp merges the summaries and runs a
+// fixed-point propagation so collective-reachability and rank-taint flow
+// through arbitrary call depth. The v1 `collectiveWrappers` whitelist
+// and its one-level approximation are gone: wrappers are DISCOVERED.
+//
+// Pass 2 (analyzeFile) re-scans each file with the propagated index in
+// hand and emits findings:
+//
+//   1. collective-in-rank-branch — a collective primitive (allreduce,
+//      allgather, barrier, bcast, broadcast, gatherBytes) or ANY function
+//      the fixpoint proved reaches one, under control flow whose
+//      predicate is rank-dependent. Taint seeds: rank identifiers,
+//      fault-injection state, and functions whose RETURN the fixpoint
+//      proved per-rank. Results of allreduce/allgather scrub taint;
+//      arguments of a completed bcast are scrubbed too (uniform after
+//      the call). Suppress: `// awplint: collective-uniform(<why>)`.
 //   2. hot-alloc / hot-throw — allocation, container growth, string
-//      construction, or throwing calls inside a function marked AWP_HOT
-//      (the solver step loop, FD kernels, halo pack/unpack, PML/sponge
-//      updates). Suppress with `// awplint: hot-ok(<reason>)`.
-//   3. span discipline — telemetry::Phase members must belong to the
-//      fixed taxonomy (span-taxonomy), ScopedSpan must be a named local,
-//      never a discarded temporary (span-temporary), ManualSpan use must
-//      be justified (manual-span), and the raw RankTelemetry open/close
-//      API stays inside src/telemetry (raw-span-api). Suppress with
-//      `// awplint: span-ok(...)` / `// awplint: manual-span(...)`.
-//
-// The analysis is a scoped token scan with one-level taint propagation,
-// not a full dataflow pass: results of allreduce/allgather are uniform by
-// construction and scrub taint; early exits (return/throw) under a
-// tainted predicate taint the remainder of the function; break/continue
-// taint the remainder of the enclosing loop.
+//      construction, or throwing calls inside AWP_HOT functions.
+//      Suppress: `// awplint: hot-ok(<reason>)`.
+//   3. span discipline — span-taxonomy / span-temporary / manual-span /
+//      raw-span-api, unchanged from v1. Suppress: `// awplint:
+//      span-ok(...)` / `manual-span(...)`.
+//   4. lock discipline — a field annotated `AWP_GUARDED_BY(mutex)`
+//      (src/util/guarded.hpp) accessed in a member function on a path
+//      where the guarding mutex is not held (guarded-field); helpers
+//      that expect the caller to hold it carry `AWP_REQUIRES(mutex)`,
+//      and this-calls of such helpers without the lock held are flagged
+//      too (lock-requires). Lock acquisition order is recorded per
+//      function and checked globally for inversions (lock-order,
+//      reported by the callgraph layer). Suppress: `// awplint:
+//      guard-ok(...)` / `lock-ok(...)`.
 
 #include <map>
 #include <set>
@@ -33,6 +45,7 @@
 #include <vector>
 
 #include "lexer.hpp"
+#include "symbols.hpp"
 
 namespace awplint {
 
@@ -50,13 +63,6 @@ struct Config {
   std::set<std::string> collectivePrimitives = {
       "allreduce", "allgather", "barrier", "bcast", "broadcast",
       "gatherBytes"};
-  // Functions that contain collectives, flagged at their call sites too.
-  std::set<std::string> collectiveWrappers = {
-      "collectivePreflight", "collectiveRupturePreflight", "parallelMd5",
-      "aggregate",           "emitTelemetry",              "restart",
-      "preflight",           "evaluate",                   "collectTraces",
-      "gatherFaultHistory",  "exchangeVelocities",         "exchangeStresses",
-      "exchangeMaterial",    "exchangeFields"};
   // file-suffix -> function names that MUST carry AWP_HOT in that file.
   std::multimap<std::string, std::string> hotRegistry;
 };
@@ -64,11 +70,23 @@ struct Config {
 // Parse the Phase enum out of a lexed taxonomy header.
 std::set<std::string> parsePhaseTaxonomy(const LexedFile& lf);
 
-// Run all applicable rule families over one lexed file. `path` selects the
-// per-layer exclusions (rule 1 skips src/vcluster — the implementation of
-// the collectives; rule 3 skips src/telemetry — the implementation of the
+// Pass 1: extract the symbol-index contribution of one file.
+FileIndex indexFile(const std::string& path, const LexedFile& lf,
+                    const Config& cfg);
+
+// Pass 2: run all applicable rule families over one lexed file, with the
+// propagated whole-program index in hand. `path` selects the per-layer
+// exclusions (rule 1 skips src/vcluster — the implementation of the
+// collectives; rule 3 skips src/telemetry — the implementation of the
 // spans). Suppression annotations are applied before returning.
 std::vector<Finding> analyzeFile(const std::string& path, const LexedFile& lf,
-                                 const Config& cfg);
+                                 const Config& cfg, const SymbolIndex& index);
+
+// Apply `// awplint: <name>(<reason>)` suppressions from `lf` to findings
+// that anchor in that file. Used by analyzeFile, and by main for global
+// (lock-order) findings.
+std::string suppressionNameFor(const std::string& rule);
+std::vector<Finding> applySuppressions(std::vector<Finding> findings,
+                                       const LexedFile& lf);
 
 }  // namespace awplint

@@ -1,0 +1,269 @@
+#include "symbols.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace awplint {
+
+namespace {
+
+// Qualify a raw lock path recorded inside class `cls`: a bare (or
+// this->-stripped) name that matches a declared mutex member of the class
+// becomes "cls::name"; anything else stays textual (the scanner cannot
+// type-resolve `board_.mutex_`, and leaving it textual is still stable
+// enough for inversion matching).
+std::string qualifyLock(const std::string& raw, const std::string& cls,
+                        const std::map<std::string, ClassInfo>& classes) {
+  if (cls.empty() || raw.find('.') != std::string::npos) return raw;
+  auto it = classes.find(cls);
+  if (it != classes.end() && it->second.mutexMembers.count(raw))
+    return cls + "::" + raw;
+  return raw;
+}
+
+}  // namespace
+
+void SymbolIndex::add(FileIndex&& fi) {
+  for (ClassInfo& c : fi.classes) {
+    ClassInfo& dst = classes[c.name];
+    if (dst.name.empty()) {
+      dst = std::move(c);
+      continue;
+    }
+    // Same class name seen again (header re-walked, or a genuinely
+    // distinct type with the same name): union the facts, conservatively.
+    for (auto& [field, mutex] : c.guardedFields)
+      dst.guardedFields.emplace(field, mutex);
+    dst.mutexMembers.insert(c.mutexMembers.begin(), c.mutexMembers.end());
+  }
+  for (FunctionSummary& f : fi.functions) functions.push_back(std::move(f));
+}
+
+const std::set<std::string>* SymbolIndex::requiredLocksFor(
+    const std::string& qualifier, const std::string& name) const {
+  if (!qualifier.empty()) {
+    auto it = requiresByKey.find(qualifier + "::" + name);
+    if (it != requiresByKey.end()) return &it->second;
+  }
+  auto it = requiresByKey.find(name);
+  return it == requiresByKey.end() ? nullptr : &it->second;
+}
+
+// Lock qualification happens after every file has been merged, because a
+// .cpp's out-of-line definitions need the class's mutex declarations from
+// its header. callgraph::propagate calls this before the fixpoint.
+void qualifyIndexLocks(SymbolIndex& index) {
+  for (FunctionSummary& f : index.functions) {
+    std::set<std::string> q;
+    for (const std::string& raw : f.acquiredLocks)
+      q.insert(qualifyLock(raw, f.qualifier, index.classes));
+    f.acquiredLocks = std::move(q);
+    std::set<std::string> r;
+    for (const std::string& raw : f.requiredLocks)
+      r.insert(qualifyLock(raw, f.qualifier, index.classes));
+    f.requiredLocks = std::move(r);
+    for (LockEdge& e : f.lockEdges) {
+      e.held = qualifyLock(e.held, f.qualifier, index.classes);
+      e.acquired = qualifyLock(e.acquired, f.qualifier, index.classes);
+    }
+    for (auto& [callee, held] : f.calleeHeld) {
+      std::set<std::string> qh;
+      for (const std::string& raw : held)
+        qh.insert(qualifyLock(raw, f.qualifier, index.classes));
+      held = std::move(qh);
+    }
+  }
+}
+
+// ---- cache serialization -------------------------------------------------
+// Line-oriented text: one record per line, fields separated by '\x1f'
+// (never present in identifiers or paths we emit). Version bumps on any
+// format change via the key prefix in indexCacheKey.
+
+namespace {
+
+constexpr char kSep = '\x1f';
+
+std::string joinSet(const std::set<std::string>& s) {
+  std::string out;
+  for (const auto& e : s) {
+    if (!out.empty()) out += ',';
+    out += e;
+  }
+  return out;
+}
+
+std::set<std::string> splitSet(const std::string& s) {
+  std::set<std::string> out;
+  std::size_t at = 0;
+  while (at <= s.size() && !s.empty()) {
+    std::size_t comma = s.find(',', at);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > at) out.insert(s.substr(at, comma - at));
+    if (comma == s.size()) break;
+    at = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> splitFields(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  while (true) {
+    const std::size_t sep = line.find(kSep, at);
+    if (sep == std::string::npos) {
+      out.push_back(line.substr(at));
+      return out;
+    }
+    out.push_back(line.substr(at, sep - at));
+    at = sep + 1;
+  }
+}
+
+}  // namespace
+
+void saveIndexCache(const std::string& path, const std::string& key,
+                    const SymbolIndex& index) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;  // cache is best-effort
+  out << "awplint-index" << kSep << key << "\n";
+  for (const auto& [name, c] : index.classes) {
+    out << "C" << kSep << name << kSep << c.file << kSep
+        << joinSet(c.mutexMembers);
+    for (const auto& [field, mutex] : c.guardedFields)
+      out << kSep << field << '=' << mutex;
+    out << "\n";
+  }
+  for (const FunctionSummary& f : index.functions) {
+    out << "F" << kSep << f.name << kSep << f.qualifier << kSep << f.file
+        << kSep << f.line << kSep << (f.isHot ? 1 : 0)
+        << (f.isDeclaration ? 2 : 0) << (f.callsCollectivePrimitive ? 4 : 0)
+        << (f.localRankReturn ? 8 : 0) << kSep << f.allocations << kSep
+        << joinSet(f.callees) << kSep << joinSet(f.returnCallees) << kSep
+        << joinSet(f.requiredLocks) << kSep << joinSet(f.acquiredLocks);
+    for (const LockEdge& e : f.lockEdges)
+      out << kSep << e.held << '<' << e.acquired << '@' << e.line;
+    // Held-at-call-site sets: `callee>lock1;lock2` (distinguished from
+    // lock edges by '>' instead of '<').
+    for (const auto& [callee, held] : f.calleeHeld) {
+      if (held.empty()) continue;
+      out << kSep << callee << '>';
+      bool first = true;
+      for (const std::string& l : held) {
+        if (!first) out << ';';
+        out << l;
+        first = false;
+      }
+    }
+    out << "\n";
+  }
+  out << "S" << kSep << "collective" << kSep << joinSet(index.collectiveNames)
+      << "\n";
+  out << "S" << kSep << "rankreturn" << kSep << joinSet(index.rankReturnNames)
+      << "\n";
+  for (const auto& [name, locks] : index.acquiresByName)
+    out << "A" << kSep << name << kSep << joinSet(locks) << "\n";
+  for (const auto& [key2, locks] : index.requiresByKey)
+    out << "R" << kSep << key2 << kSep << joinSet(locks) << "\n";
+}
+
+bool loadIndexCache(const std::string& path, const std::string& key,
+                    SymbolIndex* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  const auto header = splitFields(line);
+  if (header.size() != 2 || header[0] != "awplint-index" || header[1] != key)
+    return false;
+  SymbolIndex idx;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = splitFields(line);
+    if (f[0] == "C" && f.size() >= 4) {
+      ClassInfo c;
+      c.name = f[1];
+      c.file = f[2];
+      c.mutexMembers = splitSet(f[3]);
+      for (std::size_t i = 4; i < f.size(); ++i) {
+        const std::size_t eq = f[i].find('=');
+        if (eq != std::string::npos)
+          c.guardedFields[f[i].substr(0, eq)] = f[i].substr(eq + 1);
+      }
+      idx.classes[c.name] = std::move(c);
+    } else if (f[0] == "F" && f.size() >= 11) {
+      FunctionSummary fn;
+      fn.name = f[1];
+      fn.qualifier = f[2];
+      fn.file = f[3];
+      fn.line = std::stoi(f[4]);
+      int flags = 0;
+      for (char ch : f[5]) flags |= (ch - '0');
+      fn.isHot = (flags & 1) != 0;
+      fn.isDeclaration = (flags & 2) != 0;
+      fn.callsCollectivePrimitive = (flags & 4) != 0;
+      fn.localRankReturn = (flags & 8) != 0;
+      fn.allocations = std::stoi(f[6]);
+      fn.callees = splitSet(f[7]);
+      fn.returnCallees = splitSet(f[8]);
+      fn.requiredLocks = splitSet(f[9]);
+      fn.acquiredLocks = splitSet(f[10]);
+      for (std::size_t i = 11; i < f.size(); ++i) {
+        const std::size_t lt = f[i].find('<');
+        const std::size_t gt = f[i].find('>');
+        if (gt != std::string::npos &&
+            (lt == std::string::npos || gt < lt)) {
+          auto& held = fn.calleeHeld[f[i].substr(0, gt)];
+          std::size_t at2 = gt + 1;
+          while (at2 <= f[i].size()) {
+            std::size_t semi = f[i].find(';', at2);
+            if (semi == std::string::npos) semi = f[i].size();
+            if (semi > at2) held.insert(f[i].substr(at2, semi - at2));
+            if (semi == f[i].size()) break;
+            at2 = semi + 1;
+          }
+          continue;
+        }
+        const std::size_t at = f[i].rfind('@');
+        if (lt == std::string::npos || at == std::string::npos || at < lt)
+          continue;
+        LockEdge e;
+        e.held = f[i].substr(0, lt);
+        e.acquired = f[i].substr(lt + 1, at - lt - 1);
+        e.line = std::stoi(f[i].substr(at + 1));
+        e.file = fn.file;
+        fn.lockEdges.push_back(std::move(e));
+      }
+      idx.functions.push_back(std::move(fn));
+    } else if (f[0] == "S" && f.size() == 3) {
+      if (f[1] == "collective") idx.collectiveNames = splitSet(f[2]);
+      if (f[1] == "rankreturn") idx.rankReturnNames = splitSet(f[2]);
+    } else if (f[0] == "A" && f.size() == 3) {
+      idx.acquiresByName[f[1]] = splitSet(f[2]);
+    } else if (f[0] == "R" && f.size() == 3) {
+      idx.requiresByKey[f[1]] = splitSet(f[2]);
+    }
+  }
+  *out = std::move(idx);
+  return true;
+}
+
+std::string indexCacheKey(const std::vector<std::string>& contents) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xff;  // file separator
+    h *= 1099511628211ULL;
+  };
+  mix("awplint-index-v3");  // format version participates in the key
+  for (const std::string& c : contents) mix(c);
+  std::ostringstream ss;
+  ss << std::hex << h;
+  return ss.str();
+}
+
+}  // namespace awplint

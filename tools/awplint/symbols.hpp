@@ -1,0 +1,133 @@
+#pragma once
+// awplint v2 symbol index: per-function summaries extracted from every
+// analyzed translation unit, merged into a whole-program view. The index
+// is what lets rank-taint and collective-reachability flow through
+// arbitrary call depth (tools/awplint/callgraph.cpp runs the fixpoint) —
+// it replaced the hand-maintained `collectiveWrappers` whitelist and the
+// one-level taint approximation of awplint v1.
+//
+// The index is name-based, not overload-resolved: a call site `foo(...)`
+// matches every summary named `foo`, and per-name facts are the
+// conservative union over same-named summaries. That is exactly the
+// semantics the old whitelist had (it listed bare names), so deleting it
+// loses nothing — and the fixpoint finds wrappers the whitelist never
+// knew about.
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace awplint {
+
+// "acquired `acquired` while already holding `held`" — one observed lock
+// acquisition ordering, anchored at the acquisition site so the global
+// inversion report can point somewhere reviewable.
+struct LockEdge {
+  std::string held;      // qualified lock name, e.g. "Mailbox::mutex_"
+  std::string acquired;  // qualified lock name
+  std::string file;
+  int line = 0;
+};
+
+struct FunctionSummary {
+  std::string name;       // bare name (token-level: overloads fold)
+  std::string qualifier;  // enclosing class, or X for an X::name definition
+  std::string file;
+  int line = 0;
+  bool isHot = false;
+  bool isDeclaration = false;  // body-less declaration (AWP_REQUIRES carrier)
+
+  // Collectives: a member-call to a collective primitive in the body.
+  bool callsCollectivePrimitive = false;
+  // Rank taint: some `return` expression is rank-tainted by the local
+  // scan (rank seeds / tainted locals, allreduce-scrubbed returns do not
+  // count).
+  bool localRankReturn = false;
+
+  std::set<std::string> callees;        // bare names called in the body
+  std::set<std::string> returnCallees;  // calls inside return expressions
+  // callee -> locks actually held at some call site of that callee (the
+  // scanner's per-scope lock tracking, not a function-level union). This
+  // is what makes interprocedural lock-order edges per-call-site precise.
+  std::map<std::string, std::set<std::string>> calleeHeld;
+
+  // Lock facts. Lock names are qualified at index-merge time: a bare or
+  // this-> acquisition of a declared mutex member of class C becomes
+  // "C::name"; dotted paths the scanner cannot type-resolve stay textual.
+  std::set<std::string> requiredLocks;  // from AWP_REQUIRES(...)
+  std::set<std::string> acquiredLocks;  // acquired somewhere in the body
+  std::vector<LockEdge> lockEdges;      // locally observed orderings
+
+  // Rough allocation-site count (hot or cold) for --stats.
+  int allocations = 0;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::string file;
+  // field -> guarding mutex member, from AWP_GUARDED_BY annotations.
+  std::map<std::string, std::string> guardedFields;
+  // declared mutex-typed members (std::mutex / shared_mutex / ...).
+  std::set<std::string> mutexMembers;
+};
+
+// Per-file extraction result (pass 1 output for one file).
+struct FileIndex {
+  std::string path;
+  std::vector<FunctionSummary> functions;
+  std::vector<ClassInfo> classes;
+};
+
+// The whole-program view plus the fixpoint results over it.
+struct SymbolIndex {
+  std::vector<FunctionSummary> functions;
+  std::map<std::string, ClassInfo> classes;  // merged by class name
+
+  // ---- fixpoint results (filled by callgraph::propagate) ----
+  // Names of functions that reach a collective primitive at any depth.
+  std::set<std::string> collectiveNames;
+  // Names of functions whose return value is rank-dependent at any depth.
+  std::set<std::string> rankReturnNames;
+  // name -> union of locks the function may acquire, transitively.
+  std::map<std::string, std::set<std::string>> acquiresByName;
+  // "Class::name" and bare "name" -> union of AWP_REQUIRES locks.
+  std::map<std::string, std::set<std::string>> requiresByKey;
+
+  void add(FileIndex&& fi);
+
+  [[nodiscard]] const ClassInfo* classInfo(const std::string& name) const {
+    auto it = classes.find(name);
+    return it == classes.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] bool isCollective(const std::string& name) const {
+    return collectiveNames.count(name) != 0;
+  }
+  [[nodiscard]] bool returnsRankData(const std::string& name) const {
+    return rankReturnNames.count(name) != 0;
+  }
+  [[nodiscard]] const std::set<std::string>* requiredLocksFor(
+      const std::string& qualifier, const std::string& name) const;
+};
+
+// Resolve raw lock paths against the merged class table ("mutex_" inside
+// class C -> "C::mutex_"). Run after every file is merged, before the
+// fixpoint; callgraph::propagate does this for you.
+void qualifyIndexLocks(SymbolIndex& index);
+
+// ---- index cache (CI keys it on the aggregate source hash) -------------
+// save() writes the merged, fixpoint-annotated index; load() returns
+// false (leaving *out untouched) unless the cache exists and its recorded
+// key matches `key` exactly.
+void saveIndexCache(const std::string& path, const std::string& key,
+                    const SymbolIndex& index);
+bool loadIndexCache(const std::string& path, const std::string& key,
+                    SymbolIndex* out);
+
+// FNV-1a over file contents; the cache key is the hash chain over every
+// indexed file plus the tool's format version.
+std::string indexCacheKey(const std::vector<std::string>& contents);
+
+}  // namespace awplint
