@@ -274,6 +274,37 @@ RuntimeConfig parseRuntimeConfig(const std::string& text,
       config.serve.reconcileEveryTicks = parseInt(value, lineNo);
       if (config.serve.reconcileEveryTicks < 1)
         fail(lineNo, "serve_reconcile_ticks must be >= 1");
+    } else if (key == "cycle_nx") {
+      config.cycle.nx = parseInt(value, lineNo);
+      if (config.cycle.nx < 1) fail(lineNo, "cycle_nx must be >= 1");
+    } else if (key == "cycle_nz") {
+      config.cycle.nz = parseInt(value, lineNo);
+      if (config.cycle.nz < 1) fail(lineNo, "cycle_nz must be >= 1");
+    } else if (key == "cycle_cell") {
+      config.cycle.cellMeters = parseDouble(value, lineNo);
+      if (config.cycle.cellMeters <= 0.0)
+        fail(lineNo, "cycle_cell must be > 0");
+    } else if (key == "cycle_years") {
+      config.cycle.years = parseDouble(value, lineNo);
+      if (config.cycle.years <= 0.0) fail(lineNo, "cycle_years must be > 0");
+    } else if (key == "cycle_max_events") {
+      config.cycle.maxEvents = parseInt(value, lineNo);
+      if (config.cycle.maxEvents < 0)
+        fail(lineNo, "cycle_max_events must be >= 0");
+    } else if (key == "cycle_seed") {
+      const int seed = parseInt(value, lineNo);
+      if (seed < 0) fail(lineNo, "cycle_seed must be >= 0");
+      config.cycle.seed = static_cast<std::uint64_t>(seed);
+    } else if (key == "cycle_event_rate") {
+      config.cycle.eventRate = parseDouble(value, lineNo);
+      if (config.cycle.eventRate <= 0.0)
+        fail(lineNo, "cycle_event_rate must be > 0");
+    } else if (key == "cycle_lock_rate") {
+      config.cycle.lockRate = parseDouble(value, lineNo);
+      if (config.cycle.lockRate <= 0.0)
+        fail(lineNo, "cycle_lock_rate must be > 0");
+    } else if (key == "cycle_priority") {
+      config.cycle.priority = parseInt(value, lineNo);
     } else {
       fail(lineNo, "unknown key '" + key + "'");
     }

@@ -77,8 +77,23 @@
 //                                        off = completion publishes only)
 //   serve_reconcile_ticks = <n>          (broker pump ticks between serving
 //                                        anti-entropy reconcile passes)
+//   cycle_nx             = <nodes>       (cycle fault nodes along strike)
+//   cycle_nz             = <nodes>       (cycle fault nodes down dip)
+//   cycle_cell           = <meters>      (cycle-grid node spacing)
+//   cycle_years          = <years>       (simulated interseismic span)
+//   cycle_max_events     = <n>           (stop after n detected events;
+//                                        0 = run the full span)
+//   cycle_seed           = <n>           (heterogeneity seed; the whole
+//                                        catalog is reproducible from it)
+//   cycle_event_rate     = <m/s>         (peak slip rate opening an event
+//                                        window)
+//   cycle_lock_rate      = <m/s>         (peak slip rate closing/healing
+//                                        the window)
+//   cycle_priority       = <n>           (submission priority of bridged
+//                                        rupture scenarios)
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "core/solver.hpp"
@@ -118,6 +133,20 @@ struct FabricKnobs {
   std::string rootDir;              // "" = <tmp>/awp-fabric
 };
 
+// Earthquake-cycle knobs (consumed by cycle::CycleConfig::fromRuntime; a
+// plain struct here so core does not depend on src/cycle).
+struct CycleKnobs {
+  int nx = 96;                 // fault nodes along strike
+  int nz = 32;                 // fault nodes down dip
+  double cellMeters = 500.0;   // cycle-grid node spacing [m]
+  double years = 600.0;        // simulated interseismic span
+  int maxEvents = 0;           // stop after n detected events (0 = no cap)
+  std::uint64_t seed = 1;      // heterogeneity seed
+  double eventRate = 1.0e-3;   // slip rate opening an event window [m/s]
+  double lockRate = 1.0e-5;    // slip rate closing (healing) the window
+  int priority = 5;            // priority of bridged rupture scenarios
+};
+
 // Hazard-serving knobs (consumed by serve::ServeConfig::fromRuntime; a
 // plain struct here so core does not depend on src/serve).
 struct ServeKnobs {
@@ -143,6 +172,8 @@ struct RuntimeConfig {
   FabricKnobs fabric;
   // Hazard-serving knobs (serve_* keys).
   ServeKnobs serve;
+  // Earthquake-cycle knobs (cycle_* keys).
+  CycleKnobs cycle;
 };
 
 // Parse `key = value` text into a RuntimeConfig starting from defaults.

@@ -1,0 +1,283 @@
+#include "cycle/catalog.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+#include "util/error.hpp"
+#include "util/md5.hpp"
+
+namespace awp::cycle {
+
+namespace {
+
+// Fixed-width little-endian append helpers (the spec-encoding idiom:
+// doubles hash by IEEE-754 bit pattern, never by formatting).
+void putU64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+void putI32(std::vector<std::byte>& out, std::int32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(
+        static_cast<std::byte>((static_cast<std::uint32_t>(v) >> (8 * i)) &
+                               0xff));
+}
+
+void putF64(std::vector<std::byte>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  putU64(out, bits);
+}
+
+void putString(std::vector<std::byte>& out, const std::string& s) {
+  putU64(out, s.size());
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), p, p + s.size());
+}
+
+void putDoubles(std::vector<std::byte>& out, const std::vector<double>& v) {
+  putU64(out, v.size());
+  for (double x : v) putF64(out, x);
+}
+
+constexpr char kEventMagic[8] = {'A', 'W', 'P', 'C', 'Y', 'E', 'V', '1'};
+constexpr char kCatalogMagic[8] = {'A', 'W', 'P', 'C', 'Y', 'C', 'A', '1'};
+
+std::string fmtDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool isHex32(const std::string& s) {
+  if (s.size() != 32) return false;
+  for (char c : s)
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::byte> CycleEvent::canonicalBytes() const {
+  std::vector<std::byte> out;
+  out.reserve(64 + 24 * nx * nz);
+  const auto* m = reinterpret_cast<const std::byte*>(kEventMagic);
+  out.insert(out.end(), m, m + sizeof(kEventMagic));
+  putI32(out, index);
+  putF64(out, onsetSeconds);
+  putF64(out, durationSeconds);
+  putF64(out, peakSlipRate);
+  putF64(out, momentNm);
+  putF64(out, magnitude);
+  putU64(out, static_cast<std::uint64_t>(nucI));
+  putU64(out, static_cast<std::uint64_t>(nucK));
+  putF64(out, tauCloseNuc);
+  putU64(out, static_cast<std::uint64_t>(nx));
+  putU64(out, static_cast<std::uint64_t>(nz));
+  putF64(out, cell);
+  putDoubles(out, tau);
+  putDoubles(out, sigmaN);
+  putDoubles(out, theta);
+  return out;
+}
+
+std::string CycleEvent::computeDigest() const {
+  const auto bytes = canonicalBytes();
+  return Md5::hexDigest(bytes.data(), bytes.size());
+}
+
+std::vector<std::byte> CycleCatalog::canonicalBytes() const {
+  std::vector<std::byte> out;
+  const auto* m = reinterpret_cast<const std::byte*>(kCatalogMagic);
+  out.insert(out.end(), m, m + sizeof(kCatalogMagic));
+  putU64(out, static_cast<std::uint64_t>(nx));
+  putU64(out, static_cast<std::uint64_t>(nz));
+  putF64(out, cell);
+  putF64(out, years);
+  putU64(out, seed);
+  putU64(out, steps);
+  putU64(out, rows.size());
+  for (const CycleCatalogRow& row : rows) {
+    putI32(out, row.index);
+    putF64(out, row.onsetSeconds);
+    putF64(out, row.durationSeconds);
+    putF64(out, row.magnitude);
+    putF64(out, row.momentNm);
+    putF64(out, row.peakSlipRate);
+    putString(out, row.eventDigest);
+    putString(out, row.specHash);
+    putString(out, row.productDigest);
+    putString(out, row.phase);
+    putI32(out, row.completions);
+  }
+  return out;
+}
+
+std::string CycleCatalog::digestHex() const {
+  const auto bytes = canonicalBytes();
+  return Md5::hexDigest(bytes.data(), bytes.size());
+}
+
+std::string toJson(const CycleCatalog& catalog) {
+  using telemetry::escapeJson;
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"awp-cycle-catalog\",\n";
+  os << "  \"version\": 1,\n";
+  os << "  \"nx\": " << catalog.nx << ",\n";
+  os << "  \"nz\": " << catalog.nz << ",\n";
+  os << "  \"cell\": " << fmtDouble(catalog.cell) << ",\n";
+  os << "  \"years\": " << fmtDouble(catalog.years) << ",\n";
+  os << "  \"seed\": " << catalog.seed << ",\n";
+  os << "  \"steps\": " << catalog.steps << ",\n";
+  os << "  \"wall_seconds\": " << fmtDouble(catalog.wallSeconds) << ",\n";
+  os << "  \"events_detected\": " << catalog.rows.size() << ",\n";
+  os << "  \"catalog_digest\": \"" << escapeJson(catalog.digestHex())
+     << "\",\n";
+  os << "  \"events\": [";
+  bool first = true;
+  for (const CycleCatalogRow& row : catalog.rows) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"index\": " << row.index
+       << ", \"onset_seconds\": " << fmtDouble(row.onsetSeconds)
+       << ", \"duration_seconds\": " << fmtDouble(row.durationSeconds)
+       << ",\n     \"magnitude\": " << fmtDouble(row.magnitude)
+       << ", \"moment_nm\": " << fmtDouble(row.momentNm)
+       << ", \"peak_slip_rate\": " << fmtDouble(row.peakSlipRate)
+       << ",\n     \"event_digest\": \"" << escapeJson(row.eventDigest)
+       << "\", \"spec_hash\": \"" << escapeJson(row.specHash)
+       << "\",\n     \"product_digest\": \"" << escapeJson(row.productDigest)
+       << "\", \"phase\": \"" << escapeJson(row.phase)
+       << "\", \"completions\": " << row.completions << "}";
+  }
+  os << (catalog.rows.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+std::vector<std::string> validateCycleCatalogJson(const std::string& text) {
+  std::vector<std::string> violations;
+  telemetry::JsonValue root;
+  try {
+    root = telemetry::parseJson(text);
+  } catch (const Error& e) {
+    violations.push_back(std::string("parse error: ") + e.what());
+    return violations;
+  }
+  if (!root.isObject()) {
+    violations.push_back("root is not an object");
+    return violations;
+  }
+
+  const auto* schema = root.find("schema");
+  if (schema == nullptr || !schema->isString() ||
+      schema->text != "awp-cycle-catalog")
+    violations.push_back("schema is not \"awp-cycle-catalog\"");
+  const auto* version = root.find("version");
+  if (version == nullptr || !version->isNumber() || version->number != 1.0)
+    violations.push_back("version is not 1");
+
+  const auto requireNumber = [&](const char* key,
+                                 double minimum) -> const telemetry::JsonValue* {
+    const auto* v = root.find(key);
+    if (v == nullptr || !v->isNumber() || !std::isfinite(v->number) ||
+        v->number < minimum) {
+      violations.push_back(std::string(key) +
+                           " missing, non-finite, or out of range");
+      return nullptr;
+    }
+    return v;
+  };
+  requireNumber("nx", 1.0);
+  requireNumber("nz", 1.0);
+  requireNumber("cell", 0.0);
+  requireNumber("years", 0.0);
+  requireNumber("seed", 0.0);
+  requireNumber("steps", 0.0);
+  requireNumber("wall_seconds", 0.0);
+  const auto* detected = requireNumber("events_detected", 0.0);
+
+  const auto* digest = root.find("catalog_digest");
+  if (digest == nullptr || !digest->isString() || !isHex32(digest->text))
+    violations.push_back("catalog_digest is not a 32-char hex digest");
+
+  const auto* events = root.find("events");
+  if (events == nullptr || !events->isArray()) {
+    violations.push_back("events array missing");
+    return violations;
+  }
+  if (detected != nullptr &&
+      static_cast<double>(events->items.size()) != detected->number)
+    violations.push_back("events_detected disagrees with the events array");
+
+  double lastOnset = -1.0;
+  for (std::size_t n = 0; n < events->items.size(); ++n) {
+    const auto& ev = events->items[n];
+    const std::string where = "events[" + std::to_string(n) + "]";
+    if (!ev.isObject()) {
+      violations.push_back(where + " is not an object");
+      continue;
+    }
+    const auto* index = ev.find("index");
+    if (index == nullptr || !index->isNumber() ||
+        index->number != static_cast<double>(n))
+      violations.push_back(where + ".index is not its position");
+    const auto evNumber = [&](const char* key) -> double {
+      const auto* v = ev.find(key);
+      if (v == nullptr || !v->isNumber() || !std::isfinite(v->number)) {
+        violations.push_back(where + "." + key + " missing or non-finite");
+        return 0.0;
+      }
+      return v->number;
+    };
+    const double onset = evNumber("onset_seconds");
+    if (onset < 0.0) violations.push_back(where + ".onset_seconds negative");
+    if (onset < lastOnset)
+      violations.push_back(where + ".onset_seconds out of order");
+    lastOnset = onset;
+    if (evNumber("duration_seconds") < 0.0)
+      violations.push_back(where + ".duration_seconds negative");
+    evNumber("magnitude");
+    if (evNumber("moment_nm") < 0.0)
+      violations.push_back(where + ".moment_nm negative");
+    if (evNumber("peak_slip_rate") <= 0.0)
+      violations.push_back(where + ".peak_slip_rate not positive");
+    const auto evString = [&](const char* key) -> std::string {
+      const auto* v = ev.find(key);
+      if (v == nullptr || !v->isString()) {
+        violations.push_back(where + "." + key + " missing");
+        return {};
+      }
+      return v->text;
+    };
+    if (!isHex32(evString("event_digest")))
+      violations.push_back(where + ".event_digest is not a hex digest");
+    if (!isHex32(evString("spec_hash")))
+      violations.push_back(where + ".spec_hash is not a hex digest");
+    const std::string phase = evString("phase");
+    if (phase != "completed" && phase != "failed" && phase != "rejected")
+      violations.push_back(where + ".phase is not a terminal phase name");
+    const auto* completions = ev.find("completions");
+    const double comp = (completions != nullptr && completions->isNumber())
+                            ? completions->number
+                            : -1.0;
+    if (comp < 0.0)
+      violations.push_back(where + ".completions missing or negative");
+    if (phase == "completed") {
+      if (!isHex32(evString("product_digest")))
+        violations.push_back(where +
+                             ".product_digest missing on a completed event");
+      if (comp < 1.0)
+        violations.push_back(where + ".completions < 1 on a completed event");
+    }
+  }
+  return violations;
+}
+
+}  // namespace awp::cycle

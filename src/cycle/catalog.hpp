@@ -1,0 +1,89 @@
+#pragma once
+// CycleEvent and CycleCatalog: the content-addressed products of the
+// earthquake-cycle engine. Each nucleation the quasi-dynamic solver
+// detects snapshots the fault's stress/state into a CycleEvent whose MD5
+// digest is its identity — the same content-addressing discipline as
+// ScenarioSpec/ArtifactBlob, so bridged rupture scenarios are hashed (and
+// cached, and deduplicated by the fabric) per event. The catalog is the
+// run's operator-facing report: one row per event carrying the detection
+// summary plus the bridged scenario's spec hash and product digest, with
+// a canonical byte encoding that excludes wall-clock so two reruns of one
+// seed are bit-identical — the reproducibility gate of the chaos tests.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace awp::cycle {
+
+struct CycleEvent {
+  int index = 0;                 // 0-based detection order
+  double onsetSeconds = 0.0;     // window open (peak V crossed eventRate)
+  double durationSeconds = 0.0;  // open -> healed (peak V below lockRate)
+  double peakSlipRate = 0.0;     // max over the window [m/s]
+  double momentNm = 0.0;         // μ·cell²·Σ window slip
+  double magnitude = 0.0;        // moment magnitude Mw
+  std::size_t nucI = 0, nucK = 0;  // argmax-V node at onset
+  double tauCloseNuc = 0.0;      // τ at the nucleation node when healed
+
+  // Onset snapshot of the fault, node-major [i + nx*k] with row depth
+  // (nz-1-k)·cell — the rupture solver's axis convention. σn is negative
+  // (compression), ready for accommodation into a rupture initial stress.
+  std::size_t nx = 0, nz = 0;
+  double cell = 0.0;
+  std::vector<double> tau;     // elastic shear stress [Pa]
+  std::vector<double> sigmaN;  // effective normal stress [Pa]
+  std::vector<double> theta;   // rate-and-state state variable [s]
+
+  // MD5 of canonicalBytes(), filled by the solver at window close — the
+  // event's content address, carried into the bridged spec's cycleDigest.
+  std::string digest;
+
+  // Canonical fixed-width little-endian encoding of the detection fields
+  // and the snapshot (excludes `digest` itself).
+  [[nodiscard]] std::vector<std::byte> canonicalBytes() const;
+  [[nodiscard]] std::string computeDigest() const;
+};
+
+// One catalog row: detection summary + the fate of the bridged scenario.
+struct CycleCatalogRow {
+  int index = 0;
+  double onsetSeconds = 0.0;
+  double durationSeconds = 0.0;
+  double magnitude = 0.0;
+  double momentNm = 0.0;
+  double peakSlipRate = 0.0;
+  std::string eventDigest;    // CycleEvent content address
+  std::string specHash;       // bridged ScenarioSpec identity
+  std::string productDigest;  // fault_history blob MD5 ("" until completed)
+  std::string phase;          // terminal phase name ("completed"/"failed")
+  int completions = 0;        // settle deliveries (fabric dedup holds at 1)
+};
+
+struct CycleCatalog {
+  // Run configuration echo (the seed is the whole catalog's provenance).
+  std::size_t nx = 0, nz = 0;
+  double cell = 0.0;
+  double years = 0.0;
+  std::uint64_t seed = 0;
+
+  std::uint64_t steps = 0;    // adaptive solver steps taken
+  double wallSeconds = 0.0;   // catalog wall time (NOT in canonical bytes)
+  std::vector<CycleCatalogRow> rows;
+
+  // Canonical encoding of everything deterministic (wallSeconds is
+  // excluded): bit-identical across reruns of one seed, broker deaths
+  // included.
+  [[nodiscard]] std::vector<std::byte> canonicalBytes() const;
+  [[nodiscard]] std::string digestHex() const;
+};
+
+// Render as JSON (schema "awp-cycle-catalog", version 1).
+std::string toJson(const CycleCatalog& catalog);
+
+// Validate rendered catalog text the way validateServiceReportJson
+// validates the service report. Returns violations (empty = valid).
+std::vector<std::string> validateCycleCatalogJson(const std::string& text);
+
+}  // namespace awp::cycle

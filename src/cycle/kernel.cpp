@@ -1,0 +1,67 @@
+#include "cycle/kernel.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace awp::cycle {
+
+StiffnessKernel::StiffnessKernel(const KernelConfig& config)
+    : config_(config) {
+  AWP_CHECK(config_.nx > 0 && config_.nz > 0);
+  AWP_CHECK(config_.cell > 0.0 && config_.mu > 0.0);
+  AWP_CHECK(config_.loadingFactor > 0.0 && config_.interaction >= 0.0);
+  AWP_CHECK(config_.radius >= 0);
+  kLoad_ = config_.loadingFactor * config_.mu / config_.cell;
+
+  const int r = config_.radius;
+  for (int dk = -r; dk <= r; ++dk)
+    for (int di = -r; di <= r; ++di) {
+      if (di == 0 && dk == 0) continue;
+      const double d2 = static_cast<double>(di * di + dk * dk);
+      if (d2 > static_cast<double>(r * r)) continue;
+      const double dist = config_.cell * std::sqrt(d2);
+      const double w = config_.interaction * config_.mu * config_.cell *
+                       config_.cell / (dist * dist * dist);
+      taps_.push_back({di, dk, w});
+    }
+
+  // Per-node self term: −(kLoad + in-bounds off-diagonal row sum). Row
+  // sums shrink at the fault edges exactly as the in-bounds taps do, so
+  // the uniform-slip mode unloads through kLoad at every node.
+  const auto nx = static_cast<int>(config_.nx);
+  const auto nz = static_cast<int>(config_.nz);
+  self_.assign(config_.nx * config_.nz, 0.0);
+  for (int k = 0; k < nz; ++k)
+    for (int i = 0; i < nx; ++i) {
+      double row = 0.0;
+      for (const Tap& tap : taps_) {
+        const int si = i + tap.di;
+        const int sk = k + tap.dk;
+        if (si < 0 || si >= nx || sk < 0 || sk >= nz) continue;
+        row += tap.w;
+      }
+      self_[static_cast<std::size_t>(i + nx * k)] = -(kLoad_ + row);
+    }
+}
+
+AWP_HOT void StiffnessKernel::stressingRate(const std::vector<double>& v,
+                                            double vpl,
+                                            std::vector<double>& out) const {
+  const auto nx = static_cast<int>(config_.nx);
+  const auto nz = static_cast<int>(config_.nz);
+  for (int k = 0; k < nz; ++k)
+    for (int i = 0; i < nx; ++i) {
+      const auto n = static_cast<std::size_t>(i + nx * k);
+      double rate = self_[n] * (v[n] - vpl);
+      for (const Tap& tap : taps_) {
+        const int si = i + tap.di;
+        const int sk = k + tap.dk;
+        if (si < 0 || si >= nx || sk < 0 || sk >= nz) continue;
+        rate += tap.w * (v[static_cast<std::size_t>(si + nx * sk)] - vpl);
+      }
+      out[n] = rate;
+    }
+}
+
+}  // namespace awp::cycle

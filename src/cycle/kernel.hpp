@@ -1,0 +1,60 @@
+#pragma once
+// Quasi-static elastic stress transfer over a discretized planar fault —
+// the precomputed stiffness kernel of the cycle solver. The off-diagonal
+// interaction is a translation-invariant stencil with the static 1/r³
+// far-field decay of a dislocation cell, S(di,dk) = χ·μ·cell²/r³,
+// truncated at a configured radius; each node's self term is then set to
+// −(κ·μ/cell + Σ local off-diagonal row) so that a uniformly slipping
+// fault unloads through EXACTLY the loading stiffness k = κ·μ/cell at
+// every node, boundary rows included. Two consequences anchor the tests:
+// a 1×1 fault reduces to the classical spring slider with k = κ·μ/cell
+// (stick-slip iff k < kc, recurrence T ≈ Δτ/(k·Vpl)), and backslip
+// loading τ̇_i = Σ_j K_ij·(V_j − Vpl) needs no separate loading term
+// (Rice 1993's formulation; cells are larger than the nucleation length,
+// so the model is "inherently discrete" in the Ben-Zion–Rice sense —
+// exactly what the catalog wants: cell-scale events, not one fault-wide
+// limit cycle).
+
+#include <cstddef>
+#include <vector>
+
+#include "util/hot.hpp"
+
+namespace awp::cycle {
+
+struct KernelConfig {
+  std::size_t nx = 0, nz = 0;  // fault nodes (strike x depth)
+  double cell = 500.0;         // node spacing [m]
+  double mu = 30.0e9;          // rigidity [Pa]
+  double loadingFactor = 0.1;  // κ: uniform loading stiffness κ·μ/cell
+  double interaction = 0.25;   // χ: off-diagonal stencil amplitude
+  int radius = 8;              // stencil truncation radius [nodes]
+};
+
+class StiffnessKernel {
+ public:
+  explicit StiffnessKernel(const KernelConfig& config);
+
+  // τ̇_i = Σ_j K_ij·(V_j − Vpl), written into `out` (sized nx·nz, as is
+  // `v`). Registered hot path: no allocation, no throw — the stencil taps
+  // and per-node self terms are precomputed by the constructor.
+  void stressingRate(const std::vector<double>& v, double vpl,
+                     std::vector<double>& out) const;
+
+  // κ·μ/cell — the uniform loading (and uniform-mode unloading) stiffness.
+  [[nodiscard]] double loadingStiffness() const { return kLoad_; }
+  [[nodiscard]] const KernelConfig& config() const { return config_; }
+
+ private:
+  struct Tap {
+    int di, dk;
+    double w;  // S(di,dk) >= 0 [Pa/m]
+  };
+
+  KernelConfig config_;
+  double kLoad_ = 0.0;
+  std::vector<Tap> taps_;
+  std::vector<double> self_;  // per-node K_ii [i + nx*k]
+};
+
+}  // namespace awp::cycle

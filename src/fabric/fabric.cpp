@@ -275,6 +275,18 @@ void HazardFabric::shutdown() {
   }
 }
 
+bool HazardFabric::waitAll(const std::vector<FabricJobHandle>& handles) {
+  bool allCompleted = true;
+  for (const auto& handle : handles) {
+    if (!handle) {
+      allCompleted = false;
+      continue;
+    }
+    if (handle->wait() != sched::JobPhase::Completed) allCompleted = false;
+  }
+  return allCompleted;
+}
+
 void HazardFabric::killBroker(int id) {
   AWP_CHECK_MSG(id >= 0 && id < config_.brokers,
                 "fabric: broker id out of range");

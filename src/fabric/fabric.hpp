@@ -136,6 +136,13 @@ class HazardFabric {
   // its hash range moves at the next membership epoch.
   void killBroker(int id);
 
+  // Block until each handle settles; true iff every one completed (null
+  // handles count as failures). Catalog-sized batches — the earthquake-
+  // cycle bridge submits a whole event catalog at once — wait on their
+  // own handles rather than drain(), which would also wait on unrelated
+  // submitters.
+  static bool waitAll(const std::vector<FabricJobHandle>& handles);
+
   // --- serving tier ----------------------------------------------------
   // The fabric-wide ProductServer: every broker (including degraded ones
   // serving read-only cache hits) publishes tile versions into it, so

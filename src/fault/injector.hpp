@@ -54,6 +54,15 @@
 //                                        delivery; rank = publish origin
 //                                        (RankStall delays the notify,
 //                                        modelling a slow subscriber link)
+//   cycle.step                         — top of each earthquake-cycle
+//                                        quasi-dynamic step; rank = the
+//                                        solver's configured rank id
+//                                        (FieldPoison scales one node's
+//                                        state variable by a large finite
+//                                        factor — the adaptive stepper
+//                                        must absorb it; RankStall wedges
+//                                        the stepping loop so the
+//                                        heartbeat watchdog can catch it)
 //
 // When no injector is installed every hook is a single relaxed atomic
 // load + branch, so the disabled path adds no measurable overhead to the
@@ -215,6 +224,9 @@ inline constexpr KnownFaultSite kKnownSites[] = {
     // registry existed; declared here when the registry gate found the
     // drift.
     {"sched.job.step", ""},
+    // Earthquake-cycle stepping loop (cycle/solver.cpp): deterministic
+    // state perturbation + stall, reached through the generic builders.
+    {"cycle.step", ""},
 };
 
 namespace detail {

@@ -1,0 +1,45 @@
+#include "rupture/rate_state.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace awp::rupture {
+
+double RateStateFriction::thetaRate(double V, double theta) const {
+  return 1.0 - V * theta / p_.L;
+}
+
+double RateStateFriction::steadyStateTheta(double V) const {
+  AWP_CHECK(V > 0.0);
+  return p_.L / V;
+}
+
+double RateStateFriction::steadyStateFriction(double V) const {
+  AWP_CHECK(V > 0.0);
+  return p_.f0 + (p_.a - p_.b) * std::log(V / p_.V0);
+}
+
+double RateStateFriction::friction(double V, double theta) const {
+  AWP_CHECK(V > 0.0 && theta > 0.0);
+  return p_.f0 + p_.a * std::log(V / p_.V0) +
+         p_.b * std::log(p_.V0 * theta / p_.L);
+}
+
+double RateStateFriction::strength(double V, double theta,
+                                   double sigmaN) const {
+  return friction(V, theta) * (-sigmaN);
+}
+
+double RateStateFriction::evolveThetaConstV(double theta0, double V,
+                                            double t) const {
+  AWP_CHECK(V > 0.0);
+  const double thetaSs = p_.L / V;
+  return thetaSs + (theta0 - thetaSs) * std::exp(-V * t / p_.L);
+}
+
+double RateStateFriction::criticalStiffness(double sigmaN) const {
+  return (p_.b - p_.a) * (-sigmaN) / p_.L;
+}
+
+}  // namespace awp::rupture

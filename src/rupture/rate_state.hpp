@@ -1,0 +1,58 @@
+#pragma once
+// Rate-and-state friction (Dieterich–Ruina) with the aging law — the
+// constitutive model of the earthquake-cycle engine (src/cycle), living
+// alongside the slip-weakening model the dynamic rupture solver uses:
+//
+//   μ(V, θ) = f0 + a·ln(V/V0) + b·ln(V0·θ/L)
+//   dθ/dt   = 1 − V·θ/L                       (aging law)
+//
+// Two analytic limits anchor the unit tests: at constant slip rate V the
+// state variable relaxes exponentially onto its steady state L/V,
+//   θ(t) = L/V + (θ0 − L/V)·e^(−V·t/L),
+// and the steady-state friction μss(V) = f0 + (a−b)·ln(V/V0) — so a−b < 0
+// (velocity weakening) admits stick-slip below the critical spring
+// stiffness kc = (b−a)·(−σn)/L while a−b > 0 creeps stably (Ruina 1983,
+// Rice & Ruina 1983; the quasi-dynamic sequence formulation follows
+// Rice 1993 and Ozawa et al., arXiv:2110.12165).
+
+namespace awp::rupture {
+
+struct RateStateParams {
+  double a = 0.010;    // direct-effect amplitude
+  double b = 0.015;    // state-evolution amplitude (b > a: weakening)
+  double L = 0.02;     // state evolution distance [m]
+  double f0 = 0.6;     // reference friction coefficient at V0
+  double V0 = 1.0e-6;  // reference slip rate [m/s]
+};
+
+class RateStateFriction {
+ public:
+  explicit RateStateFriction(const RateStateParams& p) : p_(p) {}
+
+  // Aging law dθ/dt at slip rate V and state θ.
+  [[nodiscard]] double thetaRate(double V, double theta) const;
+  // Steady state of the aging law: θss = L/V.
+  [[nodiscard]] double steadyStateTheta(double V) const;
+  // μss(V) = f0 + (a − b)·ln(V/V0).
+  [[nodiscard]] double steadyStateFriction(double V) const;
+  // μ(V, θ) = f0 + a·ln(V/V0) + b·ln(V0·θ/L).
+  [[nodiscard]] double friction(double V, double theta) const;
+  // Frictional shear strength for effective normal stress σn (compression
+  // negative, matching the rupture solver's convention): τc = μ·(−σn).
+  [[nodiscard]] double strength(double V, double theta, double sigmaN) const;
+  // Closed-form θ(t) under constant V from initial state θ0 (the
+  // analytic expression the aging-law unit test integrates against).
+  [[nodiscard]] double evolveThetaConstV(double theta0, double V,
+                                         double t) const;
+  // Spring-slider critical stiffness kc = (b − a)·(−σn)/L [Pa/m]: a
+  // velocity-weakening patch loaded through stiffness k < kc sticks and
+  // slips; k > kc creeps stably at the load-point rate.
+  [[nodiscard]] double criticalStiffness(double sigmaN) const;
+
+  [[nodiscard]] const RateStateParams& params() const { return p_; }
+
+ private:
+  RateStateParams p_;
+};
+
+}  // namespace awp::rupture

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <string>
 
 #include "core/source.hpp"
 #include "health/preflight.hpp"
@@ -111,9 +112,20 @@ DynamicRuptureSolver::DynamicRuptureSolver(vcluster::Communicator& comm,
   // Initial stress over the full fault extent (global), then bind the
   // locally owned nodes. The stress model grid covers [fi0, fi1) x
   // [fk0, fk1).
-  stress_ = buildInitialStress(config_.fi1 - config_.fi0,
-                               config_.fk1 - config_.fk0, config_.h,
-                               config_.stress, friction_);
+  if (config_.stressOverride) {
+    const auto& ov = *config_.stressOverride;
+    if (ov.nx != config_.fi1 - config_.fi0 ||
+        ov.nz != config_.fk1 - config_.fk0)
+      throw Error("rupture: stress override is " + std::to_string(ov.nx) +
+                  "x" + std::to_string(ov.nz) + ", fault extent wants " +
+                  std::to_string(config_.fi1 - config_.fi0) + "x" +
+                  std::to_string(config_.fk1 - config_.fk0));
+    stress_ = ov;
+  } else {
+    stress_ = buildInitialStress(config_.fi1 - config_.fi0,
+                                 config_.fk1 - config_.fk0, config_.h,
+                                 config_.stress, friction_);
+  }
 
   for (std::size_t gk = config_.fk0; gk < config_.fk1; ++gk)
     for (std::size_t gi = config_.fi0; gi < config_.fi1; ++gi) {

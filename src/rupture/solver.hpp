@@ -50,6 +50,12 @@ struct RuptureConfig {
 
   FrictionParams friction;
   StressModelConfig stress;
+  // When set, replaces the model-built initial stress with an externally
+  // evolved snapshot (the earthquake-cycle bridge hands in a stress field
+  // already accommodated to this fault's strength profile). Dimensions
+  // must match the fault extent [fi0, fi1) x [fk0, fk1); the stress
+  // model's random-field knobs are ignored on this path.
+  std::shared_ptr<const FaultInitialStress> stressOverride;
   core::KernelOptions kernels;
   int spongeWidth = 15;
 

@@ -114,4 +114,46 @@ FaultInitialStress buildInitialStress(std::size_t nx, std::size_t nz,
   return out;
 }
 
+FaultInitialStress accommodateStressPattern(
+    const std::vector<double>& pattern, const std::vector<char>& nucMask,
+    std::size_t nx, std::size_t nz, double h, const StressModelConfig& config,
+    const SlipWeakeningFriction& friction) {
+  AWP_CHECK(nx > 0 && nz > 0 && h > 0.0);
+  AWP_CHECK(pattern.size() == nx * nz && nucMask.size() == nx * nz);
+  FaultInitialStress out;
+  out.nx = nx;
+  out.nz = nz;
+  out.h = h;
+  out.tau0.resize(nx * nz);
+  out.sigmaN.resize(nx * nz);
+
+  for (std::size_t k = 0; k < nz; ++k) {
+    const double depth = static_cast<double>(nz - 1 - k) * h;
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double sigmaN =
+          std::max(config.normalAtSurface + config.normalGradient * depth,
+                   config.normalSaturation);
+      const double tauS = friction.strength(0.0, depth, sigmaN);
+      const double tauD =
+          friction.strength(1.0e9 /* fully weakened */, depth, sigmaN);
+      const double lo =
+          std::min(tauD + config.reloadFraction * (tauS - tauD),
+                   0.9 * tauS);
+      const double hi =
+          std::min(tauD + config.maxFraction * (tauS - tauD),
+                   0.99 * tauS);
+      const double f =
+          std::clamp(pattern[i + nx * k], 0.0, 1.0);
+      double tau = std::min(lo + f * std::max(0.0, hi - lo), 0.99 * tauS);
+      if (depth < config.shearTaperDepth)
+        tau *= depth / config.shearTaperDepth;
+      if (nucMask[i + nx * k] != 0)
+        tau = tauS * (1.0 + config.nucExcess);
+      out.tau0[i + nx * k] = tau;
+      out.sigmaN[i + nx * k] = sigmaN;
+    }
+  }
+  return out;
+}
+
 }  // namespace awp::rupture

@@ -74,4 +74,19 @@ FaultInitialStress buildInitialStress(std::size_t nx, std::size_t nz,
                                       const StressModelConfig& config,
                                       const SlipWeakeningFriction& friction);
 
+// Accommodate an externally evolved shear-load pattern into the slip-
+// weakening strength band — the same [reloadFraction, maxFraction] mapping
+// buildInitialStress applies to its squashed random field, but driven by a
+// given pattern (values clamped to [0, 1], node-major [i + nx*k]) instead
+// of a fresh von Kármán draw. The nucleation mask (same layout, nonzero =
+// inside the patch) replaces the circular-patch geometry: masked nodes are
+// pushed nucExcess above the static strength. The cycle bridge
+// (src/cycle/bridge.cpp) uses this to turn an interseismically evolved
+// stress snapshot into a rupture initial condition that respects the
+// supercritical-fraction preflight.
+FaultInitialStress accommodateStressPattern(
+    const std::vector<double>& pattern, const std::vector<char>& nucMask,
+    std::size_t nx, std::size_t nz, double h, const StressModelConfig& config,
+    const SlipWeakeningFriction& friction);
+
 }  // namespace awp::rupture

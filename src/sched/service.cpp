@@ -703,10 +703,13 @@ ScenarioProducts ScenarioService::attemptRupture(JobState& job,
                                                  int coreBase) {
   const ScenarioSpec& spec = job.spec;
   rupture::RuptureConfig config;
-  const auto nx =
-      static_cast<std::size_t>(spec.lengthKm * 1000.0 / spec.h);
-  const auto nzFault =
-      static_cast<std::size_t>(spec.depthKm * 1000.0 / spec.h);
+  // Round, don't truncate: a lengthKm produced as nx*h/1000 must map back
+  // to exactly nx nodes (the cycle bridge's stress override is sized that
+  // way, and the solver rejects a dimension mismatch).
+  const auto nx = static_cast<std::size_t>(
+      std::llround(spec.lengthKm * 1000.0 / spec.h));
+  const auto nzFault = static_cast<std::size_t>(
+      std::llround(spec.depthKm * 1000.0 / spec.h));
   const std::size_t margin = 14;
   config.globalDims = {nx + 2 * margin, 2 * margin + 2, nzFault + margin};
   config.h = spec.h;
@@ -727,6 +730,9 @@ ScenarioProducts ScenarioService::attemptRupture(JobState& job,
   config.stress.nucExcess = 0.15;
   config.timeDecimation = 2;
   config.slipRateThreshold = 0.01;
+  // A cycle-bridged scenario nucleates from its interseismically evolved
+  // stress snapshot instead of the seeded random-field model.
+  if (spec.cycleStress) config.stressOverride = spec.cycleStress;
 
   rupture::FaultHistory history;
   vcluster::ThreadCluster::run(

@@ -109,6 +109,7 @@ struct Reader {
 };
 
 constexpr char kSpecMagic[8] = {'A', 'W', 'P', 'S', 'P', 'E', 'C', '1'};
+constexpr char kSpecMagicV2[8] = {'A', 'W', 'P', 'S', 'P', 'E', 'C', '2'};
 constexpr char kProductMagic[8] = {'A', 'W', 'P', 'P', 'R', 'O', 'D', '1'};
 constexpr char kHistoryMagic[8] = {'A', 'W', 'P', 'F', 'H', 'I', 'S', '1'};
 
@@ -132,7 +133,11 @@ const char* toString(ScenarioKind kind) {
 std::vector<std::byte> ScenarioSpec::canonicalBytes() const {
   std::vector<std::byte> out;
   out.reserve(160);
-  putBytes(out, kSpecMagic, sizeof(kSpecMagic));
+  // v1 encodes exactly as before the cycle fields existed, so pre-cycle
+  // spec hashes (and thus cached products) are untouched; only a spec
+  // carrying a cycle-event digest opts into the v2 magic + suffix.
+  const bool v2 = !cycleDigest.empty();
+  putBytes(out, v2 ? kSpecMagicV2 : kSpecMagic, sizeof(kSpecMagic));
   putU32(out, static_cast<std::uint32_t>(kind));
   putU64(out, steps);
   putI32(out, nranks);
@@ -152,12 +157,56 @@ std::vector<std::byte> ScenarioSpec::canonicalBytes() const {
   putF64(out, lengthKm);
   putF64(out, depthKm);
   putF64(out, nucFraction);
+  if (v2) putString(out, cycleDigest);
   return out;
 }
 
 std::string ScenarioSpec::hashHex() const {
   const auto bytes = canonicalBytes();
   return Md5::hexDigest(bytes.data(), bytes.size());
+}
+
+ScenarioSpec ScenarioSpec::decodeCanonical(
+    const std::vector<std::byte>& data) {
+  Reader r{data};
+  r.need(8);
+  bool v2 = false;
+  if (std::memcmp(r.data.data(), kSpecMagicV2, 8) == 0)
+    v2 = true;
+  else if (std::memcmp(r.data.data(), kSpecMagic, 8) != 0)
+    throw Error("sched: bad spec magic");
+  r.pos += 8;
+
+  ScenarioSpec s;
+  s.kind = static_cast<ScenarioKind>(r.u32());
+  if (s.kind != ScenarioKind::Wave && s.kind != ScenarioKind::Rupture)
+    throw Error("sched: unknown scenario kind in spec encoding");
+  s.steps = r.u64();
+  s.nranks = r.i32();
+  s.seed = r.u64();
+  s.dims.nx = static_cast<std::size_t>(r.u64());
+  s.dims.ny = static_cast<std::size_t>(r.u64());
+  s.dims.nz = static_cast<std::size_t>(r.u64());
+  s.h = r.f64();
+  s.useCvm = r.u32() != 0;
+  s.spongeWidth = r.i32();
+  s.checkpointEverySteps = r.i32();
+  s.surfaceSampleEverySteps = r.i32();
+  s.sourceFreqHz = r.f64();
+  s.sourceAmplitude = r.f64();
+  s.healthEverySteps = r.i32();
+  s.maxRollbacks = r.i32();
+  s.lengthKm = r.f64();
+  s.depthKm = r.f64();
+  s.nucFraction = r.f64();
+  if (v2) {
+    s.cycleDigest = r.str();
+    if (s.cycleDigest.empty())
+      throw Error("sched: v2 spec encoding carries an empty cycle digest");
+  }
+  if (r.pos != data.size())
+    throw Error("sched: trailing bytes after spec encoding");
+  return s;
 }
 
 std::size_t ScenarioSpec::estimatedBytes() const {

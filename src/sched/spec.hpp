@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,7 +49,20 @@ struct ScenarioSpec {
   double depthKm = 12.0;
   double nucFraction = 0.15;  // nucleation patch position along strike
 
-  // --- unhashed metadata ---
+  // --- hashed, rupture kind with a cycle overlay (encoding v2) ---
+  // Content digest of the earthquake-cycle stress snapshot this scenario
+  // nucleates from ("" = none). A non-empty digest switches the canonical
+  // encoding to v2 (magic AWPSPEC2) with the digest appended; specs
+  // without one keep emitting byte-exact v1, so every pre-cycle spec hash
+  // is unchanged.
+  std::string cycleDigest;
+
+  // --- unhashed carriers / metadata ---
+  // The snapshot itself, accommodated to this fault's strength profile.
+  // Specs travel in-process by shared_ptr (fabric transport, submission
+  // log), so the field rides along; cycleDigest above is its hashed
+  // content identity.
+  std::shared_ptr<const rupture::FaultInitialStress> cycleStress;
   std::string name;   // human label for reports
   int priority = 0;   // larger = sooner; ties run in submission order
 
@@ -57,6 +71,12 @@ struct ScenarioSpec {
   [[nodiscard]] std::vector<std::byte> canonicalBytes() const;
   // MD5 hex of canonicalBytes() — the service-wide identity of this spec.
   [[nodiscard]] std::string hashHex() const;
+  // Decode a canonical encoding, v1 (AWPSPEC1) or v2 (AWPSPEC2): the
+  // round trip decodeCanonical(s.canonicalBytes()).canonicalBytes() ==
+  // s.canonicalBytes() holds for both versions. Unhashed metadata and the
+  // in-memory stress carrier are outside the encoding and come back
+  // defaulted. Throws awp::Error on bad magic or truncation.
+  static ScenarioSpec decodeCanonical(const std::vector<std::byte>& data);
 
   // Rough resident-memory estimate for admission control [bytes].
   [[nodiscard]] std::size_t estimatedBytes() const;

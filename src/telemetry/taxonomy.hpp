@@ -35,6 +35,8 @@ enum class Phase : std::size_t {
   ServePublish,        // serving tier: tile fold + publish of a window
   ServeQuery,          // serving tier: exceedance/max query streaming
   ServeNotify,         // serving tier: subscription delta delivery
+  CycleStep,           // cycle engine: one adaptive quasi-dynamic step
+  CycleBridge,         // cycle engine: event -> scenario-spec submission
   kCount
 };
 
@@ -47,7 +49,8 @@ inline constexpr std::array<std::string_view, kPhaseCount> kPhaseJsonNames = {
     "output",          "health_scan",   "transfer",    "rollback_replay",
     "sched_queue",     "sched_dispatch", "respawn_quiesce",
     "fabric_route",    "fabric_heartbeat", "fabric_forward",
-    "serve_publish",   "serve_query",   "serve_notify"};
+    "serve_publish",   "serve_query",   "serve_notify",
+    "cycle_step",      "cycle_bridge"};
 
 [[nodiscard]] inline std::string_view toString(Phase p) {
   return kPhaseJsonNames[static_cast<std::size_t>(p)];
@@ -96,6 +99,10 @@ enum class Counter : std::size_t {
   ServeTilesScanned,     // tiles streamed through the query path
   ServeNotifies,         // subscription deltas delivered to clients
   ServeReconciles,       // anti-entropy passes re-publishing lagging tiles
+  CycleSteps,            // adaptive quasi-dynamic steps taken
+  CycleEventsDetected,   // slip-rate windows opened (nucleations)
+  CycleEventsSubmitted,  // cycle events bridged into scenario submissions
+  CycleStatePerturbs,    // injected state perturbations absorbed
   kCount
 };
 
@@ -119,7 +126,9 @@ inline constexpr std::array<std::string_view, kCounterCount>
         "fabric_dedup_hits",
         "serve_tiles_published", "serve_tile_bytes",
         "serve_chunk_dedups", "serve_publish_drops", "serve_queries",
-        "serve_tiles_scanned", "serve_notifies", "serve_reconciles"};
+        "serve_tiles_scanned", "serve_notifies", "serve_reconciles",
+        "cycle_steps", "cycle_events_detected", "cycle_events_submitted",
+        "cycle_state_perturbs"};
 
 [[nodiscard]] inline std::string_view toString(Counter c) {
   return kCounterJsonNames[static_cast<std::size_t>(c)];
